@@ -1,0 +1,39 @@
+//! Criterion bench for Figure 4: prints the write-back NRR sweep on a
+//! reduced run, then times the two NRR extremes on one register-hungry
+//! benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vpr_bench::{experiments, run_benchmark, ExperimentConfig};
+use vpr_core::RenameScheme;
+use vpr_trace::Benchmark;
+
+fn bench_fig4(c: &mut Criterion) {
+    let exp = ExperimentConfig::quick();
+    let sweep = experiments::fig4(&exp);
+    println!("\n=== Figure 4 (reduced run) ===");
+    println!("{}", sweep.render());
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for nrr in [1usize, 32] {
+        group.bench_function(format!("vortex/nrr={nrr}"), |b| {
+            b.iter(|| {
+                black_box(run_benchmark(
+                    Benchmark::Vortex,
+                    RenameScheme::VirtualPhysicalWriteback { nrr },
+                    64,
+                    &ExperimentConfig {
+                        warmup: 1_000,
+                        measure: 10_000,
+                        ..ExperimentConfig::quick()
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

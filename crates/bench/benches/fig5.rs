@@ -1,0 +1,36 @@
+//! Criterion bench for Figure 5: prints the issue-allocation NRR sweep on
+//! a reduced run, then times the issue-allocation scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vpr_bench::{experiments, run_benchmark, ExperimentConfig};
+use vpr_core::RenameScheme;
+use vpr_trace::Benchmark;
+
+fn bench_fig5(c: &mut Criterion) {
+    let exp = ExperimentConfig::quick();
+    let sweep = experiments::fig5(&exp);
+    println!("\n=== Figure 5 (reduced run) ===");
+    println!("{}", sweep.render());
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("swim/vp-issue/nrr=32", |b| {
+        b.iter(|| {
+            black_box(run_benchmark(
+                Benchmark::Swim,
+                RenameScheme::VirtualPhysicalIssue { nrr: 32 },
+                64,
+                &ExperimentConfig {
+                    warmup: 1_000,
+                    measure: 10_000,
+                    ..ExperimentConfig::quick()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for Figure 6: prints the write-back vs issue
+//! comparison on a reduced run and asserts the paper's conclusion (the
+//! write-back scheme wins overall) before timing one configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vpr_bench::{experiments, run_benchmark, ExperimentConfig};
+use vpr_core::RenameScheme;
+use vpr_trace::Benchmark;
+
+fn bench_fig6(c: &mut Criterion) {
+    let exp = ExperimentConfig::quick();
+    let f6 = experiments::fig6(&exp);
+    println!("\n=== Figure 6 (reduced run) ===");
+    println!("{}", f6.render());
+    println!("write-back win rate: {:.0}%\n", 100.0 * f6.writeback_win_rate());
+    assert!(
+        f6.writeback_win_rate() >= 0.5,
+        "the paper's conclusion (write-back ≥ issue) must hold on most benchmarks"
+    );
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("mgrid/vp-writeback", |b| {
+        b.iter(|| {
+            black_box(run_benchmark(
+                Benchmark::Mgrid,
+                RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
+                64,
+                &ExperimentConfig {
+                    warmup: 1_000,
+                    measure: 10_000,
+                    ..ExperimentConfig::quick()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

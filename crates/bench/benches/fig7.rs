@@ -1,0 +1,46 @@
+//! Criterion bench for Figure 7: prints the register-file-size sweep on a
+//! reduced run and asserts the improvement shrinks as registers grow,
+//! then times the smallest configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vpr_bench::{experiments, run_benchmark, ExperimentConfig};
+use vpr_core::RenameScheme;
+use vpr_trace::Benchmark;
+
+fn bench_fig7(c: &mut Criterion) {
+    let exp = ExperimentConfig::quick();
+    let f7 = experiments::fig7(&exp);
+    println!("\n=== Figure 7 (reduced run) ===");
+    println!("{}", f7.render());
+    let imp = f7.mean_improvements_percent();
+    println!(
+        "mean improvements: {:+.0}% / {:+.0}% / {:+.0}% for 48/64/96 regs (paper: +31/+19/+8)\n",
+        imp[0], imp[1], imp[2]
+    );
+    assert!(
+        imp[0] > imp[2],
+        "improvement must shrink with more registers: {imp:?}"
+    );
+
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("swim/48regs/vp-writeback", |b| {
+        b.iter(|| {
+            black_box(run_benchmark(
+                Benchmark::Swim,
+                RenameScheme::VirtualPhysicalWriteback { nrr: 16 },
+                48,
+                &ExperimentConfig {
+                    warmup: 1_000,
+                    measure: 10_000,
+                    ..ExperimentConfig::quick()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

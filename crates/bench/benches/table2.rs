@@ -1,0 +1,49 @@
+//! Criterion bench for Table 2: prints the conv-vs-VP IPC table on a
+//! reduced run, then times the two headline configurations so simulator
+//! performance regressions are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vpr_bench::{experiments, run_benchmark, ExperimentConfig};
+use vpr_core::RenameScheme;
+use vpr_trace::Benchmark;
+
+fn bench_table2(c: &mut Criterion) {
+    let exp = ExperimentConfig::quick();
+    let t2 = experiments::table2(&exp);
+    println!("\n=== Table 2 (reduced run: {} instructions) ===", exp.measure);
+    println!("{}", t2.render());
+    println!(
+        "mean improvement {:+.1}% (paper: +19%)\n",
+        t2.mean_improvement_percent()
+    );
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for (name, scheme) in [
+        ("swim/conventional", RenameScheme::Conventional),
+        (
+            "swim/vp-writeback",
+            RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(run_benchmark(
+                    Benchmark::Swim,
+                    scheme,
+                    64,
+                    &ExperimentConfig {
+                        warmup: 1_000,
+                        measure: 10_000,
+                        ..ExperimentConfig::quick()
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Runs the complete evaluation — Table 2 and Figures 4-7 — and prints
+//! each artefact, plus a Markdown rendering suitable for EXPERIMENTS.md.
+
+use vpr_bench::{experiments, ExperimentConfig};
+
+fn main() {
+    let exp = ExperimentConfig::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    println!("# Full evaluation (warmup {}, measure {}, seed {})\n", exp.warmup, exp.measure, exp.seed);
+
+    println!("## Table 2 — conv vs VP write-back (NRR=32, 64 regs)\n");
+    let t2 = experiments::table2(&exp);
+    println!("{}", t2.render().to_markdown());
+    println!(
+        "mean improvement: {:+.0}% (paper: +19%)\n",
+        t2.mean_improvement_percent()
+    );
+
+    let exp20 = ExperimentConfig {
+        miss_penalty: 20,
+        ..exp
+    };
+    let t2b = experiments::table2(&exp20);
+    println!("### Table 2 variant — 20-cycle miss penalty\n");
+    println!(
+        "mean improvement: {:+.0}% (paper: +12%)\n",
+        t2b.mean_improvement_percent()
+    );
+
+    println!("## Figure 4 — VP write-back speedup vs NRR\n");
+    println!("{}", experiments::fig4(&exp).render().to_markdown());
+
+    println!("## Figure 5 — VP issue speedup vs NRR\n");
+    println!("{}", experiments::fig5(&exp).render().to_markdown());
+
+    println!("## Figure 6 — write-back vs issue (NRR=32)\n");
+    let f6 = experiments::fig6(&exp);
+    println!("{}", f6.render().to_markdown());
+    println!(
+        "write-back win rate: {:.0}%\n",
+        100.0 * f6.writeback_win_rate()
+    );
+
+    println!("## Figure 7 — IPC vs register-file size\n");
+    let f7 = experiments::fig7(&exp);
+    println!("{}", f7.render().to_markdown());
+    let imp = f7.mean_improvements_percent();
+    println!(
+        "mean improvements: {:+.0}% / {:+.0}% / {:+.0}% for 48/64/96 regs (paper: +31/+19/+8)",
+        imp[0], imp[1], imp[2]
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerates the paper's Figure 4: speedup of the virtual-physical
+//! scheme with **write-back** allocation over the conventional scheme,
+//! for NRR ∈ {1, 4, 8, 16, 24, 32} at 64 physical registers.
+
+use vpr_bench::{experiments, ExperimentConfig};
+
+fn main() {
+    let exp = ExperimentConfig::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    println!("Figure 4 — VP write-back speedup vs NRR (64 regs/file)\n");
+    let sweep = experiments::fig4(&exp);
+    print!("{}", sweep.render());
+    println!("\npaper: FP best at NRR=24-32 (mean 1.3); tiny NRR can lose to conventional");
+}

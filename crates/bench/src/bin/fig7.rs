@@ -1,0 +1,25 @@
+//! Regenerates the paper's Figure 7: IPC of the conventional and
+//! virtual-physical (write-back) schemes for 48, 64 and 96 physical
+//! registers per file (NRR = 16, 32 and 64 respectively).
+
+use vpr_bench::{experiments, ExperimentConfig};
+
+fn main() {
+    let exp = ExperimentConfig::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    println!("Figure 7 — IPC vs register-file size (conv vs VP write-back)\n");
+    let f7 = experiments::fig7(&exp);
+    print!("{}", f7.render());
+    let imp = f7.mean_improvements_percent();
+    println!(
+        "\nmean improvement: 48 regs {:+.0}%, 64 regs {:+.0}%, 96 regs {:+.0}% (paper: +31/+19/+8)",
+        imp[0], imp[1], imp[2]
+    );
+    let ipcs = f7.mean_ipcs();
+    println!(
+        "VP at 48 regs ({:.2}) vs conventional at 64 ({:.2}) — paper finds them about equal",
+        ipcs[0].1, ipcs[1].0
+    );
+}

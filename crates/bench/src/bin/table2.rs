@@ -1,0 +1,35 @@
+//! Regenerates the paper's Table 2: committed IPC of the conventional and
+//! virtual-physical (write-back allocation, NRR = 32) schemes at 64
+//! physical registers per file.
+//!
+//! ```text
+//! cargo run --release -p vpr-bench --bin table2 [--measure N] [--warmup N]
+//!     [--seed N] [--miss-penalty N]
+//! ```
+
+use vpr_bench::{experiments, ExperimentConfig};
+
+fn main() {
+    let exp = ExperimentConfig::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    println!(
+        "Table 2 — conventional vs virtual-physical (write-back, NRR=32), 64 regs/file"
+    );
+    println!(
+        "(miss penalty {} cycles, {} warm-up + {} measured instructions, seed {})\n",
+        exp.miss_penalty, exp.warmup, exp.measure, exp.seed
+    );
+    let t2 = experiments::table2(&exp);
+    print!("{}", t2.render());
+    let mean_reexec: f64 = t2
+        .rows
+        .iter()
+        .map(|r| r.vp_executions_per_commit)
+        .sum::<f64>()
+        / t2.rows.len() as f64;
+    println!(
+        "\nmean executions per committed instruction (VP write-back): {mean_reexec:.2} (paper: 3.3)"
+    );
+}

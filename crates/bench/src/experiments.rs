@@ -1,0 +1,426 @@
+//! The paper's evaluation artefacts (§4.2), as reusable functions.
+//!
+//! Each function sweeps the relevant configurations, returns a structured
+//! result, and can render it as a [`Table`] shaped like the paper's
+//! corresponding table or figure.
+
+use crate::{run_benchmark, ExperimentConfig, Table};
+use vpr_core::{harmonic_mean, RenameScheme};
+use vpr_trace::Benchmark;
+
+/// The NRR values swept in Figures 4 and 5.
+pub const NRR_SWEEP: [usize; 6] = [1, 4, 8, 16, 24, 32];
+
+/// Register-file sizes (and the NRR used with each) swept in Figure 7.
+pub const REG_SWEEP: [(usize, usize); 3] = [(48, 16), (64, 32), (96, 64)];
+
+// ----------------------------------------------------------------------
+// Table 2
+// ----------------------------------------------------------------------
+
+/// One benchmark row of Table 2.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// IPC under conventional renaming.
+    pub conv_ipc: f64,
+    /// IPC under virtual-physical write-back allocation (NRR = 32).
+    pub vp_ipc: f64,
+    /// Executions per committed instruction under the VP scheme (the
+    /// paper reports 3.3 on average).
+    pub vp_executions_per_commit: f64,
+}
+
+impl Table2Row {
+    /// Percentage IPC improvement of VP over conventional.
+    pub fn improvement_percent(&self) -> f64 {
+        (self.vp_ipc / self.conv_ipc - 1.0) * 100.0
+    }
+}
+
+/// The full Table 2 result.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// Per-benchmark rows, integer benchmarks first (paper order).
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2 {
+    /// Harmonic means of the two IPC columns `(conventional, vp)`.
+    pub fn harmonic_means(&self) -> (f64, f64) {
+        let conv: Vec<f64> = self.rows.iter().map(|r| r.conv_ipc).collect();
+        let vp: Vec<f64> = self.rows.iter().map(|r| r.vp_ipc).collect();
+        (harmonic_mean(&conv), harmonic_mean(&vp))
+    }
+
+    /// Mean improvement of the harmonic means, in percent (the paper's
+    /// headline 19%).
+    pub fn mean_improvement_percent(&self) -> f64 {
+        let (c, v) = self.harmonic_means();
+        (v / c - 1.0) * 100.0
+    }
+
+    /// Renders the paper-shaped table (with the paper's reference numbers
+    /// alongside for comparison).
+    pub fn render(&self) -> Table {
+        let mut t = Table::new(
+            ["bench", "conv IPC", "VP IPC", "imp.%", "paper conv", "paper VP", "paper imp.%"]
+                .map(String::from)
+                .to_vec(),
+        );
+        for r in &self.rows {
+            t.add_row(vec![
+                r.benchmark.name().into(),
+                format!("{:.2}", r.conv_ipc),
+                format!("{:.2}", r.vp_ipc),
+                format!("{:+.0}", r.improvement_percent()),
+                format!("{:.2}", r.benchmark.paper_conventional_ipc()),
+                format!("{:.2}", r.benchmark.paper_vp_writeback_ipc()),
+                format!("{:+.0}", r.benchmark.paper_improvement_percent()),
+            ]);
+        }
+        let (c, v) = self.harmonic_means();
+        t.add_row(vec![
+            "harm.mean".into(),
+            format!("{c:.2}"),
+            format!("{v:.2}"),
+            format!("{:+.0}", self.mean_improvement_percent()),
+            "1.23".into(),
+            "1.46".into(),
+            "+19".into(),
+        ]);
+        t
+    }
+}
+
+/// Regenerates Table 2: conventional vs. VP write-back (NRR = 32) at 64
+/// physical registers per file.
+pub fn table2(exp: &ExperimentConfig) -> Table2 {
+    let rows = Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let conv = run_benchmark(b, RenameScheme::Conventional, 64, exp);
+            let vp = run_benchmark(
+                b,
+                RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
+                64,
+                exp,
+            );
+            Table2Row {
+                benchmark: b,
+                conv_ipc: conv.ipc(),
+                vp_ipc: vp.ipc(),
+                vp_executions_per_commit: vp.executions_per_commit(),
+            }
+        })
+        .collect();
+    Table2 { rows }
+}
+
+// ----------------------------------------------------------------------
+// Figures 4 and 5 — speedup vs NRR
+// ----------------------------------------------------------------------
+
+/// Speedups of one benchmark across the NRR sweep.
+#[derive(Debug, Clone)]
+pub struct NrrSweepRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// IPC of the conventional baseline.
+    pub conv_ipc: f64,
+    /// `IPC_vp / IPC_conv` for each NRR in [`NRR_SWEEP`].
+    pub speedups: Vec<f64>,
+}
+
+/// A Figure-4/Figure-5-shaped result: per-benchmark speedup series over
+/// the NRR sweep.
+#[derive(Debug, Clone)]
+pub struct NrrSweep {
+    /// Which allocation policy was swept.
+    pub scheme_name: &'static str,
+    /// Per-benchmark series.
+    pub rows: Vec<NrrSweepRow>,
+}
+
+impl NrrSweep {
+    /// Mean (harmonic, over benchmarks) speedup for each NRR value.
+    pub fn mean_speedups(&self) -> Vec<f64> {
+        (0..NRR_SWEEP.len())
+            .map(|i| {
+                let conv: Vec<f64> = self.rows.iter().map(|r| r.conv_ipc).collect();
+                let vp: Vec<f64> = self
+                    .rows
+                    .iter()
+                    .map(|r| r.conv_ipc * r.speedups[i])
+                    .collect();
+                harmonic_mean(&vp) / harmonic_mean(&conv)
+            })
+            .collect()
+    }
+
+    /// Renders the figure as a table: one row per benchmark, one column
+    /// per NRR.
+    pub fn render(&self) -> Table {
+        let mut headers = vec!["bench".to_string()];
+        headers.extend(NRR_SWEEP.iter().map(|n| format!("NRR={n}")));
+        let mut t = Table::new(headers);
+        for r in &self.rows {
+            let mut row = vec![r.benchmark.name().to_string()];
+            row.extend(r.speedups.iter().map(|s| format!("{s:.2}")));
+            t.add_row(row);
+        }
+        let mut mean_row = vec!["harm.mean".to_string()];
+        mean_row.extend(self.mean_speedups().iter().map(|s| format!("{s:.2}")));
+        t.add_row(mean_row);
+        t
+    }
+}
+
+fn nrr_sweep(exp: &ExperimentConfig, writeback: bool) -> NrrSweep {
+    let rows = Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let conv = run_benchmark(b, RenameScheme::Conventional, 64, exp).ipc();
+            let speedups = NRR_SWEEP
+                .iter()
+                .map(|&nrr| {
+                    let scheme = if writeback {
+                        RenameScheme::VirtualPhysicalWriteback { nrr }
+                    } else {
+                        RenameScheme::VirtualPhysicalIssue { nrr }
+                    };
+                    run_benchmark(b, scheme, 64, exp).ipc() / conv
+                })
+                .collect();
+            NrrSweepRow {
+                benchmark: b,
+                conv_ipc: conv,
+                speedups,
+            }
+        })
+        .collect();
+    NrrSweep {
+        scheme_name: if writeback { "write-back" } else { "issue" },
+        rows,
+    }
+}
+
+/// Regenerates Figure 4: VP write-back speedup over conventional for
+/// NRR ∈ {1, 4, 8, 16, 24, 32}.
+pub fn fig4(exp: &ExperimentConfig) -> NrrSweep {
+    nrr_sweep(exp, true)
+}
+
+/// Regenerates Figure 5: VP issue-allocation speedup over conventional
+/// for the same NRR sweep.
+pub fn fig5(exp: &ExperimentConfig) -> NrrSweep {
+    nrr_sweep(exp, false)
+}
+
+// ----------------------------------------------------------------------
+// Figure 6 — write-back vs issue
+// ----------------------------------------------------------------------
+
+/// One benchmark's head-to-head comparison at the optimal NRR (32).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Speedup of write-back allocation over conventional.
+    pub writeback_speedup: f64,
+    /// Speedup of issue allocation over conventional.
+    pub issue_speedup: f64,
+}
+
+/// The Figure 6 result.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// Per-benchmark rows.
+    pub rows: Vec<Fig6Row>,
+}
+
+impl Fig6 {
+    /// Renders the figure as a table.
+    pub fn render(&self) -> Table {
+        let mut t = Table::new(
+            ["bench", "write-back", "issue"].map(String::from).to_vec(),
+        );
+        for r in &self.rows {
+            t.add_row(vec![
+                r.benchmark.name().into(),
+                format!("{:.2}", r.writeback_speedup),
+                format!("{:.2}", r.issue_speedup),
+            ]);
+        }
+        t
+    }
+
+    /// Fraction of benchmarks where write-back beats issue allocation
+    /// (the paper: write-back "significantly outperforms" issue).
+    pub fn writeback_win_rate(&self) -> f64 {
+        let wins = self
+            .rows
+            .iter()
+            .filter(|r| r.writeback_speedup >= r.issue_speedup)
+            .count();
+        wins as f64 / self.rows.len() as f64
+    }
+}
+
+/// Regenerates Figure 6: both allocation policies at NRR = 32, 64
+/// registers.
+pub fn fig6(exp: &ExperimentConfig) -> Fig6 {
+    let rows = Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let conv = run_benchmark(b, RenameScheme::Conventional, 64, exp).ipc();
+            let wb = run_benchmark(b, RenameScheme::VirtualPhysicalWriteback { nrr: 32 }, 64, exp)
+                .ipc();
+            let is =
+                run_benchmark(b, RenameScheme::VirtualPhysicalIssue { nrr: 32 }, 64, exp).ipc();
+            Fig6Row {
+                benchmark: b,
+                writeback_speedup: wb / conv,
+                issue_speedup: is / conv,
+            }
+        })
+        .collect();
+    Fig6 { rows }
+}
+
+// ----------------------------------------------------------------------
+// Figure 7 — varying the number of physical registers
+// ----------------------------------------------------------------------
+
+/// One benchmark's IPCs across register-file sizes.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// `(conv_ipc, vp_ipc)` for each size in [`REG_SWEEP`].
+    pub ipcs: Vec<(f64, f64)>,
+}
+
+/// The Figure 7 result.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// Per-benchmark rows.
+    pub rows: Vec<Fig7Row>,
+}
+
+impl Fig7 {
+    /// Mean improvement (of harmonic-mean IPCs) per register-file size,
+    /// in percent. The paper reports ≈31%, 19% and 8% for 48/64/96.
+    pub fn mean_improvements_percent(&self) -> Vec<f64> {
+        (0..REG_SWEEP.len())
+            .map(|i| {
+                let conv: Vec<f64> = self.rows.iter().map(|r| r.ipcs[i].0).collect();
+                let vp: Vec<f64> = self.rows.iter().map(|r| r.ipcs[i].1).collect();
+                (harmonic_mean(&vp) / harmonic_mean(&conv) - 1.0) * 100.0
+            })
+            .collect()
+    }
+
+    /// Harmonic-mean IPC columns `(conv, vp)` per register-file size.
+    pub fn mean_ipcs(&self) -> Vec<(f64, f64)> {
+        (0..REG_SWEEP.len())
+            .map(|i| {
+                let conv: Vec<f64> = self.rows.iter().map(|r| r.ipcs[i].0).collect();
+                let vp: Vec<f64> = self.rows.iter().map(|r| r.ipcs[i].1).collect();
+                (harmonic_mean(&conv), harmonic_mean(&vp))
+            })
+            .collect()
+    }
+
+    /// Renders the figure as a table.
+    pub fn render(&self) -> Table {
+        let mut headers = vec!["bench".to_string()];
+        for (size, _) in REG_SWEEP {
+            headers.push(format!("conv({size})"));
+            headers.push(format!("virt({size})"));
+        }
+        let mut t = Table::new(headers);
+        for r in &self.rows {
+            let mut row = vec![r.benchmark.name().to_string()];
+            for (c, v) in &r.ipcs {
+                row.push(format!("{c:.2}"));
+                row.push(format!("{v:.2}"));
+            }
+            t.add_row(row);
+        }
+        let mut mean_row = vec!["harm.mean".to_string()];
+        for (c, v) in self.mean_ipcs() {
+            mean_row.push(format!("{c:.2}"));
+            mean_row.push(format!("{v:.2}"));
+        }
+        t.add_row(mean_row);
+        t
+    }
+}
+
+/// Regenerates Figure 7: conventional vs VP write-back for 48, 64 and 96
+/// physical registers (NRR = 16, 32, 64 respectively).
+pub fn fig7(exp: &ExperimentConfig) -> Fig7 {
+    let rows = Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let ipcs = REG_SWEEP
+                .iter()
+                .map(|&(size, nrr)| {
+                    let conv = run_benchmark(b, RenameScheme::Conventional, size, exp).ipc();
+                    let vp = run_benchmark(
+                        b,
+                        RenameScheme::VirtualPhysicalWriteback { nrr },
+                        size,
+                        exp,
+                    )
+                    .ipc();
+                    (conv, vp)
+                })
+                .collect();
+            Fig7Row { benchmark: b, ipcs }
+        })
+        .collect();
+    Fig7 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shapes_up_quickly() {
+        let exp = ExperimentConfig {
+            warmup: 500,
+            measure: 4_000,
+            ..ExperimentConfig::default()
+        };
+        // One FP and one integer benchmark to keep the test fast.
+        let conv = run_benchmark(Benchmark::Swim, RenameScheme::Conventional, 64, &exp);
+        let vp = run_benchmark(
+            Benchmark::Swim,
+            RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
+            64,
+            &exp,
+        );
+        assert!(vp.ipc() > conv.ipc(), "swim must improve: {} vs {}", vp.ipc(), conv.ipc());
+    }
+
+    #[test]
+    fn render_shapes() {
+        let t2 = Table2 {
+            rows: vec![Table2Row {
+                benchmark: Benchmark::Swim,
+                conv_ipc: 1.0,
+                vp_ipc: 2.0,
+                vp_executions_per_commit: 3.3,
+            }],
+        };
+        let rendered = t2.render().to_string();
+        assert!(rendered.contains("swim"));
+        assert!(rendered.contains("+100"));
+        let (c, v) = t2.harmonic_means();
+        assert_eq!((c, v), (1.0, 2.0));
+    }
+}

@@ -1,0 +1,120 @@
+//! Shared simulation driver for all experiments.
+
+use vpr_core::{Processor, RenameScheme, SimConfig, SimStats};
+use vpr_trace::{Benchmark, TraceBuilder};
+
+/// How much to simulate and with which trace seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentConfig {
+    /// Committed instructions to skip before measuring (the paper skips
+    /// 100 M; the synthetic models reach steady state much sooner).
+    pub warmup: u64,
+    /// Committed instructions in the measurement window (the paper
+    /// measures 50 M).
+    pub measure: u64,
+    /// Trace-generator seed.
+    pub seed: u64,
+    /// L1 miss penalty in cycles (the paper uses 50, with a 20-cycle
+    /// sensitivity point for Table 2).
+    pub miss_penalty: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            warmup: 50_000,
+            measure: 500_000,
+            seed: 42,
+            miss_penalty: 50,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A fast configuration for tests and Criterion benches.
+    pub fn quick() -> Self {
+        Self {
+            warmup: 2_000,
+            measure: 30_000,
+            ..Self::default()
+        }
+    }
+
+    /// Parses `--warmup N`, `--measure N`, `--seed N`, `--miss-penalty N`
+    /// from a command line, starting from the defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown flags or unparsable values.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut cfg = Self::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| -> Result<u64, String> {
+                it.next()
+                    .ok_or_else(|| format!("{name} needs a value"))?
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad value for {name}: {e}"))
+            };
+            match flag.as_str() {
+                "--warmup" => cfg.warmup = take("--warmup")?,
+                "--measure" => cfg.measure = take("--measure")?,
+                "--seed" => cfg.seed = take("--seed")?,
+                "--miss-penalty" => cfg.miss_penalty = take("--miss-penalty")?,
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Runs one benchmark under one scheme and register-file size, returning
+/// the measurement-window statistics.
+pub fn run_benchmark(
+    benchmark: Benchmark,
+    scheme: RenameScheme,
+    physical_regs: usize,
+    exp: &ExperimentConfig,
+) -> SimStats {
+    let config = SimConfig::builder()
+        .scheme(scheme)
+        .physical_regs(physical_regs)
+        .miss_penalty(exp.miss_penalty)
+        .build();
+    let trace = TraceBuilder::new(benchmark).seed(exp.seed).build();
+    let mut cpu = Processor::new(config, trace);
+    cpu.warm_up(exp.warmup);
+    cpu.run(exp.measure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing_round_trip() {
+        let cfg = ExperimentConfig::from_args(
+            ["--measure", "1000", "--seed", "7", "--miss-penalty", "20"]
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(cfg.measure, 1000);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.miss_penalty, 20);
+        assert_eq!(cfg.warmup, ExperimentConfig::default().warmup);
+        assert!(ExperimentConfig::from_args(["--bogus".to_string()]).is_err());
+        assert!(ExperimentConfig::from_args(["--seed".to_string()]).is_err());
+    }
+
+    #[test]
+    fn run_produces_sane_stats() {
+        let exp = ExperimentConfig {
+            warmup: 500,
+            measure: 5_000,
+            ..ExperimentConfig::default()
+        };
+        let s = run_benchmark(Benchmark::Swim, RenameScheme::Conventional, 64, &exp);
+        assert!(s.committed >= 5_000);
+        assert!(s.ipc() > 0.1 && s.ipc() < 8.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # vpr-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation section
+//! (§4.2) on the synthetic workload suite:
+//!
+//! | paper artefact | function | binary |
+//! |----------------|----------|--------|
+//! | Table 2 (IPC, conv vs VP write-back) | [`experiments::table2`] | `table2` |
+//! | Figure 4 (write-back speedup vs NRR) | [`experiments::fig4`] | `fig4` |
+//! | Figure 5 (issue speedup vs NRR) | [`experiments::fig5`] | `fig5` |
+//! | Figure 6 (write-back vs issue) | [`experiments::fig6`] | `fig6` |
+//! | Figure 7 (IPC vs register-file size) | [`experiments::fig7`] | `fig7` |
+//!
+//! Run e.g. `cargo run --release -p vpr-bench --bin table2`, or `--bin
+//! all` for the whole evaluation. Binaries accept `--warmup`, `--measure`,
+//! `--seed` and (where meaningful) `--miss-penalty` flags.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod table;
+
+pub use harness::{run_benchmark, ExperimentConfig};
+pub use table::Table;

@@ -1,0 +1,161 @@
+//! Functional-unit pool.
+
+use crate::config::SimConfig;
+use vpr_isa::{FuKind, OpClass};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct FuInstance {
+    /// For unpipelined operations: the unit is occupied until this cycle.
+    busy_until: u64,
+    /// Last cycle this unit accepted an operation (pipelined units accept
+    /// one per cycle).
+    last_issue: Option<u64>,
+}
+
+/// The machine's functional units (paper Table 1): per-kind instance
+/// pools, fully pipelined except for the divide/sqrt operations, which
+/// occupy their unit for the whole latency.
+///
+/// ```
+/// use vpr_core::{FuPool, SimConfig};
+/// use vpr_isa::OpClass;
+///
+/// let cfg = SimConfig::default();
+/// let mut fus = FuPool::new(&cfg);
+/// // Three simple-integer units: three ALU issues per cycle, not four.
+/// assert!(fus.try_issue(OpClass::IntAlu, 0).is_some());
+/// assert!(fus.try_issue(OpClass::IntAlu, 0).is_some());
+/// assert!(fus.try_issue(OpClass::IntAlu, 0).is_some());
+/// assert!(fus.try_issue(OpClass::IntAlu, 0).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    units: [Vec<FuInstance>; 6],
+    latencies: crate::config::Latencies,
+}
+
+impl FuPool {
+    /// Builds the pool from a configuration's unit counts and latencies.
+    pub fn new(config: &SimConfig) -> Self {
+        let mk = |kind: FuKind| vec![FuInstance::default(); config.fu_count(kind)];
+        Self {
+            units: [
+                mk(FuKind::SimpleInt),
+                mk(FuKind::ComplexInt),
+                mk(FuKind::EffAddr),
+                mk(FuKind::SimpleFp),
+                mk(FuKind::FpMul),
+                mk(FuKind::FpDiv),
+            ],
+            latencies: config.latencies,
+        }
+    }
+
+    /// Attempts to start `op` at cycle `now`. On success returns the cycle
+    /// at which execution completes; on structural hazard returns `None`
+    /// and changes nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`OpClass::Nop`], which never occupies a unit.
+    pub fn try_issue(&mut self, op: OpClass, now: u64) -> Option<u64> {
+        let kind = op
+            .fu_kind()
+            .expect("nop does not execute on a functional unit");
+        let latency = self.latencies.of(op);
+        let unpipelined = op.is_unpipelined();
+        let unit = self.units[kind.index()]
+            .iter_mut()
+            .find(|u| u.busy_until <= now && u.last_issue != Some(now))?;
+        unit.last_issue = Some(now);
+        if unpipelined {
+            unit.busy_until = now + latency;
+        }
+        Some(now + latency)
+    }
+
+    /// How many units of `kind` could accept an operation at `now`
+    /// (diagnostics).
+    pub fn available(&self, kind: FuKind, now: u64) -> usize {
+        self.units[kind.index()]
+            .iter()
+            .filter(|u| u.busy_until <= now && u.last_issue != Some(now))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> FuPool {
+        FuPool::new(&SimConfig::default())
+    }
+
+    #[test]
+    fn pipelined_units_accept_one_per_cycle_each() {
+        let mut fus = pool();
+        // 2 FP multipliers.
+        assert_eq!(fus.try_issue(OpClass::FpMul, 0), Some(4));
+        assert_eq!(fus.try_issue(OpClass::FpMul, 0), Some(4));
+        assert_eq!(fus.try_issue(OpClass::FpMul, 0), None);
+        // Next cycle both accept again although the first ops are still in
+        // flight (fully pipelined).
+        assert_eq!(fus.try_issue(OpClass::FpMul, 1), Some(5));
+        assert_eq!(fus.try_issue(OpClass::FpMul, 1), Some(5));
+    }
+
+    #[test]
+    fn unpipelined_divide_blocks_its_unit() {
+        let mut fus = pool();
+        // 2 FP divide units, latency 16, unpipelined.
+        assert_eq!(fus.try_issue(OpClass::FpDiv, 0), Some(16));
+        assert_eq!(fus.try_issue(OpClass::FpDiv, 0), Some(16));
+        assert_eq!(fus.try_issue(OpClass::FpDiv, 1), None, "both busy");
+        assert_eq!(fus.try_issue(OpClass::FpDiv, 15), None);
+        assert_eq!(fus.try_issue(OpClass::FpDiv, 16), Some(32));
+    }
+
+    #[test]
+    fn complex_int_mixes_pipelined_mul_and_blocking_div() {
+        let mut fus = pool();
+        // A divide occupies one of the 2 complex-int units for 67 cycles.
+        assert_eq!(fus.try_issue(OpClass::IntDiv, 0), Some(67));
+        // The other unit still accepts a multiply each cycle.
+        assert_eq!(fus.try_issue(OpClass::IntMul, 0), Some(9));
+        assert_eq!(fus.try_issue(OpClass::IntMul, 0), None);
+        assert_eq!(fus.try_issue(OpClass::IntMul, 1), Some(10));
+        // At cycle 67 the divide unit frees up.
+        assert_eq!(fus.try_issue(OpClass::IntMul, 66), Some(75));
+        assert_eq!(fus.try_issue(OpClass::IntMul, 66), None);
+        assert_eq!(fus.try_issue(OpClass::IntMul, 67), Some(76));
+        assert_eq!(fus.try_issue(OpClass::IntMul, 67), Some(76));
+    }
+
+    #[test]
+    fn branches_share_simple_int_units() {
+        let mut fus = pool();
+        assert!(fus.try_issue(OpClass::BranchCond, 0).is_some());
+        assert!(fus.try_issue(OpClass::IntAlu, 0).is_some());
+        assert!(fus.try_issue(OpClass::IntAlu, 0).is_some());
+        assert!(fus.try_issue(OpClass::BranchUncond, 0).is_none());
+    }
+
+    #[test]
+    fn loads_and_stores_use_effaddr_units() {
+        let mut fus = pool();
+        assert_eq!(fus.try_issue(OpClass::Load, 0), Some(1));
+        assert_eq!(fus.try_issue(OpClass::Store, 0), Some(1));
+        assert_eq!(fus.try_issue(OpClass::Load, 0), Some(1));
+        assert_eq!(fus.try_issue(OpClass::Store, 0), None);
+        assert_eq!(fus.available(FuKind::EffAddr, 0), 0);
+        assert_eq!(fus.available(FuKind::EffAddr, 1), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "nop does not execute")]
+    fn nop_rejected() {
+        let mut fus = pool();
+        let _ = fus.try_issue(OpClass::Nop, 0);
+    }
+}

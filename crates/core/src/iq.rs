@@ -1,0 +1,313 @@
+//! The instruction queue (issue window).
+
+use crate::rename::{PhysReg, RenamedSrc, SrcState, VpReg};
+use std::collections::BTreeMap;
+use vpr_isa::{OpClass, RegClass};
+
+/// One waiting instruction: its operation class and up to two renamed
+/// source operands (the paper's `Op code | D | Src1 R1 | Src2 R2` entry,
+/// §3.2.2 Figure 2 — the destination tag lives in the reorder buffer
+/// here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IqEntry {
+    /// Global sequence number (issue priority: oldest first).
+    pub seq: u64,
+    /// Operation class (selects the functional unit).
+    pub op: OpClass,
+    /// Renamed sources; `None` slots are absent operands.
+    pub srcs: [Option<RenamedSrc>; 2],
+}
+
+impl IqEntry {
+    /// True when every present operand is ready (the issue condition:
+    /// "an instruction can be issued when the R fields of both operands
+    /// are set").
+    pub fn is_ready(&self) -> bool {
+        self.srcs
+            .iter()
+            .flatten()
+            .all(|s| s.state.is_ready())
+    }
+
+    /// Number of ready register sources per class, for read-port
+    /// accounting at issue: `(int_reads, fp_reads)`.
+    pub fn read_port_needs(&self) -> (u32, u32) {
+        let mut int = 0;
+        let mut fp = 0;
+        for s in self.srcs.iter().flatten() {
+            match s.class {
+                RegClass::Int => int += 1,
+                RegClass::Fp => fp += 1,
+            }
+        }
+        (int, fp)
+    }
+}
+
+/// The out-of-order issue window: entries ordered by age, woken by tag
+/// broadcasts at write-back.
+///
+/// Two broadcast channels exist because the schemes differ in what a
+/// waiting operand names: the conventional scheme broadcasts the physical
+/// register being written ([`Iq::wakeup_phys`]); the virtual-physical
+/// scheme broadcasts a (VP tag → physical register) binding
+/// ([`Iq::wakeup_vp`]), after which the operand knows its physical
+/// register (paper §3.2.2).
+#[derive(Debug, Clone)]
+pub struct Iq {
+    entries: BTreeMap<u64, IqEntry>,
+    capacity: usize,
+}
+
+impl Iq {
+    /// Creates an empty queue with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "IQ needs at least one entry");
+        Self {
+            entries: BTreeMap::new(),
+            capacity,
+        }
+    }
+
+    /// Number of waiting instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no instruction waits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when dispatch must stall.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Inserts a dispatched (or re-executing) instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full or the sequence number is already
+    /// present.
+    pub fn insert(&mut self, entry: IqEntry) {
+        assert!(!self.is_full(), "IQ overflow: dispatch must stall first");
+        let prev = self.entries.insert(entry.seq, entry);
+        assert!(prev.is_none(), "sequence {} inserted twice", entry.seq);
+    }
+
+    /// Removes an instruction (at issue or squash). Unknown sequence
+    /// numbers are ignored so recovery can sweep blindly.
+    pub fn remove(&mut self, seq: u64) -> Option<IqEntry> {
+        self.entries.remove(&seq)
+    }
+
+    /// Removes every entry younger than `seq` (branch recovery).
+    pub fn squash_younger_than(&mut self, seq: u64) {
+        self.entries.split_off(&(seq + 1));
+    }
+
+    /// Conventional-scheme wake-up: physical register `preg` of `class`
+    /// now holds its value. Returns how many operands woke.
+    pub fn wakeup_phys(&mut self, class: RegClass, preg: PhysReg) -> usize {
+        self.wakeup(|s| {
+            (s.class == class && s.state == SrcState::WaitPhys(preg))
+                .then_some(preg)
+        })
+    }
+
+    /// Virtual-physical wake-up: tag `vp` of `class` was bound to `preg`.
+    /// Matching operands become ready *and learn their physical register*
+    /// (the broadcast carries both identifiers, §3.2.2). Returns how many
+    /// operands woke.
+    pub fn wakeup_vp(&mut self, class: RegClass, vp: VpReg, preg: PhysReg) -> usize {
+        self.wakeup(|s| {
+            (s.class == class && s.state == SrcState::WaitVp(vp)).then_some(preg)
+        })
+    }
+
+    fn wakeup<F: Fn(&RenamedSrc) -> Option<PhysReg>>(&mut self, matches: F) -> usize {
+        let mut woken = 0;
+        for e in self.entries.values_mut() {
+            for s in e.srcs.iter_mut().flatten() {
+                if let Some(preg) = matches(s) {
+                    s.state = SrcState::Ready(preg);
+                    woken += 1;
+                }
+            }
+        }
+        woken
+    }
+
+    /// Iterates entries oldest → youngest (issue selection order).
+    pub fn iter(&self) -> impl Iterator<Item = &IqEntry> {
+        self.entries.values()
+    }
+
+    /// Sequence numbers of all currently-ready entries, oldest first
+    /// (convenience for the issue stage and tests).
+    pub fn ready_seqs(&self) -> Vec<u64> {
+        self.entries
+            .values()
+            .filter(|e| e.is_ready())
+            .map(|e| e.seq)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ready_src(class: RegClass, p: u16) -> RenamedSrc {
+        RenamedSrc {
+            class,
+            state: SrcState::Ready(PhysReg(p)),
+        }
+    }
+
+    fn wait_vp(class: RegClass, v: u16) -> RenamedSrc {
+        RenamedSrc {
+            class,
+            state: SrcState::WaitVp(VpReg(v)),
+        }
+    }
+
+    fn wait_phys(class: RegClass, p: u16) -> RenamedSrc {
+        RenamedSrc {
+            class,
+            state: SrcState::WaitPhys(PhysReg(p)),
+        }
+    }
+
+    #[test]
+    fn readiness() {
+        let e = IqEntry {
+            seq: 0,
+            op: OpClass::IntAlu,
+            srcs: [Some(ready_src(RegClass::Int, 1)), None],
+        };
+        assert!(e.is_ready());
+        let e = IqEntry {
+            seq: 1,
+            op: OpClass::FpAdd,
+            srcs: [Some(ready_src(RegClass::Fp, 1)), Some(wait_vp(RegClass::Fp, 9))],
+        };
+        assert!(!e.is_ready());
+        let e = IqEntry {
+            seq: 2,
+            op: OpClass::Nop,
+            srcs: [None, None],
+        };
+        assert!(e.is_ready(), "no operands = trivially ready");
+    }
+
+    #[test]
+    fn vp_wakeup_sets_physical_register() {
+        let mut iq = Iq::new(8);
+        iq.insert(IqEntry {
+            seq: 0,
+            op: OpClass::FpMul,
+            srcs: [Some(wait_vp(RegClass::Fp, 40)), Some(wait_vp(RegClass::Fp, 41))],
+        });
+        assert_eq!(iq.wakeup_vp(RegClass::Fp, VpReg(40), PhysReg(7)), 1);
+        let e = *iq.iter().next().unwrap();
+        assert_eq!(e.srcs[0].unwrap().state, SrcState::Ready(PhysReg(7)));
+        assert!(!e.is_ready());
+        assert_eq!(iq.wakeup_vp(RegClass::Fp, VpReg(41), PhysReg(9)), 1);
+        assert_eq!(iq.ready_seqs(), vec![0]);
+    }
+
+    #[test]
+    fn wakeup_respects_class() {
+        let mut iq = Iq::new(8);
+        iq.insert(IqEntry {
+            seq: 0,
+            op: OpClass::IntAlu,
+            srcs: [Some(wait_vp(RegClass::Int, 5)), None],
+        });
+        // Same tag number in the FP class: no wake-up.
+        assert_eq!(iq.wakeup_vp(RegClass::Fp, VpReg(5), PhysReg(1)), 0);
+        assert_eq!(iq.wakeup_vp(RegClass::Int, VpReg(5), PhysReg(1)), 1);
+    }
+
+    #[test]
+    fn phys_wakeup_conventional() {
+        let mut iq = Iq::new(8);
+        iq.insert(IqEntry {
+            seq: 3,
+            op: OpClass::IntAlu,
+            srcs: [Some(wait_phys(RegClass::Int, 33)), Some(ready_src(RegClass::Int, 2))],
+        });
+        iq.insert(IqEntry {
+            seq: 4,
+            op: OpClass::IntMul,
+            srcs: [Some(wait_phys(RegClass::Int, 33)), None],
+        });
+        // One broadcast wakes both consumers.
+        assert_eq!(iq.wakeup_phys(RegClass::Int, PhysReg(33)), 2);
+        assert_eq!(iq.ready_seqs(), vec![3, 4]);
+    }
+
+    #[test]
+    fn iteration_is_oldest_first() {
+        let mut iq = Iq::new(8);
+        for seq in [5u64, 2, 9, 1] {
+            iq.insert(IqEntry {
+                seq,
+                op: OpClass::IntAlu,
+                srcs: [None, None],
+            });
+        }
+        let order: Vec<u64> = iq.iter().map(|e| e.seq).collect();
+        assert_eq!(order, vec![1, 2, 5, 9]);
+    }
+
+    #[test]
+    fn squash_younger() {
+        let mut iq = Iq::new(8);
+        for seq in 0..6 {
+            iq.insert(IqEntry {
+                seq,
+                op: OpClass::IntAlu,
+                srcs: [None, None],
+            });
+        }
+        iq.squash_younger_than(2);
+        let order: Vec<u64> = iq.iter().map(|e| e.seq).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn read_port_needs_count_classes() {
+        let e = IqEntry {
+            seq: 0,
+            op: OpClass::Store,
+            srcs: [Some(ready_src(RegClass::Int, 1)), Some(ready_src(RegClass::Fp, 2))],
+        };
+        assert_eq!(e.read_port_needs(), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "IQ overflow")]
+    fn overflow_panics() {
+        let mut iq = Iq::new(1);
+        iq.insert(IqEntry {
+            seq: 0,
+            op: OpClass::IntAlu,
+            srcs: [None, None],
+        });
+        iq.insert(IqEntry {
+            seq: 1,
+            op: OpClass::IntAlu,
+            srcs: [None, None],
+        });
+    }
+}

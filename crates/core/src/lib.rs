@@ -1,0 +1,63 @@
+//! # vpr-core — the out-of-order core and the renaming schemes
+//!
+//! This crate implements the paper's contribution — **virtual-physical
+//! register renaming** with late (issue-time or write-back-time) physical
+//! register allocation and NRR deadlock avoidance — inside a
+//! cycle-accurate, trace-driven out-of-order superscalar pipeline, next to
+//! the conventional R10000-style renaming baseline it is compared against.
+//!
+//! The public surface:
+//!
+//! * [`SimConfig`] / [`SimConfigBuilder`] — the machine description
+//!   (defaults reproduce the paper's §4.1 configuration);
+//! * [`RenameScheme`] — conventional vs. virtual-physical (issue or
+//!   write-back allocation, each with an `nrr` parameter);
+//! * [`Processor`] — the pipeline; feed it any
+//!   [`InstStream`](vpr_isa::InstStream) and run;
+//! * [`SimStats`] — IPC, re-execution counts, register pressure and
+//!   occupancy, stall breakdowns;
+//! * [`rename`] — the renaming machinery itself (map tables, free lists,
+//!   NRR state), usable standalone for unit-level studies.
+//!
+//! ## Example
+//!
+//! ```
+//! use vpr_core::{Processor, RenameScheme, SimConfig};
+//! use vpr_isa::{DynInst, Inst, LogicalReg, OpClass};
+//!
+//! // fdiv f2,f2,f10 ; fmul f2,f2,f12 — a dependent FP chain.
+//! let trace = vec![
+//!     DynInst::new(0x0, Inst::new(OpClass::FpDiv)
+//!         .with_dest(LogicalReg::fp(2))
+//!         .with_src1(LogicalReg::fp(2))
+//!         .with_src2(LogicalReg::fp(10))),
+//!     DynInst::new(0x4, Inst::new(OpClass::FpMul)
+//!         .with_dest(LogicalReg::fp(2))
+//!         .with_src1(LogicalReg::fp(2))
+//!         .with_src2(LogicalReg::fp(12))),
+//! ];
+//! let cfg = SimConfig::builder()
+//!     .scheme(RenameScheme::VirtualPhysicalWriteback { nrr: 32 })
+//!     .build();
+//! let stats = Processor::new(cfg, trace.into_iter()).run_to_completion();
+//! assert_eq!(stats.committed, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod fu;
+mod iq;
+mod pipeline;
+pub mod rename;
+mod rob;
+mod stats;
+
+pub use config::{Latencies, RenameScheme, SimConfig, SimConfigBuilder};
+pub use fu::FuPool;
+pub use iq::{Iq, IqEntry};
+pub use pipeline::Processor;
+pub use rename::{ConventionalRenamer, NrrState, VpRenamer};
+pub use rob::{MemPhase, Rob, RobEntry};
+pub use stats::{harmonic_mean, ClassStats, SimStats};

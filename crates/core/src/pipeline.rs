@@ -1,0 +1,1536 @@
+//! The cycle-accurate out-of-order pipeline.
+//!
+//! One [`Processor`] simulates the paper's machine (§4.1): 8-wide fetch,
+//! rename, issue and commit around a 128-entry reorder buffer, with the
+//! configured renaming scheme deciding *when* destination physical
+//! registers are claimed:
+//!
+//! | scheme | claim point | out-of-registers behaviour |
+//! |--------|-------------|----------------------------|
+//! | conventional | rename | rename stalls in order |
+//! | VP, issue allocation | issue | instruction waits in the queue |
+//! | VP, write-back allocation | completion | instruction squashed, re-executed |
+//!
+//! Intra-cycle phase order is commit → memory retries → completion events
+//! → issue → rename/dispatch → fetch → store-buffer drain. Results
+//! broadcast in the completion phase can therefore feed an issue in the
+//! same cycle (full bypass), and a value produced with latency *L* reaches
+//! a dependent *L* cycles after issue.
+
+use crate::config::{RenameScheme, SimConfig};
+use crate::fu::FuPool;
+use crate::iq::{Iq, IqEntry};
+use crate::rename::{ConventionalRenamer, EarlyReleaseRenamer, PhysReg, RenamedDest, SrcState, VpRenamer};
+use crate::rob::{MemPhase, Rob, RobEntry};
+use crate::stats::SimStats;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use vpr_frontend::{BranchHistoryTable, FetchUnit, FetchedInst};
+use vpr_isa::{InstStream, OpClass, RegClass};
+use vpr_mem::{
+    AccessKind, AccessOutcome, DataCache, LoadDisposition, Lsq, PendingStore, StoreBuffer,
+};
+
+/// Scheduled pipeline events, keyed by the cycle they fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// Execution finishes (non-memory ops; also deferred write-backs).
+    Complete { seq: u64, gen: u64 },
+    /// Effective-address computation finishes (loads and stores).
+    EaDone { seq: u64, gen: u64 },
+    /// Load data arrives (cache or forward).
+    MemData { seq: u64, gen: u64 },
+}
+
+impl Event {
+    fn seq(&self) -> u64 {
+        match *self {
+            Event::Complete { seq, .. } | Event::EaDone { seq, .. } | Event::MemData { seq, .. } => {
+                seq
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Renamer {
+    Conventional(ConventionalRenamer),
+    EarlyRelease(EarlyReleaseRenamer),
+    Vp(VpRenamer),
+}
+
+/// A cycle-accurate, trace-driven out-of-order processor.
+///
+/// Drive it with [`Processor::run`] (commit budget),
+/// [`Processor::run_cycles`], or [`Processor::run_to_completion`]; read
+/// results with [`Processor::stats`]. A warm-up window can be excluded
+/// from measurement with [`Processor::reset_window`].
+///
+/// ```
+/// use vpr_core::{Processor, RenameScheme, SimConfig};
+/// use vpr_isa::{DynInst, Inst, LogicalReg, OpClass};
+///
+/// // A tiny trace: two dependent integer adds.
+/// let trace = vec![
+///     DynInst::new(0x0, Inst::new(OpClass::IntAlu)
+///         .with_dest(LogicalReg::int(1)).with_src1(LogicalReg::int(2))),
+///     DynInst::new(0x4, Inst::new(OpClass::IntAlu)
+///         .with_dest(LogicalReg::int(3)).with_src1(LogicalReg::int(1))),
+/// ];
+/// let cfg = SimConfig::builder().scheme(RenameScheme::Conventional).build();
+/// let mut cpu = Processor::new(cfg, trace.into_iter());
+/// let stats = cpu.run_to_completion();
+/// assert_eq!(stats.committed, 2);
+/// ```
+#[derive(Debug)]
+pub struct Processor<S> {
+    config: SimConfig,
+    trace: S,
+    fetch: FetchUnit,
+    bht: BranchHistoryTable,
+    cache: DataCache,
+    lsq: Lsq,
+    store_buffer: StoreBuffer,
+    renamer: Renamer,
+    rob: Rob,
+    iq: Iq,
+    fus: FuPool,
+    events: BTreeMap<u64, Vec<Event>>,
+    fetch_buffer: VecDeque<FetchedInst>,
+    /// Loads waiting for a cache port / MSHR, retried every cycle.
+    cache_retry: BTreeSet<u64>,
+    /// Issue-stage register allocations to record after the issue loop
+    /// (separated to satisfy borrow rules during queue iteration).
+    pending_issue_allocs: Vec<(u64, PhysReg)>,
+    cycle: u64,
+    next_seq: u64,
+    /// Monotonic execution-generation counter; entries and events carry a
+    /// generation so stale events (from squashed executions, or from
+    /// recycled sequence numbers after wrong-path recovery) are dropped.
+    gen_counter: u64,
+    /// Write-back ports consumed this cycle, per register class.
+    wb_ports_used: [u32; 2],
+    /// Cycle of the most recent commit (deadlock watchdog).
+    last_commit_cycle: u64,
+    raw: SimStats,
+    base: SimStats,
+}
+
+impl<S: InstStream> Processor<S> {
+    /// Builds a processor over `trace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid ([`SimConfig::validate`]).
+    pub fn new(config: SimConfig, trace: S) -> Self {
+        config.validate().expect("invalid simulator configuration");
+        let renamer = match config.scheme {
+            RenameScheme::Conventional => {
+                Renamer::Conventional(ConventionalRenamer::new(config.physical_regs))
+            }
+            RenameScheme::ConventionalEarlyRelease => {
+                Renamer::EarlyRelease(EarlyReleaseRenamer::new(config.physical_regs))
+            }
+            RenameScheme::VirtualPhysicalIssue { nrr }
+            | RenameScheme::VirtualPhysicalWriteback { nrr } => Renamer::Vp(VpRenamer::new(
+                config.physical_regs,
+                config.virtual_regs(),
+                nrr,
+            )),
+        };
+        Self {
+            fetch: FetchUnit::new(config.fetch_width)
+                .with_wrong_path_injection(config.wrong_path_injection),
+            bht: BranchHistoryTable::new(config.bht_entries),
+            cache: DataCache::new(config.cache),
+            lsq: Lsq::new(config.lsq_size),
+            store_buffer: StoreBuffer::new(config.store_buffer_size),
+            rob: Rob::new(config.rob_size),
+            iq: Iq::new(config.iq_size),
+            fus: FuPool::new(&config),
+            events: BTreeMap::new(),
+            fetch_buffer: VecDeque::with_capacity(config.fetch_width * 2),
+            cache_retry: BTreeSet::new(),
+            pending_issue_allocs: Vec::new(),
+            cycle: 0,
+            next_seq: 0,
+            gen_counter: 0,
+            wb_ports_used: [0, 0],
+            last_commit_cycle: 0,
+            raw: SimStats::default(),
+            base: SimStats::default(),
+            renamer,
+            config,
+            trace,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Counters for the current measurement window.
+    pub fn stats(&self) -> SimStats {
+        self.absolute().minus(&self.base)
+    }
+
+    /// Ends the warm-up phase: subsequent [`Processor::stats`] cover only
+    /// what happens from here on. Microarchitectural state (caches,
+    /// predictor, in-flight instructions) is untouched.
+    pub fn reset_window(&mut self) {
+        self.base = self.absolute();
+    }
+
+    /// Current cycle number.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// True when the trace is exhausted and the machine has drained.
+    pub fn is_done(&self) -> bool {
+        self.fetch.is_done()
+            && self.fetch_buffer.is_empty()
+            && self.rob.is_empty()
+            && self.store_buffer.is_empty()
+    }
+
+    /// Runs until `commits` instructions have committed inside the current
+    /// measurement window (or the trace drains). Returns the window stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine stops committing for 100 000 cycles — the
+    /// renaming schemes are deadlock-free by construction, so a stall that
+    /// long is a logic error worth crashing loudly on.
+    pub fn run(&mut self, commits: u64) -> SimStats {
+        let target = self.stats().committed + commits;
+        while self.stats().committed < target && !self.is_done() {
+            self.step();
+        }
+        self.stats()
+    }
+
+    /// Runs for `n` cycles (or until the trace drains).
+    pub fn run_cycles(&mut self, n: u64) -> SimStats {
+        let target = self.cycle + n;
+        while self.cycle < target && !self.is_done() {
+            self.step();
+        }
+        self.stats()
+    }
+
+    /// Runs until the trace is exhausted and the pipeline drains.
+    pub fn run_to_completion(&mut self) -> SimStats {
+        while !self.is_done() {
+            self.step();
+        }
+        self.stats()
+    }
+
+    /// Runs `warmup` commits and then resets the measurement window: the
+    /// standard skip-then-measure methodology (the paper skips 100 M and
+    /// measures 50 M instructions).
+    pub fn warm_up(&mut self, warmup: u64) {
+        self.run(warmup);
+        self.reset_window();
+    }
+
+    /// Advances the machine one cycle.
+    pub fn step(&mut self) {
+        let now = self.cycle;
+        self.wb_ports_used = [0, 0];
+        self.commit_phase(now);
+        // Committed stores drain right after commit so they claim cache
+        // ports ahead of demand loads: the commit path must always make
+        // progress, or re-executing loads could starve it (livelock).
+        self.store_buffer.tick(now, &mut self.cache);
+        self.mem_retry_phase(now);
+        self.event_phase(now);
+        self.issue_phase(now);
+        self.rename_phase(now);
+        self.fetch_phase(now);
+        self.sample(now);
+        self.cycle = now + 1;
+        assert!(
+            self.rob.is_empty() || now - self.last_commit_cycle < 100_000,
+            "no commit for 100000 cycles at cycle {now}: head={:?} scheme={:?}",
+            self.rob.head().map(|e| (e.seq, e.di.op(), e.completed, e.mem_phase)),
+            self.config.scheme,
+        );
+    }
+
+    fn absolute(&self) -> SimStats {
+        let mut s = self.raw.clone();
+        s.cycles = self.cycle;
+        s.fetch = *self.fetch.stats();
+        s.bht = *self.bht.stats();
+        s.cache = *self.cache.stats();
+        s.lsq = *self.lsq.stats();
+        if let Renamer::EarlyRelease(er) = &self.renamer {
+            // Releases are event-driven inside the renamer rather than
+            // counted at commit; fold them in here.
+            for class in [RegClass::Int, RegClass::Fp] {
+                let rs = er.release_stats(class);
+                let cs = s.class_mut(class);
+                cs.frees += rs.frees;
+                cs.hold_cycles += rs.hold_cycles;
+                s.early_releases += rs.early;
+            }
+        }
+        s
+    }
+
+    fn fresh_gen(&mut self) -> u64 {
+        self.gen_counter += 1;
+        self.gen_counter
+    }
+
+    fn schedule(&mut self, at: u64, ev: Event) {
+        debug_assert!(at > self.cycle, "events must be strictly in the future");
+        self.events.entry(at).or_default().push(ev);
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    fn commit_phase(&mut self, now: u64) {
+        for _ in 0..self.config.commit_width {
+            let Some(head) = self.rob.head() else { break };
+            if !head.completed {
+                break;
+            }
+            debug_assert!(!head.wrong_path, "wrong-path entries are squashed, not committed");
+            // Optional PMT-lookup commit delay of the VP schemes (§3.2.2).
+            if self.config.vp_commit_delay
+                && self.config.scheme.is_virtual_physical()
+                && head.completed_at >= now
+            {
+                break;
+            }
+            if head.di.op() == OpClass::Store {
+                let store = PendingStore {
+                    seq: head.seq,
+                    access: head.di.mem().expect("stores carry an access"),
+                };
+                if !self.store_buffer.push(store) {
+                    self.raw.store_buffer_stalls += 1;
+                    break;
+                }
+            }
+            let entry = self.rob.pop_head().expect("head checked above");
+            self.commit_entry(entry, now);
+            self.last_commit_cycle = now;
+        }
+    }
+
+    fn commit_entry(&mut self, entry: RobEntry, now: u64) {
+        self.raw.committed += 1;
+        if entry.di.op().is_mem() {
+            self.lsq.remove(entry.seq);
+        }
+        let Some(dest) = entry.dest else { return };
+        self.raw.committed_with_dest += 1;
+        let class = dest.class();
+        match &mut self.renamer {
+            Renamer::EarlyRelease(er) => {
+                // No explicit freeing: committing the producer just opens
+                // the last release gate for its own register.
+                let preg = dest.preg.expect("early release allocates at rename");
+                er.on_producer_commit(class, preg, now);
+            }
+            Renamer::Conventional(conv) => {
+                let prev = dest.prev_preg.expect("conventional rename records prev mapping");
+                let held = conv.on_commit_dest(class, prev, now);
+                let cs = self.raw.class_mut(class);
+                cs.frees += 1;
+                cs.hold_cycles += held;
+            }
+            Renamer::Vp(vp) => {
+                // Slide the PRR pointer (§3.3) before freeing anything.
+                let pointer = vp
+                    .nrr(class)
+                    .pointer()
+                    .expect("committing a destination implies a reserved set");
+                let entrant = self
+                    .rob
+                    .iter_younger_than(pointer)
+                    .find(|e| e.dest.is_some_and(|d| d.class() == class))
+                    .map(|e| (e.seq, e.dest.expect("filtered on dest").preg.is_some()));
+                vp.nrr_on_commit(class, entry.seq, entrant);
+                let prev = dest.prev_vp.expect("VP rename records prev mapping");
+                let held = vp.on_commit_dest(class, prev, now);
+                let cs = self.raw.class_mut(class);
+                cs.frees += 1;
+                cs.hold_cycles += held;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory pipeline
+    // ------------------------------------------------------------------
+
+    fn mem_retry_phase(&mut self, now: u64) {
+        let retries: Vec<u64> = self.cache_retry.iter().copied().collect();
+        for seq in retries {
+            self.try_cache_access(seq, now);
+        }
+    }
+
+    fn try_cache_access(&mut self, seq: u64, now: u64) {
+        let Some(entry) = self.rob.get(seq) else {
+            self.cache_retry.remove(&seq);
+            return;
+        };
+        if entry.mem_phase != MemPhase::AwaitCache {
+            self.cache_retry.remove(&seq);
+            return;
+        }
+        let gen = entry.gen;
+        let addr = entry.di.mem().expect("memory op carries an access").addr;
+        match self.cache.access(now, addr, AccessKind::Load) {
+            AccessOutcome::Hit { ready_at } | AccessOutcome::Miss { ready_at, .. } => {
+                self.cache_retry.remove(&seq);
+                self.rob.get_mut(seq).expect("checked above").mem_phase = MemPhase::InFlight;
+                self.schedule(ready_at, Event::MemData { seq, gen });
+            }
+            AccessOutcome::Retry { .. } => {
+                self.cache_retry.insert(seq);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Completion / write-back
+    // ------------------------------------------------------------------
+
+    fn event_phase(&mut self, now: u64) {
+        let Some(mut events) = self.events.remove(&now) else { return };
+        // Oldest instructions get write ports and cache ports first.
+        events.sort_by_key(Event::seq);
+        for ev in events {
+            match ev {
+                Event::EaDone { seq, gen } => self.handle_ea_done(seq, gen, now),
+                Event::MemData { seq, gen } | Event::Complete { seq, gen } => {
+                    self.handle_completion(seq, gen, now)
+                }
+            }
+        }
+    }
+
+    fn handle_ea_done(&mut self, seq: u64, gen: u64, now: u64) {
+        let Some(entry) = self.rob.get(seq) else { return };
+        if entry.gen != gen {
+            return;
+        }
+        let access = entry.di.mem().expect("memory op carries an access");
+        if entry.di.op() == OpClass::Store {
+            // The store's address is known: detect younger loads that
+            // already read stale data (PA-8000 style) and re-execute them.
+            let victims = self.lsq.resolve_store(seq, access);
+            for victim in victims {
+                self.raw.memory_reexecutions += 1;
+                self.reexecute(victim, now);
+            }
+            let e = self.rob.get_mut(seq).expect("checked above");
+            e.mem_phase = MemPhase::Done;
+            e.completed = true;
+            e.completed_at = now;
+            return;
+        }
+        // Load: decide between forwarding and a cache access.
+        let disposition = self.lsq.resolve_load(seq, access);
+        let forwarded = matches!(disposition, LoadDisposition::Forward { .. })
+            || self.store_buffer.forwards(&access);
+        if forwarded {
+            self.rob.get_mut(seq).expect("checked above").mem_phase = MemPhase::InFlight;
+            self.schedule(now + 1, Event::MemData { seq, gen });
+        } else {
+            self.rob.get_mut(seq).expect("checked above").mem_phase = MemPhase::AwaitCache;
+            self.try_cache_access(seq, now);
+        }
+    }
+
+    fn handle_completion(&mut self, seq: u64, gen: u64, now: u64) {
+        let Some(entry) = self.rob.get(seq) else { return };
+        if entry.gen != gen || entry.completed {
+            return;
+        }
+        let op = entry.di.op();
+        let dest = entry.dest;
+
+        // Late allocation: the write-back scheme claims the physical
+        // register in the last execution cycle (§3.2.2) — or squashes.
+        if let Some(d) = dest {
+            if d.preg.is_none() {
+                debug_assert!(matches!(
+                    self.config.scheme,
+                    RenameScheme::VirtualPhysicalWriteback { .. }
+                ));
+                let Renamer::Vp(vp) = &mut self.renamer else {
+                    unreachable!("unallocated destination implies the VP renamer")
+                };
+                match vp.try_allocate(d.class(), seq, now) {
+                    Some(preg) => {
+                        self.raw.class_mut(d.class()).allocations += 1;
+                        self.rob
+                            .get_mut(seq)
+                            .expect("checked above")
+                            .dest
+                            .as_mut()
+                            .expect("dest checked above")
+                            .preg = Some(preg);
+                    }
+                    None => {
+                        // Out of registers: squash and re-execute (§3.3).
+                        self.raw.register_reexecutions += 1;
+                        self.reexecute(seq, now);
+                        return;
+                    }
+                }
+            }
+        }
+
+        // Register-file write ports: 8 per file per cycle; excess
+        // completions retry next cycle.
+        if let Some(d) = dest {
+            let c = d.class().index();
+            if self.wb_ports_used[c] >= self.config.regfile_write_ports {
+                self.raw.writeback_port_stalls += 1;
+                self.schedule(now + 1, Event::Complete { seq, gen });
+                return;
+            }
+            self.wb_ports_used[c] += 1;
+            // Broadcast the result tag to the queue and the map tables.
+            let dest = self.rob.get(seq).expect("checked above").dest.expect("dest above");
+            let preg = dest.preg.expect("allocated above or at rename/issue");
+            match &mut self.renamer {
+                Renamer::Conventional(conv) => {
+                    conv.on_writeback(d.class(), preg);
+                    self.iq.wakeup_phys(d.class(), preg);
+                }
+                Renamer::EarlyRelease(er) => {
+                    er.on_writeback(d.class(), preg);
+                    self.iq.wakeup_phys(d.class(), preg);
+                }
+                Renamer::Vp(vp) => {
+                    let tag = dest.vp.expect("VP rename assigns a tag");
+                    // A load re-executed after a memory-order violation has
+                    // already bound its tag; the binding stands.
+                    if vp.pmt_entry(d.class(), tag).is_none() {
+                        vp.bind(d.class(), tag, preg);
+                        self.iq.wakeup_vp(d.class(), tag, preg);
+                    }
+                }
+            }
+        }
+
+        let entry = self.rob.get_mut(seq).expect("checked above");
+        entry.completed = true;
+        entry.completed_at = now;
+        if op.is_mem() {
+            entry.mem_phase = MemPhase::Done;
+        }
+        let wrong_path = entry.wrong_path;
+        let mispredicted = entry.mispredicted;
+        let pc = entry.di.pc();
+        let branch = entry.di.branch();
+
+        if op.is_branch() && !wrong_path {
+            if op == OpClass::BranchCond {
+                self.bht
+                    .update(pc, branch.expect("trace records outcomes").taken);
+            }
+            if mispredicted {
+                self.fetch.resolve_branch(now);
+                if self.config.wrong_path_injection {
+                    self.squash_younger_than(seq, now);
+                }
+            }
+        }
+    }
+
+    /// Squashes an instruction back to the instruction queue for
+    /// re-execution (register denial in the write-back scheme, or a
+    /// memory-ordering violation). Its operands are still ready — sources
+    /// cannot be freed before this instruction commits — so it re-enters
+    /// the queue ready to issue.
+    fn reexecute(&mut self, seq: u64, _now: u64) {
+        let gen = self.fresh_gen();
+        let entry = self.rob.get_mut(seq).expect("re-executed instruction is in flight");
+        entry.gen = gen;
+        entry.issued = false;
+        entry.completed = false;
+        entry.mem_phase = MemPhase::Idle;
+        let op = entry.di.op();
+        let srcs = entry.srcs;
+        self.cache_retry.remove(&seq);
+        if op == OpClass::Load && self.lsq.address_of(seq).is_some() {
+            self.lsq.mark_unperformed(seq);
+        }
+        if let Renamer::EarlyRelease(er) = &mut self.renamer {
+            // The re-executed instruction will read its sources again:
+            // re-arm their pending-read counters so none frees early.
+            for src in srcs.iter().flatten() {
+                if let SrcState::Ready(preg) = src.state {
+                    er.on_reread(src.class, preg);
+                }
+            }
+        }
+        self.iq.insert(IqEntry { seq, op, srcs });
+    }
+
+    // ------------------------------------------------------------------
+    // Issue
+    // ------------------------------------------------------------------
+
+    fn issue_phase(&mut self, now: u64) {
+        let mut budget = self.config.issue_width;
+        let mut read_ports = [self.config.regfile_read_ports; 2];
+        let mut issued: Vec<u64> = Vec::new();
+        for e in self.iq.iter() {
+            if budget == 0 {
+                break;
+            }
+            if !e.is_ready() {
+                continue;
+            }
+            let (int_reads, fp_reads) = e.read_port_needs();
+            if int_reads > read_ports[0] || fp_reads > read_ports[1] {
+                continue;
+            }
+            // Issue-allocation scheme: a destination needs a register
+            // grant before the instruction may leave the queue (§3.4).
+            let rob_entry = self.rob.get(e.seq).expect("queued instruction is in flight");
+            let needs_alloc = matches!(
+                self.config.scheme,
+                RenameScheme::VirtualPhysicalIssue { .. }
+            ) && rob_entry.dest.is_some_and(|d| d.preg.is_none());
+            if needs_alloc {
+                let Renamer::Vp(vp) = &self.renamer else { unreachable!() };
+                let class = rob_entry.dest.expect("checked above").class();
+                if !vp.may_allocate(class, e.seq) {
+                    self.raw.issue_allocation_stalls += 1;
+                    continue;
+                }
+            }
+            if self.fus.try_issue(e.op, now).is_none() {
+                continue;
+            }
+            read_ports[0] -= int_reads;
+            read_ports[1] -= fp_reads;
+            budget -= 1;
+            issued.push(e.seq);
+            if needs_alloc {
+                let Renamer::Vp(vp) = &mut self.renamer else { unreachable!() };
+                let class = rob_entry.dest.expect("checked above").class();
+                let preg = vp
+                    .try_allocate(class, e.seq, now)
+                    .expect("may_allocate checked above");
+                self.raw.class_mut(class).allocations += 1;
+                // The destination is recorded after the loop (needs &mut).
+                let _ = preg;
+                self.pending_issue_allocs.push((e.seq, preg));
+            }
+        }
+        for seq in issued {
+            let iq_entry = self.iq.remove(seq).expect("issued from the queue");
+            if let Renamer::EarlyRelease(er) = &mut self.renamer {
+                // Sources are read now: their pending-read counters drop.
+                for src in iq_entry.srcs.iter().flatten() {
+                    if let SrcState::Ready(preg) = src.state {
+                        er.on_read(src.class, preg, now);
+                    }
+                }
+            }
+            let entry = self.rob.get_mut(seq).expect("in flight");
+            entry.issued = true;
+            entry.executions += 1;
+            entry.srcs = iq_entry.srcs;
+            self.raw.executions += 1;
+            let gen = entry.gen;
+            let op = entry.di.op();
+            let finish = now + self.config.latencies.of(op);
+            if op.is_mem() {
+                self.schedule(finish, Event::EaDone { seq, gen });
+            } else {
+                self.schedule(finish, Event::Complete { seq, gen });
+            }
+        }
+        for (seq, preg) in std::mem::take(&mut self.pending_issue_allocs) {
+            self.rob
+                .get_mut(seq)
+                .expect("in flight")
+                .dest
+                .as_mut()
+                .expect("allocation implies a destination")
+                .preg = Some(preg);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rename / dispatch
+    // ------------------------------------------------------------------
+
+    fn rename_phase(&mut self, now: u64) {
+        for _ in 0..self.config.rename_width {
+            let Some(fi) = self.fetch_buffer.front() else { break };
+            if self.rob.is_full() {
+                self.raw.rob_full_stalls += 1;
+                break;
+            }
+            let op = fi.di.op();
+            if op != OpClass::Nop && self.iq.is_full() {
+                self.raw.iq_full_stalls += 1;
+                break;
+            }
+            if op.is_mem() && self.lsq.is_full() {
+                self.raw.lsq_full_stalls += 1;
+                break;
+            }
+            // The conventional scheme allocates here and stalls in order
+            // when the class's free list is empty — the exact behaviour
+            // the paper's schemes defer.
+            if let Some(dl) = fi.di.inst().dest() {
+                let free = match &self.renamer {
+                    Renamer::Conventional(conv) => Some(conv.free_count(dl.class())),
+                    Renamer::EarlyRelease(er) => Some(er.free_count(dl.class())),
+                    Renamer::Vp(_) => None,
+                };
+                if free == Some(0) {
+                    self.raw.class_mut(dl.class()).rename_stalls += 1;
+                    break;
+                }
+            }
+            let fi = self.fetch_buffer.pop_front().expect("peeked above");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let mut entry = RobEntry::new(seq, fi.di, fi.wrong_path, fi.mispredicted);
+            entry.gen = self.fresh_gen();
+            let inst = fi.di.inst();
+            let srcs = [
+                inst.src1().map(|l| self.rename_src(l)),
+                inst.src2().map(|l| self.rename_src(l)),
+            ];
+            entry.srcs = srcs;
+            if let Some(dl) = inst.dest() {
+                entry.dest = Some(match &mut self.renamer {
+                    Renamer::Conventional(conv) => {
+                        let (new, prev) = conv
+                            .try_rename_dest(dl, now)
+                            .expect("free list checked above");
+                        self.raw.class_mut(dl.class()).allocations += 1;
+                        RenamedDest {
+                            logical: dl,
+                            vp: None,
+                            preg: Some(new),
+                            prev_vp: None,
+                            prev_preg: Some(prev),
+                        }
+                    }
+                    Renamer::EarlyRelease(er) => {
+                        let (new, prev) = er
+                            .try_rename_dest(dl, now)
+                            .expect("free list checked above");
+                        self.raw.class_mut(dl.class()).allocations += 1;
+                        RenamedDest {
+                            logical: dl,
+                            vp: None,
+                            preg: Some(new),
+                            prev_vp: None,
+                            prev_preg: Some(prev),
+                        }
+                    }
+                    Renamer::Vp(vp) => {
+                        let (new_vp, prev_vp) = vp.rename_dest(dl, seq, now);
+                        RenamedDest {
+                            logical: dl,
+                            vp: Some(new_vp),
+                            preg: None,
+                            prev_vp: Some(prev_vp),
+                            prev_preg: None,
+                        }
+                    }
+                });
+            }
+            match op {
+                OpClass::Load => self.lsq.insert_load(seq),
+                OpClass::Store => self.lsq.insert_store(seq),
+                OpClass::Nop => {
+                    entry.completed = true;
+                    entry.completed_at = now;
+                }
+                _ => {}
+            }
+            self.rob.push(entry);
+            if op != OpClass::Nop {
+                self.iq.insert(IqEntry { seq, op, srcs });
+            }
+        }
+    }
+
+    fn rename_src(&mut self, logical: vpr_isa::LogicalReg) -> crate::rename::RenamedSrc {
+        match &mut self.renamer {
+            Renamer::Conventional(conv) => conv.rename_src(logical),
+            Renamer::EarlyRelease(er) => er.rename_src(logical),
+            Renamer::Vp(vp) => vp.rename_src(logical),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+
+    fn fetch_phase(&mut self, now: u64) {
+        if self.fetch_buffer.is_empty() && !self.fetch.is_done() {
+            let block =
+                self.fetch
+                    .fetch_block(now, &mut self.trace, &self.bht, self.config.fetch_width);
+            self.fetch_buffer.extend(block);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery (wrong-path injection mode)
+    // ------------------------------------------------------------------
+
+    /// Restores precise state after the mispredicted branch `branch_seq`
+    /// resolves: pops the reorder buffer from the tail, undoing each
+    /// mapping exactly as §3.2.2 describes, then rebuilds the NRR counters
+    /// and recycles the squashed sequence numbers.
+    fn squash_younger_than(&mut self, branch_seq: u64, now: u64) {
+        while self.rob.tail().is_some_and(|t| t.seq > branch_seq) {
+            let entry = self.rob.pop_tail().expect("tail checked above");
+            debug_assert!(entry.wrong_path, "only wrong-path work follows a diverted fetch");
+            self.raw.wrong_path_squashed += 1;
+            self.iq.remove(entry.seq);
+            self.cache_retry.remove(&entry.seq);
+            if entry.di.op().is_mem() {
+                self.lsq.remove(entry.seq);
+            }
+            if let Some(d) = entry.dest {
+                match &mut self.renamer {
+                    Renamer::EarlyRelease(_) => unreachable!(
+                        "early release rejects wrong-path injection at configuration time"
+                    ),
+                    Renamer::Conventional(conv) => conv.on_squash_dest(
+                        d.logical,
+                        d.preg.expect("conventional allocates at rename"),
+                        d.prev_preg.expect("recorded at rename"),
+                        now,
+                    ),
+                    Renamer::Vp(vp) => vp.on_squash_dest(
+                        d.logical,
+                        d.vp.expect("VP rename assigns a tag"),
+                        d.prev_vp.expect("recorded at rename"),
+                        now,
+                    ),
+                }
+            }
+        }
+        // Un-renamed wrong-path instructions in the fetch buffer vanish.
+        self.fetch_buffer.retain(|f| !f.wrong_path);
+        // Sequence numbers above the branch are recycled; generations keep
+        // stale events harmless.
+        self.next_seq = branch_seq + 1;
+        if let Renamer::Vp(vp) = &mut self.renamer {
+            for class in [RegClass::Int, RegClass::Fp] {
+                let survivors: Vec<(u64, bool)> = self
+                    .rob
+                    .iter()
+                    .filter_map(|e| {
+                        e.dest
+                            .filter(|d| d.class() == class)
+                            .map(|d| (e.seq, d.preg.is_some()))
+                    })
+                    .collect();
+                vp.nrr_rebuild(class, survivors.into_iter());
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sampling
+    // ------------------------------------------------------------------
+
+    fn sample(&mut self, _now: u64) {
+        for class in [RegClass::Int, RegClass::Fp] {
+            let (allocated, free) = match &self.renamer {
+                Renamer::Conventional(conv) => {
+                    (conv.allocated_count(class), conv.free_count(class))
+                }
+                Renamer::EarlyRelease(er) => (er.allocated_count(class), er.free_count(class)),
+                Renamer::Vp(vp) => (vp.allocated_count(class), vp.free_count(class)),
+            };
+            let cs = self.raw.class_mut(class);
+            cs.occupancy_sum += allocated as u64;
+            if free == 0 {
+                cs.empty_free_list_cycles += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpr_isa::{BranchInfo, DynInst, Inst, LogicalReg, MemAccess};
+
+    fn alu(pc: u64, dest: usize, src: usize) -> DynInst {
+        DynInst::new(
+            pc,
+            Inst::new(OpClass::IntAlu)
+                .with_dest(LogicalReg::int(dest))
+                .with_src1(LogicalReg::int(src)),
+        )
+    }
+
+    fn fp_chain_inst(pc: u64, op: OpClass) -> DynInst {
+        DynInst::new(
+            pc,
+            Inst::new(op)
+                .with_dest(LogicalReg::fp(2))
+                .with_src1(LogicalReg::fp(2))
+                .with_src2(LogicalReg::fp(10)),
+        )
+    }
+
+    fn load(pc: u64, dest: usize, addr: u64) -> DynInst {
+        DynInst::new(
+            pc,
+            Inst::new(OpClass::Load)
+                .with_dest(LogicalReg::int(dest))
+                .with_src1(LogicalReg::int(30)),
+        )
+        .with_mem(MemAccess::word(addr))
+    }
+
+    fn store(pc: u64, data: usize, addr: u64) -> DynInst {
+        DynInst::new(
+            pc,
+            Inst::new(OpClass::Store)
+                .with_src1(LogicalReg::int(data))
+                .with_src2(LogicalReg::int(30)),
+        )
+        .with_mem(MemAccess::word(addr))
+    }
+
+    fn cfg(scheme: RenameScheme) -> SimConfig {
+        SimConfig::builder().scheme(scheme).build()
+    }
+
+    fn all_schemes() -> [RenameScheme; 3] {
+        [
+            RenameScheme::Conventional,
+            RenameScheme::VirtualPhysicalIssue { nrr: 32 },
+            RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
+        ]
+    }
+
+    #[test]
+    fn straight_line_commits_everything() {
+        for scheme in all_schemes() {
+            let trace: Vec<DynInst> = (0..200)
+                .map(|i| alu(i * 4, (i % 8 + 1) as usize, 0))
+                .collect();
+            let mut cpu = Processor::new(cfg(scheme), trace.into_iter());
+            let stats = cpu.run_to_completion();
+            assert_eq!(stats.committed, 200, "{scheme:?}");
+            assert!(stats.ipc() > 1.0, "{scheme:?}: independent ALUs reach IPC {}", stats.ipc());
+        }
+    }
+
+    #[test]
+    fn dependent_chain_serialises() {
+        // r1 <- r1 chains: one per cycle at best.
+        for scheme in all_schemes() {
+            let trace: Vec<DynInst> = (0..100).map(|i| alu(i * 4, 1, 1)).collect();
+            let mut cpu = Processor::new(cfg(scheme), trace.into_iter());
+            let stats = cpu.run_to_completion();
+            assert_eq!(stats.committed, 100);
+            assert!(
+                stats.ipc() <= 1.05,
+                "{scheme:?}: dependent chain cannot beat 1 IPC, got {}",
+                stats.ipc()
+            );
+        }
+    }
+
+    #[test]
+    fn load_hits_and_misses_complete() {
+        for scheme in all_schemes() {
+            // Two loads to the same line (miss + merge/hit), one far away.
+            let trace = vec![
+                load(0x0, 1, 0x1000),
+                load(0x4, 2, 0x1008),
+                load(0x8, 3, 0x20000),
+                alu(0xc, 4, 1),
+            ];
+            let mut cpu = Processor::new(cfg(scheme), trace.into_iter());
+            let stats = cpu.run_to_completion();
+            assert_eq!(stats.committed, 4, "{scheme:?}");
+            assert!(stats.cache.misses >= 2, "{scheme:?}");
+            assert!(stats.cycles > 50, "{scheme:?}: a miss costs 50 cycles");
+        }
+    }
+
+    #[test]
+    fn store_load_forwarding_avoids_cache() {
+        for scheme in all_schemes() {
+            let trace = vec![
+                store(0x0, 1, 0x4000),
+                load(0x4, 2, 0x4000), // same address: forwards
+            ];
+            let mut cpu = Processor::new(cfg(scheme), trace.into_iter());
+            let stats = cpu.run_to_completion();
+            assert_eq!(stats.committed, 2, "{scheme:?}");
+            assert!(
+                stats.lsq.forwards >= 1 || stats.cache.hits + stats.cache.misses <= 1,
+                "{scheme:?}: the load should forward, not read the cache"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_violation_triggers_reexecution() {
+        // The store's data register r9 is produced by a slow divide, so
+        // the load to the same address races ahead and must re-execute.
+        let div = DynInst::new(
+            0x0,
+            Inst::new(OpClass::IntDiv)
+                .with_dest(LogicalReg::int(9))
+                .with_src1(LogicalReg::int(1)),
+        );
+        // Store address depends on the divide too (base r9), so the store
+        // cannot resolve before the load performs.
+        let slow_store = DynInst::new(
+            0x4,
+            Inst::new(OpClass::Store)
+                .with_src1(LogicalReg::int(9))
+                .with_src2(LogicalReg::int(9)),
+        )
+        .with_mem(MemAccess::word(0x4000));
+        let racy_load = load(0x8, 2, 0x4000);
+        for scheme in all_schemes() {
+            let trace = vec![div.clone(), slow_store.clone(), racy_load.clone()];
+            let mut cpu = Processor::new(cfg(scheme), trace.into_iter());
+            let stats = cpu.run_to_completion();
+            assert_eq!(stats.committed, 3, "{scheme:?}");
+            assert_eq!(stats.memory_reexecutions, 1, "{scheme:?}");
+            assert_eq!(stats.lsq.violations, 1, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn conventional_stalls_when_registers_scarce() {
+        // 34 physical registers = 2 spare. A long fdiv chain holds
+        // registers; rename must stall.
+        let mut trace = vec![fp_chain_inst(0, OpClass::FpDiv)];
+        for i in 1..40 {
+            trace.push(fp_chain_inst(i * 4, OpClass::FpAdd));
+        }
+        let c = SimConfig::builder()
+            .scheme(RenameScheme::Conventional)
+            .physical_regs(34)
+            .build();
+        let mut cpu = Processor::new(c, trace.into_iter());
+        let stats = cpu.run_to_completion();
+        assert_eq!(stats.committed, 40);
+        assert!(stats.fp.rename_stalls > 0, "expected rename stalls");
+    }
+
+    #[test]
+    fn vp_writeback_reexecutes_when_registers_scarce() {
+        // 34 physical registers, NRR 1: plenty of completions will find
+        // no register and re-execute — but everything still commits.
+        let mut trace = Vec::new();
+        for i in 0..64 {
+            // Independent FP adds writing different registers: they all
+            // complete around the same time and fight for 2 spare regs.
+            trace.push(DynInst::new(
+                i * 4,
+                Inst::new(OpClass::FpAdd)
+                    .with_dest(LogicalReg::fp((i % 32) as usize))
+                    .with_src1(LogicalReg::fp(0)),
+            ));
+        }
+        let c = SimConfig::builder()
+            .scheme(RenameScheme::VirtualPhysicalWriteback { nrr: 1 })
+            .physical_regs(34)
+            .build();
+        let mut cpu = Processor::new(c, trace.into_iter());
+        let stats = cpu.run_to_completion();
+        assert_eq!(stats.committed, 64);
+        assert!(
+            stats.register_reexecutions > 0,
+            "scarce registers must cause re-executions"
+        );
+        assert!(stats.executions_per_commit() > 1.0);
+    }
+
+    #[test]
+    fn vp_issue_waits_instead_of_reexecuting() {
+        let mut trace = Vec::new();
+        for i in 0..64 {
+            trace.push(DynInst::new(
+                i * 4,
+                Inst::new(OpClass::FpAdd)
+                    .with_dest(LogicalReg::fp((i % 32) as usize))
+                    .with_src1(LogicalReg::fp(0)),
+            ));
+        }
+        let c = SimConfig::builder()
+            .scheme(RenameScheme::VirtualPhysicalIssue { nrr: 1 })
+            .physical_regs(34)
+            .build();
+        let mut cpu = Processor::new(c, trace.into_iter());
+        let stats = cpu.run_to_completion();
+        assert_eq!(stats.committed, 64);
+        assert_eq!(stats.register_reexecutions, 0, "issue allocation never squashes");
+        assert!(stats.issue_allocation_stalls > 0, "it stalls in the queue instead");
+        assert!((stats.executions_per_commit() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mispredicted_branch_stalls_fetch() {
+        // A not-taken-trained predictor meets a taken branch.
+        let b = DynInst::new(0x100, Inst::new(OpClass::BranchCond)).with_branch(BranchInfo {
+            taken: true,
+            next_pc: 0x4000,
+        });
+        let trace = vec![alu(0xfc, 1, 0), b, alu(0x4000, 2, 0), alu(0x4004, 3, 0)];
+        for scheme in all_schemes() {
+            let mut cpu = Processor::new(cfg(scheme), trace.clone().into_iter());
+            let stats = cpu.run_to_completion();
+            assert_eq!(stats.committed, 4, "{scheme:?}");
+            assert_eq!(stats.fetch.mispredictions, 1, "{scheme:?}");
+            assert!(stats.fetch.stall_cycles > 0, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn wrong_path_injection_recovers_precisely() {
+        let b = DynInst::new(0x100, Inst::new(OpClass::BranchCond)).with_branch(BranchInfo {
+            taken: true,
+            next_pc: 0x4000,
+        });
+        let mut trace = vec![b];
+        for i in 0..50 {
+            trace.push(alu(0x4000 + i * 4, (i % 8 + 1) as usize, 0));
+        }
+        for scheme in all_schemes() {
+            let c = SimConfig::builder()
+                .scheme(scheme)
+                .wrong_path_injection(true)
+                .build();
+            let mut cpu = Processor::new(c, trace.clone().into_iter());
+            let stats = cpu.run_to_completion();
+            assert_eq!(stats.committed, 51, "{scheme:?}");
+            assert!(stats.wrong_path_squashed > 0, "{scheme:?}: wrong path was fetched");
+            assert!(stats.fetch.wrong_path_fetched > 0, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        for scheme in all_schemes() {
+            let mk = || {
+                let mut t = Vec::new();
+                for i in 0..300u64 {
+                    match i % 5 {
+                        0 => t.push(load(i * 4, (i % 7 + 1) as usize, 0x1000 + (i * 24) % 65536)),
+                        1 => t.push(store(i * 4, 1, 0x2000 + (i * 40) % 65536)),
+                        2 => t.push(fp_chain_inst(i * 4, OpClass::FpMul)),
+                        _ => t.push(alu(i * 4, (i % 8 + 9) as usize, (i % 3) as usize)),
+                    }
+                }
+                t
+            };
+            let a = Processor::new(cfg(scheme), mk().into_iter()).run_to_completion();
+            let b = Processor::new(cfg(scheme), mk().into_iter()).run_to_completion();
+            assert_eq!(a, b, "{scheme:?}: simulation must be deterministic");
+        }
+    }
+
+    #[test]
+    fn warm_up_resets_the_window() {
+        let trace: Vec<DynInst> = (0..400).map(|i| alu(i * 4, 1, 1)).collect();
+        let mut cpu = Processor::new(cfg(RenameScheme::Conventional), trace.into_iter());
+        cpu.warm_up(100);
+        let s0 = cpu.stats();
+        assert_eq!(s0.committed, 0);
+        let s = cpu.run_to_completion();
+        assert_eq!(s.committed, 300);
+        assert!(s.cycles > 0 && s.cycles < cpu.cycle());
+    }
+
+    #[test]
+    fn vp_commit_delay_costs_cycles() {
+        let trace: Vec<DynInst> = (0..500).map(|i| alu(i * 4, 1, 1)).collect();
+        let base = cfg(RenameScheme::VirtualPhysicalWriteback { nrr: 32 });
+        let mut delayed = base.clone();
+        delayed.vp_commit_delay = true;
+        let fast = Processor::new(base, trace.clone().into_iter()).run_to_completion();
+        let slow = Processor::new(delayed, trace.into_iter()).run_to_completion();
+        assert!(slow.cycles >= fast.cycles, "delay cannot speed things up");
+    }
+
+    #[test]
+    fn paper_motivating_example_register_pressure() {
+        // §3.1: load f2; fdiv f2,f2,f10; fmul f2,f2,f12; fadd f2,f2,f1 —
+        // with late allocation each register is held far shorter. Compare
+        // total FP hold cycles between conventional and VP write-back.
+        let mk = || {
+            vec![
+                DynInst::new(
+                    0x0,
+                    Inst::new(OpClass::Load)
+                        .with_dest(LogicalReg::fp(2))
+                        .with_src1(LogicalReg::int(6)),
+                )
+                .with_mem(MemAccess::word(0x20000)),
+                fp_chain_inst(0x4, OpClass::FpDiv),
+                fp_chain_inst(0x8, OpClass::FpMul),
+                fp_chain_inst(0xc, OpClass::FpAdd),
+            ]
+        };
+        let conv = Processor::new(cfg(RenameScheme::Conventional), mk().into_iter())
+            .run_to_completion();
+        let vp = Processor::new(
+            cfg(RenameScheme::VirtualPhysicalWriteback { nrr: 32 }),
+            mk().into_iter(),
+        )
+        .run_to_completion();
+        assert_eq!(conv.committed, 4);
+        assert_eq!(vp.committed, 4);
+        assert!(
+            vp.fp.hold_cycles * 2 < conv.fp.hold_cycles,
+            "late allocation must slash register pressure: vp={} conv={}",
+            vp.fp.hold_cycles,
+            conv.fp.hold_cycles
+        );
+    }
+}
+
+#[cfg(test)]
+mod early_release_tests {
+    use super::*;
+    use vpr_isa::{DynInst, Inst, LogicalReg, MemAccess};
+
+    fn chain_trace(n: u64) -> Vec<DynInst> {
+        // load f2 (missing), then a dependent FP chain rewriting f2 — the
+        // §3.1 pattern that exposes both waste intervals.
+        (0..n)
+            .flat_map(|i| {
+                let pc = 0x1000 + 16 * i;
+                vec![
+                    DynInst::new(
+                        pc,
+                        Inst::new(OpClass::Load)
+                            .with_dest(LogicalReg::fp(2))
+                            .with_src1(LogicalReg::int(6)),
+                    )
+                    .with_mem(MemAccess::word(0x10_0000 + 64 * i)),
+                    DynInst::new(
+                        pc + 4,
+                        Inst::new(OpClass::FpDiv)
+                            .with_dest(LogicalReg::fp(2))
+                            .with_src1(LogicalReg::fp(2))
+                            .with_src2(LogicalReg::fp(10)),
+                    ),
+                    DynInst::new(
+                        pc + 8,
+                        Inst::new(OpClass::FpMul)
+                            .with_dest(LogicalReg::fp(2))
+                            .with_src1(LogicalReg::fp(2))
+                            .with_src2(LogicalReg::fp(12)),
+                    ),
+                ]
+            })
+            .collect()
+    }
+
+    fn run(scheme: RenameScheme) -> SimStats {
+        let config = SimConfig::builder().scheme(scheme).build();
+        Processor::new(config, chain_trace(64).into_iter()).run_to_completion()
+    }
+
+    #[test]
+    fn early_release_commits_everything() {
+        let s = run(RenameScheme::ConventionalEarlyRelease);
+        assert_eq!(s.committed, 192);
+        assert!(s.early_releases > 0, "superseded+read registers free early");
+    }
+
+    #[test]
+    fn early_release_cuts_pressure_vs_conventional() {
+        let conv = run(RenameScheme::Conventional);
+        let er = run(RenameScheme::ConventionalEarlyRelease);
+        assert_eq!(conv.committed, er.committed);
+        assert!(
+            er.fp.hold_cycles < conv.fp.hold_cycles,
+            "early release must shrink the pressure integral: {} vs {}",
+            er.fp.hold_cycles,
+            conv.fp.hold_cycles
+        );
+        // Conservation: every allocation is eventually released (the
+        // trace drains completely, so only the 32 architectural mappings
+        // remain live — which were boot-allocated, not counted).
+        assert_eq!(er.fp.allocations, er.fp.frees);
+    }
+
+    #[test]
+    fn vp_writeback_still_holds_least() {
+        // The paper's two waste intervals: early release removes the
+        // read-to-next-writer-commit tail; VP write-back removes the
+        // decode-to-writeback head, which dominates for long-latency
+        // chains like this one.
+        let er = run(RenameScheme::ConventionalEarlyRelease);
+        let vp = run(RenameScheme::VirtualPhysicalWriteback { nrr: 32 });
+        assert!(
+            vp.fp.hold_cycles < er.fp.hold_cycles,
+            "VP write-back should beat early release here: {} vs {}",
+            vp.fp.hold_cycles,
+            er.fp.hold_cycles
+        );
+    }
+
+    #[test]
+    fn early_release_rejects_wrong_path_injection() {
+        let mut b = SimConfig::builder();
+        b.scheme(RenameScheme::ConventionalEarlyRelease)
+            .wrong_path_injection(true);
+        assert!(b.try_build().is_err());
+    }
+
+    #[test]
+    fn early_release_survives_memory_reexecution() {
+        // A violated load re-executes and re-reads its sources: counters
+        // must re-arm rather than underflow or double free.
+        let div = DynInst::new(
+            0x0,
+            Inst::new(OpClass::IntDiv)
+                .with_dest(LogicalReg::int(9))
+                .with_src1(LogicalReg::int(1)),
+        );
+        let slow_store = DynInst::new(
+            0x4,
+            Inst::new(OpClass::Store)
+                .with_src1(LogicalReg::int(9))
+                .with_src2(LogicalReg::int(9)),
+        )
+        .with_mem(MemAccess::word(0x4000));
+        let racy_load = DynInst::new(
+            0x8,
+            Inst::new(OpClass::Load)
+                .with_dest(LogicalReg::int(2))
+                .with_src1(LogicalReg::int(30)),
+        )
+        .with_mem(MemAccess::word(0x4000));
+        let consumer = DynInst::new(
+            0xc,
+            Inst::new(OpClass::IntAlu)
+                .with_dest(LogicalReg::int(3))
+                .with_src1(LogicalReg::int(2)),
+        );
+        let config = SimConfig::builder()
+            .scheme(RenameScheme::ConventionalEarlyRelease)
+            .build();
+        let trace = vec![div, slow_store, racy_load, consumer];
+        let s = Processor::new(config, trace.into_iter()).run_to_completion();
+        assert_eq!(s.committed, 4);
+        assert_eq!(s.memory_reexecutions, 1);
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use super::*;
+    use vpr_isa::{DynInst, Inst, LogicalReg, MemAccess};
+    use vpr_mem::CacheConfig;
+
+    fn alu(pc: u64, dest: usize, src: usize) -> DynInst {
+        DynInst::new(
+            pc,
+            Inst::new(OpClass::IntAlu)
+                .with_dest(LogicalReg::int(dest))
+                .with_src1(LogicalReg::int(src)),
+        )
+    }
+
+    fn store(pc: u64, addr: u64) -> DynInst {
+        DynInst::new(
+            pc,
+            Inst::new(OpClass::Store)
+                .with_src1(LogicalReg::int(1))
+                .with_src2(LogicalReg::int(30)),
+        )
+        .with_mem(MemAccess::word(addr))
+    }
+
+    fn all_schemes() -> [RenameScheme; 4] {
+        [
+            RenameScheme::Conventional,
+            RenameScheme::ConventionalEarlyRelease,
+            RenameScheme::VirtualPhysicalIssue { nrr: 1 },
+            RenameScheme::VirtualPhysicalWriteback { nrr: 1 },
+        ]
+    }
+
+    #[test]
+    fn width_one_machine_works() {
+        for scheme in all_schemes() {
+            let cfg = SimConfig::builder().scheme(scheme).width(1).build();
+            let trace: Vec<DynInst> = (0..50).map(|i| alu(i * 4, 1, 1)).collect();
+            let stats = Processor::new(cfg, trace.into_iter()).run_to_completion();
+            assert_eq!(stats.committed, 50, "{scheme:?}");
+            assert!(stats.cycles >= 50, "{scheme:?}: at most 1 IPC");
+        }
+    }
+
+    #[test]
+    fn tiny_rob_works() {
+        for scheme in all_schemes() {
+            let cfg = SimConfig::builder().scheme(scheme).rob_size(4).build();
+            let trace: Vec<DynInst> =
+                (0..100).map(|i| alu(i * 4, (i % 8 + 1) as usize, 0)).collect();
+            let stats = Processor::new(cfg, trace.into_iter()).run_to_completion();
+            assert_eq!(stats.committed, 100, "{scheme:?}");
+            assert!(stats.rob_full_stalls > 0, "{scheme:?}: a 4-entry ROB must stall");
+        }
+    }
+
+    #[test]
+    fn minimal_register_file_works() {
+        // 33 physical registers: a single spare.
+        for scheme in [
+            RenameScheme::Conventional,
+            RenameScheme::ConventionalEarlyRelease,
+            RenameScheme::VirtualPhysicalIssue { nrr: 1 },
+            RenameScheme::VirtualPhysicalWriteback { nrr: 1 },
+        ] {
+            let cfg = SimConfig::builder().scheme(scheme).physical_regs(33).build();
+            let trace: Vec<DynInst> = (0..60).map(|i| alu(i * 4, (i % 5) as usize, 2)).collect();
+            let stats = Processor::new(cfg, trace.into_iter()).run_to_completion();
+            assert_eq!(stats.committed, 60, "{scheme:?}: single-spare file must not deadlock");
+        }
+    }
+
+    #[test]
+    fn store_buffer_full_stalls_commit_but_progresses() {
+        // A tiny store buffer + all-miss stores: commit must stall on the
+        // buffer yet everything drains.
+        let mut cfg = SimConfig::builder().scheme(RenameScheme::Conventional).build();
+        cfg.store_buffer_size = 1;
+        cfg.cache = CacheConfig {
+            mshrs: 1,
+            ..CacheConfig::default()
+        };
+        let trace: Vec<DynInst> = (0..30).map(|i| store(i * 4, 0x4000 + i * 4096)).collect();
+        let stats = Processor::new(cfg, trace.into_iter()).run_to_completion();
+        assert_eq!(stats.committed, 30);
+        assert!(stats.store_buffer_stalls > 0, "1-entry buffer must stall commit");
+    }
+
+    #[test]
+    fn class_independence_one_file_exhausted() {
+        // §3.3: "if the processor runs out of a type of registers, the
+        // processor is allowed to continue executing instructions of the
+        // other type". Saturate the FP file with slow dividers while int
+        // work flows.
+        let mut trace = Vec::new();
+        for i in 0..40u64 {
+            trace.push(
+                DynInst::new(
+                    i * 8,
+                    Inst::new(OpClass::FpDiv)
+                        .with_dest(LogicalReg::fp((i % 32) as usize))
+                        .with_src1(LogicalReg::fp(0)),
+                ),
+            );
+            trace.push(alu(i * 8 + 4, (i % 8 + 1) as usize, 0));
+        }
+        let cfg = SimConfig::builder()
+            .scheme(RenameScheme::VirtualPhysicalWriteback { nrr: 2 })
+            .physical_regs(36)
+            .build();
+        let stats = Processor::new(cfg, trace.into_iter()).run_to_completion();
+        assert_eq!(stats.committed, 80);
+        // The int side must not suffer register re-executions.
+        assert!(stats.fp.allocations > 0 && stats.int.allocations > 0);
+    }
+
+    #[test]
+    fn write_port_saturation_defers_completions() {
+        // 16 independent 1-cycle ALUs complete in a burst wider than the
+        // 8 write ports when issue width allows; shrink ports to force
+        // deferrals.
+        let mut cfg = SimConfig::builder().scheme(RenameScheme::Conventional).build();
+        cfg.regfile_write_ports = 1;
+        let trace: Vec<DynInst> = (0..64).map(|i| alu(i * 4, (i % 8 + 1) as usize, 0)).collect();
+        let stats = Processor::new(cfg, trace.into_iter()).run_to_completion();
+        assert_eq!(stats.committed, 64);
+        assert!(
+            stats.writeback_port_stalls > 0,
+            "a single write port must defer parallel completions"
+        );
+    }
+
+    #[test]
+    fn nops_commit_without_executing() {
+        let trace: Vec<DynInst> = (0..20)
+            .map(|i| DynInst::new(i * 4, Inst::new(OpClass::Nop)))
+            .collect();
+        for scheme in all_schemes() {
+            let cfg = SimConfig::builder().scheme(scheme).build();
+            let stats = Processor::new(cfg, trace.clone().into_iter()).run_to_completion();
+            assert_eq!(stats.committed, 20, "{scheme:?}");
+            assert_eq!(stats.executions, 0, "{scheme:?}: nops never issue");
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        for scheme in all_schemes() {
+            let cfg = SimConfig::builder().scheme(scheme).build();
+            let stats = Processor::new(cfg, std::iter::empty()).run_to_completion();
+            assert_eq!(stats.committed, 0, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn run_cycles_stops_on_time() {
+        let trace: Vec<DynInst> = (0..100_000).map(|i| alu(i * 4, 1, 1)).collect();
+        let cfg = SimConfig::builder().scheme(RenameScheme::Conventional).build();
+        let mut cpu = Processor::new(cfg, trace.into_iter());
+        let stats = cpu.run_cycles(500);
+        assert_eq!(stats.cycles, 500);
+        assert!(!cpu.is_done());
+    }
+
+    #[test]
+    fn unconditional_jumps_flow_through() {
+        use vpr_isa::BranchInfo;
+        let mut trace = Vec::new();
+        let mut pc = 0u64;
+        for i in 0..30u64 {
+            trace.push(alu(pc, (i % 8 + 1) as usize, 0));
+            pc += 4;
+            let target = pc + 0x100;
+            trace.push(
+                DynInst::new(pc, Inst::new(OpClass::BranchUncond)).with_branch(BranchInfo {
+                    taken: true,
+                    next_pc: target,
+                }),
+            );
+            pc = target;
+        }
+        for scheme in all_schemes() {
+            let cfg = SimConfig::builder().scheme(scheme).build();
+            let stats = Processor::new(cfg, trace.clone().into_iter()).run_to_completion();
+            assert_eq!(stats.committed, 60, "{scheme:?}");
+            assert_eq!(stats.fetch.mispredictions, 0, "{scheme:?}: jumps never mispredict");
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! The reorder buffer.
+
+use crate::rename::{RenamedDest, RenamedSrc};
+use std::collections::VecDeque;
+use vpr_isa::DynInst;
+
+/// Progress of a load or store through the memory pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemPhase {
+    /// Not yet issued (or squashed back for re-execution).
+    #[default]
+    Idle,
+    /// Effective address computed; waiting for a cache port / MSHR.
+    AwaitCache,
+    /// A data-return event is scheduled.
+    InFlight,
+    /// Data obtained (loads) or address resolved (stores).
+    Done,
+}
+
+/// One in-flight instruction, from dispatch to commit.
+///
+/// Besides the dynamic instruction itself, the entry holds exactly the
+/// recovery state the paper requires (§3.2.2): the destination logical
+/// register and the previous mapping(s), plus the completion flag `C`.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Global program-order sequence number.
+    pub seq: u64,
+    /// The fetched instruction.
+    pub di: DynInst,
+    /// True for synthesised wrong-path instructions (squashed, never
+    /// committed).
+    pub wrong_path: bool,
+    /// True for a conditional branch whose predicted direction was wrong.
+    pub mispredicted: bool,
+    /// Renamed destination, if the instruction writes a register.
+    pub dest: Option<RenamedDest>,
+    /// Renamed sources, refreshed with their final (all-ready) state at
+    /// issue so a squashed instruction can be re-inserted into the
+    /// instruction queue for re-execution.
+    pub srcs: [Option<RenamedSrc>; 2],
+    /// The paper's `C` flag: execution has completed.
+    pub completed: bool,
+    /// Cycle at which `completed` was set (drives the optional VP commit
+    /// delay and diagnostics).
+    pub completed_at: u64,
+    /// Currently out of the instruction queue (issued or executing).
+    pub issued: bool,
+    /// Execution generation: a globally unique token refreshed on every
+    /// squash-for-re-execution so stale completion events can be
+    /// recognised and dropped.
+    pub gen: u64,
+    /// Memory-pipeline progress for loads and stores.
+    pub mem_phase: MemPhase,
+    /// Times this instruction began execution (1 = no re-executions).
+    pub executions: u32,
+}
+
+impl RobEntry {
+    /// Creates a fresh entry at dispatch.
+    pub fn new(seq: u64, di: DynInst, wrong_path: bool, mispredicted: bool) -> Self {
+        Self {
+            seq,
+            di,
+            wrong_path,
+            mispredicted,
+            dest: None,
+            srcs: [None, None],
+            completed: false,
+            completed_at: 0,
+            issued: false,
+            gen: 0,
+            mem_phase: MemPhase::Idle,
+            executions: 0,
+        }
+    }
+}
+
+/// The reorder buffer: a bounded FIFO of [`RobEntry`] addressable by
+/// sequence number.
+///
+/// Dispatch pushes at the tail, commit pops from the head, and recovery
+/// pops from the tail — so the live sequence numbers are always
+/// contiguous, and lookup is O(1) arithmetic on the head sequence.
+#[derive(Debug, Clone)]
+pub struct Rob {
+    entries: VecDeque<RobEntry>,
+    capacity: usize,
+    /// Sequence number of the entry at the head (valid when non-empty).
+    head_seq: u64,
+}
+
+impl Rob {
+    /// Creates an empty buffer with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ROB needs at least one entry");
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            head_seq: 0,
+        }
+    }
+
+    /// Number of in-flight instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is in flight.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when dispatch must stall.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Appends an entry at the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full or the sequence number is not the
+    /// successor of the current tail.
+    pub fn push(&mut self, entry: RobEntry) {
+        assert!(!self.is_full(), "ROB overflow: dispatch must stall first");
+        if let Some(tail) = self.entries.back() {
+            assert_eq!(entry.seq, tail.seq + 1, "sequence numbers must be contiguous");
+        } else {
+            self.head_seq = entry.seq;
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// Looks up an in-flight instruction by sequence number.
+    pub fn get(&self, seq: u64) -> Option<&RobEntry> {
+        let idx = seq.checked_sub(self.head_seq)? as usize;
+        self.entries.get(idx)
+    }
+
+    /// Mutable lookup by sequence number.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
+        let idx = seq.checked_sub(self.head_seq)? as usize;
+        self.entries.get_mut(idx)
+    }
+
+    /// The oldest in-flight instruction.
+    #[inline]
+    pub fn head(&self) -> Option<&RobEntry> {
+        self.entries.front()
+    }
+
+    /// The youngest in-flight instruction.
+    #[inline]
+    pub fn tail(&self) -> Option<&RobEntry> {
+        self.entries.back()
+    }
+
+    /// Removes and returns the oldest instruction (commit).
+    pub fn pop_head(&mut self) -> Option<RobEntry> {
+        let e = self.entries.pop_front()?;
+        self.head_seq = e.seq + 1;
+        Some(e)
+    }
+
+    /// Removes and returns the youngest instruction (squash).
+    pub fn pop_tail(&mut self) -> Option<RobEntry> {
+        self.entries.pop_back()
+    }
+
+    /// Iterates oldest → youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.entries.iter()
+    }
+
+    /// Iterates over entries younger than `seq`, oldest first.
+    pub fn iter_younger_than(&self, seq: u64) -> impl Iterator<Item = &RobEntry> {
+        let start = (seq + 1).saturating_sub(self.head_seq) as usize;
+        self.entries.range(start.min(self.entries.len())..)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpr_isa::{Inst, OpClass};
+
+    fn entry(seq: u64) -> RobEntry {
+        RobEntry::new(seq, DynInst::new(seq * 4, Inst::new(OpClass::IntAlu)), false, false)
+    }
+
+    #[test]
+    fn push_pop_fifo() {
+        let mut rob = Rob::new(4);
+        for s in 10..14 {
+            rob.push(entry(s));
+        }
+        assert!(rob.is_full());
+        assert_eq!(rob.head().unwrap().seq, 10);
+        assert_eq!(rob.tail().unwrap().seq, 13);
+        assert_eq!(rob.pop_head().unwrap().seq, 10);
+        assert_eq!(rob.pop_head().unwrap().seq, 11);
+        rob.push(entry(14));
+        assert_eq!(rob.len(), 3);
+    }
+
+    #[test]
+    fn lookup_by_seq_after_commits() {
+        let mut rob = Rob::new(8);
+        for s in 0..5 {
+            rob.push(entry(s));
+        }
+        rob.pop_head();
+        rob.pop_head();
+        assert!(rob.get(1).is_none(), "committed entries are gone");
+        assert_eq!(rob.get(3).unwrap().seq, 3);
+        rob.get_mut(4).unwrap().completed = true;
+        assert!(rob.get(4).unwrap().completed);
+        assert!(rob.get(99).is_none());
+    }
+
+    #[test]
+    fn squash_pops_from_tail() {
+        let mut rob = Rob::new(8);
+        for s in 0..5 {
+            rob.push(entry(s));
+        }
+        assert_eq!(rob.pop_tail().unwrap().seq, 4);
+        assert_eq!(rob.pop_tail().unwrap().seq, 3);
+        assert_eq!(rob.tail().unwrap().seq, 2);
+        // Refill continues the sequence.
+        rob.push(entry(3));
+        assert_eq!(rob.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn non_contiguous_push_panics() {
+        let mut rob = Rob::new(8);
+        rob.push(entry(0));
+        rob.push(entry(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "ROB overflow")]
+    fn overflow_panics() {
+        let mut rob = Rob::new(1);
+        rob.push(entry(0));
+        rob.push(entry(1));
+    }
+
+    #[test]
+    fn iter_younger_than() {
+        let mut rob = Rob::new(8);
+        for s in 0..6 {
+            rob.push(entry(s));
+        }
+        let seqs: Vec<u64> = rob.iter_younger_than(2).map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5]);
+        let seqs: Vec<u64> = rob.iter_younger_than(10).map(|e| e.seq).collect();
+        assert!(seqs.is_empty());
+    }
+
+    #[test]
+    fn empty_after_draining() {
+        let mut rob = Rob::new(2);
+        rob.push(entry(0));
+        rob.pop_head();
+        assert!(rob.is_empty());
+        // Sequence restarts wherever dispatch continues.
+        rob.push(entry(7));
+        assert_eq!(rob.head().unwrap().seq, 7);
+        assert_eq!(rob.get(7).unwrap().seq, 7);
+    }
+}

@@ -1,0 +1,185 @@
+//! The branch history table.
+
+/// Prediction accuracy counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BhtStats {
+    /// Direction updates applied (one per resolved conditional branch).
+    pub updates: u64,
+    /// Updates whose pre-update prediction matched the outcome.
+    pub correct: u64,
+}
+
+impl BhtStats {
+    /// Fraction of resolved branches predicted correctly.
+    pub fn accuracy(&self) -> f64 {
+        if self.updates == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.updates as f64
+        }
+    }
+}
+
+/// A direction predictor: a table of 2-bit up/down saturating counters
+/// indexed by branch address (paper §4.1: 2048 entries).
+///
+/// Counter states 0 and 1 predict not-taken; 2 and 3 predict taken. The
+/// counter saturates at both ends, giving each branch hysteresis of one
+/// wrong outcome.
+///
+/// ```
+/// use vpr_frontend::BranchHistoryTable;
+/// let mut bht = BranchHistoryTable::new(2048);
+/// let pc = 0x1000;
+/// assert!(!bht.predict(pc));      // counters start at 1 (weak not-taken)
+/// bht.update(pc, true);
+/// bht.update(pc, true);
+/// assert!(bht.predict(pc));       // two taken outcomes flip it
+/// ```
+#[derive(Debug, Clone)]
+pub struct BranchHistoryTable {
+    counters: Vec<u8>,
+    stats: BhtStats,
+}
+
+impl BranchHistoryTable {
+    /// Creates a table with `entries` counters, each initialised to the
+    /// weak not-taken state (1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or not a power of two (the index is a
+    /// mask of the word-aligned PC).
+    pub fn new(entries: usize) -> Self {
+        assert!(
+            entries > 0 && entries.is_power_of_two(),
+            "BHT entries must be a nonzero power of two"
+        );
+        Self {
+            counters: vec![1; entries],
+            stats: BhtStats::default(),
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        // Instructions are 4-byte aligned; drop the offset bits.
+        ((pc >> 2) as usize) & (self.counters.len() - 1)
+    }
+
+    /// Predicts the direction of the conditional branch at `pc`.
+    #[inline]
+    pub fn predict(&self, pc: u64) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    /// Trains the counter with a resolved outcome and records accuracy of
+    /// the pre-update prediction.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let idx = self.index(pc);
+        let predicted = self.counters[idx] >= 2;
+        self.stats.updates += 1;
+        if predicted == taken {
+            self.stats.correct += 1;
+        }
+        let c = &mut self.counters[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Accuracy counters.
+    #[inline]
+    pub fn stats(&self) -> &BhtStats {
+        &self.stats
+    }
+
+    /// Number of counters in the table.
+    #[inline]
+    pub fn entries(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+impl Default for BranchHistoryTable {
+    /// The paper's 2048-entry table.
+    fn default() -> Self {
+        Self::new(2048)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_at_both_ends() {
+        let mut bht = BranchHistoryTable::new(4);
+        let pc = 0x100;
+        for _ in 0..10 {
+            bht.update(pc, true);
+        }
+        assert!(bht.predict(pc));
+        // One not-taken outcome does not flip a strongly-taken counter.
+        bht.update(pc, false);
+        assert!(bht.predict(pc));
+        bht.update(pc, false);
+        assert!(!bht.predict(pc));
+        for _ in 0..10 {
+            bht.update(pc, false);
+        }
+        bht.update(pc, true);
+        assert!(!bht.predict(pc), "hysteresis on the not-taken side too");
+    }
+
+    #[test]
+    fn aliasing_uses_word_aligned_pc() {
+        let bht = BranchHistoryTable::new(4);
+        // 16 instruction slots alias onto 4 counters.
+        assert_eq!(bht.index(0x0), bht.index(0x10 * 4 / 4 * 16));
+        assert_eq!(bht.index(0x0), bht.index(0x40));
+        assert_ne!(bht.index(0x0), bht.index(0x4));
+    }
+
+    #[test]
+    fn accuracy_tracking() {
+        let mut bht = BranchHistoryTable::new(4);
+        let pc = 0;
+        bht.update(pc, false); // predicted N (1), outcome N: correct
+        bht.update(pc, true); // predicted N (0), outcome T: wrong
+        assert_eq!(bht.stats().updates, 2);
+        assert_eq!(bht.stats().correct, 1);
+        assert!((bht.stats().accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_report_perfect_accuracy() {
+        let bht = BranchHistoryTable::default();
+        assert_eq!(bht.stats().accuracy(), 1.0);
+        assert_eq!(bht.entries(), 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = BranchHistoryTable::new(1000);
+    }
+
+    #[test]
+    fn loop_branch_learns_taken() {
+        let mut bht = BranchHistoryTable::default();
+        let pc = 0x2000;
+        let mut correct = 0;
+        // A loop back-edge taken 99 times then falling through.
+        for i in 0..100 {
+            let taken = i != 99;
+            if bht.predict(pc) == taken {
+                correct += 1;
+            }
+            bht.update(pc, taken);
+        }
+        assert!(correct >= 97, "2-bit counter learns a loop: {correct}/100");
+    }
+}

@@ -1,0 +1,229 @@
+//! Dynamic instructions: one executed instance of a static instruction,
+//! as produced by a trace source.
+
+use crate::{Inst, OpClass};
+use std::fmt;
+
+/// Resolved outcome of a dynamic branch, recorded in the trace.
+///
+/// Trace-driven simulation knows the real outcome at fetch time; the fetch
+/// engine compares it against the predictor to decide whether fetch must
+/// stall until the branch resolves (see `vpr-frontend`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchInfo {
+    /// Whether the branch was actually taken.
+    pub taken: bool,
+    /// The instruction address executed after this branch (fall-through or
+    /// target).
+    pub next_pc: u64,
+}
+
+/// A dynamic memory access: the effective byte address and access size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// Effective byte address.
+    pub addr: u64,
+    /// Access size in bytes (the disambiguation logic checks overlap).
+    pub size: u8,
+}
+
+impl MemAccess {
+    /// Creates an 8-byte access at `addr` (the common case for a 64-bit
+    /// machine).
+    #[inline]
+    pub fn word(addr: u64) -> Self {
+        Self { addr, size: 8 }
+    }
+
+    /// Whether two accesses overlap in memory.
+    #[inline]
+    pub fn overlaps(&self, other: &MemAccess) -> bool {
+        let a_end = self.addr + u64::from(self.size);
+        let b_end = other.addr + u64::from(other.size);
+        self.addr < b_end && other.addr < a_end
+    }
+}
+
+/// One dynamic instruction from a trace: the static instruction plus its PC
+/// and, where applicable, its memory address and branch outcome.
+///
+/// ```
+/// use vpr_isa::{DynInst, Inst, LogicalReg, MemAccess, OpClass};
+/// let load = DynInst::new(
+///     0x1000,
+///     Inst::new(OpClass::Load)
+///         .with_dest(LogicalReg::fp(2))
+///         .with_src1(LogicalReg::int(6)),
+/// )
+/// .with_mem(MemAccess::word(0x8000));
+/// assert!(load.mem().is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DynInst {
+    pc: u64,
+    inst: Inst,
+    mem: Option<MemAccess>,
+    branch: Option<BranchInfo>,
+}
+
+impl DynInst {
+    /// Creates a dynamic instance of `inst` at address `pc`.
+    #[inline]
+    pub fn new(pc: u64, inst: Inst) -> Self {
+        Self {
+            pc,
+            inst,
+            mem: None,
+            branch: None,
+        }
+    }
+
+    /// Attaches a memory access (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction is not a load or store.
+    #[inline]
+    pub fn with_mem(mut self, mem: MemAccess) -> Self {
+        assert!(
+            self.inst.op().is_mem(),
+            "{} cannot carry a memory access",
+            self.inst.op()
+        );
+        self.mem = Some(mem);
+        self
+    }
+
+    /// Attaches a branch outcome (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction is not a branch.
+    #[inline]
+    pub fn with_branch(mut self, branch: BranchInfo) -> Self {
+        assert!(
+            self.inst.op().is_branch(),
+            "{} cannot carry a branch outcome",
+            self.inst.op()
+        );
+        self.branch = Some(branch);
+        self
+    }
+
+    /// The instruction address.
+    #[inline]
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// The static instruction.
+    #[inline]
+    pub fn inst(&self) -> &Inst {
+        &self.inst
+    }
+
+    /// Shorthand for the operation class.
+    #[inline]
+    pub fn op(&self) -> OpClass {
+        self.inst.op()
+    }
+
+    /// The memory access, for loads and stores.
+    #[inline]
+    pub fn mem(&self) -> Option<MemAccess> {
+        self.mem
+    }
+
+    /// The branch outcome, for branches.
+    #[inline]
+    pub fn branch(&self) -> Option<BranchInfo> {
+        self.branch
+    }
+
+    /// The dynamic address of the next instruction: the branch target /
+    /// fall-through for branches, `pc + 4` otherwise.
+    #[inline]
+    pub fn next_pc(&self) -> u64 {
+        match self.branch {
+            Some(b) => b.next_pc,
+            None => self.pc + 4,
+        }
+    }
+}
+
+impl fmt::Display for DynInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}: {}", self.pc, self.inst)?;
+        if let Some(m) = self.mem {
+            write!(f, " [{:#x}+{}]", m.addr, m.size)?;
+        }
+        if let Some(b) = self.branch {
+            write!(f, " ({} -> {:#x})", if b.taken { "T" } else { "N" }, b.next_pc)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LogicalReg;
+
+    fn load() -> DynInst {
+        DynInst::new(
+            0x1000,
+            Inst::new(OpClass::Load)
+                .with_dest(LogicalReg::int(1))
+                .with_src1(LogicalReg::int(2)),
+        )
+        .with_mem(MemAccess::word(0x2000))
+    }
+
+    #[test]
+    fn next_pc_falls_through_for_non_branches() {
+        assert_eq!(load().next_pc(), 0x1004);
+    }
+
+    #[test]
+    fn next_pc_uses_branch_outcome() {
+        let b = DynInst::new(0x1000, Inst::new(OpClass::BranchCond)).with_branch(BranchInfo {
+            taken: true,
+            next_pc: 0x4000,
+        });
+        assert_eq!(b.next_pc(), 0x4000);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot carry a memory access")]
+    fn non_mem_rejects_mem_access() {
+        let _ = DynInst::new(0, Inst::new(OpClass::IntAlu)).with_mem(MemAccess::word(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot carry a branch outcome")]
+    fn non_branch_rejects_branch_info() {
+        let _ = DynInst::new(0, Inst::new(OpClass::IntAlu)).with_branch(BranchInfo {
+            taken: false,
+            next_pc: 4,
+        });
+    }
+
+    #[test]
+    fn mem_overlap() {
+        let a = MemAccess { addr: 0x100, size: 8 };
+        let b = MemAccess { addr: 0x104, size: 8 };
+        let c = MemAccess { addr: 0x108, size: 8 };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&c));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn display_includes_details() {
+        let s = load().to_string();
+        assert!(s.contains("0x1000"), "{s}");
+        assert!(s.contains("load"), "{s}");
+        assert!(s.contains("0x2000"), "{s}");
+    }
+}

@@ -1,0 +1,43 @@
+//! # vpr-isa — abstract instruction-set model
+//!
+//! This crate defines the *architectural* vocabulary shared by every other
+//! crate in the workspace: register classes and logical register names
+//! ([`RegClass`], [`LogicalReg`]), operation classes and the functional-unit
+//! kinds that execute them ([`OpClass`], [`FuKind`]), static instructions
+//! ([`Inst`]) and dynamic (trace) instructions ([`DynInst`]).
+//!
+//! The model is deliberately ISA-agnostic: the HPCA-4 paper used Alpha
+//! binaries instrumented with Atom, but nothing in the renaming mechanism
+//! under study observes opcodes beyond (a) which register file the
+//! destination lives in, (b) which functional unit executes the operation
+//! and with what latency, (c) whether the instruction touches memory, and
+//! (d) whether it is a branch. `vpr-isa` captures exactly that surface.
+//!
+//! ## Example
+//!
+//! ```
+//! use vpr_isa::{Inst, LogicalReg, OpClass};
+//!
+//! // fmul f2, f2, f12
+//! let i = Inst::new(OpClass::FpMul)
+//!     .with_dest(LogicalReg::fp(2))
+//!     .with_src1(LogicalReg::fp(2))
+//!     .with_src2(LogicalReg::fp(12));
+//! assert_eq!(i.dest().unwrap().class(), vpr_isa::RegClass::Fp);
+//! assert!(!i.op().is_mem());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dyninst;
+mod inst;
+mod op;
+mod reg;
+mod stream;
+
+pub use dyninst::{BranchInfo, DynInst, MemAccess};
+pub use inst::Inst;
+pub use op::{FuKind, OpClass};
+pub use reg::{LogicalReg, RegClass, NUM_LOGICAL_PER_CLASS};
+pub use stream::InstStream;

@@ -1,0 +1,170 @@
+//! Register classes and logical register names.
+
+use std::fmt;
+
+/// Number of architectural (logical) registers per register class.
+///
+/// The paper assumes an Alpha-like ISA with 32 integer and 32 floating-point
+/// registers; the renaming hardware is replicated per class (paper §3.2).
+pub const NUM_LOGICAL_PER_CLASS: usize = 32;
+
+/// The two architectural register files of the machine.
+///
+/// The virtual-physical renaming scheme is instantiated once per class; all
+/// free lists, map tables and NRR reservation state are per-class (paper
+/// §3.2: "the implementation described below is replicated for both register
+/// files").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegClass {
+    /// General-purpose integer registers (`r0`..`r31`).
+    Int,
+    /// Floating-point registers (`f0`..`f31`).
+    Fp,
+}
+
+impl RegClass {
+    /// Both classes, in a fixed order convenient for per-class state arrays.
+    pub const ALL: [RegClass; 2] = [RegClass::Int, RegClass::Fp];
+
+    /// Dense index of the class (0 = integer, 1 = floating-point), for use
+    /// as an array subscript in per-class state.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            RegClass::Int => 0,
+            RegClass::Fp => 1,
+        }
+    }
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => write!(f, "int"),
+            RegClass::Fp => write!(f, "fp"),
+        }
+    }
+}
+
+/// An architectural register name, e.g. `r7` or `f2`.
+///
+/// Logical registers are what instructions of the ISA reference; dynamic
+/// renaming maps them to virtual-physical tags and ultimately to physical
+/// registers.
+///
+/// ```
+/// use vpr_isa::{LogicalReg, RegClass};
+/// let r = LogicalReg::int(7);
+/// assert_eq!(r.class(), RegClass::Int);
+/// assert_eq!(r.index(), 7);
+/// assert_eq!(r.to_string(), "r7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogicalReg {
+    class: RegClass,
+    index: u8,
+}
+
+impl LogicalReg {
+    /// Creates an integer register `r<index>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_LOGICAL_PER_CLASS`.
+    #[inline]
+    pub fn int(index: usize) -> Self {
+        Self::new(RegClass::Int, index)
+    }
+
+    /// Creates a floating-point register `f<index>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_LOGICAL_PER_CLASS`.
+    #[inline]
+    pub fn fp(index: usize) -> Self {
+        Self::new(RegClass::Fp, index)
+    }
+
+    /// Creates a register of the given class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_LOGICAL_PER_CLASS`.
+    #[inline]
+    pub fn new(class: RegClass, index: usize) -> Self {
+        assert!(
+            index < NUM_LOGICAL_PER_CLASS,
+            "logical register index {index} out of range (max {})",
+            NUM_LOGICAL_PER_CLASS - 1
+        );
+        Self {
+            class,
+            index: index as u8,
+        }
+    }
+
+    /// The register class (integer or floating-point).
+    #[inline]
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// The register number within its class.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+}
+
+impl fmt::Display for LogicalReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Fp => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indices_are_dense() {
+        assert_eq!(RegClass::Int.index(), 0);
+        assert_eq!(RegClass::Fp.index(), 1);
+        assert_eq!(RegClass::ALL[0], RegClass::Int);
+        assert_eq!(RegClass::ALL[1], RegClass::Fp);
+    }
+
+    #[test]
+    fn constructors_round_trip() {
+        let r = LogicalReg::int(31);
+        assert_eq!(r.class(), RegClass::Int);
+        assert_eq!(r.index(), 31);
+        let f = LogicalReg::fp(0);
+        assert_eq!(f.class(), RegClass::Fp);
+        assert_eq!(f.index(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        let _ = LogicalReg::int(NUM_LOGICAL_PER_CLASS);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(LogicalReg::int(3).to_string(), "r3");
+        assert_eq!(LogicalReg::fp(12).to_string(), "f12");
+        assert_eq!(RegClass::Int.to_string(), "int");
+        assert_eq!(RegClass::Fp.to_string(), "fp");
+    }
+
+    #[test]
+    fn ordering_and_equality() {
+        assert!(LogicalReg::int(1) < LogicalReg::int(2));
+        assert_ne!(LogicalReg::int(1), LogicalReg::fp(1));
+    }
+}

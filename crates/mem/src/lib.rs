@@ -1,0 +1,37 @@
+//! # vpr-mem — memory-hierarchy substrate
+//!
+//! Everything below the core's load/store ports, built from scratch for the
+//! HPCA-4 virtual-physical register reproduction:
+//!
+//! * [`DataCache`] — a lockup-free (Kroft-style) first-level data cache:
+//!   direct-mapped, write-back/write-allocate, a configurable number of
+//!   ports, miss status holding registers ([`Mshr`]) that merge accesses to
+//!   in-flight lines, and an L1↔L2 [`Bus`] whose occupancy limits fill
+//!   throughput. Paper configuration: 16 KB, 32-byte lines, 2-cycle hits,
+//!   50-cycle miss penalty, 8 outstanding misses, 3 ports, 4 bus cycles per
+//!   line.
+//! * [`StoreBuffer`] — committed stores drain to the cache in order through
+//!   a small FIFO so that commit never waits for the memory system unless
+//!   the buffer fills up.
+//! * [`Lsq`] — PA-8000-style memory disambiguation: loads may issue past
+//!   older stores with unresolved addresses; when a store address resolves
+//!   and overlaps a younger already-issued load, the load is flagged for
+//!   squash and re-execution. Store→load forwarding is detected here.
+//!
+//! The crate is agnostic of the out-of-order core: callers drive it with a
+//! monotonically increasing cycle number and instruction sequence numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod cache;
+mod lsq;
+mod mshr;
+mod store_buffer;
+
+pub use bus::Bus;
+pub use cache::{AccessKind, AccessOutcome, CacheConfig, CacheStats, DataCache};
+pub use lsq::{LoadDisposition, Lsq, LsqStats};
+pub use mshr::{Mshr, MshrFile};
+pub use store_buffer::{PendingStore, StoreBuffer};

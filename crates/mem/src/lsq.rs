@@ -1,0 +1,431 @@
+//! PA-8000-style memory disambiguation.
+//!
+//! The paper's simulator adopts "the memory disambiguation scheme
+//! implemented in the PA-8000" (§4.1): an address-reorder-buffer in which
+//! loads are allowed to issue even when older stores have not yet computed
+//! their addresses. When a store address resolves and overlaps a younger
+//! load that already performed, the load is *squashed and re-executed*;
+//! when an older store with a known overlapping address holds the data, the
+//! load forwards from it instead of accessing the cache.
+//!
+//! The [`Lsq`] tracks loads and stores by the core's global sequence
+//! numbers, which encode program order.
+
+use std::collections::BTreeMap;
+use vpr_isa::MemAccess;
+
+/// What an address-resolved load should do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadDisposition {
+    /// An older store with a resolved, overlapping address supplies the
+    /// data; no cache access is needed.
+    Forward {
+        /// Sequence number of the forwarding store.
+        store_seq: u64,
+        /// True when an unresolved older store sits between the load and
+        /// the forwarding store — the forward may later prove wrong.
+        speculative: bool,
+    },
+    /// No forwarding store: access the data cache.
+    Cache {
+        /// True when at least one older store has an unresolved address,
+        /// i.e. the load bypasses it speculatively (PA-8000 behaviour).
+        speculative: bool,
+    },
+}
+
+/// Disambiguation outcome counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LsqStats {
+    /// Loads that forwarded from an older store.
+    pub forwards: u64,
+    /// Loads that issued past at least one unresolved older store.
+    pub speculative_loads: u64,
+    /// Load re-executions caused by ordering violations.
+    pub violations: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    is_store: bool,
+    access: Option<MemAccess>,
+    /// Load: has performed (result obtained, possibly speculatively).
+    /// Store: unused.
+    performed: bool,
+    /// Load: sequence of the store it forwarded from, if any.
+    forwarded_from: Option<u64>,
+}
+
+/// The load/store queue: program-ordered memory operations in flight.
+///
+/// Entries are inserted at dispatch (program order), updated when effective
+/// addresses resolve, and removed at commit or squash. The queue has a
+/// finite capacity; dispatch must stall when [`Lsq::is_full`].
+///
+/// ```
+/// use vpr_isa::MemAccess;
+/// use vpr_mem::{LoadDisposition, Lsq};
+///
+/// let mut lsq = Lsq::new(8);
+/// lsq.insert_store(1);
+/// lsq.insert_load(2);
+/// // The load resolves first: it must speculatively bypass store #1.
+/// let d = lsq.resolve_load(2, MemAccess::word(0x100));
+/// assert_eq!(d, LoadDisposition::Cache { speculative: true });
+/// // The store turns out to overlap: the load is flagged for re-execution.
+/// let victims = lsq.resolve_store(1, MemAccess::word(0x100));
+/// assert_eq!(victims, vec![2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lsq {
+    entries: BTreeMap<u64, Entry>,
+    capacity: usize,
+    stats: LsqStats,
+}
+
+impl Lsq {
+    /// Creates a queue holding at most `capacity` memory operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LSQ needs at least one entry");
+        Self {
+            entries: BTreeMap::new(),
+            capacity,
+            stats: LsqStats::default(),
+        }
+    }
+
+    /// Current number of tracked memory operations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the queue tracks nothing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when dispatch must stall.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Outcome counters.
+    #[inline]
+    pub fn stats(&self) -> &LsqStats {
+        &self.stats
+    }
+
+    /// Registers a load at dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full or `seq` is already present.
+    pub fn insert_load(&mut self, seq: u64) {
+        self.insert(seq, false)
+    }
+
+    /// Registers a store at dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full or `seq` is already present.
+    pub fn insert_store(&mut self, seq: u64) {
+        self.insert(seq, true)
+    }
+
+    fn insert(&mut self, seq: u64, is_store: bool) {
+        assert!(!self.is_full(), "LSQ overflow: dispatch must stall first");
+        let prev = self.entries.insert(
+            seq,
+            Entry {
+                is_store,
+                access: None,
+                performed: false,
+                forwarded_from: None,
+            },
+        );
+        assert!(prev.is_none(), "sequence {seq} inserted twice");
+    }
+
+    /// Resolves a load's effective address and decides how it obtains its
+    /// data. Marks the load as performed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not a tracked load.
+    pub fn resolve_load(&mut self, seq: u64, access: MemAccess) -> LoadDisposition {
+        {
+            let e = self.entries.get_mut(&seq).expect("unknown load");
+            assert!(!e.is_store, "sequence {seq} is a store");
+            e.access = Some(access);
+            e.performed = true;
+            e.forwarded_from = None;
+        }
+        // Walk older stores from youngest to oldest.
+        let mut speculative = false;
+        let mut forward: Option<u64> = None;
+        for (&s_seq, s) in self.entries.range(..seq).rev() {
+            if !s.is_store {
+                continue;
+            }
+            match s.access {
+                None => speculative = true,
+                Some(sa) if sa.overlaps(&access) => {
+                    forward = Some(s_seq);
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+        if speculative {
+            self.stats.speculative_loads += 1;
+        }
+        match forward {
+            Some(store_seq) => {
+                self.stats.forwards += 1;
+                self.entries.get_mut(&seq).expect("just inserted").forwarded_from =
+                    Some(store_seq);
+                LoadDisposition::Forward {
+                    store_seq,
+                    speculative,
+                }
+            }
+            None => LoadDisposition::Cache { speculative },
+        }
+    }
+
+    /// Resolves a store's effective address. Returns the sequence numbers
+    /// of younger loads that already performed with an overlapping address
+    /// and did **not** forward from a store younger than this one: those
+    /// loads consumed stale data and must re-execute (they are marked
+    /// not-performed here; the core re-runs them and calls
+    /// [`Lsq::resolve_load`] again).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not a tracked store.
+    pub fn resolve_store(&mut self, seq: u64, access: MemAccess) -> Vec<u64> {
+        {
+            let e = self.entries.get_mut(&seq).expect("unknown store");
+            assert!(e.is_store, "sequence {seq} is a load");
+            e.access = Some(access);
+        }
+        let mut victims = Vec::new();
+        for (&l_seq, l) in self.entries.range(seq + 1..) {
+            if l.is_store || !l.performed {
+                continue;
+            }
+            let Some(la) = l.access else { continue };
+            if !la.overlaps(&access) {
+                continue;
+            }
+            // A forward from a store younger than us is still correct.
+            if l.forwarded_from.is_some_and(|f| f > seq) {
+                continue;
+            }
+            victims.push(l_seq);
+        }
+        for &v in &victims {
+            let e = self.entries.get_mut(&v).expect("victim exists");
+            e.performed = false;
+            e.forwarded_from = None;
+            self.stats.violations += 1;
+        }
+        victims
+    }
+
+    /// Marks a performed load as not performed (e.g. the virtual-physical
+    /// write-back scheme squashed it for lack of a free register). Its next
+    /// execution will call [`Lsq::resolve_load`] again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not a tracked load.
+    pub fn mark_unperformed(&mut self, seq: u64) {
+        let e = self.entries.get_mut(&seq).expect("unknown load");
+        assert!(!e.is_store, "sequence {seq} is a store");
+        e.performed = false;
+        e.forwarded_from = None;
+    }
+
+    /// Removes an operation at commit (or at squash during recovery).
+    /// Unknown sequence numbers are ignored so recovery can blindly sweep.
+    pub fn remove(&mut self, seq: u64) {
+        self.entries.remove(&seq);
+    }
+
+    /// Removes every operation younger than `seq` (exclusive), for branch
+    /// misprediction / exception recovery.
+    pub fn squash_younger_than(&mut self, seq: u64) {
+        self.entries.split_off(&(seq + 1));
+    }
+
+    /// The resolved address of a tracked operation, if known.
+    pub fn address_of(&self, seq: u64) -> Option<MemAccess> {
+        self.entries.get(&seq).and_then(|e| e.access)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_with_no_older_stores_is_nonspeculative() {
+        let mut lsq = Lsq::new(8);
+        lsq.insert_load(5);
+        let d = lsq.resolve_load(5, MemAccess::word(0x100));
+        assert_eq!(d, LoadDisposition::Cache { speculative: false });
+        assert_eq!(lsq.stats().speculative_loads, 0);
+    }
+
+    #[test]
+    fn forward_from_resolved_overlapping_store() {
+        let mut lsq = Lsq::new(8);
+        lsq.insert_store(1);
+        lsq.insert_load(2);
+        lsq.resolve_store(1, MemAccess::word(0x100));
+        let d = lsq.resolve_load(2, MemAccess::word(0x100));
+        assert_eq!(
+            d,
+            LoadDisposition::Forward {
+                store_seq: 1,
+                speculative: false
+            }
+        );
+        assert_eq!(lsq.stats().forwards, 1);
+    }
+
+    #[test]
+    fn nearest_store_wins_forwarding() {
+        let mut lsq = Lsq::new(8);
+        lsq.insert_store(1);
+        lsq.insert_store(2);
+        lsq.insert_load(3);
+        lsq.resolve_store(1, MemAccess::word(0x100));
+        lsq.resolve_store(2, MemAccess::word(0x100));
+        let d = lsq.resolve_load(3, MemAccess::word(0x100));
+        assert_eq!(
+            d,
+            LoadDisposition::Forward {
+                store_seq: 2,
+                speculative: false
+            }
+        );
+    }
+
+    #[test]
+    fn violation_detected_when_store_resolves_late() {
+        let mut lsq = Lsq::new(8);
+        lsq.insert_store(1);
+        lsq.insert_load(2);
+        let d = lsq.resolve_load(2, MemAccess::word(0x100));
+        assert_eq!(d, LoadDisposition::Cache { speculative: true });
+        let victims = lsq.resolve_store(1, MemAccess::word(0x100));
+        assert_eq!(victims, vec![2]);
+        assert_eq!(lsq.stats().violations, 1);
+        // Re-execution resolves again; the store address is now known.
+        let d = lsq.resolve_load(2, MemAccess::word(0x100));
+        assert_eq!(
+            d,
+            LoadDisposition::Forward {
+                store_seq: 1,
+                speculative: false
+            }
+        );
+    }
+
+    #[test]
+    fn disjoint_store_causes_no_violation() {
+        let mut lsq = Lsq::new(8);
+        lsq.insert_store(1);
+        lsq.insert_load(2);
+        lsq.resolve_load(2, MemAccess::word(0x100));
+        let victims = lsq.resolve_store(1, MemAccess::word(0x200));
+        assert!(victims.is_empty());
+    }
+
+    #[test]
+    fn forward_from_younger_store_survives_older_store_resolution() {
+        let mut lsq = Lsq::new(8);
+        lsq.insert_store(1); // unresolved
+        lsq.insert_store(2);
+        lsq.insert_load(3);
+        lsq.resolve_store(2, MemAccess::word(0x100));
+        let d = lsq.resolve_load(3, MemAccess::word(0x100));
+        // Store 1 is unresolved but *older* than the forwarding store, so
+        // it cannot invalidate the forward: not speculative.
+        assert_eq!(
+            d,
+            LoadDisposition::Forward {
+                store_seq: 2,
+                speculative: false
+            }
+        );
+        // Store 1 resolves to the same address, but store 2 already
+        // supplied the architecturally correct (younger) value.
+        let victims = lsq.resolve_store(1, MemAccess::word(0x100));
+        assert!(victims.is_empty());
+    }
+
+    #[test]
+    fn unperformed_loads_are_not_victims() {
+        let mut lsq = Lsq::new(8);
+        lsq.insert_store(1);
+        lsq.insert_load(2);
+        let victims = lsq.resolve_store(1, MemAccess::word(0x100));
+        assert!(victims.is_empty(), "load has not performed yet");
+    }
+
+    #[test]
+    fn squash_younger_drops_wrong_path_entries() {
+        let mut lsq = Lsq::new(8);
+        lsq.insert_store(1);
+        lsq.insert_load(2);
+        lsq.insert_load(3);
+        lsq.squash_younger_than(1);
+        assert_eq!(lsq.len(), 1);
+        assert!(lsq.address_of(1).is_none());
+    }
+
+    #[test]
+    fn commit_removes_entries() {
+        let mut lsq = Lsq::new(2);
+        lsq.insert_load(1);
+        lsq.insert_store(2);
+        assert!(lsq.is_full());
+        lsq.remove(1);
+        lsq.remove(2);
+        assert!(lsq.is_empty());
+        lsq.remove(99); // unknown: ignored
+    }
+
+    #[test]
+    #[should_panic(expected = "LSQ overflow")]
+    fn overflow_panics() {
+        let mut lsq = Lsq::new(1);
+        lsq.insert_load(1);
+        lsq.insert_load(2);
+    }
+
+    #[test]
+    fn mark_unperformed_clears_forwarding() {
+        let mut lsq = Lsq::new(8);
+        lsq.insert_store(1);
+        lsq.insert_load(2);
+        lsq.resolve_store(1, MemAccess::word(0x100));
+        lsq.resolve_load(2, MemAccess::word(0x100));
+        lsq.mark_unperformed(2);
+        // A later, disjoint store resolution must not see it as performed.
+        lsq.insert_store(0);
+        let victims = lsq.resolve_store(0, MemAccess::word(0x100));
+        assert!(victims.is_empty());
+    }
+}

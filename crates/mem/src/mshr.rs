@@ -1,0 +1,164 @@
+//! Miss status holding registers for the lockup-free cache.
+
+/// One in-flight line fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mshr {
+    /// Line-aligned address being fetched from L2.
+    pub line_addr: u64,
+    /// Cycle at which the fill completes and the line can be installed.
+    pub ready_at: u64,
+    /// Whether any merged access was a store (the installed line starts
+    /// dirty).
+    pub dirty: bool,
+    /// Number of accesses merged into this fill (including the initiating
+    /// one).
+    pub merged: u32,
+}
+
+/// The set of miss status holding registers.
+///
+/// The paper's cache "allows up to 8 pending misses to different cache
+/// lines" (Kroft's lockup-free organisation): a miss to a line already being
+/// fetched merges into the existing entry; a miss to a new line when all
+/// registers are busy must be retried later.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: Vec<Mshr>,
+    capacity: usize,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (the cache could never miss).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "need at least one MSHR");
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Number of in-flight fills.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no fill is in flight.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when no further distinct-line miss can be accepted.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Looks up the in-flight fill for `line_addr`.
+    pub fn find(&self, line_addr: u64) -> Option<&Mshr> {
+        self.entries.iter().find(|m| m.line_addr == line_addr)
+    }
+
+    /// Merges an access into an in-flight fill, returning the completion
+    /// cycle, or `None` if the line is not in flight.
+    pub fn merge(&mut self, line_addr: u64, is_store: bool) -> Option<u64> {
+        let m = self.entries.iter_mut().find(|m| m.line_addr == line_addr)?;
+        m.merged += 1;
+        m.dirty |= is_store;
+        Some(m.ready_at)
+    }
+
+    /// Allocates a new fill. Returns `false` (and changes nothing) when all
+    /// registers are busy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already in flight — callers must [`merge`]
+    /// first; a duplicate entry would install the line twice.
+    ///
+    /// [`merge`]: MshrFile::merge
+    pub fn allocate(&mut self, line_addr: u64, ready_at: u64, is_store: bool) -> bool {
+        assert!(
+            self.find(line_addr).is_none(),
+            "line {line_addr:#x} already has an MSHR"
+        );
+        if self.is_full() {
+            return false;
+        }
+        self.entries.push(Mshr {
+            line_addr,
+            ready_at,
+            dirty: is_store,
+            merged: 1,
+        });
+        true
+    }
+
+    /// Removes and returns every fill that has completed by `now`.
+    pub fn drain_completed(&mut self, now: u64) -> Vec<Mshr> {
+        let mut done = Vec::new();
+        self.entries.retain(|m| {
+            if m.ready_at <= now {
+                done.push(*m);
+                false
+            } else {
+                true
+            }
+        });
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_until_full() {
+        let mut f = MshrFile::new(2);
+        assert!(f.allocate(0x000, 50, false));
+        assert!(f.allocate(0x020, 55, false));
+        assert!(f.is_full());
+        assert!(!f.allocate(0x040, 60, false));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn merge_returns_existing_ready_time() {
+        let mut f = MshrFile::new(2);
+        f.allocate(0x100, 77, false);
+        assert_eq!(f.merge(0x100, true), Some(77));
+        assert_eq!(f.merge(0x200, false), None);
+        let m = f.find(0x100).unwrap();
+        assert_eq!(m.merged, 2);
+        assert!(m.dirty, "store merge must mark the line dirty");
+    }
+
+    #[test]
+    fn drain_returns_only_completed() {
+        let mut f = MshrFile::new(4);
+        f.allocate(0x000, 10, false);
+        f.allocate(0x020, 20, true);
+        let done = f.drain_completed(15);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].line_addr, 0x000);
+        assert_eq!(f.len(), 1);
+        let done = f.drain_completed(25);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].dirty);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an MSHR")]
+    fn duplicate_allocation_panics() {
+        let mut f = MshrFile::new(2);
+        f.allocate(0x100, 10, false);
+        f.allocate(0x100, 20, false);
+    }
+}

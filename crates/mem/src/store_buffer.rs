@@ -1,0 +1,214 @@
+//! The post-commit store buffer.
+
+use crate::{AccessKind, AccessOutcome, DataCache};
+use std::collections::VecDeque;
+use vpr_isa::MemAccess;
+
+/// A store that has committed but not yet been written to the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingStore {
+    /// The store's global sequence number (diagnostics only).
+    pub seq: u64,
+    /// The access to perform.
+    pub access: MemAccess,
+}
+
+/// An in-order FIFO of committed stores draining to the data cache.
+///
+/// Stores leave the reorder buffer at commit and are written to the cache
+/// as ports and miss status holding registers allow (see
+/// [`StoreBuffer::tick`]). Commit only stalls when the buffer is full.
+///
+/// Loads must also check the buffer for pending data
+/// ([`StoreBuffer::forwards`]) because a drained-but-unwritten store is no
+/// longer visible in the LSQ.
+#[derive(Debug, Clone)]
+pub struct StoreBuffer {
+    fifo: VecDeque<PendingStore>,
+    capacity: usize,
+    drained: u64,
+    full_stalls: u64,
+}
+
+impl StoreBuffer {
+    /// Creates a buffer with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "store buffer needs at least one entry");
+        Self {
+            fifo: VecDeque::with_capacity(capacity),
+            capacity,
+            drained: 0,
+            full_stalls: 0,
+        }
+    }
+
+    /// Number of buffered stores.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// True when no store is buffered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// True when commit must stall before retiring another store.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.fifo.len() == self.capacity
+    }
+
+    /// Total stores fully written to the cache.
+    #[inline]
+    pub fn drained(&self) -> u64 {
+        self.drained
+    }
+
+    /// How many times [`StoreBuffer::push`] was refused.
+    #[inline]
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls
+    }
+
+    /// Enqueues a committed store. Returns `false` (and counts a stall)
+    /// when the buffer is full; the caller must retry next cycle.
+    pub fn push(&mut self, store: PendingStore) -> bool {
+        if self.is_full() {
+            self.full_stalls += 1;
+            return false;
+        }
+        self.fifo.push_back(store);
+        true
+    }
+
+    /// True if any buffered store overlaps `access` — the data is newer
+    /// than memory and a load must take it from here (modelled as a
+    /// forward by the caller).
+    pub fn forwards(&self, access: &MemAccess) -> bool {
+        self.fifo.iter().any(|s| s.access.overlaps(access))
+    }
+
+    /// Advances the drain engine by one cycle: tries to write the head
+    /// store to the cache. Call once per simulated cycle.
+    ///
+    /// A store that hits drains immediately (the write is buffered inside
+    /// the cache, which marked the line dirty); a store that *misses* also
+    /// drains immediately — the miss status holding register that tracks
+    /// the write-allocate fill owns the write from then on (the fill
+    /// installs the line dirty), which is what lets a lockup-free cache
+    /// absorb store misses without serialising commit. Only a structural
+    /// rejection (no port, no MSHR) keeps the head for another cycle.
+    pub fn tick(&mut self, now: u64, cache: &mut DataCache) {
+        let Some(head) = self.fifo.front() else { return };
+        match cache.access(now, head.access.addr, AccessKind::Store) {
+            AccessOutcome::Hit { .. } | AccessOutcome::Miss { .. } => {
+                self.fifo.pop_front();
+                self.drained += 1;
+            }
+            AccessOutcome::Retry { .. } => {
+                // No port/MSHR this cycle: try again next tick.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CacheConfig;
+
+    fn cache() -> DataCache {
+        DataCache::new(CacheConfig::default())
+    }
+
+    fn store(seq: u64, addr: u64) -> PendingStore {
+        PendingStore {
+            seq,
+            access: MemAccess::word(addr),
+        }
+    }
+
+    #[test]
+    fn drains_a_hit_immediately() {
+        let mut dc = cache();
+        // Warm the line.
+        dc.access(0, 0x100, AccessKind::Load);
+        let mut sb = StoreBuffer::new(4);
+        sb.push(store(1, 0x100));
+        sb.tick(60, &mut dc); // hit: the cache buffers the write
+        assert!(sb.is_empty());
+        assert_eq!(sb.drained(), 1);
+    }
+
+    #[test]
+    fn store_miss_drains_into_an_mshr() {
+        let mut dc = cache();
+        let mut sb = StoreBuffer::new(4);
+        sb.push(store(1, 0x100));
+        sb.tick(0, &mut dc); // miss: the MSHR owns the write from here
+        assert!(sb.is_empty());
+        assert_eq!(dc.inflight_fills(), 1);
+        // Once the fill lands the line is dirty (write-allocate): evicting
+        // it later writes back.
+        dc.access(60, 0x100 + 16 * 1024, AccessKind::Load); // conflict miss
+        dc.access(200, 0x100, AccessKind::Load); // install conflicting line
+        assert_eq!(dc.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn store_retries_when_mshrs_are_full() {
+        let mut dc = DataCache::new(CacheConfig {
+            mshrs: 1,
+            ..CacheConfig::default()
+        });
+        dc.access(0, 0x5000, AccessKind::Load); // occupy the only MSHR
+        let mut sb = StoreBuffer::new(4);
+        sb.push(store(1, 0x100));
+        sb.tick(1, &mut dc);
+        assert_eq!(sb.len(), 1, "no MSHR: the store waits");
+        sb.tick(51, &mut dc); // fill done, MSHR free
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    fn capacity_and_stall_counting() {
+        let mut sb = StoreBuffer::new(2);
+        assert!(sb.push(store(1, 0)));
+        assert!(sb.push(store(2, 8)));
+        assert!(!sb.push(store(3, 16)));
+        assert_eq!(sb.full_stalls(), 1);
+        assert!(sb.is_full());
+    }
+
+    #[test]
+    fn forwards_detects_overlap() {
+        let mut sb = StoreBuffer::new(2);
+        sb.push(store(1, 0x100));
+        assert!(sb.forwards(&MemAccess::word(0x100)));
+        assert!(sb.forwards(&MemAccess::word(0x104)));
+        assert!(!sb.forwards(&MemAccess::word(0x108)));
+    }
+
+    #[test]
+    fn in_order_drain() {
+        let mut dc = cache();
+        dc.access(0, 0x100, AccessKind::Load);
+        dc.access(0, 0x200, AccessKind::Load);
+        let mut sb = StoreBuffer::new(4);
+        sb.push(store(1, 0x100));
+        sb.push(store(2, 0x200));
+        let mut t = 60;
+        while !sb.is_empty() && t < 200 {
+            sb.tick(t, &mut dc);
+            t += 1;
+        }
+        assert_eq!(sb.drained(), 2);
+        assert!(t < 200, "both stores drain promptly on hits");
+    }
+}

@@ -1,0 +1,112 @@
+//! `go` — game of Go position evaluator (SPECint95 099.go).
+//!
+//! Famously branch-dominated: short basic blocks, data-dependent branches
+//! the 2-bit BHT cannot learn, a small resident working set and shallow
+//! integer chains. Mispredictions keep the instruction window nearly
+//! empty, so register pressure is low and the paper sees only +4%. The
+//! conventional IPC to approximate is 0.73 — the lowest of the suite.
+
+use crate::ops::{br_on, iadd, iload, istore};
+use crate::program::{LoopSpec, Program, StreamSpec};
+
+/// Builds the go model.
+pub fn program() -> Program {
+    const KB: u64 = 1 << 10;
+    // Board scan with evaluation: a branch every ~4 instructions, half of
+    // them effectively random.
+    let evaluate = LoopSpec {
+        base_pc: 0x1_0000,
+        body: vec![
+            iload(3, 1, 0),
+            iadd(4, 3, 5),
+            br_on(4, 0.45, 2), // tests the loaded value: slow to resolve
+            iadd(5, 4, 3),
+            iadd(6, 5, 4),
+            br_on(6, 0.5, 1),
+            istore(6, 1, 1),
+            iadd(1, 1, 7),
+            br_on(5, 0.5, 1),
+            iadd(8, 6, 3),
+        ],
+        streams: vec![
+            StreamSpec::random(0x10_0000, 4 * KB),
+            StreamSpec::random(0x10_1000, 2 * KB),
+        ],
+        mean_trips: 12.0,
+    };
+    // Pattern matcher: slightly longer blocks, still unpredictable.
+    let pattern = LoopSpec {
+        base_pc: 0x2_0000,
+        body: vec![
+            iload(9, 2, 0),
+            iadd(10, 9, 2),
+            br_on(10, 0.5, 3),
+            iadd(11, 10, 9),
+            iadd(12, 11, 10),
+            iadd(2, 2, 7),
+        ],
+        streams: vec![StreamSpec::random(0x10_1800, 4 * KB)],
+        mean_trips: 8.0,
+    };
+    Program {
+        loops: vec![evaluate, pattern],
+        weights: vec![2.0, 1.0],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceGen;
+    use vpr_isa::OpClass;
+
+    #[test]
+    fn branch_every_few_instructions() {
+        let insts: Vec<_> = TraceGen::new(program(), 1).take(30_000).collect();
+        let branches = insts
+            .iter()
+            .filter(|d| d.op() == OpClass::BranchCond)
+            .count();
+        let density = branches as f64 / insts.len() as f64;
+        assert!(
+            (0.15..0.45).contains(&density),
+            "go is branch-dominated: density {density:.2}"
+        );
+    }
+
+    #[test]
+    fn branches_are_genuinely_unpredictable() {
+        // A static per-PC majority predictor (the best a 2-bit counter can
+        // converge to) should do poorly on the data-dependent branches.
+        use std::collections::HashMap;
+        let insts: Vec<_> = TraceGen::new(program(), 2).take(60_000).collect();
+        let mut by_pc: HashMap<u64, (usize, usize)> = HashMap::new();
+        for d in insts.iter().filter(|d| d.op() == OpClass::BranchCond) {
+            let e = by_pc.entry(d.pc()).or_default();
+            if d.branch().unwrap().taken {
+                e.0 += 1;
+            } else {
+                e.1 += 1;
+            }
+        }
+        let (mut best, mut total) = (0usize, 0usize);
+        for (t, n) in by_pc.values() {
+            best += t.max(n);
+            total += t + n;
+        }
+        let majority_accuracy = best as f64 / total as f64;
+        assert!(
+            majority_accuracy < 0.85,
+            "too predictable for go: {majority_accuracy:.2}"
+        );
+    }
+
+    #[test]
+    fn integer_only() {
+        let insts: Vec<_> = TraceGen::new(program(), 3).take(10_000).collect();
+        assert!(insts.iter().all(|d| !matches!(
+            d.op(),
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt
+        )));
+    }
+}

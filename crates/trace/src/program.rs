@@ -1,0 +1,195 @@
+//! Static synthetic programs: the vocabulary from which benchmark models
+//! are built.
+//!
+//! A [`Program`] is a set of flat loops. Each [`LoopSpec`] has a body of
+//! [`SynthOp`]s laid out at consecutive PCs, an implicit back-edge
+//! conditional branch, a geometric trip-count distribution, and a set of
+//! memory [`StreamSpec`]s its loads and stores walk. The
+//! [`TraceGen`](crate::TraceGen) executor turns a program into an infinite
+//! dynamic instruction stream.
+
+use vpr_isa::Inst;
+
+/// One operation slot in a loop body.
+#[derive(Debug, Clone)]
+pub enum SynthOp {
+    /// A register-to-register operation, emitted as-is.
+    Op(Inst),
+    /// A load whose address comes from the numbered stream.
+    Load {
+        /// The instruction (must be a load with a destination).
+        inst: Inst,
+        /// Index into the loop's streams.
+        stream: usize,
+    },
+    /// A store whose address comes from the numbered stream.
+    Store {
+        /// The instruction (must be a store).
+        inst: Inst,
+        /// Index into the loop's streams.
+        stream: usize,
+    },
+    /// A data-dependent conditional branch inside the body: taken with
+    /// probability `taken_prob`, skipping the next `skip` body slots when
+    /// taken. Unpredictable when `taken_prob` is near 0.5. `src` names the
+    /// integer register the branch compares — resolution then waits for
+    /// that register's producer, which is what makes mispredictions on
+    /// load-dependent branches expensive.
+    CondBranch {
+        /// Probability the branch is taken.
+        taken_prob: f64,
+        /// Body slots skipped on a taken outcome.
+        skip: usize,
+        /// Integer register the branch tests (`None`: resolves on its
+        /// own, e.g. a counted-loop test the hardware sees as ready).
+        src: Option<usize>,
+    },
+}
+
+/// How a memory stream generates addresses.
+#[derive(Debug, Clone, Copy)]
+pub enum StreamKind {
+    /// Sequential walk: address advances by `stride` per access, wrapping
+    /// at the end of the working set (array streaming — high spatial
+    /// locality, misses once per line when the working set exceeds the
+    /// cache).
+    Strided {
+        /// Bytes between consecutive accesses.
+        stride: u64,
+    },
+    /// Uniformly random addresses inside the working set (hash/table
+    /// lookups, pointer chasing — no spatial locality).
+    Random,
+}
+
+/// One memory stream of a loop.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamSpec {
+    /// First byte of the stream's region.
+    pub base: u64,
+    /// Region size in bytes; addresses stay inside `[base, base + size)`.
+    pub working_set: u64,
+    /// Address pattern.
+    pub kind: StreamKind,
+}
+
+impl StreamSpec {
+    /// A sequential stream over `working_set` bytes starting at `base`.
+    pub fn strided(base: u64, working_set: u64, stride: u64) -> Self {
+        Self {
+            base,
+            working_set,
+            kind: StreamKind::Strided { stride },
+        }
+    }
+
+    /// A random-access stream over `working_set` bytes starting at `base`.
+    pub fn random(base: u64, working_set: u64) -> Self {
+        Self {
+            base,
+            working_set,
+            kind: StreamKind::Random,
+        }
+    }
+}
+
+/// A flat loop: a body, its memory streams, and how long it runs.
+#[derive(Debug, Clone)]
+pub struct LoopSpec {
+    /// PC of the first body instruction (each op takes 4 bytes; the
+    /// back-edge branch sits right after the body).
+    pub base_pc: u64,
+    /// The loop body, executed once per trip.
+    pub body: Vec<SynthOp>,
+    /// Memory streams referenced by the body's loads and stores.
+    pub streams: Vec<StreamSpec>,
+    /// Mean trips per activation (geometric distribution). The back-edge
+    /// is taken while the loop continues — a 2-bit counter predicts it
+    /// well when trips are long.
+    pub mean_trips: f64,
+}
+
+impl LoopSpec {
+    /// PC of the implicit back-edge branch.
+    pub fn backedge_pc(&self) -> u64 {
+        self.base_pc + 4 * self.body.len() as u64
+    }
+
+    /// PC of the implicit exit jump that transfers to the next loop.
+    pub fn exit_pc(&self) -> u64 {
+        self.backedge_pc() + 4
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a load/store references a missing stream, a branch skip
+    /// overruns the body, or the body is empty.
+    pub fn validate(&self) {
+        assert!(!self.body.is_empty(), "loop body cannot be empty");
+        assert!(self.mean_trips >= 1.0, "a loop runs at least once");
+        for (i, op) in self.body.iter().enumerate() {
+            match op {
+                SynthOp::Load { inst, stream } => {
+                    assert!(inst.op() == vpr_isa::OpClass::Load, "slot {i}: not a load");
+                    assert!(*stream < self.streams.len(), "slot {i}: stream {stream} missing");
+                }
+                SynthOp::Store { inst, stream } => {
+                    assert!(inst.op() == vpr_isa::OpClass::Store, "slot {i}: not a store");
+                    assert!(*stream < self.streams.len(), "slot {i}: stream {stream} missing");
+                }
+                SynthOp::CondBranch {
+                    taken_prob,
+                    skip,
+                    src,
+                } => {
+                    assert!((0.0..=1.0).contains(taken_prob), "slot {i}: bad probability");
+                    assert!(
+                        i + 1 + skip <= self.body.len(),
+                        "slot {i}: skip {skip} overruns the body"
+                    );
+                    assert!(
+                        src.is_none_or(|r| r < vpr_isa::NUM_LOGICAL_PER_CLASS),
+                        "slot {i}: branch source register out of range"
+                    );
+                }
+                SynthOp::Op(inst) => {
+                    assert!(
+                        !inst.op().is_mem() && !inst.op().is_branch(),
+                        "slot {i}: memory/branch ops need their dedicated variants"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A complete synthetic program: weighted loops visited in proportion to
+/// their weights.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The loops.
+    pub loops: Vec<LoopSpec>,
+    /// Relative selection weight of each loop (need not sum to 1).
+    pub weights: Vec<f64>,
+}
+
+impl Program {
+    /// Validates the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty, if weights mismatch, or if any loop is invalid.
+    pub fn validate(&self) {
+        assert!(!self.loops.is_empty(), "program needs at least one loop");
+        assert_eq!(self.loops.len(), self.weights.len(), "one weight per loop");
+        assert!(
+            self.weights.iter().all(|w| *w > 0.0),
+            "weights must be positive"
+        );
+        for l in &self.loops {
+            l.validate();
+        }
+    }
+}

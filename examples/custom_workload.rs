@@ -1,0 +1,73 @@
+//! Model your own workload with the `vpr-trace` building blocks.
+//!
+//! This example builds a two-loop program from scratch — a streaming
+//! daxpy-like kernel plus a pointer-chasing lookup loop — and measures how
+//! much the virtual-physical scheme helps as the register file shrinks.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use vpr::core::{Processor, RenameScheme, SimConfig};
+use vpr::trace::ops::{br_on, fadd, fload, fmul, fstore, iadd, iload};
+use vpr::trace::{LoopSpec, Program, StreamSpec, TraceGen};
+
+fn my_program() -> Program {
+    const MEG: u64 = 1 << 20;
+    // daxpy over arrays far larger than the 16 KB L1.
+    let daxpy = LoopSpec {
+        base_pc: 0x1_0000,
+        body: vec![
+            iadd(1, 1, 2),
+            fload(1, 1, 0),
+            fload(2, 1, 1),
+            fmul(3, 1, 30), // a * x[i]
+            fadd(4, 3, 2),  // + y[i]
+            fstore(4, 1, 1),
+        ],
+        streams: vec![
+            StreamSpec::strided(0x1000_0000, 4 * MEG, 8),
+            StreamSpec::strided(0x2000_4300, 4 * MEG, 8),
+        ],
+        mean_trips: 1024.0,
+    };
+    // Symbol-table lookups: serialised pointer chase with a validation
+    // branch on the fetched value.
+    let lookup = LoopSpec {
+        base_pc: 0x2_0000,
+        body: vec![
+            iload(2, 2, 0),
+            iadd(3, 2, 5),
+            br_on(3, 0.3, 1),
+            iadd(4, 3, 2),
+        ],
+        streams: vec![StreamSpec::random(0x10_0000, 8 * 1024)],
+        mean_trips: 32.0,
+    };
+    Program {
+        loops: vec![daxpy, lookup],
+        weights: vec![3.0, 1.0],
+    }
+}
+
+fn main() {
+    println!("custom workload: daxpy streams + pointer-chasing lookups\n");
+    println!("  regs   conventional   VP write-back   speedup");
+    for regs in [40usize, 48, 64, 96] {
+        let nrr = (regs - 32).min(32);
+        let measure = |scheme| {
+            let config = SimConfig::builder()
+                .scheme(scheme)
+                .physical_regs(regs)
+                .build();
+            let mut cpu = Processor::new(config, TraceGen::new(my_program(), 7));
+            cpu.warm_up(20_000);
+            cpu.run(150_000).ipc()
+        };
+        let conv = measure(RenameScheme::Conventional);
+        let vp = measure(RenameScheme::VirtualPhysicalWriteback { nrr });
+        println!("  {regs:>4}   {conv:>12.3}   {vp:>13.3}   {:>6.2}x", vp / conv);
+    }
+    println!("\nThe tighter the register budget, the more late allocation buys —");
+    println!("the paper's Figure 7 shows the same trend on SPEC95.");
+}

@@ -1,0 +1,42 @@
+//! # vpr — virtual-physical registers
+//!
+//! Facade crate for the reproduction of *"Virtual-Physical Registers"*
+//! (A. González, J. González, M. Valero, HPCA-4, 1998): a cycle-accurate,
+//! trace-driven out-of-order superscalar simulator with four register
+//! renaming schemes — the conventional R10000-style baseline, the same with
+//! counter-based early release (the paper's refs [8]/[10]), and the paper's
+//! virtual-physical scheme with physical-register allocation at either the
+//! issue or the write-back stage.
+//!
+//! The workspace crates are re-exported here under short names:
+//!
+//! * [`isa`] — instruction-set model (ops, registers, dynamic instructions)
+//! * [`trace`] — synthetic SPEC95-like workload generators
+//! * [`frontend`] — fetch engine and 2-bit branch-history-table predictor
+//! * [`mem`] — lockup-free data cache, bus and memory disambiguation
+//! * [`core`] — the out-of-order core and the renaming schemes
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vpr::core::{Processor, RenameScheme, SimConfig};
+//! use vpr::trace::{Benchmark, TraceBuilder};
+//!
+//! // A small run of the synthetic `swim`-like workload under the paper's
+//! // virtual-physical scheme with write-back allocation and NRR = 32.
+//! let config = SimConfig::builder()
+//!     .scheme(RenameScheme::VirtualPhysicalWriteback { nrr: 32 })
+//!     .physical_regs(64)
+//!     .build();
+//! let trace = TraceBuilder::new(Benchmark::Swim).seed(42).build();
+//! let mut cpu = Processor::new(config, trace);
+//! let stats = cpu.run(20_000);
+//! assert!(stats.ipc() > 0.0);
+//! ```
+#![forbid(unsafe_code)]
+
+pub use vpr_core as core;
+pub use vpr_frontend as frontend;
+pub use vpr_isa as isa;
+pub use vpr_mem as mem;
+pub use vpr_trace as trace;
