@@ -1,0 +1,155 @@
+//! A minimal, self-contained stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This shim provides the subset the workspace's
+//! benches use — [`Criterion`], [`BenchmarkGroup::sample_size`],
+//! [`Bencher::iter`], [`criterion_group!`] and [`criterion_main!`] — as a
+//! plain timing harness: each benchmark runs one warm-up iteration plus
+//! `sample_size` timed iterations and prints the per-iteration mean.
+//!
+//! No statistics, plotting, or baseline comparison; for trend tracking the
+//! workspace's own `BENCH_throughput.json` harness is the reference.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        run_one(id.as_ref(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.as_ref()),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (provided for API compatibility; dropping works too).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine under measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this bencher's configured iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up iteration.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        iters: sample_size as u64,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+    println!(
+        "bench {id:<40} {:>12.3} ms/iter ({} iters)",
+        mean * 1e3,
+        b.iters
+    );
+}
+
+/// Declares a function that runs the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group
+            .sample_size(5)
+            .bench_function("count", |b| b.iter(|| calls += 1));
+        // 5 timed + 1 warm-up.
+        assert_eq!(calls, 6);
+    }
+}

@@ -58,7 +58,9 @@ fn ablation_wrong_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/wrong-path");
     group.sample_size(10);
     group.bench_function("go/injection", |b| {
-        let mut cfg = SimConfig::builder().scheme(RenameScheme::Conventional).build();
+        let mut cfg = SimConfig::builder()
+            .scheme(RenameScheme::Conventional)
+            .build();
         cfg.wrong_path_injection = true;
         b.iter(|| black_box(run_with(cfg.clone(), Benchmark::Go, 10_000)));
     });
@@ -82,7 +84,13 @@ fn ablation_nrr_scarcity(_c: &mut Criterion) {
                 )
             })
             .collect();
-        println!("{:>5}  {:.3}  {:.3}  {:.3}", b.name(), ipcs[0], ipcs[1], ipcs[2]);
+        println!(
+            "{:>5}  {:.3}  {:.3}  {:.3}",
+            b.name(),
+            ipcs[0],
+            ipcs[1],
+            ipcs[2]
+        );
         assert!(
             ipcs[2] >= ipcs[0],
             "{b}: max NRR must not lose to NRR=1 under scarcity"
@@ -98,13 +106,7 @@ fn ablation_early_release(_c: &mut Criterion) {
     println!("\n=== Ablation: four schemes, 64 regs (IPC) ===");
     println!("bench  conv  conv+early-release  vp-issue  vp-writeback");
     for b in [Benchmark::Swim, Benchmark::Apsi, Benchmark::Vortex] {
-        let ipc = |scheme| {
-            run_with(
-                SimConfig::builder().scheme(scheme).build(),
-                b,
-                30_000,
-            )
-        };
+        let ipc = |scheme| run_with(SimConfig::builder().scheme(scheme).build(), b, 30_000);
         let conv = ipc(RenameScheme::Conventional);
         let er = ipc(RenameScheme::ConventionalEarlyRelease);
         let issue = ipc(RenameScheme::VirtualPhysicalIssue { nrr: 32 });
@@ -113,8 +115,14 @@ fn ablation_early_release(_c: &mut Criterion) {
             "{:>5}  {conv:.2}  {er:>18.2}  {issue:>8.2}  {wb:>12.2}",
             b.name()
         );
-        assert!(er >= conv * 0.98, "{b}: early release should not lose to conventional");
-        assert!(wb >= conv, "{b}: write-back should not lose to conventional");
+        assert!(
+            er >= conv * 0.98,
+            "{b}: early release should not lose to conventional"
+        );
+        assert!(
+            wb >= conv,
+            "{b}: write-back should not lose to conventional"
+        );
     }
 }
 
@@ -138,7 +146,9 @@ fn ablation_miss_penalty(_c: &mut Criterion) {
     let s50 = at(&exp50);
     let s20 = at(&exp20);
     println!("\n=== Ablation: miss penalty (swim speedup) ===");
-    println!("50-cycle miss: {s50:.2}x; 20-cycle miss: {s20:.2}x (paper: improvement drops 19%→12%)");
+    println!(
+        "50-cycle miss: {s50:.2}x; 20-cycle miss: {s20:.2}x (paper: improvement drops 19%→12%)"
+    );
     assert!(
         s20 < s50,
         "a cheaper miss must shrink the VP advantage: {s20:.2} vs {s50:.2}"

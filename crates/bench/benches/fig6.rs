@@ -13,7 +13,10 @@ fn bench_fig6(c: &mut Criterion) {
     let f6 = experiments::fig6(&exp);
     println!("\n=== Figure 6 (reduced run) ===");
     println!("{}", f6.render());
-    println!("write-back win rate: {:.0}%\n", 100.0 * f6.writeback_win_rate());
+    println!(
+        "write-back win rate: {:.0}%\n",
+        100.0 * f6.writeback_win_rate()
+    );
     assert!(
         f6.writeback_win_rate() >= 0.5,
         "the paper's conclusion (write-back ≥ issue) must hold on most benchmarks"

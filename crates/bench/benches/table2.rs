@@ -11,7 +11,10 @@ use vpr_trace::Benchmark;
 fn bench_table2(c: &mut Criterion) {
     let exp = ExperimentConfig::quick();
     let t2 = experiments::table2(&exp);
-    println!("\n=== Table 2 (reduced run: {} instructions) ===", exp.measure);
+    println!(
+        "\n=== Table 2 (reduced run: {} instructions) ===",
+        exp.measure
+    );
     println!("{}", t2.render());
     println!(
         "mean improvement {:+.1}% (paper: +19%)\n",

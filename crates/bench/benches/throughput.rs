@@ -1,0 +1,44 @@
+//! Criterion bench for raw simulator throughput (sim-MIPS): times the
+//! `ExperimentConfig::quick()` table2 workload under all four renaming
+//! schemes and prints the simulated-MIPS figure for each, so every PR
+//! leaves a perf trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vpr_bench::harness::measure_throughput;
+use vpr_bench::{run_benchmark, ExperimentConfig};
+use vpr_core::RenameScheme;
+use vpr_trace::Benchmark;
+
+fn bench_throughput(c: &mut Criterion) {
+    let exp = ExperimentConfig::quick();
+    let report = measure_throughput(&exp);
+    println!("\n=== Simulator throughput (quick table2 workload) ===");
+    for run in &report.runs {
+        println!(
+            "{:<28} {:>9.2} sim-MIPS ({} committed / {:.3}s host)",
+            run.label, run.sim_mips, run.committed, run.host_seconds
+        );
+    }
+    println!(
+        "harmonic mean: {:.2} sim-MIPS\n",
+        report.harmonic_mean_sim_mips()
+    );
+
+    let mut group = c.benchmark_group("throughput");
+    group.sample_size(10);
+    for (name, scheme) in [
+        ("swim/conventional", RenameScheme::Conventional),
+        (
+            "swim/vp-writeback",
+            RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_benchmark(Benchmark::Swim, scheme, 64, &exp)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -8,7 +8,10 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
-    println!("# Full evaluation (warmup {}, measure {}, seed {})\n", exp.warmup, exp.measure, exp.seed);
+    println!(
+        "# Full evaluation (warmup {}, measure {}, seed {})\n",
+        exp.warmup, exp.measure, exp.seed
+    );
 
     println!("## Table 2 — conv vs VP write-back (NRR=32, 64 regs)\n");
     let t2 = experiments::table2(&exp);

@@ -18,7 +18,9 @@ use vpr_trace::Benchmark;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 4 {
-        eprintln!("usage: probe <benchmark> <conv|conv-er|vp-issue|vp-wb> <physical-regs> <nrr> [flags]");
+        eprintln!(
+            "usage: probe <benchmark> <conv|conv-er|vp-issue|vp-wb> <physical-regs> <nrr> [flags]"
+        );
         std::process::exit(2);
     }
     let benchmark: Benchmark = args[0].parse().unwrap_or_else(|e| {
@@ -52,7 +54,10 @@ fn main() {
     println!("  early releases         {}", s.early_releases);
     println!("  issue alloc stalls     {}", s.issue_allocation_stalls);
     println!("  wb port stalls         {}", s.writeback_port_stalls);
-    println!("  rob/iq/lsq full        {}/{}/{}", s.rob_full_stalls, s.iq_full_stalls, s.lsq_full_stalls);
+    println!(
+        "  rob/iq/lsq full        {}/{}/{}",
+        s.rob_full_stalls, s.iq_full_stalls, s.lsq_full_stalls
+    );
     println!("  store-buffer stalls    {}", s.store_buffer_stalls);
     for class in [RegClass::Int, RegClass::Fp] {
         let cs = s.class(class);

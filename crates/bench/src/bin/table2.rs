@@ -14,9 +14,7 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
-    println!(
-        "Table 2 — conventional vs virtual-physical (write-back, NRR=32), 64 regs/file"
-    );
+    println!("Table 2 — conventional vs virtual-physical (write-back, NRR=32), 64 regs/file");
     println!(
         "(miss penalty {} cycles, {} warm-up + {} measured instructions, seed {})\n",
         exp.miss_penalty, exp.warmup, exp.measure, exp.seed

@@ -1,0 +1,79 @@
+//! Measures simulator throughput (sim-MIPS: simulated committed
+//! instructions per host second) on the quick table2 workload under all
+//! four renaming schemes, prints the sweep, and records it as
+//! machine-readable `BENCH_throughput.json`.
+//!
+//! ```text
+//! cargo run --release -p vpr-bench --bin throughput -- \
+//!     [--out PATH] [--warmup N] [--measure N] [--seed N] [--miss-penalty N]
+//! ```
+//!
+//! The default output path is `BENCH_throughput.json` in the current
+//! directory; CI and PR authors check the file in so the repository keeps
+//! a perf trajectory across changes.
+
+use vpr_bench::harness::{measure_throughput, write_throughput_json};
+use vpr_bench::ExperimentConfig;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = std::path::PathBuf::from("BENCH_throughput.json");
+    if let Some(pos) = args.iter().position(|a| a == "--out") {
+        if pos + 1 >= args.len() {
+            eprintln!("--out needs a value");
+            std::process::exit(2);
+        }
+        out = std::path::PathBuf::from(args.remove(pos + 1));
+        args.remove(pos);
+    }
+    // Flags override the *quick* defaults: throughput tracking wants a
+    // fast, standard workload, not the full-size experiment runs.
+    let mut exp = ExperimentConfig::quick();
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| -> u64 {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    std::process::exit(2);
+                })
+                .parse()
+                .unwrap_or_else(|e| {
+                    eprintln!("bad value for {name}: {e}");
+                    std::process::exit(2);
+                })
+        };
+        match flag.as_str() {
+            "--warmup" => exp.warmup = take("--warmup"),
+            "--measure" => exp.measure = take("--measure"),
+            "--seed" => exp.seed = take("--seed"),
+            "--miss-penalty" => exp.miss_penalty = take("--miss-penalty"),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = measure_throughput(&exp);
+    println!(
+        "simulator throughput (warmup {}, measure {}, seed {}):",
+        exp.warmup, exp.measure, exp.seed
+    );
+    for run in &report.runs {
+        println!(
+            "  {:<36} {:>9.2} sim-MIPS  (ipc {:.3}, {:.3}s host)",
+            run.label, run.sim_mips, run.ipc, run.host_seconds
+        );
+    }
+    println!(
+        "  harmonic mean: {:.2} sim-MIPS",
+        report.harmonic_mean_sim_mips()
+    );
+
+    if let Err(e) = write_throughput_json(&out, &report) {
+        eprintln!("cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", out.display());
+}

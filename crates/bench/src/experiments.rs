@@ -65,9 +65,17 @@ impl Table2 {
     /// alongside for comparison).
     pub fn render(&self) -> Table {
         let mut t = Table::new(
-            ["bench", "conv IPC", "VP IPC", "imp.%", "paper conv", "paper VP", "paper imp.%"]
-                .map(String::from)
-                .to_vec(),
+            [
+                "bench",
+                "conv IPC",
+                "VP IPC",
+                "imp.%",
+                "paper conv",
+                "paper VP",
+                "paper imp.%",
+            ]
+            .map(String::from)
+            .to_vec(),
         );
         for r in &self.rows {
             t.add_row(vec![
@@ -243,9 +251,7 @@ pub struct Fig6 {
 impl Fig6 {
     /// Renders the figure as a table.
     pub fn render(&self) -> Table {
-        let mut t = Table::new(
-            ["bench", "write-back", "issue"].map(String::from).to_vec(),
-        );
+        let mut t = Table::new(["bench", "write-back", "issue"].map(String::from).to_vec());
         for r in &self.rows {
             t.add_row(vec![
                 r.benchmark.name().into(),
@@ -275,8 +281,13 @@ pub fn fig6(exp: &ExperimentConfig) -> Fig6 {
         .iter()
         .map(|&b| {
             let conv = run_benchmark(b, RenameScheme::Conventional, 64, exp).ipc();
-            let wb = run_benchmark(b, RenameScheme::VirtualPhysicalWriteback { nrr: 32 }, 64, exp)
-                .ipc();
+            let wb = run_benchmark(
+                b,
+                RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
+                64,
+                exp,
+            )
+            .ipc();
             let is =
                 run_benchmark(b, RenameScheme::VirtualPhysicalIssue { nrr: 32 }, 64, exp).ipc();
             Fig6Row {
@@ -369,13 +380,9 @@ pub fn fig7(exp: &ExperimentConfig) -> Fig7 {
                 .iter()
                 .map(|&(size, nrr)| {
                     let conv = run_benchmark(b, RenameScheme::Conventional, size, exp).ipc();
-                    let vp = run_benchmark(
-                        b,
-                        RenameScheme::VirtualPhysicalWriteback { nrr },
-                        size,
-                        exp,
-                    )
-                    .ipc();
+                    let vp =
+                        run_benchmark(b, RenameScheme::VirtualPhysicalWriteback { nrr }, size, exp)
+                            .ipc();
                     (conv, vp)
                 })
                 .collect();
@@ -404,7 +411,12 @@ mod tests {
             64,
             &exp,
         );
-        assert!(vp.ipc() > conv.ipc(), "swim must improve: {} vs {}", vp.ipc(), conv.ipc());
+        assert!(
+            vp.ipc() > conv.ipc(),
+            "swim must improve: {} vs {}",
+            vp.ipc(),
+            conv.ipc()
+        );
     }
 
     #[test]

@@ -1,6 +1,16 @@
-//! Shared simulation driver for all experiments.
+//! Shared simulation driver for all experiments, plus host-side
+//! throughput instrumentation.
+//!
+//! Besides the paper-facing [`run_benchmark`] driver, this module measures
+//! the *simulator's own* speed: [`measure_throughput`] times the quick
+//! table2 workload under all four renaming schemes and reports simulated
+//! committed instructions per host second (**sim-MIPS**), and
+//! [`write_throughput_json`] records the result as machine-readable
+//! `BENCH_throughput.json` so every PR leaves a perf trajectory.
 
-use vpr_core::{Processor, RenameScheme, SimConfig, SimStats};
+use std::fmt::Write as _;
+use std::time::Instant;
+use vpr_core::{harmonic_mean, Processor, RenameScheme, SimConfig, SimStats};
 use vpr_trace::{Benchmark, TraceBuilder};
 
 /// How much to simulate and with which trace seed.
@@ -87,6 +97,154 @@ pub fn run_benchmark(
     cpu.run(exp.measure)
 }
 
+// ----------------------------------------------------------------------
+// Simulator throughput (sim-MIPS)
+// ----------------------------------------------------------------------
+
+/// The renaming schemes the throughput harness sweeps.
+pub const THROUGHPUT_SCHEMES: [RenameScheme; 4] = [
+    RenameScheme::Conventional,
+    RenameScheme::ConventionalEarlyRelease,
+    RenameScheme::VirtualPhysicalIssue { nrr: 32 },
+    RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
+];
+
+/// The benchmarks the throughput harness runs each scheme on (one
+/// FP-heavy, one branchy integer workload).
+pub const THROUGHPUT_BENCHMARKS: [Benchmark; 2] = [Benchmark::Swim, Benchmark::Go];
+
+/// A short, stable identifier for a scheme (used in labels and JSON).
+pub fn scheme_label(scheme: RenameScheme) -> String {
+    match scheme {
+        RenameScheme::Conventional => "conventional".into(),
+        RenameScheme::ConventionalEarlyRelease => "conventional-early-release".into(),
+        RenameScheme::VirtualPhysicalIssue { nrr } => format!("vp-issue-nrr{nrr}"),
+        RenameScheme::VirtualPhysicalWriteback { nrr } => format!("vp-wb-nrr{nrr}"),
+    }
+}
+
+/// One timed simulation: how fast the *simulator* ran, not the simulated
+/// machine.
+#[derive(Debug, Clone)]
+pub struct ThroughputRun {
+    /// `"<benchmark>/<scheme>"`.
+    pub label: String,
+    /// Simulated instructions committed (warm-up plus measurement window).
+    pub committed: u64,
+    /// Simulated cycles covered in the same span.
+    pub cycles: u64,
+    /// Host wall-clock seconds for the whole run, including trace
+    /// generation and processor construction.
+    pub host_seconds: f64,
+    /// Simulated committed instructions per host second, in millions.
+    pub sim_mips: f64,
+    /// IPC of the measurement window (sanity anchor: the *simulated*
+    /// performance must not change when the kernel gets faster).
+    pub ipc: f64,
+}
+
+/// The full throughput sweep produced by [`measure_throughput`].
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// The experiment configuration the sweep ran under.
+    pub config: ExperimentConfig,
+    /// One entry per (benchmark, scheme) pair.
+    pub runs: Vec<ThroughputRun>,
+}
+
+impl ThroughputReport {
+    /// Harmonic mean of the per-run sim-MIPS figures (matches how the
+    /// paper aggregates IPC, and penalises slow outliers).
+    pub fn harmonic_mean_sim_mips(&self) -> f64 {
+        let rates: Vec<f64> = self.runs.iter().map(|r| r.sim_mips).collect();
+        harmonic_mean(&rates)
+    }
+
+    /// Renders the report as a small, stable JSON document
+    /// (`vpr-bench-throughput/v1`). Hand-rolled: the build environment has
+    /// no serde.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"vpr-bench-throughput/v1\",\n");
+        let _ = writeln!(
+            s,
+            "  \"config\": {{\"warmup\": {}, \"measure\": {}, \"seed\": {}, \"miss_penalty\": {}}},",
+            self.config.warmup, self.config.measure, self.config.seed, self.config.miss_penalty
+        );
+        s.push_str("  \"runs\": [\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"label\": \"{}\", \"committed\": {}, \"cycles\": {}, \
+                 \"host_seconds\": {:.6}, \"sim_mips\": {:.3}, \"ipc\": {:.4}}}",
+                r.label, r.committed, r.cycles, r.host_seconds, r.sim_mips, r.ipc
+            );
+            s.push_str(if i + 1 < self.runs.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ],\n");
+        let _ = writeln!(
+            s,
+            "  \"harmonic_mean_sim_mips\": {:.3}",
+            self.harmonic_mean_sim_mips()
+        );
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Times one `(benchmark, scheme)` simulation end to end and converts it
+/// to sim-MIPS.
+pub fn time_one(
+    benchmark: Benchmark,
+    scheme: RenameScheme,
+    exp: &ExperimentConfig,
+) -> ThroughputRun {
+    let start = Instant::now();
+    let config = SimConfig::builder()
+        .scheme(scheme)
+        .physical_regs(64)
+        .miss_penalty(exp.miss_penalty)
+        .build();
+    let trace = TraceBuilder::new(benchmark).seed(exp.seed).build();
+    let mut cpu = Processor::new(config, trace);
+    cpu.warm_up(exp.warmup);
+    let stats = cpu.run(exp.measure);
+    let host_seconds = start.elapsed().as_secs_f64().max(1e-9);
+    let committed = exp.warmup + stats.committed;
+    ThroughputRun {
+        label: format!("{}/{}", benchmark.name(), scheme_label(scheme)),
+        committed,
+        cycles: cpu.cycle(),
+        host_seconds,
+        sim_mips: committed as f64 / host_seconds / 1e6,
+        ipc: stats.ipc(),
+    }
+}
+
+/// Runs the throughput sweep: [`THROUGHPUT_BENCHMARKS`] ×
+/// [`THROUGHPUT_SCHEMES`] under `exp`.
+pub fn measure_throughput(exp: &ExperimentConfig) -> ThroughputReport {
+    let mut runs = Vec::new();
+    for benchmark in THROUGHPUT_BENCHMARKS {
+        for scheme in THROUGHPUT_SCHEMES {
+            runs.push(time_one(benchmark, scheme, exp));
+        }
+    }
+    ThroughputReport { config: *exp, runs }
+}
+
+/// Writes `report` to `path` as `BENCH_throughput.json`.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_throughput_json(
+    path: &std::path::Path,
+    report: &ThroughputReport,
+) -> std::io::Result<()> {
+    std::fs::write(path, report.to_json())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,8 +252,7 @@ mod tests {
     #[test]
     fn arg_parsing_round_trip() {
         let cfg = ExperimentConfig::from_args(
-            ["--measure", "1000", "--seed", "7", "--miss-penalty", "20"]
-                .map(String::from),
+            ["--measure", "1000", "--seed", "7", "--miss-penalty", "20"].map(String::from),
         )
         .unwrap();
         assert_eq!(cfg.measure, 1000);
@@ -116,5 +273,40 @@ mod tests {
         let s = run_benchmark(Benchmark::Swim, RenameScheme::Conventional, 64, &exp);
         assert!(s.committed >= 5_000);
         assert!(s.ipc() > 0.1 && s.ipc() < 8.0);
+    }
+
+    #[test]
+    fn throughput_report_is_sane_and_serialises() {
+        let exp = ExperimentConfig {
+            warmup: 200,
+            measure: 2_000,
+            ..ExperimentConfig::default()
+        };
+        let run = time_one(Benchmark::Swim, RenameScheme::Conventional, &exp);
+        assert!(run.committed >= 2_200);
+        assert!(run.sim_mips > 0.0);
+        assert!(run.host_seconds > 0.0);
+        let report = ThroughputReport {
+            config: exp,
+            runs: vec![run],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"vpr-bench-throughput/v1\""));
+        assert!(json.contains("swim/conventional"));
+        assert!(json.contains("harmonic_mean_sim_mips"));
+        assert!(report.harmonic_mean_sim_mips() > 0.0);
+    }
+
+    #[test]
+    fn scheme_labels_are_stable() {
+        assert_eq!(scheme_label(RenameScheme::Conventional), "conventional");
+        assert_eq!(
+            scheme_label(RenameScheme::VirtualPhysicalWriteback { nrr: 32 }),
+            "vp-wb-nrr32"
+        );
+        assert_eq!(
+            scheme_label(RenameScheme::VirtualPhysicalIssue { nrr: 8 }),
+            "vp-issue-nrr8"
+        );
     }
 }

@@ -1,0 +1,68 @@
+//! Cycle-exactness regression guard for the simulation kernel.
+//!
+//! The kernel's data structures (calendar event queue, indexed IQ wakeup,
+//! idle-cycle fast-forwarding) are pure *throughput* optimisations: they
+//! must not change a single simulated outcome. This test runs the
+//! `ExperimentConfig::quick()` workload under all four renaming schemes
+//! and asserts the complete [`SimStats`] — committed counts, cycles,
+//! squashes, every stall breakdown — are identical to golden values
+//! captured from the pre-optimisation kernel (checked into
+//! `tests/golden/`).
+//!
+//! To regenerate the goldens after an *intentional* behavioural change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p vpr-bench --test cycle_exact_golden
+//! ```
+//!
+//! and review the diff like any other source change.
+
+use std::path::PathBuf;
+use vpr_bench::harness::{scheme_label, THROUGHPUT_BENCHMARKS, THROUGHPUT_SCHEMES};
+use vpr_bench::{run_benchmark, ExperimentConfig};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+#[test]
+fn quick_stats_match_pre_optimization_kernel() {
+    let exp = ExperimentConfig::quick();
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let dir = golden_dir();
+    if update {
+        std::fs::create_dir_all(&dir).expect("create golden dir");
+    }
+    let mut failures = Vec::new();
+    for benchmark in THROUGHPUT_BENCHMARKS {
+        for scheme in THROUGHPUT_SCHEMES {
+            let stats = run_benchmark(benchmark, scheme, 64, &exp);
+            let rendered = format!("{stats:#?}\n");
+            let path = dir.join(format!("{}_{}.txt", benchmark.name(), scheme_label(scheme)));
+            if update {
+                std::fs::write(&path, &rendered).expect("write golden");
+                continue;
+            }
+            let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "missing golden {} ({e}); run with UPDATE_GOLDEN=1",
+                    path.display()
+                )
+            });
+            if rendered != golden {
+                failures.push(format!(
+                    "{}/{}: stats diverged from the golden kernel behaviour\n\
+                     --- golden ---\n{golden}\n--- current ---\n{rendered}",
+                    benchmark.name(),
+                    scheme_label(scheme)
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "cycle-exactness violated for {} configuration(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

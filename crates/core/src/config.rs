@@ -256,10 +256,7 @@ impl SimConfig {
         }
         if let Some(nrr) = self.scheme.nrr() {
             if nrr == 0 || nrr > self.max_nrr() {
-                return Err(format!(
-                    "NRR must be in 1..={}, got {nrr}",
-                    self.max_nrr()
-                ));
+                return Err(format!("NRR must be in 1..={}, got {nrr}", self.max_nrr()));
             }
         }
         if !self.bht_entries.is_power_of_two() {
@@ -452,7 +449,10 @@ mod tests {
 
     #[test]
     fn too_few_physical_regs_rejected() {
-        let err = SimConfig::builder().physical_regs(32).try_build().unwrap_err();
+        let err = SimConfig::builder()
+            .physical_regs(32)
+            .try_build()
+            .unwrap_err();
         assert!(err.contains("physical"), "{err}");
     }
 

@@ -1,7 +1,24 @@
 //! The instruction queue (issue window).
+//!
+//! ### Kernel layout
+//!
+//! The queue sits on the hottest per-cycle paths of the simulator (issue
+//! selection and result-broadcast wakeup), so it is built for constant
+//! per-event cost rather than map lookups:
+//!
+//! * entries live in a dense **slab** of reusable slots; a generation
+//!   counter per slot lets stale index records be recognised in O(1)
+//!   instead of being eagerly cleaned up;
+//! * two small sorted vectors index the slab by age: `order` (every
+//!   waiting instruction) and `ready` (only issue-eligible ones), so the
+//!   issue stage touches exactly the ready entries, oldest first, through
+//!   the non-allocating [`Iq::ready_iter`];
+//! * wake-up is **consumer-indexed**: each waiting operand registers
+//!   itself in a per-`(RegClass, tag)` list at insert, so a broadcast
+//!   ([`Iq::wakeup_phys`] / [`Iq::wakeup_vp`]) touches only the actual
+//!   consumers of that tag instead of scanning the whole window.
 
 use crate::rename::{PhysReg, RenamedSrc, SrcState, VpReg};
-use std::collections::BTreeMap;
 use vpr_isa::{OpClass, RegClass};
 
 /// One waiting instruction: its operation class and up to two renamed
@@ -23,10 +40,7 @@ impl IqEntry {
     /// "an instruction can be issued when the R fields of both operands
     /// are set").
     pub fn is_ready(&self) -> bool {
-        self.srcs
-            .iter()
-            .flatten()
-            .all(|s| s.state.is_ready())
+        self.srcs.iter().flatten().all(|s| s.state.is_ready())
     }
 
     /// Number of ready register sources per class, for read-port
@@ -44,6 +58,25 @@ impl IqEntry {
     }
 }
 
+/// A consumer-list record: operand `src` of the entry in `slot` (valid
+/// only while the slot's generation still equals `gen`).
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    slot: u32,
+    src: u8,
+    gen: u32,
+}
+
+/// One slab slot. `gen` increments on every removal, invalidating any
+/// [`Waiter`] records that still point here.
+#[derive(Debug, Clone)]
+struct Slot {
+    entry: IqEntry,
+    gen: u32,
+    /// Present operands still waiting on a broadcast (0 ⇒ ready).
+    waiting: u8,
+}
+
 /// The out-of-order issue window: entries ordered by age, woken by tag
 /// broadcasts at write-back.
 ///
@@ -55,7 +88,16 @@ impl IqEntry {
 /// register (paper §3.2.2).
 #[derive(Debug, Clone)]
 pub struct Iq {
-    entries: BTreeMap<u64, IqEntry>,
+    slots: Vec<Slot>,
+    free_slots: Vec<u32>,
+    /// `(seq, slot)` for every waiting instruction, sorted by `seq`.
+    order: Vec<(u64, u32)>,
+    /// `(seq, slot)` for issue-eligible instructions, sorted by `seq`.
+    ready: Vec<(u64, u32)>,
+    /// Consumer lists for physical-register broadcasts, `[class][preg]`.
+    phys_waiters: [Vec<Vec<Waiter>>; 2],
+    /// Consumer lists for VP-tag broadcasts, `[class][vp]`.
+    vp_waiters: [Vec<Vec<Waiter>>; 2],
     capacity: usize,
 }
 
@@ -68,7 +110,12 @@ impl Iq {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "IQ needs at least one entry");
         Self {
-            entries: BTreeMap::new(),
+            slots: Vec::with_capacity(capacity),
+            free_slots: Vec::new(),
+            order: Vec::with_capacity(capacity),
+            ready: Vec::with_capacity(capacity),
+            phys_waiters: [Vec::new(), Vec::new()],
+            vp_waiters: [Vec::new(), Vec::new()],
             capacity,
         }
     }
@@ -76,19 +123,27 @@ impl Iq {
     /// Number of waiting instructions.
     #[inline]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.order.len()
     }
 
     /// True when no instruction waits.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.order.is_empty()
     }
 
     /// True when dispatch must stall.
     #[inline]
     pub fn is_full(&self) -> bool {
-        self.entries.len() == self.capacity
+        self.order.len() == self.capacity
+    }
+
+    /// Number of currently issue-eligible instructions (the idle-skip
+    /// quiescence check: 0 means the issue stage cannot make progress
+    /// until some broadcast arrives).
+    #[inline]
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
     }
 
     /// Inserts a dispatched (or re-executing) instruction.
@@ -99,28 +154,125 @@ impl Iq {
     /// present.
     pub fn insert(&mut self, entry: IqEntry) {
         assert!(!self.is_full(), "IQ overflow: dispatch must stall first");
-        let prev = self.entries.insert(entry.seq, entry);
-        assert!(prev.is_none(), "sequence {} inserted twice", entry.seq);
+        let pos = match self.order.binary_search_by_key(&entry.seq, |&(s, _)| s) {
+            Ok(_) => panic!("sequence {} inserted twice", entry.seq),
+            Err(pos) => pos,
+        };
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                self.slots[slot as usize].entry = entry;
+                self.slots[slot as usize].waiting = 0;
+                slot
+            }
+            None => {
+                self.slots.push(Slot {
+                    entry,
+                    gen: 0,
+                    waiting: 0,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
+        let mut waiting = 0u8;
+        for (i, src) in entry.srcs.iter().enumerate() {
+            let Some(src) = src else { continue };
+            let waiter = Waiter {
+                slot,
+                src: i as u8,
+                gen,
+            };
+            match src.state {
+                SrcState::Ready(_) => {}
+                SrcState::WaitPhys(preg) => {
+                    waiting += 1;
+                    push_waiter(
+                        &mut self.phys_waiters[src.class.index()],
+                        preg.0 as usize,
+                        waiter,
+                    );
+                }
+                SrcState::WaitVp(vp) => {
+                    waiting += 1;
+                    push_waiter(
+                        &mut self.vp_waiters[src.class.index()],
+                        vp.0 as usize,
+                        waiter,
+                    );
+                }
+            }
+        }
+        self.slots[slot as usize].waiting = waiting;
+        self.order.insert(pos, (entry.seq, slot));
+        if waiting == 0 {
+            let rpos = self
+                .ready
+                .binary_search_by_key(&entry.seq, |&(s, _)| s)
+                .expect_err("seq uniqueness checked via order");
+            self.ready.insert(rpos, (entry.seq, slot));
+        }
     }
 
     /// Removes an instruction (at issue or squash). Unknown sequence
     /// numbers are ignored so recovery can sweep blindly.
     pub fn remove(&mut self, seq: u64) -> Option<IqEntry> {
-        self.entries.remove(&seq)
+        let pos = self.order.binary_search_by_key(&seq, |&(s, _)| s).ok()?;
+        let (_, slot) = self.order.remove(pos);
+        if let Ok(rpos) = self.ready.binary_search_by_key(&seq, |&(s, _)| s) {
+            self.ready.remove(rpos);
+        }
+        let s = &mut self.slots[slot as usize];
+        // Invalidate any consumer-list records still pointing at the slot.
+        s.gen = s.gen.wrapping_add(1);
+        self.free_slots.push(slot);
+        Some(s.entry)
     }
 
     /// Removes every entry younger than `seq` (branch recovery).
     pub fn squash_younger_than(&mut self, seq: u64) {
-        self.entries.split_off(&(seq + 1));
+        while let Some(&(youngest, _)) = self.order.last() {
+            if youngest <= seq {
+                break;
+            }
+            self.remove(youngest);
+        }
     }
 
     /// Conventional-scheme wake-up: physical register `preg` of `class`
     /// now holds its value. Returns how many operands woke.
     pub fn wakeup_phys(&mut self, class: RegClass, preg: PhysReg) -> usize {
-        self.wakeup(|s| {
-            (s.class == class && s.state == SrcState::WaitPhys(preg))
-                .then_some(preg)
-        })
+        let Some(list) = self.phys_waiters[class.index()].get_mut(preg.0 as usize) else {
+            return 0;
+        };
+        let mut list = std::mem::take(list);
+        let mut woken = 0;
+        for w in list.drain(..) {
+            let slot = &mut self.slots[w.slot as usize];
+            if slot.gen != w.gen {
+                continue; // the instruction left the queue; record is stale
+            }
+            let src = slot.entry.srcs[w.src as usize]
+                .as_mut()
+                .expect("waiter recorded for a present operand");
+            debug_assert_eq!(src.class, class);
+            if src.state != SrcState::WaitPhys(preg) {
+                continue;
+            }
+            src.state = SrcState::Ready(preg);
+            woken += 1;
+            slot.waiting -= 1;
+            if slot.waiting == 0 {
+                let seq = slot.entry.seq;
+                let rpos = self
+                    .ready
+                    .binary_search_by_key(&seq, |&(s, _)| s)
+                    .expect_err("was not ready before its last operand woke");
+                self.ready.insert(rpos, (seq, w.slot));
+            }
+        }
+        // Hand the (now empty) list's allocation back for reuse.
+        self.phys_waiters[class.index()][preg.0 as usize] = list;
+        woken
     }
 
     /// Virtual-physical wake-up: tag `vp` of `class` was bound to `preg`.
@@ -128,38 +280,68 @@ impl Iq {
     /// (the broadcast carries both identifiers, §3.2.2). Returns how many
     /// operands woke.
     pub fn wakeup_vp(&mut self, class: RegClass, vp: VpReg, preg: PhysReg) -> usize {
-        self.wakeup(|s| {
-            (s.class == class && s.state == SrcState::WaitVp(vp)).then_some(preg)
-        })
-    }
-
-    fn wakeup<F: Fn(&RenamedSrc) -> Option<PhysReg>>(&mut self, matches: F) -> usize {
+        let Some(list) = self.vp_waiters[class.index()].get_mut(vp.0 as usize) else {
+            return 0;
+        };
+        let mut list = std::mem::take(list);
         let mut woken = 0;
-        for e in self.entries.values_mut() {
-            for s in e.srcs.iter_mut().flatten() {
-                if let Some(preg) = matches(s) {
-                    s.state = SrcState::Ready(preg);
-                    woken += 1;
-                }
+        for w in list.drain(..) {
+            let slot = &mut self.slots[w.slot as usize];
+            if slot.gen != w.gen {
+                continue;
+            }
+            let src = slot.entry.srcs[w.src as usize]
+                .as_mut()
+                .expect("waiter recorded for a present operand");
+            debug_assert_eq!(src.class, class);
+            if src.state != SrcState::WaitVp(vp) {
+                continue;
+            }
+            src.state = SrcState::Ready(preg);
+            woken += 1;
+            slot.waiting -= 1;
+            if slot.waiting == 0 {
+                let seq = slot.entry.seq;
+                let rpos = self
+                    .ready
+                    .binary_search_by_key(&seq, |&(s, _)| s)
+                    .expect_err("was not ready before its last operand woke");
+                self.ready.insert(rpos, (seq, w.slot));
             }
         }
+        self.vp_waiters[class.index()][vp.0 as usize] = list;
         woken
     }
 
-    /// Iterates entries oldest → youngest (issue selection order).
+    /// Iterates entries oldest → youngest (age order).
     pub fn iter(&self) -> impl Iterator<Item = &IqEntry> {
-        self.entries.values()
+        self.order
+            .iter()
+            .map(|&(_, slot)| &self.slots[slot as usize].entry)
+    }
+
+    /// Iterates the *issue-eligible* entries oldest → youngest, without
+    /// allocating — the issue stage's selection order.
+    pub fn ready_iter(&self) -> impl Iterator<Item = &IqEntry> {
+        self.ready
+            .iter()
+            .map(|&(_, slot)| &self.slots[slot as usize].entry)
     }
 
     /// Sequence numbers of all currently-ready entries, oldest first
-    /// (convenience for the issue stage and tests).
+    /// (convenience for tests; the issue stage uses [`Iq::ready_iter`]).
     pub fn ready_seqs(&self) -> Vec<u64> {
-        self.entries
-            .values()
-            .filter(|e| e.is_ready())
-            .map(|e| e.seq)
-            .collect()
+        self.ready.iter().map(|&(seq, _)| seq).collect()
     }
+}
+
+/// Appends `waiter` to `lists[tag]`, growing the table on first use of a
+/// tag index.
+fn push_waiter(lists: &mut Vec<Vec<Waiter>>, tag: usize, waiter: Waiter) {
+    if lists.len() <= tag {
+        lists.resize_with(tag + 1, Vec::new);
+    }
+    lists[tag].push(waiter);
 }
 
 #[cfg(test)]
@@ -198,7 +380,10 @@ mod tests {
         let e = IqEntry {
             seq: 1,
             op: OpClass::FpAdd,
-            srcs: [Some(ready_src(RegClass::Fp, 1)), Some(wait_vp(RegClass::Fp, 9))],
+            srcs: [
+                Some(ready_src(RegClass::Fp, 1)),
+                Some(wait_vp(RegClass::Fp, 9)),
+            ],
         };
         assert!(!e.is_ready());
         let e = IqEntry {
@@ -215,14 +400,19 @@ mod tests {
         iq.insert(IqEntry {
             seq: 0,
             op: OpClass::FpMul,
-            srcs: [Some(wait_vp(RegClass::Fp, 40)), Some(wait_vp(RegClass::Fp, 41))],
+            srcs: [
+                Some(wait_vp(RegClass::Fp, 40)),
+                Some(wait_vp(RegClass::Fp, 41)),
+            ],
         });
         assert_eq!(iq.wakeup_vp(RegClass::Fp, VpReg(40), PhysReg(7)), 1);
         let e = *iq.iter().next().unwrap();
         assert_eq!(e.srcs[0].unwrap().state, SrcState::Ready(PhysReg(7)));
         assert!(!e.is_ready());
+        assert_eq!(iq.ready_len(), 0);
         assert_eq!(iq.wakeup_vp(RegClass::Fp, VpReg(41), PhysReg(9)), 1);
         assert_eq!(iq.ready_seqs(), vec![0]);
+        assert_eq!(iq.ready_len(), 1);
     }
 
     #[test]
@@ -244,7 +434,10 @@ mod tests {
         iq.insert(IqEntry {
             seq: 3,
             op: OpClass::IntAlu,
-            srcs: [Some(wait_phys(RegClass::Int, 33)), Some(ready_src(RegClass::Int, 2))],
+            srcs: [
+                Some(wait_phys(RegClass::Int, 33)),
+                Some(ready_src(RegClass::Int, 2)),
+            ],
         });
         iq.insert(IqEntry {
             seq: 4,
@@ -268,6 +461,12 @@ mod tests {
         }
         let order: Vec<u64> = iq.iter().map(|e| e.seq).collect();
         assert_eq!(order, vec![1, 2, 5, 9]);
+        let ready: Vec<u64> = iq.ready_iter().map(|e| e.seq).collect();
+        assert_eq!(
+            ready,
+            vec![1, 2, 5, 9],
+            "operand-free entries are all ready"
+        );
     }
 
     #[test]
@@ -290,7 +489,10 @@ mod tests {
         let e = IqEntry {
             seq: 0,
             op: OpClass::Store,
-            srcs: [Some(ready_src(RegClass::Int, 1)), Some(ready_src(RegClass::Fp, 2))],
+            srcs: [
+                Some(ready_src(RegClass::Int, 1)),
+                Some(ready_src(RegClass::Fp, 2)),
+            ],
         };
         assert_eq!(e.read_port_needs(), (1, 1));
     }
@@ -309,5 +511,68 @@ mod tests {
             op: OpClass::IntAlu,
             srcs: [None, None],
         });
+    }
+
+    #[test]
+    fn stale_waiters_do_not_wake_slot_reusers() {
+        let mut iq = Iq::new(4);
+        // Entry 0 waits on p7, then leaves the queue (squash) before the
+        // broadcast; its slot is reused by entry 1 waiting on p8.
+        iq.insert(IqEntry {
+            seq: 0,
+            op: OpClass::IntAlu,
+            srcs: [Some(wait_phys(RegClass::Int, 7)), None],
+        });
+        assert!(iq.remove(0).is_some());
+        iq.insert(IqEntry {
+            seq: 1,
+            op: OpClass::IntAlu,
+            srcs: [Some(wait_phys(RegClass::Int, 8)), None],
+        });
+        // The stale record for p7 must not touch the reused slot.
+        assert_eq!(iq.wakeup_phys(RegClass::Int, PhysReg(7)), 0);
+        assert_eq!(iq.ready_len(), 0);
+        assert_eq!(iq.wakeup_phys(RegClass::Int, PhysReg(8)), 1);
+        assert_eq!(iq.ready_seqs(), vec![1]);
+    }
+
+    #[test]
+    fn reinserted_seq_after_removal_works() {
+        // Re-execution path: an issued instruction returns to the queue
+        // with the same sequence number and all-ready operands.
+        let mut iq = Iq::new(4);
+        iq.insert(IqEntry {
+            seq: 9,
+            op: OpClass::Load,
+            srcs: [Some(ready_src(RegClass::Int, 3)), None],
+        });
+        let e = iq.remove(9).expect("present");
+        assert_eq!(iq.len(), 0);
+        iq.insert(e);
+        assert_eq!(iq.ready_seqs(), vec![9]);
+        assert_eq!(iq.len(), 1);
+    }
+
+    #[test]
+    fn remove_unknown_is_ignored() {
+        let mut iq = Iq::new(2);
+        assert!(iq.remove(42).is_none());
+    }
+
+    #[test]
+    fn double_wakeup_is_idempotent() {
+        let mut iq = Iq::new(4);
+        iq.insert(IqEntry {
+            seq: 0,
+            op: OpClass::IntAlu,
+            srcs: [Some(wait_phys(RegClass::Int, 5)), None],
+        });
+        assert_eq!(iq.wakeup_phys(RegClass::Int, PhysReg(5)), 1);
+        assert_eq!(
+            iq.wakeup_phys(RegClass::Int, PhysReg(5)),
+            0,
+            "no waiter left"
+        );
+        assert_eq!(iq.ready_seqs(), vec![0]);
     }
 }

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod event_queue;
 mod fu;
 mod iq;
 mod pipeline;
@@ -55,6 +56,7 @@ mod rob;
 mod stats;
 
 pub use config::{Latencies, RenameScheme, SimConfig, SimConfigBuilder};
+pub use event_queue::CalendarQueue;
 pub use fu::FuPool;
 pub use iq::{Iq, IqEntry};
 pub use pipeline::Processor;

@@ -16,19 +16,60 @@
 //! broadcast in the completion phase can therefore feed an issue in the
 //! same cycle (full bypass), and a value produced with latency *L* reaches
 //! a dependent *L* cycles after issue.
+//!
+//! ## Kernel architecture (simulator throughput)
+//!
+//! The cycle loop is engineered so that steady-state simulation performs
+//! no allocation and no comparison-tree walks:
+//!
+//! * **Calendar event queue** — completion/EA/memory-data events live in a
+//!   [`CalendarQueue`] with a [`EVENT_HORIZON`]-cycle ring (power of two,
+//!   chosen to cover every latency the machine can schedule: the longest
+//!   functional-unit latency and the cache miss path with bus queueing).
+//!   Schedule and drain are O(1); drained buckets keep their capacity.
+//!   Events beyond the horizon — impossible on the stock configuration,
+//!   possible with exotic user latencies — spill to an overflow map
+//!   without loss of correctness.
+//! * **Indexed instruction-queue wakeup** — the [`Iq`] keeps
+//!   per-`(RegClass, tag)` consumer lists, so a result broadcast touches
+//!   only the operands actually waiting on that tag, and an age-sorted
+//!   ready index so issue selection iterates exactly the eligible
+//!   entries, oldest first, without allocating (see `iq.rs`).
+//! * **Idle-cycle fast-forwarding** — when the machine is provably
+//!   quiescent (no ready instruction, empty store buffer, no cache
+//!   retries, commit blocked on an incomplete head, and the front end
+//!   stalled or drained), the cycle counter jumps straight to the next
+//!   scheduled event instead of ticking through dead cycles one by one —
+//!   the common shape of a window stalled behind a 50-cycle miss. The
+//!   per-cycle statistics a stalled machine keeps accumulating (the
+//!   blocking rename-stall counter, fetch stall cycles, register-occupancy
+//!   integrals) are constant during quiescence, so the skip replays them
+//!   in closed form; simulated behaviour stays **bit-identical** to the
+//!   cycle-by-cycle kernel, which `crates/bench/tests/cycle_exact_golden.rs`
+//!   pins down.
 
 use crate::config::{RenameScheme, SimConfig};
+use crate::event_queue::CalendarQueue;
 use crate::fu::FuPool;
 use crate::iq::{Iq, IqEntry};
-use crate::rename::{ConventionalRenamer, EarlyReleaseRenamer, PhysReg, RenamedDest, SrcState, VpRenamer};
+use crate::rename::{
+    ConventionalRenamer, EarlyReleaseRenamer, PhysReg, RenamedDest, SrcState, VpRenamer,
+};
 use crate::rob::{MemPhase, Rob, RobEntry};
 use crate::stats::SimStats;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
 use vpr_frontend::{BranchHistoryTable, FetchUnit, FetchedInst};
 use vpr_isa::{InstStream, OpClass, RegClass};
 use vpr_mem::{
     AccessKind, AccessOutcome, DataCache, LoadDisposition, Lsq, PendingStore, StoreBuffer,
 };
+
+/// Ring size of the calendar event queue, in cycles. Must exceed the
+/// longest deterministically-scheduled delay: the unpipelined integer
+/// divide (67 cycles) and the cache miss path (miss penalty plus bus
+/// queueing) both fit comfortably; anything larger (user-configured
+/// latencies) falls back to the queue's overflow map.
+const EVENT_HORIZON: usize = 256;
 
 /// Scheduled pipeline events, keyed by the cycle they fire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,18 +85,41 @@ enum Event {
 impl Event {
     fn seq(&self) -> u64 {
         match *self {
-            Event::Complete { seq, .. } | Event::EaDone { seq, .. } | Event::MemData { seq, .. } => {
-                seq
-            }
+            Event::Complete { seq, .. }
+            | Event::EaDone { seq, .. }
+            | Event::MemData { seq, .. } => seq,
         }
     }
 }
 
+// One renamer lives per processor; the size spread between variants is
+// irrelevant next to the indirection a `Box` would add on every rename.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum Renamer {
     Conventional(ConventionalRenamer),
     EarlyRelease(EarlyReleaseRenamer),
     Vp(VpRenamer),
+}
+
+/// Which per-cycle stall counter a fully-quiescent machine keeps
+/// incrementing while it waits (see `Processor::try_fast_forward`): the
+/// skip must replay exactly the increments the skipped cycles would have
+/// performed.
+#[derive(Debug, Clone, Copy)]
+enum IdleTick {
+    /// Nothing ticks (front end drained, rename idle).
+    Nothing,
+    /// Fetch stalls every cycle (unresolved branch / redirect shadow).
+    FetchStall,
+    /// Rename blocked: reorder buffer full.
+    RobFull,
+    /// Rename blocked: instruction queue full.
+    IqFull,
+    /// Rename blocked: load/store queue full.
+    LsqFull,
+    /// Rename blocked: this class's free list is empty.
+    FreeList(RegClass),
 }
 
 /// A cycle-accurate, trace-driven out-of-order processor.
@@ -94,13 +158,24 @@ pub struct Processor<S> {
     rob: Rob,
     iq: Iq,
     fus: FuPool,
-    events: BTreeMap<u64, Vec<Event>>,
+    events: CalendarQueue<Event>,
     fetch_buffer: VecDeque<FetchedInst>,
     /// Loads waiting for a cache port / MSHR, retried every cycle.
-    cache_retry: BTreeSet<u64>,
+    /// Kept sorted ascending (retry order = age order).
+    cache_retry: Vec<u64>,
     /// Issue-stage register allocations to record after the issue loop
     /// (separated to satisfy borrow rules during queue iteration).
     pending_issue_allocs: Vec<(u64, PhysReg)>,
+    /// Reusable buffer for the events drained each cycle.
+    event_scratch: Vec<Event>,
+    /// Reusable copy of `cache_retry` for the retry sweep.
+    retry_scratch: Vec<u64>,
+    /// Reusable list of sequence numbers selected by the issue stage.
+    issued_scratch: Vec<u64>,
+    /// In-flight instructions with a register destination, per class, in
+    /// program order — the O(log n) replacement for scanning the reorder
+    /// buffer on every commit to find the NRR pointer's next entrant.
+    dest_seqs: [VecDeque<u64>; 2],
     cycle: u64,
     next_seq: u64,
     /// Monotonic execution-generation counter; entries and events carry a
@@ -147,10 +222,14 @@ impl<S: InstStream> Processor<S> {
             rob: Rob::new(config.rob_size),
             iq: Iq::new(config.iq_size),
             fus: FuPool::new(&config),
-            events: BTreeMap::new(),
+            events: CalendarQueue::with_horizon(EVENT_HORIZON),
             fetch_buffer: VecDeque::with_capacity(config.fetch_width * 2),
-            cache_retry: BTreeSet::new(),
+            cache_retry: Vec::new(),
             pending_issue_allocs: Vec::new(),
+            event_scratch: Vec::new(),
+            retry_scratch: Vec::new(),
+            issued_scratch: Vec::new(),
+            dest_seqs: [VecDeque::new(), VecDeque::new()],
             cycle: 0,
             next_seq: 0,
             gen_counter: 0,
@@ -203,8 +282,10 @@ impl<S: InstStream> Processor<S> {
     /// renaming schemes are deadlock-free by construction, so a stall that
     /// long is a logic error worth crashing loudly on.
     pub fn run(&mut self, commits: u64) -> SimStats {
-        let target = self.stats().committed + commits;
-        while self.stats().committed < target && !self.is_done() {
+        // Loop on the raw counter: rebuilding full window stats (a deep
+        // clone) every cycle would dominate the cycle loop itself.
+        let target = self.raw.committed + commits;
+        while self.raw.committed < target && !self.is_done() {
             self.step();
         }
         self.stats()
@@ -214,7 +295,9 @@ impl<S: InstStream> Processor<S> {
     pub fn run_cycles(&mut self, n: u64) -> SimStats {
         let target = self.cycle + n;
         while self.cycle < target && !self.is_done() {
-            self.step();
+            // Cap idle fast-forwarding at the target so the machine stops
+            // on exactly the requested cycle, mid-idle-stretch included.
+            self.step_limited(target);
         }
         self.stats()
     }
@@ -235,8 +318,27 @@ impl<S: InstStream> Processor<S> {
         self.reset_window();
     }
 
-    /// Advances the machine one cycle.
+    /// Advances the machine by one *active* cycle. If the machine is
+    /// provably quiescent — nothing can happen until the next scheduled
+    /// event — the cycle counter first fast-forwards over the idle
+    /// stretch (statistics included, bit-identically), so `cycle()` may
+    /// advance by more than one.
     pub fn step(&mut self) {
+        self.step_limited(u64::MAX);
+    }
+
+    /// [`Processor::step`] with idle fast-forwarding capped at
+    /// `max_cycle` (used by [`Processor::run_cycles`] to stop exactly on
+    /// a cycle budget).
+    fn step_limited(&mut self, max_cycle: u64) {
+        self.try_fast_forward(max_cycle);
+        if self.cycle >= max_cycle {
+            // The fast-forward was capped by the cycle budget: the machine
+            // now stands *at* the budget boundary mid-idle-stretch, with
+            // the skipped cycles' counters already replayed. Executing the
+            // phases here would simulate one cycle past the budget.
+            return;
+        }
         let now = self.cycle;
         self.wb_ports_used = [0, 0];
         self.commit_phase(now);
@@ -254,9 +356,117 @@ impl<S: InstStream> Processor<S> {
         assert!(
             self.rob.is_empty() || now - self.last_commit_cycle < 100_000,
             "no commit for 100000 cycles at cycle {now}: head={:?} scheme={:?}",
-            self.rob.head().map(|e| (e.seq, e.di.op(), e.completed, e.mem_phase)),
+            self.rob
+                .head()
+                .map(|e| (e.seq, e.di.op(), e.completed, e.mem_phase)),
             self.config.scheme,
         );
+    }
+
+    /// Idle-cycle fast-forwarding: if no pipeline stage can make progress
+    /// before the next scheduled event (or fetch-redirect point), jump
+    /// `cycle` there directly, replaying the per-cycle counters the
+    /// skipped stall cycles would have accumulated.
+    ///
+    /// Quiescence requires *all* of:
+    ///
+    /// * no issue-eligible instruction (a ready entry could issue, and
+    ///   functional-unit availability is time-based, not event-based);
+    /// * empty store buffer and no cache retries (both probe the cache
+    ///   every cycle, and cache/MSHR/bus state is time-based);
+    /// * commit blocked on an incomplete head (a completed head commits);
+    /// * the front end frozen: rename blocked by a full structure or an
+    ///   empty free list, or an empty fetch buffer with fetch drained,
+    ///   stalled behind an unresolved branch, or inside a redirect shadow.
+    ///
+    /// Under those conditions the machine state is constant from cycle to
+    /// cycle, so each skipped cycle contributes exactly one increment of
+    /// one known stall counter plus the occupancy sampling — replayed here
+    /// in closed form. Behaviour is bit-identical to stepping cycle by
+    /// cycle.
+    fn try_fast_forward(&mut self, max_cycle: u64) {
+        if !self.store_buffer.is_empty()
+            || !self.cache_retry.is_empty()
+            || self.iq.ready_len() != 0
+            || self.rob.head().is_some_and(|h| h.completed)
+        {
+            return;
+        }
+        // Decide what the frozen front end ticks each idle cycle; bail if
+        // rename or fetch would actually make progress.
+        let mut resume_bound = None;
+        let tick = if let Some(fi) = self.fetch_buffer.front() {
+            // Rename examines the front instruction every cycle; mirror
+            // its blocking checks in order. (Fetch itself is idle while
+            // the buffer is non-empty.)
+            let op = fi.di.op();
+            if self.rob.is_full() {
+                IdleTick::RobFull
+            } else if op != OpClass::Nop && self.iq.is_full() {
+                IdleTick::IqFull
+            } else if op.is_mem() && self.lsq.is_full() {
+                IdleTick::LsqFull
+            } else if let Some(dl) = fi.di.inst().dest() {
+                let free = match &self.renamer {
+                    Renamer::Conventional(conv) => Some(conv.free_count(dl.class())),
+                    Renamer::EarlyRelease(er) => Some(er.free_count(dl.class())),
+                    Renamer::Vp(_) => None,
+                };
+                if free == Some(0) {
+                    IdleTick::FreeList(dl.class())
+                } else {
+                    return;
+                }
+            } else {
+                return;
+            }
+        } else if self.fetch.is_done() {
+            IdleTick::Nothing
+        } else if self.fetch.is_diverted() {
+            if self.config.wrong_path_injection {
+                // Injection mode fabricates wrong-path work every cycle.
+                return;
+            }
+            IdleTick::FetchStall
+        } else if self.fetch.resume_at() > self.cycle {
+            // Redirect shadow: fetch stalls until `resume_at`.
+            resume_bound = Some(self.fetch.resume_at());
+            IdleTick::FetchStall
+        } else {
+            return;
+        };
+        let target = match (self.events.next_at_or_after(self.cycle), resume_bound) {
+            (Some(e), Some(r)) => e.min(r),
+            (Some(e), None) => e,
+            (None, Some(r)) => r,
+            // Nothing pending at all: no skip target. (A genuinely stuck
+            // machine reaches the deadlock watchdog exactly as before.)
+            (None, None) => return,
+        };
+        let target = target.min(max_cycle);
+        if target <= self.cycle {
+            return;
+        }
+        let skipped = target - self.cycle;
+        match tick {
+            IdleTick::Nothing => {}
+            IdleTick::FetchStall => self.fetch.add_stall_cycles(skipped),
+            IdleTick::RobFull => self.raw.rob_full_stalls += skipped,
+            IdleTick::IqFull => self.raw.iq_full_stalls += skipped,
+            IdleTick::LsqFull => self.raw.lsq_full_stalls += skipped,
+            IdleTick::FreeList(class) => self.raw.class_mut(class).rename_stalls += skipped,
+        }
+        // Register occupancy is frozen while quiescent: replay the
+        // per-cycle sampling in closed form.
+        for class in [RegClass::Int, RegClass::Fp] {
+            let (allocated, free) = self.register_counts(class);
+            let cs = self.raw.class_mut(class);
+            cs.occupancy_sum += allocated as u64 * skipped;
+            if free == 0 {
+                cs.empty_free_list_cycles += skipped;
+            }
+        }
+        self.cycle = target;
     }
 
     fn absolute(&self) -> SimStats {
@@ -286,8 +496,21 @@ impl<S: InstStream> Processor<S> {
     }
 
     fn schedule(&mut self, at: u64, ev: Event) {
-        debug_assert!(at > self.cycle, "events must be strictly in the future");
-        self.events.entry(at).or_default().push(ev);
+        self.events.schedule(self.cycle, at, ev);
+    }
+
+    /// Adds `seq` to the cache-retry set (sorted; duplicates ignored).
+    fn retry_insert(&mut self, seq: u64) {
+        if let Err(pos) = self.cache_retry.binary_search(&seq) {
+            self.cache_retry.insert(pos, seq);
+        }
+    }
+
+    /// Drops `seq` from the cache-retry set if present.
+    fn retry_remove(&mut self, seq: u64) {
+        if let Ok(pos) = self.cache_retry.binary_search(&seq) {
+            self.cache_retry.remove(pos);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -300,7 +523,10 @@ impl<S: InstStream> Processor<S> {
             if !head.completed {
                 break;
             }
-            debug_assert!(!head.wrong_path, "wrong-path entries are squashed, not committed");
+            debug_assert!(
+                !head.wrong_path,
+                "wrong-path entries are squashed, not committed"
+            );
             // Optional PMT-lookup commit delay of the VP schemes (§3.2.2).
             if self.config.vp_commit_delay
                 && self.config.scheme.is_virtual_physical()
@@ -332,6 +558,8 @@ impl<S: InstStream> Processor<S> {
         let Some(dest) = entry.dest else { return };
         self.raw.committed_with_dest += 1;
         let class = dest.class();
+        let popped = self.dest_seqs[class.index()].pop_front();
+        debug_assert_eq!(popped, Some(entry.seq), "dest commits are in order");
         match &mut self.renamer {
             Renamer::EarlyRelease(er) => {
                 // No explicit freeing: committing the producer just opens
@@ -340,7 +568,9 @@ impl<S: InstStream> Processor<S> {
                 er.on_producer_commit(class, preg, now);
             }
             Renamer::Conventional(conv) => {
-                let prev = dest.prev_preg.expect("conventional rename records prev mapping");
+                let prev = dest
+                    .prev_preg
+                    .expect("conventional rename records prev mapping");
                 let held = conv.on_commit_dest(class, prev, now);
                 let cs = self.raw.class_mut(class);
                 cs.frees += 1;
@@ -352,11 +582,19 @@ impl<S: InstStream> Processor<S> {
                     .nrr(class)
                     .pointer()
                     .expect("committing a destination implies a reserved set");
-                let entrant = self
-                    .rob
-                    .iter_younger_than(pointer)
-                    .find(|e| e.dest.is_some_and(|d| d.class() == class))
-                    .map(|e| (e.seq, e.dest.expect("filtered on dest").preg.is_some()));
+                // The oldest in-flight producer of this class younger than
+                // the pointer: a partition-point lookup in the per-class
+                // program-order index instead of an O(window) ROB scan.
+                let seqs = &self.dest_seqs[class.index()];
+                let entrant = seqs
+                    .get(seqs.partition_point(|&s| s <= pointer))
+                    .map(|&seq| {
+                        let e = self
+                            .rob
+                            .get(seq)
+                            .expect("dest index tracks in-flight entries");
+                        (seq, e.dest.expect("indexed on dest").preg.is_some())
+                    });
                 vp.nrr_on_commit(class, entry.seq, entrant);
                 let prev = dest.prev_vp.expect("VP rename records prev mapping");
                 let held = vp.on_commit_dest(class, prev, now);
@@ -372,31 +610,37 @@ impl<S: InstStream> Processor<S> {
     // ------------------------------------------------------------------
 
     fn mem_retry_phase(&mut self, now: u64) {
-        let retries: Vec<u64> = self.cache_retry.iter().copied().collect();
-        for seq in retries {
+        if self.cache_retry.is_empty() {
+            return;
+        }
+        let mut retries = std::mem::take(&mut self.retry_scratch);
+        retries.clear();
+        retries.extend_from_slice(&self.cache_retry);
+        for &seq in &retries {
             self.try_cache_access(seq, now);
         }
+        self.retry_scratch = retries;
     }
 
     fn try_cache_access(&mut self, seq: u64, now: u64) {
         let Some(entry) = self.rob.get(seq) else {
-            self.cache_retry.remove(&seq);
+            self.retry_remove(seq);
             return;
         };
         if entry.mem_phase != MemPhase::AwaitCache {
-            self.cache_retry.remove(&seq);
+            self.retry_remove(seq);
             return;
         }
         let gen = entry.gen;
         let addr = entry.di.mem().expect("memory op carries an access").addr;
         match self.cache.access(now, addr, AccessKind::Load) {
             AccessOutcome::Hit { ready_at } | AccessOutcome::Miss { ready_at, .. } => {
-                self.cache_retry.remove(&seq);
+                self.retry_remove(seq);
                 self.rob.get_mut(seq).expect("checked above").mem_phase = MemPhase::InFlight;
                 self.schedule(ready_at, Event::MemData { seq, gen });
             }
             AccessOutcome::Retry { .. } => {
-                self.cache_retry.insert(seq);
+                self.retry_insert(seq);
             }
         }
     }
@@ -406,10 +650,12 @@ impl<S: InstStream> Processor<S> {
     // ------------------------------------------------------------------
 
     fn event_phase(&mut self, now: u64) {
-        let Some(mut events) = self.events.remove(&now) else { return };
+        let mut events = std::mem::take(&mut self.event_scratch);
+        debug_assert!(events.is_empty());
+        self.events.drain_at(now, &mut events);
         // Oldest instructions get write ports and cache ports first.
         events.sort_by_key(Event::seq);
-        for ev in events {
+        for ev in events.drain(..) {
             match ev {
                 Event::EaDone { seq, gen } => self.handle_ea_done(seq, gen, now),
                 Event::MemData { seq, gen } | Event::Complete { seq, gen } => {
@@ -417,10 +663,13 @@ impl<S: InstStream> Processor<S> {
                 }
             }
         }
+        self.event_scratch = events;
     }
 
     fn handle_ea_done(&mut self, seq: u64, gen: u64, now: u64) {
-        let Some(entry) = self.rob.get(seq) else { return };
+        let Some(entry) = self.rob.get(seq) else {
+            return;
+        };
         if entry.gen != gen {
             return;
         }
@@ -453,7 +702,9 @@ impl<S: InstStream> Processor<S> {
     }
 
     fn handle_completion(&mut self, seq: u64, gen: u64, now: u64) {
-        let Some(entry) = self.rob.get(seq) else { return };
+        let Some(entry) = self.rob.get(seq) else {
+            return;
+        };
         if entry.gen != gen || entry.completed {
             return;
         }
@@ -503,7 +754,12 @@ impl<S: InstStream> Processor<S> {
             }
             self.wb_ports_used[c] += 1;
             // Broadcast the result tag to the queue and the map tables.
-            let dest = self.rob.get(seq).expect("checked above").dest.expect("dest above");
+            let dest = self
+                .rob
+                .get(seq)
+                .expect("checked above")
+                .dest
+                .expect("dest above");
             let preg = dest.preg.expect("allocated above or at rename/issue");
             match &mut self.renamer {
                 Renamer::Conventional(conv) => {
@@ -558,14 +814,17 @@ impl<S: InstStream> Processor<S> {
     /// the queue ready to issue.
     fn reexecute(&mut self, seq: u64, _now: u64) {
         let gen = self.fresh_gen();
-        let entry = self.rob.get_mut(seq).expect("re-executed instruction is in flight");
+        let entry = self
+            .rob
+            .get_mut(seq)
+            .expect("re-executed instruction is in flight");
         entry.gen = gen;
         entry.issued = false;
         entry.completed = false;
         entry.mem_phase = MemPhase::Idle;
         let op = entry.di.op();
         let srcs = entry.srcs;
-        self.cache_retry.remove(&seq);
+        self.retry_remove(seq);
         if op == OpClass::Load && self.lsq.address_of(seq).is_some() {
             self.lsq.mark_unperformed(seq);
         }
@@ -586,30 +845,48 @@ impl<S: InstStream> Processor<S> {
     // ------------------------------------------------------------------
 
     fn issue_phase(&mut self, now: u64) {
+        if self.iq.ready_len() == 0 {
+            return;
+        }
         let mut budget = self.config.issue_width;
         let mut read_ports = [self.config.regfile_read_ports; 2];
-        let mut issued: Vec<u64> = Vec::new();
-        for e in self.iq.iter() {
+        let mut issued = std::mem::take(&mut self.issued_scratch);
+        debug_assert!(issued.is_empty());
+        // Only the issue-allocation scheme consults the reorder buffer per
+        // candidate; hoist the scheme test out of the selection loop.
+        let issue_allocates = matches!(
+            self.config.scheme,
+            RenameScheme::VirtualPhysicalIssue { .. }
+        );
+        // The ready index holds exactly the issue-eligible entries, oldest
+        // first — no need to scan the waiting remainder of the window.
+        for e in self.iq.ready_iter() {
             if budget == 0 {
                 break;
             }
-            if !e.is_ready() {
-                continue;
-            }
+            debug_assert!(e.is_ready());
             let (int_reads, fp_reads) = e.read_port_needs();
             if int_reads > read_ports[0] || fp_reads > read_ports[1] {
                 continue;
             }
             // Issue-allocation scheme: a destination needs a register
             // grant before the instruction may leave the queue (§3.4).
-            let rob_entry = self.rob.get(e.seq).expect("queued instruction is in flight");
-            let needs_alloc = matches!(
-                self.config.scheme,
-                RenameScheme::VirtualPhysicalIssue { .. }
-            ) && rob_entry.dest.is_some_and(|d| d.preg.is_none());
-            if needs_alloc {
-                let Renamer::Vp(vp) = &self.renamer else { unreachable!() };
-                let class = rob_entry.dest.expect("checked above").class();
+            let alloc_class = if issue_allocates {
+                let rob_entry = self
+                    .rob
+                    .get(e.seq)
+                    .expect("queued instruction is in flight");
+                rob_entry
+                    .dest
+                    .filter(|d| d.preg.is_none())
+                    .map(|d| d.class())
+            } else {
+                None
+            };
+            if let Some(class) = alloc_class {
+                let Renamer::Vp(vp) = &self.renamer else {
+                    unreachable!()
+                };
                 if !vp.may_allocate(class, e.seq) {
                     self.raw.issue_allocation_stalls += 1;
                     continue;
@@ -622,19 +899,19 @@ impl<S: InstStream> Processor<S> {
             read_ports[1] -= fp_reads;
             budget -= 1;
             issued.push(e.seq);
-            if needs_alloc {
-                let Renamer::Vp(vp) = &mut self.renamer else { unreachable!() };
-                let class = rob_entry.dest.expect("checked above").class();
+            if let Some(class) = alloc_class {
+                let Renamer::Vp(vp) = &mut self.renamer else {
+                    unreachable!()
+                };
                 let preg = vp
                     .try_allocate(class, e.seq, now)
                     .expect("may_allocate checked above");
                 self.raw.class_mut(class).allocations += 1;
                 // The destination is recorded after the loop (needs &mut).
-                let _ = preg;
                 self.pending_issue_allocs.push((e.seq, preg));
             }
         }
-        for seq in issued {
+        for seq in issued.drain(..) {
             let iq_entry = self.iq.remove(seq).expect("issued from the queue");
             if let Renamer::EarlyRelease(er) = &mut self.renamer {
                 // Sources are read now: their pending-read counters drop.
@@ -658,7 +935,9 @@ impl<S: InstStream> Processor<S> {
                 self.schedule(finish, Event::Complete { seq, gen });
             }
         }
-        for (seq, preg) in std::mem::take(&mut self.pending_issue_allocs) {
+        self.issued_scratch = issued;
+        let mut allocs = std::mem::take(&mut self.pending_issue_allocs);
+        for (seq, preg) in allocs.drain(..) {
             self.rob
                 .get_mut(seq)
                 .expect("in flight")
@@ -667,6 +946,7 @@ impl<S: InstStream> Processor<S> {
                 .expect("allocation implies a destination")
                 .preg = Some(preg);
         }
+        self.pending_issue_allocs = allocs;
     }
 
     // ------------------------------------------------------------------
@@ -675,7 +955,9 @@ impl<S: InstStream> Processor<S> {
 
     fn rename_phase(&mut self, now: u64) {
         for _ in 0..self.config.rename_width {
-            let Some(fi) = self.fetch_buffer.front() else { break };
+            let Some(fi) = self.fetch_buffer.front() else {
+                break;
+            };
             if self.rob.is_full() {
                 self.raw.rob_full_stalls += 1;
                 break;
@@ -764,6 +1046,9 @@ impl<S: InstStream> Processor<S> {
                 _ => {}
             }
             self.rob.push(entry);
+            if let Some(dl) = inst.dest() {
+                self.dest_seqs[dl.class().index()].push_back(seq);
+            }
             if op != OpClass::Nop {
                 self.iq.insert(IqEntry { seq, op, srcs });
             }
@@ -784,10 +1069,14 @@ impl<S: InstStream> Processor<S> {
 
     fn fetch_phase(&mut self, now: u64) {
         if self.fetch_buffer.is_empty() && !self.fetch.is_done() {
-            let block =
-                self.fetch
-                    .fetch_block(now, &mut self.trace, &self.bht, self.config.fetch_width);
-            self.fetch_buffer.extend(block);
+            let buffer = &mut self.fetch_buffer;
+            self.fetch.fetch_block_into(
+                now,
+                &mut self.trace,
+                &self.bht,
+                self.config.fetch_width,
+                &mut |fi| buffer.push_back(fi),
+            );
         }
     }
 
@@ -802,14 +1091,19 @@ impl<S: InstStream> Processor<S> {
     fn squash_younger_than(&mut self, branch_seq: u64, now: u64) {
         while self.rob.tail().is_some_and(|t| t.seq > branch_seq) {
             let entry = self.rob.pop_tail().expect("tail checked above");
-            debug_assert!(entry.wrong_path, "only wrong-path work follows a diverted fetch");
+            debug_assert!(
+                entry.wrong_path,
+                "only wrong-path work follows a diverted fetch"
+            );
             self.raw.wrong_path_squashed += 1;
             self.iq.remove(entry.seq);
-            self.cache_retry.remove(&entry.seq);
+            self.retry_remove(entry.seq);
             if entry.di.op().is_mem() {
                 self.lsq.remove(entry.seq);
             }
             if let Some(d) = entry.dest {
+                let popped = self.dest_seqs[d.class().index()].pop_back();
+                debug_assert_eq!(popped, Some(entry.seq), "dest squashes pop from the tail");
                 match &mut self.renamer {
                     Renamer::EarlyRelease(_) => unreachable!(
                         "early release rejects wrong-path injection at configuration time"
@@ -854,15 +1148,19 @@ impl<S: InstStream> Processor<S> {
     // Sampling
     // ------------------------------------------------------------------
 
+    /// `(allocated, free)` physical registers of `class` under the active
+    /// renamer.
+    fn register_counts(&self, class: RegClass) -> (usize, usize) {
+        match &self.renamer {
+            Renamer::Conventional(conv) => (conv.allocated_count(class), conv.free_count(class)),
+            Renamer::EarlyRelease(er) => (er.allocated_count(class), er.free_count(class)),
+            Renamer::Vp(vp) => (vp.allocated_count(class), vp.free_count(class)),
+        }
+    }
+
     fn sample(&mut self, _now: u64) {
         for class in [RegClass::Int, RegClass::Fp] {
-            let (allocated, free) = match &self.renamer {
-                Renamer::Conventional(conv) => {
-                    (conv.allocated_count(class), conv.free_count(class))
-                }
-                Renamer::EarlyRelease(er) => (er.allocated_count(class), er.free_count(class)),
-                Renamer::Vp(vp) => (vp.allocated_count(class), vp.free_count(class)),
-            };
+            let (allocated, free) = self.register_counts(class);
             let cs = self.raw.class_mut(class);
             cs.occupancy_sum += allocated as u64;
             if free == 0 {
@@ -937,7 +1235,11 @@ mod tests {
             let mut cpu = Processor::new(cfg(scheme), trace.into_iter());
             let stats = cpu.run_to_completion();
             assert_eq!(stats.committed, 200, "{scheme:?}");
-            assert!(stats.ipc() > 1.0, "{scheme:?}: independent ALUs reach IPC {}", stats.ipc());
+            assert!(
+                stats.ipc() > 1.0,
+                "{scheme:?}: independent ALUs reach IPC {}",
+                stats.ipc()
+            );
         }
     }
 
@@ -1013,7 +1315,7 @@ mod tests {
         .with_mem(MemAccess::word(0x4000));
         let racy_load = load(0x8, 2, 0x4000);
         for scheme in all_schemes() {
-            let trace = vec![div.clone(), slow_store.clone(), racy_load.clone()];
+            let trace = vec![div, slow_store, racy_load];
             let mut cpu = Processor::new(cfg(scheme), trace.into_iter());
             let stats = cpu.run_to_completion();
             assert_eq!(stats.committed, 3, "{scheme:?}");
@@ -1087,8 +1389,14 @@ mod tests {
         let mut cpu = Processor::new(c, trace.into_iter());
         let stats = cpu.run_to_completion();
         assert_eq!(stats.committed, 64);
-        assert_eq!(stats.register_reexecutions, 0, "issue allocation never squashes");
-        assert!(stats.issue_allocation_stalls > 0, "it stalls in the queue instead");
+        assert_eq!(
+            stats.register_reexecutions, 0,
+            "issue allocation never squashes"
+        );
+        assert!(
+            stats.issue_allocation_stalls > 0,
+            "it stalls in the queue instead"
+        );
         assert!((stats.executions_per_commit() - 1.0).abs() < 1e-9);
     }
 
@@ -1127,7 +1435,10 @@ mod tests {
             let mut cpu = Processor::new(c, trace.clone().into_iter());
             let stats = cpu.run_to_completion();
             assert_eq!(stats.committed, 51, "{scheme:?}");
-            assert!(stats.wrong_path_squashed > 0, "{scheme:?}: wrong path was fetched");
+            assert!(
+                stats.wrong_path_squashed > 0,
+                "{scheme:?}: wrong path was fetched"
+            );
             assert!(stats.fetch.wrong_path_fetched > 0, "{scheme:?}");
         }
     }
@@ -1195,8 +1506,8 @@ mod tests {
                 fp_chain_inst(0xc, OpClass::FpAdd),
             ]
         };
-        let conv = Processor::new(cfg(RenameScheme::Conventional), mk().into_iter())
-            .run_to_completion();
+        let conv =
+            Processor::new(cfg(RenameScheme::Conventional), mk().into_iter()).run_to_completion();
         let vp = Processor::new(
             cfg(RenameScheme::VirtualPhysicalWriteback { nrr: 32 }),
             mk().into_iter(),
@@ -1393,11 +1704,15 @@ mod edge_case_tests {
     fn tiny_rob_works() {
         for scheme in all_schemes() {
             let cfg = SimConfig::builder().scheme(scheme).rob_size(4).build();
-            let trace: Vec<DynInst> =
-                (0..100).map(|i| alu(i * 4, (i % 8 + 1) as usize, 0)).collect();
+            let trace: Vec<DynInst> = (0..100)
+                .map(|i| alu(i * 4, (i % 8 + 1) as usize, 0))
+                .collect();
             let stats = Processor::new(cfg, trace.into_iter()).run_to_completion();
             assert_eq!(stats.committed, 100, "{scheme:?}");
-            assert!(stats.rob_full_stalls > 0, "{scheme:?}: a 4-entry ROB must stall");
+            assert!(
+                stats.rob_full_stalls > 0,
+                "{scheme:?}: a 4-entry ROB must stall"
+            );
         }
     }
 
@@ -1410,10 +1725,16 @@ mod edge_case_tests {
             RenameScheme::VirtualPhysicalIssue { nrr: 1 },
             RenameScheme::VirtualPhysicalWriteback { nrr: 1 },
         ] {
-            let cfg = SimConfig::builder().scheme(scheme).physical_regs(33).build();
+            let cfg = SimConfig::builder()
+                .scheme(scheme)
+                .physical_regs(33)
+                .build();
             let trace: Vec<DynInst> = (0..60).map(|i| alu(i * 4, (i % 5) as usize, 2)).collect();
             let stats = Processor::new(cfg, trace.into_iter()).run_to_completion();
-            assert_eq!(stats.committed, 60, "{scheme:?}: single-spare file must not deadlock");
+            assert_eq!(
+                stats.committed, 60,
+                "{scheme:?}: single-spare file must not deadlock"
+            );
         }
     }
 
@@ -1421,7 +1742,9 @@ mod edge_case_tests {
     fn store_buffer_full_stalls_commit_but_progresses() {
         // A tiny store buffer + all-miss stores: commit must stall on the
         // buffer yet everything drains.
-        let mut cfg = SimConfig::builder().scheme(RenameScheme::Conventional).build();
+        let mut cfg = SimConfig::builder()
+            .scheme(RenameScheme::Conventional)
+            .build();
         cfg.store_buffer_size = 1;
         cfg.cache = CacheConfig {
             mshrs: 1,
@@ -1430,7 +1753,10 @@ mod edge_case_tests {
         let trace: Vec<DynInst> = (0..30).map(|i| store(i * 4, 0x4000 + i * 4096)).collect();
         let stats = Processor::new(cfg, trace.into_iter()).run_to_completion();
         assert_eq!(stats.committed, 30);
-        assert!(stats.store_buffer_stalls > 0, "1-entry buffer must stall commit");
+        assert!(
+            stats.store_buffer_stalls > 0,
+            "1-entry buffer must stall commit"
+        );
     }
 
     #[test]
@@ -1441,14 +1767,12 @@ mod edge_case_tests {
         // work flows.
         let mut trace = Vec::new();
         for i in 0..40u64 {
-            trace.push(
-                DynInst::new(
-                    i * 8,
-                    Inst::new(OpClass::FpDiv)
-                        .with_dest(LogicalReg::fp((i % 32) as usize))
-                        .with_src1(LogicalReg::fp(0)),
-                ),
-            );
+            trace.push(DynInst::new(
+                i * 8,
+                Inst::new(OpClass::FpDiv)
+                    .with_dest(LogicalReg::fp((i % 32) as usize))
+                    .with_src1(LogicalReg::fp(0)),
+            ));
             trace.push(alu(i * 8 + 4, (i % 8 + 1) as usize, 0));
         }
         let cfg = SimConfig::builder()
@@ -1466,9 +1790,13 @@ mod edge_case_tests {
         // 16 independent 1-cycle ALUs complete in a burst wider than the
         // 8 write ports when issue width allows; shrink ports to force
         // deferrals.
-        let mut cfg = SimConfig::builder().scheme(RenameScheme::Conventional).build();
+        let mut cfg = SimConfig::builder()
+            .scheme(RenameScheme::Conventional)
+            .build();
         cfg.regfile_write_ports = 1;
-        let trace: Vec<DynInst> = (0..64).map(|i| alu(i * 4, (i % 8 + 1) as usize, 0)).collect();
+        let trace: Vec<DynInst> = (0..64)
+            .map(|i| alu(i * 4, (i % 8 + 1) as usize, 0))
+            .collect();
         let stats = Processor::new(cfg, trace.into_iter()).run_to_completion();
         assert_eq!(stats.committed, 64);
         assert!(
@@ -1502,11 +1830,56 @@ mod edge_case_tests {
     #[test]
     fn run_cycles_stops_on_time() {
         let trace: Vec<DynInst> = (0..100_000).map(|i| alu(i * 4, 1, 1)).collect();
-        let cfg = SimConfig::builder().scheme(RenameScheme::Conventional).build();
+        let cfg = SimConfig::builder()
+            .scheme(RenameScheme::Conventional)
+            .build();
         let mut cpu = Processor::new(cfg, trace.into_iter());
         let stats = cpu.run_cycles(500);
         assert_eq!(stats.cycles, 500);
         assert!(!cpu.is_done());
+    }
+
+    #[test]
+    fn run_cycles_stops_on_time_inside_an_idle_stretch() {
+        // A missing load plus a dependent consumer: once the load's EA
+        // resolves, the machine is fully quiescent until the 50-cycle
+        // fill returns, so idle fast-forwarding engages. A cycle budget
+        // that lands inside that stretch must still be honoured exactly
+        // (and repeatedly: a second capped run must not double-count).
+        for scheme in all_schemes() {
+            let trace = vec![
+                DynInst::new(
+                    0x0,
+                    Inst::new(OpClass::Load)
+                        .with_dest(LogicalReg::int(1))
+                        .with_src1(LogicalReg::int(30)),
+                )
+                .with_mem(MemAccess::word(0x20000)),
+                alu(0x4, 2, 1),
+            ];
+            let cfg = SimConfig::builder().scheme(scheme).build();
+            let mut cpu = Processor::new(cfg, trace.clone().into_iter());
+            let stats = cpu.run_cycles(20);
+            assert_eq!(stats.cycles, 20, "{scheme:?}: capped mid-idle");
+            assert!(!cpu.is_done(), "{scheme:?}");
+            let stats = cpu.run_cycles(10);
+            assert_eq!(
+                stats.cycles, 30,
+                "{scheme:?}: second cap accumulates exactly"
+            );
+            // The budget-capped path must agree with an uncapped run of
+            // the same trace cycle for cycle.
+            let full = Processor::new(
+                SimConfig::builder().scheme(scheme).build(),
+                trace.into_iter(),
+            )
+            .run_to_completion();
+            let rest = cpu.run_to_completion();
+            assert_eq!(
+                full, rest,
+                "{scheme:?}: capped stepping must not perturb stats"
+            );
+        }
     }
 
     #[test]
@@ -1530,7 +1903,10 @@ mod edge_case_tests {
             let cfg = SimConfig::builder().scheme(scheme).build();
             let stats = Processor::new(cfg, trace.clone().into_iter()).run_to_completion();
             assert_eq!(stats.committed, 60, "{scheme:?}");
-            assert_eq!(stats.fetch.mispredictions, 0, "{scheme:?}: jumps never mispredict");
+            assert_eq!(
+                stats.fetch.mispredictions, 0,
+                "{scheme:?}: jumps never mispredict"
+            );
         }
     }
 }

@@ -47,7 +47,11 @@ impl ConventionalRenamer {
             phys_per_class > NUM_LOGICAL_PER_CLASS,
             "need more physical than logical registers"
         );
-        let map = || (0..NUM_LOGICAL_PER_CLASS).map(|i| PhysReg(i as u16)).collect();
+        let map = || {
+            (0..NUM_LOGICAL_PER_CLASS)
+                .map(|i| PhysReg(i as u16))
+                .collect()
+        };
         let ready = || {
             let mut v = vec![false; phys_per_class];
             v[..NUM_LOGICAL_PER_CLASS].fill(true);
@@ -80,11 +84,7 @@ impl ConventionalRenamer {
     /// installs it in the map table. Returns `(new, previous)` mappings,
     /// or `None` when the free list is empty (rename must stall — the
     /// behaviour whose cost the paper eliminates).
-    pub fn try_rename_dest(
-        &mut self,
-        logical: LogicalReg,
-        now: u64,
-    ) -> Option<(PhysReg, PhysReg)> {
+    pub fn try_rename_dest(&mut self, logical: LogicalReg, now: u64) -> Option<(PhysReg, PhysReg)> {
         let c = logical.class().index();
         let new = PhysReg(self.free[c].allocate(now)?);
         self.ready[c][new.0 as usize] = false;

@@ -121,7 +121,11 @@ impl EarlyReleaseRenamer {
             phys_per_class > NUM_LOGICAL_PER_CLASS,
             "need more physical than logical registers"
         );
-        let map = || (0..NUM_LOGICAL_PER_CLASS).map(|i| PhysReg(i as u16)).collect();
+        let map = || {
+            (0..NUM_LOGICAL_PER_CLASS)
+                .map(|i| PhysReg(i as u16))
+                .collect()
+        };
         let state = || {
             (0..phys_per_class)
                 .map(|i| {
@@ -178,11 +182,7 @@ impl EarlyReleaseRenamer {
     /// Renames a destination at decode: allocates a register and marks
     /// the previous mapping superseded (possibly releasing it on the
     /// spot). Returns `(new, previous)` or `None` on an empty free list.
-    pub fn try_rename_dest(
-        &mut self,
-        logical: LogicalReg,
-        now: u64,
-    ) -> Option<(PhysReg, PhysReg)> {
+    pub fn try_rename_dest(&mut self, logical: LogicalReg, now: u64) -> Option<(PhysReg, PhysReg)> {
         let c = logical.class().index();
         let new = PhysReg(self.free[c].allocate(now)?);
         self.state[c][new.0 as usize] = RegState::fresh();
@@ -196,7 +196,10 @@ impl EarlyReleaseRenamer {
     /// register may become dead.
     pub fn on_read(&mut self, class: RegClass, preg: PhysReg, now: u64) {
         let s = &mut self.state[class.index()][preg.0 as usize];
-        assert!(s.pending_reads > 0, "read of {preg} without a renamed consumer");
+        assert!(
+            s.pending_reads > 0,
+            "read of {preg} without a renamed consumer"
+        );
         s.pending_reads -= 1;
         self.try_release(class, preg, now, false);
     }
@@ -272,7 +275,11 @@ mod tests {
         let free0 = r.free_count(RegClass::Fp);
         let (_p2, prev) = r.try_rename_dest(l, 1).unwrap();
         assert_eq!(prev, p);
-        assert_eq!(r.free_count(RegClass::Fp), free0 - 1, "superseded but read pending");
+        assert_eq!(
+            r.free_count(RegClass::Fp),
+            free0 - 1,
+            "superseded but read pending"
+        );
         // Consumer reads: still held (producer not committed).
         r.on_read(RegClass::Fp, p, 5);
         assert_eq!(r.free_count(RegClass::Fp), free0 - 1);
@@ -296,11 +303,15 @@ mod tests {
         let _c = r.rename_src(l); // one consumer
         let free0 = r.free_count(RegClass::Int);
         let (_p2, _) = r.try_rename_dest(l, 4).unwrap(); // superseded
-        // The consumer reads at cycle 10 — release happens NOW, long
-        // before the superseding writer would commit (second early
-        // release).
+                                                         // The consumer reads at cycle 10 — release happens NOW, long
+                                                         // before the superseding writer would commit (second early
+                                                         // release).
         r.on_read(RegClass::Int, p, 10);
-        assert_eq!(r.free_count(RegClass::Int), free0, "net zero before any commit");
+        assert_eq!(
+            r.free_count(RegClass::Int),
+            free0,
+            "net zero before any commit"
+        );
         assert_eq!(r.release_stats(RegClass::Int).early, 2);
     }
 
@@ -335,7 +346,10 @@ mod tests {
         // p is the current (unsuperseded) mapping: must never free.
         assert_eq!(r.free_count(RegClass::Int), 1);
         assert!(r.try_rename_dest(LogicalReg::int(1), 2).is_some());
-        assert!(r.try_rename_dest(LogicalReg::int(2), 3).is_none(), "exhausted");
+        assert!(
+            r.try_rename_dest(LogicalReg::int(2), 3).is_none(),
+            "exhausted"
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl FreeList {
     /// Panics if `initially_allocated > capacity` or `capacity` exceeds
     /// `u16::MAX + 1`.
     pub fn new(capacity: usize, initially_allocated: usize) -> Self {
-        assert!(initially_allocated <= capacity, "cannot pre-allocate more than capacity");
+        assert!(
+            initially_allocated <= capacity,
+            "cannot pre-allocate more than capacity"
+        );
         assert!(capacity <= u16::MAX as usize + 1, "register ids are u16");
         Self {
             free: (initially_allocated..capacity).map(|i| i as u16).collect(),
@@ -74,7 +77,10 @@ impl FreeList {
     /// Takes a free register at cycle `now`, or `None` when exhausted.
     pub fn allocate(&mut self, now: u64) -> Option<u16> {
         let id = self.free.pop_front()?;
-        debug_assert!(!self.allocated[id as usize], "free list held an allocated register");
+        debug_assert!(
+            !self.allocated[id as usize],
+            "free list held an allocated register"
+        );
         self.allocated[id as usize] = true;
         self.alloc_cycle[id as usize] = now;
         Some(id)

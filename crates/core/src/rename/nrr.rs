@@ -193,7 +193,10 @@ mod tests {
         let mut n = NrrState::new(2);
         n.on_decode(1);
         n.on_decode(2);
-        assert!(n.may_allocate(1, 0), "reserved allocate regardless of free count");
+        assert!(
+            n.may_allocate(1, 0),
+            "reserved allocate regardless of free count"
+        );
         assert!(n.may_allocate(2, 0));
         assert!(!n.may_allocate(3, 2), "needs free > NRR - Used = 2");
         assert!(n.may_allocate(3, 3));

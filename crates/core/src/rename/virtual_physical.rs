@@ -146,7 +146,10 @@ impl VpRenamer {
         debug_assert!(self.pmt[c][new.0 as usize].is_none(), "stale PMT binding");
         let prev = std::mem::replace(
             &mut self.gmt[c][logical.index()],
-            GmtEntry { vp: new, preg: None },
+            GmtEntry {
+                vp: new,
+                preg: None,
+            },
         )
         .vp;
         self.nrr[c].on_decode(seq);
@@ -242,7 +245,8 @@ impl VpRenamer {
     pub fn on_squash_dest(&mut self, logical: LogicalReg, vp: VpReg, prev_vp: VpReg, now: u64) {
         let c = logical.class().index();
         debug_assert_eq!(
-            self.gmt[c][logical.index()].vp, vp,
+            self.gmt[c][logical.index()].vp,
+            vp,
             "squash must unwind newest-first"
         );
         self.vp_free[c].release(vp.0, now);
@@ -318,7 +322,11 @@ mod tests {
             let l = LogicalReg::int((seq % 32) as usize);
             let _ = r.rename_dest(l, seq as u64, seq as u64);
         }
-        assert_eq!(r.free_count(RegClass::Int), 32, "no physical register consumed");
+        assert_eq!(
+            r.free_count(RegClass::Int),
+            32,
+            "no physical register consumed"
+        );
     }
 
     #[test]
@@ -392,7 +400,7 @@ mod tests {
         let (_vp0, _) = r.rename_dest(l, 0, 0); // reserved (Reg=1)
         let (_vp1, _) = r.rename_dest(LogicalReg::int(1), 1, 0); // reserved (Reg=2)
         let (_vp2, _) = r.rename_dest(LogicalReg::int(2), 2, 0); // not reserved
-        // free=2, NRR-Used=2: the young instruction is denied.
+                                                                 // free=2, NRR-Used=2: the young instruction is denied.
         assert!(!r.may_allocate(RegClass::Int, 2));
         assert!(r.try_allocate(RegClass::Int, 2, 1).is_none());
         // Reserved instructions always get one.

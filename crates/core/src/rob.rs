@@ -133,7 +133,11 @@ impl Rob {
     pub fn push(&mut self, entry: RobEntry) {
         assert!(!self.is_full(), "ROB overflow: dispatch must stall first");
         if let Some(tail) = self.entries.back() {
-            assert_eq!(entry.seq, tail.seq + 1, "sequence numbers must be contiguous");
+            assert_eq!(
+                entry.seq,
+                tail.seq + 1,
+                "sequence numbers must be contiguous"
+            );
         } else {
             self.head_seq = entry.seq;
         }
@@ -194,7 +198,12 @@ mod tests {
     use vpr_isa::{Inst, OpClass};
 
     fn entry(seq: u64) -> RobEntry {
-        RobEntry::new(seq, DynInst::new(seq * 4, Inst::new(OpClass::IntAlu)), false, false)
+        RobEntry::new(
+            seq,
+            DynInst::new(seq * 4, Inst::new(OpClass::IntAlu)),
+            false,
+            false,
+        )
     }
 
     #[test]

@@ -86,10 +86,7 @@ fn commit_oldest(r: &mut VpRenamer, window: &mut Vec<InFlight>, now: u64) {
     }
     let entrant = window
         .iter()
-        .find(|w| {
-            w.logical.class() == class
-                && r.nrr(class).pointer().is_some_and(|p| w.seq > p)
-        })
+        .find(|w| w.logical.class() == class && r.nrr(class).pointer().is_some_and(|p| w.seq > p))
         .map(|w| (w.seq, w.bound));
     r.nrr_on_commit(class, oldest.seq, entrant);
     r.on_commit_dest(class, oldest.prev_vp, now);

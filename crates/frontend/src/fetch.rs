@@ -123,6 +123,24 @@ impl FetchUnit {
         self.wait_resolve
     }
 
+    /// The first cycle at which fetch may deliver again after the most
+    /// recent [`FetchUnit::resolve_branch`] (0 when never redirected).
+    /// Exposed for the core's idle-cycle fast-forwarding: a quiescent
+    /// machine must not be skipped past the redirect point.
+    #[inline]
+    pub fn resume_at(&self) -> u64 {
+        self.resume_at
+    }
+
+    /// Accounts `n` cycles of fetch stall without calling
+    /// [`FetchUnit::fetch_block`]. The core's idle-cycle fast-forwarding
+    /// uses this to keep [`FetchStats::stall_cycles`] bit-identical when
+    /// it skips cycles in which fetch would have stalled (unresolved
+    /// mispredicted branch, or pre-`resume_at` redirect shadow).
+    pub fn add_stall_cycles(&mut self, n: u64) {
+        self.stats.stall_cycles += n;
+    }
+
     /// The core reports that the oldest mispredicted branch resolved at
     /// `now`; fetch resumes on the correct path at `now + 1`.
     pub fn resolve_branch(&mut self, now: u64) {
@@ -142,10 +160,26 @@ impl FetchUnit {
         bht: &BranchHistoryTable,
         limit: usize,
     ) -> Vec<FetchedInst> {
+        let mut block = Vec::with_capacity(limit.min(self.width));
+        self.fetch_block_into(now, stream, bht, limit, &mut |fi| block.push(fi));
+        block
+    }
+
+    /// Allocation-free variant of [`FetchUnit::fetch_block`]: delivers each
+    /// fetched instruction through `sink` (the core appends straight into
+    /// its decode buffer, so the per-cycle block `Vec` disappears from the
+    /// hot loop).
+    pub fn fetch_block_into<S: InstStream>(
+        &mut self,
+        now: u64,
+        stream: &mut S,
+        bht: &BranchHistoryTable,
+        limit: usize,
+        sink: &mut dyn FnMut(FetchedInst),
+    ) {
         let limit = limit.min(self.width);
-        let mut block = Vec::with_capacity(limit);
         if limit == 0 {
-            return block;
+            return;
         }
         if self.wait_resolve {
             if self.injection {
@@ -154,24 +188,25 @@ impl FetchUnit {
                     .as_mut()
                     .expect("injection mode always arms the synthesiser");
                 for _ in 0..limit {
-                    block.push(FetchedInst {
+                    sink(FetchedInst {
                         di: synth.next_inst(),
                         predicted_taken: None,
                         mispredicted: false,
                         wrong_path: true,
                     });
                 }
-                self.stats.wrong_path_fetched += block.len() as u64;
+                self.stats.wrong_path_fetched += limit as u64;
             } else {
                 self.stats.stall_cycles += 1;
             }
-            return block;
+            return;
         }
         if now < self.resume_at {
             self.stats.stall_cycles += 1;
-            return block;
+            return;
         }
-        while block.len() < limit {
+        let mut delivered = 0;
+        while delivered < limit {
             let Some(di) = self.pending.take().or_else(|| stream.next_inst()) else {
                 self.end_of_stream = true;
                 break;
@@ -213,12 +248,12 @@ impl FetchUnit {
                 _ => {}
             }
             self.stats.fetched += 1;
-            block.push(fetched);
+            sink(fetched);
+            delivered += 1;
             if end_block {
                 break;
             }
         }
-        block
     }
 }
 

@@ -56,7 +56,7 @@ impl WrongPathSynth {
         let pc = self.pc;
         self.pc = self.pc.wrapping_add(4);
         let roll = self.next_u64() % 100;
-        let di = if roll < 40 {
+        if roll < 40 {
             // Integer ALU.
             let d = self.reg(false);
             let s1 = self.reg(false);
@@ -73,11 +73,8 @@ impl WrongPathSynth {
             let d = self.reg(false);
             let s1 = self.reg(false);
             let addr = (self.next_u64() % (1 << 20)) & !7;
-            DynInst::new(
-                pc,
-                Inst::new(OpClass::Load).with_dest(d).with_src1(s1),
-            )
-            .with_mem(MemAccess::word(addr))
+            DynInst::new(pc, Inst::new(OpClass::Load).with_dest(d).with_src1(s1))
+                .with_mem(MemAccess::word(addr))
         } else if roll < 85 {
             // FP add.
             let d = self.reg(true);
@@ -102,8 +99,7 @@ impl WrongPathSynth {
                     .with_src1(s1)
                     .with_src2(s2),
             )
-        };
-        di
+        }
     }
 }
 

@@ -158,7 +158,12 @@ impl fmt::Display for DynInst {
             write!(f, " [{:#x}+{}]", m.addr, m.size)?;
         }
         if let Some(b) = self.branch {
-            write!(f, " ({} -> {:#x})", if b.taken { "T" } else { "N" }, b.next_pc)?;
+            write!(
+                f,
+                " ({} -> {:#x})",
+                if b.taken { "T" } else { "N" },
+                b.next_pc
+            )?;
         }
         Ok(())
     }
@@ -210,9 +215,18 @@ mod tests {
 
     #[test]
     fn mem_overlap() {
-        let a = MemAccess { addr: 0x100, size: 8 };
-        let b = MemAccess { addr: 0x104, size: 8 };
-        let c = MemAccess { addr: 0x108, size: 8 };
+        let a = MemAccess {
+            addr: 0x100,
+            size: 8,
+        };
+        let b = MemAccess {
+            addr: 0x104,
+            size: 8,
+        };
+        let c = MemAccess {
+            addr: 0x108,
+            size: 8,
+        };
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c));
         assert!(b.overlaps(&c));

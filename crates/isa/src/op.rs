@@ -107,10 +107,7 @@ impl OpClass {
             OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt => {
                 Some(RegClass::Fp)
             }
-            OpClass::Store
-            | OpClass::BranchCond
-            | OpClass::BranchUncond
-            | OpClass::Nop => None,
+            OpClass::Store | OpClass::BranchCond | OpClass::BranchUncond | OpClass::Nop => None,
         }
     }
 }

@@ -29,7 +29,10 @@ impl Bus {
     ///
     /// Panics if `cycles_per_line` is zero.
     pub fn new(cycles_per_line: u64) -> Self {
-        assert!(cycles_per_line > 0, "bus transfer must take at least 1 cycle");
+        assert!(
+            cycles_per_line > 0,
+            "bus transfer must take at least 1 cycle"
+        );
         Self {
             cycles_per_line,
             free_at: 0,

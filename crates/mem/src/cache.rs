@@ -47,9 +47,12 @@ impl CacheConfig {
     }
 
     fn validate(&self) {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
         assert!(
-            self.size_bytes % self.line_bytes == 0 && self.num_lines() > 0,
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            self.size_bytes.is_multiple_of(self.line_bytes) && self.num_lines() > 0,
             "cache size must be a positive multiple of the line size"
         );
         assert!(self.ports > 0, "cache needs at least one port");
@@ -229,7 +232,11 @@ impl DataCache {
     }
 
     fn advance(&mut self, now: u64) {
-        assert!(now >= self.cycle, "cache time went backwards: {} -> {now}", self.cycle);
+        assert!(
+            now >= self.cycle,
+            "cache time went backwards: {} -> {now}",
+            self.cycle
+        );
         if now != self.cycle {
             self.cycle = now;
             self.ports_used = 0;
@@ -436,7 +443,7 @@ mod tests {
         dc.access(0, 0x00, AccessKind::Store);
         // Let the fill complete, then conflict-miss the same set.
         dc.access(60, 0x80, AccessKind::Load); // set 0 again (4-line cache)
-        // Install it (fill at 110), evicting the dirty line -> write-back.
+                                               // Install it (fill at 110), evicting the dirty line -> write-back.
         dc.access(200, 0x100, AccessKind::Load);
         assert_eq!(dc.stats().dirty_evictions, 1);
     }
@@ -446,10 +453,10 @@ mod tests {
         let mut dc = small_cache();
         dc.access(0, 0x40, AccessKind::Load);
         dc.access(60, 0x40, AccessKind::Store); // hit, marks dirty
-        // Conflict: 0x40 and 0xC0 map to the same set in a 4-line cache.
+                                                // Conflict: 0x40 and 0xC0 map to the same set in a 4-line cache.
         dc.access(100, 0xC0, AccessKind::Load);
         dc.access(200, 0x40, AccessKind::Load); // evicts the clean 0xC0? no:
-        // installing 0xC0 at ~150 evicted dirty 0x40 -> one write-back.
+                                                // installing 0xC0 at ~150 evicted dirty 0x40 -> one write-back.
         assert_eq!(dc.stats().dirty_evictions, 1);
     }
 

@@ -10,8 +10,24 @@
 //!
 //! The [`Lsq`] tracks loads and stores by the core's global sequence
 //! numbers, which encode program order.
+//!
+//! ### Age-map layout (audit note)
+//!
+//! The queue is an age map: every operation beside disambiguation walks it
+//! relative to program order. It is stored as a `VecDeque` of
+//! `(seq, entry)` pairs kept sorted by sequence number, not a search tree:
+//! dispatch appends at the tail (sequence numbers arrive in program
+//! order), commit removes at or near the head, squash pops the tail, and
+//! the disambiguation scans ([`Lsq::resolve_load`] walking older stores
+//! youngest→oldest, [`Lsq::resolve_store`] walking younger loads
+//! oldest→youngest) are contiguous slice traversals from a binary-searched
+//! pivot. Those scans are inherently O(older/younger entries) — that *is*
+//! the associative address-reorder-buffer search the PA-8000 performs in
+//! hardware — so the win over a `BTreeMap` is constant-factor (no pointer
+//! chasing, no per-node allocation), which matters because `resolve_load`
+//! sits on the hot path of every load.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 use vpr_isa::MemAccess;
 
 /// What an address-resolved load should do next.
@@ -78,7 +94,8 @@ struct Entry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Lsq {
-    entries: BTreeMap<u64, Entry>,
+    /// `(seq, entry)` sorted ascending by `seq` (program order).
+    entries: VecDeque<(u64, Entry)>,
     capacity: usize,
     stats: LsqStats,
 }
@@ -92,10 +109,16 @@ impl Lsq {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "LSQ needs at least one entry");
         Self {
-            entries: BTreeMap::new(),
+            entries: VecDeque::with_capacity(capacity),
             capacity,
             stats: LsqStats::default(),
         }
+    }
+
+    /// Index of `seq` in the age map, if tracked.
+    #[inline]
+    fn position(&self, seq: u64) -> Option<usize> {
+        self.entries.binary_search_by_key(&seq, |&(s, _)| s).ok()
     }
 
     /// Current number of tracked memory operations.
@@ -142,16 +165,22 @@ impl Lsq {
 
     fn insert(&mut self, seq: u64, is_store: bool) {
         assert!(!self.is_full(), "LSQ overflow: dispatch must stall first");
-        let prev = self.entries.insert(
-            seq,
-            Entry {
-                is_store,
-                access: None,
-                performed: false,
-                forwarded_from: None,
-            },
-        );
-        assert!(prev.is_none(), "sequence {seq} inserted twice");
+        let entry = Entry {
+            is_store,
+            access: None,
+            performed: false,
+            forwarded_from: None,
+        };
+        // Dispatch order is program order, so this is almost always a
+        // plain append; the binary search keeps arbitrary orders correct.
+        if self.entries.back().is_none_or(|&(s, _)| s < seq) {
+            self.entries.push_back((seq, entry));
+            return;
+        }
+        match self.entries.binary_search_by_key(&seq, |&(s, _)| s) {
+            Ok(_) => panic!("sequence {seq} inserted twice"),
+            Err(pos) => self.entries.insert(pos, (seq, entry)),
+        }
     }
 
     /// Resolves a load's effective address and decides how it obtains its
@@ -161,8 +190,9 @@ impl Lsq {
     ///
     /// Panics if `seq` is not a tracked load.
     pub fn resolve_load(&mut self, seq: u64, access: MemAccess) -> LoadDisposition {
+        let idx = self.position(seq).expect("unknown load");
         {
-            let e = self.entries.get_mut(&seq).expect("unknown load");
+            let (_, e) = &mut self.entries[idx];
             assert!(!e.is_store, "sequence {seq} is a store");
             e.access = Some(access);
             e.performed = true;
@@ -171,7 +201,7 @@ impl Lsq {
         // Walk older stores from youngest to oldest.
         let mut speculative = false;
         let mut forward: Option<u64> = None;
-        for (&s_seq, s) in self.entries.range(..seq).rev() {
+        for &(s_seq, ref s) in self.entries.range(..idx).rev() {
             if !s.is_store {
                 continue;
             }
@@ -190,8 +220,7 @@ impl Lsq {
         match forward {
             Some(store_seq) => {
                 self.stats.forwards += 1;
-                self.entries.get_mut(&seq).expect("just inserted").forwarded_from =
-                    Some(store_seq);
+                self.entries[idx].1.forwarded_from = Some(store_seq);
                 LoadDisposition::Forward {
                     store_seq,
                     speculative,
@@ -212,13 +241,14 @@ impl Lsq {
     ///
     /// Panics if `seq` is not a tracked store.
     pub fn resolve_store(&mut self, seq: u64, access: MemAccess) -> Vec<u64> {
+        let idx = self.position(seq).expect("unknown store");
         {
-            let e = self.entries.get_mut(&seq).expect("unknown store");
+            let (_, e) = &mut self.entries[idx];
             assert!(e.is_store, "sequence {seq} is a load");
             e.access = Some(access);
         }
         let mut victims = Vec::new();
-        for (&l_seq, l) in self.entries.range(seq + 1..) {
+        for &(l_seq, ref l) in self.entries.range(idx + 1..) {
             if l.is_store || !l.performed {
                 continue;
             }
@@ -233,7 +263,8 @@ impl Lsq {
             victims.push(l_seq);
         }
         for &v in &victims {
-            let e = self.entries.get_mut(&v).expect("victim exists");
+            let vi = self.position(v).expect("victim exists");
+            let (_, e) = &mut self.entries[vi];
             e.performed = false;
             e.forwarded_from = None;
             self.stats.violations += 1;
@@ -249,7 +280,8 @@ impl Lsq {
     ///
     /// Panics if `seq` is not a tracked load.
     pub fn mark_unperformed(&mut self, seq: u64) {
-        let e = self.entries.get_mut(&seq).expect("unknown load");
+        let idx = self.position(seq).expect("unknown load");
+        let (_, e) = &mut self.entries[idx];
         assert!(!e.is_store, "sequence {seq} is a store");
         e.performed = false;
         e.forwarded_from = None;
@@ -257,19 +289,26 @@ impl Lsq {
 
     /// Removes an operation at commit (or at squash during recovery).
     /// Unknown sequence numbers are ignored so recovery can blindly sweep.
+    /// Commit removes at (or near) the head, so the shift is O(1) in the
+    /// common case.
     pub fn remove(&mut self, seq: u64) {
-        self.entries.remove(&seq);
+        if let Some(idx) = self.position(seq) {
+            self.entries.remove(idx);
+        }
     }
 
     /// Removes every operation younger than `seq` (exclusive), for branch
     /// misprediction / exception recovery.
     pub fn squash_younger_than(&mut self, seq: u64) {
-        self.entries.split_off(&(seq + 1));
+        while self.entries.back().is_some_and(|&(s, _)| s > seq) {
+            self.entries.pop_back();
+        }
     }
 
     /// The resolved address of a tracked operation, if known.
     pub fn address_of(&self, seq: u64) -> Option<MemAccess> {
-        self.entries.get(&seq).and_then(|e| e.access)
+        self.position(seq)
+            .and_then(|idx| self.entries[idx].1.access)
     }
 }
 

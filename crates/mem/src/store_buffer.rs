@@ -105,7 +105,9 @@ impl StoreBuffer {
     /// absorb store misses without serialising commit. Only a structural
     /// rejection (no port, no MSHR) keeps the head for another cycle.
     pub fn tick(&mut self, now: u64, cache: &mut DataCache) {
-        let Some(head) = self.fifo.front() else { return };
+        let Some(head) = self.fifo.front() else {
+            return;
+        };
         match cache.access(now, head.access.addr, AccessKind::Store) {
             AccessOutcome::Hit { .. } | AccessOutcome::Miss { .. } => {
                 self.fifo.pop_front();

@@ -267,7 +267,10 @@ mod tests {
             .count();
         assert!(exits > 0, "loops eventually exit");
         // Every exit is followed (in the stream) by the uncond jump.
-        let jumps = insts.iter().filter(|d| d.op() == OpClass::BranchUncond).count();
+        let jumps = insts
+            .iter()
+            .filter(|d| d.op() == OpClass::BranchUncond)
+            .count();
         assert!(jumps >= exits.saturating_sub(1));
     }
 

@@ -15,9 +15,9 @@ pub fn program() -> Program {
     let compress_loop = LoopSpec {
         base_pc: 0x1_0000,
         body: vec![
-            iadd(1, 1, 7), // input index
+            iadd(1, 1, 7),  // input index
             iload(3, 1, 0), // next input bytes (streaming, large buffer)
-            iadd(4, 3, 3), // hash
+            iadd(4, 3, 3),  // hash
             iload(5, 4, 1), // table probe (resident hash table)
             iadd(6, 5, 3),
             br_on(5, 0.85, 1), // "code found" fast path, tests the probe

@@ -67,7 +67,11 @@ mod tests {
     #[test]
     fn working_set_fits_in_the_cache() {
         let insts: Vec<_> = TraceGen::new(program(), 1).take(40_000).collect();
-        let mut addrs: Vec<u64> = insts.iter().filter_map(|d| d.mem()).map(|m| m.addr).collect();
+        let mut addrs: Vec<u64> = insts
+            .iter()
+            .filter_map(|d| d.mem())
+            .map(|m| m.addr)
+            .collect();
         addrs.sort_unstable();
         addrs.dedup_by_key(|a| *a / 32); // distinct lines
         assert!(

@@ -21,7 +21,7 @@ pub fn program() -> Program {
             iadd(3, 2, 5),
             br_on(3, 0.25, 1), // type check on the fetched cell
             iadd(4, 3, 2),
-            iload(6, 5, 2),    // independent payload access
+            iload(6, 5, 2), // independent payload access
             iadd(7, 6, 5),
             istore(4, 2, 1),
         ],

@@ -75,7 +75,10 @@ mod tests {
                     && d.inst().dest().is_some_and(|r| r.class() == RegClass::Fp)
             })
             .count();
-        assert!(loads as f64 / insts.len() as f64 > 0.25, "stencils are load-heavy");
+        assert!(
+            loads as f64 / insts.len() as f64 > 0.25,
+            "stencils are load-heavy"
+        );
         assert_eq!(loads, fp_loads, "all loads feed the FP file");
     }
 
@@ -92,6 +95,9 @@ mod tests {
             .filter_map(|d| d.mem())
             .filter(|m| m.addr < 0x100_0000)
             .count();
-        assert!(big > 0 && resident > 0, "stencil reuse keeps part of the data hot");
+        assert!(
+            big > 0 && resident > 0,
+            "stencil reuse keeps part of the data hot"
+        );
     }
 }

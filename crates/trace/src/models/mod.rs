@@ -253,14 +253,19 @@ mod tests {
                         d.op(),
                         OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt
                     ) || (d.op() == OpClass::Load
-                        && d.inst().dest().is_some_and(|r| r.class() == vpr_isa::RegClass::Fp))
+                        && d.inst()
+                            .dest()
+                            .is_some_and(|r| r.class() == vpr_isa::RegClass::Fp))
                 })
                 .count();
             let frac = fp_ops as f64 / insts.len() as f64;
             if b.is_fp() {
                 assert!(frac > 0.3, "{b}: FP fraction {frac:.2} too low");
             } else {
-                assert!(frac < 0.05, "{b}: FP fraction {frac:.2} too high for integer code");
+                assert!(
+                    frac < 0.05,
+                    "{b}: FP fraction {frac:.2} too high for integer code"
+                );
             }
         }
     }

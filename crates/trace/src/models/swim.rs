@@ -109,7 +109,11 @@ mod tests {
         let insts: Vec<_> = TraceGen::new(program(), 2).take(20_000).collect();
         let fp_defs = insts
             .iter()
-            .filter(|d| d.inst().dest().is_some_and(|r| r.class() == vpr_isa::RegClass::Fp))
+            .filter(|d| {
+                d.inst()
+                    .dest()
+                    .is_some_and(|r| r.class() == vpr_isa::RegClass::Fp)
+            })
             .count();
         assert!(
             fp_defs as f64 / insts.len() as f64 > 0.6,

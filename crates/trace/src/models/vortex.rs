@@ -16,8 +16,8 @@ pub fn program() -> Program {
         base_pc: 0x1_0000,
         body: vec![
             iadd(1, 1, 7),
-            iload(3, 1, 0),  // object header (streaming heap walk)
-            iload(4, 3, 1),  // field access (resident index)
+            iload(3, 1, 0), // object header (streaming heap walk)
+            iload(4, 3, 1), // field access (resident index)
             iadd(5, 4, 3),
             br_on(5, 0.92, 1), // validation almost always passes
             iadd(6, 5, 4),

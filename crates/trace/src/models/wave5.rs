@@ -80,7 +80,11 @@ mod tests {
     #[test]
     fn cache_resident_working_set() {
         let insts: Vec<_> = TraceGen::new(program(), 1).take(40_000).collect();
-        let mut lines: Vec<u64> = insts.iter().filter_map(|d| d.mem()).map(|m| m.addr / 32).collect();
+        let mut lines: Vec<u64> = insts
+            .iter()
+            .filter_map(|d| d.mem())
+            .map(|m| m.addr / 32)
+            .collect();
         lines.sort_unstable();
         lines.dedup();
         assert!(

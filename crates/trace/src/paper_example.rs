@@ -91,6 +91,9 @@ mod tests {
         assert_eq!(t.len(), 12);
         let addrs: Vec<u64> = t.iter().filter_map(|d| d.mem()).map(|m| m.addr).collect();
         assert_eq!(addrs.len(), 3);
-        assert!(addrs.windows(2).all(|w| w[1] - w[0] >= 32), "distinct lines");
+        assert!(
+            addrs.windows(2).all(|w| w[1] - w[0] >= 32),
+            "distinct lines"
+        );
     }
 }

@@ -133,18 +133,30 @@ impl LoopSpec {
             match op {
                 SynthOp::Load { inst, stream } => {
                     assert!(inst.op() == vpr_isa::OpClass::Load, "slot {i}: not a load");
-                    assert!(*stream < self.streams.len(), "slot {i}: stream {stream} missing");
+                    assert!(
+                        *stream < self.streams.len(),
+                        "slot {i}: stream {stream} missing"
+                    );
                 }
                 SynthOp::Store { inst, stream } => {
-                    assert!(inst.op() == vpr_isa::OpClass::Store, "slot {i}: not a store");
-                    assert!(*stream < self.streams.len(), "slot {i}: stream {stream} missing");
+                    assert!(
+                        inst.op() == vpr_isa::OpClass::Store,
+                        "slot {i}: not a store"
+                    );
+                    assert!(
+                        *stream < self.streams.len(),
+                        "slot {i}: stream {stream} missing"
+                    );
                 }
                 SynthOp::CondBranch {
                     taken_prob,
                     skip,
                     src,
                 } => {
-                    assert!((0.0..=1.0).contains(taken_prob), "slot {i}: bad probability");
+                    assert!(
+                        (0.0..=1.0).contains(taken_prob),
+                        "slot {i}: bad probability"
+                    );
                     assert!(
                         i + 1 + skip <= self.body.len(),
                         "slot {i}: skip {skip} overruns the body"

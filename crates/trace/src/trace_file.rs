@@ -47,7 +47,10 @@ const VERSION: u32 = 1;
 const NO_REG: u8 = 0xFF;
 
 fn op_code(op: OpClass) -> u8 {
-    OpClass::ALL.iter().position(|&o| o == op).expect("op in ALL") as u8
+    OpClass::ALL
+        .iter()
+        .position(|&o| o == op)
+        .expect("op in ALL") as u8
 }
 
 fn op_from_code(code: u8) -> io::Result<OpClass> {
@@ -81,7 +84,11 @@ fn reg_from_code(code: u8) -> io::Result<Option<LogicalReg>> {
             format!("bad register code {code:#x}"),
         ));
     }
-    let class = if code & 0x40 != 0 { RegClass::Fp } else { RegClass::Int };
+    let class = if code & 0x40 != 0 {
+        RegClass::Fp
+    } else {
+        RegClass::Int
+    };
     Ok(Some(LogicalReg::new(class, index)))
 }
 
@@ -150,7 +157,10 @@ impl<R: Read> TraceFile<R> {
         let mut magic = [0u8; 4];
         reader.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a VPRT trace"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a VPRT trace",
+            ));
         }
         let mut v = [0u8; 4];
         reader.read_exact(&mut v)?;
@@ -180,9 +190,8 @@ impl<R: Read> TraceFile<R> {
 
     fn read_one(&mut self) -> io::Result<Option<DynInst>> {
         let mut op_byte = [0u8; 1];
-        match self.reader.read(&mut op_byte)? {
-            0 => return Ok(None), // clean EOF
-            _ => {}
+        if self.reader.read(&mut op_byte)? == 0 {
+            return Ok(None); // clean EOF
         }
         let op = op_from_code(op_byte[0])?;
         let mut u64buf = [0u8; 8];
@@ -264,7 +273,11 @@ mod tests {
     use crate::{Benchmark, TraceBuilder};
 
     fn sample(n: usize) -> Vec<DynInst> {
-        TraceBuilder::new(Benchmark::Vortex).seed(9).build().take(n).collect()
+        TraceBuilder::new(Benchmark::Vortex)
+            .seed(9)
+            .build()
+            .take(n)
+            .collect()
     }
 
     #[test]
@@ -280,8 +293,7 @@ mod tests {
     #[test]
     fn every_benchmark_round_trips() {
         for b in Benchmark::ALL {
-            let original: Vec<DynInst> =
-                TraceBuilder::new(b).seed(1).build().take(500).collect();
+            let original: Vec<DynInst> = TraceBuilder::new(b).seed(1).build().take(500).collect();
             let mut buf = Vec::new();
             write_trace(&mut buf, original.iter().copied()).unwrap();
             assert_eq!(read_trace(&buf[..]).unwrap(), original, "{b}");

@@ -66,7 +66,10 @@ fn main() {
         };
         let conv = measure(RenameScheme::Conventional);
         let vp = measure(RenameScheme::VirtualPhysicalWriteback { nrr });
-        println!("  {regs:>4}   {conv:>12.3}   {vp:>13.3}   {:>6.2}x", vp / conv);
+        println!(
+            "  {regs:>4}   {conv:>12.3}   {vp:>13.3}   {:>6.2}x",
+            vp / conv
+        );
     }
     println!("\nThe tighter the register budget, the more late allocation buys —");
     println!("the paper's Figure 7 shows the same trend on SPEC95.");

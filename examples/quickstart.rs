@@ -21,8 +21,14 @@ fn main() {
     println!("benchmark: {benchmark} (64 physical registers per file)\n");
     let schemes = [
         ("conventional (R10000-style)", RenameScheme::Conventional),
-        ("virtual-physical, issue alloc", RenameScheme::VirtualPhysicalIssue { nrr: 32 }),
-        ("virtual-physical, write-back alloc", RenameScheme::VirtualPhysicalWriteback { nrr: 32 }),
+        (
+            "virtual-physical, issue alloc",
+            RenameScheme::VirtualPhysicalIssue { nrr: 32 },
+        ),
+        (
+            "virtual-physical, write-back alloc",
+            RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
+        ),
     ];
     let mut baseline = None;
     for (name, scheme) in schemes {

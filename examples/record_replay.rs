@@ -14,7 +14,10 @@ fn main() -> std::io::Result<()> {
     let path = std::env::temp_dir().join("vpr_demo_trace.vprt");
 
     // Record 200k instructions of the compress model.
-    let generated = TraceBuilder::new(Benchmark::Compress).seed(7).build().take(200_000);
+    let generated = TraceBuilder::new(Benchmark::Compress)
+        .seed(7)
+        .build()
+        .take(200_000);
     let written = write_trace(BufWriter::new(File::create(&path)?), generated)?;
     let bytes = std::fs::metadata(&path)?.len();
     println!(
@@ -37,7 +40,10 @@ fn main() -> std::io::Result<()> {
     );
 
     // Determinism: the generator fed directly gives the identical result.
-    let direct_trace = TraceBuilder::new(Benchmark::Compress).seed(7).build().take(200_000);
+    let direct_trace = TraceBuilder::new(Benchmark::Compress)
+        .seed(7)
+        .build()
+        .take(200_000);
     let config = SimConfig::builder()
         .scheme(RenameScheme::VirtualPhysicalWriteback { nrr: 32 })
         .build();

@@ -24,8 +24,14 @@ fn main() {
     println!("paper §3.1 chain: load f2 / fdiv f2 / fmul f2 / fadd f2 (x32, fresh lines)\n");
     let schemes = [
         ("conventional (alloc at decode)", RenameScheme::Conventional),
-        ("VP, alloc at issue", RenameScheme::VirtualPhysicalIssue { nrr: 32 }),
-        ("VP, alloc at write-back", RenameScheme::VirtualPhysicalWriteback { nrr: 32 }),
+        (
+            "VP, alloc at issue",
+            RenameScheme::VirtualPhysicalIssue { nrr: 32 },
+        ),
+        (
+            "VP, alloc at write-back",
+            RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
+        ),
     ];
     let mut conv_pressure = None;
     for (name, scheme) in schemes {

@@ -63,7 +63,12 @@ fn swim_is_the_biggest_winner() {
     };
     let swim = speedup(Benchmark::Swim);
     assert!(swim > 1.4, "swim must gain a lot, got {swim:.2}");
-    for b in [Benchmark::Hydro2d, Benchmark::Wave5, Benchmark::Go, Benchmark::Li] {
+    for b in [
+        Benchmark::Hydro2d,
+        Benchmark::Wave5,
+        Benchmark::Go,
+        Benchmark::Li,
+    ] {
         assert!(
             swim > speedup(b),
             "swim should outgain {b} ({swim:.2} vs {:.2})",
@@ -77,7 +82,10 @@ fn improvement_shrinks_with_more_registers() {
     // Figure 7: +31% / +19% / +8% for 48/64/96 registers.
     let mean_speedup = |regs: usize, nrr: usize| {
         let bs = [Benchmark::Swim, Benchmark::Apsi, Benchmark::Vortex];
-        let conv: Vec<f64> = bs.iter().map(|&b| ipc(b, RenameScheme::Conventional, regs)).collect();
+        let conv: Vec<f64> = bs
+            .iter()
+            .map(|&b| ipc(b, RenameScheme::Conventional, regs))
+            .collect();
         let vp: Vec<f64> = bs
             .iter()
             .map(|&b| ipc(b, RenameScheme::VirtualPhysicalWriteback { nrr }, regs))
@@ -113,7 +121,10 @@ fn vp48_comparable_to_conventional_64() {
     // conventional with 64 (we allow VP-48 to be at worst 15% behind on
     // the reduced run).
     let bs = [Benchmark::Swim, Benchmark::Apsi, Benchmark::Compress];
-    let conv64: Vec<f64> = bs.iter().map(|&b| ipc(b, RenameScheme::Conventional, 64)).collect();
+    let conv64: Vec<f64> = bs
+        .iter()
+        .map(|&b| ipc(b, RenameScheme::Conventional, 64))
+        .collect();
     let vp48: Vec<f64> = bs
         .iter()
         .map(|&b| ipc(b, RenameScheme::VirtualPhysicalWriteback { nrr: 16 }, 48))
@@ -142,8 +153,16 @@ fn tiny_nrr_hurts_fp_programs_under_scarcity() {
     }
     // At 64 registers the pathology survives on hydro2d, whose occupancy
     // still touches the limit.
-    let small = ipc(Benchmark::Hydro2d, RenameScheme::VirtualPhysicalWriteback { nrr: 1 }, 64);
-    let large = ipc(Benchmark::Hydro2d, RenameScheme::VirtualPhysicalWriteback { nrr: 32 }, 64);
+    let small = ipc(
+        Benchmark::Hydro2d,
+        RenameScheme::VirtualPhysicalWriteback { nrr: 1 },
+        64,
+    );
+    let large = ipc(
+        Benchmark::Hydro2d,
+        RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
+        64,
+    );
     assert!(
         large >= small,
         "hydro2d: NRR=32 should not lose to NRR=1 ({large:.2} vs {small:.2})"

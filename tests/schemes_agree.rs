@@ -17,7 +17,11 @@ fn all_schemes_commit_the_same_work() {
     for b in [Benchmark::Swim, Benchmark::Go, Benchmark::Li] {
         let conv = run(b, RenameScheme::Conventional, 30_000);
         let issue = run(b, RenameScheme::VirtualPhysicalIssue { nrr: 32 }, 30_000);
-        let wb = run(b, RenameScheme::VirtualPhysicalWriteback { nrr: 32 }, 30_000);
+        let wb = run(
+            b,
+            RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
+            30_000,
+        );
         // Same committed count (we ask for the same budget)...
         assert!(conv.committed >= 30_000);
         assert!(issue.committed >= 30_000);
@@ -32,8 +36,14 @@ fn all_schemes_commit_the_same_work() {
             )
         };
         let (kc, ki, kw) = (key(&conv), key(&issue), key(&wb));
-        assert!((kc.0 - ki.0).abs() < 15.0, "{b}: dest mix diverged {kc:?} {ki:?}");
-        assert!((kc.0 - kw.0).abs() < 15.0, "{b}: dest mix diverged {kc:?} {kw:?}");
+        assert!(
+            (kc.0 - ki.0).abs() < 15.0,
+            "{b}: dest mix diverged {kc:?} {ki:?}"
+        );
+        assert!(
+            (kc.0 - kw.0).abs() < 15.0,
+            "{b}: dest mix diverged {kc:?} {kw:?}"
+        );
         assert!((kc.1 - ki.1).abs() < 15.0, "{b}: branch mix diverged");
         assert!((kc.1 - kw.1).abs() < 15.0, "{b}: branch mix diverged");
     }
