@@ -12,7 +12,7 @@ use vpr_trace::Benchmark;
 
 fn bench_throughput(c: &mut Criterion) {
     let exp = ExperimentConfig::quick();
-    let report = measure_throughput(&exp);
+    let report = measure_throughput(&exp, 1);
     println!("\n=== Simulator throughput (quick table2 workload) ===");
     for run in &report.runs {
         println!(

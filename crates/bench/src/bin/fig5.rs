@@ -2,10 +2,12 @@
 //! scheme with **issue** allocation over the conventional scheme, for
 //! NRR ∈ {1, 4, 8, 16, 24, 32} at 64 physical registers.
 
-use vpr_bench::{experiments, ExperimentConfig};
+use vpr_bench::{experiments, take_flag_value, write_json_artifact, ExperimentConfig};
 
 fn main() {
-    let exp = ExperimentConfig::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = take_flag_value(&mut args, "--json").unwrap_or_else(|| "fig5.json".into());
+    let exp = ExperimentConfig::from_args(args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
@@ -13,4 +15,5 @@ fn main() {
     let sweep = experiments::fig5(&exp);
     print!("{}", sweep.render());
     println!("\npaper: best NRR = 32 with a mean improvement of about 4%");
+    write_json_artifact(std::path::Path::new(&json), &sweep.to_json());
 }

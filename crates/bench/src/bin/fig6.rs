@@ -1,10 +1,12 @@
 //! Regenerates the paper's Figure 6: write-back vs issue allocation,
 //! each at its optimal NRR (32), as speedups over conventional renaming.
 
-use vpr_bench::{experiments, ExperimentConfig};
+use vpr_bench::{experiments, take_flag_value, write_json_artifact, ExperimentConfig};
 
 fn main() {
-    let exp = ExperimentConfig::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = take_flag_value(&mut args, "--json").unwrap_or_else(|| "fig6.json".into());
+    let exp = ExperimentConfig::from_args(args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
@@ -15,4 +17,5 @@ fn main() {
         "\nwrite-back wins on {:.0}% of benchmarks (paper: write-back significantly outperforms issue)",
         100.0 * f6.writeback_win_rate()
     );
+    write_json_artifact(std::path::Path::new(&json), &f6.to_json());
 }

@@ -2,10 +2,12 @@
 //! virtual-physical (write-back) schemes for 48, 64 and 96 physical
 //! registers per file (NRR = 16, 32 and 64 respectively).
 
-use vpr_bench::{experiments, ExperimentConfig};
+use vpr_bench::{experiments, take_flag_value, write_json_artifact, ExperimentConfig};
 
 fn main() {
-    let exp = ExperimentConfig::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = take_flag_value(&mut args, "--json").unwrap_or_else(|| "fig7.json".into());
+    let exp = ExperimentConfig::from_args(args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
@@ -22,4 +24,5 @@ fn main() {
         "VP at 48 regs ({:.2}) vs conventional at 64 ({:.2}) — paper finds them about equal",
         ipcs[0].1, ipcs[1].0
     );
+    write_json_artifact(std::path::Path::new(&json), &f7.to_json());
 }

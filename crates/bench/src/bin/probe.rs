@@ -10,13 +10,14 @@
 //!
 //! Scheme names: `conv`, `vp-issue`, `vp-wb`.
 
-use vpr_bench::{run_benchmark, ExperimentConfig};
+use vpr_bench::{run_benchmark, take_flag_value, write_json_artifact, ExperimentConfig};
 use vpr_core::RenameScheme;
 use vpr_isa::RegClass;
 use vpr_trace::Benchmark;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = take_flag_value(&mut args, "--json").unwrap_or_else(|| "probe.json".into());
     if args.len() < 4 {
         eprintln!(
             "usage: probe <benchmark> <conv|conv-er|vp-issue|vp-wb> <physical-regs> <nrr> [flags]"
@@ -85,4 +86,13 @@ fn main() {
         "  lsq: {} forwards, {} speculative, {} violations",
         s.lsq.forwards, s.lsq.speculative_loads, s.lsq.violations
     );
+    // The machine-readable counterpart: the full counter set, wrapped
+    // with the probed configuration (mirrors the throughput harness's
+    // schema style).
+    let wrapped = format!(
+        "{{\"schema\": \"vpr-bench-probe/v1\",\n \"benchmark\": \"{benchmark}\", \"scheme\": \"{}\", \"physical_regs\": {regs},\n \"stats\": {}}}\n",
+        args[1],
+        s.to_json().trim_end(),
+    );
+    write_json_artifact(std::path::Path::new(&json), &wrapped);
 }

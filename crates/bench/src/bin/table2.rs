@@ -7,10 +7,12 @@
 //!     [--seed N] [--miss-penalty N]
 //! ```
 
-use vpr_bench::{experiments, ExperimentConfig};
+use vpr_bench::{experiments, take_flag_value, write_json_artifact, ExperimentConfig};
 
 fn main() {
-    let exp = ExperimentConfig::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = take_flag_value(&mut args, "--json").unwrap_or_else(|| "table2.json".into());
+    let exp = ExperimentConfig::from_args(args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
@@ -30,4 +32,5 @@ fn main() {
     println!(
         "\nmean executions per committed instruction (VP write-back): {mean_reexec:.2} (paper: 3.3)"
     );
+    write_json_artifact(std::path::Path::new(&json), &t2.to_json());
 }

@@ -5,30 +5,58 @@
 //!
 //! ```text
 //! cargo run --release -p vpr-bench --bin throughput -- \
-//!     [--out PATH] [--warmup N] [--measure N] [--seed N] [--miss-penalty N]
+//!     [--out PATH] [--runs N] [--check BASELINE.json] [--tolerance PCT] \
+//!     [--warmup N] [--measure N] [--seed N] [--miss-penalty N] [--jobs N]
 //! ```
+//!
+//! Each configuration is timed `--runs` times (default 3) and the fastest
+//! wall-clock is kept — simulated results are deterministic, so the
+//! repetitions only shed host scheduler noise. The whole grid is then run
+//! once more through the parallel sweep engine for the `sweep` wall-clock
+//! block of the report.
+//!
+//! `--check BASELINE.json` compares the fresh harmonic-mean sim-MIPS
+//! against the `harmonic_mean_sim_mips` recorded in an earlier report and
+//! exits non-zero when it regressed by more than `--tolerance` percent
+//! (default 20) — the CI throughput smoke gate.
 //!
 //! The default output path is `BENCH_throughput.json` in the current
 //! directory; CI and PR authors check the file in so the repository keeps
-//! a perf trajectory across changes.
+//! a perf trajectory.
 
 use vpr_bench::harness::{measure_throughput, write_throughput_json};
-use vpr_bench::ExperimentConfig;
+use vpr_bench::{take_flag_value, ExperimentConfig};
+
+/// Pulls the `harmonic_mean_sim_mips` value out of a throughput report
+/// without a JSON parser (the build environment has no serde): accepts
+/// both the v1 and v2 schema (the field name is stable).
+fn baseline_harmonic(path: &std::path::Path) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let key = "\"harmonic_mean_sim_mips\":";
+    let at = text
+        .find(key)
+        .ok_or_else(|| format!("{}: no harmonic_mean_sim_mips field", path.display()))?;
+    let rest = text[at + key.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse::<f64>()
+        .map_err(|e| format!("{}: bad harmonic_mean_sim_mips: {e}", path.display()))
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out = std::path::PathBuf::from("BENCH_throughput.json");
-    if let Some(pos) = args.iter().position(|a| a == "--out") {
-        if pos + 1 >= args.len() {
-            eprintln!("--out needs a value");
-            std::process::exit(2);
-        }
-        out = std::path::PathBuf::from(args.remove(pos + 1));
-        args.remove(pos);
-    }
+    let out: std::path::PathBuf = take_flag_value(&mut args, "--out")
+        .map(Into::into)
+        .unwrap_or_else(|| "BENCH_throughput.json".into());
+    let check: Option<std::path::PathBuf> = take_flag_value(&mut args, "--check").map(Into::into);
+
     // Flags override the *quick* defaults: throughput tracking wants a
     // fast, standard workload, not the full-size experiment runs.
     let mut exp = ExperimentConfig::quick();
+    let mut runs_per_config = 3usize;
+    let mut tolerance = 20.0f64;
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
         let mut take = |name: &str| -> u64 {
@@ -48,6 +76,9 @@ fn main() {
             "--measure" => exp.measure = take("--measure"),
             "--seed" => exp.seed = take("--seed"),
             "--miss-penalty" => exp.miss_penalty = take("--miss-penalty"),
+            "--jobs" => exp.jobs = take("--jobs") as usize,
+            "--runs" => runs_per_config = (take("--runs") as usize).max(1),
+            "--tolerance" => tolerance = take("--tolerance") as f64,
             other => {
                 eprintln!("unknown flag `{other}`");
                 std::process::exit(2);
@@ -55,10 +86,10 @@ fn main() {
         }
     }
 
-    let report = measure_throughput(&exp);
+    let report = measure_throughput(&exp, runs_per_config);
     println!(
-        "simulator throughput (warmup {}, measure {}, seed {}):",
-        exp.warmup, exp.measure, exp.seed
+        "simulator throughput (warmup {}, measure {}, seed {}, best of {}):",
+        exp.warmup, exp.measure, exp.seed, runs_per_config
     );
     for run in &report.runs {
         println!(
@@ -66,9 +97,15 @@ fn main() {
             run.label, run.sim_mips, run.ipc, run.host_seconds
         );
     }
+    let harmonic = report.harmonic_mean_sim_mips();
+    println!("  harmonic mean: {harmonic:.2} sim-MIPS");
     println!(
-        "  harmonic mean: {:.2} sim-MIPS",
-        report.harmonic_mean_sim_mips()
+        "  parallel sweep: {} configs in {:.3}s wall with {} jobs ({:.3}s serial, {:.2}x)",
+        report.runs.len(),
+        report.sweep.wall_seconds,
+        report.sweep.jobs,
+        report.sweep.serial_seconds,
+        report.sweep.serial_seconds / report.sweep.wall_seconds
     );
 
     if let Err(e) = write_throughput_json(&out, &report) {
@@ -76,4 +113,24 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {}", out.display());
+
+    if let Some(baseline_path) = check {
+        let baseline = baseline_harmonic(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("cannot check against baseline: {e}");
+            std::process::exit(2);
+        });
+        let floor = baseline * (1.0 - tolerance / 100.0);
+        println!(
+            "throughput check: {harmonic:.2} vs baseline {baseline:.2} (floor {floor:.2}, \
+             tolerance {tolerance:.0}%)"
+        );
+        if harmonic < floor {
+            eprintln!(
+                "FAIL: harmonic-mean sim-MIPS {harmonic:.2} regressed more than {tolerance:.0}% \
+                 below the checked-in baseline {baseline:.2}"
+            );
+            std::process::exit(1);
+        }
+        println!("throughput check passed");
+    }
 }

@@ -4,7 +4,8 @@
 //! result, and can render it as a [`Table`] shaped like the paper's
 //! corresponding table or figure.
 
-use crate::{run_benchmark, ExperimentConfig, Table};
+use crate::sweep::{run_sweep, SweepPoint};
+use crate::{ExperimentConfig, Table};
 use vpr_core::{harmonic_mean, RenameScheme};
 use vpr_trace::Benchmark;
 
@@ -61,6 +62,36 @@ impl Table2 {
         (v / c - 1.0) * 100.0
     }
 
+    /// Renders the result as JSON (`vpr-bench-table2/v1`), mirroring the
+    /// throughput harness's hand-rolled style.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"vpr-bench-table2/v1\",\n  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"benchmark\": \"{}\", \"conv_ipc\": {:.4}, \"vp_ipc\": {:.4}, \"improvement_percent\": {:.2}, \"vp_executions_per_commit\": {:.4}}}",
+                r.benchmark.name(),
+                r.conv_ipc,
+                r.vp_ipc,
+                r.improvement_percent(),
+                r.vp_executions_per_commit
+            );
+            s.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        let (c, v) = self.harmonic_means();
+        let _ = writeln!(
+            s,
+            "  ],\n  \"harmonic_mean_conv_ipc\": {:.4},\n  \"harmonic_mean_vp_ipc\": {:.4},\n  \"mean_improvement_percent\": {:.2}",
+            c,
+            v,
+            self.mean_improvement_percent()
+        );
+        s.push_str("}\n");
+        s
+    }
+
     /// Renders the paper-shaped table (with the paper's reference numbers
     /// alongside for comparison).
     pub fn render(&self) -> Table {
@@ -103,24 +134,28 @@ impl Table2 {
 }
 
 /// Regenerates Table 2: conventional vs. VP write-back (NRR = 32) at 64
-/// physical registers per file.
+/// physical registers per file. The grid runs through the parallel sweep
+/// engine (`exp.jobs` workers); rows are assembled in benchmark order, so
+/// the result is identical for any worker count.
 pub fn table2(exp: &ExperimentConfig) -> Table2 {
+    let points: Vec<SweepPoint> = Benchmark::ALL
+        .iter()
+        .flat_map(|&b| {
+            [
+                SweepPoint::at64(b, RenameScheme::Conventional),
+                SweepPoint::at64(b, RenameScheme::VirtualPhysicalWriteback { nrr: 32 }),
+            ]
+        })
+        .collect();
+    let stats = run_sweep(&points, exp);
     let rows = Benchmark::ALL
         .iter()
-        .map(|&b| {
-            let conv = run_benchmark(b, RenameScheme::Conventional, 64, exp);
-            let vp = run_benchmark(
-                b,
-                RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
-                64,
-                exp,
-            );
-            Table2Row {
-                benchmark: b,
-                conv_ipc: conv.ipc(),
-                vp_ipc: vp.ipc(),
-                vp_executions_per_commit: vp.executions_per_commit(),
-            }
+        .zip(stats.chunks_exact(2))
+        .map(|(&b, pair)| Table2Row {
+            benchmark: b,
+            conv_ipc: pair[0].ipc(),
+            vp_ipc: pair[1].ipc(),
+            vp_executions_per_commit: pair[1].executions_per_commit(),
         })
         .collect();
     Table2 { rows }
@@ -167,6 +202,45 @@ impl NrrSweep {
             .collect()
     }
 
+    /// Renders the result as JSON (`vpr-bench-nrr-sweep/v1`); `scheme`
+    /// distinguishes Figure 4 (write-back) from Figure 5 (issue).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let join = |xs: &[f64]| {
+            xs.iter()
+                .map(|x| format!("{x:.4}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"vpr-bench-nrr-sweep/v1\",\n");
+        let _ = writeln!(s, "  \"scheme\": \"{}\",", self.scheme_name);
+        let nrrs = NRR_SWEEP
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(s, "  \"nrr\": [{nrrs}],");
+        s.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"benchmark\": \"{}\", \"conv_ipc\": {:.4}, \"speedups\": [{}]}}",
+                r.benchmark.name(),
+                r.conv_ipc,
+                join(&r.speedups)
+            );
+            s.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        let _ = writeln!(
+            s,
+            "  ],\n  \"mean_speedups\": [{}]",
+            join(&self.mean_speedups())
+        );
+        s.push_str("}\n");
+        s
+    }
+
     /// Renders the figure as a table: one row per benchmark, one column
     /// per NRR.
     pub fn render(&self) -> Table {
@@ -186,25 +260,33 @@ impl NrrSweep {
 }
 
 fn nrr_sweep(exp: &ExperimentConfig, writeback: bool) -> NrrSweep {
+    let vp = |nrr| {
+        if writeback {
+            RenameScheme::VirtualPhysicalWriteback { nrr }
+        } else {
+            RenameScheme::VirtualPhysicalIssue { nrr }
+        }
+    };
+    let points: Vec<SweepPoint> = Benchmark::ALL
+        .iter()
+        .flat_map(|&b| {
+            std::iter::once(SweepPoint::at64(b, RenameScheme::Conventional)).chain(
+                NRR_SWEEP
+                    .iter()
+                    .map(move |&nrr| SweepPoint::at64(b, vp(nrr))),
+            )
+        })
+        .collect();
+    let stats = run_sweep(&points, exp);
     let rows = Benchmark::ALL
         .iter()
-        .map(|&b| {
-            let conv = run_benchmark(b, RenameScheme::Conventional, 64, exp).ipc();
-            let speedups = NRR_SWEEP
-                .iter()
-                .map(|&nrr| {
-                    let scheme = if writeback {
-                        RenameScheme::VirtualPhysicalWriteback { nrr }
-                    } else {
-                        RenameScheme::VirtualPhysicalIssue { nrr }
-                    };
-                    run_benchmark(b, scheme, 64, exp).ipc() / conv
-                })
-                .collect();
+        .zip(stats.chunks_exact(1 + NRR_SWEEP.len()))
+        .map(|(&b, group)| {
+            let conv = group[0].ipc();
             NrrSweepRow {
                 benchmark: b,
                 conv_ipc: conv,
-                speedups,
+                speedups: group[1..].iter().map(|s| s.ipc() / conv).collect(),
             }
         })
         .collect();
@@ -249,6 +331,30 @@ pub struct Fig6 {
 }
 
 impl Fig6 {
+    /// Renders the result as JSON (`vpr-bench-fig6/v1`).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"vpr-bench-fig6/v1\",\n  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"benchmark\": \"{}\", \"writeback_speedup\": {:.4}, \"issue_speedup\": {:.4}}}",
+                r.benchmark.name(),
+                r.writeback_speedup,
+                r.issue_speedup
+            );
+            s.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        let _ = writeln!(
+            s,
+            "  ],\n  \"writeback_win_rate\": {:.4}",
+            self.writeback_win_rate()
+        );
+        s.push_str("}\n");
+        s
+    }
+
     /// Renders the figure as a table.
     pub fn render(&self) -> Table {
         let mut t = Table::new(["bench", "write-back", "issue"].map(String::from).to_vec());
@@ -277,23 +383,26 @@ impl Fig6 {
 /// Regenerates Figure 6: both allocation policies at NRR = 32, 64
 /// registers.
 pub fn fig6(exp: &ExperimentConfig) -> Fig6 {
+    let points: Vec<SweepPoint> = Benchmark::ALL
+        .iter()
+        .flat_map(|&b| {
+            [
+                SweepPoint::at64(b, RenameScheme::Conventional),
+                SweepPoint::at64(b, RenameScheme::VirtualPhysicalWriteback { nrr: 32 }),
+                SweepPoint::at64(b, RenameScheme::VirtualPhysicalIssue { nrr: 32 }),
+            ]
+        })
+        .collect();
+    let stats = run_sweep(&points, exp);
     let rows = Benchmark::ALL
         .iter()
-        .map(|&b| {
-            let conv = run_benchmark(b, RenameScheme::Conventional, 64, exp).ipc();
-            let wb = run_benchmark(
-                b,
-                RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
-                64,
-                exp,
-            )
-            .ipc();
-            let is =
-                run_benchmark(b, RenameScheme::VirtualPhysicalIssue { nrr: 32 }, 64, exp).ipc();
+        .zip(stats.chunks_exact(3))
+        .map(|(&b, group)| {
+            let conv = group[0].ipc();
             Fig6Row {
                 benchmark: b,
-                writeback_speedup: wb / conv,
-                issue_speedup: is / conv,
+                writeback_speedup: group[1].ipc() / conv,
+                issue_speedup: group[2].ipc() / conv,
             }
         })
         .collect();
@@ -344,6 +453,43 @@ impl Fig7 {
             .collect()
     }
 
+    /// Renders the result as JSON (`vpr-bench-fig7/v1`).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"vpr-bench-fig7/v1\",\n");
+        let sizes = REG_SWEEP
+            .iter()
+            .map(|(size, nrr)| format!("{{\"physical_regs\": {size}, \"nrr\": {nrr}}}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(s, "  \"sweep\": [{sizes}],");
+        s.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let ipcs = r
+                .ipcs
+                .iter()
+                .map(|(c, v)| format!("{{\"conv_ipc\": {c:.4}, \"vp_ipc\": {v:.4}}}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = write!(
+                s,
+                "    {{\"benchmark\": \"{}\", \"ipcs\": [{ipcs}]}}",
+                r.benchmark.name()
+            );
+            s.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        let means = self
+            .mean_improvements_percent()
+            .iter()
+            .map(|x| format!("{x:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(s, "  ],\n  \"mean_improvements_percent\": [{means}]");
+        s.push_str("}\n");
+        s
+    }
+
     /// Renders the figure as a table.
     pub fn render(&self) -> Table {
         let mut headers = vec!["bench".to_string()];
@@ -373,20 +519,35 @@ impl Fig7 {
 /// Regenerates Figure 7: conventional vs VP write-back for 48, 64 and 96
 /// physical registers (NRR = 16, 32, 64 respectively).
 pub fn fig7(exp: &ExperimentConfig) -> Fig7 {
+    let points: Vec<SweepPoint> = Benchmark::ALL
+        .iter()
+        .flat_map(|&b| {
+            REG_SWEEP.iter().flat_map(move |&(size, nrr)| {
+                [
+                    SweepPoint {
+                        benchmark: b,
+                        scheme: RenameScheme::Conventional,
+                        physical_regs: size,
+                    },
+                    SweepPoint {
+                        benchmark: b,
+                        scheme: RenameScheme::VirtualPhysicalWriteback { nrr },
+                        physical_regs: size,
+                    },
+                ]
+            })
+        })
+        .collect();
+    let stats = run_sweep(&points, exp);
     let rows = Benchmark::ALL
         .iter()
-        .map(|&b| {
-            let ipcs = REG_SWEEP
-                .iter()
-                .map(|&(size, nrr)| {
-                    let conv = run_benchmark(b, RenameScheme::Conventional, size, exp).ipc();
-                    let vp =
-                        run_benchmark(b, RenameScheme::VirtualPhysicalWriteback { nrr }, size, exp)
-                            .ipc();
-                    (conv, vp)
-                })
-                .collect();
-            Fig7Row { benchmark: b, ipcs }
+        .zip(stats.chunks_exact(2 * REG_SWEEP.len()))
+        .map(|(&b, group)| Fig7Row {
+            benchmark: b,
+            ipcs: group
+                .chunks_exact(2)
+                .map(|p| (p[0].ipc(), p[1].ipc()))
+                .collect(),
         })
         .collect();
     Fig7 { rows }
@@ -395,6 +556,7 @@ pub fn fig7(exp: &ExperimentConfig) -> Fig7 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run_benchmark;
 
     #[test]
     fn table2_shapes_up_quickly() {

@@ -8,9 +8,10 @@
 //! [`write_throughput_json`] records the result as machine-readable
 //! `BENCH_throughput.json` so every PR leaves a perf trajectory.
 
+use crate::sweep::{run_sweep, SweepPoint};
 use std::fmt::Write as _;
 use std::time::Instant;
-use vpr_core::{harmonic_mean, Processor, RenameScheme, SimConfig, SimStats};
+use vpr_core::{harmonic_mean, par, Processor, RenameScheme, SimConfig, SimStats};
 use vpr_trace::{Benchmark, TraceBuilder};
 
 /// How much to simulate and with which trace seed.
@@ -27,6 +28,10 @@ pub struct ExperimentConfig {
     /// L1 miss penalty in cycles (the paper uses 50, with a 20-cycle
     /// sensitivity point for Table 2).
     pub miss_penalty: u64,
+    /// Worker threads for sweeps (`0` = one per host core). Purely a
+    /// host-side knob: sweep outputs are byte-identical for every value
+    /// (see [`crate::sweep`]).
+    pub jobs: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -36,6 +41,7 @@ impl Default for ExperimentConfig {
             measure: 500_000,
             seed: 42,
             miss_penalty: 50,
+            jobs: 0,
         }
     }
 }
@@ -50,8 +56,17 @@ impl ExperimentConfig {
         }
     }
 
-    /// Parses `--warmup N`, `--measure N`, `--seed N`, `--miss-penalty N`
-    /// from a command line, starting from the defaults.
+    /// The sweep worker count this configuration resolves to.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            par::default_jobs()
+        } else {
+            self.jobs
+        }
+    }
+
+    /// Parses `--warmup N`, `--measure N`, `--seed N`, `--miss-penalty N`,
+    /// `--jobs N` from a command line, starting from the defaults.
     ///
     /// # Errors
     ///
@@ -71,6 +86,7 @@ impl ExperimentConfig {
                 "--measure" => cfg.measure = take("--measure")?,
                 "--seed" => cfg.seed = take("--seed")?,
                 "--miss-penalty" => cfg.miss_penalty = take("--miss-penalty")?,
+                "--jobs" => cfg.jobs = take("--jobs")? as usize,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -143,13 +159,32 @@ pub struct ThroughputRun {
     pub ipc: f64,
 }
 
+/// Wall-clock timing of the whole sweep run through the parallel engine,
+/// next to the serial per-run timings.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepTiming {
+    /// Worker threads the parallel sweep used.
+    pub jobs: usize,
+    /// Wall-clock seconds for the whole grid under [`run_sweep`].
+    pub wall_seconds: f64,
+    /// Sum of the serial per-run host seconds (the best-of-N minima) —
+    /// the wall-clock a one-worker sweep would need.
+    pub serial_seconds: f64,
+}
+
 /// The full throughput sweep produced by [`measure_throughput`].
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
     /// The experiment configuration the sweep ran under.
     pub config: ExperimentConfig,
+    /// Timed repetitions per configuration; each run reports its fastest
+    /// (repetitions exist to shed scheduler noise, not to change what is
+    /// measured — the simulated outcome is identical every time).
+    pub runs_per_config: usize,
     /// One entry per (benchmark, scheme) pair.
     pub runs: Vec<ThroughputRun>,
+    /// Parallel-sweep wall-clock measurement.
+    pub sweep: SweepTiming,
 }
 
 impl ThroughputReport {
@@ -161,16 +196,19 @@ impl ThroughputReport {
     }
 
     /// Renders the report as a small, stable JSON document
-    /// (`vpr-bench-throughput/v1`). Hand-rolled: the build environment has
-    /// no serde.
+    /// (`vpr-bench-throughput/v2`). Hand-rolled: the build environment has
+    /// no serde. v2 adds `runs_per_config` (per-run sim-MIPS is the best
+    /// of that many timed repetitions) and the `sweep` wall-clock block
+    /// for the parallel engine.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
-        s.push_str("{\n  \"schema\": \"vpr-bench-throughput/v1\",\n");
+        s.push_str("{\n  \"schema\": \"vpr-bench-throughput/v2\",\n");
         let _ = writeln!(
             s,
             "  \"config\": {{\"warmup\": {}, \"measure\": {}, \"seed\": {}, \"miss_penalty\": {}}},",
             self.config.warmup, self.config.measure, self.config.seed, self.config.miss_penalty
         );
+        let _ = writeln!(s, "  \"runs_per_config\": {},", self.runs_per_config);
         s.push_str("  \"runs\": [\n");
         for (i, r) in self.runs.iter().enumerate() {
             let _ = write!(
@@ -184,12 +222,59 @@ impl ThroughputReport {
         s.push_str("  ],\n");
         let _ = writeln!(
             s,
-            "  \"harmonic_mean_sim_mips\": {:.3}",
+            "  \"harmonic_mean_sim_mips\": {:.3},",
             self.harmonic_mean_sim_mips()
+        );
+        let _ = writeln!(
+            s,
+            "  \"sweep\": {{\"jobs\": {}, \"wall_seconds\": {:.6}, \"serial_seconds\": {:.6}}}",
+            self.sweep.jobs, self.sweep.wall_seconds, self.sweep.serial_seconds
         );
         s.push_str("}\n");
         s
     }
+}
+
+/// Times one `(benchmark, scheme)` simulation end to end and converts it
+/// to sim-MIPS. With `repeats > 1` the simulation is run that many times
+/// and the fastest wall-clock is reported — the simulated outcome is
+/// deterministic, so repetition only sheds host scheduler noise.
+pub fn time_one_best(
+    benchmark: Benchmark,
+    scheme: RenameScheme,
+    exp: &ExperimentConfig,
+    repeats: usize,
+) -> ThroughputRun {
+    let mut best: Option<ThroughputRun> = None;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        let config = SimConfig::builder()
+            .scheme(scheme)
+            .physical_regs(64)
+            .miss_penalty(exp.miss_penalty)
+            .build();
+        let trace = TraceBuilder::new(benchmark).seed(exp.seed).build();
+        let mut cpu = Processor::new(config, trace);
+        cpu.warm_up(exp.warmup);
+        let stats = cpu.run(exp.measure);
+        let host_seconds = start.elapsed().as_secs_f64().max(1e-9);
+        let committed = exp.warmup + stats.committed;
+        let run = ThroughputRun {
+            label: format!("{}/{}", benchmark.name(), scheme_label(scheme)),
+            committed,
+            cycles: cpu.cycle(),
+            host_seconds,
+            sim_mips: committed as f64 / host_seconds / 1e6,
+            ipc: stats.ipc(),
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| run.host_seconds < b.host_seconds)
+        {
+            best = Some(run);
+        }
+    }
+    best.expect("repeats >= 1")
 }
 
 /// Times one `(benchmark, scheme)` simulation end to end and converts it
@@ -199,38 +284,46 @@ pub fn time_one(
     scheme: RenameScheme,
     exp: &ExperimentConfig,
 ) -> ThroughputRun {
-    let start = Instant::now();
-    let config = SimConfig::builder()
-        .scheme(scheme)
-        .physical_regs(64)
-        .miss_penalty(exp.miss_penalty)
-        .build();
-    let trace = TraceBuilder::new(benchmark).seed(exp.seed).build();
-    let mut cpu = Processor::new(config, trace);
-    cpu.warm_up(exp.warmup);
-    let stats = cpu.run(exp.measure);
-    let host_seconds = start.elapsed().as_secs_f64().max(1e-9);
-    let committed = exp.warmup + stats.committed;
-    ThroughputRun {
-        label: format!("{}/{}", benchmark.name(), scheme_label(scheme)),
-        committed,
-        cycles: cpu.cycle(),
-        host_seconds,
-        sim_mips: committed as f64 / host_seconds / 1e6,
-        ipc: stats.ipc(),
-    }
+    time_one_best(benchmark, scheme, exp, 1)
 }
 
-/// Runs the throughput sweep: [`THROUGHPUT_BENCHMARKS`] ×
-/// [`THROUGHPUT_SCHEMES`] under `exp`.
-pub fn measure_throughput(exp: &ExperimentConfig) -> ThroughputReport {
+/// The throughput grid: [`THROUGHPUT_BENCHMARKS`] × [`THROUGHPUT_SCHEMES`]
+/// at 64 registers per class.
+pub fn throughput_points() -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for benchmark in THROUGHPUT_BENCHMARKS {
+        for scheme in THROUGHPUT_SCHEMES {
+            points.push(SweepPoint::at64(benchmark, scheme));
+        }
+    }
+    points
+}
+
+/// Runs the throughput sweep: each grid point timed serially
+/// (`runs_per_config` repetitions, fastest kept), then the whole grid
+/// once more through the parallel engine for the sweep wall-clock.
+pub fn measure_throughput(exp: &ExperimentConfig, runs_per_config: usize) -> ThroughputReport {
     let mut runs = Vec::new();
     for benchmark in THROUGHPUT_BENCHMARKS {
         for scheme in THROUGHPUT_SCHEMES {
-            runs.push(time_one(benchmark, scheme, exp));
+            runs.push(time_one_best(benchmark, scheme, exp, runs_per_config));
         }
     }
-    ThroughputReport { config: *exp, runs }
+    let points = throughput_points();
+    let wall = Instant::now();
+    let sweep_stats = run_sweep(&points, exp);
+    let wall_seconds = wall.elapsed().as_secs_f64().max(1e-9);
+    debug_assert_eq!(sweep_stats.len(), runs.len());
+    ThroughputReport {
+        config: *exp,
+        runs_per_config: runs_per_config.max(1),
+        sweep: SweepTiming {
+            jobs: exp.effective_jobs(),
+            wall_seconds,
+            serial_seconds: runs.iter().map(|r| r.host_seconds).sum(),
+        },
+        runs,
+    }
 }
 
 /// Writes `report` to `path` as `BENCH_throughput.json`.
@@ -288,10 +381,18 @@ mod tests {
         assert!(run.host_seconds > 0.0);
         let report = ThroughputReport {
             config: exp,
+            runs_per_config: 1,
+            sweep: SweepTiming {
+                jobs: 1,
+                wall_seconds: run.host_seconds,
+                serial_seconds: run.host_seconds,
+            },
             runs: vec![run],
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"vpr-bench-throughput/v1\""));
+        assert!(json.contains("\"schema\": \"vpr-bench-throughput/v2\""));
+        assert!(json.contains("\"runs_per_config\": 1"));
+        assert!(json.contains("\"sweep\": {\"jobs\": 1"));
         assert!(json.contains("swim/conventional"));
         assert!(json.contains("harmonic_mean_sim_mips"));
         assert!(report.harmonic_mean_sim_mips() > 0.0);

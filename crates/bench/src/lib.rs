@@ -13,14 +13,67 @@
 //!
 //! Run e.g. `cargo run --release -p vpr-bench --bin table2`, or `--bin
 //! all` for the whole evaluation. Binaries accept `--warmup`, `--measure`,
-//! `--seed` and (where meaningful) `--miss-penalty` flags.
+//! `--seed`, `--miss-penalty` and `--jobs` flags, plus `--json PATH` to
+//! relocate their machine-readable artefact.
+//!
+//! ## The parallel sweep engine
+//!
+//! Every artefact above is a grid of independent `(benchmark, scheme,
+//! registers)` simulations. The [`sweep`] module fans such grids out over
+//! a dependency-free work-stealing thread pool (`vpr_core::par`) and
+//! merges the results in submission order, so **sweep output is
+//! byte-identical for every worker count** — `--jobs 1` (fully serial),
+//! `--jobs N`, or the default `--jobs 0` (one worker per host core).
+//! `tests/parallel_determinism.rs` enforces the contract.
+//!
+//! ## Machine-readable artefacts
+//!
+//! Each binary writes a JSON twin next to its text table (`table2.json`,
+//! `fig4.json`–`fig7.json`, `eval.json` for `--bin all`, `probe.json`,
+//! `BENCH_throughput.json`), in hand-rolled schemas
+//! (`vpr-bench-<artefact>/v1`) mirroring the throughput harness — the
+//! build environment has no serde. The throughput report
+//! (`vpr-bench-throughput/v2`) records per-configuration sim-MIPS
+//! (best of `--runs` repetitions) plus the parallel sweep's wall-clock,
+//! and its `--check BASELINE.json` mode is the CI regression gate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod harness;
+pub mod sweep;
 pub mod table;
 
 pub use harness::{run_benchmark, ExperimentConfig};
+pub use sweep::{run_sweep, SweepPoint};
 pub use table::Table;
+
+/// Extracts `flag VALUE` from `args` (mutating it), for flags the shared
+/// [`ExperimentConfig::from_args`] parser does not know (e.g. `--json`).
+///
+/// # Panics
+///
+/// Exits the process with status 2 when the flag is present without a
+/// value (binary CLI convention).
+pub fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+/// Writes a machine-readable artefact next to a binary's text output and
+/// says so on stdout (the figure/table binaries all emit JSON alongside
+/// their tables; pass `--json PATH` to relocate it).
+pub fn write_json_artifact(path: &std::path::Path, json: &str) {
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,83 @@
+//! The parallel sweep engine.
+//!
+//! Every paper artefact is a sweep: the same simulator run over a grid of
+//! `(benchmark, scheme, register-file size)` points. The points are
+//! mutually independent and each simulation is deterministic, so
+//! [`run_sweep`] fans them out over [`vpr_core::par`]'s work-stealing
+//! pool and merges the [`SimStats`] back **in submission order** — the
+//! output is byte-identical to running the same points serially, for any
+//! worker count (`--jobs 1` included). The cycle-exact goldens and
+//! `tests/parallel_determinism.rs` pin this down.
+//!
+//! The experiment functions in [`crate::experiments`] all route through
+//! here; pass `--jobs N` to any figure/table binary (0 = one worker per
+//! host core, the default) to control the pool.
+
+use crate::{run_benchmark, ExperimentConfig};
+use vpr_core::{par, RenameScheme, SimStats};
+use vpr_trace::Benchmark;
+
+/// One point of a sweep grid: a full simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// The workload.
+    pub benchmark: Benchmark,
+    /// The renaming scheme under test.
+    pub scheme: RenameScheme,
+    /// Physical registers per class.
+    pub physical_regs: usize,
+}
+
+impl SweepPoint {
+    /// Shorthand for the common 64-registers-per-class configuration.
+    pub fn at64(benchmark: Benchmark, scheme: RenameScheme) -> Self {
+        Self {
+            benchmark,
+            scheme,
+            physical_regs: 64,
+        }
+    }
+}
+
+/// Runs every point of `points` under `exp` — one simulator per point,
+/// `exp.effective_jobs()` at a time — and returns their measurement-window
+/// statistics in `points` order.
+pub fn run_sweep(points: &[SweepPoint], exp: &ExperimentConfig) -> Vec<SimStats> {
+    let exp = *exp;
+    par::par_map(exp.effective_jobs(), points.to_vec(), move |_, p| {
+        run_benchmark(p.benchmark, p.scheme, p.physical_regs, &exp)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_matches_serial_run_order() {
+        let exp = ExperimentConfig {
+            warmup: 200,
+            measure: 2_000,
+            jobs: 3,
+            ..ExperimentConfig::default()
+        };
+        let points = [
+            SweepPoint::at64(Benchmark::Swim, RenameScheme::Conventional),
+            SweepPoint::at64(
+                Benchmark::Go,
+                RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
+            ),
+            SweepPoint {
+                benchmark: Benchmark::Swim,
+                scheme: RenameScheme::VirtualPhysicalIssue { nrr: 16 },
+                physical_regs: 48,
+            },
+        ];
+        let parallel = run_sweep(&points, &exp);
+        let serial: Vec<_> = points
+            .iter()
+            .map(|p| run_benchmark(p.benchmark, p.scheme, p.physical_regs, &exp))
+            .collect();
+        assert_eq!(parallel, serial, "pool output must merge in point order");
+    }
+}

@@ -1,0 +1,118 @@
+//! Parallel-vs-serial determinism guard for the sweep engine.
+//!
+//! The contract of `vpr_bench::sweep` is that a sweep's output is
+//! **byte-identical** for every worker count: one simulator per grid
+//! point, results merged in submission order, nothing shared between
+//! simulations. These tests pin that down for all four renaming schemes
+//! and, via the property test, for arbitrary pool sizes and grid shapes
+//! — so nobody can quietly introduce cross-simulation state (a shared
+//! RNG, a global, an allocator-order dependence) without tripping it.
+
+use proptest::prelude::*;
+use vpr_bench::harness::{THROUGHPUT_BENCHMARKS, THROUGHPUT_SCHEMES};
+use vpr_bench::{run_benchmark, run_sweep, ExperimentConfig, SweepPoint};
+use vpr_core::RenameScheme;
+use vpr_trace::Benchmark;
+
+fn quick_exp(jobs: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        warmup: 200,
+        measure: 2_000,
+        jobs,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// The full throughput grid: both benchmarks under all four schemes.
+fn grid() -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for benchmark in THROUGHPUT_BENCHMARKS {
+        for scheme in THROUGHPUT_SCHEMES {
+            points.push(SweepPoint::at64(benchmark, scheme));
+        }
+    }
+    points
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial_for_all_schemes() {
+    let points = grid();
+    let serial = run_sweep(&points, &quick_exp(1));
+    for jobs in [2, 4, 8] {
+        let parallel = run_sweep(&points, &quick_exp(jobs));
+        for (point, (s, p)) in points.iter().zip(serial.iter().zip(parallel.iter())) {
+            // Compare the *rendered* stats so a failure shows the exact
+            // diverging counter, and the assertion covers formatting too
+            // (the goldens and JSON artefacts are rendered text).
+            assert_eq!(
+                format!("{s:#?}"),
+                format!("{p:#?}"),
+                "jobs={jobs} diverged from serial on {point:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_points_see_their_own_simulator_state() {
+    // Two identical points must produce identical stats (no cross-talk),
+    // and a third different point must not disturb them.
+    let exp = quick_exp(3);
+    let points = [
+        SweepPoint::at64(
+            Benchmark::Swim,
+            RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
+        ),
+        SweepPoint::at64(Benchmark::Go, RenameScheme::Conventional),
+        SweepPoint::at64(
+            Benchmark::Swim,
+            RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
+        ),
+    ];
+    let stats = run_sweep(&points, &exp);
+    assert_eq!(stats[0], stats[2], "identical points must agree exactly");
+    assert_ne!(stats[0], stats[1], "different points must differ");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any pool size (1..=9 workers) over a randomly-shaped grid merges
+    /// exactly the serial per-point results, in order.
+    #[test]
+    fn any_pool_size_matches_serial(
+        jobs in 1usize..10,
+        picks in prop::collection::vec((0usize..2, 0usize..4, 0usize..3), 1..7),
+    ) {
+        let sizes = [48usize, 64, 96];
+        let points: Vec<SweepPoint> = picks
+            .iter()
+            .map(|&(b, s, r)| {
+                let physical_regs = sizes[r];
+                // Keep NRR legal for the smallest file (48 regs -> 16).
+                let scheme = match s {
+                    0 => RenameScheme::Conventional,
+                    1 => RenameScheme::ConventionalEarlyRelease,
+                    2 => RenameScheme::VirtualPhysicalIssue { nrr: 16 },
+                    _ => RenameScheme::VirtualPhysicalWriteback { nrr: 16 },
+                };
+                SweepPoint {
+                    benchmark: THROUGHPUT_BENCHMARKS[b],
+                    scheme,
+                    physical_regs,
+                }
+            })
+            .collect();
+        let exp = ExperimentConfig {
+            warmup: 100,
+            measure: 800,
+            jobs,
+            ..ExperimentConfig::default()
+        };
+        let pooled = run_sweep(&points, &exp);
+        for (point, got) in points.iter().zip(&pooled) {
+            let want = run_benchmark(point.benchmark, point.scheme, point.physical_regs, &exp);
+            prop_assert_eq!(got, &want, "jobs={} point={:?}", jobs, point);
+        }
+    }
+}

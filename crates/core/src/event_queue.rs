@@ -114,6 +114,19 @@ impl<E> CalendarQueue<E> {
         out.append(bucket);
     }
 
+    /// True when at least one event is scheduled for cycle `now` (which
+    /// must not have been drained yet). O(1): one bucket probe plus the
+    /// overflow map's minimum — the cheap "is this cycle active?" test
+    /// the idle-skip logic runs before any quiescence analysis.
+    #[inline]
+    pub fn has_at(&self, now: u64) -> bool {
+        !self.buckets[(now & self.mask) as usize].is_empty()
+            || self
+                .overflow
+                .first_key_value()
+                .is_some_and(|(&at, _)| at <= now)
+    }
+
     /// The earliest cycle strictly after `now` with at least one event, if
     /// any. Assumes cycle `now` itself has already been drained.
     pub fn next_occupied(&self, now: u64) -> Option<u64> {

@@ -74,6 +74,37 @@ impl FuPool {
         Some(now + latency)
     }
 
+    /// The earliest cycle at or after `now` at which some unit could
+    /// accept `op`, assuming no further issues happen in between — the
+    /// idle-skip bound for a ready-but-FU-blocked instruction. Returns
+    /// `now` itself when a unit is free right now.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`OpClass::Nop`], which never occupies a unit.
+    pub fn earliest_accept(&self, op: OpClass, now: u64) -> u64 {
+        let kind = op
+            .fu_kind()
+            .expect("nop does not execute on a functional unit");
+        self.units[kind.index()]
+            .iter()
+            .map(|u| {
+                if u.busy_until > now {
+                    // An unpipelined occupant frees the unit at
+                    // `busy_until` (`try_issue` accepts when
+                    // `busy_until <= now`).
+                    u.busy_until
+                } else if u.last_issue == Some(now) {
+                    // Pipelined: accepts again next cycle.
+                    now + 1
+                } else {
+                    now
+                }
+            })
+            .min()
+            .expect("every kind has at least one unit")
+    }
+
     /// How many units of `kind` could accept an operation at `now`
     /// (diagnostics).
     pub fn available(&self, kind: FuKind, now: u64) -> usize {
@@ -150,6 +181,25 @@ mod tests {
         assert_eq!(fus.try_issue(OpClass::Store, 0), None);
         assert_eq!(fus.available(FuKind::EffAddr, 0), 0);
         assert_eq!(fus.available(FuKind::EffAddr, 1), 3);
+    }
+
+    #[test]
+    fn earliest_accept_tracks_occupancy() {
+        let mut fus = pool();
+        // Free unit: accepts now.
+        assert_eq!(fus.earliest_accept(OpClass::FpDiv, 0), 0);
+        // Both divide units busy until 16: that is the bound.
+        assert_eq!(fus.try_issue(OpClass::FpDiv, 0), Some(16));
+        assert_eq!(fus.try_issue(OpClass::FpDiv, 0), Some(16));
+        assert_eq!(fus.earliest_accept(OpClass::FpDiv, 1), 16);
+        // Pipelined units that issued this cycle accept again next cycle.
+        assert!(fus.try_issue(OpClass::FpMul, 5).is_some());
+        assert!(fus.try_issue(OpClass::FpMul, 5).is_some());
+        assert_eq!(fus.earliest_accept(OpClass::FpMul, 5), 6);
+        // Staggered unpipelined occupancy: the earlier release wins.
+        assert_eq!(fus.try_issue(OpClass::FpDiv, 16), Some(32));
+        assert_eq!(fus.try_issue(OpClass::FpDiv, 20), Some(36));
+        assert_eq!(fus.earliest_accept(OpClass::FpDiv, 21), 32);
     }
 
     #[test]

@@ -33,6 +33,15 @@ pub struct IqEntry {
     pub op: OpClass,
     /// Renamed sources; `None` slots are absent operands.
     pub srcs: [Option<RenamedSrc>; 2],
+    /// Register class this instruction must be *granted a physical
+    /// register in* before it may leave the queue — `Some` only under the
+    /// issue-allocation scheme for a destination not yet allocated. Cached
+    /// here so the issue stage's selection loop never touches the reorder
+    /// buffer for candidates it ends up skipping. Invariant: while the
+    /// entry is queued, this equals "destination present with no physical
+    /// register" of its reorder-buffer entry (a queued instruction's
+    /// allocation state only changes at issue, which removes it).
+    pub alloc_class: Option<RegClass>,
 }
 
 impl IqEntry {
@@ -55,6 +64,36 @@ impl IqEntry {
             }
         }
         (int, fp)
+    }
+}
+
+/// One issue-eligible instruction in the ready index: the hot fields the
+/// selection loop needs, packed next to the age key so scanning many
+/// blocked candidates (FU-starved or register-denied) touches only this
+/// contiguous vector — the slab is consulted only for entries that
+/// actually issue.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadyRec {
+    /// Global sequence number (issue priority: oldest first).
+    pub seq: u64,
+    /// Operation class (selects the functional unit).
+    pub op: OpClass,
+    /// See [`IqEntry::alloc_class`].
+    pub alloc_class: Option<RegClass>,
+    /// Ready register sources per class `(int, fp)`, for read-port
+    /// accounting at issue.
+    pub read_port_needs: (u32, u32),
+}
+
+impl ReadyRec {
+    /// Builds the packed record for `entry`.
+    fn of(entry: &IqEntry) -> Self {
+        Self {
+            seq: entry.seq,
+            op: entry.op,
+            alloc_class: entry.alloc_class,
+            read_port_needs: entry.read_port_needs(),
+        }
     }
 }
 
@@ -92,8 +131,8 @@ pub struct Iq {
     free_slots: Vec<u32>,
     /// `(seq, slot)` for every waiting instruction, sorted by `seq`.
     order: Vec<(u64, u32)>,
-    /// `(seq, slot)` for issue-eligible instructions, sorted by `seq`.
-    ready: Vec<(u64, u32)>,
+    /// Issue-eligible instructions, sorted by `seq` (see [`ReadyRec`]).
+    ready: Vec<ReadyRec>,
     /// Consumer lists for physical-register broadcasts, `[class][preg]`.
     phys_waiters: [Vec<Vec<Waiter>>; 2],
     /// Consumer lists for VP-tag broadcasts, `[class][vp]`.
@@ -207,9 +246,9 @@ impl Iq {
         if waiting == 0 {
             let rpos = self
                 .ready
-                .binary_search_by_key(&entry.seq, |&(s, _)| s)
+                .binary_search_by_key(&entry.seq, |r| r.seq)
                 .expect_err("seq uniqueness checked via order");
-            self.ready.insert(rpos, (entry.seq, slot));
+            self.ready.insert(rpos, ReadyRec::of(&entry));
         }
     }
 
@@ -218,7 +257,7 @@ impl Iq {
     pub fn remove(&mut self, seq: u64) -> Option<IqEntry> {
         let pos = self.order.binary_search_by_key(&seq, |&(s, _)| s).ok()?;
         let (_, slot) = self.order.remove(pos);
-        if let Ok(rpos) = self.ready.binary_search_by_key(&seq, |&(s, _)| s) {
+        if let Ok(rpos) = self.ready.binary_search_by_key(&seq, |r| r.seq) {
             self.ready.remove(rpos);
         }
         let s = &mut self.slots[slot as usize];
@@ -262,12 +301,12 @@ impl Iq {
             woken += 1;
             slot.waiting -= 1;
             if slot.waiting == 0 {
-                let seq = slot.entry.seq;
+                let rec = ReadyRec::of(&slot.entry);
                 let rpos = self
                     .ready
-                    .binary_search_by_key(&seq, |&(s, _)| s)
+                    .binary_search_by_key(&rec.seq, |r| r.seq)
                     .expect_err("was not ready before its last operand woke");
-                self.ready.insert(rpos, (seq, w.slot));
+                self.ready.insert(rpos, rec);
             }
         }
         // Hand the (now empty) list's allocation back for reuse.
@@ -301,12 +340,12 @@ impl Iq {
             woken += 1;
             slot.waiting -= 1;
             if slot.waiting == 0 {
-                let seq = slot.entry.seq;
+                let rec = ReadyRec::of(&slot.entry);
                 let rpos = self
                     .ready
-                    .binary_search_by_key(&seq, |&(s, _)| s)
+                    .binary_search_by_key(&rec.seq, |r| r.seq)
                     .expect_err("was not ready before its last operand woke");
-                self.ready.insert(rpos, (seq, w.slot));
+                self.ready.insert(rpos, rec);
             }
         }
         self.vp_waiters[class.index()][vp.0 as usize] = list;
@@ -320,18 +359,17 @@ impl Iq {
             .map(|&(_, slot)| &self.slots[slot as usize].entry)
     }
 
-    /// Iterates the *issue-eligible* entries oldest → youngest, without
-    /// allocating — the issue stage's selection order.
-    pub fn ready_iter(&self) -> impl Iterator<Item = &IqEntry> {
-        self.ready
-            .iter()
-            .map(|&(_, slot)| &self.slots[slot as usize].entry)
+    /// Iterates the *issue-eligible* entries' [`ReadyRec`]s oldest →
+    /// youngest, without allocating and without touching the slab — the
+    /// issue stage's selection order.
+    pub fn ready_iter(&self) -> impl Iterator<Item = &ReadyRec> {
+        self.ready.iter()
     }
 
     /// Sequence numbers of all currently-ready entries, oldest first
     /// (convenience for tests; the issue stage uses [`Iq::ready_iter`]).
     pub fn ready_seqs(&self) -> Vec<u64> {
-        self.ready.iter().map(|&(seq, _)| seq).collect()
+        self.ready.iter().map(|r| r.seq).collect()
     }
 }
 
@@ -375,6 +413,7 @@ mod tests {
             seq: 0,
             op: OpClass::IntAlu,
             srcs: [Some(ready_src(RegClass::Int, 1)), None],
+            alloc_class: None,
         };
         assert!(e.is_ready());
         let e = IqEntry {
@@ -384,12 +423,14 @@ mod tests {
                 Some(ready_src(RegClass::Fp, 1)),
                 Some(wait_vp(RegClass::Fp, 9)),
             ],
+            alloc_class: None,
         };
         assert!(!e.is_ready());
         let e = IqEntry {
             seq: 2,
             op: OpClass::Nop,
             srcs: [None, None],
+            alloc_class: None,
         };
         assert!(e.is_ready(), "no operands = trivially ready");
     }
@@ -404,6 +445,7 @@ mod tests {
                 Some(wait_vp(RegClass::Fp, 40)),
                 Some(wait_vp(RegClass::Fp, 41)),
             ],
+            alloc_class: None,
         });
         assert_eq!(iq.wakeup_vp(RegClass::Fp, VpReg(40), PhysReg(7)), 1);
         let e = *iq.iter().next().unwrap();
@@ -422,6 +464,7 @@ mod tests {
             seq: 0,
             op: OpClass::IntAlu,
             srcs: [Some(wait_vp(RegClass::Int, 5)), None],
+            alloc_class: None,
         });
         // Same tag number in the FP class: no wake-up.
         assert_eq!(iq.wakeup_vp(RegClass::Fp, VpReg(5), PhysReg(1)), 0);
@@ -438,11 +481,13 @@ mod tests {
                 Some(wait_phys(RegClass::Int, 33)),
                 Some(ready_src(RegClass::Int, 2)),
             ],
+            alloc_class: None,
         });
         iq.insert(IqEntry {
             seq: 4,
             op: OpClass::IntMul,
             srcs: [Some(wait_phys(RegClass::Int, 33)), None],
+            alloc_class: None,
         });
         // One broadcast wakes both consumers.
         assert_eq!(iq.wakeup_phys(RegClass::Int, PhysReg(33)), 2);
@@ -457,6 +502,7 @@ mod tests {
                 seq,
                 op: OpClass::IntAlu,
                 srcs: [None, None],
+                alloc_class: None,
             });
         }
         let order: Vec<u64> = iq.iter().map(|e| e.seq).collect();
@@ -477,6 +523,7 @@ mod tests {
                 seq,
                 op: OpClass::IntAlu,
                 srcs: [None, None],
+                alloc_class: None,
             });
         }
         iq.squash_younger_than(2);
@@ -493,6 +540,7 @@ mod tests {
                 Some(ready_src(RegClass::Int, 1)),
                 Some(ready_src(RegClass::Fp, 2)),
             ],
+            alloc_class: None,
         };
         assert_eq!(e.read_port_needs(), (1, 1));
     }
@@ -505,11 +553,13 @@ mod tests {
             seq: 0,
             op: OpClass::IntAlu,
             srcs: [None, None],
+            alloc_class: None,
         });
         iq.insert(IqEntry {
             seq: 1,
             op: OpClass::IntAlu,
             srcs: [None, None],
+            alloc_class: None,
         });
     }
 
@@ -522,12 +572,14 @@ mod tests {
             seq: 0,
             op: OpClass::IntAlu,
             srcs: [Some(wait_phys(RegClass::Int, 7)), None],
+            alloc_class: None,
         });
         assert!(iq.remove(0).is_some());
         iq.insert(IqEntry {
             seq: 1,
             op: OpClass::IntAlu,
             srcs: [Some(wait_phys(RegClass::Int, 8)), None],
+            alloc_class: None,
         });
         // The stale record for p7 must not touch the reused slot.
         assert_eq!(iq.wakeup_phys(RegClass::Int, PhysReg(7)), 0);
@@ -545,6 +597,7 @@ mod tests {
             seq: 9,
             op: OpClass::Load,
             srcs: [Some(ready_src(RegClass::Int, 3)), None],
+            alloc_class: None,
         });
         let e = iq.remove(9).expect("present");
         assert_eq!(iq.len(), 0);
@@ -566,6 +619,7 @@ mod tests {
             seq: 0,
             op: OpClass::IntAlu,
             srcs: [Some(wait_phys(RegClass::Int, 5)), None],
+            alloc_class: None,
         });
         assert_eq!(iq.wakeup_phys(RegClass::Int, PhysReg(5)), 1);
         assert_eq!(

@@ -17,7 +17,10 @@
 //! * [`SimStats`] — IPC, re-execution counts, register pressure and
 //!   occupancy, stall breakdowns;
 //! * [`rename`] — the renaming machinery itself (map tables, free lists,
-//!   NRR state), usable standalone for unit-level studies.
+//!   NRR state), usable standalone for unit-level studies;
+//! * [`par`] — a dependency-free scoped-thread work-stealing pool used by
+//!   the experiment harness to run independent simulations in parallel
+//!   with deterministic, submission-ordered results.
 //!
 //! ## Example
 //!
@@ -50,6 +53,7 @@ mod config;
 mod event_queue;
 mod fu;
 mod iq;
+pub mod par;
 mod pipeline;
 pub mod rename;
 mod rob;

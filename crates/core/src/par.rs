@@ -1,0 +1,185 @@
+//! A dependency-free scoped-thread work-stealing pool.
+//!
+//! The build environment has no crates.io access, so `rayon` is not an
+//! option; this module supplies the narrow slice of it the workspace
+//! needs: run N independent jobs on up to `jobs` OS threads and collect
+//! the results **in submission order**, so parallel output is byte-
+//! identical to a serial run of the same jobs.
+//!
+//! ### Design
+//!
+//! Jobs are identified by their index. Indices are dealt round-robin into
+//! one deque per worker; a worker pops from the *front* of its own deque
+//! (cache-friendly sequential order) and, when it runs dry, steals from
+//! the *back* of a sibling's deque — the classic Chase–Lev discipline,
+//! here with a `Mutex` per deque instead of lock-free buffers because the
+//! pool schedules millisecond-scale simulations, not nanosecond tasks:
+//! one uncontended lock per job is noise.
+//!
+//! Results land in a shared slot table keyed by job index, which is what
+//! makes the merge deterministic regardless of which worker ran which job
+//! and in which order. Panics in a job propagate: the scope joins all
+//! workers, and a panicked worker re-raises on join.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A sensible default worker count: the host's available parallelism,
+/// or 1 when it cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` over every item of `items` on up to `jobs` threads and
+/// returns the results in item order (byte-identical to the serial
+/// `items.into_iter().enumerate().map(...)` for a pure `f`).
+///
+/// `jobs <= 1`, or an `items` length of 0 or 1, runs entirely on the
+/// caller's thread with no pool at all.
+///
+/// # Panics
+///
+/// Re-raises the first panic of any job after all workers join.
+pub fn par_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs.min(n).max(1);
+    if workers == 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    // Item slots: each job takes its input exactly once and writes its
+    // result exactly once. A Mutex per table (not per slot) is plenty at
+    // this granularity.
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    // Deal job indices round-robin so each worker starts with a spread of
+    // the submission order (neighbouring jobs often have similar cost;
+    // dealing avoids one worker drawing all the expensive ones).
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+        .collect();
+
+    let run_job = |idx: usize| {
+        let item = inputs[idx]
+            .lock()
+            .expect("input lock")
+            .take()
+            .expect("job dispatched twice");
+        let out = f(idx, item);
+        *results[idx].lock().expect("result lock") = Some(out);
+    };
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let run_job = &run_job;
+            scope.spawn(move || loop {
+                // Own work first, front-out (submission order).
+                let mine = queues[w].lock().expect("queue lock").pop_front();
+                if let Some(idx) = mine {
+                    run_job(idx);
+                    continue;
+                }
+                // Dry: steal from the back of the first sibling that still
+                // has work.
+                let mut stolen = None;
+                for delta in 1..workers {
+                    let victim = (w + delta) % workers;
+                    if let Some(idx) = queues[victim].lock().expect("queue lock").pop_back() {
+                        stolen = Some(idx);
+                        break;
+                    }
+                }
+                match stolen {
+                    Some(idx) => run_job(idx),
+                    None => break,
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result lock")
+                .expect("every job ran to completion")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_arrive_in_submission_order() {
+        for jobs in [1, 2, 3, 8, 64] {
+            let items: Vec<u64> = (0..37).collect();
+            let out = par_map(jobs, items, |i, x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            let expected: Vec<u64> = (0..37).map(|x| x * x).collect();
+            assert_eq!(out, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = par_map(4, vec![(); 100], |_, ()| {
+            counter.fetch_add(1, Ordering::Relaxed)
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn uneven_job_costs_still_merge_in_order() {
+        // Early jobs are the slow ones: stealing must not reorder results.
+        let out = par_map(4, (0..16u64).collect(), |_, x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=16).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn zero_and_single_item_edge_cases() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(8, empty, |_, x: u32| x).is_empty());
+        assert_eq!(par_map(8, vec![7u32], |i, x| (i, x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn job_panics_propagate() {
+        let _ = par_map(2, (0..8).collect(), |i, _x: i32| {
+            if i == 3 {
+                panic!("job 3 failed");
+            }
+            i
+        });
+    }
+}

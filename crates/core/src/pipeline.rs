@@ -71,6 +71,17 @@ use vpr_mem::{
 /// latencies) falls back to the queue's overflow map.
 const EVENT_HORIZON: usize = 256;
 
+/// Outcome of presenting a waiting load to the cache (`probe_cache`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheProbe {
+    /// Data return scheduled, or the retry record is stale.
+    Settled,
+    /// Bounced: all MSHRs busy (persists until a fill completes).
+    BouncedNoMshr,
+    /// Bounced: out of ports this cycle (clears next cycle).
+    BouncedNoPort,
+}
+
 /// Scheduled pipeline events, keyed by the cycle they fire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
@@ -163,13 +174,15 @@ pub struct Processor<S> {
     /// Loads waiting for a cache port / MSHR, retried every cycle.
     /// Kept sorted ascending (retry order = age order).
     cache_retry: Vec<u64>,
+    /// `(blocked count, cache state token)` from the last retry sweep in
+    /// which every pending load bounced for lack of an MSHR — see
+    /// `mem_retry_phase`.
+    retry_memo: Option<(u64, (u64, u64))>,
     /// Issue-stage register allocations to record after the issue loop
     /// (separated to satisfy borrow rules during queue iteration).
     pending_issue_allocs: Vec<(u64, PhysReg)>,
     /// Reusable buffer for the events drained each cycle.
     event_scratch: Vec<Event>,
-    /// Reusable copy of `cache_retry` for the retry sweep.
-    retry_scratch: Vec<u64>,
     /// Reusable list of sequence numbers selected by the issue stage.
     issued_scratch: Vec<u64>,
     /// In-flight instructions with a register destination, per class, in
@@ -225,9 +238,9 @@ impl<S: InstStream> Processor<S> {
             events: CalendarQueue::with_horizon(EVENT_HORIZON),
             fetch_buffer: VecDeque::with_capacity(config.fetch_width * 2),
             cache_retry: Vec::new(),
+            retry_memo: None,
             pending_issue_allocs: Vec::new(),
             event_scratch: Vec::new(),
-            retry_scratch: Vec::new(),
             issued_scratch: Vec::new(),
             dest_seqs: [VecDeque::new(), VecDeque::new()],
             cycle: 0,
@@ -351,7 +364,6 @@ impl<S: InstStream> Processor<S> {
         self.issue_phase(now);
         self.rename_phase(now);
         self.fetch_phase(now);
-        self.sample(now);
         self.cycle = now + 1;
         assert!(
             self.rob.is_empty() || now - self.last_commit_cycle < 100_000,
@@ -364,33 +376,110 @@ impl<S: InstStream> Processor<S> {
     }
 
     /// Idle-cycle fast-forwarding: if no pipeline stage can make progress
-    /// before the next scheduled event (or fetch-redirect point), jump
-    /// `cycle` there directly, replaying the per-cycle counters the
-    /// skipped stall cycles would have accumulated.
+    /// before the next scheduled event (or fetch-redirect point, or
+    /// functional-unit release, or cache-fill completion), jump `cycle`
+    /// there directly, replaying the per-cycle counters the skipped stall
+    /// cycles would have accumulated.
     ///
     /// Quiescence requires *all* of:
     ///
-    /// * no issue-eligible instruction (a ready entry could issue, and
-    ///   functional-unit availability is time-based, not event-based);
-    /// * empty store buffer and no cache retries (both probe the cache
-    ///   every cycle, and cache/MSHR/bus state is time-based);
+    /// * empty store buffer (it probes the cache every cycle);
     /// * commit blocked on an incomplete head (a completed head commits);
+    /// * every issue-eligible instruction provably stuck for the whole
+    ///   window: its functional units all busy (the earliest release
+    ///   bounds the skip), the NRR rule denying its issue-time register
+    ///   (issue-allocation scheme; re-evaluated only when an event or
+    ///   commit changes register state, both of which end the window), or
+    ///   its read-port needs exceeding the configuration outright;
+    /// * every pending cache retry provably MSHR-bounced until the next
+    ///   fill completes (which bounds the skip);
     /// * the front end frozen: rename blocked by a full structure or an
     ///   empty free list, or an empty fetch buffer with fetch drained,
     ///   stalled behind an unresolved branch, or inside a redirect shadow.
     ///
     /// Under those conditions the machine state is constant from cycle to
     /// cycle, so each skipped cycle contributes exactly one increment of
-    /// one known stall counter plus the occupancy sampling — replayed here
-    /// in closed form. Behaviour is bit-identical to stepping cycle by
-    /// cycle.
+    /// one known front-end stall counter, one `issue_allocation_stalls`
+    /// increment per denied candidate, one `mshr_retries` increment per
+    /// blocked retry, plus the occupancy sampling — replayed here in
+    /// closed form. Behaviour is bit-identical to stepping cycle by cycle,
+    /// which `crates/bench/tests/cycle_exact_golden.rs` pins down.
     fn try_fast_forward(&mut self, max_cycle: u64) {
-        if !self.store_buffer.is_empty()
-            || !self.cache_retry.is_empty()
-            || self.iq.ready_len() != 0
-            || self.rob.head().is_some_and(|h| h.completed)
-        {
+        if !self.store_buffer.is_empty() || self.rob.head().is_some_and(|h| h.completed) {
             return;
+        }
+        let now = self.cycle;
+        // An event firing this cycle makes it active (even a stale one
+        // would cap the skip target at `now`): bail before the quiescence
+        // sweeps below spend time proving what cannot pay off.
+        if self.events.has_at(now) {
+            return;
+        }
+        // Issue-stage quiescence: every ready entry must be unable to
+        // issue now *and* until some bound. Functional-unit occupancy
+        // gives a time bound; an NRR denial persists until register state
+        // changes, which only events (completions) or commits do — and
+        // commits are blocked, completions scheduled.
+        let mut issue_bound: Option<u64> = None;
+        let mut denied_ready: u64 = 0;
+        if self.iq.ready_len() != 0 {
+            let mut gates = [crate::rename::AllocGate::default(); 2];
+            if let Renamer::Vp(vp) = &self.renamer {
+                gates = [vp.alloc_gate(RegClass::Int), vp.alloc_gate(RegClass::Fp)];
+            }
+            for e in self.iq.ready_iter() {
+                let (int_reads, fp_reads) = e.read_port_needs;
+                if int_reads > self.config.regfile_read_ports
+                    || fp_reads > self.config.regfile_read_ports
+                {
+                    // Exceeds the whole per-cycle budget: skipped silently
+                    // by the issue loop every cycle, no bound needed.
+                    continue;
+                }
+                if let Some(class) = e.alloc_class {
+                    if !gates[class.index()].allows(e.seq) {
+                        // Ticks issue_allocation_stalls every idle cycle.
+                        denied_ready += 1;
+                        continue;
+                    }
+                }
+                let at = self.fus.earliest_accept(e.op, now);
+                if at <= now {
+                    return; // issuable right now: the cycle is active
+                }
+                issue_bound = Some(issue_bound.map_or(at, |b| b.min(at)));
+            }
+        }
+        // Cache-retry quiescence: every pending retry must bounce for
+        // lack of an MSHR, and keep bouncing until the next fill
+        // completes. (Port bounces cannot occur in an idle window — no
+        // access is granted, so ports stay free.)
+        let mut retry_bound: Option<u64> = None;
+        let mut blocked_retries: u64 = 0;
+        if !self.cache_retry.is_empty() {
+            match self.cache.earliest_fill() {
+                // A fill installs this cycle: outcomes are about to change.
+                Some(t) if t <= now => return,
+                t => retry_bound = t,
+            }
+            for &seq in &self.cache_retry {
+                let Some(entry) = self.rob.get(seq) else {
+                    // Stale record: the sweep removes it this cycle.
+                    return;
+                };
+                if entry.mem_phase != MemPhase::AwaitCache {
+                    return;
+                }
+                let addr = entry.di.mem().expect("memory op carries an access").addr;
+                if !self.cache.would_bounce_for_mshr(addr) {
+                    return; // this retry would be granted: active cycle
+                }
+                blocked_retries += 1;
+            }
+            debug_assert!(
+                retry_bound.is_some(),
+                "MSHR-blocked retries imply an in-flight fill"
+            );
         }
         // Decide what the frozen front end ticks each idle cycle; bail if
         // rename or fetch would actually make progress.
@@ -435,14 +524,18 @@ impl<S: InstStream> Processor<S> {
         } else {
             return;
         };
-        let target = match (self.events.next_at_or_after(self.cycle), resume_bound) {
-            (Some(e), Some(r)) => e.min(r),
-            (Some(e), None) => e,
-            (None, Some(r)) => r,
-            // Nothing pending at all: no skip target. (A genuinely stuck
-            // machine reaches the deadlock watchdog exactly as before.)
-            (None, None) => return,
-        };
+        let target = [
+            self.events.next_at_or_after(self.cycle),
+            resume_bound,
+            issue_bound,
+            retry_bound,
+        ]
+        .into_iter()
+        .flatten()
+        .min();
+        // Nothing pending at all: no skip target. (A genuinely stuck
+        // machine reaches the deadlock watchdog exactly as before.)
+        let Some(target) = target else { return };
         let target = target.min(max_cycle);
         if target <= self.cycle {
             return;
@@ -456,15 +549,13 @@ impl<S: InstStream> Processor<S> {
             IdleTick::LsqFull => self.raw.lsq_full_stalls += skipped,
             IdleTick::FreeList(class) => self.raw.class_mut(class).rename_stalls += skipped,
         }
-        // Register occupancy is frozen while quiescent: replay the
-        // per-cycle sampling in closed form.
-        for class in [RegClass::Int, RegClass::Fp] {
-            let (allocated, free) = self.register_counts(class);
-            let cs = self.raw.class_mut(class);
-            cs.occupancy_sum += allocated as u64 * skipped;
-            if free == 0 {
-                cs.empty_free_list_cycles += skipped;
-            }
+        // Ready-but-denied issue candidates and MSHR-blocked retries tick
+        // their counters every skipped cycle, exactly as the issue loop
+        // and the retry sweep would have.
+        self.raw.issue_allocation_stalls += denied_ready * skipped;
+        if blocked_retries > 0 {
+            self.cache
+                .note_skipped_mshr_retries(blocked_retries * skipped);
         }
         self.cycle = target;
     }
@@ -472,6 +563,19 @@ impl<S: InstStream> Processor<S> {
     fn absolute(&self) -> SimStats {
         let mut s = self.raw.clone();
         s.cycles = self.cycle;
+        // Occupancy statistics come from the free lists' change-driven
+        // integrals (equivalent to sampling every cycle, without the
+        // per-cycle work).
+        for class in [RegClass::Int, RegClass::Fp] {
+            let (occ, empty) = match &self.renamer {
+                Renamer::Conventional(conv) => conv.occupancy_integrals(class, self.cycle),
+                Renamer::EarlyRelease(er) => er.occupancy_integrals(class, self.cycle),
+                Renamer::Vp(vp) => vp.occupancy_integrals(class, self.cycle),
+            };
+            let cs = s.class_mut(class);
+            cs.occupancy_sum = occ;
+            cs.empty_free_list_cycles = empty;
+        }
         s.fetch = *self.fetch.stats();
         s.bht = *self.bht.stats();
         s.cache = *self.cache.stats();
@@ -501,6 +605,7 @@ impl<S: InstStream> Processor<S> {
 
     /// Adds `seq` to the cache-retry set (sorted; duplicates ignored).
     fn retry_insert(&mut self, seq: u64) {
+        self.retry_memo = None;
         if let Err(pos) = self.cache_retry.binary_search(&seq) {
             self.cache_retry.insert(pos, seq);
         }
@@ -508,6 +613,7 @@ impl<S: InstStream> Processor<S> {
 
     /// Drops `seq` from the cache-retry set if present.
     fn retry_remove(&mut self, seq: u64) {
+        self.retry_memo = None;
         if let Ok(pos) = self.cache_retry.binary_search(&seq) {
             self.cache_retry.remove(pos);
         }
@@ -613,35 +719,71 @@ impl<S: InstStream> Processor<S> {
         if self.cache_retry.is_empty() {
             return;
         }
-        let mut retries = std::mem::take(&mut self.retry_scratch);
-        retries.clear();
-        retries.extend_from_slice(&self.cache_retry);
-        for &seq in &retries {
-            self.try_cache_access(seq, now);
+        // Bounce memo: if the last sweep found every pending retry
+        // MSHR-bounced, and since then line residency and MSHR occupancy
+        // are provably unchanged (state token), no fill is due this
+        // cycle, and ports are not exhausted (a store drain can eat all
+        // of them, turning MSHR bounces into port bounces), this cycle's
+        // sweep would produce the identical bounces. Replay the counters
+        // without probing.
+        if let Some((blocked, token)) = self.retry_memo {
+            if self.cache.state_token() == token
+                && self.cache.earliest_fill().is_some_and(|t| t > now)
+                && !self.cache.ports_exhausted_at(now)
+            {
+                self.cache.note_skipped_mshr_retries(blocked);
+                return;
+            }
+            self.retry_memo = None;
         }
-        self.retry_scratch = retries;
+        // Positional sweep in age order: a settled load is removed in
+        // place (the next element slides into `i`), a bounced one stays.
+        // No scratch copy, no per-element binary searches.
+        let mut port_bounce = false;
+        let mut i = 0;
+        while i < self.cache_retry.len() {
+            let seq = self.cache_retry[i];
+            match self.probe_cache(seq, now) {
+                CacheProbe::Settled => {
+                    self.cache_retry.remove(i);
+                }
+                CacheProbe::BouncedNoMshr => i += 1,
+                CacheProbe::BouncedNoPort => {
+                    port_bounce = true;
+                    i += 1;
+                }
+            }
+        }
+        // Port bounces can clear next cycle (ports reset); MSHR bounces
+        // persist until a fill completes or someone else touches the
+        // cache — exactly what the memo's validity token watches.
+        if !port_bounce && !self.cache_retry.is_empty() {
+            self.retry_memo = Some((self.cache_retry.len() as u64, self.cache.state_token()));
+        }
     }
 
-    fn try_cache_access(&mut self, seq: u64, now: u64) {
+    /// Presents load `seq` to the cache. [`CacheProbe::Settled`] means the
+    /// load no longer needs retrying — its data return is scheduled, or
+    /// the record is stale (squashed / re-executed instruction).
+    fn probe_cache(&mut self, seq: u64, now: u64) -> CacheProbe {
         let Some(entry) = self.rob.get(seq) else {
-            self.retry_remove(seq);
-            return;
+            return CacheProbe::Settled;
         };
         if entry.mem_phase != MemPhase::AwaitCache {
-            self.retry_remove(seq);
-            return;
+            return CacheProbe::Settled;
         }
         let gen = entry.gen;
         let addr = entry.di.mem().expect("memory op carries an access").addr;
         match self.cache.access(now, addr, AccessKind::Load) {
             AccessOutcome::Hit { ready_at } | AccessOutcome::Miss { ready_at, .. } => {
-                self.retry_remove(seq);
                 self.rob.get_mut(seq).expect("checked above").mem_phase = MemPhase::InFlight;
                 self.schedule(ready_at, Event::MemData { seq, gen });
+                CacheProbe::Settled
             }
-            AccessOutcome::Retry { .. } => {
-                self.retry_insert(seq);
-            }
+            AccessOutcome::Retry { reason } => match reason {
+                vpr_mem::RetryReason::NoMshr => CacheProbe::BouncedNoMshr,
+                vpr_mem::RetryReason::NoPort => CacheProbe::BouncedNoPort,
+            },
         }
     }
 
@@ -697,7 +839,9 @@ impl<S: InstStream> Processor<S> {
             self.schedule(now + 1, Event::MemData { seq, gen });
         } else {
             self.rob.get_mut(seq).expect("checked above").mem_phase = MemPhase::AwaitCache;
-            self.try_cache_access(seq, now);
+            if self.probe_cache(seq, now) != CacheProbe::Settled {
+                self.retry_insert(seq);
+            }
         }
     }
 
@@ -837,7 +981,32 @@ impl<S: InstStream> Processor<S> {
                 }
             }
         }
-        self.iq.insert(IqEntry { seq, op, srcs });
+        let alloc_class = self.issue_alloc_class(seq);
+        self.iq.insert(IqEntry {
+            seq,
+            op,
+            srcs,
+            alloc_class,
+        });
+    }
+
+    /// The register class instruction `seq` must be granted a physical
+    /// register in before issue — `Some` only under the issue-allocation
+    /// scheme for a still-unallocated destination (cached in the
+    /// [`IqEntry`] so the selection loop stays out of the reorder buffer).
+    fn issue_alloc_class(&self, seq: u64) -> Option<RegClass> {
+        if !matches!(
+            self.config.scheme,
+            RenameScheme::VirtualPhysicalIssue { .. }
+        ) {
+            return None;
+        }
+        self.rob
+            .get(seq)
+            .expect("queued instruction is in flight")
+            .dest
+            .filter(|d| d.preg.is_none())
+            .map(|d| d.class())
     }
 
     // ------------------------------------------------------------------
@@ -852,42 +1021,39 @@ impl<S: InstStream> Processor<S> {
         let mut read_ports = [self.config.regfile_read_ports; 2];
         let mut issued = std::mem::take(&mut self.issued_scratch);
         debug_assert!(issued.is_empty());
-        // Only the issue-allocation scheme consults the reorder buffer per
-        // candidate; hoist the scheme test out of the selection loop.
-        let issue_allocates = matches!(
-            self.config.scheme,
-            RenameScheme::VirtualPhysicalIssue { .. }
-        );
+        // Issue-allocation scheme: snapshot the §3.3 rule per class once,
+        // so the selection loop evaluates denied candidates from two
+        // registers' worth of state instead of re-deriving the rule each
+        // time. The snapshot is refreshed after every grant below — the
+        // only thing that changes the rule mid-loop.
+        let mut gates = [crate::rename::AllocGate::default(); 2];
+        if let Renamer::Vp(vp) = &self.renamer {
+            gates = [vp.alloc_gate(RegClass::Int), vp.alloc_gate(RegClass::Fp)];
+        }
         // The ready index holds exactly the issue-eligible entries, oldest
         // first — no need to scan the waiting remainder of the window.
         for e in self.iq.ready_iter() {
             if budget == 0 {
                 break;
             }
-            debug_assert!(e.is_ready());
-            let (int_reads, fp_reads) = e.read_port_needs();
+            let (int_reads, fp_reads) = e.read_port_needs;
             if int_reads > read_ports[0] || fp_reads > read_ports[1] {
                 continue;
             }
             // Issue-allocation scheme: a destination needs a register
             // grant before the instruction may leave the queue (§3.4).
-            let alloc_class = if issue_allocates {
-                let rob_entry = self
-                    .rob
-                    .get(e.seq)
-                    .expect("queued instruction is in flight");
-                rob_entry
-                    .dest
-                    .filter(|d| d.preg.is_none())
-                    .map(|d| d.class())
-            } else {
-                None
-            };
+            // The needed class is cached in the entry, so denied
+            // candidates cost no reorder-buffer traffic.
+            let alloc_class = e.alloc_class;
+            debug_assert_eq!(alloc_class, self.issue_alloc_class(e.seq));
             if let Some(class) = alloc_class {
-                let Renamer::Vp(vp) = &self.renamer else {
-                    unreachable!()
-                };
-                if !vp.may_allocate(class, e.seq) {
+                debug_assert!({
+                    let Renamer::Vp(vp) = &self.renamer else {
+                        unreachable!()
+                    };
+                    gates[class.index()].allows(e.seq) == vp.may_allocate(class, e.seq)
+                });
+                if !gates[class.index()].allows(e.seq) {
                     self.raw.issue_allocation_stalls += 1;
                     continue;
                 }
@@ -906,6 +1072,9 @@ impl<S: InstStream> Processor<S> {
                 let preg = vp
                     .try_allocate(class, e.seq, now)
                     .expect("may_allocate checked above");
+                // The grant changed the free count and possibly `Used`:
+                // refresh the rule snapshot.
+                gates[class.index()] = vp.alloc_gate(class);
                 self.raw.class_mut(class).allocations += 1;
                 // The destination is recorded after the loop (needs &mut).
                 self.pending_issue_allocs.push((e.seq, preg));
@@ -1050,7 +1219,13 @@ impl<S: InstStream> Processor<S> {
                 self.dest_seqs[dl.class().index()].push_back(seq);
             }
             if op != OpClass::Nop {
-                self.iq.insert(IqEntry { seq, op, srcs });
+                let alloc_class = self.issue_alloc_class(seq);
+                self.iq.insert(IqEntry {
+                    seq,
+                    op,
+                    srcs,
+                    alloc_class,
+                });
             }
         }
     }
@@ -1128,43 +1303,25 @@ impl<S: InstStream> Processor<S> {
         // Sequence numbers above the branch are recycled; generations keep
         // stale events harmless.
         self.next_seq = branch_seq + 1;
-        if let Renamer::Vp(vp) = &mut self.renamer {
+        if let Renamer::Vp(_) = &self.renamer {
             for class in [RegClass::Int, RegClass::Fp] {
-                let survivors: Vec<(u64, bool)> = self
-                    .rob
+                // The per-class program-order dest index names exactly the
+                // surviving destination-having instructions — no need to
+                // scan the whole reorder buffer.
+                let survivors: Vec<(u64, bool)> = self.dest_seqs[class.index()]
                     .iter()
-                    .filter_map(|e| {
-                        e.dest
-                            .filter(|d| d.class() == class)
-                            .map(|d| (e.seq, d.preg.is_some()))
+                    .map(|&seq| {
+                        let e = self
+                            .rob
+                            .get(seq)
+                            .expect("dest index tracks in-flight entries");
+                        (seq, e.dest.expect("indexed on dest").preg.is_some())
                     })
                     .collect();
+                let Renamer::Vp(vp) = &mut self.renamer else {
+                    unreachable!("checked above")
+                };
                 vp.nrr_rebuild(class, survivors.into_iter());
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Sampling
-    // ------------------------------------------------------------------
-
-    /// `(allocated, free)` physical registers of `class` under the active
-    /// renamer.
-    fn register_counts(&self, class: RegClass) -> (usize, usize) {
-        match &self.renamer {
-            Renamer::Conventional(conv) => (conv.allocated_count(class), conv.free_count(class)),
-            Renamer::EarlyRelease(er) => (er.allocated_count(class), er.free_count(class)),
-            Renamer::Vp(vp) => (vp.allocated_count(class), vp.free_count(class)),
-        }
-    }
-
-    fn sample(&mut self, _now: u64) {
-        for class in [RegClass::Int, RegClass::Fp] {
-            let (allocated, free) = self.register_counts(class);
-            let cs = self.raw.class_mut(class);
-            cs.occupancy_sum += allocated as u64;
-            if free == 0 {
-                cs.empty_free_list_cycles += 1;
             }
         }
     }

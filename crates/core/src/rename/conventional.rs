@@ -136,6 +136,13 @@ impl ConventionalRenamer {
         self.free[class.index()].allocated_count()
     }
 
+    /// `(occupancy, empty-cycles)` integrals of the physical file of
+    /// `class` over cycles `0..end` (see [`FreeList::occupancy_integral`]).
+    pub fn occupancy_integrals(&self, class: RegClass, end: u64) -> (u64, u64) {
+        let fl = &self.free[class.index()];
+        (fl.occupancy_integral(end), fl.empty_integral(end))
+    }
+
     /// The current physical mapping of a logical register (diagnostics and
     /// recovery verification).
     pub fn mapping(&self, logical: LogicalReg) -> PhysReg {

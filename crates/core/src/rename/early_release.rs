@@ -240,6 +240,13 @@ impl EarlyReleaseRenamer {
         self.free[class.index()].allocated_count()
     }
 
+    /// `(occupancy, empty-cycles)` integrals of the physical file of
+    /// `class` over cycles `0..end` (see [`FreeList::occupancy_integral`]).
+    pub fn occupancy_integrals(&self, class: RegClass, end: u64) -> (u64, u64) {
+        let fl = &self.free[class.index()];
+        (fl.occupancy_integral(end), fl.empty_integral(end))
+    }
+
     /// Release accounting for `class`.
     pub fn release_stats(&self, class: RegClass) -> ReleaseStats {
         self.stats[class.index()]

@@ -19,6 +19,16 @@ pub struct FreeList {
     allocated: Vec<bool>,
     alloc_cycle: Vec<u64>,
     capacity: usize,
+    /// Σ over completed cycles of the end-of-cycle allocated count, up to
+    /// (exclusive) `last_change`. Occupancy only moves on allocate and
+    /// release, so the per-cycle occupancy statistics fall out of these
+    /// integrals in O(changes) instead of O(cycles) — see
+    /// [`FreeList::occupancy_integral`].
+    occ_accum: u64,
+    /// Σ over the same span of cycles whose end found the list empty.
+    empty_accum: u64,
+    /// Cycle of the most recent allocate/release.
+    last_change: u64,
 }
 
 impl FreeList {
@@ -41,7 +51,43 @@ impl FreeList {
             allocated: (0..capacity).map(|i| i < initially_allocated).collect(),
             alloc_cycle: vec![0; capacity],
             capacity,
+            occ_accum: 0,
+            empty_accum: 0,
+            last_change: 0,
         }
+    }
+
+    /// Folds the constant-occupancy stretch `[last_change, now)` into the
+    /// integrals; cycle `now` itself is accounted by whatever state holds
+    /// at its end (sampling is end-of-cycle).
+    #[inline]
+    fn integrate_to(&mut self, now: u64) {
+        debug_assert!(now >= self.last_change, "free-list time went backwards");
+        let span = now - self.last_change;
+        if span > 0 {
+            self.occ_accum += self.allocated_count() as u64 * span;
+            if self.free.is_empty() {
+                self.empty_accum += span;
+            }
+            self.last_change = now;
+        }
+    }
+
+    /// Σ over cycles `0..end` of the end-of-cycle allocated count —
+    /// equivalent to sampling `allocated_count` at the end of every
+    /// simulated cycle, without per-cycle work.
+    pub fn occupancy_integral(&self, end: u64) -> u64 {
+        self.occ_accum + self.allocated_count() as u64 * (end - self.last_change)
+    }
+
+    /// Σ over cycles `0..end` whose end found the free list empty.
+    pub fn empty_integral(&self, end: u64) -> u64 {
+        self.empty_accum
+            + if self.free.is_empty() {
+                end - self.last_change
+            } else {
+                0
+            }
     }
 
     /// Number of free registers.
@@ -76,6 +122,7 @@ impl FreeList {
 
     /// Takes a free register at cycle `now`, or `None` when exhausted.
     pub fn allocate(&mut self, now: u64) -> Option<u16> {
+        self.integrate_to(now);
         let id = self.free.pop_front()?;
         debug_assert!(
             !self.allocated[id as usize],
@@ -94,6 +141,7 @@ impl FreeList {
     /// Panics on double free — releasing a register that is not allocated
     /// indicates a renaming logic error, never a recoverable condition.
     pub fn release(&mut self, id: u16, now: u64) -> u64 {
+        self.integrate_to(now);
         assert!(
             self.allocated[id as usize],
             "double free of register {id} at cycle {now}"

@@ -20,7 +20,7 @@ pub use conventional::ConventionalRenamer;
 pub use early_release::{EarlyReleaseRenamer, ReleaseStats};
 pub use free_list::FreeList;
 pub use nrr::NrrState;
-pub use virtual_physical::{GmtEntry, VpRenamer};
+pub use virtual_physical::{AllocGate, GmtEntry, VpRenamer};
 
 use std::fmt;
 use vpr_isa::{LogicalReg, RegClass};

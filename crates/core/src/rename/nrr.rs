@@ -105,6 +105,17 @@ impl NrrState {
         self.is_reserved(seq) || free_regs > self.nrr - self.used
     }
 
+    /// The young-instruction half of the allocation rule: true when
+    /// strictly more registers are free than `NRR − Used`, so even a
+    /// non-reserved instruction may take one. With [`NrrState::pointer`]
+    /// this is a complete per-cycle snapshot of the rule — callers that
+    /// scan many candidates evaluate `pointer / may_allocate_young` once
+    /// instead of re-deriving both per candidate.
+    #[inline]
+    pub fn may_allocate_young(&self, free_regs: usize) -> bool {
+        free_regs > self.nrr - self.used
+    }
+
     /// Records an allocation by instruction `seq`.
     pub fn on_allocate(&mut self, seq: u64) {
         if self.is_reserved(seq) {

@@ -50,9 +50,37 @@ pub struct GmtEntry {
 pub struct VpRenamer {
     gmt: [Vec<GmtEntry>; 2],
     pmt: [Vec<Option<PhysReg>>; 2],
+    /// Per-tag inverse of the GMT: `vp_owner[c][vp]` is the logical
+    /// register whose *current* mapping is tag `vp`, or [`NO_OWNER`].
+    /// Tags are uniquely owned (renaming only hands out free tags), so
+    /// the write-back broadcast of [`VpRenamer::bind`] updates the GMT
+    /// valid bit in O(1) instead of scanning the whole table per event.
+    vp_owner: [Vec<u16>; 2],
     vp_free: [FreeList; 2],
     preg_free: [FreeList; 2],
     nrr: [NrrState; 2],
+}
+
+/// Sentinel for "no logical register currently maps to this tag".
+const NO_OWNER: u16 = u16::MAX;
+
+/// A per-class, per-cycle snapshot of the §3.3 allocation rule (see
+/// [`VpRenamer::alloc_gate`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllocGate {
+    /// Sequence number of the youngest reserved instruction, if any —
+    /// anything at or below it is always granted.
+    pub reserved_upto: Option<u64>,
+    /// Whether non-reserved instructions may allocate (free > NRR − Used).
+    pub young_ok: bool,
+}
+
+impl AllocGate {
+    /// The rule's verdict for instruction `seq`.
+    #[inline]
+    pub fn allows(&self, seq: u64) -> bool {
+        self.reserved_upto.is_some_and(|p| seq <= p) || self.young_ok
+    }
 }
 
 impl VpRenamer {
@@ -97,9 +125,21 @@ impl VpRenamer {
                 })
                 .collect()
         };
+        let owner = || {
+            (0..virtual_per_class)
+                .map(|i| {
+                    if i < NUM_LOGICAL_PER_CLASS {
+                        i as u16
+                    } else {
+                        NO_OWNER
+                    }
+                })
+                .collect()
+        };
         Self {
             gmt: [gmt(), gmt()],
             pmt: [pmt(), pmt()],
+            vp_owner: [owner(), owner()],
             vp_free: [
                 FreeList::new(virtual_per_class, NUM_LOGICAL_PER_CLASS),
                 FreeList::new(virtual_per_class, NUM_LOGICAL_PER_CLASS),
@@ -144,6 +184,10 @@ impl VpRenamer {
                 .expect("VP tags sized to never run out (NVR = NLR + window)"),
         );
         debug_assert!(self.pmt[c][new.0 as usize].is_none(), "stale PMT binding");
+        debug_assert_eq!(
+            self.vp_owner[c][new.0 as usize], NO_OWNER,
+            "tag still owned"
+        );
         let prev = std::mem::replace(
             &mut self.gmt[c][logical.index()],
             GmtEntry {
@@ -152,6 +196,13 @@ impl VpRenamer {
             },
         )
         .vp;
+        debug_assert_eq!(
+            self.vp_owner[c][prev.0 as usize],
+            logical.index() as u16,
+            "inverse map out of sync with the GMT"
+        );
+        self.vp_owner[c][prev.0 as usize] = NO_OWNER;
+        self.vp_owner[c][new.0 as usize] = logical.index() as u16;
         self.nrr[c].on_decode(seq);
         (new, prev)
     }
@@ -159,6 +210,18 @@ impl VpRenamer {
     /// The paper's §3.3 allocation rule for instruction `seq` of `class`.
     pub fn may_allocate(&self, class: RegClass, seq: u64) -> bool {
         self.nrr[class.index()].may_allocate(seq, self.preg_free[class.index()].free_count())
+    }
+
+    /// Snapshot of the §3.3 rule for `class`, valid until the next
+    /// allocation, release, decode or commit of this class:
+    /// [`AllocGate::allows`] then equals [`VpRenamer::may_allocate`] per
+    /// candidate without touching the counters again.
+    pub fn alloc_gate(&self, class: RegClass) -> AllocGate {
+        let c = class.index();
+        AllocGate {
+            reserved_upto: self.nrr[c].pointer(),
+            young_ok: self.nrr[c].may_allocate_young(self.preg_free[c].free_count()),
+        }
     }
 
     /// Attempts to allocate a physical register for instruction `seq`
@@ -198,11 +261,16 @@ impl VpRenamer {
         let slot = &mut self.pmt[c][vp.0 as usize];
         assert!(slot.is_none(), "tag {vp} already bound to {:?}", *slot);
         *slot = Some(preg);
-        for e in &mut self.gmt[c] {
-            if e.vp == vp {
-                debug_assert!(e.preg.is_none(), "GMT valid bit set before binding");
-                e.preg = Some(preg);
-            }
+        // O(1) valid-bit update through the inverse map: only the logical
+        // register whose current mapping is `vp` (if any) learns the
+        // binding; superseded mappings are reached through the PMT at
+        // commit/squash time instead.
+        let owner = self.vp_owner[c][vp.0 as usize];
+        if owner != NO_OWNER {
+            let e = &mut self.gmt[c][owner as usize];
+            debug_assert_eq!(e.vp, vp, "inverse map out of sync with the GMT");
+            debug_assert!(e.preg.is_none(), "GMT valid bit set before binding");
+            e.preg = Some(preg);
         }
     }
 
@@ -253,6 +321,13 @@ impl VpRenamer {
         if let Some(p) = self.pmt[c][vp.0 as usize].take() {
             self.preg_free[c].release(p.0, now);
         }
+        debug_assert_eq!(
+            self.vp_owner[c][vp.0 as usize],
+            logical.index() as u16,
+            "inverse map out of sync with the GMT"
+        );
+        self.vp_owner[c][vp.0 as usize] = NO_OWNER;
+        self.vp_owner[c][prev_vp.0 as usize] = logical.index() as u16;
         self.gmt[c][logical.index()] = GmtEntry {
             vp: prev_vp,
             preg: self.pmt[c][prev_vp.0 as usize],
@@ -269,6 +344,13 @@ impl VpRenamer {
     #[inline]
     pub fn allocated_count(&self, class: RegClass) -> usize {
         self.preg_free[class.index()].allocated_count()
+    }
+
+    /// `(occupancy, empty-cycles)` integrals of the physical file of
+    /// `class` over cycles `0..end` (see [`FreeList::occupancy_integral`]).
+    pub fn occupancy_integrals(&self, class: RegClass, end: u64) -> (u64, u64) {
+        let fl = &self.preg_free[class.index()];
+        (fl.occupancy_integral(end), fl.empty_integral(end))
     }
 
     /// Free VP tags in `class`.

@@ -135,6 +135,100 @@ impl SimStats {
         }
     }
 
+    /// Renders every counter as a small, stable JSON object
+    /// (`vpr-sim-stats/v1`), for machine-readable experiment artefacts.
+    /// Hand-rolled: the build environment has no serde.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let class = |cs: &ClassStats| {
+            format!(
+                "{{\"allocations\": {}, \"frees\": {}, \"hold_cycles\": {}, \
+                 \"occupancy_sum\": {}, \"empty_free_list_cycles\": {}, \
+                 \"rename_stalls\": {}}}",
+                cs.allocations,
+                cs.frees,
+                cs.hold_cycles,
+                cs.occupancy_sum,
+                cs.empty_free_list_cycles,
+                cs.rename_stalls
+            )
+        };
+        let mut s = String::new();
+        s.push_str("{\"schema\": \"vpr-sim-stats/v1\",\n");
+        let _ = writeln!(
+            s,
+            " \"cycles\": {}, \"committed\": {}, \"committed_with_dest\": {}, \
+             \"executions\": {},",
+            self.cycles, self.committed, self.committed_with_dest, self.executions
+        );
+        let _ = writeln!(
+            s,
+            " \"ipc\": {:.6}, \"executions_per_commit\": {:.6},",
+            self.ipc(),
+            self.executions_per_commit()
+        );
+        let _ = writeln!(
+            s,
+            " \"register_reexecutions\": {}, \"memory_reexecutions\": {}, \
+             \"writeback_port_stalls\": {}, \"issue_allocation_stalls\": {},",
+            self.register_reexecutions,
+            self.memory_reexecutions,
+            self.writeback_port_stalls,
+            self.issue_allocation_stalls
+        );
+        let _ = writeln!(
+            s,
+            " \"rob_full_stalls\": {}, \"iq_full_stalls\": {}, \"lsq_full_stalls\": {}, \
+             \"store_buffer_stalls\": {}, \"wrong_path_squashed\": {}, \"early_releases\": {},",
+            self.rob_full_stalls,
+            self.iq_full_stalls,
+            self.lsq_full_stalls,
+            self.store_buffer_stalls,
+            self.wrong_path_squashed,
+            self.early_releases
+        );
+        let _ = writeln!(s, " \"int\": {},", class(&self.int));
+        let _ = writeln!(s, " \"fp\": {},", class(&self.fp));
+        let _ = writeln!(
+            s,
+            " \"fetch\": {{\"fetched\": {}, \"wrong_path_fetched\": {}, \"cond_branches\": {}, \
+             \"mispredictions\": {}, \"taken_breaks\": {}, \"stall_cycles\": {}}},",
+            self.fetch.fetched,
+            self.fetch.wrong_path_fetched,
+            self.fetch.cond_branches,
+            self.fetch.mispredictions,
+            self.fetch.taken_breaks,
+            self.fetch.stall_cycles
+        );
+        let _ = writeln!(
+            s,
+            " \"bht\": {{\"updates\": {}, \"correct\": {}, \"accuracy\": {:.6}}},",
+            self.bht.updates,
+            self.bht.correct,
+            self.bht.accuracy()
+        );
+        let _ = writeln!(
+            s,
+            " \"cache\": {{\"hits\": {}, \"misses\": {}, \"merged_misses\": {}, \
+             \"port_retries\": {}, \"mshr_retries\": {}, \"dirty_evictions\": {}, \
+             \"miss_ratio\": {:.6}}},",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.merged_misses,
+            self.cache.port_retries,
+            self.cache.mshr_retries,
+            self.cache.dirty_evictions,
+            self.cache.miss_ratio()
+        );
+        let _ = write!(
+            s,
+            " \"lsq\": {{\"forwards\": {}, \"speculative_loads\": {}, \"violations\": {}}}}}",
+            self.lsq.forwards, self.lsq.speculative_loads, self.lsq.violations
+        );
+        s.push('\n');
+        s
+    }
+
     /// Zeroes every counter (ends the warm-up phase). Microarchitectural
     /// state is unaffected; only the measurement window restarts.
     pub fn reset_window(&mut self) {

@@ -210,7 +210,7 @@ proptest! {
                         src_of(descr[0].0, descr[0].1, descr[0].2),
                         src_of(descr[1].0, descr[1].1, descr[1].2),
                     ];
-                    let entry = IqEntry { seq: next_seq, op: OpClass::IntAlu, srcs };
+                    let entry = IqEntry { seq: next_seq, op: OpClass::IntAlu, srcs, alloc_class: None };
                     next_seq += 1;
                     iq.insert(entry);
                     reference.insert(entry);

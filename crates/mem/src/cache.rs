@@ -174,7 +174,17 @@ pub struct DataCache {
     stats: CacheStats,
     cycle: u64,
     ports_used: u32,
+    /// Completed fills installed into the line array (see
+    /// [`DataCache::state_token`]).
+    installs: u64,
+    /// MSHRs allocated for fresh misses (see [`DataCache::state_token`]).
+    mshr_allocs: u64,
     line_shift: u32,
+    /// `num_lines - 1` when the line count is a power of two (the stock
+    /// geometry), letting [`DataCache::access`] index sets with a mask
+    /// instead of a hardware-divide `%` on its hottest path; `u64::MAX`
+    /// sentinel selects the modulo fallback for odd geometries.
+    set_mask: u64,
 }
 
 impl DataCache {
@@ -192,7 +202,14 @@ impl DataCache {
             stats: CacheStats::default(),
             cycle: 0,
             ports_used: 0,
+            installs: 0,
+            mshr_allocs: 0,
             line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: if config.num_lines().is_power_of_two() {
+                (config.num_lines() - 1) as u64
+            } else {
+                u64::MAX
+            },
             config,
         }
     }
@@ -228,7 +245,11 @@ impl DataCache {
 
     #[inline]
     fn set_index(&self, line_addr: u64) -> usize {
-        (line_addr % self.lines.len() as u64) as usize
+        if self.set_mask != u64::MAX {
+            (line_addr & self.set_mask) as usize
+        } else {
+            (line_addr % self.lines.len() as u64) as usize
+        }
     }
 
     fn advance(&mut self, now: u64) {
@@ -243,6 +264,7 @@ impl DataCache {
         }
         // Install lines whose fill has completed.
         for fill in self.mshrs.drain_completed(now) {
+            self.installs += 1;
             let idx = self.set_index(fill.line_addr);
             let victim = &mut self.lines[idx];
             if victim.valid && victim.dirty && victim.tag != fill.line_addr {
@@ -315,6 +337,7 @@ impl DataCache {
         let ready_at = self.bus.reserve(transfer_earliest);
         let ok = self.mshrs.allocate(line_addr, ready_at, is_store);
         debug_assert!(ok, "MSHR availability checked above");
+        self.mshr_allocs += 1;
         self.ports_used += 1;
         self.stats.misses += 1;
         AccessOutcome::Miss {
@@ -329,6 +352,52 @@ impl DataCache {
         let line_addr = self.line_addr(addr);
         let line = self.lines[self.set_index(line_addr)];
         line.valid && line.tag == line_addr
+    }
+
+    /// `(installs, MSHR allocations)` so far. Line residency and MSHR
+    /// occupancy change **only** when one of these counters moves (hits
+    /// only toggle dirty bits; merges only amend an in-flight fill), so
+    /// an unchanged token proves every previously MSHR-bounced load
+    /// would bounce identically — the retry-sweep memo's validity test.
+    #[inline]
+    pub fn state_token(&self) -> (u64, u64) {
+        (self.installs, self.mshr_allocs)
+    }
+
+    /// True when every port of cycle `now` is already spoken for — the
+    /// one condition that turns a would-be MSHR bounce into a port
+    /// bounce, and therefore the other half of the memo's validity test.
+    #[inline]
+    pub fn ports_exhausted_at(&self, now: u64) -> bool {
+        self.cycle == now && self.ports_used == self.config.ports
+    }
+
+    /// The earliest cycle at which an in-flight fill completes, if any —
+    /// the next moment the resident-line set or MSHR occupancy can change
+    /// without a new access. The idle-skip logic uses it as the bound for
+    /// windows in which every pending retry is MSHR-blocked.
+    pub fn earliest_fill(&self) -> Option<u64> {
+        self.mshrs.earliest_ready()
+    }
+
+    /// Read-only: would [`DataCache::access`] bounce this load with
+    /// [`RetryReason::NoMshr`]? Valid only when no fill has completed yet
+    /// (`earliest_fill() > now`, so the resident set is current) and no
+    /// port has been granted this cycle — the conditions under which the
+    /// idle-skip logic calls it.
+    pub fn would_bounce_for_mshr(&self, addr: u64) -> bool {
+        let line_addr = self.line_addr(addr);
+        let line = self.lines[self.set_index(line_addr)];
+        let resident = line.valid && line.tag == line_addr;
+        !resident && self.mshrs.find(line_addr).is_none() && self.mshrs.is_full()
+    }
+
+    /// Replays the `mshr_retries` a skipped idle stretch would have
+    /// accumulated: one per pending MSHR-blocked retry per skipped cycle.
+    /// Counterpart of the pipeline's idle-cycle fast-forwarding, which
+    /// guarantees the skipped cycles' sweeps would all have bounced.
+    pub fn note_skipped_mshr_retries(&mut self, n: u64) {
+        self.stats.mshr_retries += n;
     }
 }
 

@@ -31,7 +31,7 @@ mod mshr;
 mod store_buffer;
 
 pub use bus::Bus;
-pub use cache::{AccessKind, AccessOutcome, CacheConfig, CacheStats, DataCache};
+pub use cache::{AccessKind, AccessOutcome, CacheConfig, CacheStats, DataCache, RetryReason};
 pub use lsq::{LoadDisposition, Lsq, LsqStats};
 pub use mshr::{Mshr, MshrFile};
 pub use store_buffer::{PendingStore, StoreBuffer};

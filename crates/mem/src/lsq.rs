@@ -96,6 +96,12 @@ struct Entry {
 pub struct Lsq {
     /// `(seq, entry)` sorted ascending by `seq` (program order).
     entries: VecDeque<(u64, Entry)>,
+    /// Stores only: `(seq, resolved address)`, sorted ascending by `seq`
+    /// — the secondary index [`Lsq::resolve_load`] walks, so a load's
+    /// older-store scan skips every load entry outright. The address is
+    /// duplicated here (kept in sync by [`Lsq::resolve_store`]) so the
+    /// walk never has to look back into the age map.
+    stores: VecDeque<(u64, Option<MemAccess>)>,
     capacity: usize,
     stats: LsqStats,
 }
@@ -110,9 +116,16 @@ impl Lsq {
         assert!(capacity > 0, "LSQ needs at least one entry");
         Self {
             entries: VecDeque::with_capacity(capacity),
+            stores: VecDeque::with_capacity(capacity),
             capacity,
             stats: LsqStats::default(),
         }
+    }
+
+    /// Index of `seq` in the stores index, if it is a tracked store.
+    #[inline]
+    fn store_position(&self, seq: u64) -> Option<usize> {
+        self.stores.binary_search_by_key(&seq, |&(s, _)| s).ok()
     }
 
     /// Index of `seq` in the age map, if tracked.
@@ -171,6 +184,16 @@ impl Lsq {
             performed: false,
             forwarded_from: None,
         };
+        if is_store {
+            if self.stores.back().is_none_or(|&(s, _)| s < seq) {
+                self.stores.push_back((seq, None));
+            } else {
+                match self.stores.binary_search_by_key(&seq, |&(s, _)| s) {
+                    Ok(_) => panic!("sequence {seq} inserted twice"),
+                    Err(pos) => self.stores.insert(pos, (seq, None)),
+                }
+            }
+        }
         // Dispatch order is program order, so this is almost always a
         // plain append; the binary search keeps arbitrary orders correct.
         if self.entries.back().is_none_or(|&(s, _)| s < seq) {
@@ -198,14 +221,13 @@ impl Lsq {
             e.performed = true;
             e.forwarded_from = None;
         }
-        // Walk older stores from youngest to oldest.
+        // Walk older stores from youngest to oldest — on the stores-only
+        // index, so intervening loads cost nothing.
         let mut speculative = false;
         let mut forward: Option<u64> = None;
-        for &(s_seq, ref s) in self.entries.range(..idx).rev() {
-            if !s.is_store {
-                continue;
-            }
-            match s.access {
+        let older = self.stores.partition_point(|&(s, _)| s < seq);
+        for &(s_seq, sa) in self.stores.range(..older).rev() {
+            match sa {
                 None => speculative = true,
                 Some(sa) if sa.overlaps(&access) => {
                     forward = Some(s_seq);
@@ -247,6 +269,8 @@ impl Lsq {
             assert!(e.is_store, "sequence {seq} is a load");
             e.access = Some(access);
         }
+        let spos = self.store_position(seq).expect("store is indexed");
+        self.stores[spos].1 = Some(access);
         let mut victims = Vec::new();
         for &(l_seq, ref l) in self.entries.range(idx + 1..) {
             if l.is_store || !l.performed {
@@ -293,6 +317,10 @@ impl Lsq {
     /// common case.
     pub fn remove(&mut self, seq: u64) {
         if let Some(idx) = self.position(seq) {
+            if self.entries[idx].1.is_store {
+                let spos = self.store_position(seq).expect("store is indexed");
+                self.stores.remove(spos);
+            }
             self.entries.remove(idx);
         }
     }
@@ -302,6 +330,9 @@ impl Lsq {
     pub fn squash_younger_than(&mut self, seq: u64) {
         while self.entries.back().is_some_and(|&(s, _)| s > seq) {
             self.entries.pop_back();
+        }
+        while self.stores.back().is_some_and(|&(s, _)| s > seq) {
+            self.stores.pop_back();
         }
     }
 
@@ -452,6 +483,51 @@ mod tests {
         let mut lsq = Lsq::new(1);
         lsq.insert_load(1);
         lsq.insert_load(2);
+    }
+
+    #[test]
+    fn stores_index_survives_commit_and_squash() {
+        let mut lsq = Lsq::new(16);
+        lsq.insert_store(1);
+        lsq.insert_load(2);
+        lsq.insert_store(3);
+        lsq.insert_load(4);
+        lsq.insert_store(5);
+        lsq.resolve_store(3, MemAccess::word(0x100));
+        // Commit the oldest store: the index must drop it too, so the
+        // load's walk sees only store 3 (resolved) and skips the loads.
+        lsq.remove(1);
+        let d = lsq.resolve_load(4, MemAccess::word(0x100));
+        assert_eq!(
+            d,
+            LoadDisposition::Forward {
+                store_seq: 3,
+                speculative: false
+            }
+        );
+        // Squash the youngest store; a re-resolved load must not see it.
+        lsq.squash_younger_than(4);
+        lsq.resolve_store(3, MemAccess::word(0x200));
+        let d = lsq.resolve_load(4, MemAccess::word(0x100));
+        assert_eq!(d, LoadDisposition::Cache { speculative: false });
+    }
+
+    #[test]
+    fn loads_between_stores_do_not_hide_forwarding() {
+        let mut lsq = Lsq::new(16);
+        lsq.insert_store(0);
+        for seq in 1..8 {
+            lsq.insert_load(seq);
+        }
+        lsq.resolve_store(0, MemAccess::word(0x40));
+        let d = lsq.resolve_load(7, MemAccess::word(0x40));
+        assert_eq!(
+            d,
+            LoadDisposition::Forward {
+                store_seq: 0,
+                speculative: false
+            }
+        );
     }
 
     #[test]

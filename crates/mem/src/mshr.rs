@@ -99,6 +99,12 @@ impl MshrFile {
         true
     }
 
+    /// The earliest completion cycle among in-flight fills, if any — the
+    /// next moment MSHR occupancy (and the resident line set) can change.
+    pub fn earliest_ready(&self) -> Option<u64> {
+        self.entries.iter().map(|m| m.ready_at).min()
+    }
+
     /// Removes and returns every fill that has completed by `now`.
     pub fn drain_completed(&mut self, now: u64) -> Vec<Mshr> {
         let mut done = Vec::new();
