@@ -94,6 +94,21 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for checkpointing. **Extension over
+        /// the crates.io API**: the simulator's snapshot subsystem saves
+        /// and restores generator positions through it.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from [`StdRng::state`]. The stream
+        /// continues exactly where the saved generator stood.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            Self { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut state = seed;

@@ -1,0 +1,150 @@
+//! Sampled-simulation accuracy report: estimates the quick table2
+//! workload (all nine benchmarks under conventional and VP write-back
+//! renaming) from detailed intervals covering ≤ 25 % of each run, and
+//! compares against the uninterrupted full-run reference.
+//!
+//! ```text
+//! cargo run --release -p vpr-bench --bin sample -- \
+//!     [--json PATH] [--max-error PCT] \
+//!     [--intervals N] [--interval-warmup N] [--interval-measure N] \
+//!     [--warmup N] [--measure N] [--seed N] [--miss-penalty N] [--jobs N]
+//! ```
+//!
+//! `--max-error PCT` turns the run into a gate: exits non-zero when any
+//! configuration's sampled IPC deviates from the full run by more than
+//! `PCT` percent — the CI sampling-accuracy smoke step.
+
+use vpr_bench::sampling::{
+    accuracy_to_json, evaluate_sampling_with_profile, profile_region, SamplingPlan,
+};
+use vpr_bench::{take_flag_value, write_json_artifact, ExperimentConfig, Table};
+use vpr_core::RenameScheme;
+use vpr_trace::Benchmark;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json: std::path::PathBuf = take_flag_value(&mut args, "--json")
+        .map(Into::into)
+        .unwrap_or_else(|| "sampling.json".into());
+    let max_error: Option<f64> = take_flag_value(&mut args, "--max-error").map(|v| {
+        v.parse().unwrap_or_else(|e| {
+            eprintln!("bad value for --max-error: {e}");
+            std::process::exit(2);
+        })
+    });
+    // Flags override the *quick* defaults (throughput-bin style, so a
+    // flag explicitly set to a default value is still honoured); plan
+    // overrides apply after the plan is derived from the experiment.
+    let mut exp = ExperimentConfig::quick();
+    let mut intervals: Option<usize> = None;
+    let mut iwarm: Option<u64> = None;
+    let mut imeasure: Option<u64> = None;
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| -> u64 {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    std::process::exit(2);
+                })
+                .parse()
+                .unwrap_or_else(|e| {
+                    eprintln!("bad value for {name}: {e}");
+                    std::process::exit(2);
+                })
+        };
+        match flag.as_str() {
+            "--warmup" => exp.warmup = take("--warmup"),
+            "--measure" => exp.measure = take("--measure"),
+            "--seed" => exp.seed = take("--seed"),
+            "--miss-penalty" => exp.miss_penalty = take("--miss-penalty"),
+            "--jobs" => exp.jobs = take("--jobs") as usize,
+            "--intervals" => intervals = Some(take("--intervals") as usize),
+            "--interval-warmup" => iwarm = Some(take("--interval-warmup")),
+            "--interval-measure" => imeasure = Some(take("--interval-measure")),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut plan = SamplingPlan::for_experiment(&exp);
+    if let Some(n) = intervals {
+        plan.intervals = n;
+    }
+    if let Some(w) = iwarm {
+        plan.detailed_warmup = w;
+    }
+    if let Some(m) = imeasure {
+        plan.detailed_measure = m;
+    }
+    if let Err(e) = plan.try_validate() {
+        eprintln!("invalid sampling plan: {e}");
+        std::process::exit(2);
+    }
+
+    let schemes = [
+        RenameScheme::Conventional,
+        RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
+    ];
+    let mut rows = Vec::new();
+    for benchmark in Benchmark::ALL {
+        // The functional region profile is scheme-independent: one pass
+        // per benchmark, shared across the scheme sweep.
+        let profile_config = vpr_core::SimConfig::builder()
+            .scheme(schemes[0])
+            .physical_regs(64)
+            .miss_penalty(exp.miss_penalty)
+            .build();
+        let profile = profile_region(
+            benchmark,
+            exp.seed,
+            plan.offset,
+            plan.region,
+            &profile_config,
+        );
+        for scheme in schemes {
+            rows.push(evaluate_sampling_with_profile(
+                benchmark, scheme, 64, &exp, &plan, &profile,
+            ));
+        }
+    }
+
+    let mut table = Table::new(
+        ["bench", "scheme", "full IPC", "sampled IPC", "err %"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for r in &rows {
+        table.add_row(vec![
+            r.benchmark.name().into(),
+            vpr_bench::harness::scheme_label(r.scheme),
+            format!("{:.3}", r.full_ipc),
+            format!("{:.3}", r.sampled_ipc),
+            format!("{:+.2}", r.ipc_error_percent()),
+        ]);
+    }
+    println!(
+        "sampled simulation: {} intervals x {} detailed commits \
+         ({:.1}% of the full run in detailed mode)",
+        plan.intervals,
+        plan.detailed_per_interval(),
+        plan.detailed_fraction() * 100.0
+    );
+    print!("{table}");
+    let worst = rows
+        .iter()
+        .map(|r| r.ipc_error_percent().abs())
+        .fold(0.0f64, f64::max);
+    println!("worst |IPC error|: {worst:.2}%");
+
+    write_json_artifact(&json, &accuracy_to_json(&rows, &plan));
+
+    if let Some(bound) = max_error {
+        if worst > bound {
+            eprintln!("FAIL: sampled IPC error {worst:.2}% exceeds the {bound:.2}% bound");
+            std::process::exit(1);
+        }
+        println!("sampling accuracy check passed (bound {bound:.2}%)");
+    }
+}

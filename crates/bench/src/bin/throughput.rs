@@ -100,6 +100,13 @@ fn main() {
     let harmonic = report.harmonic_mean_sim_mips();
     println!("  harmonic mean: {harmonic:.2} sim-MIPS");
     println!(
+        "  host calibration: {:.1} Mops/s ({:.3}s for {} ops) -> {:.4} sim-MIPS per host-Mops",
+        report.host.mops,
+        report.host.seconds,
+        report.host.ops,
+        report.sim_mips_per_host_mops()
+    );
+    println!(
         "  parallel sweep: {} configs in {:.3}s wall with {} jobs ({:.3}s serial, {:.2}x)",
         report.runs.len(),
         report.sweep.wall_seconds,

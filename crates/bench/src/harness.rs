@@ -139,6 +139,57 @@ pub fn scheme_label(scheme: RenameScheme) -> String {
     }
 }
 
+/// A fixed-work host-speed reference measurement.
+///
+/// The sim-MIPS numbers in `BENCH_throughput.json` are hostage to the
+/// build host's momentary load: the shared runner swings tens of percent
+/// minute to minute. Recording how fast the *same fixed arithmetic
+/// workload* runs next to every sweep lets a reader (or a future gate)
+/// judge sim-MIPS regressions load-independently via
+/// [`ThroughputReport::sim_mips_per_host_mops`]: simulator work per unit
+/// of host capability rather than per wall-clock second.
+#[derive(Debug, Clone, Copy)]
+pub struct HostCalibration {
+    /// Operations executed (fixed across runs and hosts).
+    pub ops: u64,
+    /// Wall-clock seconds the reference loop took (best of 3).
+    pub seconds: f64,
+    /// Millions of reference operations per second.
+    pub mops: f64,
+}
+
+/// Reference operation count for [`calibrate_host`]. Fixed forever: the
+/// recorded `mops` figures are only comparable across reports because the
+/// work is identical.
+pub const HOST_CALIBRATION_OPS: u64 = 1 << 26;
+
+/// Times the fixed xorshift64* reference loop (best of 3 runs, to shed
+/// scheduler noise the same way the sim timings do). Dependency-free and
+/// allocation-free: the loop is pure register arithmetic, so its speed
+/// tracks the host's scalar throughput — the same resource the simulator
+/// kernel is bound by.
+pub fn calibrate_host() -> HostCalibration {
+    let mut best = f64::INFINITY;
+    for round in 0..3u64 {
+        let start = Instant::now();
+        let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ (round + 1);
+        let mut acc = 0u64;
+        for _ in 0..HOST_CALIBRATION_OPS {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            acc = acc.wrapping_add(x.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        }
+        std::hint::black_box(acc);
+        best = best.min(start.elapsed().as_secs_f64().max(1e-9));
+    }
+    HostCalibration {
+        ops: HOST_CALIBRATION_OPS,
+        seconds: best,
+        mops: HOST_CALIBRATION_OPS as f64 / best / 1e6,
+    }
+}
+
 /// One timed simulation: how fast the *simulator* ran, not the simulated
 /// machine.
 #[derive(Debug, Clone)]
@@ -185,6 +236,8 @@ pub struct ThroughputReport {
     pub runs: Vec<ThroughputRun>,
     /// Parallel-sweep wall-clock measurement.
     pub sweep: SweepTiming,
+    /// The host-speed reference measured next to the sweep.
+    pub host: HostCalibration,
 }
 
 impl ThroughputReport {
@@ -195,14 +248,27 @@ impl ThroughputReport {
         harmonic_mean(&rates)
     }
 
+    /// Harmonic-mean sim-MIPS per million host reference operations per
+    /// second — the load-independent throughput figure (see
+    /// [`HostCalibration`]).
+    pub fn sim_mips_per_host_mops(&self) -> f64 {
+        if self.host.mops == 0.0 {
+            0.0
+        } else {
+            self.harmonic_mean_sim_mips() / self.host.mops
+        }
+    }
+
     /// Renders the report as a small, stable JSON document
-    /// (`vpr-bench-throughput/v2`). Hand-rolled: the build environment has
-    /// no serde. v2 adds `runs_per_config` (per-run sim-MIPS is the best
+    /// (`vpr-bench-throughput/v3`). Hand-rolled: the build environment has
+    /// no serde. v2 added `runs_per_config` (per-run sim-MIPS is the best
     /// of that many timed repetitions) and the `sweep` wall-clock block
-    /// for the parallel engine.
+    /// for the parallel engine; v3 adds the `host_calibration` block and
+    /// `sim_mips_per_host_mops`, so sim-MIPS regressions can be judged
+    /// independently of the runner's momentary load.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
-        s.push_str("{\n  \"schema\": \"vpr-bench-throughput/v2\",\n");
+        s.push_str("{\n  \"schema\": \"vpr-bench-throughput/v3\",\n");
         let _ = writeln!(
             s,
             "  \"config\": {{\"warmup\": {}, \"measure\": {}, \"seed\": {}, \"miss_penalty\": {}}},",
@@ -227,8 +293,18 @@ impl ThroughputReport {
         );
         let _ = writeln!(
             s,
-            "  \"sweep\": {{\"jobs\": {}, \"wall_seconds\": {:.6}, \"serial_seconds\": {:.6}}}",
+            "  \"sweep\": {{\"jobs\": {}, \"wall_seconds\": {:.6}, \"serial_seconds\": {:.6}}},",
             self.sweep.jobs, self.sweep.wall_seconds, self.sweep.serial_seconds
+        );
+        let _ = writeln!(
+            s,
+            "  \"host_calibration\": {{\"ops\": {}, \"seconds\": {:.6}, \"mops\": {:.3}}},",
+            self.host.ops, self.host.seconds, self.host.mops
+        );
+        let _ = writeln!(
+            s,
+            "  \"sim_mips_per_host_mops\": {:.6}",
+            self.sim_mips_per_host_mops()
         );
         s.push_str("}\n");
         s
@@ -322,6 +398,7 @@ pub fn measure_throughput(exp: &ExperimentConfig, runs_per_config: usize) -> Thr
             wall_seconds,
             serial_seconds: runs.iter().map(|r| r.host_seconds).sum(),
         },
+        host: calibrate_host(),
         runs,
     }
 }
@@ -387,15 +464,31 @@ mod tests {
                 wall_seconds: run.host_seconds,
                 serial_seconds: run.host_seconds,
             },
+            host: HostCalibration {
+                ops: HOST_CALIBRATION_OPS,
+                seconds: 0.1,
+                mops: HOST_CALIBRATION_OPS as f64 / 0.1 / 1e6,
+            },
             runs: vec![run],
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"vpr-bench-throughput/v2\""));
+        assert!(json.contains("\"schema\": \"vpr-bench-throughput/v3\""));
         assert!(json.contains("\"runs_per_config\": 1"));
         assert!(json.contains("\"sweep\": {\"jobs\": 1"));
+        assert!(json.contains("\"host_calibration\": {\"ops\": "));
+        assert!(json.contains("sim_mips_per_host_mops"));
         assert!(json.contains("swim/conventional"));
         assert!(json.contains("harmonic_mean_sim_mips"));
         assert!(report.harmonic_mean_sim_mips() > 0.0);
+        assert!(report.sim_mips_per_host_mops() > 0.0);
+    }
+
+    #[test]
+    fn host_calibration_is_sane() {
+        let cal = calibrate_host();
+        assert_eq!(cal.ops, HOST_CALIBRATION_OPS);
+        assert!(cal.seconds > 0.0);
+        assert!(cal.mops > 0.0);
     }
 
     #[test]

@@ -33,19 +33,30 @@
 //! `BENCH_throughput.json`), in hand-rolled schemas
 //! (`vpr-bench-<artefact>/v1`) mirroring the throughput harness — the
 //! build environment has no serde. The throughput report
-//! (`vpr-bench-throughput/v2`) records per-configuration sim-MIPS
-//! (best of `--runs` repetitions) plus the parallel sweep's wall-clock,
-//! and its `--check BASELINE.json` mode is the CI regression gate.
+//! (`vpr-bench-throughput/v3`) records per-configuration sim-MIPS
+//! (best of `--runs` repetitions), the parallel sweep's wall-clock, and a
+//! fixed host-ops/sec calibration (`sim_mips_per_host_mops`) so sim-MIPS
+//! regressions can be judged independently of runner load; its
+//! `--check BASELINE.json` mode is the CI regression gate.
+//!
+//! ## Sampled simulation
+//!
+//! The [`sampling`] module estimates arbitrarily long runs from detailed
+//! intervals (functional-warmup → detailed-interval → fast-forward, with
+//! regression/stratified estimators); `--bin sample` reports the
+//! estimate's accuracy against full-run references.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod harness;
+pub mod sampling;
 pub mod sweep;
 pub mod table;
 
 pub use harness::{run_benchmark, ExperimentConfig};
+pub use sampling::{sample_benchmark, SamplingPlan, SamplingReport};
 pub use sweep::{run_sweep, SweepPoint};
 pub use table::Table;
 

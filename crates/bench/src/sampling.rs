@@ -1,0 +1,778 @@
+//! SMARTS/SimPoint-style interval sampling.
+//!
+//! A full experiment simulates every instruction in detail; after the
+//! PR 1–2 kernel work, *run length* — not kernel speed — bounds how long a
+//! workload can be measured. This module estimates a long run's metrics
+//! from a handful of short **detailed intervals** spread systematically
+//! over the instruction stream, fast-forwarding between them:
+//!
+//! ```text
+//! |--skip--|warm|==measure==|--skip--|warm|==measure==|--skip--| ...
+//! ```
+//!
+//! * **Fast-forward** uses [`TraceGen::fast_forward`]: positioning a synthetic
+//!   generator costs nanoseconds per instruction and touches no simulator
+//!   state, so skipped spans cost (almost) nothing.
+//! * **Detailed warm-up** re-warms microarchitectural state (cache,
+//!   predictor, window) from cold at each interval start; its counters are
+//!   discarded ([`Processor::warm_up`]).
+//! * **Measure** windows contribute to the estimate. The per-interval
+//!   simulations are mutually independent, so the harness fans them out
+//!   over [`vpr_core::par`] with the same submission-order merge as the
+//!   figure sweeps — sampled results are byte-identical for any `--jobs`.
+//!
+//! The estimator stack, from cheapest to strongest (each falls back to
+//! the next): **regression (control-variate)** using functionally-known
+//! per-window miss/misprediction rates whose region means are exact →
+//! **phase-stratified** (SimPoint-style, weighting per-loop CPI by true
+//! phase frequencies) → **pooled mean**.
+//!
+//! Accuracy is *reported*, not assumed: [`evaluate_sampling`] runs the
+//! uninterrupted simulation next to the sampled one and reports the
+//! relative per-metric error, and `tests/sampling_accuracy.rs` pins the
+//! quick table2 workload's reported IPC (the harmonic mean over its
+//! benchmark suite, per scheme) at ≤ 2 % error — with every individual
+//! configuration within a looser 10 % bound — while ≤ 25 % of the full
+//! run's instructions are simulated in detail. On this deliberately tiny
+//! CI workload (30 k-instruction region, windows of a few hundred
+//! instructions) the per-configuration estimates carry a few percent of
+//! irreducible sampling variance; at real run lengths both the window
+//! count and the window length grow, and the error shrinks with both.
+//!
+//! Interval starts are reproducible positions in the committed stream, so
+//! the same mechanism composes with the checkpoint subsystem (`vpr-snap`):
+//! a checkpoint taken at an interval boundary seeds the same detailed
+//! interval without re-skipping.
+
+use crate::harness::ExperimentConfig;
+use std::fmt::Write as _;
+use vpr_core::{par, Processor, RenameScheme, SimConfig, SimStats};
+use vpr_trace::{Benchmark, TraceBuilder, TraceGen};
+
+/// Shape of one sampled estimate: where the estimated region lies in the
+/// instruction stream and how much of it is simulated in detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingPlan {
+    /// Instructions skipped before the estimated region (the full run's
+    /// warm-up span, which its measurement window never covers either).
+    pub offset: u64,
+    /// Length of the estimated region, in committed instructions.
+    pub region: u64,
+    /// Number of detailed intervals, spread evenly over the region.
+    pub intervals: usize,
+    /// Detailed warm-up commits per interval (simulated, discarded).
+    pub detailed_warmup: u64,
+    /// Measured commits per interval.
+    pub detailed_measure: u64,
+    /// Functional-warming span per interval: how many of the skipped
+    /// instructions leading up to each interval are replayed through the
+    /// functional cache/predictor warmers ([`DataCache::warm_touch`] /
+    /// BHT training) before detailed simulation starts. `None` warms over
+    /// the interval's whole prefix — most faithful, still two orders of
+    /// magnitude cheaper than detailed simulation.
+    ///
+    /// [`DataCache::warm_touch`]: vpr_mem::DataCache::warm_touch
+    pub functional_window: Option<u64>,
+}
+
+impl SamplingPlan {
+    /// The plan used against [`ExperimentConfig::quick`]'s full run
+    /// (warm-up 2 000 + measure 30 000): eighteen 440-instruction detailed
+    /// intervals — 7 920 detailed instructions, 24.75 % of the full run's
+    /// 32 000. The split (180 warm-up / 260 measured) was tuned
+    /// empirically: FP chain codes need ≥ ~180 commits of detailed
+    /// warm-up to re-establish steady-state window overlap, and more,
+    /// smaller intervals beat fewer, larger ones once the regression
+    /// estimator absorbs miss/misprediction variance.
+    pub fn quick() -> Self {
+        Self {
+            offset: 2_000,
+            region: 30_000,
+            intervals: 18,
+            detailed_warmup: 180,
+            detailed_measure: 260,
+            functional_window: None,
+        }
+    }
+
+    /// A plan matched to `exp`: the tuned [`SamplingPlan::quick`] for the
+    /// quick workload shape, otherwise the same design scaled to the
+    /// experiment's warm-up/measure spans.
+    pub fn for_experiment(exp: &ExperimentConfig) -> Self {
+        let quick = Self::quick();
+        if exp.warmup == quick.offset && exp.measure == quick.region {
+            return quick;
+        }
+        let per_interval = ((exp.warmup + exp.measure) / 4 / 18).max(44);
+        Self {
+            offset: exp.warmup,
+            region: exp.measure,
+            intervals: 18,
+            detailed_warmup: per_interval * 9 / 22,
+            detailed_measure: per_interval * 13 / 22,
+            functional_window: None,
+        }
+    }
+
+    /// Detailed commits per interval (warm-up + measure).
+    pub fn detailed_per_interval(&self) -> u64 {
+        self.detailed_warmup + self.detailed_measure
+    }
+
+    /// Fraction of the full run (`offset + region`) simulated in detail.
+    pub fn detailed_fraction(&self) -> f64 {
+        (self.intervals as u64 * self.detailed_per_interval()) as f64
+            / (self.offset + self.region) as f64
+    }
+
+    /// Interval start positions (committed-instruction offsets into the
+    /// stream): one per stride, jittered inside its stride by a
+    /// deterministic golden-ratio sequence so the sample pattern cannot
+    /// alias with the workload's loop periodicity (plain systematic
+    /// sampling measurably biases phase-heavy workloads).
+    pub fn starts(&self) -> Vec<u64> {
+        let stride = self.region / self.intervals.max(1) as u64;
+        let slack = stride.saturating_sub(self.detailed_per_interval());
+        (0..self.intervals)
+            .map(|i| {
+                // Low-discrepancy fraction of the stride's slack:
+                // frac(i * phi) via 64-bit fixed point.
+                let phi = 0x9E37_79B9_7F4A_7C15u64; // 2^64 / golden ratio
+                let frac = (i as u64).wrapping_mul(phi) >> 32;
+                let jitter = (slack * frac) >> 32;
+                self.offset + i as u64 * stride + jitter
+            })
+            .collect()
+    }
+
+    /// Checks the plan's consistency.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated constraint: at least one interval,
+    /// a non-empty measure span, and detailed spans that fit the region.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.intervals == 0 {
+            return Err("need at least one interval".into());
+        }
+        if self.detailed_measure == 0 {
+            return Err("intervals must measure something".into());
+        }
+        if self.intervals as u64 * self.detailed_per_interval() > self.region {
+            return Err(format!(
+                "detailed spans exceed the sampled region ({} intervals x {} > {})",
+                self.intervals,
+                self.detailed_per_interval(),
+                self.region
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validates the plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no intervals, no measured commits, or the
+    /// detailed spans overrun the region ([`SamplingPlan::try_validate`]).
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("invalid sampling plan: {e}");
+        }
+    }
+}
+
+/// One detailed interval's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalSample {
+    /// Committed-instruction offset at which the interval began.
+    pub start: u64,
+    /// Phase label at the interval start: the generator's active loop
+    /// index (see [`TraceGen::current_loop`]).
+    pub phase: usize,
+    /// Functional cache misses per instruction over the measured span
+    /// (from the no-timing model — the regression estimator's first
+    /// auxiliary variable).
+    pub func_miss_rate: f64,
+    /// Functional branch mispredictions per instruction over the measured
+    /// span (second auxiliary variable).
+    pub func_mispred_rate: f64,
+    /// Measurement-window statistics of the interval.
+    pub stats: SimStats,
+}
+
+/// A sampled estimate of a long run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplingReport {
+    /// The plan that produced it.
+    pub plan: SamplingPlan,
+    /// Per-interval results, in stream order.
+    pub samples: Vec<IntervalSample>,
+    /// True per-phase instruction weights over the estimated region, from
+    /// the functional profiling pass (`weights[p]` = fraction of region
+    /// instructions executed in loop `p`; sums to 1).
+    pub phase_weights: Vec<f64>,
+    /// Functional cache misses per instruction over the whole region.
+    pub region_miss_rate: f64,
+    /// Functional branch mispredictions per instruction over the whole
+    /// region.
+    pub region_mispred_rate: f64,
+}
+
+impl SamplingReport {
+    /// Estimated IPC — the harness's best estimator: a **regression
+    /// (control-variate) estimate** over the sampled windows, falling back
+    /// to the phase-stratified and pooled means when the regression is
+    /// ill-conditioned.
+    ///
+    /// Each window's CPI is paired with two *functionally known*
+    /// covariates — its no-timing cache-miss and branch-misprediction
+    /// rates — whose exact region-wide means the profiling pass computed.
+    /// Fitting `CPI ≈ β₀ + β₁·miss + β₂·mispred` on the samples and
+    /// evaluating at the region means removes the variance those two
+    /// mechanisms explain, which is most of what distinguishes one window
+    /// from another at this machine's bottlenecks.
+    pub fn ipc(&self) -> f64 {
+        match self.cpi_regression() {
+            Some(cpi) => 1.0 / cpi,
+            None => self.ipc_stratified(),
+        }
+    }
+
+    /// The regression estimate of region CPI, when well-conditioned.
+    fn cpi_regression(&self) -> Option<f64> {
+        let n = self.samples.len();
+        if n < 6 {
+            return None;
+        }
+        let mut min_cpi = f64::INFINITY;
+        let mut max_cpi = 0.0f64;
+        // Normal equations for y = b0 + b1 x1 + b2 x2 (ridge-stabilised).
+        let mut xtx = [[0.0f64; 3]; 3];
+        let mut xty = [0.0f64; 3];
+        for s in &self.samples {
+            if s.stats.committed == 0 {
+                return None;
+            }
+            let y = s.stats.cycles as f64 / s.stats.committed as f64;
+            min_cpi = min_cpi.min(y);
+            max_cpi = max_cpi.max(y);
+            let x = [1.0, s.func_miss_rate, s.func_mispred_rate];
+            for i in 0..3 {
+                for j in 0..3 {
+                    xtx[i][j] += x[i] * x[j];
+                }
+                xty[i] += x[i] * y;
+            }
+        }
+        for (i, row) in xtx.iter_mut().enumerate() {
+            row[i] += if i == 0 { 1e-9 } else { 1e-7 };
+        }
+        let beta = solve3(xtx, xty)?;
+        let cpi = beta[0] + beta[1] * self.region_miss_rate + beta[2] * self.region_mispred_rate;
+        // Guard against an extrapolation blow-up: the region mean must
+        // land inside (a modest widening of) the observed window range.
+        if !cpi.is_finite() || cpi < min_cpi * 0.7 || cpi > max_cpi * 1.3 {
+            return None;
+        }
+        Some(cpi)
+    }
+
+    /// Estimated IPC, **phase-stratified** (SimPoint-style): samples are
+    /// grouped by the phase (generator loop) they landed in, each group's
+    /// cycles-per-instruction is weighted by the phase's *true* share of
+    /// the region (from the functional profiling pass), and phases no
+    /// sample landed in fall back to the pooled CPI. This removes the
+    /// aliasing error a plain pooled mean suffers when systematic sample
+    /// positions beat against the workload's loop structure.
+    pub fn ipc_stratified(&self) -> f64 {
+        let committed: u64 = self.samples.iter().map(|s| s.stats.committed).sum();
+        let cycles: u64 = self.samples.iter().map(|s| s.stats.cycles).sum();
+        if committed == 0 || cycles == 0 {
+            return 0.0;
+        }
+        let pooled_cpi = cycles as f64 / committed as f64;
+        if self.phase_weights.is_empty() {
+            return 1.0 / pooled_cpi;
+        }
+        let phases = self.phase_weights.len();
+        let mut phase_committed = vec![0u64; phases];
+        let mut phase_cycles = vec![0u64; phases];
+        for s in &self.samples {
+            if s.phase < phases {
+                phase_committed[s.phase] += s.stats.committed;
+                phase_cycles[s.phase] += s.stats.cycles;
+            }
+        }
+        let mut cpi = 0.0;
+        for (p, &w) in self.phase_weights.iter().enumerate() {
+            cpi += w * if phase_committed[p] > 0 {
+                phase_cycles[p] as f64 / phase_committed[p] as f64
+            } else {
+                pooled_cpi
+            };
+        }
+        1.0 / cpi
+    }
+
+    /// Estimated IPC from the pooled (unstratified) mean: total measured
+    /// commits over total measured cycles.
+    pub fn ipc_pooled(&self) -> f64 {
+        let committed: u64 = self.samples.iter().map(|s| s.stats.committed).sum();
+        let cycles: u64 = self.samples.iter().map(|s| s.stats.cycles).sum();
+        if cycles == 0 {
+            0.0
+        } else {
+            committed as f64 / cycles as f64
+        }
+    }
+
+    /// Estimated cache miss ratio over the measured windows.
+    pub fn miss_ratio(&self) -> f64 {
+        let (mut miss, mut total) = (0u64, 0u64);
+        for s in &self.samples {
+            miss += s.stats.cache.misses + s.stats.cache.merged_misses;
+            total += s.stats.cache.hits + s.stats.cache.misses + s.stats.cache.merged_misses;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            miss as f64 / total as f64
+        }
+    }
+
+    /// Estimated executions per committed instruction (re-execution rate).
+    pub fn executions_per_commit(&self) -> f64 {
+        let committed: u64 = self.samples.iter().map(|s| s.stats.committed).sum();
+        let executions: u64 = self.samples.iter().map(|s| s.stats.executions).sum();
+        if committed == 0 {
+            0.0
+        } else {
+            executions as f64 / committed as f64
+        }
+    }
+}
+
+/// Solves the 3×3 system `a·x = b` by Gaussian elimination with partial
+/// pivoting; `None` when singular.
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        let pivot = (col..3).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-18 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in 0..3 {
+            if row == col {
+                continue;
+            }
+            let f = a[row][col] / a[col][col];
+            let pivot_row = a[col];
+            for (k, v) in pivot_row.iter().enumerate().skip(col) {
+                a[row][k] -= f * v;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    Some([b[0] / a[0][0], b[1] / a[1][1], b[2] / a[2][2]])
+}
+
+/// The no-timing functional machine model: a trained branch predictor and
+/// a resident-line cache. It is what fast-forwarded spans are replayed
+/// through — warming the state a detailed interval starts from, and
+/// counting the functional miss/misprediction events the regression
+/// estimator uses as covariates.
+#[derive(Clone)]
+struct FunctionalModel {
+    bht: vpr_frontend::BranchHistoryTable,
+    cache: vpr_mem::DataCache,
+}
+
+impl FunctionalModel {
+    fn new(config: &SimConfig) -> Self {
+        Self {
+            bht: vpr_frontend::BranchHistoryTable::new(config.bht_entries),
+            cache: vpr_mem::DataCache::new(config.cache),
+        }
+    }
+
+    /// Processes one instruction; returns `(functional_miss, mispredict)`.
+    fn step(&mut self, di: &vpr_isa::DynInst) -> (bool, bool) {
+        match di.op() {
+            vpr_isa::OpClass::BranchCond => {
+                let b = di.branch().expect("trace records outcomes");
+                let mispredict = self.bht.predict(di.pc()) != b.taken;
+                self.bht.update(di.pc(), b.taken);
+                (false, mispredict)
+            }
+            op if op.is_mem() => {
+                let m = di.mem().expect("memory op carries an access");
+                let hit = self.cache.would_hit(m.addr);
+                self.cache.warm_touch(m.addr, op == vpr_isa::OpClass::Store);
+                (!hit, false)
+            }
+            _ => (false, false),
+        }
+    }
+}
+
+/// The functional profiling pass over the estimated region: per-phase
+/// instruction weights plus the region's functional miss and
+/// misprediction rates (the regression estimator's known means).
+pub struct RegionProfile {
+    /// `weights[p]` = fraction of region instructions executed in loop `p`.
+    pub phase_weights: Vec<f64>,
+    /// Functional cache misses per region instruction.
+    pub miss_rate: f64,
+    /// Functional branch mispredictions per region instruction.
+    pub mispred_rate: f64,
+}
+
+/// Profiles `[offset, offset + region)` functionally — one generation-only
+/// pass, no simulation. The model is warmed over the `offset` prefix so
+/// region rates carry no cold-start artefacts.
+pub fn profile_region(
+    benchmark: Benchmark,
+    seed: u64,
+    offset: u64,
+    region: u64,
+    config: &SimConfig,
+) -> RegionProfile {
+    let mut trace = TraceBuilder::new(benchmark).seed(seed).build();
+    let mut model = FunctionalModel::new(config);
+    for _ in 0..offset {
+        let di = trace.next().expect("synthetic traces are infinite");
+        model.step(&di);
+    }
+    let mut counts = vec![0u64; trace.loop_count()];
+    let (mut misses, mut mispreds) = (0u64, 0u64);
+    for _ in 0..region {
+        counts[trace.current_loop()] += 1;
+        let di = trace.next().expect("synthetic traces are infinite");
+        let (miss, mispred) = model.step(&di);
+        misses += u64::from(miss);
+        mispreds += u64::from(mispred);
+    }
+    RegionProfile {
+        phase_weights: counts
+            .into_iter()
+            .map(|c| c as f64 / region as f64)
+            .collect(),
+        miss_rate: misses as f64 / region as f64,
+        mispred_rate: mispreds as f64 / region as f64,
+    }
+}
+
+/// One interval's prepared inputs: the positioned generator, the warmed
+/// functional state to preheat the processor with, the phase label, and
+/// the window's functional covariates.
+struct PreparedInterval {
+    trace: TraceGen,
+    model: FunctionalModel,
+    phase: usize,
+    func_miss_rate: f64,
+    func_mispred_rate: f64,
+}
+
+/// Positions a fresh generator at `start` with the functional model warmed
+/// over the leading span, and extracts the measured window's functional
+/// miss/misprediction rates from a throw-away clone.
+fn prepare_interval(
+    benchmark: Benchmark,
+    seed: u64,
+    start: u64,
+    plan: &SamplingPlan,
+    config: &SimConfig,
+) -> PreparedInterval {
+    let mut trace = TraceBuilder::new(benchmark).seed(seed).build();
+    let warm_span = plan.functional_window.map_or(start, |w| w.min(start));
+    trace.fast_forward(start - warm_span);
+    let mut model = FunctionalModel::new(config);
+    for _ in 0..warm_span {
+        let di = trace.next().expect("synthetic traces are infinite");
+        model.step(&di);
+    }
+    let phase = trace.current_loop();
+    // Covariates for the measured span `[start + warmup, start + warmup +
+    // measure)`, from clones — the real generator/model must stay at
+    // `start` for the detailed simulation.
+    let mut ftrace = trace.clone();
+    let mut fmodel = model.clone();
+    for _ in 0..plan.detailed_warmup {
+        let di = ftrace.next().expect("synthetic traces are infinite");
+        fmodel.step(&di);
+    }
+    let (mut misses, mut mispreds) = (0u64, 0u64);
+    for _ in 0..plan.detailed_measure {
+        let di = ftrace.next().expect("synthetic traces are infinite");
+        let (miss, mispred) = fmodel.step(&di);
+        misses += u64::from(miss);
+        mispreds += u64::from(mispred);
+    }
+    PreparedInterval {
+        trace,
+        model,
+        phase,
+        func_miss_rate: misses as f64 / plan.detailed_measure as f64,
+        func_mispred_rate: mispreds as f64 / plan.detailed_measure as f64,
+    }
+}
+
+/// Runs one sampled estimate: `plan.intervals` independent detailed
+/// simulations fanned out over the worker pool (submission-order merge —
+/// the report is byte-identical for every `exp.jobs`).
+pub fn sample_benchmark(
+    benchmark: Benchmark,
+    scheme: RenameScheme,
+    physical_regs: usize,
+    exp: &ExperimentConfig,
+    plan: &SamplingPlan,
+) -> SamplingReport {
+    let profile_config = SimConfig::builder()
+        .scheme(scheme)
+        .physical_regs(physical_regs)
+        .miss_penalty(exp.miss_penalty)
+        .build();
+    let profile = profile_region(
+        benchmark,
+        exp.seed,
+        plan.offset,
+        plan.region,
+        &profile_config,
+    );
+    sample_benchmark_with_profile(benchmark, scheme, physical_regs, exp, plan, &profile)
+}
+
+/// [`sample_benchmark`] with a precomputed [`RegionProfile`]: the profile
+/// depends only on the workload (benchmark, seed, spans) and the
+/// cache/predictor geometry — not on the renaming scheme — so callers
+/// sweeping several schemes over one benchmark profile once and reuse it.
+pub fn sample_benchmark_with_profile(
+    benchmark: Benchmark,
+    scheme: RenameScheme,
+    physical_regs: usize,
+    exp: &ExperimentConfig,
+    plan: &SamplingPlan,
+    profile: &RegionProfile,
+) -> SamplingReport {
+    plan.validate();
+    let starts = plan.starts();
+    let exp = *exp;
+    let plan = *plan;
+    let outcomes = par::par_map(exp.effective_jobs(), starts.clone(), move |_, start| {
+        let config = SimConfig::builder()
+            .scheme(scheme)
+            .physical_regs(physical_regs)
+            .miss_penalty(exp.miss_penalty)
+            .build();
+        let prepared = prepare_interval(benchmark, exp.seed, start, &plan, &config);
+        let mut cpu = Processor::new(config, prepared.trace);
+        cpu.preheat(prepared.model.bht, prepared.model.cache);
+        cpu.warm_up(plan.detailed_warmup);
+        let stats = cpu.run(plan.detailed_measure);
+        (
+            prepared.phase,
+            prepared.func_miss_rate,
+            prepared.func_mispred_rate,
+            stats,
+        )
+    });
+    SamplingReport {
+        plan,
+        samples: starts
+            .into_iter()
+            .zip(outcomes)
+            .map(
+                |(start, (phase, func_miss_rate, func_mispred_rate, stats))| IntervalSample {
+                    start,
+                    phase,
+                    func_miss_rate,
+                    func_mispred_rate,
+                    stats,
+                },
+            )
+            .collect(),
+        phase_weights: profile.phase_weights.clone(),
+        region_miss_rate: profile.miss_rate,
+        region_mispred_rate: profile.mispred_rate,
+    }
+}
+
+/// A sampled estimate next to its full-run reference.
+#[derive(Debug, Clone)]
+pub struct SamplingAccuracy {
+    /// The workload.
+    pub benchmark: Benchmark,
+    /// The renaming scheme.
+    pub scheme: RenameScheme,
+    /// IPC of the uninterrupted full run's measurement window.
+    pub full_ipc: f64,
+    /// IPC estimated from the sampled intervals.
+    pub sampled_ipc: f64,
+    /// Cache miss ratio of the full run.
+    pub full_miss_ratio: f64,
+    /// Cache miss ratio estimated from the samples.
+    pub sampled_miss_ratio: f64,
+    /// Fraction of the full run simulated in detail by the sampled
+    /// estimate.
+    pub detailed_fraction: f64,
+}
+
+impl SamplingAccuracy {
+    /// Relative IPC error of the sampled estimate, in percent.
+    pub fn ipc_error_percent(&self) -> f64 {
+        if self.full_ipc == 0.0 {
+            0.0
+        } else {
+            (self.sampled_ipc / self.full_ipc - 1.0) * 100.0
+        }
+    }
+}
+
+/// Runs the full simulation and the sampled estimate side by side.
+pub fn evaluate_sampling(
+    benchmark: Benchmark,
+    scheme: RenameScheme,
+    physical_regs: usize,
+    exp: &ExperimentConfig,
+    plan: &SamplingPlan,
+) -> SamplingAccuracy {
+    let config = SimConfig::builder()
+        .scheme(scheme)
+        .physical_regs(physical_regs)
+        .miss_penalty(exp.miss_penalty)
+        .build();
+    let profile = profile_region(benchmark, exp.seed, plan.offset, plan.region, &config);
+    evaluate_sampling_with_profile(benchmark, scheme, physical_regs, exp, plan, &profile)
+}
+
+/// [`evaluate_sampling`] with a precomputed, scheme-independent
+/// [`RegionProfile`] (see [`sample_benchmark_with_profile`]).
+pub fn evaluate_sampling_with_profile(
+    benchmark: Benchmark,
+    scheme: RenameScheme,
+    physical_regs: usize,
+    exp: &ExperimentConfig,
+    plan: &SamplingPlan,
+    profile: &RegionProfile,
+) -> SamplingAccuracy {
+    let full = crate::run_benchmark(benchmark, scheme, physical_regs, exp);
+    let sampled =
+        sample_benchmark_with_profile(benchmark, scheme, physical_regs, exp, plan, profile);
+    SamplingAccuracy {
+        benchmark,
+        scheme,
+        full_ipc: full.ipc(),
+        sampled_ipc: sampled.ipc(),
+        full_miss_ratio: full.cache.miss_ratio(),
+        sampled_miss_ratio: sampled.miss_ratio(),
+        detailed_fraction: plan.detailed_fraction(),
+    }
+}
+
+/// Renders a set of accuracy rows as JSON (`vpr-bench-sampling/v1`),
+/// mirroring the other artefacts' hand-rolled style.
+pub fn accuracy_to_json(rows: &[SamplingAccuracy], plan: &SamplingPlan) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"vpr-bench-sampling/v1\",\n");
+    let _ = writeln!(
+        s,
+        "  \"plan\": {{\"offset\": {}, \"region\": {}, \"intervals\": {}, \
+         \"detailed_warmup\": {}, \"detailed_measure\": {}, \"detailed_fraction\": {:.4}}},",
+        plan.offset,
+        plan.region,
+        plan.intervals,
+        plan.detailed_warmup,
+        plan.detailed_measure,
+        plan.detailed_fraction()
+    );
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"benchmark\": \"{}\", \"scheme\": \"{}\", \"full_ipc\": {:.4}, \
+             \"sampled_ipc\": {:.4}, \"ipc_error_percent\": {:.3}, \
+             \"full_miss_ratio\": {:.4}, \"sampled_miss_ratio\": {:.4}}}",
+            r.benchmark.name(),
+            crate::harness::scheme_label(r.scheme),
+            r.full_ipc,
+            r.sampled_ipc,
+            r.ipc_error_percent(),
+            r.full_miss_ratio,
+            r.sampled_miss_ratio
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    let worst = rows
+        .iter()
+        .map(|r| r.ipc_error_percent().abs())
+        .fold(0.0f64, f64::max);
+    let _ = writeln!(s, "  ],\n  \"worst_ipc_error_percent\": {worst:.3}");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_geometry() {
+        let plan = SamplingPlan::quick();
+        plan.validate();
+        assert_eq!(plan.starts().len(), plan.intervals);
+        assert_eq!(plan.starts()[0], plan.offset);
+        assert!(
+            plan.detailed_fraction() <= 0.25,
+            "{}",
+            plan.detailed_fraction()
+        );
+        let for_exp = SamplingPlan::for_experiment(&ExperimentConfig::quick());
+        for_exp.validate();
+        assert!(for_exp.detailed_fraction() <= 0.25);
+    }
+
+    #[test]
+    fn sampled_report_is_deterministic_across_jobs() {
+        let plan = SamplingPlan {
+            offset: 500,
+            region: 6_000,
+            intervals: 3,
+            detailed_warmup: 100,
+            detailed_measure: 300,
+            functional_window: Some(1_000),
+        };
+        let mut exp = ExperimentConfig {
+            warmup: 500,
+            measure: 6_000,
+            ..ExperimentConfig::default()
+        };
+        exp.jobs = 1;
+        let serial = sample_benchmark(Benchmark::Swim, RenameScheme::Conventional, 64, &exp, &plan);
+        exp.jobs = 4;
+        let parallel =
+            sample_benchmark(Benchmark::Swim, RenameScheme::Conventional, 64, &exp, &plan);
+        assert_eq!(serial, parallel, "sampling must merge deterministically");
+        assert!(serial.ipc() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the sampled region")]
+    fn oversized_plan_rejected() {
+        SamplingPlan {
+            offset: 0,
+            region: 100,
+            intervals: 10,
+            detailed_warmup: 10,
+            detailed_measure: 10,
+            functional_window: None,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,94 @@
+//! Sampled-simulation accuracy gate: the sampling harness must estimate
+//! the quick table2 workload's reported IPC within 2 % of the full-run
+//! reference, from ≤ 25 % of its instructions simulated in detail.
+//!
+//! The table2 artefact reports per-benchmark IPCs and their harmonic mean
+//! per scheme; the 2 % bound applies to that reported (harmonic-mean)
+//! IPC, and the derived headline — the VP-over-conventional improvement —
+//! must agree within 3 percentage points. Individual `(benchmark,
+//! scheme)` estimates are additionally held to a looser 10 % sanity
+//! bound: at this deliberately tiny CI scale (30 k-instruction region)
+//! the per-configuration estimates carry a few percent of irreducible
+//! sampling variance (see the module docs of `vpr_bench::sampling`).
+//!
+//! Everything here is deterministic — fixed seed, fixed plan, and the
+//! parallel fan-out merges in submission order — so the gate cannot
+//! flake.
+
+use vpr_bench::sampling::{
+    evaluate_sampling_with_profile, profile_region, SamplingAccuracy, SamplingPlan,
+};
+use vpr_bench::ExperimentConfig;
+use vpr_core::{harmonic_mean, RenameScheme, SimConfig};
+use vpr_trace::Benchmark;
+
+fn harmonic_pair(rows: &[SamplingAccuracy]) -> (f64, f64) {
+    let full: Vec<f64> = rows.iter().map(|r| r.full_ipc).collect();
+    let sampled: Vec<f64> = rows.iter().map(|r| r.sampled_ipc).collect();
+    (harmonic_mean(&full), harmonic_mean(&sampled))
+}
+
+#[test]
+fn quick_table2_sampled_ipc_within_bounds() {
+    let exp = ExperimentConfig::quick();
+    let plan = SamplingPlan::for_experiment(&exp);
+    assert!(
+        plan.detailed_fraction() <= 0.25,
+        "plan simulates {:.1}% in detailed mode, over the 25% budget",
+        plan.detailed_fraction() * 100.0
+    );
+
+    let schemes = [
+        RenameScheme::Conventional,
+        RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
+    ];
+    let mut per_scheme: Vec<Vec<SamplingAccuracy>> = vec![Vec::new(), Vec::new()];
+    for benchmark in Benchmark::ALL {
+        // One scheme-independent functional profile per benchmark.
+        let profile_config = SimConfig::builder()
+            .scheme(schemes[0])
+            .physical_regs(64)
+            .miss_penalty(exp.miss_penalty)
+            .build();
+        let profile = profile_region(
+            benchmark,
+            exp.seed,
+            plan.offset,
+            plan.region,
+            &profile_config,
+        );
+        for (i, &scheme) in schemes.iter().enumerate() {
+            let row = evaluate_sampling_with_profile(benchmark, scheme, 64, &exp, &plan, &profile);
+            assert!(
+                row.ipc_error_percent().abs() <= 10.0,
+                "{benchmark}/{scheme:?}: per-config sampled IPC off by {:.2}% (>10%)",
+                row.ipc_error_percent()
+            );
+            per_scheme[i].push(row);
+        }
+    }
+
+    // The table2 workload's reported IPC (harmonic mean per scheme
+    // column) must be within 2% of the full-run reference.
+    let mut hms = Vec::new();
+    for (rows, scheme) in per_scheme.iter().zip(schemes) {
+        let (full_hm, sampled_hm) = harmonic_pair(rows);
+        let err = (sampled_hm / full_hm - 1.0) * 100.0;
+        assert!(
+            err.abs() <= 2.0,
+            "{scheme:?}: sampled harmonic-mean IPC {sampled_hm:.4} vs full {full_hm:.4} \
+             ({err:+.2}%, bound 2%)"
+        );
+        hms.push((full_hm, sampled_hm));
+    }
+
+    // The headline metric — VP improvement over conventional — is a ratio
+    // of the two 2%-bounded harmonic means, so its drift can reach ~4
+    // percentage points in the worst case; hold it to 3.
+    let full_improvement = (hms[1].0 / hms[0].0 - 1.0) * 100.0;
+    let sampled_improvement = (hms[1].1 / hms[0].1 - 1.0) * 100.0;
+    assert!(
+        (full_improvement - sampled_improvement).abs() <= 3.0,
+        "improvement drifted: full {full_improvement:.2}% vs sampled {sampled_improvement:.2}%"
+    );
+}

@@ -118,6 +118,63 @@ impl Latencies {
     }
 }
 
+impl vpr_snap::Snap for RenameScheme {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        match *self {
+            RenameScheme::Conventional => enc.put_u8(0),
+            RenameScheme::ConventionalEarlyRelease => enc.put_u8(1),
+            RenameScheme::VirtualPhysicalIssue { nrr } => {
+                enc.put_u8(2);
+                enc.put_usize(nrr);
+            }
+            RenameScheme::VirtualPhysicalWriteback { nrr } => {
+                enc.put_u8(3);
+                enc.put_usize(nrr);
+            }
+        }
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        match dec.take_u8() {
+            0 => RenameScheme::Conventional,
+            1 => RenameScheme::ConventionalEarlyRelease,
+            2 => RenameScheme::VirtualPhysicalIssue {
+                nrr: dec.take_usize(),
+            },
+            3 => RenameScheme::VirtualPhysicalWriteback {
+                nrr: dec.take_usize(),
+            },
+            other => panic!("snapshot RenameScheme tag {other}: layout mismatch"),
+        }
+    }
+}
+
+impl vpr_snap::Snap for Latencies {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u64(self.int_alu);
+        enc.put_u64(self.int_mul);
+        enc.put_u64(self.int_div);
+        enc.put_u64(self.eff_addr);
+        enc.put_u64(self.fp_add);
+        enc.put_u64(self.fp_mul);
+        enc.put_u64(self.fp_div);
+        enc.put_u64(self.fp_sqrt);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            int_alu: dec.take_u64(),
+            int_mul: dec.take_u64(),
+            int_div: dec.take_u64(),
+            eff_addr: dec.take_u64(),
+            fp_add: dec.take_u64(),
+            fp_mul: dec.take_u64(),
+            fp_div: dec.take_u64(),
+            fp_sqrt: dec.take_u64(),
+        }
+    }
+}
+
 /// Full machine configuration. Build one with [`SimConfig::builder`].
 ///
 /// Defaults reproduce the paper's machine (§4.1): 8-wide fetch/commit,
@@ -270,6 +327,52 @@ impl SimConfig {
             );
         }
         Ok(())
+    }
+}
+
+impl vpr_snap::Snap for SimConfig {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_usize(self.fetch_width);
+        enc.put_usize(self.rename_width);
+        enc.put_usize(self.issue_width);
+        enc.put_usize(self.commit_width);
+        enc.put_usize(self.rob_size);
+        enc.put_usize(self.iq_size);
+        enc.put_usize(self.lsq_size);
+        enc.put_usize(self.store_buffer_size);
+        enc.put_usize(self.physical_regs);
+        enc.put_u32(self.regfile_read_ports);
+        enc.put_u32(self.regfile_write_ports);
+        self.scheme.save(enc);
+        enc.put_usize(self.bht_entries);
+        self.cache.save(enc);
+        self.fu_counts.save(enc);
+        self.latencies.save(enc);
+        enc.put_bool(self.wrong_path_injection);
+        enc.put_bool(self.vp_commit_delay);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            fetch_width: dec.take_usize(),
+            rename_width: dec.take_usize(),
+            issue_width: dec.take_usize(),
+            commit_width: dec.take_usize(),
+            rob_size: dec.take_usize(),
+            iq_size: dec.take_usize(),
+            lsq_size: dec.take_usize(),
+            store_buffer_size: dec.take_usize(),
+            physical_regs: dec.take_usize(),
+            regfile_read_ports: dec.take_u32(),
+            regfile_write_ports: dec.take_u32(),
+            scheme: RenameScheme::load(dec),
+            bht_entries: dec.take_usize(),
+            cache: CacheConfig::load(dec),
+            fu_counts: <[usize; 6]>::load(dec),
+            latencies: Latencies::load(dec),
+            wrong_path_injection: dec.take_bool(),
+            vp_commit_delay: dec.take_bool(),
+        }
     }
 }
 

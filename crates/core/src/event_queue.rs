@@ -145,6 +145,39 @@ impl<E> CalendarQueue<E> {
         self.scan_from(from)
     }
 
+    /// Every pending event as `(cycle, event)`, for checkpointing: cycles
+    /// ascend from `from` (the current, not-yet-drained cycle), and events
+    /// of one cycle appear in drain order (overflow entries first, then
+    /// the ring bucket in scheduling order). Re-scheduling the returned
+    /// pairs in order into an empty queue whose clock stands at `from`
+    /// reproduces the exact drain behaviour.
+    ///
+    /// Every live ring event lies in `[from, from + horizon)`: it was
+    /// scheduled at some `s < from` with `at − s ≤ horizon − 1`, and has
+    /// not been drained, so `at ≥ from`.
+    pub fn collect_pending(&self, from: u64) -> Vec<(u64, E)>
+    where
+        E: Clone,
+    {
+        let mut out = Vec::with_capacity(self.len);
+        for delta in 0..=self.mask {
+            let cycle = from + delta;
+            for (&at, spill) in self.overflow.range(cycle..=cycle) {
+                out.extend(spill.iter().map(|e| (at, e.clone())));
+            }
+            out.extend(
+                self.buckets[(cycle & self.mask) as usize]
+                    .iter()
+                    .map(|e| (cycle, e.clone())),
+            );
+        }
+        for (&at, spill) in self.overflow.range(from + self.mask + 1..) {
+            out.extend(spill.iter().map(|e| (at, e.clone())));
+        }
+        debug_assert_eq!(out.len(), self.len, "collect_pending must see every event");
+        out
+    }
+
     /// Earliest occupied cycle ≥ `from`. All live events lie within one
     /// horizon of `from` (ring) or in the overflow map, and in-range
     /// cycles map bijectively onto buckets, so the first non-empty bucket

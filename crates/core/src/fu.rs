@@ -115,6 +115,34 @@ impl FuPool {
     }
 }
 
+impl vpr_snap::Snap for FuInstance {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u64(self.busy_until);
+        self.last_issue.save(enc);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            busy_until: dec.take_u64(),
+            last_issue: Option::<u64>::load(dec),
+        }
+    }
+}
+
+impl vpr_snap::Snap for FuPool {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        self.units.save(enc);
+        self.latencies.save(enc);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            units: <[Vec<FuInstance>; 6]>::load(dec),
+            latencies: crate::config::Latencies::load(dec),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

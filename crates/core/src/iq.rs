@@ -373,6 +373,50 @@ impl Iq {
     }
 }
 
+impl vpr_snap::Snap for IqEntry {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u64(self.seq);
+        self.op.save(enc);
+        self.srcs.save(enc);
+        self.alloc_class.save(enc);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            seq: dec.take_u64(),
+            op: OpClass::load(dec),
+            srcs: <[Option<RenamedSrc>; 2]>::load(dec),
+            alloc_class: Option::<RegClass>::load(dec),
+        }
+    }
+}
+
+impl vpr_snap::Snap for Iq {
+    /// The canonical queue state is the entry set in age order; the slab
+    /// layout, consumer lists and ready index are all derived. Restore
+    /// rebuilds them by re-inserting each entry, which is behaviourally
+    /// identical: wake-ups process consumer lists in an order that only
+    /// affects *which* order already-deterministic updates happen in, and
+    /// the age-sorted ready index is order-independent by construction.
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_usize(self.capacity);
+        enc.put_usize(self.len());
+        for e in self.iter() {
+            e.save(enc);
+        }
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        let capacity = dec.take_usize();
+        let mut iq = Iq::new(capacity);
+        let n = dec.take_usize();
+        for _ in 0..n {
+            iq.insert(IqEntry::load(dec));
+        }
+        iq
+    }
+}
+
 /// Appends `waiter` to `lists[tag]`, growing the table on first use of a
 /// tag index.
 fn push_waiter(lists: &mut Vec<Vec<Waiter>>, tag: usize, waiter: Waiter) {

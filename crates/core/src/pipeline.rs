@@ -103,6 +103,31 @@ impl Event {
     }
 }
 
+impl vpr_snap::Snap for Event {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        let (tag, seq, gen) = match *self {
+            Event::Complete { seq, gen } => (0u8, seq, gen),
+            Event::EaDone { seq, gen } => (1, seq, gen),
+            Event::MemData { seq, gen } => (2, seq, gen),
+        };
+        enc.put_u8(tag);
+        enc.put_u64(seq);
+        enc.put_u64(gen);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        let tag = dec.take_u8();
+        let seq = dec.take_u64();
+        let gen = dec.take_u64();
+        match tag {
+            0 => Event::Complete { seq, gen },
+            1 => Event::EaDone { seq, gen },
+            2 => Event::MemData { seq, gen },
+            other => panic!("snapshot Event tag {other}: layout mismatch"),
+        }
+    }
+}
+
 // One renamer lives per processor; the size spread between variants is
 // irrelevant next to the indirection a `Box` would add on every rename.
 #[allow(clippy::large_enum_variant)]
@@ -329,6 +354,28 @@ impl<S: InstStream> Processor<S> {
     pub fn warm_up(&mut self, warmup: u64) {
         self.run(warmup);
         self.reset_window();
+    }
+
+    /// Replaces the branch predictor and data cache with externally
+    /// warmed instances — the sampling harness's *functional warm-up*
+    /// injection point: it replays the fast-forwarded instruction stream
+    /// through a predictor and a functional cache
+    /// ([`DataCache::warm_touch`]), then hands them to a fresh processor
+    /// so a detailed interval starts from warm state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine has already simulated a cycle, or if the
+    /// replacement components disagree with the configuration's geometry.
+    pub fn preheat(&mut self, bht: BranchHistoryTable, cache: DataCache) {
+        assert_eq!(
+            self.cycle, 0,
+            "preheat must happen before the first simulated cycle"
+        );
+        assert_eq!(bht.entries(), self.config.bht_entries, "BHT geometry");
+        assert_eq!(*cache.config(), self.config.cache, "cache geometry");
+        self.bht = bht;
+        self.cache = cache;
     }
 
     /// Advances the machine by one *active* cycle. If the machine is
@@ -1324,6 +1371,166 @@ impl<S: InstStream> Processor<S> {
                 vp.nrr_rebuild(class, survivors.into_iter());
             }
         }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Checkpoint / restore
+// ----------------------------------------------------------------------
+
+impl vpr_snap::Snap for Renamer {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        match self {
+            Renamer::Conventional(r) => {
+                enc.put_u8(0);
+                r.save(enc);
+            }
+            Renamer::EarlyRelease(r) => {
+                enc.put_u8(1);
+                r.save(enc);
+            }
+            Renamer::Vp(r) => {
+                enc.put_u8(2);
+                r.save(enc);
+            }
+        }
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        match dec.take_u8() {
+            0 => Renamer::Conventional(ConventionalRenamer::load(dec)),
+            1 => Renamer::EarlyRelease(EarlyReleaseRenamer::load(dec)),
+            2 => Renamer::Vp(VpRenamer::load(dec)),
+            other => panic!("snapshot Renamer tag {other}: layout mismatch"),
+        }
+    }
+}
+
+impl<S: InstStream + vpr_snap::Resumable> Processor<S> {
+    /// Captures the complete microarchitectural state — pipeline, reorder
+    /// buffer, instruction queue, functional units, renamer (map tables,
+    /// free lists, NRR counters), cache/MSHRs/LSQ/store buffer, branch
+    /// state, scheduled events, statistics, and the trace generator's
+    /// position — into a versioned [`vpr_snap::Snapshot`].
+    ///
+    /// A processor restored from the snapshot ([`Processor::restore`])
+    /// continues **bit-identically** to this one: every subsequent
+    /// [`SimStats`] counter matches an uninterrupted run. Snapshots are
+    /// taken at cycle boundaries (between [`Processor::step`]s), which is
+    /// the only machine state this type ever exposes.
+    pub fn snapshot(&self) -> vpr_snap::Snapshot {
+        use vpr_snap::Snap as _;
+        let mut enc = vpr_snap::Encoder::new();
+        self.config.save(&mut enc);
+        enc.put_u64(self.cycle);
+        enc.put_u64(self.next_seq);
+        enc.put_u64(self.gen_counter);
+        enc.put_u64(self.last_commit_cycle);
+        self.wb_ports_used.save(&mut enc);
+        self.raw.save(&mut enc);
+        self.base.save(&mut enc);
+        self.trace.save_state(&mut enc);
+        self.fetch.save(&mut enc);
+        self.bht.save(&mut enc);
+        self.cache.save(&mut enc);
+        self.lsq.save(&mut enc);
+        self.store_buffer.save(&mut enc);
+        self.renamer.save(&mut enc);
+        self.rob.save(&mut enc);
+        self.iq.save(&mut enc);
+        self.fus.save(&mut enc);
+        self.fetch_buffer.save(&mut enc);
+        self.cache_retry.save(&mut enc);
+        self.retry_memo.save(&mut enc);
+        self.dest_seqs.save(&mut enc);
+        // Events re-key on restore relative to the restored cycle; saving
+        // them in per-cycle drain order makes re-scheduling reproduce the
+        // exact drain behaviour (see `CalendarQueue::collect_pending`).
+        self.events.collect_pending(self.cycle).save(&mut enc);
+        vpr_snap::Snapshot::new(enc.into_bytes())
+    }
+
+    /// Rebuilds a processor from a snapshot taken by
+    /// [`Processor::snapshot`].
+    ///
+    /// `trace` must be a freshly built generator of the **same workload**
+    /// the snapshotted processor ran (same program, same seed); its
+    /// position is restored from the snapshot, so where it currently
+    /// stands does not matter. The machine configuration travels inside
+    /// the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`vpr_snap::SnapError::Mismatch`] when the payload is inconsistent
+    /// (e.g. a renamer that disagrees with the serialised configuration,
+    /// or trailing bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is malformed at the field level — the
+    /// envelope's checksum makes that a logic error, not an input error.
+    pub fn restore(snapshot: &vpr_snap::Snapshot, trace: S) -> Result<Self, vpr_snap::SnapError> {
+        use vpr_snap::Snap as _;
+        let dec = &mut vpr_snap::Decoder::new(snapshot.payload());
+        let config = SimConfig::load(dec);
+        let mut cpu = Processor::new(config, trace);
+        cpu.cycle = dec.take_u64();
+        cpu.next_seq = dec.take_u64();
+        cpu.gen_counter = dec.take_u64();
+        cpu.last_commit_cycle = dec.take_u64();
+        cpu.wb_ports_used = <[u32; 2]>::load(dec);
+        cpu.raw = SimStats::load(dec);
+        cpu.base = SimStats::load(dec);
+        cpu.trace.restore_state(dec);
+        cpu.fetch = vpr_frontend::FetchUnit::load(dec);
+        cpu.bht = BranchHistoryTable::load(dec);
+        cpu.cache = DataCache::load(dec);
+        cpu.lsq = Lsq::load(dec);
+        cpu.store_buffer = StoreBuffer::load(dec);
+        cpu.renamer = Renamer::load(dec);
+        let renamer_fits = matches!(
+            (&cpu.renamer, cpu.config.scheme),
+            (Renamer::Conventional(_), RenameScheme::Conventional)
+                | (
+                    Renamer::EarlyRelease(_),
+                    RenameScheme::ConventionalEarlyRelease
+                )
+                | (Renamer::Vp(_), RenameScheme::VirtualPhysicalIssue { .. })
+                | (
+                    Renamer::Vp(_),
+                    RenameScheme::VirtualPhysicalWriteback { .. }
+                )
+        );
+        if !renamer_fits {
+            return Err(vpr_snap::SnapError::Mismatch(format!(
+                "renamer does not match scheme {:?}",
+                cpu.config.scheme
+            )));
+        }
+        cpu.rob = Rob::load(dec);
+        cpu.iq = Iq::load(dec);
+        cpu.fus = FuPool::load(dec);
+        cpu.fetch_buffer = VecDeque::<FetchedInst>::load(dec);
+        cpu.cache_retry = Vec::<u64>::load(dec);
+        cpu.retry_memo = Option::<(u64, (u64, u64))>::load(dec);
+        cpu.dest_seqs = <[VecDeque<u64>; 2]>::load(dec);
+        let events = Vec::<(u64, Event)>::load(dec);
+        let before = cpu.cycle.saturating_sub(1);
+        for (at, ev) in events {
+            if at <= before {
+                return Err(vpr_snap::SnapError::Mismatch(format!(
+                    "event scheduled at cycle {at}, not after cycle {before}"
+                )));
+            }
+            cpu.events.schedule(before, at, ev);
+        }
+        if dec.remaining() != 0 {
+            return Err(vpr_snap::SnapError::Mismatch(format!(
+                "{} trailing payload bytes",
+                dec.remaining()
+            )));
+        }
+        Ok(cpu)
     }
 }
 

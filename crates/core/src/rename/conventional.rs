@@ -150,6 +150,22 @@ impl ConventionalRenamer {
     }
 }
 
+impl vpr_snap::Snap for ConventionalRenamer {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        self.map.save(enc);
+        self.ready.save(enc);
+        self.free.save(enc);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            map: <[Vec<PhysReg>; 2]>::load(dec),
+            ready: <[Vec<bool>; 2]>::load(dec),
+            free: <[FreeList; 2]>::load(dec),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -258,6 +258,60 @@ impl EarlyReleaseRenamer {
     }
 }
 
+impl vpr_snap::Snap for RegState {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u32(self.pending_reads);
+        enc.put_bool(self.superseded);
+        enc.put_bool(self.producer_committed);
+        enc.put_bool(self.ready);
+        enc.put_bool(self.freed);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            pending_reads: dec.take_u32(),
+            superseded: dec.take_bool(),
+            producer_committed: dec.take_bool(),
+            ready: dec.take_bool(),
+            freed: dec.take_bool(),
+        }
+    }
+}
+
+impl vpr_snap::Snap for ReleaseStats {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u64(self.frees);
+        enc.put_u64(self.hold_cycles);
+        enc.put_u64(self.early);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            frees: dec.take_u64(),
+            hold_cycles: dec.take_u64(),
+            early: dec.take_u64(),
+        }
+    }
+}
+
+impl vpr_snap::Snap for EarlyReleaseRenamer {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        self.map.save(enc);
+        self.state.save(enc);
+        self.free.save(enc);
+        self.stats.save(enc);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            map: <[Vec<PhysReg>; 2]>::load(dec),
+            state: <[Vec<RegState>; 2]>::load(dec),
+            free: <[FreeList; 2]>::load(dec),
+            stats: <[ReleaseStats; 2]>::load(dec),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

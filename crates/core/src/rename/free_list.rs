@@ -152,6 +152,32 @@ impl FreeList {
     }
 }
 
+impl vpr_snap::Snap for FreeList {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        // The free deque's *order* is state: it is the future allocation
+        // order, so it must survive a round trip exactly.
+        self.free.save(enc);
+        self.allocated.save(enc);
+        self.alloc_cycle.save(enc);
+        enc.put_usize(self.capacity);
+        enc.put_u64(self.occ_accum);
+        enc.put_u64(self.empty_accum);
+        enc.put_u64(self.last_change);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            free: std::collections::VecDeque::<u16>::load(dec),
+            allocated: Vec::<bool>::load(dec),
+            alloc_cycle: Vec::<u64>::load(dec),
+            capacity: dec.take_usize(),
+            occ_accum: dec.take_u64(),
+            empty_accum: dec.take_u64(),
+            last_change: dec.take_u64(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

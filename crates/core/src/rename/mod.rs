@@ -107,3 +107,85 @@ impl RenamedDest {
         self.logical.class()
     }
 }
+
+impl vpr_snap::Snap for PhysReg {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u16(self.0);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        PhysReg(dec.take_u16())
+    }
+}
+
+impl vpr_snap::Snap for VpReg {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u16(self.0);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        VpReg(dec.take_u16())
+    }
+}
+
+impl vpr_snap::Snap for SrcState {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        match self {
+            SrcState::Ready(p) => {
+                enc.put_u8(0);
+                p.save(enc);
+            }
+            SrcState::WaitPhys(p) => {
+                enc.put_u8(1);
+                p.save(enc);
+            }
+            SrcState::WaitVp(v) => {
+                enc.put_u8(2);
+                v.save(enc);
+            }
+        }
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        match dec.take_u8() {
+            0 => SrcState::Ready(PhysReg::load(dec)),
+            1 => SrcState::WaitPhys(PhysReg::load(dec)),
+            2 => SrcState::WaitVp(VpReg::load(dec)),
+            other => panic!("snapshot SrcState tag {other}: layout mismatch"),
+        }
+    }
+}
+
+impl vpr_snap::Snap for RenamedSrc {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        self.class.save(enc);
+        self.state.save(enc);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            class: RegClass::load(dec),
+            state: SrcState::load(dec),
+        }
+    }
+}
+
+impl vpr_snap::Snap for RenamedDest {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        self.logical.save(enc);
+        self.vp.save(enc);
+        self.preg.save(enc);
+        self.prev_vp.save(enc);
+        self.prev_preg.save(enc);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            logical: LogicalReg::load(dec),
+            vp: Option::<VpReg>::load(dec),
+            preg: Option::<PhysReg>::load(dec),
+            prev_vp: Option::<VpReg>::load(dec),
+            prev_preg: Option::<PhysReg>::load(dec),
+        }
+    }
+}

@@ -183,6 +183,24 @@ impl NrrState {
     }
 }
 
+impl vpr_snap::Snap for NrrState {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_usize(self.nrr);
+        self.prr_seq.save(enc);
+        enc.put_usize(self.reg);
+        enc.put_usize(self.used);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            nrr: dec.take_usize(),
+            prr_seq: Option::<u64>::load(dec),
+            reg: dec.take_usize(),
+            used: dec.take_usize(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

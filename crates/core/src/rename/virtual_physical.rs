@@ -376,6 +376,42 @@ impl VpRenamer {
     }
 }
 
+impl vpr_snap::Snap for GmtEntry {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        self.vp.save(enc);
+        self.preg.save(enc);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            vp: VpReg::load(dec),
+            preg: Option::<PhysReg>::load(dec),
+        }
+    }
+}
+
+impl vpr_snap::Snap for VpRenamer {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        self.gmt.save(enc);
+        self.pmt.save(enc);
+        self.vp_owner.save(enc);
+        self.vp_free.save(enc);
+        self.preg_free.save(enc);
+        self.nrr.save(enc);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            gmt: <[Vec<GmtEntry>; 2]>::load(dec),
+            pmt: <[Vec<Option<PhysReg>>; 2]>::load(dec),
+            vp_owner: <[Vec<u16>; 2]>::load(dec),
+            vp_free: <[FreeList; 2]>::load(dec),
+            preg_free: <[FreeList; 2]>::load(dec),
+            nrr: <[NrrState; 2]>::load(dec),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

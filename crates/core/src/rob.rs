@@ -192,6 +192,77 @@ impl Rob {
     }
 }
 
+impl vpr_snap::Snap for MemPhase {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u8(match self {
+            MemPhase::Idle => 0,
+            MemPhase::AwaitCache => 1,
+            MemPhase::InFlight => 2,
+            MemPhase::Done => 3,
+        });
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        match dec.take_u8() {
+            0 => MemPhase::Idle,
+            1 => MemPhase::AwaitCache,
+            2 => MemPhase::InFlight,
+            3 => MemPhase::Done,
+            other => panic!("snapshot MemPhase tag {other}: layout mismatch"),
+        }
+    }
+}
+
+impl vpr_snap::Snap for RobEntry {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u64(self.seq);
+        self.di.save(enc);
+        enc.put_bool(self.wrong_path);
+        enc.put_bool(self.mispredicted);
+        self.dest.save(enc);
+        self.srcs.save(enc);
+        enc.put_bool(self.completed);
+        enc.put_u64(self.completed_at);
+        enc.put_bool(self.issued);
+        enc.put_u64(self.gen);
+        self.mem_phase.save(enc);
+        enc.put_u32(self.executions);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            seq: dec.take_u64(),
+            di: DynInst::load(dec),
+            wrong_path: dec.take_bool(),
+            mispredicted: dec.take_bool(),
+            dest: Option::<RenamedDest>::load(dec),
+            srcs: <[Option<RenamedSrc>; 2]>::load(dec),
+            completed: dec.take_bool(),
+            completed_at: dec.take_u64(),
+            issued: dec.take_bool(),
+            gen: dec.take_u64(),
+            mem_phase: MemPhase::load(dec),
+            executions: dec.take_u32(),
+        }
+    }
+}
+
+impl vpr_snap::Snap for Rob {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        self.entries.save(enc);
+        enc.put_usize(self.capacity);
+        enc.put_u64(self.head_seq);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            entries: VecDeque::<RobEntry>::load(dec),
+            capacity: dec.take_usize(),
+            head_seq: dec.take_u64(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

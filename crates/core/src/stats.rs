@@ -294,6 +294,78 @@ impl SimStats {
     }
 }
 
+impl vpr_snap::Snap for ClassStats {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u64(self.allocations);
+        enc.put_u64(self.frees);
+        enc.put_u64(self.hold_cycles);
+        enc.put_u64(self.occupancy_sum);
+        enc.put_u64(self.empty_free_list_cycles);
+        enc.put_u64(self.rename_stalls);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            allocations: dec.take_u64(),
+            frees: dec.take_u64(),
+            hold_cycles: dec.take_u64(),
+            occupancy_sum: dec.take_u64(),
+            empty_free_list_cycles: dec.take_u64(),
+            rename_stalls: dec.take_u64(),
+        }
+    }
+}
+
+impl vpr_snap::Snap for SimStats {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u64(self.cycles);
+        enc.put_u64(self.committed);
+        enc.put_u64(self.committed_with_dest);
+        enc.put_u64(self.executions);
+        enc.put_u64(self.register_reexecutions);
+        enc.put_u64(self.memory_reexecutions);
+        enc.put_u64(self.writeback_port_stalls);
+        enc.put_u64(self.issue_allocation_stalls);
+        enc.put_u64(self.rob_full_stalls);
+        enc.put_u64(self.iq_full_stalls);
+        enc.put_u64(self.lsq_full_stalls);
+        enc.put_u64(self.store_buffer_stalls);
+        enc.put_u64(self.wrong_path_squashed);
+        enc.put_u64(self.early_releases);
+        self.int.save(enc);
+        self.fp.save(enc);
+        self.fetch.save(enc);
+        self.bht.save(enc);
+        self.cache.save(enc);
+        self.lsq.save(enc);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            cycles: dec.take_u64(),
+            committed: dec.take_u64(),
+            committed_with_dest: dec.take_u64(),
+            executions: dec.take_u64(),
+            register_reexecutions: dec.take_u64(),
+            memory_reexecutions: dec.take_u64(),
+            writeback_port_stalls: dec.take_u64(),
+            issue_allocation_stalls: dec.take_u64(),
+            rob_full_stalls: dec.take_u64(),
+            iq_full_stalls: dec.take_u64(),
+            lsq_full_stalls: dec.take_u64(),
+            store_buffer_stalls: dec.take_u64(),
+            wrong_path_squashed: dec.take_u64(),
+            early_releases: dec.take_u64(),
+            int: ClassStats::load(dec),
+            fp: ClassStats::load(dec),
+            fetch: vpr_frontend::FetchStats::load(dec),
+            bht: vpr_frontend::BhtStats::load(dec),
+            cache: vpr_mem::CacheStats::load(dec),
+            lsq: vpr_mem::LsqStats::load(dec),
+        }
+    }
+}
+
 /// Harmonic mean of a set of rates (the paper's Table 2 reports the
 /// harmonic mean of per-benchmark IPCs).
 ///

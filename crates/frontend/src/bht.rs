@@ -103,6 +103,34 @@ impl BranchHistoryTable {
     }
 }
 
+impl vpr_snap::Snap for BhtStats {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u64(self.updates);
+        enc.put_u64(self.correct);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            updates: dec.take_u64(),
+            correct: dec.take_u64(),
+        }
+    }
+}
+
+impl vpr_snap::Snap for BranchHistoryTable {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        self.counters.save(enc);
+        self.stats.save(enc);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            counters: Vec::<u8>::load(dec),
+            stats: BhtStats::load(dec),
+        }
+    }
+}
+
 impl Default for BranchHistoryTable {
     /// The paper's 2048-entry table.
     fn default() -> Self {

@@ -257,6 +257,72 @@ impl FetchUnit {
     }
 }
 
+impl vpr_snap::Snap for FetchedInst {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        self.di.save(enc);
+        self.predicted_taken.save(enc);
+        enc.put_bool(self.mispredicted);
+        enc.put_bool(self.wrong_path);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            di: DynInst::load(dec),
+            predicted_taken: Option::<bool>::load(dec),
+            mispredicted: dec.take_bool(),
+            wrong_path: dec.take_bool(),
+        }
+    }
+}
+
+impl vpr_snap::Snap for FetchStats {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u64(self.fetched);
+        enc.put_u64(self.wrong_path_fetched);
+        enc.put_u64(self.cond_branches);
+        enc.put_u64(self.mispredictions);
+        enc.put_u64(self.taken_breaks);
+        enc.put_u64(self.stall_cycles);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            fetched: dec.take_u64(),
+            wrong_path_fetched: dec.take_u64(),
+            cond_branches: dec.take_u64(),
+            mispredictions: dec.take_u64(),
+            taken_breaks: dec.take_u64(),
+            stall_cycles: dec.take_u64(),
+        }
+    }
+}
+
+impl vpr_snap::Snap for FetchUnit {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_usize(self.width);
+        self.pending.save(enc);
+        enc.put_bool(self.wait_resolve);
+        enc.put_u64(self.resume_at);
+        enc.put_bool(self.injection);
+        self.synth.save(enc);
+        enc.put_bool(self.end_of_stream);
+        self.stats.save(enc);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            width: dec.take_usize(),
+            pending: Option::<DynInst>::load(dec),
+            wait_resolve: dec.take_bool(),
+            resume_at: dec.take_u64(),
+            injection: dec.take_bool(),
+            synth: Option::<WrongPathSynth>::load(dec),
+            end_of_stream: dec.take_bool(),
+            stats: FetchStats::load(dec),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

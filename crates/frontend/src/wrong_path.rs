@@ -103,6 +103,20 @@ impl WrongPathSynth {
     }
 }
 
+impl vpr_snap::Snap for WrongPathSynth {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u64(self.state);
+        enc.put_u64(self.pc);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            state: dec.take_u64(),
+            pc: dec.take_u64(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -151,6 +151,52 @@ impl DynInst {
     }
 }
 
+impl vpr_snap::Snap for BranchInfo {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_bool(self.taken);
+        enc.put_u64(self.next_pc);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            taken: dec.take_bool(),
+            next_pc: dec.take_u64(),
+        }
+    }
+}
+
+impl vpr_snap::Snap for MemAccess {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u64(self.addr);
+        enc.put_u8(self.size);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            addr: dec.take_u64(),
+            size: dec.take_u8(),
+        }
+    }
+}
+
+impl vpr_snap::Snap for DynInst {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u64(self.pc);
+        self.inst.save(enc);
+        self.mem.save(enc);
+        self.branch.save(enc);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            pc: dec.take_u64(),
+            inst: Inst::load(dec),
+            mem: Option::<MemAccess>::load(dec),
+            branch: Option::<BranchInfo>::load(dec),
+        }
+    }
+}
+
 impl fmt::Display for DynInst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:#x}: {}", self.pc, self.inst)?;

@@ -113,6 +113,24 @@ impl Inst {
     }
 }
 
+impl vpr_snap::Snap for Inst {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        self.op.save(enc);
+        self.dest.save(enc);
+        self.src1.save(enc);
+        self.src2.save(enc);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            op: vpr_snap::Snap::load(dec),
+            dest: vpr_snap::Snap::load(dec),
+            src1: vpr_snap::Snap::load(dec),
+            src2: vpr_snap::Snap::load(dec),
+        }
+    }
+}
+
 impl fmt::Display for Inst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.op)?;

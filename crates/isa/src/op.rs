@@ -112,6 +112,21 @@ impl OpClass {
     }
 }
 
+impl vpr_snap::Snap for OpClass {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        let tag = OpClass::ALL
+            .iter()
+            .position(|o| o == self)
+            .expect("ALL is exhaustive") as u8;
+        enc.put_u8(tag);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        let tag = dec.take_u8() as usize;
+        OpClass::ALL[tag]
+    }
+}
+
 impl fmt::Display for OpClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

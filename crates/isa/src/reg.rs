@@ -37,6 +37,16 @@ impl RegClass {
     }
 }
 
+impl vpr_snap::Snap for RegClass {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u8(self.index() as u8);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        RegClass::ALL[dec.take_u8() as usize]
+    }
+}
+
 impl fmt::Display for RegClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -114,6 +124,18 @@ impl LogicalReg {
     #[inline]
     pub fn index(self) -> usize {
         self.index as usize
+    }
+}
+
+impl vpr_snap::Snap for LogicalReg {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        self.class.save(enc);
+        enc.put_u8(self.index);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        let class = RegClass::load(dec);
+        LogicalReg::new(class, dec.take_u8() as usize)
     }
 }
 

@@ -70,6 +70,24 @@ impl Bus {
     }
 }
 
+impl vpr_snap::Snap for Bus {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u64(self.cycles_per_line);
+        enc.put_u64(self.free_at);
+        enc.put_u64(self.transfers);
+        enc.put_u64(self.busy_cycles);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            cycles_per_line: dec.take_u64(),
+            free_at: dec.take_u64(),
+            transfers: dec.take_u64(),
+            busy_cycles: dec.take_u64(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

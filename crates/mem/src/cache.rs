@@ -392,12 +392,126 @@ impl DataCache {
         !resident && self.mshrs.find(line_addr).is_none() && self.mshrs.is_full()
     }
 
+    /// Functionally touches `addr`: installs (or re-marks) the line as if
+    /// every timing effect had already resolved — no ports, MSHRs, bus,
+    /// statistics or clock involved. This is the *functional warm-up*
+    /// primitive of the sampling harness: replaying the skipped
+    /// instruction stream through it approximates the residency/dirty
+    /// state a detailed simulation would have reached, so a detailed
+    /// interval can start from a warm cache instead of a cold one.
+    pub fn warm_touch(&mut self, addr: u64, is_store: bool) {
+        let line_addr = self.line_addr(addr);
+        let idx = self.set_index(line_addr);
+        let line = &mut self.lines[idx];
+        if line.valid && line.tag == line_addr {
+            line.dirty |= is_store;
+        } else {
+            *line = Line {
+                tag: line_addr,
+                valid: true,
+                dirty: is_store,
+            };
+        }
+    }
+
     /// Replays the `mshr_retries` a skipped idle stretch would have
     /// accumulated: one per pending MSHR-blocked retry per skipped cycle.
     /// Counterpart of the pipeline's idle-cycle fast-forwarding, which
     /// guarantees the skipped cycles' sweeps would all have bounced.
     pub fn note_skipped_mshr_retries(&mut self, n: u64) {
         self.stats.mshr_retries += n;
+    }
+}
+
+impl vpr_snap::Snap for CacheConfig {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_usize(self.size_bytes);
+        enc.put_usize(self.line_bytes);
+        enc.put_u64(self.hit_latency);
+        enc.put_u64(self.miss_penalty);
+        enc.put_usize(self.mshrs);
+        enc.put_u32(self.ports);
+        enc.put_u64(self.bus_cycles_per_line);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            size_bytes: dec.take_usize(),
+            line_bytes: dec.take_usize(),
+            hit_latency: dec.take_u64(),
+            miss_penalty: dec.take_u64(),
+            mshrs: dec.take_usize(),
+            ports: dec.take_u32(),
+            bus_cycles_per_line: dec.take_u64(),
+        }
+    }
+}
+
+impl vpr_snap::Snap for CacheStats {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u64(self.hits);
+        enc.put_u64(self.misses);
+        enc.put_u64(self.merged_misses);
+        enc.put_u64(self.port_retries);
+        enc.put_u64(self.mshr_retries);
+        enc.put_u64(self.dirty_evictions);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            hits: dec.take_u64(),
+            misses: dec.take_u64(),
+            merged_misses: dec.take_u64(),
+            port_retries: dec.take_u64(),
+            mshr_retries: dec.take_u64(),
+            dirty_evictions: dec.take_u64(),
+        }
+    }
+}
+
+impl vpr_snap::Snap for Line {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u64(self.tag);
+        enc.put_bool(self.valid);
+        enc.put_bool(self.dirty);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            tag: dec.take_u64(),
+            valid: dec.take_bool(),
+            dirty: dec.take_bool(),
+        }
+    }
+}
+
+impl vpr_snap::Snap for DataCache {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        self.config.save(enc);
+        self.lines.save(enc);
+        self.mshrs.save(enc);
+        self.bus.save(enc);
+        self.stats.save(enc);
+        enc.put_u64(self.cycle);
+        enc.put_u32(self.ports_used);
+        enc.put_u64(self.installs);
+        enc.put_u64(self.mshr_allocs);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        // Rebuild the derived geometry fields from the configuration, then
+        // overlay the dynamic state.
+        let config = CacheConfig::load(dec);
+        let mut cache = DataCache::new(config);
+        cache.lines = Vec::<Line>::load(dec);
+        cache.mshrs = MshrFile::load(dec);
+        cache.bus = Bus::load(dec);
+        cache.stats = CacheStats::load(dec);
+        cache.cycle = dec.take_u64();
+        cache.ports_used = dec.take_u32();
+        cache.installs = dec.take_u64();
+        cache.mshr_allocs = dec.take_u64();
+        cache
     }
 }
 

@@ -72,6 +72,18 @@ struct Entry {
     forwarded_from: Option<u64>,
 }
 
+/// The loads-only secondary index record: the fields
+/// [`Lsq::resolve_store`]'s younger-load scan needs, duplicated (and kept
+/// in sync by every load-state transition) so the walk never looks back
+/// into the age map — the mirror of the stores-only index the load path
+/// uses.
+#[derive(Debug, Clone, Copy)]
+struct LoadRec {
+    access: Option<MemAccess>,
+    performed: bool,
+    forwarded_from: Option<u64>,
+}
+
 /// The load/store queue: program-ordered memory operations in flight.
 ///
 /// Entries are inserted at dispatch (program order), updated when effective
@@ -102,6 +114,10 @@ pub struct Lsq {
     /// duplicated here (kept in sync by [`Lsq::resolve_store`]) so the
     /// walk never has to look back into the age map.
     stores: VecDeque<(u64, Option<MemAccess>)>,
+    /// Loads only: `(seq, load state)`, sorted ascending by `seq` — the
+    /// mirror index [`Lsq::resolve_store`] walks for violation victims,
+    /// so a store's younger-load scan skips every store entry outright.
+    loads: VecDeque<(u64, LoadRec)>,
     capacity: usize,
     stats: LsqStats,
 }
@@ -117,6 +133,7 @@ impl Lsq {
         Self {
             entries: VecDeque::with_capacity(capacity),
             stores: VecDeque::with_capacity(capacity),
+            loads: VecDeque::with_capacity(capacity),
             capacity,
             stats: LsqStats::default(),
         }
@@ -126,6 +143,12 @@ impl Lsq {
     #[inline]
     fn store_position(&self, seq: u64) -> Option<usize> {
         self.stores.binary_search_by_key(&seq, |&(s, _)| s).ok()
+    }
+
+    /// Index of `seq` in the loads index, if it is a tracked load.
+    #[inline]
+    fn load_position(&self, seq: u64) -> Option<usize> {
+        self.loads.binary_search_by_key(&seq, |&(s, _)| s).ok()
     }
 
     /// Index of `seq` in the age map, if tracked.
@@ -193,6 +216,20 @@ impl Lsq {
                     Err(pos) => self.stores.insert(pos, (seq, None)),
                 }
             }
+        } else {
+            let rec = LoadRec {
+                access: None,
+                performed: false,
+                forwarded_from: None,
+            };
+            if self.loads.back().is_none_or(|&(s, _)| s < seq) {
+                self.loads.push_back((seq, rec));
+            } else {
+                match self.loads.binary_search_by_key(&seq, |&(s, _)| s) {
+                    Ok(_) => panic!("sequence {seq} inserted twice"),
+                    Err(pos) => self.loads.insert(pos, (seq, rec)),
+                }
+            }
         }
         // Dispatch order is program order, so this is almost always a
         // plain append; the binary search keeps arbitrary orders correct.
@@ -221,6 +258,14 @@ impl Lsq {
             e.performed = true;
             e.forwarded_from = None;
         }
+        {
+            let lpos = self.load_position(seq).expect("load is indexed");
+            self.loads[lpos].1 = LoadRec {
+                access: Some(access),
+                performed: true,
+                forwarded_from: None,
+            };
+        }
         // Walk older stores from youngest to oldest — on the stores-only
         // index, so intervening loads cost nothing.
         let mut speculative = false;
@@ -243,6 +288,8 @@ impl Lsq {
             Some(store_seq) => {
                 self.stats.forwards += 1;
                 self.entries[idx].1.forwarded_from = Some(store_seq);
+                let lpos = self.load_position(seq).expect("load is indexed");
+                self.loads[lpos].1.forwarded_from = Some(store_seq);
                 LoadDisposition::Forward {
                     store_seq,
                     speculative,
@@ -271,9 +318,13 @@ impl Lsq {
         }
         let spos = self.store_position(seq).expect("store is indexed");
         self.stores[spos].1 = Some(access);
+        // Walk younger loads from oldest to youngest — on the loads-only
+        // index, so intervening stores cost nothing (mirror of the
+        // stores-only walk in `resolve_load`).
         let mut victims = Vec::new();
-        for &(l_seq, ref l) in self.entries.range(idx + 1..) {
-            if l.is_store || !l.performed {
+        let younger = self.loads.partition_point(|&(s, _)| s < seq);
+        for &(l_seq, ref l) in self.loads.range(younger..) {
+            if !l.performed {
                 continue;
             }
             let Some(la) = l.access else { continue };
@@ -291,6 +342,10 @@ impl Lsq {
             let (_, e) = &mut self.entries[vi];
             e.performed = false;
             e.forwarded_from = None;
+            let li = self.load_position(v).expect("victim is indexed");
+            let (_, l) = &mut self.loads[li];
+            l.performed = false;
+            l.forwarded_from = None;
             self.stats.violations += 1;
         }
         victims
@@ -309,6 +364,10 @@ impl Lsq {
         assert!(!e.is_store, "sequence {seq} is a store");
         e.performed = false;
         e.forwarded_from = None;
+        let li = self.load_position(seq).expect("load is indexed");
+        let (_, l) = &mut self.loads[li];
+        l.performed = false;
+        l.forwarded_from = None;
     }
 
     /// Removes an operation at commit (or at squash during recovery).
@@ -320,6 +379,9 @@ impl Lsq {
             if self.entries[idx].1.is_store {
                 let spos = self.store_position(seq).expect("store is indexed");
                 self.stores.remove(spos);
+            } else {
+                let lpos = self.load_position(seq).expect("load is indexed");
+                self.loads.remove(lpos);
             }
             self.entries.remove(idx);
         }
@@ -334,12 +396,81 @@ impl Lsq {
         while self.stores.back().is_some_and(|&(s, _)| s > seq) {
             self.stores.pop_back();
         }
+        while self.loads.back().is_some_and(|&(s, _)| s > seq) {
+            self.loads.pop_back();
+        }
     }
 
     /// The resolved address of a tracked operation, if known.
     pub fn address_of(&self, seq: u64) -> Option<MemAccess> {
         self.position(seq)
             .and_then(|idx| self.entries[idx].1.access)
+    }
+}
+
+impl vpr_snap::Snap for LsqStats {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u64(self.forwards);
+        enc.put_u64(self.speculative_loads);
+        enc.put_u64(self.violations);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            forwards: dec.take_u64(),
+            speculative_loads: dec.take_u64(),
+            violations: dec.take_u64(),
+        }
+    }
+}
+
+impl vpr_snap::Snap for Entry {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_bool(self.is_store);
+        self.access.save(enc);
+        enc.put_bool(self.performed);
+        self.forwarded_from.save(enc);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            is_store: dec.take_bool(),
+            access: Option::<MemAccess>::load(dec),
+            performed: dec.take_bool(),
+            forwarded_from: Option::<u64>::load(dec),
+        }
+    }
+}
+
+impl vpr_snap::Snap for Lsq {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        // The age map is authoritative; both secondary indexes are
+        // derivable, so only the map travels.
+        self.entries.save(enc);
+        enc.put_usize(self.capacity);
+        self.stats.save(enc);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        let entries = VecDeque::<(u64, Entry)>::load(dec);
+        let mut lsq = Lsq::new(dec.take_usize());
+        lsq.stats = LsqStats::load(dec);
+        for &(seq, e) in &entries {
+            if e.is_store {
+                lsq.stores.push_back((seq, e.access));
+            } else {
+                lsq.loads.push_back((
+                    seq,
+                    LoadRec {
+                        access: e.access,
+                        performed: e.performed,
+                        forwarded_from: e.forwarded_from,
+                    },
+                ));
+            }
+        }
+        lsq.entries = entries;
+        lsq
     }
 }
 

@@ -120,6 +120,38 @@ impl MshrFile {
     }
 }
 
+impl vpr_snap::Snap for Mshr {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u64(self.line_addr);
+        enc.put_u64(self.ready_at);
+        enc.put_bool(self.dirty);
+        enc.put_u32(self.merged);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            line_addr: dec.take_u64(),
+            ready_at: dec.take_u64(),
+            dirty: dec.take_bool(),
+            merged: dec.take_u32(),
+        }
+    }
+}
+
+impl vpr_snap::Snap for MshrFile {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        self.entries.save(enc);
+        enc.put_usize(self.capacity);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            entries: Vec::<Mshr>::load(dec),
+            capacity: dec.take_usize(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -120,6 +120,38 @@ impl StoreBuffer {
     }
 }
 
+impl vpr_snap::Snap for PendingStore {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u64(self.seq);
+        self.access.save(enc);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            seq: dec.take_u64(),
+            access: MemAccess::load(dec),
+        }
+    }
+}
+
+impl vpr_snap::Snap for StoreBuffer {
+    fn save(&self, enc: &mut vpr_snap::Encoder) {
+        self.fifo.save(enc);
+        enc.put_usize(self.capacity);
+        enc.put_u64(self.drained);
+        enc.put_u64(self.full_stalls);
+    }
+
+    fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        Self {
+            fifo: VecDeque::<PendingStore>::load(dec),
+            capacity: dec.take_usize(),
+            drained: dec.take_u64(),
+            full_stalls: dec.take_u64(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -66,6 +66,101 @@ proptest! {
         }
     }
 
+    /// The loads-only secondary index vs. the linear-walk oracle: replay a
+    /// random operation soup (inserts, load/store resolutions, commits,
+    /// squashes) against a shadow model that stores every entry in one
+    /// flat program-ordered list, and check that `resolve_store` — which
+    /// walks only the loads index — reports exactly the victims the
+    /// oracle's full linear walk over *all* entries finds.
+    #[test]
+    fn loads_index_matches_linear_walk_oracle(
+        ops in prop::collection::vec((0u8..6, 0u64..48, 0u64..12), 10..120),
+    ) {
+        #[derive(Clone, Copy)]
+        struct ShadowEntry {
+            seq: u64,
+            is_store: bool,
+            access: Option<MemAccess>,
+            performed: bool,
+            forwarded_from: Option<u64>,
+        }
+        let mut lsq = Lsq::new(64);
+        let mut shadow: Vec<ShadowEntry> = Vec::new();
+        let mut next_seq = 0u64;
+        for (kind, pick, slot) in ops {
+            let access = MemAccess::word(0x4000 + slot * 8);
+            match kind {
+                // Insert a load or a store at the program-order tail.
+                0 | 1 => {
+                    if shadow.len() == 64 { continue; }
+                    let is_store = kind == 1;
+                    let seq = next_seq;
+                    next_seq += 1;
+                    if is_store { lsq.insert_store(seq) } else { lsq.insert_load(seq) }
+                    shadow.push(ShadowEntry {
+                        seq, is_store, access: None, performed: false, forwarded_from: None,
+                    });
+                }
+                // Resolve a random unresolved load.
+                2 => {
+                    let Some(target) = shadow.iter()
+                        .filter(|e| !e.is_store && !e.performed)
+                        .nth(pick as usize % 8).map(|e| e.seq) else { continue };
+                    let disp = lsq.resolve_load(target, access);
+                    let e = shadow.iter_mut().find(|e| e.seq == target).expect("tracked");
+                    e.access = Some(access);
+                    e.performed = true;
+                    e.forwarded_from = match disp {
+                        LoadDisposition::Forward { store_seq, .. } => Some(store_seq),
+                        LoadDisposition::Cache { .. } => None,
+                    };
+                }
+                // Resolve a random unresolved store; compare victims with
+                // the oracle's linear walk.
+                3 => {
+                    let Some(target) = shadow.iter()
+                        .filter(|e| e.is_store && e.access.is_none())
+                        .nth(pick as usize % 8).map(|e| e.seq) else { continue };
+                    let expected: Vec<u64> = shadow.iter()
+                        .filter(|l| {
+                            l.seq > target
+                                && !l.is_store
+                                && l.performed
+                                && l.access.is_some_and(|la| la.overlaps(&access))
+                                && l.forwarded_from.is_none_or(|f| f <= target)
+                        })
+                        .map(|l| l.seq)
+                        .collect();
+                    let victims = lsq.resolve_store(target, access);
+                    prop_assert_eq!(&victims, &expected,
+                        "store {} victims diverge from the linear walk", target);
+                    shadow.iter_mut().find(|e| e.seq == target).expect("tracked")
+                        .access = Some(access);
+                    for v in victims {
+                        let l = shadow.iter_mut().find(|e| e.seq == v).expect("victim");
+                        l.performed = false;
+                        l.forwarded_from = None;
+                    }
+                }
+                // Commit (remove) the oldest entry.
+                4 => {
+                    if shadow.is_empty() { continue; }
+                    let seq = shadow.remove(0).seq;
+                    lsq.remove(seq);
+                }
+                // Squash the youngest few entries (at least one survives:
+                // `squash_younger_than` keeps its boundary entry).
+                _ => {
+                    if shadow.len() < 2 { continue; }
+                    let keep = shadow.len().saturating_sub(1 + pick as usize % 3).max(1);
+                    let boundary = shadow[keep - 1].seq;
+                    shadow.truncate(keep);
+                    lsq.squash_younger_than(boundary);
+                }
+            }
+        }
+    }
+
     /// LSQ vs. a naive oracle: replay random load/store address
     /// resolutions in arbitrary order and verify that every load's final
     /// data source matches the youngest older store with an overlapping

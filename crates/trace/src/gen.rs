@@ -78,6 +78,32 @@ impl TraceGen {
         self.emitted
     }
 
+    /// Index of the loop the generator is currently executing — the
+    /// workload's *phase label*. The sampling harness stratifies interval
+    /// estimates by it (SimPoint-style: per-phase behaviour is
+    /// near-stationary even when the whole stream is not).
+    pub fn current_loop(&self) -> usize {
+        self.cur
+    }
+
+    /// Number of loops (phases) in the underlying program.
+    pub fn loop_count(&self) -> usize {
+        self.program.loops.len()
+    }
+
+    /// Fast-forwards the generator by `n` instructions without yielding
+    /// them — the cheap positioning primitive of the sampling harness
+    /// (generation is a few nanoseconds per instruction; no simulation
+    /// state is touched). After `fast_forward(n)`, the next instruction is
+    /// exactly the one a peer generator would produce after `n` calls to
+    /// `next`. (Named to avoid colliding with the by-value
+    /// [`Iterator::skip`] adapter, which would win method resolution.)
+    pub fn fast_forward(&mut self, n: u64) {
+        for _ in 0..n {
+            let _ = self.next();
+        }
+    }
+
     fn enter_next_loop(&mut self) {
         // Weighted choice.
         let total: f64 = self.program.weights.iter().sum();
@@ -133,6 +159,83 @@ impl TraceGen {
     fn emit(&mut self, di: DynInst) -> DynInst {
         self.emitted += 1;
         di
+    }
+}
+
+impl vpr_snap::Resumable for TraceGen {
+    /// Saves the dynamic position only: RNG state, active loop, trip/slot
+    /// cursors, per-stream address cursors, the pending inter-loop jump
+    /// and the emitted count. The static [`Program`] is *not* serialised —
+    /// restore happens into a generator freshly built over the same
+    /// program (same benchmark model, any seed).
+    fn save_state(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u64(self.rng.state()[0]);
+        enc.put_u64(self.rng.state()[1]);
+        enc.put_u64(self.rng.state()[2]);
+        enc.put_u64(self.rng.state()[3]);
+        enc.put_usize(self.cur);
+        enc.put_u64(self.trips_left);
+        enc.put_usize(self.slot);
+        enc.put_usize(self.streams.len());
+        for per_loop in &self.streams {
+            enc.put_usize(per_loop.len());
+            for s in per_loop {
+                enc.put_u64(s.cursor);
+            }
+        }
+        match self.pending_jump {
+            None => enc.put_u8(0),
+            Some((pc, target)) => {
+                enc.put_u8(1);
+                enc.put_u64(pc);
+                enc.put_u64(target);
+            }
+        }
+        enc.put_u64(self.emitted);
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the stream-cursor shape does not match this generator's
+    /// program — the snapshot was taken over a different workload.
+    fn restore_state(&mut self, dec: &mut vpr_snap::Decoder<'_>) {
+        let s = [
+            dec.take_u64(),
+            dec.take_u64(),
+            dec.take_u64(),
+            dec.take_u64(),
+        ];
+        self.rng = StdRng::from_state(s);
+        self.cur = dec.take_usize();
+        self.trips_left = dec.take_u64();
+        self.slot = dec.take_usize();
+        let loops = dec.take_usize();
+        assert_eq!(
+            loops,
+            self.streams.len(),
+            "snapshot was taken over a different program (loop count)"
+        );
+        for per_loop in &mut self.streams {
+            let n = dec.take_usize();
+            assert_eq!(
+                n,
+                per_loop.len(),
+                "snapshot was taken over a different program (stream count)"
+            );
+            for st in per_loop {
+                st.cursor = dec.take_u64();
+            }
+        }
+        self.pending_jump = match dec.take_u8() {
+            0 => None,
+            1 => Some((dec.take_u64(), dec.take_u64())),
+            other => panic!("snapshot pending_jump flag {other}: layout mismatch"),
+        };
+        self.emitted = dec.take_u64();
+        assert!(
+            self.cur < self.program.loops.len(),
+            "snapshot was taken over a different program (loop index)"
+        );
     }
 }
 

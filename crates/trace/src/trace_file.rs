@@ -232,6 +232,37 @@ impl<R: Read> TraceFile<R> {
     }
 }
 
+impl<R: Read> vpr_snap::Resumable for TraceFile<R> {
+    /// A replayed trace's position is just the record count.
+    fn save_state(&self, enc: &mut vpr_snap::Encoder) {
+        enc.put_u64(self.read);
+    }
+
+    /// Re-skips records until the saved position is reached. The target
+    /// must be a freshly opened reader over the same file (or at least one
+    /// that has not yet read past the saved position).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this reader already stands past the saved position, or
+    /// if the file ends before the position is reached (different file).
+    fn restore_state(&mut self, dec: &mut vpr_snap::Decoder<'_>) {
+        let target = dec.take_u64();
+        assert!(
+            self.read <= target,
+            "trace reader already past the snapshot position ({} > {target})",
+            self.read
+        );
+        while self.read < target {
+            assert!(
+                self.next().is_some(),
+                "trace file ends before the snapshot position ({} of {target})",
+                self.read
+            );
+        }
+    }
+}
+
 impl<R: Read> Iterator for TraceFile<R> {
     type Item = DynInst;
 

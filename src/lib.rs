@@ -15,6 +15,9 @@
 //! * [`frontend`] — fetch engine and 2-bit branch-history-table predictor
 //! * [`mem`] — lockup-free data cache, bus and memory disambiguation
 //! * [`core`] — the out-of-order core and the renaming schemes
+//! * [`snap`] — versioned checkpoint/restore of full machine state
+//!   (`Processor::snapshot` / `Processor::restore`, bit-identical
+//!   continuation)
 //!
 //! ## Quickstart
 //!
@@ -67,4 +70,5 @@ pub use vpr_core as core;
 pub use vpr_frontend as frontend;
 pub use vpr_isa as isa;
 pub use vpr_mem as mem;
+pub use vpr_snap as snap;
 pub use vpr_trace as trace;
