@@ -1,0 +1,385 @@
+//! Manages `.vprsnap` checkpoint artefacts: `create` populates a
+//! checkpoint directory from one warm serial pass per configuration,
+//! `inspect` lists what a directory holds, and `verify` re-validates every
+//! artefact against its manifest (optionally continuing each restored
+//! machine and comparing bit-for-bit against a fresh uninterrupted run).
+//!
+//! ```text
+//! cargo run --release -p vpr-bench --bin checkpoint -- <create|inspect|verify>
+//!     [--dir DIR]                      # checkpoint directory (default: checkpoints)
+//!     [--benchmarks a,b,...]           # default: all nine
+//!     [--schemes l1,l2,...]            # scheme labels; default: conventional,vp-wb-nrr32
+//!     [--regs N]                       # physical registers per class (default 64)
+//!     [--intervals]                    # create: also write per-interval checkpoints
+//!     [--run N]                        # verify: continue each restore by N commits
+//!                                      #         and compare against an exact rerun
+//!     [--warmup N] [--measure N] [--seed N] [--miss-penalty N] [--jobs N]
+//! ```
+//!
+//! `create` writes one **warm** checkpoint per (benchmark, scheme) at the
+//! end of warm-up; with `--intervals` it additionally checkpoints every
+//! start of the checkpoint-seeded sampling plan, which is what
+//! `--sampled --checkpoint-dir` experiment runs seed their windows from.
+//! Stale artefacts (different configuration, seed, or snapshot format)
+//! are rejected at load by the manifest's config hash — `verify` reports
+//! them, `create` replaces them.
+
+use std::path::PathBuf;
+use vpr_bench::checkpoints::{
+    checkpoint_key, config_hash, generate_checkpoints, sim_config, CheckpointStore,
+};
+use vpr_bench::sampling::SamplingPlan;
+use vpr_bench::workloads::{parse_scheme, scheme_label, TABLE2_SCHEMES};
+use vpr_bench::{take_flag, take_flag_value, ExperimentConfig, Table};
+use vpr_core::{par, Processor, RenameScheme};
+use vpr_trace::{Benchmark, TraceBuilder, TraceGen};
+
+struct Cli {
+    command: String,
+    dir: PathBuf,
+    benchmarks: Vec<Benchmark>,
+    schemes: Vec<RenameScheme>,
+    regs: usize,
+    intervals: bool,
+    run: Option<u64>,
+    exp: ExperimentConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: checkpoint <create|inspect|verify> [--dir DIR] [--benchmarks a,b,...] \
+         [--schemes l1,l2,...] [--regs N] [--intervals] [--run N] \
+         [--warmup N] [--measure N] [--seed N] [--miss-penalty N] [--jobs N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let command = args.remove(0);
+    if !matches!(command.as_str(), "create" | "inspect" | "verify") {
+        eprintln!("unknown command `{command}`");
+        usage();
+    }
+    let dir: PathBuf = take_flag_value(&mut args, "--dir")
+        .map(Into::into)
+        .unwrap_or_else(|| "checkpoints".into());
+    let benchmarks = match take_flag_value(&mut args, "--benchmarks") {
+        None => Benchmark::ALL.to_vec(),
+        Some(csv) => csv
+            .split(',')
+            .map(|name| {
+                name.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+    };
+    let schemes = match take_flag_value(&mut args, "--schemes") {
+        None => TABLE2_SCHEMES.to_vec(),
+        Some(csv) => csv
+            .split(',')
+            .map(|label| {
+                parse_scheme(label).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+    };
+    let regs = take_flag_value(&mut args, "--regs")
+        .map(|v| {
+            v.parse().unwrap_or_else(|e| {
+                eprintln!("bad value for --regs: {e}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(64);
+    let intervals = take_flag(&mut args, "--intervals");
+    let run = take_flag_value(&mut args, "--run").map(|v| {
+        v.parse().unwrap_or_else(|e| {
+            eprintln!("bad value for --run: {e}");
+            std::process::exit(2);
+        })
+    });
+    // Remaining flags override the quick defaults (matching the other
+    // artefact-producing binaries: checkpoints default to the quick
+    // workload every test and smoke gate runs).
+    let mut exp = ExperimentConfig::quick();
+    if let Err(e) = exp.apply_args(args) {
+        eprintln!("{e}");
+        usage();
+    }
+    Cli {
+        command,
+        dir,
+        benchmarks,
+        schemes,
+        regs,
+        intervals,
+        run,
+        exp,
+    }
+}
+
+fn create(cli: &Cli) {
+    // Open (and thereby validate) the target directory before paying for
+    // any simulation: a corrupt manifest fails in milliseconds here.
+    let mut store = CheckpointStore::open(&cli.dir).unwrap_or_else(|e| {
+        eprintln!("cannot open {}: {e}", cli.dir.display());
+        std::process::exit(1);
+    });
+    let plan = cli
+        .intervals
+        .then(|| SamplingPlan::for_experiment_checkpointed(&cli.exp));
+    let grid = vpr_bench::workloads::grid(&cli.benchmarks, &cli.schemes);
+    let exp = cli.exp;
+    let regs = cli.regs;
+    let generated = par::par_map(exp.effective_jobs(), grid, move |_, (benchmark, scheme)| {
+        generate_checkpoints(benchmark, scheme, regs, &exp, plan.as_ref())
+    });
+    let mut files = 0usize;
+    for batch in &generated {
+        if let Err(e) = store.save_all(batch) {
+            eprintln!("cannot write checkpoints: {e}");
+            std::process::exit(1);
+        }
+        files += batch.len();
+    }
+    if let Err(e) = store.flush() {
+        eprintln!("cannot write manifest: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {files} checkpoint(s) for {} configuration(s) into {} ({})",
+        generated.len(),
+        cli.dir.display(),
+        match &plan {
+            Some(p) => format!("warm + {} interval starts each", p.intervals),
+            None => "warm only".to_string(),
+        }
+    );
+}
+
+fn inspect(cli: &Cli) {
+    let store = open_store(cli);
+    let mut table = Table::new(
+        [
+            "benchmark",
+            "scheme",
+            "kind",
+            "target",
+            "committed",
+            "cycle",
+            "cursor",
+            "bytes",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for e in &store.manifest.entries {
+        let size = std::fs::metadata(store.dir.join(&e.file))
+            .map(|m| m.len().to_string())
+            .unwrap_or_else(|_| "missing".into());
+        table.add_row(vec![
+            e.key.benchmark.clone(),
+            e.key.scheme.clone(),
+            e.key.kind.clone(),
+            e.key.target.to_string(),
+            e.committed.to_string(),
+            e.cycle.to_string(),
+            e.trace_cursor.to_string(),
+            size,
+        ]);
+    }
+    println!(
+        "{} checkpoint(s) in {} (snapshot format v{})",
+        store.manifest.entries.len(),
+        store.dir.display(),
+        vpr_snap::FORMAT_VERSION
+    );
+    print!("{table}");
+}
+
+fn open_store(cli: &Cli) -> CheckpointStore {
+    CheckpointStore::open(&cli.dir).unwrap_or_else(|e| {
+        eprintln!("cannot open {}: {e}", cli.dir.display());
+        std::process::exit(1);
+    })
+}
+
+struct Continuation {
+    label: String,
+    end_committed: u64,
+    stats: vpr_core::SimStats,
+    cycle: u64,
+}
+
+fn verify(cli: &Cli) {
+    let store = open_store(cli);
+    if store.manifest.entries.is_empty() {
+        eprintln!("{} holds no checkpoints", cli.dir.display());
+        std::process::exit(1);
+    }
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    type ConfigKey = (String, String, usize, u64, u64);
+    let mut continuations: std::collections::BTreeMap<ConfigKey, Vec<Continuation>> =
+        Default::default();
+    for entry in &store.manifest.entries {
+        checked += 1;
+        let label = format!(
+            "{}/{} {}@{}",
+            entry.key.benchmark, entry.key.scheme, entry.key.kind, entry.key.target
+        );
+        // Re-derive the configuration the entry claims and validate hash,
+        // format version and payload checksum via the normal load path.
+        let benchmark: Benchmark = match entry.key.benchmark.parse() {
+            Ok(b) => b,
+            Err(e) => {
+                println!("FAIL {label}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let scheme = match parse_scheme(&entry.key.scheme) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("FAIL {label}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let exp = ExperimentConfig {
+            warmup: entry.key.warmup,
+            seed: entry.key.seed,
+            miss_penalty: entry.key.miss_penalty,
+            ..cli.exp
+        };
+        let regs = entry.key.physical_regs as usize;
+        let config = sim_config(scheme, regs, &exp);
+        let hash = config_hash(benchmark, &config, exp.seed);
+        let key = checkpoint_key(
+            benchmark,
+            scheme,
+            regs,
+            &exp,
+            &entry.key.kind,
+            entry.key.target,
+        );
+        let (_, snapshot) = match store.load(&key, hash) {
+            Ok(ok) => ok,
+            Err(e) => {
+                println!("FAIL {label}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let fresh = TraceBuilder::new(benchmark).seed(exp.seed).build();
+        let mut restored: Processor<TraceGen> = match Processor::restore(&snapshot, fresh) {
+            Ok(cpu) => cpu,
+            Err(e) => {
+                println!("FAIL {label}: restore: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        if restored.absolute_committed() != entry.committed || restored.cycle() != entry.cycle {
+            println!(
+                "FAIL {label}: restored position ({} commits, cycle {}) disagrees with \
+                 manifest ({}, {})",
+                restored.absolute_committed(),
+                restored.cycle(),
+                entry.committed,
+                entry.cycle
+            );
+            failures += 1;
+            continue;
+        }
+        if let Some(run) = cli.run {
+            // Golden continuation: run the restored machine forward now;
+            // all continuations of one configuration are compared against
+            // a single shared reference pass afterwards (an uninterrupted
+            // run visits every achieved position exactly once, so one pass
+            // serves every checkpoint of the configuration).
+            restored.run(run);
+            continuations
+                .entry((
+                    entry.key.benchmark.clone(),
+                    entry.key.scheme.clone(),
+                    regs,
+                    exp.seed,
+                    exp.miss_penalty,
+                ))
+                .or_default()
+                .push(Continuation {
+                    label,
+                    end_committed: restored.absolute_committed(),
+                    stats: restored.stats(),
+                    cycle: restored.cycle(),
+                });
+        } else {
+            println!("ok   {label}");
+        }
+    }
+    // The shared reference passes, one per configuration, stopping at each
+    // continuation's achieved end position in stream order.
+    for ((benchmark, scheme_label_, regs, seed, miss_penalty), mut group) in continuations {
+        let benchmark: Benchmark = benchmark.parse().expect("validated above");
+        let scheme = parse_scheme(&scheme_label_).expect("validated above");
+        let exp = ExperimentConfig {
+            seed,
+            miss_penalty,
+            ..cli.exp
+        };
+        let trace = TraceBuilder::new(benchmark).seed(seed).build();
+        let mut reference = Processor::new(sim_config(scheme, regs, &exp), trace);
+        group.sort_by_key(|c| c.end_committed);
+        for c in group {
+            reference.run_to_commit(c.end_committed);
+            if reference.stats() != c.stats
+                || reference.cycle() != c.cycle
+                || reference.absolute_committed() != c.end_committed
+            {
+                println!(
+                    "FAIL {}: continuation diverged from the uninterrupted run",
+                    c.label
+                );
+                failures += 1;
+            } else {
+                println!("ok   {}", c.label);
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures}/{checked} checkpoint(s) failed verification");
+        std::process::exit(1);
+    }
+    println!(
+        "all {checked} checkpoint(s) verified{}",
+        match cli.run {
+            Some(n) => format!(" (with {n}-commit golden continuations)"),
+            None => String::new(),
+        }
+    );
+}
+
+fn main() {
+    let cli = parse_cli();
+    // Scheme labels round-trip through the manifest; fail early if a
+    // requested scheme cannot be expressed.
+    for &scheme in &cli.schemes {
+        let label = scheme_label(scheme);
+        assert_eq!(parse_scheme(&label), Ok(scheme), "label round-trip");
+    }
+    match cli.command.as_str() {
+        "create" => create(&cli),
+        "inspect" => inspect(&cli),
+        "verify" => verify(&cli),
+        _ => unreachable!("validated in parse_cli"),
+    }
+}

@@ -2,17 +2,26 @@
 //! scheme with **issue** allocation over the conventional scheme, for
 //! NRR ∈ {1, 4, 8, 16, 24, 32} at 64 physical registers.
 
-use vpr_bench::{experiments, take_flag_value, write_json_artifact, ExperimentConfig};
+use vpr_bench::sweep::SweepContext;
+use vpr_bench::{experiments, take_flag, take_flag_value, write_json_artifact, ExperimentConfig};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json = take_flag_value(&mut args, "--json").unwrap_or_else(|| "fig5.json".into());
+    let sampled = take_flag(&mut args, "--sampled");
+    let checkpoint_dir: Option<std::path::PathBuf> =
+        take_flag_value(&mut args, "--checkpoint-dir").map(Into::into);
     let exp = ExperimentConfig::from_args(args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
     println!("Figure 5 — VP issue-allocation speedup vs NRR (64 regs/file)\n");
-    let sweep = experiments::fig5(&exp);
+    let ctx = SweepContext::new(sampled, checkpoint_dir.as_deref());
+    if let Err(e) = ctx.try_validate(&exp) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+    let sweep = experiments::fig5_in(&exp, &ctx);
     print!("{}", sweep.render());
     println!("\npaper: best NRR = 32 with a mean improvement of about 4%");
     write_json_artifact(std::path::Path::new(&json), &sweep.to_json());

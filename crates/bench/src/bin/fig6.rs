@@ -1,17 +1,26 @@
 //! Regenerates the paper's Figure 6: write-back vs issue allocation,
 //! each at its optimal NRR (32), as speedups over conventional renaming.
 
-use vpr_bench::{experiments, take_flag_value, write_json_artifact, ExperimentConfig};
+use vpr_bench::sweep::SweepContext;
+use vpr_bench::{experiments, take_flag, take_flag_value, write_json_artifact, ExperimentConfig};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json = take_flag_value(&mut args, "--json").unwrap_or_else(|| "fig6.json".into());
+    let sampled = take_flag(&mut args, "--sampled");
+    let checkpoint_dir: Option<std::path::PathBuf> =
+        take_flag_value(&mut args, "--checkpoint-dir").map(Into::into);
     let exp = ExperimentConfig::from_args(args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
     println!("Figure 6 — write-back vs issue register allocation (NRR=32, 64 regs/file)\n");
-    let f6 = experiments::fig6(&exp);
+    let ctx = SweepContext::new(sampled, checkpoint_dir.as_deref());
+    if let Err(e) = ctx.try_validate(&exp) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+    let f6 = experiments::fig6_in(&exp, &ctx);
     print!("{}", f6.render());
     println!(
         "\nwrite-back wins on {:.0}% of benchmarks (paper: write-back significantly outperforms issue)",

@@ -2,17 +2,26 @@
 //! virtual-physical (write-back) schemes for 48, 64 and 96 physical
 //! registers per file (NRR = 16, 32 and 64 respectively).
 
-use vpr_bench::{experiments, take_flag_value, write_json_artifact, ExperimentConfig};
+use vpr_bench::sweep::SweepContext;
+use vpr_bench::{experiments, take_flag, take_flag_value, write_json_artifact, ExperimentConfig};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json = take_flag_value(&mut args, "--json").unwrap_or_else(|| "fig7.json".into());
+    let sampled = take_flag(&mut args, "--sampled");
+    let checkpoint_dir: Option<std::path::PathBuf> =
+        take_flag_value(&mut args, "--checkpoint-dir").map(Into::into);
     let exp = ExperimentConfig::from_args(args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
     println!("Figure 7 — IPC vs register-file size (conv vs VP write-back)\n");
-    let f7 = experiments::fig7(&exp);
+    let ctx = SweepContext::new(sampled, checkpoint_dir.as_deref());
+    if let Err(e) = ctx.try_validate(&exp) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+    let f7 = experiments::fig7_in(&exp, &ctx);
     print!("{}", f7.render());
     let imp = f7.mean_improvements_percent();
     println!(

@@ -1,24 +1,37 @@
 //! Sampled-simulation accuracy report: estimates the quick table2
 //! workload (all nine benchmarks under conventional and VP write-back
-//! renaming) from detailed intervals covering ≤ 25 % of each run, and
-//! compares against the uninterrupted full-run reference.
+//! renaming) from detailed intervals and compares against the
+//! uninterrupted full-run reference.
 //!
 //! ```text
 //! cargo run --release -p vpr-bench --bin sample -- \
-//!     [--json PATH] [--max-error PCT] \
+//!     [--json PATH] [--max-error PCT] [--checkpointed] [--checkpoint-dir DIR] \
 //!     [--intervals N] [--interval-warmup N] [--interval-measure N] \
 //!     [--warmup N] [--measure N] [--seed N] [--miss-penalty N] [--jobs N]
 //! ```
 //!
+//! Two estimators can be evaluated:
+//!
+//! * default — **functionally-seeded** sampling (functional warm-up →
+//!   detailed warm-up → measure, ≤ 25 % detailed): cheap enough to run
+//!   cold, worst per-config error ≈ 4 % at the quick scale;
+//! * `--checkpointed` — **checkpoint-seeded** sampling (each window
+//!   restores the exact machine state from an interval checkpoint): the
+//!   estimator behind `--sampled` experiment runs, worst per-config error
+//!   ≤ 2 % at the quick scale. With `--checkpoint-dir` the interval
+//!   checkpoints are loaded from/persisted to disk.
+//!
 //! `--max-error PCT` turns the run into a gate: exits non-zero when any
 //! configuration's sampled IPC deviates from the full run by more than
-//! `PCT` percent — the CI sampling-accuracy smoke step.
+//! `PCT` percent — the CI sampling-accuracy smoke steps.
 
 use vpr_bench::sampling::{
-    accuracy_to_json, evaluate_sampling_with_profile, profile_region, SamplingPlan,
+    accuracy_to_json, evaluate_sampling_with_profile, profile_region, SamplingAccuracy,
+    SamplingPlan,
 };
-use vpr_bench::{take_flag_value, write_json_artifact, ExperimentConfig, Table};
-use vpr_core::RenameScheme;
+use vpr_bench::sweep::{run_sweep_metrics, SweepContext, SweepPoint};
+use vpr_bench::workloads::TABLE2_SCHEMES;
+use vpr_bench::{take_flag, take_flag_value, write_json_artifact, ExperimentConfig, Table};
 use vpr_trace::Benchmark;
 
 fn main() {
@@ -32,45 +45,41 @@ fn main() {
             std::process::exit(2);
         })
     });
-    // Flags override the *quick* defaults (throughput-bin style, so a
-    // flag explicitly set to a default value is still honoured); plan
+    let checkpointed = take_flag(&mut args, "--checkpointed");
+    let checkpoint_dir: Option<std::path::PathBuf> =
+        take_flag_value(&mut args, "--checkpoint-dir").map(Into::into);
+    let parse_num = |name: &str, v: Option<String>| -> Option<u64> {
+        v.map(|v| {
+            v.parse().unwrap_or_else(|e| {
+                eprintln!("bad value for {name}: {e}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let intervals = parse_num("--intervals", take_flag_value(&mut args, "--intervals"));
+    let iwarm = parse_num(
+        "--interval-warmup",
+        take_flag_value(&mut args, "--interval-warmup"),
+    );
+    let imeasure = parse_num(
+        "--interval-measure",
+        take_flag_value(&mut args, "--interval-measure"),
+    );
+    // Remaining flags override the *quick* defaults (throughput-bin style,
+    // so a flag explicitly set to a default value is still honoured); plan
     // overrides apply after the plan is derived from the experiment.
     let mut exp = ExperimentConfig::quick();
-    let mut intervals: Option<usize> = None;
-    let mut iwarm: Option<u64> = None;
-    let mut imeasure: Option<u64> = None;
-    let mut it = args.into_iter();
-    while let Some(flag) = it.next() {
-        let mut take = |name: &str| -> u64 {
-            it.next()
-                .unwrap_or_else(|| {
-                    eprintln!("{name} needs a value");
-                    std::process::exit(2);
-                })
-                .parse()
-                .unwrap_or_else(|e| {
-                    eprintln!("bad value for {name}: {e}");
-                    std::process::exit(2);
-                })
-        };
-        match flag.as_str() {
-            "--warmup" => exp.warmup = take("--warmup"),
-            "--measure" => exp.measure = take("--measure"),
-            "--seed" => exp.seed = take("--seed"),
-            "--miss-penalty" => exp.miss_penalty = take("--miss-penalty"),
-            "--jobs" => exp.jobs = take("--jobs") as usize,
-            "--intervals" => intervals = Some(take("--intervals") as usize),
-            "--interval-warmup" => iwarm = Some(take("--interval-warmup")),
-            "--interval-measure" => imeasure = Some(take("--interval-measure")),
-            other => {
-                eprintln!("unknown flag `{other}`");
-                std::process::exit(2);
-            }
-        }
+    if let Err(e) = exp.apply_args(args) {
+        eprintln!("{e}");
+        std::process::exit(2);
     }
-    let mut plan = SamplingPlan::for_experiment(&exp);
+    let mut plan = if checkpointed {
+        SamplingPlan::for_experiment_checkpointed(&exp)
+    } else {
+        SamplingPlan::for_experiment(&exp)
+    };
     if let Some(n) = intervals {
-        plan.intervals = n;
+        plan.intervals = n as usize;
     }
     if let Some(w) = iwarm {
         plan.detailed_warmup = w;
@@ -83,32 +92,11 @@ fn main() {
         std::process::exit(2);
     }
 
-    let schemes = [
-        RenameScheme::Conventional,
-        RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
-    ];
-    let mut rows = Vec::new();
-    for benchmark in Benchmark::ALL {
-        // The functional region profile is scheme-independent: one pass
-        // per benchmark, shared across the scheme sweep.
-        let profile_config = vpr_core::SimConfig::builder()
-            .scheme(schemes[0])
-            .physical_regs(64)
-            .miss_penalty(exp.miss_penalty)
-            .build();
-        let profile = profile_region(
-            benchmark,
-            exp.seed,
-            plan.offset,
-            plan.region,
-            &profile_config,
-        );
-        for scheme in schemes {
-            rows.push(evaluate_sampling_with_profile(
-                benchmark, scheme, 64, &exp, &plan, &profile,
-            ));
-        }
-    }
+    let rows = if checkpointed {
+        evaluate_checkpointed(&exp, &plan, checkpoint_dir.as_deref())
+    } else {
+        evaluate_functional(&exp, &plan)
+    };
 
     let mut table = Table::new(
         ["bench", "scheme", "full IPC", "sampled IPC", "err %"]
@@ -118,15 +106,20 @@ fn main() {
     for r in &rows {
         table.add_row(vec![
             r.benchmark.name().into(),
-            vpr_bench::harness::scheme_label(r.scheme),
+            vpr_bench::workloads::scheme_label(r.scheme),
             format!("{:.3}", r.full_ipc),
             format!("{:.3}", r.sampled_ipc),
             format!("{:+.2}", r.ipc_error_percent()),
         ]);
     }
     println!(
-        "sampled simulation: {} intervals x {} detailed commits \
+        "sampled simulation ({}): {} intervals x {} detailed commits \
          ({:.1}% of the full run in detailed mode)",
+        if checkpointed {
+            "checkpoint-seeded"
+        } else {
+            "functionally-seeded"
+        },
         plan.intervals,
         plan.detailed_per_interval(),
         plan.detailed_fraction() * 100.0
@@ -147,4 +140,59 @@ fn main() {
         }
         println!("sampling accuracy check passed (bound {bound:.2}%)");
     }
+}
+
+/// The functionally-seeded estimator, evaluated per configuration against
+/// its full-run reference.
+fn evaluate_functional(exp: &ExperimentConfig, plan: &SamplingPlan) -> Vec<SamplingAccuracy> {
+    let mut rows = Vec::new();
+    for benchmark in Benchmark::ALL {
+        // The functional region profile is scheme-independent: one pass
+        // per benchmark, shared across the scheme sweep.
+        let profile_config = vpr_bench::checkpoints::sim_config(TABLE2_SCHEMES[0], 64, exp);
+        let profile = profile_region(
+            benchmark,
+            exp.seed,
+            plan.offset,
+            plan.region,
+            &profile_config,
+        );
+        for scheme in TABLE2_SCHEMES {
+            rows.push(evaluate_sampling_with_profile(
+                benchmark, scheme, 64, exp, plan, &profile,
+            ));
+        }
+    }
+    rows
+}
+
+/// The checkpoint-seeded estimator: exact and sampled table2-grid sweeps
+/// side by side (the sampled sweep loads/persists `.vprsnap` interval
+/// checkpoints when a directory is given).
+fn evaluate_checkpointed(
+    exp: &ExperimentConfig,
+    plan: &SamplingPlan,
+    dir: Option<&std::path::Path>,
+) -> Vec<SamplingAccuracy> {
+    let points: Vec<SweepPoint> = vpr_bench::workloads::table2_grid()
+        .into_iter()
+        .map(|(b, s)| SweepPoint::at64(b, s))
+        .collect();
+    let exact = run_sweep_metrics(&points, exp, &SweepContext::exact());
+    let mut ctx = SweepContext::new(true, dir);
+    ctx.plan = Some(*plan);
+    let sampled = run_sweep_metrics(&points, exp, &ctx);
+    points
+        .iter()
+        .zip(exact.points.iter().zip(&sampled.points))
+        .map(|(p, (e, s))| SamplingAccuracy {
+            benchmark: p.benchmark,
+            scheme: p.scheme,
+            full_ipc: e.ipc,
+            sampled_ipc: s.ipc,
+            full_miss_ratio: e.miss_ratio,
+            sampled_miss_ratio: s.miss_ratio,
+            detailed_fraction: plan.detailed_fraction(),
+        })
+        .collect()
 }

@@ -52,38 +52,24 @@ fn main() {
         .unwrap_or_else(|| "BENCH_throughput.json".into());
     let check: Option<std::path::PathBuf> = take_flag_value(&mut args, "--check").map(Into::into);
 
-    // Flags override the *quick* defaults: throughput tracking wants a
-    // fast, standard workload, not the full-size experiment runs.
-    let mut exp = ExperimentConfig::quick();
-    let mut runs_per_config = 3usize;
-    let mut tolerance = 20.0f64;
-    let mut it = args.into_iter();
-    while let Some(flag) = it.next() {
-        let mut take = |name: &str| -> u64 {
-            it.next()
-                .unwrap_or_else(|| {
-                    eprintln!("{name} needs a value");
-                    std::process::exit(2);
-                })
-                .parse()
-                .unwrap_or_else(|e| {
-                    eprintln!("bad value for {name}: {e}");
-                    std::process::exit(2);
-                })
-        };
-        match flag.as_str() {
-            "--warmup" => exp.warmup = take("--warmup"),
-            "--measure" => exp.measure = take("--measure"),
-            "--seed" => exp.seed = take("--seed"),
-            "--miss-penalty" => exp.miss_penalty = take("--miss-penalty"),
-            "--jobs" => exp.jobs = take("--jobs") as usize,
-            "--runs" => runs_per_config = (take("--runs") as usize).max(1),
-            "--tolerance" => tolerance = take("--tolerance") as f64,
-            other => {
-                eprintln!("unknown flag `{other}`");
+    let parse_num = |name: &str, v: Option<String>| -> Option<u64> {
+        v.map(|v| {
+            v.parse().unwrap_or_else(|e| {
+                eprintln!("bad value for {name}: {e}");
                 std::process::exit(2);
-            }
-        }
+            })
+        })
+    };
+    let runs_per_config = parse_num("--runs", take_flag_value(&mut args, "--runs"))
+        .map_or(3usize, |n| (n as usize).max(1));
+    let tolerance = parse_num("--tolerance", take_flag_value(&mut args, "--tolerance"))
+        .map_or(20.0f64, |n| n as f64);
+    // Remaining flags override the *quick* defaults: throughput tracking
+    // wants a fast, standard workload, not the full-size experiment runs.
+    let mut exp = ExperimentConfig::quick();
+    if let Err(e) = exp.apply_args(args) {
+        eprintln!("{e}");
+        std::process::exit(2);
     }
 
     let report = measure_throughput(&exp, runs_per_config);

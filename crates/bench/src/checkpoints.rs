@@ -1,0 +1,455 @@
+//! `.vprsnap` checkpoint artefacts: creation, storage, validated loading.
+//!
+//! A checkpoint directory turns warm-up work into a shared artefact: one
+//! **warm** checkpoint per (workload, scheme, warm-up length) lets every
+//! exact experiment skip its warm-up, and one **interval** checkpoint per
+//! sampling-interval start — all taken during a *single warm serial pass*
+//! per configuration — lets `--sampled` experiment runs seed each detailed
+//! window from the exact machine state of the uninterrupted run instead of
+//! functional re-warming (see [`crate::sampling`]).
+//!
+//! On disk, a directory holds one `.vprsnap` file per checkpoint (the
+//! `vpr-snap` envelope, unchanged) plus a `checkpoints.json` manifest
+//! ([`vpr_snap::manifest`]) recording for each artefact its experiment
+//! key, the configuration hash it was taken under, its trace cursor, and
+//! its payload checksum. Loading re-derives the configuration hash from
+//! the configuration *about to run* and rejects any mismatch — stale
+//! artefacts fail loudly at load, never silently skew an experiment.
+//!
+//! The `checkpoint` binary is the user-facing face of this module:
+//! `checkpoint create` populates a directory, `checkpoint inspect` lists
+//! it, `checkpoint verify` re-validates every artefact (optionally
+//! continuing each restored machine and comparing against a fresh
+//! uninterrupted run).
+
+use crate::sampling::SamplingPlan;
+use crate::workloads::scheme_label;
+use crate::ExperimentConfig;
+use std::path::{Path, PathBuf};
+use vpr_core::{Processor, RenameScheme, SimConfig, SimStats};
+use vpr_snap::manifest::{CheckpointKey, Manifest, ManifestEntry, ManifestError};
+use vpr_snap::{Snap as _, Snapshot};
+use vpr_trace::{Benchmark, TraceBuilder, TraceGen};
+
+/// Checkpoint kind label: taken at the end of warm-up.
+pub const KIND_WARM: &str = "warm";
+/// Checkpoint kind label: taken at a sampling-interval start.
+pub const KIND_INTERVAL: &str = "interval";
+
+/// Builds the simulator configuration for one sweep point (the same
+/// construction every experiment path uses).
+pub fn sim_config(scheme: RenameScheme, physical_regs: usize, exp: &ExperimentConfig) -> SimConfig {
+    SimConfig::builder()
+        .scheme(scheme)
+        .physical_regs(physical_regs)
+        .miss_penalty(exp.miss_penalty)
+        .build()
+}
+
+/// FNV-1a hash of everything a checkpoint's validity depends on besides
+/// its position: the full serialised simulator configuration (scheme,
+/// register files, cache geometry, latencies, …), the workload identity,
+/// and the trace seed. Any change to any of those produces a different
+/// hash, and the manifest's staleness gate refuses the artefact.
+pub fn config_hash(benchmark: Benchmark, config: &SimConfig, seed: u64) -> u64 {
+    let mut enc = vpr_snap::Encoder::new();
+    config.save(&mut enc);
+    enc.put_u64(seed);
+    let mut bytes = enc.into_bytes();
+    bytes.extend_from_slice(benchmark.name().as_bytes());
+    vpr_snap::fnv1a(&bytes)
+}
+
+/// The manifest key of one checkpoint.
+pub fn checkpoint_key(
+    benchmark: Benchmark,
+    scheme: RenameScheme,
+    physical_regs: usize,
+    exp: &ExperimentConfig,
+    kind: &str,
+    target: u64,
+) -> CheckpointKey {
+    CheckpointKey {
+        benchmark: benchmark.name().to_string(),
+        scheme: scheme_label(scheme),
+        physical_regs: physical_regs as u64,
+        seed: exp.seed,
+        miss_penalty: exp.miss_penalty,
+        warmup: exp.warmup,
+        kind: kind.to_string(),
+        target,
+    }
+}
+
+/// File name a checkpoint is stored under (unique per key).
+pub fn checkpoint_file_name(key: &CheckpointKey) -> String {
+    format!(
+        "{}_{}_{}r_s{}_mp{}_w{}_{}{}.vprsnap",
+        key.benchmark,
+        key.scheme,
+        key.physical_regs,
+        key.seed,
+        key.miss_penalty,
+        key.warmup,
+        key.kind,
+        key.target
+    )
+}
+
+/// One checkpoint produced by [`generate_checkpoints`]: its manifest key,
+/// position metadata, and the snapshot itself (not yet on disk).
+#[derive(Debug, Clone)]
+pub struct GeneratedCheckpoint {
+    /// The manifest key.
+    pub key: CheckpointKey,
+    /// Achieved committed-instruction position.
+    pub committed: u64,
+    /// Machine cycle at the snapshot.
+    pub cycle: u64,
+    /// Trace-generator cursor (instructions emitted).
+    pub trace_cursor: u64,
+    /// Hash of the configuration the pass ran under.
+    pub config_hash: u64,
+    /// The snapshot.
+    pub snapshot: Snapshot,
+}
+
+impl GeneratedCheckpoint {
+    /// The manifest row describing this checkpoint once written to `file`.
+    pub fn manifest_entry(&self, file: String) -> ManifestEntry {
+        ManifestEntry {
+            key: self.key.clone(),
+            file,
+            committed: self.committed,
+            cycle: self.cycle,
+            trace_cursor: self.trace_cursor,
+            config_hash: self.config_hash,
+            payload_checksum: self.snapshot.checksum(),
+            format_version: vpr_snap::FORMAT_VERSION,
+        }
+    }
+}
+
+/// Runs **one warm serial pass** for `(benchmark, scheme)` and checkpoints
+/// it at every requested position: always at the end of warm-up
+/// (`exp.warmup`, kind [`KIND_WARM`]) and — when a sampling plan is given —
+/// at each of the plan's interval starts (kind [`KIND_INTERVAL`]).
+///
+/// The pass is the plain uninterrupted simulation, paused via
+/// [`Processor::checkpoint_at_commits`]; restored continuations are
+/// therefore bit-identical to never having paused (the contract
+/// `tests/snapshot_roundtrip.rs` pins).
+pub fn generate_checkpoints(
+    benchmark: Benchmark,
+    scheme: RenameScheme,
+    physical_regs: usize,
+    exp: &ExperimentConfig,
+    plan: Option<&SamplingPlan>,
+) -> Vec<GeneratedCheckpoint> {
+    let config = sim_config(scheme, physical_regs, exp);
+    let hash = config_hash(benchmark, &config, exp.seed);
+    // Sorted unique targets, each mapping to the kinds checkpointed there.
+    let mut targets: Vec<(u64, Vec<&str>)> = vec![(exp.warmup, vec![KIND_WARM])];
+    if let Some(plan) = plan {
+        for start in plan.starts() {
+            match targets.iter_mut().find(|(t, _)| *t == start) {
+                Some((_, kinds)) => kinds.push(KIND_INTERVAL),
+                None => targets.push((start, vec![KIND_INTERVAL])),
+            }
+        }
+    }
+    targets.sort_by_key(|(t, _)| *t);
+    let positions: Vec<u64> = targets.iter().map(|(t, _)| *t).collect();
+
+    let trace = TraceBuilder::new(benchmark).seed(exp.seed).build();
+    let mut cpu = Processor::new(config, trace);
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    cpu.checkpoint_at_commits(&positions, |cpu, target| {
+        let snapshot = cpu.snapshot();
+        for kind in &targets[at].1 {
+            out.push(GeneratedCheckpoint {
+                key: checkpoint_key(benchmark, scheme, physical_regs, exp, kind, target),
+                committed: cpu.absolute_committed(),
+                cycle: cpu.cycle(),
+                trace_cursor: cpu.trace().emitted(),
+                config_hash: hash,
+                snapshot: snapshot.clone(),
+            });
+        }
+        at += 1;
+    });
+    out
+}
+
+/// A checkpoint directory opened for reading: the manifest plus the path
+/// the `.vprsnap` files resolve against.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    /// Directory the artefacts live in.
+    pub dir: PathBuf,
+    /// Its parsed manifest.
+    pub manifest: Manifest,
+}
+
+/// Why a checkpoint could not be loaded from a store.
+#[derive(Debug)]
+pub enum CheckpointLoadError {
+    /// The manifest has no (valid) entry for the key.
+    Manifest(ManifestError),
+    /// The `.vprsnap` file could not be read or fails envelope validation.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CheckpointLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointLoadError::Manifest(e) => write!(f, "{e}"),
+            CheckpointLoadError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointLoadError {}
+
+impl CheckpointStore {
+    /// Opens a checkpoint directory (an absent manifest reads as empty).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed manifests.
+    pub fn open(dir: &Path) -> std::io::Result<Self> {
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            manifest: Manifest::load(dir)?,
+        })
+    }
+
+    /// Writes generated checkpoints into the directory and records them in
+    /// the in-memory manifest. Call [`CheckpointStore::flush`] afterwards
+    /// to persist the manifest itself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-write failures.
+    pub fn save_all(&mut self, generated: &[GeneratedCheckpoint]) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        for g in generated {
+            let file = checkpoint_file_name(&g.key);
+            g.snapshot.write_to(&self.dir.join(&file))?;
+            self.manifest.upsert(g.manifest_entry(file));
+        }
+        Ok(())
+    }
+
+    /// Persists the manifest (`checkpoints.json`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.manifest.store(&self.dir)
+    }
+
+    /// Loads and validates the checkpoint under `key` for a run whose
+    /// configuration hashes to `expected_hash`: the manifest entry must
+    /// exist, match the hash and snapshot format version, and the file's
+    /// payload checksum must equal the manifest's record.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointLoadError::Manifest`] for missing/stale entries,
+    /// [`CheckpointLoadError::Io`] for unreadable or corrupt files.
+    pub fn load(
+        &self,
+        key: &CheckpointKey,
+        expected_hash: u64,
+    ) -> Result<(ManifestEntry, Snapshot), CheckpointLoadError> {
+        let entry = self.manifest.find(key).ok_or_else(|| {
+            CheckpointLoadError::Manifest(ManifestError::NotFound(format!(
+                "{}/{} {}@{}",
+                key.benchmark, key.scheme, key.kind, key.target
+            )))
+        })?;
+        let snapshot =
+            Snapshot::read_from(&self.dir.join(&entry.file)).map_err(CheckpointLoadError::Io)?;
+        Manifest::validate(entry, expected_hash, snapshot.checksum())
+            .map_err(CheckpointLoadError::Manifest)?;
+        Ok((entry.clone(), snapshot))
+    }
+
+    /// Loads the full set of interval checkpoints for a sampling plan, in
+    /// interval order. `None` (with a reason) when any is missing or
+    /// stale — callers then fall back to generating the serial pass.
+    pub fn load_interval_set(
+        &self,
+        benchmark: Benchmark,
+        scheme: RenameScheme,
+        physical_regs: usize,
+        exp: &ExperimentConfig,
+        plan: &SamplingPlan,
+    ) -> Result<Vec<(u64, Snapshot)>, CheckpointLoadError> {
+        let config = sim_config(scheme, physical_regs, exp);
+        let hash = config_hash(benchmark, &config, exp.seed);
+        let mut out = Vec::with_capacity(plan.intervals);
+        for start in plan.starts() {
+            let key = checkpoint_key(benchmark, scheme, physical_regs, exp, KIND_INTERVAL, start);
+            let (_, snapshot) = self.load(&key, hash)?;
+            out.push((start, snapshot));
+        }
+        Ok(out)
+    }
+}
+
+/// Runs one exact measurement for a sweep point, restoring the warm
+/// checkpoint from `store` when a valid one exists (skipping the warm-up
+/// simulation) and simulating the warm-up otherwise. Restored
+/// continuations are bit-identical to uninterrupted runs, so the result
+/// does not depend on which path was taken.
+pub fn run_benchmark_checkpointed(
+    benchmark: Benchmark,
+    scheme: RenameScheme,
+    physical_regs: usize,
+    exp: &ExperimentConfig,
+    store: Option<&CheckpointStore>,
+) -> SimStats {
+    if let Some(store) = store {
+        let config = sim_config(scheme, physical_regs, exp);
+        let hash = config_hash(benchmark, &config, exp.seed);
+        let key = checkpoint_key(benchmark, scheme, physical_regs, exp, KIND_WARM, exp.warmup);
+        match store.load(&key, hash) {
+            Ok((_, snapshot)) => {
+                let fresh = TraceBuilder::new(benchmark).seed(exp.seed).build();
+                let mut cpu: Processor<TraceGen> =
+                    Processor::restore(&snapshot, fresh).expect("validated checkpoint restores");
+                cpu.reset_window();
+                return cpu.run(exp.measure);
+            }
+            // An absent checkpoint is normal (the directory is just not
+            // populated for this point); a stale or corrupt one should be
+            // visible even though the exact fallback is bit-identical.
+            Err(CheckpointLoadError::Manifest(ManifestError::NotFound(_))) => {}
+            Err(e) => eprintln!(
+                "note: simulating warm-up for {}/{}: {e}",
+                benchmark.name(),
+                scheme_label(scheme)
+            ),
+        }
+    }
+    crate::run_benchmark(benchmark, scheme, physical_regs, exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExperimentConfig {
+        ExperimentConfig {
+            warmup: 500,
+            measure: 3_000,
+            ..ExperimentConfig::quick()
+        }
+    }
+
+    #[test]
+    fn config_hash_tracks_configuration_and_workload() {
+        let exp = quick();
+        let base = sim_config(RenameScheme::Conventional, 64, &exp);
+        let h = config_hash(Benchmark::Swim, &base, exp.seed);
+        assert_eq!(h, config_hash(Benchmark::Swim, &base, exp.seed));
+        assert_ne!(h, config_hash(Benchmark::Go, &base, exp.seed));
+        assert_ne!(h, config_hash(Benchmark::Swim, &base, exp.seed + 1));
+        let other = sim_config(RenameScheme::VirtualPhysicalWriteback { nrr: 32 }, 64, &exp);
+        assert_ne!(h, config_hash(Benchmark::Swim, &other, exp.seed));
+        let mp = sim_config(
+            RenameScheme::Conventional,
+            64,
+            &ExperimentConfig {
+                miss_penalty: 20,
+                ..exp
+            },
+        );
+        assert_ne!(h, config_hash(Benchmark::Swim, &mp, exp.seed));
+    }
+
+    #[test]
+    fn warm_checkpoint_restores_to_the_uninterrupted_run() {
+        let exp = quick();
+        let generated =
+            generate_checkpoints(Benchmark::Swim, RenameScheme::Conventional, 64, &exp, None);
+        assert_eq!(generated.len(), 1);
+        assert_eq!(generated[0].key.kind, KIND_WARM);
+        assert!(generated[0].committed >= exp.warmup);
+
+        let fresh = TraceBuilder::new(Benchmark::Swim).seed(exp.seed).build();
+        let mut restored: Processor<TraceGen> =
+            Processor::restore(&generated[0].snapshot, fresh).unwrap();
+        restored.reset_window();
+        let from_checkpoint = restored.run(exp.measure);
+        let reference = crate::run_benchmark(Benchmark::Swim, RenameScheme::Conventional, 64, &exp);
+        assert_eq!(from_checkpoint, reference);
+    }
+
+    #[test]
+    fn store_round_trips_and_rejects_stale_configs() {
+        let exp = quick();
+        let dir = std::env::temp_dir().join("vpr-bench-ckpt-store-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let generated =
+            generate_checkpoints(Benchmark::Go, RenameScheme::Conventional, 64, &exp, None);
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        store.save_all(&generated).unwrap();
+        store.flush().unwrap();
+
+        let reopened = CheckpointStore::open(&dir).unwrap();
+        let config = sim_config(RenameScheme::Conventional, 64, &exp);
+        let hash = config_hash(Benchmark::Go, &config, exp.seed);
+        let key = checkpoint_key(
+            Benchmark::Go,
+            RenameScheme::Conventional,
+            64,
+            &exp,
+            KIND_WARM,
+            exp.warmup,
+        );
+        let (entry, snapshot) = reopened.load(&key, hash).unwrap();
+        assert_eq!(snapshot, generated[0].snapshot);
+        assert_eq!(entry.committed, generated[0].committed);
+
+        // A different configuration must be refused as stale.
+        let stale = reopened.load(&key, hash ^ 1);
+        assert!(matches!(
+            stale,
+            Err(CheckpointLoadError::Manifest(
+                ManifestError::StaleConfig { .. }
+            ))
+        ));
+
+        // A missing key is NotFound, not a panic.
+        let mut other = key.clone();
+        other.target += 1;
+        assert!(matches!(
+            reopened.load(&other, hash),
+            Err(CheckpointLoadError::Manifest(ManifestError::NotFound(_)))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointed_exact_run_falls_back_without_artifacts() {
+        let exp = quick();
+        let dir = std::env::temp_dir().join("vpr-bench-ckpt-fallback-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir).unwrap();
+        let with = run_benchmark_checkpointed(
+            Benchmark::Swim,
+            RenameScheme::Conventional,
+            64,
+            &exp,
+            Some(&store),
+        );
+        let without = crate::run_benchmark(Benchmark::Swim, RenameScheme::Conventional, 64, &exp);
+        assert_eq!(with, without);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -4,7 +4,7 @@
 //! result, and can render it as a [`Table`] shaped like the paper's
 //! corresponding table or figure.
 
-use crate::sweep::{run_sweep, SweepPoint};
+use crate::sweep::{run_sweep_metrics, SamplingProvenance, SweepContext, SweepPoint};
 use crate::{ExperimentConfig, Table};
 use vpr_core::{harmonic_mean, RenameScheme};
 use vpr_trace::Benchmark;
@@ -45,6 +45,9 @@ impl Table2Row {
 pub struct Table2 {
     /// Per-benchmark rows, integer benchmarks first (paper order).
     pub rows: Vec<Table2Row>,
+    /// How the numbers were obtained (exact vs sampled) — recorded into
+    /// the JSON artefact so the two are never confusable.
+    pub sampling: SamplingProvenance,
 }
 
 impl Table2 {
@@ -62,12 +65,15 @@ impl Table2 {
         (v / c - 1.0) * 100.0
     }
 
-    /// Renders the result as JSON (`vpr-bench-table2/v1`), mirroring the
-    /// throughput harness's hand-rolled style.
+    /// Renders the result as JSON (`vpr-bench-table2/v2`), mirroring the
+    /// throughput harness's hand-rolled style. v2 adds the `sampling`
+    /// provenance block.
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        s.push_str("{\n  \"schema\": \"vpr-bench-table2/v1\",\n  \"rows\": [\n");
+        s.push_str("{\n  \"schema\": \"vpr-bench-table2/v2\",\n");
+        let _ = writeln!(s, "  \"sampling\": {},", self.sampling.to_json_value());
+        s.push_str("  \"rows\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
             let _ = write!(
                 s,
@@ -138,6 +144,12 @@ impl Table2 {
 /// engine (`exp.jobs` workers); rows are assembled in benchmark order, so
 /// the result is identical for any worker count.
 pub fn table2(exp: &ExperimentConfig) -> Table2 {
+    table2_in(exp, &SweepContext::exact())
+}
+
+/// [`table2`] in an explicit [`SweepContext`]: exact (optionally restoring
+/// warm checkpoints) or sampled (checkpoint-seeded estimation).
+pub fn table2_in(exp: &ExperimentConfig, ctx: &SweepContext) -> Table2 {
     let points: Vec<SweepPoint> = Benchmark::ALL
         .iter()
         .flat_map(|&b| {
@@ -147,18 +159,21 @@ pub fn table2(exp: &ExperimentConfig) -> Table2 {
             ]
         })
         .collect();
-    let stats = run_sweep(&points, exp);
+    let metrics = run_sweep_metrics(&points, exp, ctx);
     let rows = Benchmark::ALL
         .iter()
-        .zip(stats.chunks_exact(2))
+        .zip(metrics.points.chunks_exact(2))
         .map(|(&b, pair)| Table2Row {
             benchmark: b,
-            conv_ipc: pair[0].ipc(),
-            vp_ipc: pair[1].ipc(),
-            vp_executions_per_commit: pair[1].executions_per_commit(),
+            conv_ipc: pair[0].ipc,
+            vp_ipc: pair[1].ipc,
+            vp_executions_per_commit: pair[1].executions_per_commit,
         })
         .collect();
-    Table2 { rows }
+    Table2 {
+        rows,
+        sampling: metrics.provenance,
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -184,6 +199,8 @@ pub struct NrrSweep {
     pub scheme_name: &'static str,
     /// Per-benchmark series.
     pub rows: Vec<NrrSweepRow>,
+    /// How the numbers were obtained.
+    pub sampling: SamplingProvenance,
 }
 
 impl NrrSweep {
@@ -202,8 +219,9 @@ impl NrrSweep {
             .collect()
     }
 
-    /// Renders the result as JSON (`vpr-bench-nrr-sweep/v1`); `scheme`
-    /// distinguishes Figure 4 (write-back) from Figure 5 (issue).
+    /// Renders the result as JSON (`vpr-bench-nrr-sweep/v2`); `scheme`
+    /// distinguishes Figure 4 (write-back) from Figure 5 (issue). v2 adds
+    /// the `sampling` provenance block.
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let join = |xs: &[f64]| {
@@ -213,7 +231,8 @@ impl NrrSweep {
                 .join(", ")
         };
         let mut s = String::new();
-        s.push_str("{\n  \"schema\": \"vpr-bench-nrr-sweep/v1\",\n");
+        s.push_str("{\n  \"schema\": \"vpr-bench-nrr-sweep/v2\",\n");
+        let _ = writeln!(s, "  \"sampling\": {},", self.sampling.to_json_value());
         let _ = writeln!(s, "  \"scheme\": \"{}\",", self.scheme_name);
         let nrrs = NRR_SWEEP
             .iter()
@@ -259,7 +278,7 @@ impl NrrSweep {
     }
 }
 
-fn nrr_sweep(exp: &ExperimentConfig, writeback: bool) -> NrrSweep {
+fn nrr_sweep(exp: &ExperimentConfig, ctx: &SweepContext, writeback: bool) -> NrrSweep {
     let vp = |nrr| {
         if writeback {
             RenameScheme::VirtualPhysicalWriteback { nrr }
@@ -277,35 +296,46 @@ fn nrr_sweep(exp: &ExperimentConfig, writeback: bool) -> NrrSweep {
             )
         })
         .collect();
-    let stats = run_sweep(&points, exp);
+    let metrics = run_sweep_metrics(&points, exp, ctx);
     let rows = Benchmark::ALL
         .iter()
-        .zip(stats.chunks_exact(1 + NRR_SWEEP.len()))
+        .zip(metrics.points.chunks_exact(1 + NRR_SWEEP.len()))
         .map(|(&b, group)| {
-            let conv = group[0].ipc();
+            let conv = group[0].ipc;
             NrrSweepRow {
                 benchmark: b,
                 conv_ipc: conv,
-                speedups: group[1..].iter().map(|s| s.ipc() / conv).collect(),
+                speedups: group[1..].iter().map(|m| m.ipc / conv).collect(),
             }
         })
         .collect();
     NrrSweep {
         scheme_name: if writeback { "write-back" } else { "issue" },
         rows,
+        sampling: metrics.provenance,
     }
 }
 
 /// Regenerates Figure 4: VP write-back speedup over conventional for
 /// NRR ∈ {1, 4, 8, 16, 24, 32}.
 pub fn fig4(exp: &ExperimentConfig) -> NrrSweep {
-    nrr_sweep(exp, true)
+    fig4_in(exp, &SweepContext::exact())
+}
+
+/// [`fig4`] in an explicit [`SweepContext`].
+pub fn fig4_in(exp: &ExperimentConfig, ctx: &SweepContext) -> NrrSweep {
+    nrr_sweep(exp, ctx, true)
 }
 
 /// Regenerates Figure 5: VP issue-allocation speedup over conventional
 /// for the same NRR sweep.
 pub fn fig5(exp: &ExperimentConfig) -> NrrSweep {
-    nrr_sweep(exp, false)
+    fig5_in(exp, &SweepContext::exact())
+}
+
+/// [`fig5`] in an explicit [`SweepContext`].
+pub fn fig5_in(exp: &ExperimentConfig, ctx: &SweepContext) -> NrrSweep {
+    nrr_sweep(exp, ctx, false)
 }
 
 // ----------------------------------------------------------------------
@@ -328,14 +358,19 @@ pub struct Fig6Row {
 pub struct Fig6 {
     /// Per-benchmark rows.
     pub rows: Vec<Fig6Row>,
+    /// How the numbers were obtained.
+    pub sampling: SamplingProvenance,
 }
 
 impl Fig6 {
-    /// Renders the result as JSON (`vpr-bench-fig6/v1`).
+    /// Renders the result as JSON (`vpr-bench-fig6/v2`; v2 adds the
+    /// `sampling` provenance block).
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        s.push_str("{\n  \"schema\": \"vpr-bench-fig6/v1\",\n  \"rows\": [\n");
+        s.push_str("{\n  \"schema\": \"vpr-bench-fig6/v2\",\n");
+        let _ = writeln!(s, "  \"sampling\": {},", self.sampling.to_json_value());
+        s.push_str("  \"rows\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
             let _ = write!(
                 s,
@@ -383,6 +418,11 @@ impl Fig6 {
 /// Regenerates Figure 6: both allocation policies at NRR = 32, 64
 /// registers.
 pub fn fig6(exp: &ExperimentConfig) -> Fig6 {
+    fig6_in(exp, &SweepContext::exact())
+}
+
+/// [`fig6`] in an explicit [`SweepContext`].
+pub fn fig6_in(exp: &ExperimentConfig, ctx: &SweepContext) -> Fig6 {
     let points: Vec<SweepPoint> = Benchmark::ALL
         .iter()
         .flat_map(|&b| {
@@ -393,20 +433,23 @@ pub fn fig6(exp: &ExperimentConfig) -> Fig6 {
             ]
         })
         .collect();
-    let stats = run_sweep(&points, exp);
+    let metrics = run_sweep_metrics(&points, exp, ctx);
     let rows = Benchmark::ALL
         .iter()
-        .zip(stats.chunks_exact(3))
+        .zip(metrics.points.chunks_exact(3))
         .map(|(&b, group)| {
-            let conv = group[0].ipc();
+            let conv = group[0].ipc;
             Fig6Row {
                 benchmark: b,
-                writeback_speedup: group[1].ipc() / conv,
-                issue_speedup: group[2].ipc() / conv,
+                writeback_speedup: group[1].ipc / conv,
+                issue_speedup: group[2].ipc / conv,
             }
         })
         .collect();
-    Fig6 { rows }
+    Fig6 {
+        rows,
+        sampling: metrics.provenance,
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -427,6 +470,8 @@ pub struct Fig7Row {
 pub struct Fig7 {
     /// Per-benchmark rows.
     pub rows: Vec<Fig7Row>,
+    /// How the numbers were obtained.
+    pub sampling: SamplingProvenance,
 }
 
 impl Fig7 {
@@ -453,11 +498,13 @@ impl Fig7 {
             .collect()
     }
 
-    /// Renders the result as JSON (`vpr-bench-fig7/v1`).
+    /// Renders the result as JSON (`vpr-bench-fig7/v2`; v2 adds the
+    /// `sampling` provenance block).
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        s.push_str("{\n  \"schema\": \"vpr-bench-fig7/v1\",\n");
+        s.push_str("{\n  \"schema\": \"vpr-bench-fig7/v2\",\n");
+        let _ = writeln!(s, "  \"sampling\": {},", self.sampling.to_json_value());
         let sizes = REG_SWEEP
             .iter()
             .map(|(size, nrr)| format!("{{\"physical_regs\": {size}, \"nrr\": {nrr}}}"))
@@ -519,6 +566,11 @@ impl Fig7 {
 /// Regenerates Figure 7: conventional vs VP write-back for 48, 64 and 96
 /// physical registers (NRR = 16, 32, 64 respectively).
 pub fn fig7(exp: &ExperimentConfig) -> Fig7 {
+    fig7_in(exp, &SweepContext::exact())
+}
+
+/// [`fig7`] in an explicit [`SweepContext`].
+pub fn fig7_in(exp: &ExperimentConfig, ctx: &SweepContext) -> Fig7 {
     let points: Vec<SweepPoint> = Benchmark::ALL
         .iter()
         .flat_map(|&b| {
@@ -538,19 +590,22 @@ pub fn fig7(exp: &ExperimentConfig) -> Fig7 {
             })
         })
         .collect();
-    let stats = run_sweep(&points, exp);
+    let metrics = run_sweep_metrics(&points, exp, ctx);
     let rows = Benchmark::ALL
         .iter()
-        .zip(stats.chunks_exact(2 * REG_SWEEP.len()))
+        .zip(metrics.points.chunks_exact(2 * REG_SWEEP.len()))
         .map(|(&b, group)| Fig7Row {
             benchmark: b,
             ipcs: group
                 .chunks_exact(2)
-                .map(|p| (p[0].ipc(), p[1].ipc()))
+                .map(|p| (p[0].ipc, p[1].ipc))
                 .collect(),
         })
         .collect();
-    Fig7 { rows }
+    Fig7 {
+        rows,
+        sampling: metrics.provenance,
+    }
 }
 
 #[cfg(test)]
@@ -590,6 +645,7 @@ mod tests {
                 vp_ipc: 2.0,
                 vp_executions_per_commit: 3.3,
             }],
+            sampling: SamplingProvenance::Exact,
         };
         let rendered = t2.render().to_string();
         assert!(rendered.contains("swim"));

@@ -73,6 +73,20 @@ impl ExperimentConfig {
     /// Returns a message for unknown flags or unparsable values.
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut cfg = Self::default();
+        cfg.apply_args(args)?;
+        Ok(cfg)
+    }
+
+    /// Parses the shared experiment flags onto `self` (whatever base —
+    /// [`ExperimentConfig::default`] or [`ExperimentConfig::quick`] — the
+    /// caller started from). Binaries with extra flags extract those via
+    /// [`crate::take_flag_value`] first and hand the rest here, so the
+    /// flag set is parsed in exactly one place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown flags or unparsable values.
+    pub fn apply_args<I: IntoIterator<Item = String>>(&mut self, args: I) -> Result<(), String> {
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
             let mut take = |name: &str| -> Result<u64, String> {
@@ -82,15 +96,15 @@ impl ExperimentConfig {
                     .map_err(|e| format!("bad value for {name}: {e}"))
             };
             match flag.as_str() {
-                "--warmup" => cfg.warmup = take("--warmup")?,
-                "--measure" => cfg.measure = take("--measure")?,
-                "--seed" => cfg.seed = take("--seed")?,
-                "--miss-penalty" => cfg.miss_penalty = take("--miss-penalty")?,
-                "--jobs" => cfg.jobs = take("--jobs")? as usize,
+                "--warmup" => self.warmup = take("--warmup")?,
+                "--measure" => self.measure = take("--measure")?,
+                "--seed" => self.seed = take("--seed")?,
+                "--miss-penalty" => self.miss_penalty = take("--miss-penalty")?,
+                "--jobs" => self.jobs = take("--jobs")? as usize,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
-        Ok(cfg)
+        Ok(())
     }
 }
 
@@ -117,27 +131,7 @@ pub fn run_benchmark(
 // Simulator throughput (sim-MIPS)
 // ----------------------------------------------------------------------
 
-/// The renaming schemes the throughput harness sweeps.
-pub const THROUGHPUT_SCHEMES: [RenameScheme; 4] = [
-    RenameScheme::Conventional,
-    RenameScheme::ConventionalEarlyRelease,
-    RenameScheme::VirtualPhysicalIssue { nrr: 32 },
-    RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
-];
-
-/// The benchmarks the throughput harness runs each scheme on (one
-/// FP-heavy, one branchy integer workload).
-pub const THROUGHPUT_BENCHMARKS: [Benchmark; 2] = [Benchmark::Swim, Benchmark::Go];
-
-/// A short, stable identifier for a scheme (used in labels and JSON).
-pub fn scheme_label(scheme: RenameScheme) -> String {
-    match scheme {
-        RenameScheme::Conventional => "conventional".into(),
-        RenameScheme::ConventionalEarlyRelease => "conventional-early-release".into(),
-        RenameScheme::VirtualPhysicalIssue { nrr } => format!("vp-issue-nrr{nrr}"),
-        RenameScheme::VirtualPhysicalWriteback { nrr } => format!("vp-wb-nrr{nrr}"),
-    }
-}
+pub use crate::workloads::{scheme_label, THROUGHPUT_BENCHMARKS, THROUGHPUT_SCHEMES};
 
 /// A fixed-work host-speed reference measurement.
 ///
@@ -366,13 +360,10 @@ pub fn time_one(
 /// The throughput grid: [`THROUGHPUT_BENCHMARKS`] × [`THROUGHPUT_SCHEMES`]
 /// at 64 registers per class.
 pub fn throughput_points() -> Vec<SweepPoint> {
-    let mut points = Vec::new();
-    for benchmark in THROUGHPUT_BENCHMARKS {
-        for scheme in THROUGHPUT_SCHEMES {
-            points.push(SweepPoint::at64(benchmark, scheme));
-        }
-    }
-    points
+    crate::workloads::throughput_grid()
+        .into_iter()
+        .map(|(benchmark, scheme)| SweepPoint::at64(benchmark, scheme))
+        .collect()
 }
 
 /// Runs the throughput sweep: each grid point timed serially

@@ -14,7 +14,10 @@
 //! Run e.g. `cargo run --release -p vpr-bench --bin table2`, or `--bin
 //! all` for the whole evaluation. Binaries accept `--warmup`, `--measure`,
 //! `--seed`, `--miss-penalty` and `--jobs` flags, plus `--json PATH` to
-//! relocate their machine-readable artefact.
+//! relocate their machine-readable artefact — and `--sampled`
+//! (optionally with `--checkpoint-dir DIR`) to estimate every
+//! configuration from checkpoint-seeded detailed windows instead of
+//! simulating it full-length (see [`sampling`] and `docs/sampling.md`).
 //!
 //! ## The parallel sweep engine
 //!
@@ -39,25 +42,38 @@
 //! regressions can be judged independently of runner load; its
 //! `--check BASELINE.json` mode is the CI regression gate.
 //!
-//! ## Sampled simulation
+//! ## Sampled simulation and checkpoint artefacts
 //!
 //! The [`sampling`] module estimates arbitrarily long runs from detailed
-//! intervals (functional-warmup → detailed-interval → fast-forward, with
-//! regression/stratified estimators); `--bin sample` reports the
-//! estimate's accuracy against full-run references.
+//! intervals, in two modes: functionally seeded (functional-warmup →
+//! detailed-interval → fast-forward, with regression/stratified
+//! estimators) and **checkpoint seeded** (each window restores the exact
+//! machine state from a `.vprsnap` interval checkpoint and a per-phase
+//! regression prices the gaps). The [`checkpoints`] module manages the
+//! artefacts: `--bin checkpoint` creates/inspects/verifies checkpoint
+//! directories, the experiment binaries consume them via
+//! `--checkpoint-dir`, and `--bin sample` reports both estimators'
+//! accuracy against full-run references. Every JSON artefact records a
+//! `sampling` provenance block, so sampled and exact results are never
+//! confusable. The formats live in `docs/snapshot-format.md`, the
+//! methodology in `docs/sampling.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoints;
 pub mod experiments;
 pub mod harness;
 pub mod sampling;
 pub mod sweep;
 pub mod table;
+pub mod workloads;
 
 pub use harness::{run_benchmark, ExperimentConfig};
-pub use sampling::{sample_benchmark, SamplingPlan, SamplingReport};
-pub use sweep::{run_sweep, SweepPoint};
+pub use sampling::{
+    sample_benchmark, sample_from_checkpoints, CheckpointedReport, SamplingPlan, SamplingReport,
+};
+pub use sweep::{run_sweep, run_sweep_metrics, SweepContext, SweepPoint};
 pub use table::Table;
 
 /// Extracts `flag VALUE` from `args` (mutating it), for flags the shared
@@ -76,6 +92,18 @@ pub fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let value = args.remove(pos + 1);
     args.remove(pos);
     Some(value)
+}
+
+/// Extracts a boolean `flag` from `args` (mutating it); `true` when the
+/// flag was present.
+pub fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
 }
 
 /// Writes a machine-readable artefact next to a binary's text output and

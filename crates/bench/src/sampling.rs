@@ -27,22 +27,43 @@
 //! **phase-stratified** (SimPoint-style, weighting per-loop CPI by true
 //! phase frequencies) → **pooled mean**.
 //!
+//! ## Two seeding modes
+//!
+//! * **Functionally seeded** (above): intervals start from functionally
+//!   approximated machine state, produced by *one warm serial functional
+//!   pass* over the stream ([`sample_benchmark`]); a detailed warm-up span
+//!   per interval repairs what the functional model cannot capture
+//!   (window occupancy, in-flight misses). Cheap — the functional pass is
+//!   orders of magnitude faster than simulation — but each window carries
+//!   residual cold-start bias: ≈ 4 % worst per-configuration IPC error on
+//!   the quick table2 grid.
+//! * **Checkpoint seeded** ([`sample_from_checkpoints`]): intervals
+//!   restore the **exact** machine state of the uninterrupted run from
+//!   `.vprsnap` interval checkpoints written by one warm serial *detailed*
+//!   pass (`vpr_bench::checkpoints`, `Processor::checkpoint_at_commits`).
+//!   Windows are then true slices of the full run — no warm-up, no bias —
+//!   and only gap extrapolation remains. The **per-phase regression
+//!   estimator** ([`CheckpointedReport::ipc`]) fits window CPI on each
+//!   span's exact per-phase instruction composition plus its functional
+//!   miss/misprediction rates, and prices every unmeasured gap from its
+//!   own exactly-known covariates: ≤ 2 % worst per-configuration error
+//!   (−1.5 % observed) and ≤ 1 % harmonic-mean error on the quick table2
+//!   grid, from windows covering ≈ half the region. The serial pass is an
+//!   artefact, paid once per configuration and reused by every later
+//!   sampled run (`--sampled --checkpoint-dir` on the figure/table
+//!   binaries).
+//!
 //! Accuracy is *reported*, not assumed: [`evaluate_sampling`] runs the
 //! uninterrupted simulation next to the sampled one and reports the
-//! relative per-metric error, and `tests/sampling_accuracy.rs` pins the
-//! quick table2 workload's reported IPC (the harmonic mean over its
-//! benchmark suite, per scheme) at ≤ 2 % error — with every individual
-//! configuration within a looser 10 % bound — while ≤ 25 % of the full
-//! run's instructions are simulated in detail. On this deliberately tiny
-//! CI workload (30 k-instruction region, windows of a few hundred
-//! instructions) the per-configuration estimates carry a few percent of
-//! irreducible sampling variance; at real run lengths both the window
-//! count and the window length grow, and the error shrinks with both.
-//!
-//! Interval starts are reproducible positions in the committed stream, so
-//! the same mechanism composes with the checkpoint subsystem (`vpr-snap`):
-//! a checkpoint taken at an interval boundary seeds the same detailed
-//! interval without re-skipping.
+//! relative per-metric error, and `tests/sampling_accuracy.rs` gates both
+//! modes — the functional estimator at ≤ 2 % harmonic-mean / ≤ 10 %
+//! per-configuration error from ≤ 25 % detailed instructions, the
+//! checkpoint-seeded estimator at ≤ 1 % / ≤ 2 % from ≤ 50 %. On this
+//! deliberately tiny CI workload (30 k-instruction region, windows of a
+//! few hundred instructions) the estimates carry irreducible sampling
+//! variance; at real run lengths both the window count and the window
+//! length grow, and the error shrinks with both (the full-size table2
+//! grid samples to within ≈ 0.5 % per configuration).
 
 use crate::harness::ExperimentConfig;
 use std::fmt::Write as _;
@@ -110,6 +131,53 @@ impl SamplingPlan {
             intervals: 18,
             detailed_warmup: per_interval * 9 / 22,
             detailed_measure: per_interval * 13 / 22,
+            functional_window: None,
+        }
+    }
+
+    /// The plan used for **checkpoint-seeded** sampling of the quick
+    /// workload: 48 windows of 310 commits, no per-interval detailed
+    /// warm-up (each window restores the *exact* machine state of the
+    /// uninterrupted run from its interval checkpoint, so there is nothing
+    /// to re-warm). 46.5 % of the region is simulated in detail — more
+    /// than the functional plan affords, because here the detailed windows
+    /// are the *only* simulation a sampled run pays (the serial pass that
+    /// produced the checkpoints is a reusable artefact), and denser
+    /// windows are what pushes the worst per-configuration error under
+    /// 2 % (empirically −1.5 % on the quick table2 grid, vs ≈4 % for the
+    /// functionally-seeded plan).
+    pub fn quick_checkpointed() -> Self {
+        Self {
+            offset: 2_000,
+            region: 30_000,
+            intervals: 48,
+            detailed_warmup: 0,
+            detailed_measure: 310,
+            functional_window: None,
+        }
+    }
+
+    /// A checkpoint-seeded plan matched to `exp`: the tuned
+    /// [`SamplingPlan::quick_checkpointed`] for the quick workload shape,
+    /// otherwise the same design (warm-up-free windows covering ≈46.5 %
+    /// of the region) scaled to the experiment's spans. Tiny regions get
+    /// fewer intervals and windows are floored at 16 commits: consecutive
+    /// interval starts are never closer than one window, and a window must
+    /// exceed the commit-width overshoot (≤ 7) or the serial pass could be
+    /// asked to checkpoint behind its own position.
+    pub fn for_experiment_checkpointed(exp: &ExperimentConfig) -> Self {
+        let quick = Self::quick_checkpointed();
+        if exp.warmup == quick.offset && exp.measure == quick.region {
+            return quick;
+        }
+        let min_measure = 16u64;
+        let intervals = 48.min((exp.measure / (2 * min_measure)).max(1)) as usize;
+        Self {
+            offset: exp.warmup,
+            region: exp.measure,
+            intervals,
+            detailed_warmup: 0,
+            detailed_measure: (exp.measure * 93 / 200 / intervals as u64).max(min_measure),
             functional_window: None,
         }
     }
@@ -383,6 +451,432 @@ fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
     Some([b[0] / a[0][0], b[1] / a[1][1], b[2] / a[2][2]])
 }
 
+/// Solves the dense `n × n` system `a·x = b` by Gaussian elimination with
+/// partial pivoting (`n` is the per-phase regression's phase count plus
+/// two covariates — single digits); `None` when singular.
+fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-14 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            let pivot_row = std::mem::take(&mut a[col]);
+            for (k, v) in pivot_row.iter().enumerate().skip(col) {
+                a[row][k] -= f * v;
+            }
+            a[col] = pivot_row;
+            b[row] -= f * b[col];
+        }
+    }
+    Some((0..n).map(|i| b[i] / a[i][i]).collect())
+}
+
+// ----------------------------------------------------------------------
+// Checkpoint-seeded sampling
+// ----------------------------------------------------------------------
+
+/// Functionally-known description of one committed-stream span: its exact
+/// per-phase instruction composition and functional miss/misprediction
+/// rates. These are the per-phase regression estimator's covariates — all
+/// derived from a generation-only pass, never from timing simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanProfile {
+    /// First committed-instruction position of the span (inclusive).
+    pub begin: u64,
+    /// One past the last position (exclusive).
+    pub end: u64,
+    /// Exact fraction of the span's instructions executed in each
+    /// generator loop (phase); sums to 1.
+    pub phase_fracs: Vec<f64>,
+    /// Functional cache misses per span instruction.
+    pub miss_rate: f64,
+    /// Functional branch mispredictions per span instruction.
+    pub mispred_rate: f64,
+}
+
+impl SpanProfile {
+    /// Span length in committed instructions.
+    pub fn len(&self) -> u64 {
+        self.end - self.begin
+    }
+
+    /// True when the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end == self.begin
+    }
+}
+
+/// One measured window of a checkpoint-seeded sampled run: the span's
+/// functional profile plus the *exact* measurement-window statistics of
+/// the restored machine (bit-identical to the uninterrupted run over the
+/// same span).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointedSample {
+    /// The window's span and covariates.
+    pub span: SpanProfile,
+    /// Detailed statistics of the window.
+    pub stats: SimStats,
+}
+
+/// A checkpoint-seeded sampled estimate: exact window measurements plus
+/// functionally-profiled gaps, combined by the **per-phase regression
+/// estimator** ([`CheckpointedReport::ipc`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointedReport {
+    /// The plan that produced it.
+    pub plan: SamplingPlan,
+    /// Measured windows, in stream order.
+    pub windows: Vec<CheckpointedSample>,
+    /// Unmeasured gaps between (and after) the windows, in stream order.
+    pub gaps: Vec<SpanProfile>,
+}
+
+impl CheckpointedReport {
+    /// Estimated region IPC — the checkpoint-seeded harness's estimator.
+    ///
+    /// The measured windows' cycles are **exact** (each window restored
+    /// the uninterrupted run's machine state from its checkpoint), so only
+    /// the gaps need estimating. Window CPI is regressed on the spans'
+    /// functionally-known covariates — the per-phase instruction
+    /// composition (an intercept *per generator-loop phase*, entered
+    /// fractionally so windows spanning a phase transition inform both
+    /// phases) plus cache-miss and branch-misprediction rates, the control
+    /// variates — and each gap's CPI is predicted from its own exactly-
+    /// known covariates. Predictions falling outside the observed window
+    /// CPI range (widened ×1.5) fall back to the pooled window CPI, as
+    /// does everything when the fit is singular.
+    pub fn ipc(&self) -> f64 {
+        let committed: u64 = self
+            .windows
+            .iter()
+            .map(|w| w.stats.committed)
+            .chain(self.gaps.iter().map(SpanProfile::len))
+            .sum();
+        let cycles = self.estimated_cycles();
+        if cycles <= 0.0 {
+            return 0.0;
+        }
+        committed as f64 / cycles
+    }
+
+    /// Total estimated cycles over windows (measured) plus gaps
+    /// (predicted).
+    fn estimated_cycles(&self) -> f64 {
+        let window_cycles: u64 = self.windows.iter().map(|w| w.stats.cycles).sum();
+        let pooled = self.pooled_cpi();
+        let predict = self.fit_gap_predictor();
+        let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+        for w in &self.windows {
+            if w.stats.committed > 0 {
+                let cpi = w.stats.cycles as f64 / w.stats.committed as f64;
+                lo = lo.min(cpi);
+                hi = hi.max(cpi);
+            }
+        }
+        let mut cycles = window_cycles as f64;
+        for gap in &self.gaps {
+            let mut cpi = predict.as_ref().map_or(pooled, |p| p.predict(gap));
+            if !cpi.is_finite() || cpi < lo / 1.5 || cpi > hi * 1.5 {
+                cpi = pooled;
+            }
+            cycles += gap.len() as f64 * cpi;
+        }
+        cycles
+    }
+
+    /// Fits the per-phase regression on the measured windows; `None` when
+    /// under-determined or singular.
+    fn fit_gap_predictor(&self) -> Option<GapPredictor> {
+        let phases = self
+            .windows
+            .iter()
+            .map(|w| w.span.phase_fracs.len())
+            .max()?;
+        // Phases at least one window actually executed in; unseen phases
+        // cannot be fitted and are priced at the pooled CPI instead.
+        let present: Vec<usize> = (0..phases)
+            .filter(|&p| {
+                self.windows
+                    .iter()
+                    .any(|w| w.span.phase_fracs.get(p).copied().unwrap_or(0.0) > 0.0)
+            })
+            .collect();
+        let dims = present.len() + 2;
+        if self.windows.len() < dims + 2 {
+            return None;
+        }
+        let mut xtx = vec![vec![0.0f64; dims]; dims];
+        let mut xty = vec![0.0f64; dims];
+        let mut row = vec![0.0f64; dims];
+        for w in &self.windows {
+            if w.stats.committed == 0 {
+                return None;
+            }
+            let y = w.stats.cycles as f64 / w.stats.committed as f64;
+            for (i, &p) in present.iter().enumerate() {
+                row[i] = w.span.phase_fracs.get(p).copied().unwrap_or(0.0);
+            }
+            row[present.len()] = w.span.miss_rate;
+            row[present.len() + 1] = w.span.mispred_rate;
+            for i in 0..dims {
+                for j in 0..dims {
+                    xtx[i][j] += row[i] * row[j];
+                }
+                xty[i] += row[i] * y;
+            }
+        }
+        for (i, r) in xtx.iter_mut().enumerate() {
+            r[i] += 1e-7;
+        }
+        let beta = solve_dense(xtx, xty)?;
+        Some(GapPredictor {
+            present,
+            beta,
+            pooled: self.pooled_cpi(),
+        })
+    }
+
+    /// Pooled CPI over the measured windows (the estimator of last
+    /// resort).
+    fn pooled_cpi(&self) -> f64 {
+        let committed: u64 = self.windows.iter().map(|w| w.stats.committed).sum();
+        let cycles: u64 = self.windows.iter().map(|w| w.stats.cycles).sum();
+        if committed == 0 {
+            0.0
+        } else {
+            cycles as f64 / committed as f64
+        }
+    }
+
+    /// Estimated IPC from the pooled window mean alone (no gap modelling)
+    /// — the diagnostic baseline the regression is judged against.
+    pub fn ipc_pooled(&self) -> f64 {
+        let cpi = self.pooled_cpi();
+        if cpi == 0.0 {
+            0.0
+        } else {
+            1.0 / cpi
+        }
+    }
+
+    /// Cache miss ratio over the measured windows.
+    pub fn miss_ratio(&self) -> f64 {
+        let (mut miss, mut total) = (0u64, 0u64);
+        for w in &self.windows {
+            miss += w.stats.cache.misses + w.stats.cache.merged_misses;
+            total += w.stats.cache.hits + w.stats.cache.misses + w.stats.cache.merged_misses;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            miss as f64 / total as f64
+        }
+    }
+
+    /// Executions per committed instruction over the measured windows (the
+    /// re-execution rate Table 2 reports for the VP write-back scheme).
+    pub fn executions_per_commit(&self) -> f64 {
+        let committed: u64 = self.windows.iter().map(|w| w.stats.committed).sum();
+        let executions: u64 = self.windows.iter().map(|w| w.stats.executions).sum();
+        if committed == 0 {
+            0.0
+        } else {
+            executions as f64 / committed as f64
+        }
+    }
+
+    /// Fraction of the estimated region actually simulated in detail.
+    pub fn detailed_fraction_achieved(&self) -> f64 {
+        let windows: u64 = self.windows.iter().map(|w| w.stats.committed).sum();
+        let gaps: u64 = self.gaps.iter().map(SpanProfile::len).sum();
+        if windows + gaps == 0 {
+            0.0
+        } else {
+            windows as f64 / (windows + gaps) as f64
+        }
+    }
+}
+
+/// The fitted per-phase regression: CPI ≈ Σ_p frac_p·α_p + β₁·miss +
+/// β₂·mispred, with phases absent from every window priced at the pooled
+/// window CPI.
+struct GapPredictor {
+    present: Vec<usize>,
+    beta: Vec<f64>,
+    pooled: f64,
+}
+
+impl GapPredictor {
+    fn predict(&self, span: &SpanProfile) -> f64 {
+        let k = self.present.len();
+        let mut cpi = self.beta[k] * span.miss_rate + self.beta[k + 1] * span.mispred_rate;
+        let mut seen_frac = 0.0;
+        for (i, &p) in self.present.iter().enumerate() {
+            let f = span.phase_fracs.get(p).copied().unwrap_or(0.0);
+            cpi += f * self.beta[i];
+            seen_frac += f;
+        }
+        // Instructions in phases no window sampled: pooled CPI.
+        cpi + (1.0 - seen_frac).max(0.0) * self.pooled
+    }
+}
+
+/// Profiles an ordered, disjoint list of spans (given by their
+/// `[begin, end)` committed positions) in **one** functional pass over the
+/// stream: exact per-phase composition and functional miss/misprediction
+/// rates per span.
+fn profile_spans(
+    benchmark: Benchmark,
+    seed: u64,
+    spans: &[(u64, u64)],
+    config: &SimConfig,
+) -> Vec<SpanProfile> {
+    let mut trace = TraceBuilder::new(benchmark).seed(seed).build();
+    let mut model = FunctionalModel::new(config);
+    let phases = trace.loop_count();
+    let mut pos = 0u64;
+    let mut out = Vec::with_capacity(spans.len());
+    for &(begin, end) in spans {
+        // Consecutive windows can overlap by up to commit-width − 1 when a
+        // window's achieved end runs past the next checkpoint's start; the
+        // single forward pass then profiles the later span from where it
+        // stands (≤ a few instructions short — covariates only).
+        let begin = begin.max(pos);
+        let end = end.max(begin);
+        while pos < begin {
+            let di = trace.next().expect("synthetic traces are infinite");
+            model.step(&di);
+            pos += 1;
+        }
+        let mut counts = vec![0u64; phases];
+        let (mut misses, mut mispreds) = (0u64, 0u64);
+        while pos < end {
+            counts[trace.current_loop()] += 1;
+            let di = trace.next().expect("synthetic traces are infinite");
+            let (miss, mispred) = model.step(&di);
+            misses += u64::from(miss);
+            mispreds += u64::from(mispred);
+            pos += 1;
+        }
+        let n = (end - begin).max(1) as f64;
+        out.push(SpanProfile {
+            begin,
+            end,
+            phase_fracs: counts.into_iter().map(|c| c as f64 / n).collect(),
+            miss_rate: misses as f64 / n,
+            mispred_rate: mispreds as f64 / n,
+        });
+    }
+    out
+}
+
+/// Runs a **checkpoint-seeded** sampled estimate: every interval restores
+/// the exact machine state of the uninterrupted run from its checkpoint
+/// (`checkpoints[i] = (interval start, snapshot)`, as produced by
+/// `vpr_bench::checkpoints::generate_checkpoints` or loaded from a
+/// `.vprsnap` directory) and simulates only the measured window — no
+/// functional re-warming, no discarded detailed warm-up. Window runs fan
+/// out over [`vpr_core::par`] with submission-order determinism.
+///
+/// # Panics
+///
+/// Panics if the checkpoint list does not match the plan's interval
+/// count, or if a snapshot fails to restore (a validated checkpoint that
+/// does not restore is a bug, not an input error).
+pub fn sample_from_checkpoints(
+    benchmark: Benchmark,
+    scheme: RenameScheme,
+    physical_regs: usize,
+    exp: &ExperimentConfig,
+    plan: &SamplingPlan,
+    checkpoints: &[(u64, vpr_snap::Snapshot)],
+    jobs: usize,
+) -> CheckpointedReport {
+    plan.validate();
+    assert_eq!(
+        checkpoints.len(),
+        plan.intervals,
+        "need one checkpoint per interval"
+    );
+    let config = crate::checkpoints::sim_config(scheme, physical_regs, exp);
+    let measure = plan.detailed_warmup + plan.detailed_measure;
+    let windows: Vec<(u64, u64, SimStats)> = par::par_map(
+        jobs.max(1),
+        checkpoints.to_vec(),
+        move |_, (_, snapshot)| {
+            let fresh = TraceBuilder::new(benchmark).seed(exp.seed).build();
+            let mut cpu: Processor<TraceGen> =
+                Processor::restore(&snapshot, fresh).expect("interval checkpoint restores");
+            let begin = cpu.absolute_committed();
+            cpu.reset_window();
+            let stats = cpu.run(measure);
+            (begin, cpu.absolute_committed(), stats)
+        },
+    );
+    // Span accounting: windows are exact slices of the uninterrupted run;
+    // the gaps between them (and the tail out to the region end) are what
+    // the estimator predicts. Consecutive windows can overlap by up to
+    // commit-width − 1 instructions when an interval's achieved end runs
+    // past the next checkpoint's achieved start — the overlapped commits
+    // are counted in both windows (numerator and denominator alike, a
+    // ≤0.1 % effect at quick scale), and the gap in between is empty.
+    let region_end = (plan.offset + plan.region).max(windows.last().map_or(0, |w| w.1));
+    let mut gap_spans = Vec::with_capacity(windows.len());
+    for (i, &(_, end, _)) in windows.iter().enumerate() {
+        let next_begin = windows
+            .get(i + 1)
+            .map_or(region_end, |&(begin, _, _)| begin);
+        if next_begin > end {
+            gap_spans.push((end, next_begin));
+        }
+    }
+    // One functional pass profiles windows and gaps together: label the
+    // interleaved spans, sort by position, and split the profiles back
+    // out afterwards (ordering within each class is preserved).
+    let mut labelled: Vec<(u64, u64, bool)> = windows
+        .iter()
+        .map(|&(b, e, _)| (b, e, false))
+        .chain(gap_spans.iter().map(|&(b, e)| (b, e, true)))
+        .collect();
+    labelled.sort_unstable();
+    let spans: Vec<(u64, u64)> = labelled.iter().map(|&(b, e, _)| (b, e)).collect();
+    let profiles = profile_spans(benchmark, exp.seed, &spans, &config);
+    let mut window_profiles = Vec::with_capacity(windows.len());
+    let mut gap_profiles = Vec::with_capacity(gap_spans.len());
+    for (profile, &(_, _, is_gap)) in profiles.into_iter().zip(&labelled) {
+        if is_gap {
+            gap_profiles.push(profile);
+        } else {
+            window_profiles.push(profile);
+        }
+    }
+    CheckpointedReport {
+        plan: *plan,
+        windows: window_profiles
+            .into_iter()
+            .zip(windows)
+            .map(|(span, (_, _, stats))| CheckpointedSample { span, stats })
+            .collect(),
+        gaps: gap_profiles,
+    }
+}
+
 /// The no-timing functional machine model: a trained branch predictor and
 /// a resident-line cache. It is what fast-forwarded spans are replayed
 /// through — warming the state a detailed interval starts from, and
@@ -469,6 +963,79 @@ pub fn profile_region(
     }
 }
 
+/// One interval's functional seed: the stream position (as [`Resumable`]
+/// state), the warmed predictor/cache to preheat the processor with, the
+/// phase label, and the measured window's functional covariates.
+///
+/// [`Resumable`]: vpr_snap::Resumable
+struct FunctionalSeed {
+    phase: usize,
+    trace_state: Vec<u8>,
+    bht: vpr_frontend::BranchHistoryTable,
+    cache: vpr_mem::DataCache,
+    func_miss_rate: f64,
+    func_mispred_rate: f64,
+}
+
+/// Seeds every interval from **one warm serial functional pass**: a single
+/// generation-only walk over `[0, last interval end)` that checkpoints the
+/// stream cursor and the warmed predictor/cache at each interval start,
+/// and tallies each measured window's functional covariates along the
+/// way. State-identical to independently re-warming each interval over
+/// its whole prefix (the model is deterministic and the walk is the same),
+/// at O(region) rather than O(intervals × region) functional work.
+fn functional_seeds(
+    benchmark: Benchmark,
+    seed: u64,
+    plan: &SamplingPlan,
+    config: &SimConfig,
+) -> Vec<FunctionalSeed> {
+    use vpr_snap::Resumable as _;
+    let mut trace = TraceBuilder::new(benchmark).seed(seed).build();
+    let mut model = FunctionalModel::new(config);
+    let mut pos = 0u64;
+    let step = |trace: &mut TraceGen, model: &mut FunctionalModel| {
+        let di = trace.next().expect("synthetic traces are infinite");
+        model.step(&di)
+    };
+    let mut seeds = Vec::with_capacity(plan.intervals);
+    for start in plan.starts() {
+        while pos < start {
+            step(&mut trace, &mut model);
+            pos += 1;
+        }
+        let mut enc = vpr_snap::Encoder::new();
+        trace.save_state(&mut enc);
+        let phase = trace.current_loop();
+        let bht = model.bht.clone();
+        let cache = model.cache.clone();
+        // Covariates of the measured span [start + warmup, + measure):
+        // the plan guarantees the detailed span fits inside the stride, so
+        // the window ends before the next interval starts.
+        let wstart = start + plan.detailed_warmup;
+        while pos < wstart {
+            step(&mut trace, &mut model);
+            pos += 1;
+        }
+        let (mut misses, mut mispreds) = (0u64, 0u64);
+        while pos < wstart + plan.detailed_measure {
+            let (miss, mispred) = step(&mut trace, &mut model);
+            misses += u64::from(miss);
+            mispreds += u64::from(mispred);
+            pos += 1;
+        }
+        seeds.push(FunctionalSeed {
+            phase,
+            trace_state: enc.into_bytes(),
+            bht,
+            cache,
+            func_miss_rate: misses as f64 / plan.detailed_measure as f64,
+            func_mispred_rate: mispreds as f64 / plan.detailed_measure as f64,
+        });
+    }
+    seeds
+}
+
 /// One interval's prepared inputs: the positioned generator, the warmed
 /// functional state to preheat the processor with, the phase label, and
 /// the window's functional covariates.
@@ -534,11 +1101,7 @@ pub fn sample_benchmark(
     exp: &ExperimentConfig,
     plan: &SamplingPlan,
 ) -> SamplingReport {
-    let profile_config = SimConfig::builder()
-        .scheme(scheme)
-        .physical_regs(physical_regs)
-        .miss_penalty(exp.miss_penalty)
-        .build();
+    let profile_config = crate::checkpoints::sim_config(scheme, physical_regs, exp);
     let profile = profile_region(
         benchmark,
         exp.seed,
@@ -565,24 +1128,45 @@ pub fn sample_benchmark_with_profile(
     let starts = plan.starts();
     let exp = *exp;
     let plan = *plan;
-    let outcomes = par::par_map(exp.effective_jobs(), starts.clone(), move |_, start| {
-        let config = SimConfig::builder()
-            .scheme(scheme)
-            .physical_regs(physical_regs)
-            .miss_penalty(exp.miss_penalty)
-            .build();
-        let prepared = prepare_interval(benchmark, exp.seed, start, &plan, &config);
-        let mut cpu = Processor::new(config, prepared.trace);
-        cpu.preheat(prepared.model.bht, prepared.model.cache);
-        cpu.warm_up(plan.detailed_warmup);
-        let stats = cpu.run(plan.detailed_measure);
-        (
-            prepared.phase,
-            prepared.func_miss_rate,
-            prepared.func_mispred_rate,
-            stats,
-        )
-    });
+    let build_config = move || crate::checkpoints::sim_config(scheme, physical_regs, &exp);
+    let outcomes = if plan.functional_window.is_none() {
+        // One warm serial functional pass seeds every interval; only the
+        // detailed windows fan out over the pool.
+        let seeds = functional_seeds(benchmark, exp.seed, &plan, &build_config());
+        par::par_map(exp.effective_jobs(), seeds, move |_, seed| {
+            use vpr_snap::Resumable as _;
+            let mut trace = TraceBuilder::new(benchmark).seed(exp.seed).build();
+            trace.restore_state(&mut vpr_snap::Decoder::new(&seed.trace_state));
+            let mut cpu = Processor::new(build_config(), trace);
+            cpu.preheat(seed.bht, seed.cache);
+            cpu.warm_up(plan.detailed_warmup);
+            let stats = cpu.run(plan.detailed_measure);
+            (
+                seed.phase,
+                seed.func_miss_rate,
+                seed.func_mispred_rate,
+                stats,
+            )
+        })
+    } else {
+        // A bounded functional window re-warms each interval
+        // independently (the windows may overlap arbitrarily, so no
+        // single pass covers them).
+        par::par_map(exp.effective_jobs(), starts.clone(), move |_, start| {
+            let config = build_config();
+            let prepared = prepare_interval(benchmark, exp.seed, start, &plan, &config);
+            let mut cpu = Processor::new(config, prepared.trace);
+            cpu.preheat(prepared.model.bht, prepared.model.cache);
+            cpu.warm_up(plan.detailed_warmup);
+            let stats = cpu.run(plan.detailed_measure);
+            (
+                prepared.phase,
+                prepared.func_miss_rate,
+                prepared.func_mispred_rate,
+                stats,
+            )
+        })
+    };
     SamplingReport {
         plan,
         samples: starts
@@ -643,11 +1227,7 @@ pub fn evaluate_sampling(
     exp: &ExperimentConfig,
     plan: &SamplingPlan,
 ) -> SamplingAccuracy {
-    let config = SimConfig::builder()
-        .scheme(scheme)
-        .physical_regs(physical_regs)
-        .miss_penalty(exp.miss_penalty)
-        .build();
+    let config = crate::checkpoints::sim_config(scheme, physical_regs, exp);
     let profile = profile_region(benchmark, exp.seed, plan.offset, plan.region, &config);
     evaluate_sampling_with_profile(benchmark, scheme, physical_regs, exp, plan, &profile)
 }

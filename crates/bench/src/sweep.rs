@@ -13,7 +13,13 @@
 //! here; pass `--jobs N` to any figure/table binary (0 = one worker per
 //! host core, the default) to control the pool.
 
+use crate::checkpoints::{
+    generate_checkpoints, run_benchmark_checkpointed, CheckpointStore, KIND_INTERVAL,
+};
+use crate::sampling::{sample_from_checkpoints, SamplingPlan};
 use crate::{run_benchmark, ExperimentConfig};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use vpr_core::{par, RenameScheme, SimStats};
 use vpr_trace::Benchmark;
 
@@ -47,6 +53,315 @@ pub fn run_sweep(points: &[SweepPoint], exp: &ExperimentConfig) -> Vec<SimStats>
     par::par_map(exp.effective_jobs(), points.to_vec(), move |_, p| {
         run_benchmark(p.benchmark, p.scheme, p.physical_regs, &exp)
     })
+}
+
+// ----------------------------------------------------------------------
+// Exact vs sampled sweeps
+// ----------------------------------------------------------------------
+
+/// How a sweep obtains each point's metrics.
+#[derive(Debug, Clone, Default)]
+pub enum SweepMode {
+    /// Simulate every point full-length. With a checkpoint directory, warm
+    /// `.vprsnap` checkpoints are restored instead of simulating warm-up —
+    /// restored continuations are bit-identical, so the output does not
+    /// depend on whether (or which) checkpoints were found.
+    #[default]
+    Exact,
+    /// Estimate every point from checkpoint-seeded detailed windows
+    /// ([`crate::sampling::sample_from_checkpoints`]). Interval
+    /// checkpoints are loaded from the checkpoint directory when a valid
+    /// set exists, and produced in-memory by one warm serial pass
+    /// otherwise (then persisted to the directory, if one was given, so
+    /// the next sampled run skips the pass).
+    Sampled,
+}
+
+/// Where a sweep looks for (and deposits) `.vprsnap` checkpoints.
+#[derive(Debug, Clone, Default)]
+pub struct SweepContext {
+    /// The sweep mode.
+    pub mode: SweepMode,
+    /// Checkpoint directory, if any.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Sampling plan override for sampled sweeps; `None` derives the
+    /// checkpoint-seeded plan from the experiment configuration.
+    pub plan: Option<SamplingPlan>,
+}
+
+impl SweepContext {
+    /// An exact sweep with no checkpoint directory (the historical
+    /// default).
+    pub fn exact() -> Self {
+        Self::default()
+    }
+
+    /// An exact or sampled sweep using `dir` for checkpoints.
+    pub fn new(sampled: bool, dir: Option<&Path>) -> Self {
+        Self {
+            mode: if sampled {
+                SweepMode::Sampled
+            } else {
+                SweepMode::Exact
+            },
+            checkpoint_dir: dir.map(Path::to_path_buf),
+            plan: None,
+        }
+    }
+
+    /// True in sampled mode.
+    pub fn is_sampled(&self) -> bool {
+        matches!(self.mode, SweepMode::Sampled)
+    }
+
+    /// The sampling plan a sampled sweep of `exp` will use (the explicit
+    /// override, or the derived checkpoint-seeded plan); `None` in exact
+    /// mode.
+    pub fn effective_plan(&self, exp: &ExperimentConfig) -> Option<SamplingPlan> {
+        self.is_sampled().then(|| {
+            self.plan
+                .unwrap_or_else(|| SamplingPlan::for_experiment_checkpointed(exp))
+        })
+    }
+
+    /// Checks the context against an experiment before any simulation
+    /// runs: a sampled sweep's plan must be consistent (binaries turn the
+    /// message into a usage error instead of panicking mid-sweep).
+    ///
+    /// # Errors
+    ///
+    /// Describes the violated plan constraint.
+    pub fn try_validate(&self, exp: &ExperimentConfig) -> Result<(), String> {
+        match self.effective_plan(exp) {
+            Some(plan) => plan
+                .try_validate()
+                .map_err(|e| format!("invalid sampling plan for this experiment: {e}")),
+            None => Ok(()),
+        }
+    }
+}
+
+/// The per-point result a figure/table needs, independent of whether it
+/// was measured exactly or estimated from samples.
+#[derive(Debug, Clone, Copy)]
+pub struct PointMetrics {
+    /// Committed IPC (exact, or the sampled estimate).
+    pub ipc: f64,
+    /// Cache miss ratio.
+    pub miss_ratio: f64,
+    /// Executions per committed instruction.
+    pub executions_per_commit: f64,
+}
+
+impl PointMetrics {
+    fn from_stats(stats: &SimStats) -> Self {
+        Self {
+            ipc: stats.ipc(),
+            miss_ratio: stats.cache.miss_ratio(),
+            executions_per_commit: stats.executions_per_commit(),
+        }
+    }
+}
+
+/// Provenance of a sweep's numbers, recorded into every JSON artefact so
+/// sampled and exact results are never confusable.
+#[derive(Debug, Clone)]
+pub enum SamplingProvenance {
+    /// Every point simulated full-length.
+    Exact,
+    /// Points estimated by checkpoint-seeded sampling.
+    Sampled {
+        /// The sampling plan used.
+        plan: SamplingPlan,
+        /// Estimator name (stable identifier).
+        estimator: &'static str,
+        /// Where the interval checkpoints came from: `"checkpoint-dir"`
+        /// when every point loaded a valid on-disk set, `"warm-pass"` when
+        /// at least one point generated its checkpoints in-memory.
+        seeded_from: &'static str,
+        /// The checkpoint directory involved, if any.
+        checkpoint_dir: Option<String>,
+    },
+}
+
+impl SamplingProvenance {
+    /// Renders the provenance as the JSON value of a `"sampling"` field.
+    pub fn to_json_value(&self) -> String {
+        match self {
+            SamplingProvenance::Exact => "{\"mode\": \"exact\"}".to_string(),
+            SamplingProvenance::Sampled {
+                plan,
+                estimator,
+                seeded_from,
+                checkpoint_dir,
+            } => {
+                let mut s = String::new();
+                let _ = write!(
+                    s,
+                    "{{\"mode\": \"sampled\", \"estimator\": \"{estimator}\", \
+                     \"seeded_from\": \"{seeded_from}\", \"plan\": {{\"offset\": {}, \
+                     \"region\": {}, \"intervals\": {}, \"detailed_warmup\": {}, \
+                     \"detailed_measure\": {}, \"detailed_fraction\": {:.4}}}",
+                    plan.offset,
+                    plan.region,
+                    plan.intervals,
+                    plan.detailed_warmup,
+                    plan.detailed_measure,
+                    plan.detailed_fraction()
+                );
+                match checkpoint_dir {
+                    Some(dir) => {
+                        // The directory is user input; escape it (the only
+                        // free-form string any artefact writer emits).
+                        let escaped = dir.replace('\\', "\\\\").replace('"', "\\\"");
+                        let _ = write!(s, ", \"checkpoint_dir\": \"{escaped}\"}}");
+                    }
+                    None => s.push('}'),
+                }
+                s
+            }
+        }
+    }
+}
+
+/// A sweep's metrics plus the provenance its artefacts must record.
+#[derive(Debug, Clone)]
+pub struct SweepMetrics {
+    /// Per-point metrics, in `points` order.
+    pub points: Vec<PointMetrics>,
+    /// How they were obtained.
+    pub provenance: SamplingProvenance,
+}
+
+/// Runs a sweep in the requested mode and returns per-point metrics in
+/// `points` order. Both modes fan the points out over the worker pool with
+/// the usual submission-order merge, so metrics are byte-identical for any
+/// `exp.jobs`.
+pub fn run_sweep_metrics(
+    points: &[SweepPoint],
+    exp: &ExperimentConfig,
+    ctx: &SweepContext,
+) -> SweepMetrics {
+    let store = match &ctx.checkpoint_dir {
+        Some(dir) => match CheckpointStore::open(dir) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!("warning: ignoring checkpoint dir {}: {e}", dir.display());
+                None
+            }
+        },
+        None => None,
+    };
+    match ctx.mode {
+        SweepMode::Exact => {
+            let exp_copy = *exp;
+            let store_ref = store.as_ref();
+            let points_out = par::par_map(exp.effective_jobs(), points.to_vec(), |_, p| {
+                let stats = run_benchmark_checkpointed(
+                    p.benchmark,
+                    p.scheme,
+                    p.physical_regs,
+                    &exp_copy,
+                    store_ref,
+                );
+                PointMetrics::from_stats(&stats)
+            });
+            SweepMetrics {
+                points: points_out,
+                provenance: SamplingProvenance::Exact,
+            }
+        }
+        SweepMode::Sampled => {
+            let plan = ctx.effective_plan(exp).expect("sampled mode has a plan");
+            let exp_copy = *exp;
+            let store_ref = store.as_ref();
+            // Outer parallelism is across points; each point's windows run
+            // serially inside it (jobs = 1) so the pool is not nested.
+            let outcomes: Vec<(
+                PointMetrics,
+                bool,
+                Vec<crate::checkpoints::GeneratedCheckpoint>,
+            )> = par::par_map(exp.effective_jobs(), points.to_vec(), |_, p| {
+                let loaded = store_ref.and_then(|s| {
+                    s.load_interval_set(p.benchmark, p.scheme, p.physical_regs, &exp_copy, &plan)
+                        .ok()
+                });
+                let (snapshots, from_disk, generated) = match loaded {
+                    Some(set) => (set, true, Vec::new()),
+                    None => {
+                        let generated = generate_checkpoints(
+                            p.benchmark,
+                            p.scheme,
+                            p.physical_regs,
+                            &exp_copy,
+                            Some(&plan),
+                        );
+                        let set = generated
+                            .iter()
+                            .filter(|g| g.key.kind == KIND_INTERVAL)
+                            .map(|g| (g.key.target, g.snapshot.clone()))
+                            .collect();
+                        (set, false, generated)
+                    }
+                };
+                let report = sample_from_checkpoints(
+                    p.benchmark,
+                    p.scheme,
+                    p.physical_regs,
+                    &exp_copy,
+                    &plan,
+                    &snapshots,
+                    1,
+                );
+                let metrics = PointMetrics {
+                    ipc: report.ipc(),
+                    miss_ratio: report.miss_ratio(),
+                    executions_per_commit: report.executions_per_commit(),
+                };
+                (metrics, from_disk, generated)
+            });
+            let all_from_disk = outcomes.iter().all(|(_, from_disk, _)| *from_disk);
+            // Persist freshly generated checkpoints so the next sampled
+            // run (and any exact run wanting the warm checkpoints) reuses
+            // the serial passes just paid for.
+            if let Some(mut store) = store {
+                let mut dirty = false;
+                for (_, _, generated) in &outcomes {
+                    if !generated.is_empty() {
+                        if let Err(e) = store.save_all(generated) {
+                            eprintln!(
+                                "warning: cannot write checkpoints to {}: {e}",
+                                store.dir.display()
+                            );
+                        } else {
+                            dirty = true;
+                        }
+                    }
+                }
+                if dirty {
+                    if let Err(e) = store.flush() {
+                        eprintln!(
+                            "warning: cannot write manifest to {}: {e}",
+                            store.dir.display()
+                        );
+                    }
+                }
+            }
+            SweepMetrics {
+                points: outcomes.into_iter().map(|(m, _, _)| m).collect(),
+                provenance: SamplingProvenance::Sampled {
+                    plan,
+                    estimator: "per-phase-regression",
+                    seeded_from: if all_from_disk {
+                        "checkpoint-dir"
+                    } else {
+                        "warm-pass"
+                    },
+                    checkpoint_dir: ctx.checkpoint_dir.as_ref().map(|d| d.display().to_string()),
+                },
+            }
+        }
+    }
 }
 
 #[cfg(test)]

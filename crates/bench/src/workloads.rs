@@ -1,0 +1,121 @@
+//! Shared workload tables and scheme-label plumbing.
+//!
+//! Several binaries sweep the same standard grids — the throughput
+//! harness, the `sample` accuracy report, and the `checkpoint`
+//! artefact manager all iterate (benchmark × scheme) tables that used to
+//! be set up independently in each `main`. This module is the single
+//! source of those tables, plus the label ↔ [`RenameScheme`] mapping the
+//! JSON artefacts and the checkpoint manifest key entries use.
+
+use vpr_core::RenameScheme;
+use vpr_trace::Benchmark;
+
+/// The two schemes of the paper's Table 2: the conventional baseline and
+/// the headline virtual-physical write-back allocator at NRR = 32.
+pub const TABLE2_SCHEMES: [RenameScheme; 2] = [
+    RenameScheme::Conventional,
+    RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
+];
+
+/// The renaming schemes the throughput harness sweeps: all four
+/// implementations at their headline parameters.
+pub const THROUGHPUT_SCHEMES: [RenameScheme; 4] = [
+    RenameScheme::Conventional,
+    RenameScheme::ConventionalEarlyRelease,
+    RenameScheme::VirtualPhysicalIssue { nrr: 32 },
+    RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
+];
+
+/// The benchmarks the throughput harness runs each scheme on (one
+/// FP-heavy, one branchy integer workload).
+pub const THROUGHPUT_BENCHMARKS: [Benchmark; 2] = [Benchmark::Swim, Benchmark::Go];
+
+/// A short, stable identifier for a scheme (used in labels, JSON
+/// artefacts, and checkpoint manifest keys). [`parse_scheme`] inverts it.
+pub fn scheme_label(scheme: RenameScheme) -> String {
+    match scheme {
+        RenameScheme::Conventional => "conventional".into(),
+        RenameScheme::ConventionalEarlyRelease => "conventional-early-release".into(),
+        RenameScheme::VirtualPhysicalIssue { nrr } => format!("vp-issue-nrr{nrr}"),
+        RenameScheme::VirtualPhysicalWriteback { nrr } => format!("vp-wb-nrr{nrr}"),
+    }
+}
+
+/// Parses a label produced by [`scheme_label`].
+///
+/// # Errors
+///
+/// Describes the accepted forms when `label` matches none of them.
+pub fn parse_scheme(label: &str) -> Result<RenameScheme, String> {
+    let nrr_suffix = |prefix: &str| -> Option<Result<usize, String>> {
+        label.strip_prefix(prefix).map(|digits| {
+            digits
+                .parse::<usize>()
+                .map_err(|e| format!("bad NRR in scheme label `{label}`: {e}"))
+        })
+    };
+    match label {
+        "conventional" => Ok(RenameScheme::Conventional),
+        "conventional-early-release" => Ok(RenameScheme::ConventionalEarlyRelease),
+        _ => {
+            if let Some(nrr) = nrr_suffix("vp-issue-nrr") {
+                return Ok(RenameScheme::VirtualPhysicalIssue { nrr: nrr? });
+            }
+            if let Some(nrr) = nrr_suffix("vp-wb-nrr") {
+                return Ok(RenameScheme::VirtualPhysicalWriteback { nrr: nrr? });
+            }
+            Err(format!(
+                "unknown scheme `{label}` (expected conventional, conventional-early-release, \
+                 vp-issue-nrrN or vp-wb-nrrN)"
+            ))
+        }
+    }
+}
+
+/// The Table 2 workload grid: all nine benchmarks under both
+/// [`TABLE2_SCHEMES`], in paper row order.
+pub fn table2_grid() -> Vec<(Benchmark, RenameScheme)> {
+    grid(&Benchmark::ALL, &TABLE2_SCHEMES)
+}
+
+/// The throughput grid: [`THROUGHPUT_BENCHMARKS`] × [`THROUGHPUT_SCHEMES`].
+pub fn throughput_grid() -> Vec<(Benchmark, RenameScheme)> {
+    grid(&THROUGHPUT_BENCHMARKS, &THROUGHPUT_SCHEMES)
+}
+
+/// Cross product of a benchmark list and a scheme list, benchmark-major.
+pub fn grid(benchmarks: &[Benchmark], schemes: &[RenameScheme]) -> Vec<(Benchmark, RenameScheme)> {
+    benchmarks
+        .iter()
+        .flat_map(|&b| schemes.iter().map(move |&s| (b, s)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for scheme in THROUGHPUT_SCHEMES {
+            assert_eq!(parse_scheme(&scheme_label(scheme)), Ok(scheme));
+        }
+        assert_eq!(
+            parse_scheme("vp-issue-nrr8"),
+            Ok(RenameScheme::VirtualPhysicalIssue { nrr: 8 })
+        );
+        assert!(parse_scheme("vp-wb-nrr").is_err());
+        assert!(parse_scheme("vp-wb-nrrx").is_err());
+        assert!(parse_scheme("something").is_err());
+    }
+
+    #[test]
+    fn grids_have_the_expected_shapes() {
+        assert_eq!(table2_grid().len(), 18);
+        assert_eq!(throughput_grid().len(), 8);
+        // Benchmark-major: the first two rows share a benchmark.
+        let t2 = table2_grid();
+        assert_eq!(t2[0].0, t2[1].0);
+        assert_eq!(t2[0].1, RenameScheme::Conventional);
+    }
+}

@@ -17,7 +17,7 @@ pub enum RenameScheme {
     Conventional,
     /// Decode-time allocation plus counter-based **early release** — the
     /// complementary technique the paper cites as eliminating its "second
-    /// source of register waste" (§3.1, refs [8]/[10]): a register frees
+    /// source of register waste" (§3.1, refs \[8\]/\[10\]): a register frees
     /// as soon as it is superseded, fully read, and its producer has
     /// committed, instead of waiting for the next writer's commit.
     /// Incompatible with wrong-path injection (see

@@ -359,7 +359,7 @@ impl Iq {
             .map(|&(_, slot)| &self.slots[slot as usize].entry)
     }
 
-    /// Iterates the *issue-eligible* entries' [`ReadyRec`]s oldest →
+    /// Iterates the *issue-eligible* entries' `ReadyRec`s oldest →
     /// youngest, without allocating and without touching the slab — the
     /// issue stage's selection order.
     pub fn ready_iter(&self) -> impl Iterator<Item = &ReadyRec> {

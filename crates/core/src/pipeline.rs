@@ -348,6 +348,31 @@ impl<S: InstStream> Processor<S> {
         self.stats()
     }
 
+    /// Committed instructions since construction, warm-up included — the
+    /// absolute stream position checkpoints are keyed by (unlike
+    /// [`Processor::stats`], which covers only the current measurement
+    /// window).
+    pub fn absolute_committed(&self) -> u64 {
+        self.raw.committed
+    }
+
+    /// Runs until the **absolute** committed count
+    /// ([`Processor::absolute_committed`]) reaches `target` (or the trace
+    /// drains); a no-op when the machine is already at or past it. Like
+    /// [`Processor::run`], the achieved count may overshoot the target by
+    /// up to commit-width − 1. Returns the window stats.
+    pub fn run_to_commit(&mut self, target: u64) -> SimStats {
+        while self.raw.committed < target && !self.is_done() {
+            self.step();
+        }
+        self.stats()
+    }
+
+    /// The instruction stream driving this processor.
+    pub fn trace(&self) -> &S {
+        &self.trace
+    }
+
     /// Runs `warmup` commits and then resets the measurement window: the
     /// standard skip-then-measure methodology (the paper skips 100 M and
     /// measures 50 M instructions).
@@ -1448,6 +1473,39 @@ impl<S: InstStream + vpr_snap::Resumable> Processor<S> {
         // exact drain behaviour (see `CalendarQueue::collect_pending`).
         self.events.collect_pending(self.cycle).save(&mut enc);
         vpr_snap::Snapshot::new(enc.into_bytes())
+    }
+
+    /// The checkpoint-at-commit hook: advances the machine to each target
+    /// in `targets` (absolute committed-instruction positions, strictly
+    /// increasing) and hands the caller a borrow of the paused machine —
+    /// typically to call [`Processor::snapshot`] and write a `.vprsnap`
+    /// artefact. This is how one warm serial pass produces the per-interval
+    /// checkpoints the sampled experiment binaries seed from.
+    ///
+    /// Each pause lands at the first cycle boundary at or after its target
+    /// (a run can overshoot a commit target by up to commit-width − 1); the
+    /// achieved position is [`Processor::absolute_committed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is not strictly increasing, or if a target lies
+    /// behind the machine's current position.
+    pub fn checkpoint_at_commits(&mut self, targets: &[u64], mut sink: impl FnMut(&Self, u64)) {
+        let mut previous = None;
+        for &target in targets {
+            assert!(
+                previous.is_none_or(|p| p < target),
+                "checkpoint targets must be strictly increasing ({previous:?} then {target})"
+            );
+            assert!(
+                target >= self.raw.committed,
+                "checkpoint target {target} is behind the machine (at {})",
+                self.raw.committed
+            );
+            previous = Some(target);
+            self.run_to_commit(target);
+            sink(self, target);
+        }
     }
 
     /// Rebuilds a processor from a snapshot taken by

@@ -34,11 +34,24 @@
 //!   must bump it; there is no skipping or defaulting of unknown fields.
 //! * Readers reject snapshots whose version differs from their own
 //!   ([`SnapError::Version`]): cross-version restore is intentionally
-//!   unsupported. Snapshots are short-lived experiment artefacts (one
-//!   sampling run, one checkpointed sweep), not an archival format.
+//!   unsupported. Snapshots are experiment artefacts (a sampling run, a
+//!   checkpointed sweep, a `.vprsnap` checkpoint directory), not an
+//!   archival format — regenerating them is always possible and cheap
+//!   relative to maintaining decoders for old layouts.
 //! * The checksum guards against truncation/corruption in transit
 //!   ([`SnapError::Checksum`]); decoding a corrupt payload that passes the
 //!   checksum is treated as a logic error and panics.
+//!
+//! ## `.vprsnap` files and the checkpoint manifest
+//!
+//! A snapshot written to disk keeps the same envelope byte-for-byte; by
+//! convention such files carry the `.vprsnap` extension and live in a
+//! *checkpoint directory* next to a `checkpoints.json` manifest
+//! ([`manifest::Manifest`]) recording, per artefact, the experiment key it
+//! belongs to, the configuration hash it was taken under, the trace cursor
+//! it stands at, and the envelope's payload checksum — so stale artefacts
+//! are rejected at load rather than silently reused. The full format is
+//! documented in `docs/snapshot-format.md`.
 //!
 //! ## Traits
 //!
@@ -50,6 +63,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod manifest;
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -99,8 +114,10 @@ impl fmt::Display for SnapError {
 
 impl std::error::Error for SnapError {}
 
-/// FNV-1a over `bytes` (the envelope's corruption guard).
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a over `bytes` — the envelope's corruption guard, public so the
+/// checkpoint manifest can record (and later re-derive) configuration
+/// hashes and payload checksums without a second hash implementation.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -435,6 +452,13 @@ impl Snapshot {
     /// The raw payload (hand to a [`Decoder`]).
     pub fn payload(&self) -> &[u8] {
         &self.payload
+    }
+
+    /// FNV-1a checksum of the payload — the same value the serialised
+    /// envelope carries, exposed so checkpoint manifests can pin the exact
+    /// artefact they were written against.
+    pub fn checksum(&self) -> u64 {
+        fnv1a(&self.payload)
     }
 
     /// Serialises the envelope: magic, version, checksum, length, payload.

@@ -4,9 +4,9 @@
 //! (A. González, J. González, M. Valero, HPCA-4, 1998): a cycle-accurate,
 //! trace-driven out-of-order superscalar simulator with four register
 //! renaming schemes — the conventional R10000-style baseline, the same with
-//! counter-based early release (the paper's refs [8]/[10]), and the paper's
-//! virtual-physical scheme with physical-register allocation at either the
-//! issue or the write-back stage.
+//! counter-based early release (the paper's refs \[8\]/\[10\]), and the
+//! paper's virtual-physical scheme with physical-register allocation at
+//! either the issue or the write-back stage.
 //!
 //! The workspace crates are re-exported here under short names:
 //!
