@@ -11,8 +11,10 @@
 //!     [--schemes l1,l2,...]            # scheme labels; default: conventional,vp-wb-nrr32
 //!     [--regs N]                       # physical registers per class (default 64)
 //!     [--intervals]                    # create: also write per-interval checkpoints
+//!     [--shared]                       # create: family (canonical-NRR) artefacts
 //!     [--run N]                        # verify: continue each restore by N commits
 //!                                      #         and compare against an exact rerun
+//!     [--cross-nrr N1,N2]              # verify: shared-artefact re-target contract
 //!     [--warmup N] [--measure N] [--seed N] [--miss-penalty N] [--jobs N]
 //! ```
 //!
@@ -20,13 +22,24 @@
 //! end of warm-up; with `--intervals` it additionally checkpoints every
 //! start of the checkpoint-seeded sampling plan, which is what
 //! `--sampled --checkpoint-dir` experiment runs seed their windows from.
-//! Stale artefacts (different configuration, seed, or snapshot format)
-//! are rejected at load by the manifest's config hash — `verify` reports
-//! them, `create` replaces them.
+//! With `--shared` it instead writes one set per *scheme family* under
+//! the canonical (maximum) NRR — the artefacts a sampled NRR sweep
+//! restores for every NRR value via `Processor::retarget_nrr` (see
+//! `docs/sampling.md` §1.3). Stale artefacts (different configuration,
+//! seed, or snapshot format) are rejected at load by the manifest's
+//! config hash — `verify` reports them, `create` replaces them.
+//!
+//! `verify --cross-nrr N1,N2` additionally pins the shared-artefact
+//! contract on every shared interval checkpoint: re-targeting to the
+//! canonical NRR must be a bit-exact no-op, and for each requested NRR
+//! two independent restore + re-target + run passes must agree on every
+//! counter.
 
 use std::path::PathBuf;
 use vpr_bench::checkpoints::{
-    checkpoint_key, config_hash, generate_checkpoints, sim_config, CheckpointStore,
+    checkpoint_key_labelled, config_hash, generate_checkpoints, generate_group_checkpoints,
+    group_scheme_label, parse_checkpoint_scheme, shares_group_pass, sim_config, CheckpointStore,
+    KIND_INTERVAL,
 };
 use vpr_bench::sampling::SamplingPlan;
 use vpr_bench::workloads::{parse_scheme, scheme_label, TABLE2_SCHEMES};
@@ -41,14 +54,17 @@ struct Cli {
     schemes: Vec<RenameScheme>,
     regs: usize,
     intervals: bool,
+    shared: bool,
     run: Option<u64>,
+    cross_nrr: Option<(usize, usize)>,
     exp: ExperimentConfig,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: checkpoint <create|inspect|verify> [--dir DIR] [--benchmarks a,b,...] \
-         [--schemes l1,l2,...] [--regs N] [--intervals] [--run N] \
+         [--schemes l1,l2,...] [--regs N] [--intervals] [--shared] [--run N] \
+         [--cross-nrr N1,N2] \
          [--warmup N] [--measure N] [--seed N] [--miss-penalty N] [--jobs N]"
     );
     std::process::exit(2);
@@ -100,11 +116,28 @@ fn parse_cli() -> Cli {
         })
         .unwrap_or(64);
     let intervals = take_flag(&mut args, "--intervals");
+    let shared = take_flag(&mut args, "--shared");
     let run = take_flag_value(&mut args, "--run").map(|v| {
         v.parse().unwrap_or_else(|e| {
             eprintln!("bad value for --run: {e}");
             std::process::exit(2);
         })
+    });
+    let cross_nrr = take_flag_value(&mut args, "--cross-nrr").map(|v| {
+        let parts: Vec<usize> = v
+            .split(',')
+            .map(|n| {
+                n.parse().unwrap_or_else(|e| {
+                    eprintln!("bad value for --cross-nrr: {e}");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+        let [a, b] = parts[..] else {
+            eprintln!("--cross-nrr needs exactly two comma-separated NRR values");
+            std::process::exit(2);
+        };
+        (a, b)
     });
     // Remaining flags override the quick defaults (matching the other
     // artefact-producing binaries: checkpoints default to the quick
@@ -121,7 +154,9 @@ fn parse_cli() -> Cli {
         schemes,
         regs,
         intervals,
+        shared,
         run,
+        cross_nrr,
         exp,
     }
 }
@@ -136,11 +171,39 @@ fn create(cli: &Cli) {
     let plan = cli
         .intervals
         .then(|| SamplingPlan::for_experiment_checkpointed(&cli.exp));
-    let grid = vpr_bench::workloads::grid(&cli.benchmarks, &cli.schemes);
     let exp = cli.exp;
     let regs = cli.regs;
+    // --shared: create the *family* (canonical-NRR) artefacts the sampled
+    // NRR sweeps restore, one set per family rather than per scheme.
+    let schemes: Vec<RenameScheme> = if cli.shared {
+        let mut labels = Vec::new();
+        let mut out = Vec::new();
+        for &scheme in &cli.schemes {
+            if !shares_group_pass(scheme, regs, &exp) {
+                eprintln!(
+                    "--shared: scheme {} has no shared family pass",
+                    scheme_label(scheme)
+                );
+                std::process::exit(2);
+            }
+            let label = group_scheme_label(scheme, regs, &exp);
+            if !labels.contains(&label) {
+                labels.push(label);
+                out.push(scheme);
+            }
+        }
+        out
+    } else {
+        cli.schemes.clone()
+    };
+    let grid = vpr_bench::workloads::grid(&cli.benchmarks, &schemes);
+    let shared = cli.shared;
     let generated = par::par_map(exp.effective_jobs(), grid, move |_, (benchmark, scheme)| {
-        generate_checkpoints(benchmark, scheme, regs, &exp, plan.as_ref())
+        if shared {
+            generate_group_checkpoints(benchmark, scheme, regs, &exp, plan.as_ref())
+        } else {
+            generate_checkpoints(benchmark, scheme, regs, &exp, plan.as_ref())
+        }
     });
     let mut files = 0usize;
     for batch in &generated {
@@ -219,6 +282,54 @@ struct Continuation {
     cycle: u64,
 }
 
+/// One manifest entry resolved for verification: the re-derived
+/// experiment coordinates plus the snapshot, loaded through the
+/// validating path (config hash, format version, payload checksum).
+struct ResolvedEntry {
+    benchmark: Benchmark,
+    exp: ExperimentConfig,
+    regs: usize,
+    snapshot: vpr_snap::Snapshot,
+}
+
+/// Re-derives the configuration `entry` claims and loads its snapshot —
+/// the shared front half of both verification passes. `Err` carries the
+/// printable failure reason.
+fn resolve_and_load(
+    cli: &Cli,
+    store: &CheckpointStore,
+    entry: &vpr_snap::manifest::ManifestEntry,
+) -> Result<ResolvedEntry, String> {
+    let benchmark: Benchmark = entry.key.benchmark.parse().map_err(|e| format!("{e}"))?;
+    let exp = ExperimentConfig {
+        warmup: entry.key.warmup,
+        seed: entry.key.seed,
+        miss_penalty: entry.key.miss_penalty,
+        ..cli.exp
+    };
+    let regs = entry.key.physical_regs as usize;
+    // Shared family labels resolve to the canonical (maximum-NRR)
+    // configuration their warm pass ran under.
+    let scheme = parse_checkpoint_scheme(&entry.key.scheme, regs, &exp)?;
+    let config = sim_config(scheme, regs, &exp);
+    let hash = config_hash(benchmark, &config, exp.seed);
+    let key = checkpoint_key_labelled(
+        benchmark,
+        entry.key.scheme.clone(),
+        regs,
+        &exp,
+        &entry.key.kind,
+        entry.key.target,
+    );
+    let (_, snapshot) = store.load(&key, hash).map_err(|e| e.to_string())?;
+    Ok(ResolvedEntry {
+        benchmark,
+        exp,
+        regs,
+        snapshot,
+    })
+}
+
 fn verify(cli: &Cli) {
     let store = open_store(cli);
     if store.manifest.entries.is_empty() {
@@ -236,49 +347,20 @@ fn verify(cli: &Cli) {
             "{}/{} {}@{}",
             entry.key.benchmark, entry.key.scheme, entry.key.kind, entry.key.target
         );
-        // Re-derive the configuration the entry claims and validate hash,
-        // format version and payload checksum via the normal load path.
-        let benchmark: Benchmark = match entry.key.benchmark.parse() {
-            Ok(b) => b,
+        let resolved = match resolve_and_load(cli, &store, entry) {
+            Ok(r) => r,
             Err(e) => {
                 println!("FAIL {label}: {e}");
                 failures += 1;
                 continue;
             }
         };
-        let scheme = match parse_scheme(&entry.key.scheme) {
-            Ok(s) => s,
-            Err(e) => {
-                println!("FAIL {label}: {e}");
-                failures += 1;
-                continue;
-            }
-        };
-        let exp = ExperimentConfig {
-            warmup: entry.key.warmup,
-            seed: entry.key.seed,
-            miss_penalty: entry.key.miss_penalty,
-            ..cli.exp
-        };
-        let regs = entry.key.physical_regs as usize;
-        let config = sim_config(scheme, regs, &exp);
-        let hash = config_hash(benchmark, &config, exp.seed);
-        let key = checkpoint_key(
-            benchmark,
-            scheme,
-            regs,
-            &exp,
-            &entry.key.kind,
-            entry.key.target,
+        let (benchmark, exp, regs, snapshot) = (
+            resolved.benchmark,
+            resolved.exp,
+            resolved.regs,
+            resolved.snapshot,
         );
-        let (_, snapshot) = match store.load(&key, hash) {
-            Ok(ok) => ok,
-            Err(e) => {
-                println!("FAIL {label}: {e}");
-                failures += 1;
-                continue;
-            }
-        };
         let fresh = TraceBuilder::new(benchmark).seed(exp.seed).build();
         let mut restored: Processor<TraceGen> = match Processor::restore(&snapshot, fresh) {
             Ok(cpu) => cpu,
@@ -330,12 +412,12 @@ fn verify(cli: &Cli) {
     // continuation's achieved end position in stream order.
     for ((benchmark, scheme_label_, regs, seed, miss_penalty), mut group) in continuations {
         let benchmark: Benchmark = benchmark.parse().expect("validated above");
-        let scheme = parse_scheme(&scheme_label_).expect("validated above");
         let exp = ExperimentConfig {
             seed,
             miss_penalty,
             ..cli.exp
         };
+        let scheme = parse_checkpoint_scheme(&scheme_label_, regs, &exp).expect("validated above");
         let trace = TraceBuilder::new(benchmark).seed(seed).build();
         let mut reference = Processor::new(sim_config(scheme, regs, &exp), trace);
         group.sort_by_key(|c| c.end_committed);
@@ -355,14 +437,103 @@ fn verify(cli: &Cli) {
             }
         }
     }
+    // --cross-nrr: the shared-artefact contract. Each shared interval
+    // checkpoint must (a) re-target to the canonical NRR as a bit-exact
+    // no-op (snapshot equality), and (b) restore bit-identically for each
+    // requested NRR value: two independent restore + re-target + run
+    // passes must agree on every counter — the property that lets one
+    // warm serial pass serve a whole NRR sweep.
+    let mut shared_checked = 0usize;
+    if let Some((nrr_a, nrr_b)) = cli.cross_nrr {
+        for entry in &store.manifest.entries {
+            if !entry.key.scheme.ends_with("-shared") || entry.key.kind != KIND_INTERVAL {
+                continue;
+            }
+            let label = format!(
+                "{}/{} {}@{} x-nrr",
+                entry.key.benchmark, entry.key.scheme, entry.key.kind, entry.key.target
+            );
+            let resolved = match resolve_and_load(cli, &store, entry) {
+                Ok(r) => r,
+                Err(e) => {
+                    println!("FAIL {label}: {e}");
+                    failures += 1;
+                    continue;
+                }
+            };
+            let (benchmark, exp, snapshot) = (resolved.benchmark, resolved.exp, resolved.snapshot);
+            shared_checked += 1;
+            let restore = || {
+                let fresh = TraceBuilder::new(benchmark).seed(exp.seed).build();
+                Processor::<TraceGen>::restore(&snapshot, fresh).expect("validated artefact")
+            };
+            let mut canonical = restore();
+            let canonical_nrr = canonical.config().scheme.nrr().expect("shared implies VP");
+            // Re-targets are only legal downward from the canonical NRR
+            // (and never to zero): report out-of-range requests as
+            // failures instead of letting `retarget_nrr` abort the run.
+            if let Some(&bad) = [nrr_a, nrr_b]
+                .iter()
+                .find(|&&n| n == 0 || n > canonical_nrr)
+            {
+                println!(
+                    "FAIL {label}: --cross-nrr {bad} outside this artefact's legal \
+                     range 1..={canonical_nrr}"
+                );
+                failures += 1;
+                continue;
+            }
+            canonical.retarget_nrr(canonical_nrr);
+            if canonical.snapshot() != snapshot {
+                println!("FAIL {label}: canonical re-target is not a bit-exact no-op");
+                failures += 1;
+                continue;
+            }
+            let run = cli.run.unwrap_or(500);
+            let mut ok = true;
+            for nrr in [nrr_a, nrr_b] {
+                let (mut first, mut second) = (restore(), restore());
+                first.retarget_nrr(nrr);
+                second.retarget_nrr(nrr);
+                if first.snapshot() != second.snapshot() {
+                    println!("FAIL {label}: NRR {nrr} re-targets disagree at restore");
+                    failures += 1;
+                    ok = false;
+                    continue;
+                }
+                first.run(run);
+                second.run(run);
+                if first.stats() != second.stats() || first.cycle() != second.cycle() {
+                    println!("FAIL {label}: NRR {nrr} continuations diverge");
+                    failures += 1;
+                    ok = false;
+                }
+            }
+            if ok {
+                println!("ok   {label} (nrr {nrr_a}/{nrr_b})");
+            }
+        }
+        if shared_checked == 0 {
+            eprintln!(
+                "--cross-nrr: {} holds no shared interval artefacts",
+                cli.dir.display()
+            );
+            std::process::exit(1);
+        }
+    }
     if failures > 0 {
         eprintln!("{failures}/{checked} checkpoint(s) failed verification");
         std::process::exit(1);
     }
     println!(
-        "all {checked} checkpoint(s) verified{}",
+        "all {checked} checkpoint(s) verified{}{}",
         match cli.run {
             Some(n) => format!(" (with {n}-commit golden continuations)"),
+            None => String::new(),
+        },
+        match cli.cross_nrr {
+            Some((a, b)) =>
+                format!(" ({shared_checked} shared artefacts cross-checked at NRR {a}/{b})"),
             None => String::new(),
         }
     );

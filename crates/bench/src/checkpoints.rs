@@ -36,6 +36,129 @@ pub const KIND_WARM: &str = "warm";
 /// Checkpoint kind label: taken at a sampling-interval start.
 pub const KIND_INTERVAL: &str = "interval";
 
+/// The configuration whose warm pass a point's *sharing group* reuses:
+/// for the virtual-physical schemes, the same scheme at the
+/// configuration's **maximum** NRR ([`SimConfig::max_nrr`]) — the NRR is
+/// an allocation-policy parameter only, so one warm pass per (benchmark,
+/// seed, scheme family) serves every NRR value via
+/// `Processor::retarget_nrr`; for every other scheme, the point's own
+/// configuration (nothing to share across).
+///
+/// The canonical NRR must be the maximum because re-targeting is only
+/// sound *downward*: the §3.3 invariant `free ≥ NRR − Used` survives
+/// shrinking the reserved set (removing a reserved slot removes at most
+/// one allocated one) but not growing it — a machine warmed under a
+/// small NRR may hold too few free registers to honour a larger reserved
+/// set's guarantee.
+pub fn group_config(
+    scheme: RenameScheme,
+    physical_regs: usize,
+    exp: &ExperimentConfig,
+) -> SimConfig {
+    let own = sim_config(scheme, physical_regs, exp);
+    if !shares_group_pass(scheme, physical_regs, exp) {
+        return own;
+    }
+    let canonical = match scheme {
+        RenameScheme::VirtualPhysicalIssue { .. } => {
+            RenameScheme::VirtualPhysicalIssue { nrr: own.max_nrr() }
+        }
+        RenameScheme::VirtualPhysicalWriteback { .. } => {
+            RenameScheme::VirtualPhysicalWriteback { nrr: own.max_nrr() }
+        }
+        other => other,
+    };
+    sim_config(canonical, physical_regs, exp)
+}
+
+/// Whether a point restores its family's shared canonical-NRR pass
+/// instead of paying its own: true for NRR values within 4× of the
+/// canonical (maximum) NRR. Deeper downshifts leave the canonical
+/// trajectory's operating regime entirely — a machine re-targeted from
+/// NRR 32 to NRR 1 settles into a register-re-execution equilibrium a
+/// from-scratch NRR-1 run never enters, and no affordable re-warm span
+/// escapes it (observed ≈ 22 % IPC bias on wave5) — so such points keep
+/// their own serial pass and stay exact-seeded.
+pub fn shares_group_pass(
+    scheme: RenameScheme,
+    physical_regs: usize,
+    exp: &ExperimentConfig,
+) -> bool {
+    match scheme.nrr() {
+        Some(nrr) => nrr * 4 >= sim_config(scheme, physical_regs, exp).max_nrr(),
+        None => false,
+    }
+}
+
+/// The manifest scheme label a point's sharing group stores its
+/// checkpoints under: an NRR-independent family label for
+/// virtual-physical schemes that share the canonical pass
+/// ([`shares_group_pass`]), the point's own label otherwise. The
+/// separate namespace keeps shared (canonical-NRR) artefacts from ever
+/// colliding with exact per-configuration ones.
+pub fn group_scheme_label(
+    scheme: RenameScheme,
+    physical_regs: usize,
+    exp: &ExperimentConfig,
+) -> String {
+    if !shares_group_pass(scheme, physical_regs, exp) {
+        return scheme_label(scheme);
+    }
+    match scheme {
+        RenameScheme::VirtualPhysicalIssue { .. } => "vp-issue-shared".into(),
+        RenameScheme::VirtualPhysicalWriteback { .. } => "vp-wb-shared".into(),
+        other => scheme_label(other),
+    }
+}
+
+/// Parses a manifest scheme label, including the shared family labels
+/// [`group_scheme_label`] produces: `vp-issue-shared` / `vp-wb-shared`
+/// resolve to the family's canonical (maximum-NRR) scheme for
+/// `physical_regs`, everything else through
+/// [`crate::workloads::parse_scheme`].
+///
+/// # Errors
+///
+/// Describes the accepted forms when `label` matches none of them.
+pub fn parse_checkpoint_scheme(
+    label: &str,
+    physical_regs: usize,
+    exp: &ExperimentConfig,
+) -> Result<RenameScheme, String> {
+    let canonical = |family: fn(usize) -> RenameScheme| {
+        let probe = sim_config(family(1), physical_regs, exp);
+        family(probe.max_nrr())
+    };
+    match label {
+        "vp-issue-shared" => Ok(canonical(|nrr| RenameScheme::VirtualPhysicalIssue { nrr })),
+        "vp-wb-shared" => Ok(canonical(|nrr| RenameScheme::VirtualPhysicalWriteback {
+            nrr,
+        })),
+        other => crate::workloads::parse_scheme(other),
+    }
+}
+
+/// True when two schemes belong to the same sharing family (equal up to
+/// the NRR parameter).
+pub fn same_family(a: RenameScheme, b: RenameScheme) -> bool {
+    matches!(
+        (a, b),
+        (RenameScheme::Conventional, RenameScheme::Conventional)
+            | (
+                RenameScheme::ConventionalEarlyRelease,
+                RenameScheme::ConventionalEarlyRelease
+            )
+            | (
+                RenameScheme::VirtualPhysicalIssue { .. },
+                RenameScheme::VirtualPhysicalIssue { .. }
+            )
+            | (
+                RenameScheme::VirtualPhysicalWriteback { .. },
+                RenameScheme::VirtualPhysicalWriteback { .. }
+            )
+    )
+}
+
 /// Builds the simulator configuration for one sweep point (the same
 /// construction every experiment path uses).
 pub fn sim_config(scheme: RenameScheme, physical_regs: usize, exp: &ExperimentConfig) -> SimConfig {
@@ -69,9 +192,29 @@ pub fn checkpoint_key(
     kind: &str,
     target: u64,
 ) -> CheckpointKey {
+    checkpoint_key_labelled(
+        benchmark,
+        scheme_label(scheme),
+        physical_regs,
+        exp,
+        kind,
+        target,
+    )
+}
+
+/// [`checkpoint_key`] with an explicit scheme label (the group keys use
+/// family labels that do not name a single scheme).
+pub fn checkpoint_key_labelled(
+    benchmark: Benchmark,
+    scheme: String,
+    physical_regs: usize,
+    exp: &ExperimentConfig,
+    kind: &str,
+    target: u64,
+) -> CheckpointKey {
     CheckpointKey {
         benchmark: benchmark.name().to_string(),
-        scheme: scheme_label(scheme),
+        scheme,
         physical_regs: physical_regs as u64,
         seed: exp.seed,
         miss_penalty: exp.miss_penalty,
@@ -147,6 +290,47 @@ pub fn generate_checkpoints(
     plan: Option<&SamplingPlan>,
 ) -> Vec<GeneratedCheckpoint> {
     let config = sim_config(scheme, physical_regs, exp);
+    generate_checkpoints_for(
+        benchmark,
+        config,
+        scheme_label(scheme),
+        physical_regs,
+        exp,
+        plan,
+    )
+}
+
+/// Runs the **group** (canonical-configuration) warm serial pass for
+/// `scheme`'s sharing family and checkpoints it under the family's
+/// manifest label — the artefacts every NRR value of the family restores
+/// (re-targeted via `Processor::retarget_nrr`). Identical to
+/// [`generate_checkpoints`] for schemes with nothing to share.
+pub fn generate_group_checkpoints(
+    benchmark: Benchmark,
+    scheme: RenameScheme,
+    physical_regs: usize,
+    exp: &ExperimentConfig,
+    plan: Option<&SamplingPlan>,
+) -> Vec<GeneratedCheckpoint> {
+    let config = group_config(scheme, physical_regs, exp);
+    generate_checkpoints_for(
+        benchmark,
+        config,
+        group_scheme_label(scheme, physical_regs, exp),
+        physical_regs,
+        exp,
+        plan,
+    )
+}
+
+fn generate_checkpoints_for(
+    benchmark: Benchmark,
+    config: SimConfig,
+    label: String,
+    physical_regs: usize,
+    exp: &ExperimentConfig,
+    plan: Option<&SamplingPlan>,
+) -> Vec<GeneratedCheckpoint> {
     let hash = config_hash(benchmark, &config, exp.seed);
     // Sorted unique targets, each mapping to the kinds checkpointed there.
     let mut targets: Vec<(u64, Vec<&str>)> = vec![(exp.warmup, vec![KIND_WARM])];
@@ -169,7 +353,14 @@ pub fn generate_checkpoints(
         let snapshot = cpu.snapshot();
         for kind in &targets[at].1 {
             out.push(GeneratedCheckpoint {
-                key: checkpoint_key(benchmark, scheme, physical_regs, exp, kind, target),
+                key: checkpoint_key_labelled(
+                    benchmark,
+                    label.clone(),
+                    physical_regs,
+                    exp,
+                    kind,
+                    target,
+                ),
                 committed: cpu.absolute_committed(),
                 cycle: cpu.cycle(),
                 trace_cursor: cpu.trace().emitted(),
@@ -290,10 +481,63 @@ impl CheckpointStore {
         plan: &SamplingPlan,
     ) -> Result<Vec<(u64, Snapshot)>, CheckpointLoadError> {
         let config = sim_config(scheme, physical_regs, exp);
-        let hash = config_hash(benchmark, &config, exp.seed);
+        self.load_interval_set_for(
+            benchmark,
+            &config,
+            scheme_label(scheme),
+            physical_regs,
+            exp,
+            plan,
+        )
+    }
+
+    /// Loads the full set of **group** (shared, canonical-configuration)
+    /// interval checkpoints for `scheme`'s sharing family — what a
+    /// sampled NRR sweep restores and re-targets. Falls back exactly like
+    /// [`CheckpointStore::load_interval_set`].
+    ///
+    /// # Errors
+    ///
+    /// See [`CheckpointStore::load_interval_set`].
+    pub fn load_group_interval_set(
+        &self,
+        benchmark: Benchmark,
+        scheme: RenameScheme,
+        physical_regs: usize,
+        exp: &ExperimentConfig,
+        plan: &SamplingPlan,
+    ) -> Result<Vec<(u64, Snapshot)>, CheckpointLoadError> {
+        let config = group_config(scheme, physical_regs, exp);
+        self.load_interval_set_for(
+            benchmark,
+            &config,
+            group_scheme_label(scheme, physical_regs, exp),
+            physical_regs,
+            exp,
+            plan,
+        )
+    }
+
+    fn load_interval_set_for(
+        &self,
+        benchmark: Benchmark,
+        config: &SimConfig,
+        label: String,
+        physical_regs: usize,
+        exp: &ExperimentConfig,
+        plan: &SamplingPlan,
+    ) -> Result<Vec<(u64, Snapshot)>, CheckpointLoadError> {
+        let hash = config_hash(benchmark, config, exp.seed);
         let mut out = Vec::with_capacity(plan.intervals);
         for start in plan.starts() {
-            let key = checkpoint_key(benchmark, scheme, physical_regs, exp, KIND_INTERVAL, start);
+            let key = checkpoint_key_labelled(
+                benchmark,
+                label.clone(),
+                physical_regs,
+                exp,
+                KIND_INTERVAL,
+                start,
+            );
             let (_, snapshot) = self.load(&key, hash)?;
             out.push((start, snapshot));
         }

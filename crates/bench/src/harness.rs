@@ -232,6 +232,9 @@ pub struct ThroughputReport {
     pub sweep: SweepTiming,
     /// The host-speed reference measured next to the sweep.
     pub host: HostCalibration,
+    /// Free-form notes recorded into the artefact (PR context, observed
+    /// speedups, host caveats); empty when none were given.
+    pub notes: String,
 }
 
 impl ThroughputReport {
@@ -253,16 +256,45 @@ impl ThroughputReport {
         }
     }
 
+    /// Harmonic-mean sim-MIPS over the `go/*` rows only — the
+    /// mispredict-shadow workload the event-driven governor targets, and
+    /// the per-workload micro-gate's numerator.
+    pub fn go_harmonic_sim_mips(&self) -> f64 {
+        let rates: Vec<f64> = self
+            .runs
+            .iter()
+            .filter(|r| r.label.starts_with("go/"))
+            .map(|r| r.sim_mips)
+            .collect();
+        if rates.is_empty() {
+            0.0
+        } else {
+            harmonic_mean(&rates)
+        }
+    }
+
+    /// [`ThroughputReport::go_harmonic_sim_mips`] per host Mops — the
+    /// host-calibrated `go` figure the CI micro-gate compares.
+    pub fn go_sim_mips_per_host_mops(&self) -> f64 {
+        if self.host.mops == 0.0 {
+            0.0
+        } else {
+            self.go_harmonic_sim_mips() / self.host.mops
+        }
+    }
+
     /// Renders the report as a small, stable JSON document
-    /// (`vpr-bench-throughput/v3`). Hand-rolled: the build environment has
+    /// (`vpr-bench-throughput/v4`). Hand-rolled: the build environment has
     /// no serde. v2 added `runs_per_config` (per-run sim-MIPS is the best
     /// of that many timed repetitions) and the `sweep` wall-clock block
-    /// for the parallel engine; v3 adds the `host_calibration` block and
+    /// for the parallel engine; v3 added the `host_calibration` block and
     /// `sim_mips_per_host_mops`, so sim-MIPS regressions can be judged
-    /// independently of the runner's momentary load.
+    /// independently of the runner's momentary load; v4 adds
+    /// `go_sim_mips_per_host_mops` (the `go` micro-gate figure) and the
+    /// free-form `notes` string.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
-        s.push_str("{\n  \"schema\": \"vpr-bench-throughput/v3\",\n");
+        s.push_str("{\n  \"schema\": \"vpr-bench-throughput/v4\",\n");
         let _ = writeln!(
             s,
             "  \"config\": {{\"warmup\": {}, \"measure\": {}, \"seed\": {}, \"miss_penalty\": {}}},",
@@ -297,9 +329,31 @@ impl ThroughputReport {
         );
         let _ = writeln!(
             s,
-            "  \"sim_mips_per_host_mops\": {:.6}",
+            "  \"sim_mips_per_host_mops\": {:.6},",
             self.sim_mips_per_host_mops()
         );
+        let _ = writeln!(
+            s,
+            "  \"go_sim_mips_per_host_mops\": {:.6},",
+            self.go_sim_mips_per_host_mops()
+        );
+        // Full JSON string escaping: notes are free-form user input and
+        // may contain newlines or other control characters.
+        let mut escaped = String::with_capacity(self.notes.len());
+        for c in self.notes.chars() {
+            match c {
+                '\\' => escaped.push_str("\\\\"),
+                '"' => escaped.push_str("\\\""),
+                '\n' => escaped.push_str("\\n"),
+                '\r' => escaped.push_str("\\r"),
+                '\t' => escaped.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(escaped, "\\u{:04x}", c as u32);
+                }
+                c => escaped.push(c),
+            }
+        }
+        let _ = writeln!(s, "  \"notes\": \"{escaped}\"");
         s.push_str("}\n");
         s
     }
@@ -391,6 +445,7 @@ pub fn measure_throughput(exp: &ExperimentConfig, runs_per_config: usize) -> Thr
         },
         host: calibrate_host(),
         runs,
+        notes: String::new(),
     }
 }
 
@@ -461,17 +516,23 @@ mod tests {
                 mops: HOST_CALIBRATION_OPS as f64 / 0.1 / 1e6,
             },
             runs: vec![run],
+            notes: "governor \"refresh\"".into(),
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"vpr-bench-throughput/v3\""));
+        assert!(json.contains("\"schema\": \"vpr-bench-throughput/v4\""));
         assert!(json.contains("\"runs_per_config\": 1"));
         assert!(json.contains("\"sweep\": {\"jobs\": 1"));
         assert!(json.contains("\"host_calibration\": {\"ops\": "));
         assert!(json.contains("sim_mips_per_host_mops"));
+        assert!(json.contains("go_sim_mips_per_host_mops"));
+        assert!(json.contains("\"notes\": \"governor \\\"refresh\\\"\""));
         assert!(json.contains("swim/conventional"));
         assert!(json.contains("harmonic_mean_sim_mips"));
         assert!(report.harmonic_mean_sim_mips() > 0.0);
         assert!(report.sim_mips_per_host_mops() > 0.0);
+        // No go rows in this report: the go figures degrade to zero
+        // rather than poisoning the harmonic mean.
+        assert_eq!(report.go_harmonic_sim_mips(), 0.0);
     }
 
     #[test]

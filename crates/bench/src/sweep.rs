@@ -14,7 +14,8 @@
 //! host core, the default) to control the pool.
 
 use crate::checkpoints::{
-    generate_checkpoints, run_benchmark_checkpointed, CheckpointStore, KIND_INTERVAL,
+    generate_group_checkpoints, group_scheme_label, run_benchmark_checkpointed, CheckpointStore,
+    KIND_INTERVAL,
 };
 use crate::sampling::{sample_from_checkpoints, SamplingPlan};
 use crate::{run_benchmark, ExperimentConfig};
@@ -275,24 +276,60 @@ pub fn run_sweep_metrics(
             let plan = ctx.effective_plan(exp).expect("sampled mode has a plan");
             let exp_copy = *exp;
             let store_ref = store.as_ref();
-            // Outer parallelism is across points; each point's windows run
-            // serially inside it (jobs = 1) so the pool is not nested.
-            let outcomes: Vec<(
-                PointMetrics,
+            // One warm serial pass per *sharing group* — (benchmark,
+            // scheme family, register-file size) — not per point: every
+            // NRR value of a virtual-physical family restores the same
+            // canonical interval checkpoints and re-prices only the
+            // NRR-dependent state (`Processor::retarget_nrr`), so an NRR
+            // sweep pays one pass per (benchmark, seed, family) instead
+            // of one per NRR value. Groups are keyed by the group scheme
+            // label, which already folds the family together.
+            let mut groups: Vec<SweepPoint> = Vec::new();
+            let group_of: Vec<usize> = points
+                .iter()
+                .map(|p| {
+                    let key = (
+                        p.benchmark,
+                        group_scheme_label(p.scheme, p.physical_regs, &exp_copy),
+                        p.physical_regs,
+                    );
+                    let found = groups.iter().position(|g| {
+                        (
+                            g.benchmark,
+                            group_scheme_label(g.scheme, g.physical_regs, &exp_copy),
+                            g.physical_regs,
+                        ) == key
+                    });
+                    found.unwrap_or_else(|| {
+                        groups.push(*p);
+                        groups.len() - 1
+                    })
+                })
+                .collect();
+            // Stage 1: load (or generate) each group's interval set.
+            type GroupSet = (
+                Vec<(u64, vpr_snap::Snapshot)>,
                 bool,
                 Vec<crate::checkpoints::GeneratedCheckpoint>,
-            )> = par::par_map(exp.effective_jobs(), points.to_vec(), |_, p| {
+            );
+            let sets: Vec<GroupSet> = par::par_map(exp.effective_jobs(), groups, |_, g| {
                 let loaded = store_ref.and_then(|s| {
-                    s.load_interval_set(p.benchmark, p.scheme, p.physical_regs, &exp_copy, &plan)
-                        .ok()
+                    s.load_group_interval_set(
+                        g.benchmark,
+                        g.scheme,
+                        g.physical_regs,
+                        &exp_copy,
+                        &plan,
+                    )
+                    .ok()
                 });
-                let (snapshots, from_disk, generated) = match loaded {
+                match loaded {
                     Some(set) => (set, true, Vec::new()),
                     None => {
-                        let generated = generate_checkpoints(
-                            p.benchmark,
-                            p.scheme,
-                            p.physical_regs,
+                        let generated = generate_group_checkpoints(
+                            g.benchmark,
+                            g.scheme,
+                            g.physical_regs,
                             &exp_copy,
                             Some(&plan),
                         );
@@ -303,30 +340,37 @@ pub fn run_sweep_metrics(
                             .collect();
                         (set, false, generated)
                     }
-                };
-                let report = sample_from_checkpoints(
-                    p.benchmark,
-                    p.scheme,
-                    p.physical_regs,
-                    &exp_copy,
-                    &plan,
-                    &snapshots,
-                    1,
-                );
-                let metrics = PointMetrics {
-                    ipc: report.ipc(),
-                    miss_ratio: report.miss_ratio(),
-                    executions_per_commit: report.executions_per_commit(),
-                };
-                (metrics, from_disk, generated)
+                }
             });
-            let all_from_disk = outcomes.iter().all(|(_, from_disk, _)| *from_disk);
+            // Stage 2: measure every point against its group's set; each
+            // point's windows run serially inside it (jobs = 1) so the
+            // pool is not nested.
+            let sets_ref = &sets;
+            let group_of_ref = &group_of;
+            let outcomes: Vec<PointMetrics> =
+                par::par_map(exp.effective_jobs(), points.to_vec(), move |i, p| {
+                    let (snapshots, _, _) = &sets_ref[group_of_ref[i]];
+                    let report = sample_from_checkpoints(
+                        p.benchmark,
+                        p.scheme,
+                        p.physical_regs,
+                        &exp_copy,
+                        &plan,
+                        snapshots,
+                        1,
+                    );
+                    PointMetrics {
+                        ipc: report.ipc(),
+                        miss_ratio: report.miss_ratio(),
+                        executions_per_commit: report.executions_per_commit(),
+                    }
+                });
+            let all_from_disk = sets.iter().all(|(_, from_disk, _)| *from_disk);
             // Persist freshly generated checkpoints so the next sampled
-            // run (and any exact run wanting the warm checkpoints) reuses
-            // the serial passes just paid for.
+            // run reuses the serial passes just paid for.
             if let Some(mut store) = store {
                 let mut dirty = false;
-                for (_, _, generated) in &outcomes {
+                for (_, _, generated) in &sets {
                     if !generated.is_empty() {
                         if let Err(e) = store.save_all(generated) {
                             eprintln!(
@@ -348,7 +392,7 @@ pub fn run_sweep_metrics(
                 }
             }
             SweepMetrics {
-                points: outcomes.into_iter().map(|(m, _, _)| m).collect(),
+                points: outcomes,
                 provenance: SamplingProvenance::Sampled {
                     plan,
                     estimator: "per-phase-regression",

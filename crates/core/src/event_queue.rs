@@ -16,6 +16,7 @@
 //! matches the `BTreeMap<u64, Vec<Event>>` the pipeline previously used,
 //! which is what keeps the simulation bit-identical.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 /// A calendar queue of events keyed by the simulated cycle they fire in.
@@ -45,6 +46,14 @@ pub struct CalendarQueue<E> {
     overflow: BTreeMap<u64, Vec<E>>,
     /// Total scheduled events.
     len: usize,
+    /// Lower bound on the earliest occupied *ring* cycle — a scan hint,
+    /// not an exact minimum. `schedule` lowers it, successful scans raise
+    /// it to the found cycle, so repeated [`CalendarQueue::next_at_or_after`]
+    /// queries cost O(1) amortised instead of re-walking empty buckets
+    /// (each bucket distance is walked at most once per event). Interior
+    /// mutability keeps the queries `&self`; the hint is derived state and
+    /// never serialised.
+    ring_hint: Cell<u64>,
 }
 
 impl<E> CalendarQueue<E> {
@@ -58,6 +67,7 @@ impl<E> CalendarQueue<E> {
             mask: (n - 1) as u64,
             overflow: BTreeMap::new(),
             len: 0,
+            ring_hint: Cell::new(0),
         }
     }
 
@@ -87,6 +97,9 @@ impl<E> CalendarQueue<E> {
             // Within the ring: at most `horizon - 1` cycles ahead, so each
             // in-range cycle owns exactly one bucket.
             self.buckets[(at & self.mask) as usize].push(ev);
+            if at < self.ring_hint.get() {
+                self.ring_hint.set(at);
+            }
         } else {
             self.overflow.entry(at).or_default().push(ev);
         }
@@ -145,6 +158,16 @@ impl<E> CalendarQueue<E> {
         self.scan_from(from)
     }
 
+    /// The queue's half of the core's `next_activity()` governor contract
+    /// (see `docs/kernel.md`): the earliest cycle at or after `from` at
+    /// which a scheduled event fires — exactly
+    /// [`CalendarQueue::next_at_or_after`], named for the contract. O(1)
+    /// amortised thanks to the ring hint.
+    #[inline]
+    pub fn next_activity(&self, from: u64) -> Option<u64> {
+        self.next_at_or_after(from)
+    }
+
     /// Every pending event as `(cycle, event)`, for checkpointing: cycles
     /// ascend from `from` (the current, not-yet-drained cycle), and events
     /// of one cycle appear in drain order (overflow entries first, then
@@ -181,16 +204,25 @@ impl<E> CalendarQueue<E> {
     /// Earliest occupied cycle ≥ `from`. All live events lie within one
     /// horizon of `from` (ring) or in the overflow map, and in-range
     /// cycles map bijectively onto buckets, so the first non-empty bucket
-    /// in ring order is the in-ring minimum.
+    /// in ring order is the in-ring minimum. The walk starts at the ring
+    /// hint (a proven lower bound on the ring minimum — cycles below it
+    /// hold no ring event, and cycles below `from` were already drained)
+    /// and the hint advances to wherever the walk ends, so consecutive
+    /// queries never re-walk the same empty buckets.
     fn scan_from(&self, from: u64) -> Option<u64> {
         let mut best = self.overflow.keys().next().copied();
+        let start = from.max(self.ring_hint.get());
         for delta in 0..=self.mask {
-            let cycle = from + delta;
+            let cycle = start + delta;
             if !self.buckets[(cycle & self.mask) as usize].is_empty() {
+                self.ring_hint.set(cycle);
                 best = Some(best.map_or(cycle, |b| b.min(cycle)));
-                break;
+                return best;
             }
         }
+        // No ring event at all: nothing below `start + horizon` occupies
+        // the ring, and future schedules lower the hint as needed.
+        self.ring_hint.set(start + self.mask);
         best
     }
 }
@@ -269,6 +301,29 @@ mod tests {
                 assert_eq!(out, vec![cycle - 2], "event fires exactly 3 cycles later");
             }
         }
+    }
+
+    #[test]
+    fn next_activity_survives_hint_movement() {
+        // The ring hint only ever advances past provably-empty buckets;
+        // schedules below it must pull it back down. Exercise the
+        // empty → far-future → near-past-the-hint pattern explicitly.
+        let mut q = CalendarQueue::with_horizon(16);
+        q.schedule(0, 14, "far");
+        assert_eq!(q.next_activity(0), Some(14), "hint walks to 14");
+        q.schedule(1, 3, "near");
+        assert_eq!(q.next_activity(1), Some(3), "hint lowered by schedule");
+        let mut out = Vec::new();
+        q.drain_at(3, &mut out);
+        assert_eq!(out, vec!["near"]);
+        assert_eq!(q.next_activity(3), Some(14));
+        q.drain_at(14, &mut out);
+        assert!(q.is_empty());
+        assert_eq!(q.next_activity(14), None);
+        // After a failed scan parked the hint a horizon out, a fresh
+        // near-term schedule must still be found.
+        q.schedule(20, 22, "again");
+        assert_eq!(q.next_activity(20), Some(22));
     }
 
     #[test]

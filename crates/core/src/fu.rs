@@ -236,4 +236,52 @@ mod tests {
         let mut fus = pool();
         let _ = fus.try_issue(OpClass::Nop, 0);
     }
+
+    #[test]
+    fn earliest_accept_lower_bound_property() {
+        // The `next_activity()` contract: after an arbitrary issue
+        // history, `earliest_accept(op, now)` must name exactly the first
+        // cycle at which `try_issue(op, ·)` succeeds, assuming no issues
+        // in between — never later (the governor would overshoot real
+        // work), and, for tightness, never an idle earlier cycle.
+        let ops = [
+            OpClass::IntAlu,
+            OpClass::IntDiv,
+            OpClass::IntMul,
+            OpClass::FpDiv,
+            OpClass::FpMul,
+            OpClass::Load,
+        ];
+        let mut seed = 0x1234_5678u64;
+        let mut rand = move |m: u64| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed % m
+        };
+        let mut fus = pool();
+        let mut now = 0u64;
+        for _ in 0..300 {
+            now += rand(3);
+            let op = ops[rand(ops.len() as u64) as usize];
+            let _ = fus.try_issue(op, now);
+            let probe_op = ops[rand(ops.len() as u64) as usize];
+            let bound = fus.earliest_accept(probe_op, now + 1);
+            // Probing never mutates: step a clone forward cycle by cycle.
+            let mut t = now + 1;
+            loop {
+                let accepted = fus.clone().try_issue(probe_op, t).is_some();
+                assert_eq!(
+                    accepted,
+                    t == bound,
+                    "{probe_op:?}: earliest_accept said {bound}, probe at {t} says {accepted}"
+                );
+                if accepted {
+                    break;
+                }
+                t += 1;
+                assert!(t < bound + 2, "bound must be reached");
+            }
+        }
+    }
 }

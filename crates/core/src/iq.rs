@@ -9,10 +9,12 @@
 //! * entries live in a dense **slab** of reusable slots; a generation
 //!   counter per slot lets stale index records be recognised in O(1)
 //!   instead of being eagerly cleaned up;
-//! * two small sorted vectors index the slab by age: `order` (every
-//!   waiting instruction) and `ready` (only issue-eligible ones), so the
-//!   issue stage touches exactly the ready entries, oldest first, through
-//!   the non-allocating [`Iq::ready_iter`];
+//! * sequence-number lookup goes through a direct-mapped, slab-verified
+//!   hint table (collision-free on the stock geometry, slab-scan
+//!   fallback otherwise), so insert and remove never maintain a sorted
+//!   age vector; only the *ready* entries are kept age-sorted, and the
+//!   issue stage touches exactly those, oldest first, through the
+//!   non-allocating [`Iq::ready_iter`];
 //! * wake-up is **consumer-indexed**: each waiting operand registers
 //!   itself in a per-`(RegClass, tag)` list at insert, so a broadcast
 //!   ([`Iq::wakeup_phys`] / [`Iq::wakeup_vp`]) touches only the actual
@@ -107,14 +109,22 @@ struct Waiter {
 }
 
 /// One slab slot. `gen` increments on every removal, invalidating any
-/// [`Waiter`] records that still point here.
+/// [`Waiter`] records (and lookup-table hints) that still point here.
 #[derive(Debug, Clone)]
 struct Slot {
     entry: IqEntry,
     gen: u32,
     /// Present operands still waiting on a broadcast (0 ⇒ ready).
+    /// Invariant: a live slot with `waiting == 0` has a record in the
+    /// ready index, and vice versa.
     waiting: u8,
+    /// False once the entry leaves the queue (the slot is on the free
+    /// list and its `entry` is stale).
+    live: bool,
 }
+
+/// Vacant marker in the seq → slot lookup table.
+const VACANT: u32 = u32::MAX;
 
 /// The out-of-order issue window: entries ordered by age, woken by tag
 /// broadcasts at write-back.
@@ -129,8 +139,17 @@ struct Slot {
 pub struct Iq {
     slots: Vec<Slot>,
     free_slots: Vec<u32>,
-    /// `(seq, slot)` for every waiting instruction, sorted by `seq`.
-    order: Vec<(u64, u32)>,
+    /// Direct-mapped `seq & lookup_mask → slot` hint table. A hit is
+    /// verified against the slab (live + matching sequence number), so a
+    /// collided or stale hint is never wrong — it just falls back to a
+    /// slab scan. The table is sized at four times the capacity: live
+    /// sequence numbers all come from one reorder-buffer window, so on
+    /// the stock geometry (window ≤ 4 × queue capacity) two live entries
+    /// never alias and the fallback scan is dead code.
+    lookup: Vec<u32>,
+    lookup_mask: u64,
+    /// Live entry count.
+    live: usize,
     /// Issue-eligible instructions, sorted by `seq` (see [`ReadyRec`]).
     ready: Vec<ReadyRec>,
     /// Consumer lists for physical-register broadcasts, `[class][preg]`.
@@ -148,10 +167,13 @@ impl Iq {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "IQ needs at least one entry");
+        let lookup_len = capacity.next_power_of_two() * 4;
         Self {
             slots: Vec::with_capacity(capacity),
             free_slots: Vec::new(),
-            order: Vec::with_capacity(capacity),
+            lookup: vec![VACANT; lookup_len],
+            lookup_mask: (lookup_len - 1) as u64,
+            live: 0,
             ready: Vec::with_capacity(capacity),
             phys_waiters: [Vec::new(), Vec::new()],
             vp_waiters: [Vec::new(), Vec::new()],
@@ -162,19 +184,37 @@ impl Iq {
     /// Number of waiting instructions.
     #[inline]
     pub fn len(&self) -> usize {
-        self.order.len()
+        self.live
     }
 
     /// True when no instruction waits.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.order.is_empty()
+        self.live == 0
     }
 
     /// True when dispatch must stall.
     #[inline]
     pub fn is_full(&self) -> bool {
-        self.order.len() == self.capacity
+        self.live == self.capacity
+    }
+
+    /// Slot index of the live entry with sequence number `seq`, if any:
+    /// verified lookup-table hit, or (for a collided/stale hint — never
+    /// on the stock geometry) a slab scan.
+    fn find_slot(&self, seq: u64) -> Option<u32> {
+        let hint = self.lookup[(seq & self.lookup_mask) as usize];
+        if hint != VACANT {
+            if let Some(s) = self.slots.get(hint as usize) {
+                if s.live && s.entry.seq == seq {
+                    return Some(hint);
+                }
+            }
+        }
+        self.slots
+            .iter()
+            .position(|s| s.live && s.entry.seq == seq)
+            .map(|i| i as u32)
     }
 
     /// Number of currently issue-eligible instructions (the idle-skip
@@ -189,18 +229,23 @@ impl Iq {
     ///
     /// # Panics
     ///
-    /// Panics if the queue is full or the sequence number is already
-    /// present.
+    /// Panics if the queue is full. Inserting a sequence number that is
+    /// already present is a caller bug (debug-asserted; the pipeline
+    /// never does it — an instruction re-enters the queue only after
+    /// leaving it).
     pub fn insert(&mut self, entry: IqEntry) {
         assert!(!self.is_full(), "IQ overflow: dispatch must stall first");
-        let pos = match self.order.binary_search_by_key(&entry.seq, |&(s, _)| s) {
-            Ok(_) => panic!("sequence {} inserted twice", entry.seq),
-            Err(pos) => pos,
-        };
+        debug_assert!(
+            self.find_slot(entry.seq).is_none(),
+            "sequence {} inserted twice",
+            entry.seq
+        );
         let slot = match self.free_slots.pop() {
             Some(slot) => {
-                self.slots[slot as usize].entry = entry;
-                self.slots[slot as usize].waiting = 0;
+                let s = &mut self.slots[slot as usize];
+                s.entry = entry;
+                s.waiting = 0;
+                s.live = true;
                 slot
             }
             None => {
@@ -208,6 +253,7 @@ impl Iq {
                     entry,
                     gen: 0,
                     waiting: 0,
+                    live: true,
                 });
                 (self.slots.len() - 1) as u32
             }
@@ -242,12 +288,13 @@ impl Iq {
             }
         }
         self.slots[slot as usize].waiting = waiting;
-        self.order.insert(pos, (entry.seq, slot));
+        self.lookup[(entry.seq & self.lookup_mask) as usize] = slot;
+        self.live += 1;
         if waiting == 0 {
             let rpos = self
                 .ready
                 .binary_search_by_key(&entry.seq, |r| r.seq)
-                .expect_err("seq uniqueness checked via order");
+                .expect_err("live sequence numbers are unique");
             self.ready.insert(rpos, ReadyRec::of(&entry));
         }
     }
@@ -255,25 +302,41 @@ impl Iq {
     /// Removes an instruction (at issue or squash). Unknown sequence
     /// numbers are ignored so recovery can sweep blindly.
     pub fn remove(&mut self, seq: u64) -> Option<IqEntry> {
-        let pos = self.order.binary_search_by_key(&seq, |&(s, _)| s).ok()?;
-        let (_, slot) = self.order.remove(pos);
-        if let Ok(rpos) = self.ready.binary_search_by_key(&seq, |r| r.seq) {
-            self.ready.remove(rpos);
+        let slot = self.find_slot(seq)?;
+        let lookup_at = (seq & self.lookup_mask) as usize;
+        if self.lookup[lookup_at] == slot {
+            self.lookup[lookup_at] = VACANT;
         }
         let s = &mut self.slots[slot as usize];
         // Invalidate any consumer-list records still pointing at the slot.
         s.gen = s.gen.wrapping_add(1);
+        s.live = false;
+        let entry = s.entry;
+        let was_ready = s.waiting == 0;
         self.free_slots.push(slot);
-        Some(s.entry)
+        self.live -= 1;
+        if was_ready {
+            // The waiting == 0 ⇔ in-ready-index invariant makes the
+            // search unconditional-hit; entries still waiting skip it.
+            let rpos = self
+                .ready
+                .binary_search_by_key(&seq, |r| r.seq)
+                .expect("ready invariant: waiting == 0 entries are indexed");
+            self.ready.remove(rpos);
+        }
+        Some(entry)
     }
 
     /// Removes every entry younger than `seq` (branch recovery).
     pub fn squash_younger_than(&mut self, seq: u64) {
-        while let Some(&(youngest, _)) = self.order.last() {
-            if youngest <= seq {
-                break;
-            }
-            self.remove(youngest);
+        let doomed: Vec<u64> = self
+            .slots
+            .iter()
+            .filter(|s| s.live && s.entry.seq > seq)
+            .map(|s| s.entry.seq)
+            .collect();
+        for seq in doomed {
+            self.remove(seq);
         }
     }
 
@@ -352,11 +415,19 @@ impl Iq {
         woken
     }
 
-    /// Iterates entries oldest → youngest (age order).
+    /// Iterates entries oldest → youngest (age order). Cold path
+    /// (snapshots, recovery, tests): the age order is derived by sorting
+    /// the live slab entries rather than being maintained per operation —
+    /// the hot insert/remove paths pay nothing for it.
     pub fn iter(&self) -> impl Iterator<Item = &IqEntry> {
-        self.order
+        let mut live: Vec<&IqEntry> = self
+            .slots
             .iter()
-            .map(|&(_, slot)| &self.slots[slot as usize].entry)
+            .filter(|s| s.live)
+            .map(|s| &s.entry)
+            .collect();
+        live.sort_unstable_by_key(|e| e.seq);
+        live.into_iter()
     }
 
     /// Iterates the *issue-eligible* entries' `ReadyRec`s oldest →

@@ -35,18 +35,22 @@
 //!   only the operands actually waiting on that tag, and an age-sorted
 //!   ready index so issue selection iterates exactly the eligible
 //!   entries, oldest first, without allocating (see `iq.rs`).
-//! * **Idle-cycle fast-forwarding** — when the machine is provably
-//!   quiescent (no ready instruction, empty store buffer, no cache
-//!   retries, commit blocked on an incomplete head, and the front end
-//!   stalled or drained), the cycle counter jumps straight to the next
-//!   scheduled event instead of ticking through dead cycles one by one —
-//!   the common shape of a window stalled behind a 50-cycle miss. The
-//!   per-cycle statistics a stalled machine keeps accumulating (the
-//!   blocking rename-stall counter, fetch stall cycles, register-occupancy
-//!   integrals) are constant during quiescence, so the skip replays them
-//!   in closed form; simulated behaviour stays **bit-identical** to the
-//!   cycle-by-cycle kernel, which `crates/bench/tests/cycle_exact_golden.rs`
-//!   pins down.
+//! * **Next-event cycle governor** — before running any phase, the step
+//!   loop computes the earliest cycle at which *anything* can change,
+//!   from each subsystem's half of the `next_activity()` contract
+//!   (calendar-queue head, earliest functional-unit release, earliest
+//!   MSHR fill, fetch-stall expiry, IQ ready index + NRR allocation
+//!   gates; see `docs/kernel.md`), and jumps straight to it instead of
+//!   ticking through dead cycles one by one — the common shape of a
+//!   window stalled behind a 50-cycle miss, or a store buffer pinned on
+//!   a full MSHR file. The per-cycle statistics a stalled machine keeps
+//!   accumulating (the blocking rename-stall counter, fetch stall
+//!   cycles, bounced-probe retries, register-occupancy integrals) are
+//!   constant during quiescence, so the skip replays them in closed
+//!   form; simulated behaviour stays **bit-identical** to the
+//!   cycle-by-cycle kernel ([`Processor::step_single_cycle`]), which
+//!   `crates/bench/tests/cycle_exact_golden.rs` and the governor
+//!   equivalence proptest pin down.
 
 use crate::config::{RenameScheme, SimConfig};
 use crate::event_queue::CalendarQueue;
@@ -381,6 +385,87 @@ impl<S: InstStream> Processor<S> {
         self.reset_window();
     }
 
+    /// Re-targets a virtual-physical machine to a different NRR
+    /// (§3.3 reserved-register count) **in place**, without disturbing
+    /// any other machine state.
+    ///
+    /// The NRR is purely an allocation-*policy* parameter: it decides
+    /// which future allocations are granted, but no map table, free
+    /// list, binding or in-flight instruction encodes it. The reserved
+    /// counters themselves are a pure function of the in-flight
+    /// destination window (the same invariant wrong-path recovery's
+    /// [`NrrState`](crate::NrrState) rebuild relies on), so re-deriving
+    /// them under the new NRR yields exactly the state an uninterrupted
+    /// run under that NRR would have *for this window* — re-targeting to
+    /// the machine's current NRR is a bit-exact no-op.
+    ///
+    /// This is the cross-configuration checkpoint-reuse hook: fig4/fig5
+    /// NRR sweeps restore one shared warm pass per (benchmark, seed,
+    /// scheme family) and re-price only the NRR-dependent state, instead
+    /// of paying one serial pass per NRR value (`vpr-bench`'s
+    /// `checkpoints` module).
+    ///
+    /// Re-targeting is only sound **downward** (or to the same value):
+    /// the §3.3 invariant `free ≥ NRR − Used` survives shrinking the
+    /// reserved set — dropping a reserved slot drops at most one
+    /// allocated one — but a machine warmed under a small NRR may hold
+    /// too few free registers to honour a larger reserved set's
+    /// guarantee, which would corrupt the deadlock-freedom argument.
+    /// Shared warm passes therefore run at the *maximum* NRR
+    /// (`vpr-bench`'s `group_config`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme has no NRR (not virtual-physical), `nrr` is
+    /// outside `1..=max_nrr` ([`SimConfig::max_nrr`]), or `nrr` exceeds
+    /// the machine's current NRR (upward re-targets are unsound, above).
+    pub fn retarget_nrr(&mut self, nrr: usize) {
+        let current =
+            self.config.scheme.nrr().unwrap_or_else(|| {
+                panic!("retarget_nrr: scheme {:?} has no NRR", self.config.scheme)
+            });
+        assert!(
+            nrr <= current,
+            "retarget_nrr: cannot raise NRR {current} to {nrr} (the free-register \
+             invariant only survives downward re-targets)"
+        );
+        self.config.scheme = match self.config.scheme {
+            RenameScheme::VirtualPhysicalIssue { .. } => RenameScheme::VirtualPhysicalIssue { nrr },
+            RenameScheme::VirtualPhysicalWriteback { .. } => {
+                RenameScheme::VirtualPhysicalWriteback { nrr }
+            }
+            other => panic!("retarget_nrr: scheme {other:?} has no NRR"),
+        };
+        self.config
+            .validate()
+            .expect("re-targeted configuration is invalid");
+        let Renamer::Vp(_) = &self.renamer else {
+            unreachable!("a VP scheme implies the VP renamer")
+        };
+        // The per-class program-order dest index names exactly the
+        // in-flight destination-having instructions, oldest first — the
+        // same rebuild walk wrong-path recovery uses.
+        let windows = [RegClass::Int, RegClass::Fp].map(|class| {
+            self.dest_seqs[class.index()]
+                .iter()
+                .map(|&seq| {
+                    let e = self
+                        .rob
+                        .get(seq)
+                        .expect("dest index tracks in-flight entries");
+                    (seq, e.dest.expect("indexed on dest").preg.is_some())
+                })
+                .collect::<Vec<(u64, bool)>>()
+        });
+        let Renamer::Vp(vp) = &mut self.renamer else {
+            unreachable!("checked above")
+        };
+        vp.retarget_nrr(nrr);
+        for (class, survivors) in [RegClass::Int, RegClass::Fp].into_iter().zip(windows) {
+            vp.nrr_rebuild(class, survivors.into_iter());
+        }
+    }
+
     /// Replaces the branch predictor and data cache with externally
     /// warmed instances — the sampling harness's *functional warm-up*
     /// injection point: it replays the fast-forwarded instruction stream
@@ -403,27 +488,42 @@ impl<S: InstStream> Processor<S> {
         self.cache = cache;
     }
 
-    /// Advances the machine by one *active* cycle. If the machine is
-    /// provably quiescent — nothing can happen until the next scheduled
-    /// event — the cycle counter first fast-forwards over the idle
-    /// stretch (statistics included, bit-identically), so `cycle()` may
-    /// advance by more than one.
+    /// Advances the machine by one *active* cycle. The next-event cycle
+    /// governor first computes the earliest cycle at which *anything* can
+    /// change (the governor, `governor_skip`); if that lies in the future,
+    /// the cycle counter jumps straight to it (statistics included,
+    /// bit-identically), so `cycle()` may advance by more than one.
     pub fn step(&mut self) {
         self.step_limited(u64::MAX);
     }
 
-    /// [`Processor::step`] with idle fast-forwarding capped at
-    /// `max_cycle` (used by [`Processor::run_cycles`] to stop exactly on
-    /// a cycle budget).
+    /// Advances the machine by exactly one cycle, running every pipeline
+    /// phase — the **governor-free reference mode**. Behaviour is
+    /// bit-identical to [`Processor::step`] by the governor's closed-form
+    /// replay contract, which `tests/governor_equivalence.rs` pins down;
+    /// this mode exists for that suite (and for debugging the skip
+    /// machinery), not for speed.
+    pub fn step_single_cycle(&mut self) {
+        self.run_phases();
+    }
+
+    /// [`Processor::step`] with the governor's jump capped at `max_cycle`
+    /// (used by [`Processor::run_cycles`] to stop exactly on a cycle
+    /// budget).
     fn step_limited(&mut self, max_cycle: u64) {
-        self.try_fast_forward(max_cycle);
+        self.governor_skip(max_cycle);
         if self.cycle >= max_cycle {
-            // The fast-forward was capped by the cycle budget: the machine
-            // now stands *at* the budget boundary mid-idle-stretch, with
-            // the skipped cycles' counters already replayed. Executing the
+            // The jump was capped by the cycle budget: the machine now
+            // stands *at* the budget boundary mid-idle-stretch, with the
+            // skipped cycles' counters already replayed. Executing the
             // phases here would simulate one cycle past the budget.
             return;
         }
+        self.run_phases();
+    }
+
+    /// One full cycle of pipeline phases at the current cycle.
+    fn run_phases(&mut self) {
         let now = self.cycle;
         self.wb_ports_used = [0, 0];
         self.commit_phase(now);
@@ -447,16 +547,31 @@ impl<S: InstStream> Processor<S> {
         );
     }
 
-    /// Idle-cycle fast-forwarding: if no pipeline stage can make progress
-    /// before the next scheduled event (or fetch-redirect point, or
-    /// functional-unit release, or cache-fill completion), jump `cycle`
-    /// there directly, replaying the per-cycle counters the skipped stall
-    /// cycles would have accumulated.
+    /// The **next-event cycle governor**: computes the earliest cycle at
+    /// which *anything* can change and jumps `cycle` straight to it,
+    /// replaying the per-cycle counters the skipped stall cycles would
+    /// have accumulated in closed form. Each pipeline subsystem
+    /// contributes through its half of the `next_activity()` contract
+    /// (see `docs/kernel.md`): a lower bound on the next cycle it can act
+    /// on its own —
     ///
-    /// Quiescence requires *all* of:
+    /// * [`CalendarQueue::next_activity`] — the next scheduled event;
+    /// * [`FuPool::earliest_accept`] — the earliest release for a
+    ///   ready-but-FU-blocked instruction;
+    /// * [`vpr_mem::DataCache::next_activity`] — the earliest MSHR fill,
+    ///   bounding MSHR-blocked cache retries *and* a blocked store-buffer
+    ///   head ([`vpr_mem::StoreBuffer::next_activity`]);
+    /// * [`vpr_frontend::FetchUnit::next_activity`] — the fetch-stall /
+    ///   redirect-shadow expiry;
+    /// * the IQ ready index plus the renamers' NRR allocation gates —
+    ///   whether any issue-eligible instruction could leave the queue.
     ///
-    /// * empty store buffer (it probes the cache every cycle);
+    /// Quiescence (no subsystem can act at `now`) requires *all* of:
+    ///
     /// * commit blocked on an incomplete head (a completed head commits);
+    /// * the store buffer empty, or its head MSHR-bounced until the next
+    ///   fill completes (which bounds the skip; each skipped cycle
+    ///   replays the head's one bounced probe);
     /// * every issue-eligible instruction provably stuck for the whole
     ///   window: its functional units all busy (the earliest release
     ///   bounds the skip), the NRR rule denying its issue-time register
@@ -473,11 +588,13 @@ impl<S: InstStream> Processor<S> {
     /// cycle, so each skipped cycle contributes exactly one increment of
     /// one known front-end stall counter, one `issue_allocation_stalls`
     /// increment per denied candidate, one `mshr_retries` increment per
-    /// blocked retry, plus the occupancy sampling — replayed here in
-    /// closed form. Behaviour is bit-identical to stepping cycle by cycle,
-    /// which `crates/bench/tests/cycle_exact_golden.rs` pins down.
-    fn try_fast_forward(&mut self, max_cycle: u64) {
-        if !self.store_buffer.is_empty() || self.rob.head().is_some_and(|h| h.completed) {
+    /// blocked retry and per blocked store-buffer head, plus the
+    /// occupancy sampling — replayed here in closed form. Behaviour is
+    /// bit-identical to stepping cycle by cycle, which
+    /// `crates/bench/tests/cycle_exact_golden.rs` and the governor
+    /// equivalence proptest pin down.
+    fn governor_skip(&mut self, max_cycle: u64) {
+        if self.rob.head().is_some_and(|h| h.completed) {
             return;
         }
         let now = self.cycle;
@@ -487,6 +604,20 @@ impl<S: InstStream> Processor<S> {
         if self.events.has_at(now) {
             return;
         }
+        // Store-buffer quiescence: an empty buffer is idle; a non-empty
+        // one is quiescent only while its head store stays MSHR-bounced,
+        // which the next fill completion bounds.
+        let mut blocked_stores: u64 = 0;
+        let mut store_bound: Option<u64> = None;
+        if !self.store_buffer.is_empty() {
+            match self.store_buffer.next_activity(now, &self.cache) {
+                Some(at) if at > now => {
+                    blocked_stores = 1;
+                    store_bound = Some(at);
+                }
+                _ => return, // the head drains (or a fill lands) this cycle
+            }
+        }
         // Issue-stage quiescence: every ready entry must be unable to
         // issue now *and* until some bound. Functional-unit occupancy
         // gives a time bound; an NRR denial persists until register state
@@ -495,10 +626,11 @@ impl<S: InstStream> Processor<S> {
         let mut issue_bound: Option<u64> = None;
         let mut denied_ready: u64 = 0;
         if self.iq.ready_len() != 0 {
-            let mut gates = [crate::rename::AllocGate::default(); 2];
-            if let Renamer::Vp(vp) = &self.renamer {
-                gates = [vp.alloc_gate(RegClass::Int), vp.alloc_gate(RegClass::Fp)];
-            }
+            // §3.3 rule snapshots, built lazily on the first candidate
+            // that needs a register grant: only the issue-allocation
+            // scheme ever has such candidates, so the other schemes never
+            // pay for the gates.
+            let mut gates: Option<[crate::rename::AllocGate; 2]> = None;
             for e in self.iq.ready_iter() {
                 let (int_reads, fp_reads) = e.read_port_needs;
                 if int_reads > self.config.regfile_read_ports
@@ -509,6 +641,12 @@ impl<S: InstStream> Processor<S> {
                     continue;
                 }
                 if let Some(class) = e.alloc_class {
+                    let gates = gates.get_or_insert_with(|| {
+                        let Renamer::Vp(vp) = &self.renamer else {
+                            unreachable!("alloc_class is set only under the VP issue scheme")
+                        };
+                        [vp.alloc_gate(RegClass::Int), vp.alloc_gate(RegClass::Fp)]
+                    });
                     if !gates[class.index()].allows(e.seq) {
                         // Ticks issue_allocation_stalls every idle cycle.
                         denied_ready += 1;
@@ -529,7 +667,7 @@ impl<S: InstStream> Processor<S> {
         let mut retry_bound: Option<u64> = None;
         let mut blocked_retries: u64 = 0;
         if !self.cache_retry.is_empty() {
-            match self.cache.earliest_fill() {
+            match self.cache.next_activity() {
                 // A fill installs this cycle: outcomes are about to change.
                 Some(t) if t <= now => return,
                 t => retry_bound = t,
@@ -581,26 +719,30 @@ impl<S: InstStream> Processor<S> {
             } else {
                 return;
             }
-        } else if self.fetch.is_done() {
-            IdleTick::Nothing
-        } else if self.fetch.is_diverted() {
-            if self.config.wrong_path_injection {
-                // Injection mode fabricates wrong-path work every cycle.
-                return;
-            }
-            IdleTick::FetchStall
-        } else if self.fetch.resume_at() > self.cycle {
-            // Redirect shadow: fetch stalls until `resume_at`.
-            resume_bound = Some(self.fetch.resume_at());
-            IdleTick::FetchStall
         } else {
-            return;
+            // Empty fetch buffer: ask the fetch unit for its own next
+            // activity. `None` means it never acts on its own — either
+            // drained (nothing ticks) or stalled behind an unresolved
+            // branch (stall counter ticks until an event resolves it).
+            match self.fetch.next_activity(now) {
+                None if self.fetch.is_done() => IdleTick::Nothing,
+                None => IdleTick::FetchStall,
+                Some(at) if at > now => {
+                    // Redirect shadow: fetch stalls until `at`.
+                    resume_bound = Some(at);
+                    IdleTick::FetchStall
+                }
+                // Fetch delivers this cycle (or injection mode fabricates
+                // wrong-path work every cycle): the cycle is active.
+                Some(_) => return,
+            }
         };
         let target = [
-            self.events.next_at_or_after(self.cycle),
+            self.events.next_activity(now),
             resume_bound,
             issue_bound,
             retry_bound,
+            store_bound,
         ]
         .into_iter()
         .flatten()
@@ -621,13 +763,15 @@ impl<S: InstStream> Processor<S> {
             IdleTick::LsqFull => self.raw.lsq_full_stalls += skipped,
             IdleTick::FreeList(class) => self.raw.class_mut(class).rename_stalls += skipped,
         }
-        // Ready-but-denied issue candidates and MSHR-blocked retries tick
-        // their counters every skipped cycle, exactly as the issue loop
-        // and the retry sweep would have.
+        // Ready-but-denied issue candidates, MSHR-blocked retries and a
+        // blocked store-buffer head tick their counters every skipped
+        // cycle, exactly as the issue loop, the retry sweep and the store
+        // drain would have.
         self.raw.issue_allocation_stalls += denied_ready * skipped;
-        if blocked_retries > 0 {
+        let blocked_probes = blocked_retries + blocked_stores;
+        if blocked_probes > 0 {
             self.cache
-                .note_skipped_mshr_retries(blocked_retries * skipped);
+                .note_skipped_mshr_retries(blocked_probes * skipped);
         }
         self.cycle = target;
     }
@@ -712,9 +856,14 @@ impl<S: InstStream> Processor<S> {
             {
                 break;
             }
-            if head.di.op() == OpClass::Store {
+            // Copy out the few fields commit needs, then drop the entry
+            // in place — the full reorder-buffer record never moves.
+            let seq = head.seq;
+            let op = head.di.op();
+            let dest = head.dest;
+            if op == OpClass::Store {
                 let store = PendingStore {
-                    seq: head.seq,
+                    seq,
                     access: head.di.mem().expect("stores carry an access"),
                 };
                 if !self.store_buffer.push(store) {
@@ -722,22 +871,22 @@ impl<S: InstStream> Processor<S> {
                     break;
                 }
             }
-            let entry = self.rob.pop_head().expect("head checked above");
-            self.commit_entry(entry, now);
+            self.rob.drop_head();
+            self.commit_entry(seq, op, dest, now);
             self.last_commit_cycle = now;
         }
     }
 
-    fn commit_entry(&mut self, entry: RobEntry, now: u64) {
+    fn commit_entry(&mut self, seq: u64, op: OpClass, dest: Option<RenamedDest>, now: u64) {
         self.raw.committed += 1;
-        if entry.di.op().is_mem() {
-            self.lsq.remove(entry.seq);
+        if op.is_mem() {
+            self.lsq.remove(seq);
         }
-        let Some(dest) = entry.dest else { return };
+        let Some(dest) = dest else { return };
         self.raw.committed_with_dest += 1;
         let class = dest.class();
         let popped = self.dest_seqs[class.index()].pop_front();
-        debug_assert_eq!(popped, Some(entry.seq), "dest commits are in order");
+        debug_assert_eq!(popped, Some(seq), "dest commits are in order");
         match &mut self.renamer {
             Renamer::EarlyRelease(er) => {
                 // No explicit freeing: committing the producer just opens
@@ -773,7 +922,7 @@ impl<S: InstStream> Processor<S> {
                             .expect("dest index tracks in-flight entries");
                         (seq, e.dest.expect("indexed on dest").preg.is_some())
                     });
-                vp.nrr_on_commit(class, entry.seq, entrant);
+                vp.nrr_on_commit(class, seq, entrant);
                 let prev = dest.prev_vp.expect("VP rename records prev mapping");
                 let held = vp.on_commit_dest(class, prev, now);
                 let cs = self.raw.class_mut(class);
@@ -867,8 +1016,12 @@ impl<S: InstStream> Processor<S> {
         let mut events = std::mem::take(&mut self.event_scratch);
         debug_assert!(events.is_empty());
         self.events.drain_at(now, &mut events);
-        // Oldest instructions get write ports and cache ports first.
-        events.sort_by_key(Event::seq);
+        // Oldest instructions get write ports and cache ports first. A
+        // single event (the common case during mispredict shadows) is
+        // trivially in order.
+        if events.len() > 1 {
+            events.sort_by_key(Event::seq);
+        }
         for ev in events.drain(..) {
             match ev {
                 Event::EaDone { seq, gen } => self.handle_ea_done(seq, gen, now),
@@ -918,6 +1071,10 @@ impl<S: InstStream> Processor<S> {
     }
 
     fn handle_completion(&mut self, seq: u64, gen: u64, now: u64) {
+        // One lookup serves the whole happy path: every field the
+        // completion needs is copied out up front (they are all small and
+        // `Copy`), and the entry is touched again only to write results
+        // back — the reorder buffer is not consulted per sub-step.
         let Some(entry) = self.rob.get(seq) else {
             return;
         };
@@ -925,7 +1082,11 @@ impl<S: InstStream> Processor<S> {
             return;
         }
         let op = entry.di.op();
-        let dest = entry.dest;
+        let mut dest = entry.dest;
+        let wrong_path = entry.wrong_path;
+        let mispredicted = entry.mispredicted;
+        let pc = entry.di.pc();
+        let branch = entry.di.branch();
 
         // Late allocation: the write-back scheme claims the physical
         // register in the last execution cycle (§3.2.2) — or squashes.
@@ -941,13 +1102,17 @@ impl<S: InstStream> Processor<S> {
                 match vp.try_allocate(d.class(), seq, now) {
                     Some(preg) => {
                         self.raw.class_mut(d.class()).allocations += 1;
-                        self.rob
+                        // Recorded immediately: the grant must stick even
+                        // if a write-port stall defers the broadcast.
+                        let slot = self
+                            .rob
                             .get_mut(seq)
                             .expect("checked above")
                             .dest
                             .as_mut()
-                            .expect("dest checked above")
-                            .preg = Some(preg);
+                            .expect("dest checked above");
+                        slot.preg = Some(preg);
+                        dest = Some(*slot);
                     }
                     None => {
                         // Out of registers: squash and re-execute (§3.3).
@@ -970,13 +1135,7 @@ impl<S: InstStream> Processor<S> {
             }
             self.wb_ports_used[c] += 1;
             // Broadcast the result tag to the queue and the map tables.
-            let dest = self
-                .rob
-                .get(seq)
-                .expect("checked above")
-                .dest
-                .expect("dest above");
-            let preg = dest.preg.expect("allocated above or at rename/issue");
+            let preg = d.preg.expect("allocated above or at rename/issue");
             match &mut self.renamer {
                 Renamer::Conventional(conv) => {
                     conv.on_writeback(d.class(), preg);
@@ -987,7 +1146,7 @@ impl<S: InstStream> Processor<S> {
                     self.iq.wakeup_phys(d.class(), preg);
                 }
                 Renamer::Vp(vp) => {
-                    let tag = dest.vp.expect("VP rename assigns a tag");
+                    let tag = d.vp.expect("VP rename assigns a tag");
                     // A load re-executed after a memory-order violation has
                     // already bound its tag; the binding stands.
                     if vp.pmt_entry(d.class(), tag).is_none() {
@@ -1004,10 +1163,6 @@ impl<S: InstStream> Processor<S> {
         if op.is_mem() {
             entry.mem_phase = MemPhase::Done;
         }
-        let wrong_path = entry.wrong_path;
-        let mispredicted = entry.mispredicted;
-        let pc = entry.di.pc();
-        let branch = entry.di.branch();
 
         if op.is_branch() && !wrong_path {
             if op == OpClass::BranchCond {
@@ -1096,12 +1251,11 @@ impl<S: InstStream> Processor<S> {
         // Issue-allocation scheme: snapshot the §3.3 rule per class once,
         // so the selection loop evaluates denied candidates from two
         // registers' worth of state instead of re-deriving the rule each
-        // time. The snapshot is refreshed after every grant below — the
-        // only thing that changes the rule mid-loop.
-        let mut gates = [crate::rename::AllocGate::default(); 2];
-        if let Renamer::Vp(vp) = &self.renamer {
-            gates = [vp.alloc_gate(RegClass::Int), vp.alloc_gate(RegClass::Fp)];
-        }
+        // time. Built lazily on the first candidate that needs a grant
+        // (only the issue-allocation scheme has such candidates) and
+        // refreshed after every grant below — the only thing that changes
+        // the rule mid-loop.
+        let mut gates: Option<[crate::rename::AllocGate; 2]> = None;
         // The ready index holds exactly the issue-eligible entries, oldest
         // first — no need to scan the waiting remainder of the window.
         for e in self.iq.ready_iter() {
@@ -1119,6 +1273,12 @@ impl<S: InstStream> Processor<S> {
             let alloc_class = e.alloc_class;
             debug_assert_eq!(alloc_class, self.issue_alloc_class(e.seq));
             if let Some(class) = alloc_class {
+                let gates = gates.get_or_insert_with(|| {
+                    let Renamer::Vp(vp) = &self.renamer else {
+                        unreachable!("alloc_class is set only under the VP issue scheme")
+                    };
+                    [vp.alloc_gate(RegClass::Int), vp.alloc_gate(RegClass::Fp)]
+                });
                 debug_assert!({
                     let Renamer::Vp(vp) = &self.renamer else {
                         unreachable!()
@@ -1146,7 +1306,8 @@ impl<S: InstStream> Processor<S> {
                     .expect("may_allocate checked above");
                 // The grant changed the free count and possibly `Used`:
                 // refresh the rule snapshot.
-                gates[class.index()] = vp.alloc_gate(class);
+                gates.as_mut().expect("built when this candidate was gated")[class.index()] =
+                    vp.alloc_gate(class);
                 self.raw.class_mut(class).allocations += 1;
                 // The destination is recorded after the loop (needs &mut).
                 self.pending_issue_allocs.push((e.seq, preg));
@@ -1195,6 +1356,10 @@ impl<S: InstStream> Processor<S> {
     // ------------------------------------------------------------------
 
     fn rename_phase(&mut self, now: u64) {
+        let issue_allocates = matches!(
+            self.config.scheme,
+            RenameScheme::VirtualPhysicalIssue { .. }
+        );
         for _ in 0..self.config.rename_width {
             let Some(fi) = self.fetch_buffer.front() else {
                 break;
@@ -1286,12 +1451,20 @@ impl<S: InstStream> Processor<S> {
                 }
                 _ => {}
             }
+            // Derived from the entry at hand rather than looked back up
+            // through the reorder buffer (`issue_alloc_class` agrees, as
+            // the debug assertion checks).
+            let alloc_class = if issue_allocates {
+                entry.dest.filter(|d| d.preg.is_none()).map(|d| d.class())
+            } else {
+                None
+            };
             self.rob.push(entry);
             if let Some(dl) = inst.dest() {
                 self.dest_seqs[dl.class().index()].push_back(seq);
             }
             if op != OpClass::Nop {
-                let alloc_class = self.issue_alloc_class(seq);
+                debug_assert_eq!(alloc_class, self.issue_alloc_class(seq));
                 self.iq.insert(IqEntry {
                     seq,
                     op,

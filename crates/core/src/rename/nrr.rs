@@ -186,7 +186,13 @@ impl NrrState {
 impl vpr_snap::Snap for NrrState {
     fn save(&self, enc: &mut vpr_snap::Encoder) {
         enc.put_usize(self.nrr);
-        self.prr_seq.save(enc);
+        // Canonical form: with an empty reserved set the pointer is
+        // semantically dead (`pointer()` guards on `reg > 0`), but the
+        // incremental updates leave the last value behind. Serialising
+        // the *live* pointer instead makes every semantically-equal state
+        // byte-equal — the property the cross-NRR re-target contract
+        // (`retarget to the current NRR is a bit-exact no-op`) rests on.
+        self.pointer().save(enc);
         enc.put_usize(self.reg);
         enc.put_usize(self.used);
     }

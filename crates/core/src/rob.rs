@@ -175,6 +175,15 @@ impl Rob {
         Some(e)
     }
 
+    /// Removes the oldest instruction without returning it — commit's hot
+    /// path: the caller has already copied the few fields it needs, so
+    /// the full entry is never moved out of the buffer.
+    pub fn drop_head(&mut self) {
+        if self.entries.pop_front().is_some() {
+            self.head_seq += 1;
+        }
+    }
+
     /// Removes and returns the youngest instruction (squash).
     pub fn pop_tail(&mut self) -> Option<RobEntry> {
         self.entries.pop_back()

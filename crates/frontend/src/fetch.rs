@@ -132,6 +132,27 @@ impl FetchUnit {
         self.resume_at
     }
 
+    /// The earliest cycle at or after `now` at which this unit can
+    /// deliver instructions on its own — the fetch unit's half of the
+    /// core's `next_activity()` governor contract (see `docs/kernel.md`):
+    /// the returned cycle is never later than the true next cycle fetch
+    /// would do anything, and `None` means fetch generates no activity
+    /// until some *external* event changes its state (end of stream, or a
+    /// stalled mispredicted branch that only
+    /// [`FetchUnit::resolve_branch`] can release).
+    ///
+    /// Injection mode fabricates wrong-path work every cycle, so a
+    /// diverted injecting unit is active `now`.
+    pub fn next_activity(&self, now: u64) -> Option<u64> {
+        if self.is_done() {
+            return None;
+        }
+        if self.wait_resolve {
+            return self.injection.then_some(now);
+        }
+        Some(self.resume_at.max(now))
+    }
+
     /// Accounts `n` cycles of fetch stall without calling
     /// [`FetchUnit::fetch_block`]. The core's idle-cycle fast-forwarding
     /// uses this to keep [`FetchStats::stall_cycles`] bit-identical when
@@ -168,14 +189,15 @@ impl FetchUnit {
     /// Allocation-free variant of [`FetchUnit::fetch_block`]: delivers each
     /// fetched instruction through `sink` (the core appends straight into
     /// its decode buffer, so the per-cycle block `Vec` disappears from the
-    /// hot loop).
+    /// hot loop — and the sink is generic, so the per-instruction call
+    /// inlines instead of going through a vtable).
     pub fn fetch_block_into<S: InstStream>(
         &mut self,
         now: u64,
         stream: &mut S,
         bht: &BranchHistoryTable,
         limit: usize,
-        sink: &mut dyn FnMut(FetchedInst),
+        sink: &mut impl FnMut(FetchedInst),
     ) {
         let limit = limit.min(self.width);
         if limit == 0 {
@@ -446,6 +468,40 @@ mod tests {
         assert_eq!(b[1].predicted_taken, None);
         assert!(!b[1].mispredicted);
         assert_eq!(fu.stats().cond_branches, 0);
+    }
+
+    #[test]
+    fn next_activity_lower_bound() {
+        // Live stream, nothing pending: active now.
+        let mut fu = FetchUnit::new(8);
+        let bht = BranchHistoryTable::default();
+        assert_eq!(fu.next_activity(5), Some(5));
+
+        // Stalled behind an unresolved mispredicted branch: no
+        // self-generated activity (only resolve_branch releases it).
+        let mut stream = vec![branch(0x2000, true), alu(0x2100)].into_iter();
+        let b = fu.fetch_block(0, &mut stream, &bht, 8);
+        assert!(b[0].mispredicted);
+        assert_eq!(fu.next_activity(1), None);
+
+        // Redirect shadow: bounded by resume_at, and fetch really does
+        // deliver nothing before it.
+        fu.resolve_branch(5);
+        assert_eq!(fu.next_activity(3), Some(6));
+        assert!(fu.fetch_block(5, &mut stream, &bht, 8).is_empty());
+        assert_eq!(fu.fetch_block(6, &mut stream, &bht, 8).len(), 1);
+
+        // Drained: never active again.
+        assert!(fu.fetch_block(7, &mut stream, &bht, 8).is_empty());
+        assert!(fu.is_done());
+        assert_eq!(fu.next_activity(8), None);
+
+        // Injection mode fabricates work every cycle while diverted.
+        let mut fu = FetchUnit::new(4).with_wrong_path_injection(true);
+        let mut stream = vec![branch(0x2000, true), alu(0x2100)].into_iter();
+        let b = fu.fetch_block(0, &mut stream, &bht, 4);
+        assert!(b[0].mispredicted);
+        assert_eq!(fu.next_activity(1), Some(1));
     }
 
     #[test]

@@ -380,6 +380,16 @@ impl DataCache {
         self.mshrs.earliest_ready()
     }
 
+    /// The cache's half of the core's `next_activity()` governor contract
+    /// (see `docs/kernel.md`): the earliest cycle at which the cache
+    /// changes state *on its own* — i.e. installs a completed fill. Never
+    /// later than the true next self-generated change; `None` when no
+    /// fill is in flight (the cache then only reacts to new accesses).
+    #[inline]
+    pub fn next_activity(&self) -> Option<u64> {
+        self.earliest_fill()
+    }
+
     /// Read-only: would [`DataCache::access`] bounce this load with
     /// [`RetryReason::NoMshr`]? Valid only when no fill has completed yet
     /// (`earliest_fill() > now`, so the resident set is current) and no
@@ -660,5 +670,35 @@ mod tests {
         dc.access(61, 0x44, AccessKind::Load); // hit
         let s = dc.stats();
         assert_eq!(s.miss_ratio(), 0.5);
+    }
+
+    #[test]
+    fn next_activity_lower_bound() {
+        // Idle cache: no self-generated activity. (Two MSHRs so the
+        // bounce half of the contract is reachable below.)
+        let mut dc = DataCache::new(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 32,
+            mshrs: 2,
+            ..CacheConfig::default()
+        });
+        assert_eq!(dc.next_activity(), None);
+        // In-flight fills: the earliest completion bounds the next
+        // residency/MSHR change, and nothing changes before it — an
+        // MSHR-bounced probe keeps bouncing until exactly that cycle.
+        let t1 = match dc.access(0, 0x40, AccessKind::Load) {
+            AccessOutcome::Miss { ready_at, .. } => ready_at,
+            other => panic!("expected a miss, got {other:?}"),
+        };
+        let t2 = match dc.access(3, 0x1040, AccessKind::Load) {
+            AccessOutcome::Miss { ready_at, .. } => ready_at,
+            other => panic!("expected a miss, got {other:?}"),
+        };
+        assert_eq!(dc.next_activity(), Some(t1.min(t2)));
+        assert!(dc.would_bounce_for_mshr(0x2040), "both MSHRs busy");
+        assert!(!dc.would_bounce_for_mshr(0x40), "in-flight line merges");
+        // Once the first fill lands, the bound advances to the second.
+        dc.access(t1, 0x40, AccessKind::Load);
+        assert_eq!(dc.next_activity(), Some(t2));
     }
 }

@@ -94,6 +94,34 @@ impl StoreBuffer {
         self.fifo.iter().any(|s| s.access.overlaps(access))
     }
 
+    /// The buffer's half of the core's `next_activity()` governor
+    /// contract (see `docs/kernel.md`): the earliest cycle at or after
+    /// `now` at which [`StoreBuffer::tick`] could *drain* the head store,
+    /// assuming no other cache traffic intervenes. `None` when the buffer
+    /// is empty; `now` when the head would be granted an access right now
+    /// (hit, merge, or fresh MSHR); the cache's next fill completion when
+    /// the head is MSHR-bounced (only an install can change its outcome).
+    ///
+    /// In the MSHR-bounced case every cycle before the returned bound
+    /// performs exactly one bounced probe — one `mshr_retries` increment
+    /// and nothing else — which is what lets the governor skip such
+    /// windows and replay the counter in closed form
+    /// ([`DataCache::note_skipped_mshr_retries`]).
+    pub fn next_activity(&self, now: u64, cache: &DataCache) -> Option<u64> {
+        let head = self.fifo.front()?;
+        if cache.earliest_fill().is_some_and(|t| t <= now) {
+            // A fill is due: residency/MSHR occupancy change this cycle,
+            // so the head's outcome must be decided by a real probe.
+            return Some(now);
+        }
+        if cache.would_bounce_for_mshr(head.access.addr) {
+            // Bounces until a fill completes. MSHRs being full implies at
+            // least one in-flight fill, so the bound exists.
+            return cache.earliest_fill();
+        }
+        Some(now)
+    }
+
     /// Advances the drain engine by one cycle: tries to write the head
     /// store to the cache. Call once per simulated cycle.
     ///
@@ -227,6 +255,45 @@ mod tests {
         assert!(sb.forwards(&MemAccess::word(0x100)));
         assert!(sb.forwards(&MemAccess::word(0x104)));
         assert!(!sb.forwards(&MemAccess::word(0x108)));
+    }
+
+    #[test]
+    fn next_activity_lower_bound() {
+        // Empty buffer: no self-generated activity.
+        let dc = cache();
+        let sb = StoreBuffer::new(4);
+        assert_eq!(sb.next_activity(0, &dc), None);
+
+        // Grantable head (fresh MSHR available): active now.
+        let mut sb = StoreBuffer::new(4);
+        sb.push(store(1, 0x100));
+        assert_eq!(sb.next_activity(0, &dc), Some(0));
+
+        // MSHR-blocked head: bounded by the earliest fill, and every
+        // cycle before it ticks exactly one bounced probe.
+        let mut dc = DataCache::new(CacheConfig {
+            mshrs: 1,
+            ..CacheConfig::default()
+        });
+        dc.access(0, 0x5000, AccessKind::Load); // occupy the only MSHR
+        let fill = dc.earliest_fill().expect("one fill in flight");
+        let mut sb = StoreBuffer::new(4);
+        sb.push(store(2, 0x100));
+        assert_eq!(sb.next_activity(1, &dc), Some(fill));
+        let before = dc.stats().mshr_retries;
+        for t in 1..fill {
+            sb.tick(t, &mut dc);
+            assert_eq!(sb.len(), 1, "blocked head must not drain at {t}");
+        }
+        assert_eq!(
+            dc.stats().mshr_retries,
+            before + (fill - 1),
+            "one bounced probe per blocked cycle"
+        );
+        // At the bound the fill installs and the head drains.
+        assert_eq!(sb.next_activity(fill, &dc), Some(fill));
+        sb.tick(fill, &mut dc);
+        assert!(sb.is_empty(), "head drains once the fill lands");
     }
 
     #[test]

@@ -333,12 +333,14 @@ impl Manifest {
     }
 }
 
+pub use json::parse as parse_json;
 pub use json::Value as JsonValue;
 
-/// A minimal JSON reader for the manifest's own schema: objects, arrays,
-/// strings (no escapes beyond `\"` and `\\`), unsigned integers, and the
-/// literals `true`/`false`/`null`. Not a general-purpose parser — just
-/// enough to read back what this workspace's hand-rolled writers emit.
+/// A minimal JSON reader for this workspace's artefact schemas: objects,
+/// arrays, strings (the escapes the in-repo writers emit: `\"`, `\\`,
+/// `\n`, `\r`, `\t`, `\uXXXX`), numbers, and the literals
+/// `true`/`false`/`null`. Not a general-purpose parser — just enough to
+/// read back what the hand-rolled writers emit.
 mod json {
     /// A parsed JSON value (manifest subset).
     #[derive(Debug, Clone, PartialEq)]
@@ -389,6 +391,16 @@ mod json {
         pub fn as_u64(&self) -> Option<u64> {
             match self {
                 Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The numeric value as a float (integers widen losslessly for
+        /// the magnitudes this workspace's artefacts record).
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n as f64),
+                Value::Float(f) => Some(*f),
                 _ => None,
             }
         }
@@ -522,6 +534,25 @@ mod json {
                     match esc {
                         b'"' => out.push('"'),
                         b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            // \uXXXX (the BMP escapes this workspace's
+                            // writers emit for control characters).
+                            let hex = b
+                                .get(*pos + 2..*pos + 6)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "non-ASCII \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid \\u code point {code:#x}"))?,
+                            );
+                            *pos += 4;
+                        }
                         other => return Err(format!("unsupported escape \\{}", *other as char)),
                     }
                     *pos += 2;
