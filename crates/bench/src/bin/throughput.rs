@@ -6,7 +6,7 @@
 //! ```text
 //! cargo run --release -p vpr-bench --bin throughput -- \
 //!     [--out PATH] [--runs N] [--check BASELINE.json] [--tolerance PCT] \
-//!     [--notes "TEXT"] \
+//!     [--notes "TEXT"] [--profile] \
 //!     [--warmup N] [--measure N] [--seed N] [--miss-penalty N] [--jobs N]
 //! ```
 //!
@@ -27,12 +27,20 @@
 //! eating the tolerance: both the fresh run and the baseline carry their
 //! own same-epoch calibration.
 //!
+//! `--profile` re-runs the grid once more in profiled mode (per-stage
+//! host-ns attribution plus exact per-stage event counts) after the timed
+//! sweep, prints a per-stage table, and embeds the figures in the JSON
+//! report (schema v5's optional `profile` block). The profiled pass is
+//! deliberately separate from the timed runs so the sim-MIPS figures stay
+//! free of per-phase clock-read overhead.
+//!
 //! The default output path is `BENCH_throughput.json` in the current
 //! directory; CI and PR authors check the file in so the repository keeps
 //! a perf trajectory.
 
-use vpr_bench::harness::{measure_throughput, write_throughput_json};
-use vpr_bench::{take_flag_value, ExperimentConfig};
+use vpr_bench::harness::{measure_throughput, profile_throughput, write_throughput_json};
+use vpr_bench::{take_flag, take_flag_value, ExperimentConfig};
+use vpr_core::Stage;
 
 /// The baseline's gate figures: `(overall, go)` host-calibrated
 /// throughput, read through the workspace's minimal JSON parser
@@ -111,6 +119,7 @@ fn main() {
     let tolerance = parse_num("--tolerance", take_flag_value(&mut args, "--tolerance"))
         .map_or(20.0f64, |n| n as f64);
     let notes = take_flag_value(&mut args, "--notes");
+    let profile = take_flag(&mut args, "--profile");
     // Remaining flags override the *quick* defaults: throughput tracking
     // wants a fast, standard workload, not the full-size experiment runs.
     let mut exp = ExperimentConfig::quick();
@@ -150,6 +159,36 @@ fn main() {
         report.sweep.serial_seconds,
         report.sweep.serial_seconds / report.sweep.wall_seconds
     );
+
+    if profile {
+        let prof = profile_throughput(&exp);
+        let total_ns = prof.total_ns().max(1);
+        println!(
+            "per-stage host-cost profile ({} active cycles over the grid):",
+            prof.steps
+        );
+        println!(
+            "  {:<12} {:>12} {:>12} {:>8} {:>10}",
+            "stage", "host-ns", "events", "%host", "ns/event"
+        );
+        for stage in Stage::ALL {
+            let rec = prof.stage(stage);
+            let per_event = if rec.events == 0 {
+                0.0
+            } else {
+                rec.ns as f64 / rec.events as f64
+            };
+            println!(
+                "  {:<12} {:>12} {:>12} {:>7.1}% {:>10.1}",
+                stage.name(),
+                rec.ns,
+                rec.events,
+                100.0 * rec.ns as f64 / total_ns as f64,
+                per_event
+            );
+        }
+        report.profile = Some(prof);
+    }
 
     if let Err(e) = write_throughput_json(&out, &report) {
         eprintln!("cannot write {}: {e}", out.display());

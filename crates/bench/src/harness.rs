@@ -11,7 +11,9 @@
 use crate::sweep::{run_sweep, SweepPoint};
 use std::fmt::Write as _;
 use std::time::Instant;
-use vpr_core::{harmonic_mean, par, Processor, RenameScheme, SimConfig, SimStats};
+use vpr_core::{
+    harmonic_mean, par, Processor, RenameScheme, SimConfig, SimStats, Stage, StageProfile,
+};
 use vpr_trace::{Benchmark, TraceBuilder};
 
 /// How much to simulate and with which trace seed.
@@ -235,6 +237,9 @@ pub struct ThroughputReport {
     /// Free-form notes recorded into the artefact (PR context, observed
     /// speedups, host caveats); empty when none were given.
     pub notes: String,
+    /// Per-stage host-cost attribution over the whole grid (see
+    /// [`profile_throughput`]); `None` unless `--profile` was requested.
+    pub profile: Option<StageProfile>,
 }
 
 impl ThroughputReport {
@@ -284,17 +289,19 @@ impl ThroughputReport {
     }
 
     /// Renders the report as a small, stable JSON document
-    /// (`vpr-bench-throughput/v4`). Hand-rolled: the build environment has
+    /// (`vpr-bench-throughput/v5`). Hand-rolled: the build environment has
     /// no serde. v2 added `runs_per_config` (per-run sim-MIPS is the best
     /// of that many timed repetitions) and the `sweep` wall-clock block
     /// for the parallel engine; v3 added the `host_calibration` block and
     /// `sim_mips_per_host_mops`, so sim-MIPS regressions can be judged
     /// independently of the runner's momentary load; v4 adds
     /// `go_sim_mips_per_host_mops` (the `go` micro-gate figure) and the
-    /// free-form `notes` string.
+    /// free-form `notes` string; v5 adds the optional `profile` block
+    /// (per-stage host-ns and event counts, present only for `--profile`
+    /// runs — the key is omitted otherwise).
     pub fn to_json(&self) -> String {
         let mut s = String::new();
-        s.push_str("{\n  \"schema\": \"vpr-bench-throughput/v4\",\n");
+        s.push_str("{\n  \"schema\": \"vpr-bench-throughput/v5\",\n");
         let _ = writeln!(
             s,
             "  \"config\": {{\"warmup\": {}, \"measure\": {}, \"seed\": {}, \"miss_penalty\": {}}},",
@@ -337,6 +344,30 @@ impl ThroughputReport {
             "  \"go_sim_mips_per_host_mops\": {:.6},",
             self.go_sim_mips_per_host_mops()
         );
+        if let Some(p) = &self.profile {
+            let _ = writeln!(
+                s,
+                "  \"profile\": {{\"steps\": {}, \"total_ns\": {}, \"stages\": [",
+                p.steps,
+                p.total_ns()
+            );
+            for (i, stage) in Stage::ALL.iter().enumerate() {
+                let rec = p.stage(*stage);
+                let _ = write!(
+                    s,
+                    "    {{\"stage\": \"{}\", \"ns\": {}, \"events\": {}}}",
+                    stage.name(),
+                    rec.ns,
+                    rec.events
+                );
+                s.push_str(if i + 1 < Stage::ALL.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            s.push_str("  ]},\n");
+        }
         // Full JSON string escaping: notes are free-form user input and
         // may contain newlines or other control characters.
         let mut escaped = String::with_capacity(self.notes.len());
@@ -446,7 +477,37 @@ pub fn measure_throughput(exp: &ExperimentConfig, runs_per_config: usize) -> Thr
         host: calibrate_host(),
         runs,
         notes: String::new(),
+        profile: None,
     }
+}
+
+/// Runs the whole throughput grid once more in profile mode — every
+/// active cycle stepped through `Processor::step_profiled` — and returns
+/// the merged per-stage host-cost attribution (`throughput --profile`,
+/// schema v5's `profile` block).
+///
+/// Profiled stepping pays two monotonic-clock reads per stage per active
+/// cycle, so this runs *separately from* (and slower than) the timed
+/// sweep: the sim-MIPS figures stay clean, and the profile explains them.
+/// The event counts are architectural and deterministic; only the ns
+/// attributions carry host noise.
+pub fn profile_throughput(exp: &ExperimentConfig) -> StageProfile {
+    let mut total = StageProfile::new();
+    for benchmark in THROUGHPUT_BENCHMARKS {
+        for scheme in THROUGHPUT_SCHEMES {
+            let config = SimConfig::builder()
+                .scheme(scheme)
+                .physical_regs(64)
+                .miss_penalty(exp.miss_penalty)
+                .build();
+            let trace = TraceBuilder::new(benchmark).seed(exp.seed).build();
+            let mut cpu = Processor::new(config, trace);
+            let mut prof = StageProfile::new();
+            cpu.run_profiled(exp.warmup + exp.measure, &mut prof);
+            total.merge(&prof);
+        }
+    }
+    total
 }
 
 /// Writes `report` to `path` as `BENCH_throughput.json`.
@@ -517,9 +578,10 @@ mod tests {
             },
             runs: vec![run],
             notes: "governor \"refresh\"".into(),
+            profile: None,
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"vpr-bench-throughput/v4\""));
+        assert!(json.contains("\"schema\": \"vpr-bench-throughput/v5\""));
         assert!(json.contains("\"runs_per_config\": 1"));
         assert!(json.contains("\"sweep\": {\"jobs\": 1"));
         assert!(json.contains("\"host_calibration\": {\"ops\": "));
@@ -528,11 +590,54 @@ mod tests {
         assert!(json.contains("\"notes\": \"governor \\\"refresh\\\"\""));
         assert!(json.contains("swim/conventional"));
         assert!(json.contains("harmonic_mean_sim_mips"));
+        assert!(
+            !json.contains("\"profile\""),
+            "unprofiled reports omit the profile block"
+        );
         assert!(report.harmonic_mean_sim_mips() > 0.0);
         assert!(report.sim_mips_per_host_mops() > 0.0);
         // No go rows in this report: the go figures degrade to zero
         // rather than poisoning the harmonic mean.
         assert_eq!(report.go_harmonic_sim_mips(), 0.0);
+    }
+
+    #[test]
+    fn profile_block_serialises_all_stages() {
+        let exp = ExperimentConfig {
+            warmup: 200,
+            measure: 2_000,
+            ..ExperimentConfig::default()
+        };
+        let run = time_one(Benchmark::Swim, RenameScheme::Conventional, &exp);
+        let mut prof = StageProfile::new();
+        prof.record(Stage::Commit, std::time::Duration::from_nanos(10), 3);
+        prof.steps = 1;
+        let report = ThroughputReport {
+            config: exp,
+            runs_per_config: 1,
+            sweep: SweepTiming {
+                jobs: 1,
+                wall_seconds: run.host_seconds,
+                serial_seconds: run.host_seconds,
+            },
+            host: HostCalibration {
+                ops: HOST_CALIBRATION_OPS,
+                seconds: 0.1,
+                mops: HOST_CALIBRATION_OPS as f64 / 0.1 / 1e6,
+            },
+            runs: vec![run],
+            notes: String::new(),
+            profile: Some(prof),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"profile\": {\"steps\": 1"));
+        for stage in Stage::ALL {
+            assert!(
+                json.contains(&format!("\"stage\": \"{}\"", stage.name())),
+                "missing stage {}",
+                stage.name()
+            );
+        }
     }
 
     #[test]

@@ -70,32 +70,59 @@ impl IqEntry {
 }
 
 /// One issue-eligible instruction in the ready index: the hot fields the
-/// selection loop needs, packed next to the age key so scanning many
-/// blocked candidates (FU-starved or register-denied) touches only this
-/// contiguous vector — the slab is consulted only for entries that
-/// actually issue.
+/// selection loop needs, packed into 16 bytes next to the age key so
+/// scanning many blocked candidates (FU-starved or register-denied)
+/// touches four records per cache line — the slab is consulted only for
+/// entries that actually issue.
 #[derive(Debug, Clone, Copy)]
 pub struct ReadyRec {
     /// Global sequence number (issue priority: oldest first).
     pub seq: u64,
     /// Operation class (selects the functional unit).
     pub op: OpClass,
-    /// See [`IqEntry::alloc_class`].
-    pub alloc_class: Option<RegClass>,
-    /// Ready register sources per class `(int, fp)`, for read-port
-    /// accounting at issue.
-    pub read_port_needs: (u32, u32),
+    /// [`IqEntry::alloc_class`], packed: 0 = none, 1 = int, 2 = fp.
+    alloc_class: u8,
+    /// Ready register sources per class `[int, fp]`.
+    read_ports: [u8; 2],
 }
+
+// Layout-regression guard: four ready records per cache line.
+const _: () = assert!(
+    std::mem::size_of::<ReadyRec>() == 16,
+    "ReadyRec must stay 16 bytes (four records per cache line)"
+);
 
 impl ReadyRec {
     /// Builds the packed record for `entry`.
     fn of(entry: &IqEntry) -> Self {
+        let (int, fp) = entry.read_port_needs();
         Self {
             seq: entry.seq,
             op: entry.op,
-            alloc_class: entry.alloc_class,
-            read_port_needs: entry.read_port_needs(),
+            alloc_class: match entry.alloc_class {
+                None => 0,
+                Some(RegClass::Int) => 1,
+                Some(RegClass::Fp) => 2,
+            },
+            read_ports: [int as u8, fp as u8],
         }
+    }
+
+    /// See [`IqEntry::alloc_class`].
+    #[inline]
+    pub fn alloc_class(&self) -> Option<RegClass> {
+        match self.alloc_class {
+            0 => None,
+            1 => Some(RegClass::Int),
+            _ => Some(RegClass::Fp),
+        }
+    }
+
+    /// Ready register sources per class `(int, fp)`, for read-port
+    /// accounting at issue.
+    #[inline]
+    pub fn read_port_needs(&self) -> (u32, u32) {
+        (u32::from(self.read_ports[0]), u32::from(self.read_ports[1]))
     }
 }
 
@@ -108,20 +135,29 @@ struct Waiter {
     gen: u32,
 }
 
-/// One slab slot. `gen` increments on every removal, invalidating any
-/// [`Waiter`] records (and lookup-table hints) that still point here.
-#[derive(Debug, Clone)]
-struct Slot {
-    entry: IqEntry,
+/// Per-slot bookkeeping, split off from the entry payload so the paths
+/// that only test slot *state* (generation checks on stale waiters and
+/// lookup hints, liveness scans) stream through a dense 8-byte-per-slot
+/// array instead of striding over full entries. `gen` increments on
+/// every removal, invalidating any [`Waiter`] records (and lookup-table
+/// hints) that still point here.
+#[derive(Debug, Clone, Copy)]
+struct SlotMeta {
     gen: u32,
     /// Present operands still waiting on a broadcast (0 ⇒ ready).
     /// Invariant: a live slot with `waiting == 0` has a record in the
     /// ready index, and vice versa.
     waiting: u8,
     /// False once the entry leaves the queue (the slot is on the free
-    /// list and its `entry` is stale).
+    /// list and its entry payload is stale).
     live: bool,
 }
+
+// Layout-regression guard: eight slot-state records per cache line.
+const _: () = assert!(
+    std::mem::size_of::<SlotMeta>() <= 8,
+    "SlotMeta must stay within 8 bytes (eight records per cache line)"
+);
 
 /// Vacant marker in the seq → slot lookup table.
 const VACANT: u32 = u32::MAX;
@@ -137,7 +173,10 @@ const VACANT: u32 = u32::MAX;
 /// register (paper §3.2.2).
 #[derive(Debug, Clone)]
 pub struct Iq {
-    slots: Vec<Slot>,
+    /// Slot entry payloads (parallel to `meta`; stale when not live).
+    entries: Vec<IqEntry>,
+    /// Slot state records (parallel to `entries`).
+    meta: Vec<SlotMeta>,
     free_slots: Vec<u32>,
     /// Direct-mapped `seq & lookup_mask → slot` hint table. A hit is
     /// verified against the slab (live + matching sequence number), so a
@@ -169,7 +208,8 @@ impl Iq {
         assert!(capacity > 0, "IQ needs at least one entry");
         let lookup_len = capacity.next_power_of_two() * 4;
         Self {
-            slots: Vec::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
+            meta: Vec::with_capacity(capacity),
             free_slots: Vec::new(),
             lookup: vec![VACANT; lookup_len],
             lookup_mask: (lookup_len - 1) as u64,
@@ -205,15 +245,16 @@ impl Iq {
     fn find_slot(&self, seq: u64) -> Option<u32> {
         let hint = self.lookup[(seq & self.lookup_mask) as usize];
         if hint != VACANT {
-            if let Some(s) = self.slots.get(hint as usize) {
-                if s.live && s.entry.seq == seq {
+            if let Some(m) = self.meta.get(hint as usize) {
+                if m.live && self.entries[hint as usize].seq == seq {
                     return Some(hint);
                 }
             }
         }
-        self.slots
+        self.meta
             .iter()
-            .position(|s| s.live && s.entry.seq == seq)
+            .zip(&self.entries)
+            .position(|(m, e)| m.live && e.seq == seq)
             .map(|i| i as u32)
     }
 
@@ -242,23 +283,23 @@ impl Iq {
         );
         let slot = match self.free_slots.pop() {
             Some(slot) => {
-                let s = &mut self.slots[slot as usize];
-                s.entry = entry;
-                s.waiting = 0;
-                s.live = true;
+                self.entries[slot as usize] = entry;
+                let m = &mut self.meta[slot as usize];
+                m.waiting = 0;
+                m.live = true;
                 slot
             }
             None => {
-                self.slots.push(Slot {
-                    entry,
+                self.entries.push(entry);
+                self.meta.push(SlotMeta {
                     gen: 0,
                     waiting: 0,
                     live: true,
                 });
-                (self.slots.len() - 1) as u32
+                (self.entries.len() - 1) as u32
             }
         };
-        let gen = self.slots[slot as usize].gen;
+        let gen = self.meta[slot as usize].gen;
         let mut waiting = 0u8;
         for (i, src) in entry.srcs.iter().enumerate() {
             let Some(src) = src else { continue };
@@ -287,7 +328,7 @@ impl Iq {
                 }
             }
         }
-        self.slots[slot as usize].waiting = waiting;
+        self.meta[slot as usize].waiting = waiting;
         self.lookup[(entry.seq & self.lookup_mask) as usize] = slot;
         self.live += 1;
         if waiting == 0 {
@@ -307,12 +348,12 @@ impl Iq {
         if self.lookup[lookup_at] == slot {
             self.lookup[lookup_at] = VACANT;
         }
-        let s = &mut self.slots[slot as usize];
+        let m = &mut self.meta[slot as usize];
         // Invalidate any consumer-list records still pointing at the slot.
-        s.gen = s.gen.wrapping_add(1);
-        s.live = false;
-        let entry = s.entry;
-        let was_ready = s.waiting == 0;
+        m.gen = m.gen.wrapping_add(1);
+        m.live = false;
+        let was_ready = m.waiting == 0;
+        let entry = self.entries[slot as usize];
         self.free_slots.push(slot);
         self.live -= 1;
         if was_ready {
@@ -330,10 +371,11 @@ impl Iq {
     /// Removes every entry younger than `seq` (branch recovery).
     pub fn squash_younger_than(&mut self, seq: u64) {
         let doomed: Vec<u64> = self
-            .slots
+            .meta
             .iter()
-            .filter(|s| s.live && s.entry.seq > seq)
-            .map(|s| s.entry.seq)
+            .zip(&self.entries)
+            .filter(|(m, e)| m.live && e.seq > seq)
+            .map(|(_, e)| e.seq)
             .collect();
         for seq in doomed {
             self.remove(seq);
@@ -349,11 +391,11 @@ impl Iq {
         let mut list = std::mem::take(list);
         let mut woken = 0;
         for w in list.drain(..) {
-            let slot = &mut self.slots[w.slot as usize];
-            if slot.gen != w.gen {
+            let slot = w.slot as usize;
+            if self.meta[slot].gen != w.gen {
                 continue; // the instruction left the queue; record is stale
             }
-            let src = slot.entry.srcs[w.src as usize]
+            let src = self.entries[slot].srcs[w.src as usize]
                 .as_mut()
                 .expect("waiter recorded for a present operand");
             debug_assert_eq!(src.class, class);
@@ -362,9 +404,9 @@ impl Iq {
             }
             src.state = SrcState::Ready(preg);
             woken += 1;
-            slot.waiting -= 1;
-            if slot.waiting == 0 {
-                let rec = ReadyRec::of(&slot.entry);
+            self.meta[slot].waiting -= 1;
+            if self.meta[slot].waiting == 0 {
+                let rec = ReadyRec::of(&self.entries[slot]);
                 let rpos = self
                     .ready
                     .binary_search_by_key(&rec.seq, |r| r.seq)
@@ -388,11 +430,11 @@ impl Iq {
         let mut list = std::mem::take(list);
         let mut woken = 0;
         for w in list.drain(..) {
-            let slot = &mut self.slots[w.slot as usize];
-            if slot.gen != w.gen {
+            let slot = w.slot as usize;
+            if self.meta[slot].gen != w.gen {
                 continue;
             }
-            let src = slot.entry.srcs[w.src as usize]
+            let src = self.entries[slot].srcs[w.src as usize]
                 .as_mut()
                 .expect("waiter recorded for a present operand");
             debug_assert_eq!(src.class, class);
@@ -401,9 +443,9 @@ impl Iq {
             }
             src.state = SrcState::Ready(preg);
             woken += 1;
-            slot.waiting -= 1;
-            if slot.waiting == 0 {
-                let rec = ReadyRec::of(&slot.entry);
+            self.meta[slot].waiting -= 1;
+            if self.meta[slot].waiting == 0 {
+                let rec = ReadyRec::of(&self.entries[slot]);
                 let rpos = self
                     .ready
                     .binary_search_by_key(&rec.seq, |r| r.seq)
@@ -421,10 +463,11 @@ impl Iq {
     /// the hot insert/remove paths pay nothing for it.
     pub fn iter(&self) -> impl Iterator<Item = &IqEntry> {
         let mut live: Vec<&IqEntry> = self
-            .slots
+            .meta
             .iter()
-            .filter(|s| s.live)
-            .map(|s| &s.entry)
+            .zip(&self.entries)
+            .filter(|(m, _)| m.live)
+            .map(|(_, e)| e)
             .collect();
         live.sort_unstable_by_key(|e| e.seq);
         live.into_iter()

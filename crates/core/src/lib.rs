@@ -55,6 +55,7 @@ mod fu;
 mod iq;
 pub mod par;
 mod pipeline;
+pub mod profile;
 pub mod rename;
 mod rob;
 mod stats;
@@ -62,8 +63,9 @@ mod stats;
 pub use config::{Latencies, RenameScheme, SimConfig, SimConfigBuilder};
 pub use event_queue::CalendarQueue;
 pub use fu::FuPool;
-pub use iq::{Iq, IqEntry};
+pub use iq::{Iq, IqEntry, ReadyRec};
 pub use pipeline::Processor;
+pub use profile::{Stage, StageProfile, StageRec};
 pub use rename::{ConventionalRenamer, NrrState, VpRenamer};
-pub use rob::{MemPhase, Rob, RobEntry};
+pub use rob::{MemPhase, Rob, RobEntry, RobHot};
 pub use stats::{harmonic_mean, ClassStats, SimStats};

@@ -333,6 +333,22 @@ impl<S: InstStream> Processor<S> {
         self.stats()
     }
 
+    /// [`Processor::run`] with per-phase host-cost attribution (see
+    /// [`crate::profile`]): architecturally identical — same commit
+    /// target, same statistics — but every active cycle steps through
+    /// [`Processor::step_profiled`], accumulating into `prof`.
+    pub fn run_profiled(
+        &mut self,
+        commits: u64,
+        prof: &mut crate::profile::StageProfile,
+    ) -> SimStats {
+        let target = self.raw.committed + commits;
+        while self.raw.committed < target && !self.is_done() {
+            self.step_profiled(prof);
+        }
+        self.stats()
+    }
+
     /// Runs for `n` cycles (or until the trace drains).
     pub fn run_cycles(&mut self, n: u64) -> SimStats {
         let target = self.cycle + n;
@@ -449,11 +465,8 @@ impl<S: InstStream> Processor<S> {
             self.dest_seqs[class.index()]
                 .iter()
                 .map(|&seq| {
-                    let e = self
-                        .rob
-                        .get(seq)
-                        .expect("dest index tracks in-flight entries");
-                    (seq, e.dest.expect("indexed on dest").preg.is_some())
+                    let d = self.rob.dest(seq).expect("indexed on dest");
+                    (seq, d.preg.is_some())
                 })
                 .collect::<Vec<(u64, bool)>>()
         });
@@ -541,8 +554,96 @@ impl<S: InstStream> Processor<S> {
             self.rob.is_empty() || now - self.last_commit_cycle < 100_000,
             "no commit for 100000 cycles at cycle {now}: head={:?} scheme={:?}",
             self.rob
-                .head()
-                .map(|e| (e.seq, e.di.op(), e.completed, e.mem_phase)),
+                .head_hot()
+                .map(|h| (self.rob.head_seq(), h.op, h.completed(), h.mem_phase)),
+            self.config.scheme,
+        );
+    }
+
+    /// [`Processor::step`] with per-phase host-cost attribution: every
+    /// phase is wrapped in a wall-clock measurement and an event count,
+    /// accumulated into `prof`. Architectural behaviour is bit-identical
+    /// to [`Processor::step`] — the phases run in the same order on the
+    /// same state; only the timing reads are added (pinned by
+    /// `crates/bench/tests/profile_smoke.rs`).
+    ///
+    /// KEEP IN SYNC with `Processor::step_limited` / `run_phases`: a
+    /// phase added there must be wrapped here, or its cost silently lands
+    /// in the neighbouring stage's attribution.
+    pub fn step_profiled(&mut self, prof: &mut crate::profile::StageProfile) {
+        use crate::profile::Stage;
+        use std::time::Instant;
+
+        let t = Instant::now();
+        let cycle_before = self.cycle;
+        self.governor_skip(u64::MAX);
+        prof.record(Stage::Governor, t.elapsed(), self.cycle - cycle_before);
+
+        let now = self.cycle;
+        self.wb_ports_used = [0, 0];
+
+        let t = Instant::now();
+        let committed_before = self.raw.committed;
+        self.commit_phase(now);
+        prof.record(
+            Stage::Commit,
+            t.elapsed(),
+            self.raw.committed - committed_before,
+        );
+
+        let t = Instant::now();
+        let drained_before = self.store_buffer.drained();
+        self.store_buffer.tick(now, &mut self.cache);
+        prof.record(
+            Stage::StoreDrain,
+            t.elapsed(),
+            self.store_buffer.drained() - drained_before,
+        );
+
+        let t = Instant::now();
+        let retry_candidates = self.cache_retry.len() as u64;
+        self.mem_retry_phase(now);
+        prof.record(Stage::MemRetry, t.elapsed(), retry_candidates);
+
+        let t = Instant::now();
+        let drained = self.event_phase(now);
+        prof.record(Stage::Events, t.elapsed(), drained as u64);
+
+        let t = Instant::now();
+        let executions_before = self.raw.executions;
+        self.issue_phase(now);
+        prof.record(
+            Stage::Issue,
+            t.elapsed(),
+            self.raw.executions - executions_before,
+        );
+
+        let t = Instant::now();
+        let seq_before = self.next_seq;
+        self.rename_phase(now);
+        prof.record(
+            Stage::Rename,
+            t.elapsed(),
+            self.next_seq.saturating_sub(seq_before),
+        );
+
+        let t = Instant::now();
+        let fetched_before = self.fetch_buffer.len();
+        self.fetch_phase(now);
+        prof.record(
+            Stage::Fetch,
+            t.elapsed(),
+            (self.fetch_buffer.len().saturating_sub(fetched_before)) as u64,
+        );
+
+        self.cycle = now + 1;
+        prof.steps += 1;
+        assert!(
+            self.rob.is_empty() || now - self.last_commit_cycle < 100_000,
+            "no commit for 100000 cycles at cycle {now}: head={:?} scheme={:?}",
+            self.rob
+                .head_hot()
+                .map(|h| (self.rob.head_seq(), h.op, h.completed(), h.mem_phase)),
             self.config.scheme,
         );
     }
@@ -594,7 +695,7 @@ impl<S: InstStream> Processor<S> {
     /// `crates/bench/tests/cycle_exact_golden.rs` and the governor
     /// equivalence proptest pin down.
     fn governor_skip(&mut self, max_cycle: u64) {
-        if self.rob.head().is_some_and(|h| h.completed) {
+        if self.rob.head_hot().is_some_and(|h| h.completed()) {
             return;
         }
         let now = self.cycle;
@@ -632,7 +733,7 @@ impl<S: InstStream> Processor<S> {
             // pay for the gates.
             let mut gates: Option<[crate::rename::AllocGate; 2]> = None;
             for e in self.iq.ready_iter() {
-                let (int_reads, fp_reads) = e.read_port_needs;
+                let (int_reads, fp_reads) = e.read_port_needs();
                 if int_reads > self.config.regfile_read_ports
                     || fp_reads > self.config.regfile_read_ports
                 {
@@ -640,7 +741,7 @@ impl<S: InstStream> Processor<S> {
                     // by the issue loop every cycle, no bound needed.
                     continue;
                 }
-                if let Some(class) = e.alloc_class {
+                if let Some(class) = e.alloc_class() {
                     let gates = gates.get_or_insert_with(|| {
                         let Renamer::Vp(vp) = &self.renamer else {
                             unreachable!("alloc_class is set only under the VP issue scheme")
@@ -673,14 +774,14 @@ impl<S: InstStream> Processor<S> {
                 t => retry_bound = t,
             }
             for &seq in &self.cache_retry {
-                let Some(entry) = self.rob.get(seq) else {
+                let Some(entry) = self.rob.hot(seq) else {
                     // Stale record: the sweep removes it this cycle.
                     return;
                 };
                 if entry.mem_phase != MemPhase::AwaitCache {
                     return;
                 }
-                let addr = entry.di.mem().expect("memory op carries an access").addr;
+                let addr = entry.addr();
                 if !self.cache.would_bounce_for_mshr(addr) {
                     return; // this retry would be granted: active cycle
                 }
@@ -841,12 +942,14 @@ impl<S: InstStream> Processor<S> {
 
     fn commit_phase(&mut self, now: u64) {
         for _ in 0..self.config.commit_width {
-            let Some(head) = self.rob.head() else { break };
-            if !head.completed {
+            let Some(&head) = self.rob.head_hot() else {
+                break;
+            };
+            if !head.completed() {
                 break;
             }
             debug_assert!(
-                !head.wrong_path,
+                !head.wrong_path(),
                 "wrong-path entries are squashed, not committed"
             );
             // Optional PMT-lookup commit delay of the VP schemes (§3.2.2).
@@ -856,21 +959,22 @@ impl<S: InstStream> Processor<S> {
             {
                 break;
             }
-            // Copy out the few fields commit needs, then drop the entry
-            // in place — the full reorder-buffer record never moves.
-            let seq = head.seq;
-            let op = head.di.op();
-            let dest = head.dest;
+            // The 32-byte hot record carries everything commit needs —
+            // the store's access is hoisted into it — so the cold ring is
+            // never touched and head-drop only advances ring indices.
+            let seq = self.rob.head_seq().expect("head checked above");
+            let op = head.op;
             if op == OpClass::Store {
                 let store = PendingStore {
                     seq,
-                    access: head.di.mem().expect("stores carry an access"),
+                    access: head.mem_access(),
                 };
                 if !self.store_buffer.push(store) {
                     self.raw.store_buffer_stalls += 1;
                     break;
                 }
             }
+            let dest = self.rob.dest(seq);
             self.rob.drop_head();
             self.commit_entry(seq, op, dest, now);
             self.last_commit_cycle = now;
@@ -916,11 +1020,8 @@ impl<S: InstStream> Processor<S> {
                 let entrant = seqs
                     .get(seqs.partition_point(|&s| s <= pointer))
                     .map(|&seq| {
-                        let e = self
-                            .rob
-                            .get(seq)
-                            .expect("dest index tracks in-flight entries");
-                        (seq, e.dest.expect("indexed on dest").preg.is_some())
+                        let d = self.rob.dest(seq).expect("indexed on dest");
+                        (seq, d.preg.is_some())
                     });
                 vp.nrr_on_commit(class, seq, entrant);
                 let prev = dest.prev_vp.expect("VP rename records prev mapping");
@@ -987,17 +1088,17 @@ impl<S: InstStream> Processor<S> {
     /// load no longer needs retrying — its data return is scheduled, or
     /// the record is stale (squashed / re-executed instruction).
     fn probe_cache(&mut self, seq: u64, now: u64) -> CacheProbe {
-        let Some(entry) = self.rob.get(seq) else {
+        let Some(entry) = self.rob.hot(seq) else {
             return CacheProbe::Settled;
         };
         if entry.mem_phase != MemPhase::AwaitCache {
             return CacheProbe::Settled;
         }
         let gen = entry.gen;
-        let addr = entry.di.mem().expect("memory op carries an access").addr;
+        let addr = entry.addr();
         match self.cache.access(now, addr, AccessKind::Load) {
             AccessOutcome::Hit { ready_at } | AccessOutcome::Miss { ready_at, .. } => {
-                self.rob.get_mut(seq).expect("checked above").mem_phase = MemPhase::InFlight;
+                self.rob.hot_mut(seq).expect("checked above").mem_phase = MemPhase::InFlight;
                 self.schedule(ready_at, Event::MemData { seq, gen });
                 CacheProbe::Settled
             }
@@ -1012,10 +1113,12 @@ impl<S: InstStream> Processor<S> {
     // Completion / write-back
     // ------------------------------------------------------------------
 
-    fn event_phase(&mut self, now: u64) {
+    /// Returns the number of events drained (profile-mode attribution).
+    fn event_phase(&mut self, now: u64) -> usize {
         let mut events = std::mem::take(&mut self.event_scratch);
         debug_assert!(events.is_empty());
         self.events.drain_at(now, &mut events);
+        let drained = events.len();
         // Oldest instructions get write ports and cache ports first. A
         // single event (the common case during mispredict shadows) is
         // trivially in order.
@@ -1031,17 +1134,18 @@ impl<S: InstStream> Processor<S> {
             }
         }
         self.event_scratch = events;
+        drained
     }
 
     fn handle_ea_done(&mut self, seq: u64, gen: u64, now: u64) {
-        let Some(entry) = self.rob.get(seq) else {
+        let Some(&entry) = self.rob.hot(seq) else {
             return;
         };
         if entry.gen != gen {
             return;
         }
-        let access = entry.di.mem().expect("memory op carries an access");
-        if entry.di.op() == OpClass::Store {
+        let access = entry.mem_access();
+        if entry.op == OpClass::Store {
             // The store's address is known: detect younger loads that
             // already read stale data (PA-8000 style) and re-execute them.
             let victims = self.lsq.resolve_store(seq, access);
@@ -1049,9 +1153,9 @@ impl<S: InstStream> Processor<S> {
                 self.raw.memory_reexecutions += 1;
                 self.reexecute(victim, now);
             }
-            let e = self.rob.get_mut(seq).expect("checked above");
+            let e = self.rob.hot_mut(seq).expect("checked above");
             e.mem_phase = MemPhase::Done;
-            e.completed = true;
+            e.set_completed(true);
             e.completed_at = now;
             return;
         }
@@ -1060,10 +1164,10 @@ impl<S: InstStream> Processor<S> {
         let forwarded = matches!(disposition, LoadDisposition::Forward { .. })
             || self.store_buffer.forwards(&access);
         if forwarded {
-            self.rob.get_mut(seq).expect("checked above").mem_phase = MemPhase::InFlight;
+            self.rob.hot_mut(seq).expect("checked above").mem_phase = MemPhase::InFlight;
             self.schedule(now + 1, Event::MemData { seq, gen });
         } else {
-            self.rob.get_mut(seq).expect("checked above").mem_phase = MemPhase::AwaitCache;
+            self.rob.hot_mut(seq).expect("checked above").mem_phase = MemPhase::AwaitCache;
             if self.probe_cache(seq, now) != CacheProbe::Settled {
                 self.retry_insert(seq);
             }
@@ -1071,22 +1175,19 @@ impl<S: InstStream> Processor<S> {
     }
 
     fn handle_completion(&mut self, seq: u64, gen: u64, now: u64) {
-        // One lookup serves the whole happy path: every field the
-        // completion needs is copied out up front (they are all small and
-        // `Copy`), and the entry is touched again only to write results
-        // back — the reorder buffer is not consulted per sub-step.
-        let Some(entry) = self.rob.get(seq) else {
+        // The whole happy path runs off the 32-byte hot record plus the
+        // destination array; the cold ring is consulted only for branch
+        // resolution (the one case that needs the PC and outcome).
+        let Some(&entry) = self.rob.hot(seq) else {
             return;
         };
-        if entry.gen != gen || entry.completed {
+        if entry.gen != gen || entry.completed() {
             return;
         }
-        let op = entry.di.op();
-        let mut dest = entry.dest;
-        let wrong_path = entry.wrong_path;
-        let mispredicted = entry.mispredicted;
-        let pc = entry.di.pc();
-        let branch = entry.di.branch();
+        let op = entry.op;
+        let wrong_path = entry.wrong_path();
+        let mispredicted = entry.mispredicted();
+        let mut dest = self.rob.dest(seq);
 
         // Late allocation: the write-back scheme claims the physical
         // register in the last execution cycle (§3.2.2) — or squashes.
@@ -1104,13 +1205,7 @@ impl<S: InstStream> Processor<S> {
                         self.raw.class_mut(d.class()).allocations += 1;
                         // Recorded immediately: the grant must stick even
                         // if a write-port stall defers the broadcast.
-                        let slot = self
-                            .rob
-                            .get_mut(seq)
-                            .expect("checked above")
-                            .dest
-                            .as_mut()
-                            .expect("dest checked above");
+                        let slot = self.rob.dest_mut(seq).as_mut().expect("dest checked above");
                         slot.preg = Some(preg);
                         dest = Some(*slot);
                     }
@@ -1157,8 +1252,8 @@ impl<S: InstStream> Processor<S> {
             }
         }
 
-        let entry = self.rob.get_mut(seq).expect("checked above");
-        entry.completed = true;
+        let entry = self.rob.hot_mut(seq).expect("checked above");
+        entry.set_completed(true);
         entry.completed_at = now;
         if op.is_mem() {
             entry.mem_phase = MemPhase::Done;
@@ -1166,8 +1261,11 @@ impl<S: InstStream> Processor<S> {
 
         if op.is_branch() && !wrong_path {
             if op == OpClass::BranchCond {
-                self.bht
-                    .update(pc, branch.expect("trace records outcomes").taken);
+                // Branch resolution needs the PC and the recorded outcome
+                // — the one completion case that reads the cold ring.
+                let di = self.rob.di(seq);
+                let (pc, taken) = (di.pc(), di.branch().expect("trace records outcomes").taken);
+                self.bht.update(pc, taken);
             }
             if mispredicted {
                 self.fetch.resolve_branch(now);
@@ -1187,14 +1285,14 @@ impl<S: InstStream> Processor<S> {
         let gen = self.fresh_gen();
         let entry = self
             .rob
-            .get_mut(seq)
+            .hot_mut(seq)
             .expect("re-executed instruction is in flight");
         entry.gen = gen;
-        entry.issued = false;
-        entry.completed = false;
+        entry.set_issued(false);
+        entry.set_completed(false);
         entry.mem_phase = MemPhase::Idle;
-        let op = entry.di.op();
-        let srcs = entry.srcs;
+        let op = entry.op;
+        let srcs = self.rob.srcs(seq);
         self.retry_remove(seq);
         if op == OpClass::Load && self.lsq.address_of(seq).is_some() {
             self.lsq.mark_unperformed(seq);
@@ -1229,9 +1327,7 @@ impl<S: InstStream> Processor<S> {
             return None;
         }
         self.rob
-            .get(seq)
-            .expect("queued instruction is in flight")
-            .dest
+            .dest(seq)
             .filter(|d| d.preg.is_none())
             .map(|d| d.class())
     }
@@ -1262,7 +1358,7 @@ impl<S: InstStream> Processor<S> {
             if budget == 0 {
                 break;
             }
-            let (int_reads, fp_reads) = e.read_port_needs;
+            let (int_reads, fp_reads) = e.read_port_needs();
             if int_reads > read_ports[0] || fp_reads > read_ports[1] {
                 continue;
             }
@@ -1270,7 +1366,7 @@ impl<S: InstStream> Processor<S> {
             // grant before the instruction may leave the queue (§3.4).
             // The needed class is cached in the entry, so denied
             // candidates cost no reorder-buffer traffic.
-            let alloc_class = e.alloc_class;
+            let alloc_class = e.alloc_class();
             debug_assert_eq!(alloc_class, self.issue_alloc_class(e.seq));
             if let Some(class) = alloc_class {
                 let gates = gates.get_or_insert_with(|| {
@@ -1323,13 +1419,14 @@ impl<S: InstStream> Processor<S> {
                     }
                 }
             }
-            let entry = self.rob.get_mut(seq).expect("in flight");
-            entry.issued = true;
+            let entry = self.rob.hot_mut(seq).expect("in flight");
+            entry.set_issued(true);
             entry.executions += 1;
-            entry.srcs = iq_entry.srcs;
-            self.raw.executions += 1;
             let gen = entry.gen;
-            let op = entry.di.op();
+            let op = entry.op;
+            // Final (all-ready) source state, kept for re-execution.
+            self.rob.set_srcs(seq, iq_entry.srcs);
+            self.raw.executions += 1;
             let finish = now + self.config.latencies.of(op);
             if op.is_mem() {
                 self.schedule(finish, Event::EaDone { seq, gen });
@@ -1341,9 +1438,7 @@ impl<S: InstStream> Processor<S> {
         let mut allocs = std::mem::take(&mut self.pending_issue_allocs);
         for (seq, preg) in allocs.drain(..) {
             self.rob
-                .get_mut(seq)
-                .expect("in flight")
-                .dest
+                .dest_mut(seq)
                 .as_mut()
                 .expect("allocation implies a destination")
                 .preg = Some(preg);
@@ -1509,21 +1604,24 @@ impl<S: InstStream> Processor<S> {
     /// mapping exactly as §3.2.2 describes, then rebuilds the NRR counters
     /// and recycles the squashed sequence numbers.
     fn squash_younger_than(&mut self, branch_seq: u64, now: u64) {
-        while self.rob.tail().is_some_and(|t| t.seq > branch_seq) {
-            let entry = self.rob.pop_tail().expect("tail checked above");
+        while let Some(seq) = self.rob.tail_seq().filter(|&t| t > branch_seq) {
+            // Squash reads the hot record and the destination array only;
+            // the cold `DynInst` is neither cloned nor moved — the tail
+            // drop just releases the ring slot.
+            let hot = *self.rob.hot(seq).expect("tail is in flight");
             debug_assert!(
-                entry.wrong_path,
+                hot.wrong_path(),
                 "only wrong-path work follows a diverted fetch"
             );
             self.raw.wrong_path_squashed += 1;
-            self.iq.remove(entry.seq);
-            self.retry_remove(entry.seq);
-            if entry.di.op().is_mem() {
-                self.lsq.remove(entry.seq);
+            self.iq.remove(seq);
+            self.retry_remove(seq);
+            if hot.op.is_mem() {
+                self.lsq.remove(seq);
             }
-            if let Some(d) = entry.dest {
+            if let Some(d) = self.rob.dest(seq) {
                 let popped = self.dest_seqs[d.class().index()].pop_back();
-                debug_assert_eq!(popped, Some(entry.seq), "dest squashes pop from the tail");
+                debug_assert_eq!(popped, Some(seq), "dest squashes pop from the tail");
                 match &mut self.renamer {
                     Renamer::EarlyRelease(_) => unreachable!(
                         "early release rejects wrong-path injection at configuration time"
@@ -1542,6 +1640,7 @@ impl<S: InstStream> Processor<S> {
                     ),
                 }
             }
+            self.rob.drop_tail();
         }
         // Un-renamed wrong-path instructions in the fetch buffer vanish.
         self.fetch_buffer.retain(|f| !f.wrong_path);
@@ -1556,11 +1655,8 @@ impl<S: InstStream> Processor<S> {
                 let survivors: Vec<(u64, bool)> = self.dest_seqs[class.index()]
                     .iter()
                     .map(|&seq| {
-                        let e = self
-                            .rob
-                            .get(seq)
-                            .expect("dest index tracks in-flight entries");
-                        (seq, e.dest.expect("indexed on dest").preg.is_some())
+                        let d = self.rob.dest(seq).expect("indexed on dest");
+                        (seq, d.preg.is_some())
                     })
                     .collect();
                 let Renamer::Vp(vp) = &mut self.renamer else {

@@ -22,15 +22,26 @@
 /// allocation rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NrrState {
-    nrr: usize,
-    /// Sequence number of the youngest reserved instruction: anything at
-    /// or below it (and with a destination of this class) is reserved.
-    prr_seq: Option<u64>,
+    /// Sequence number of the youngest reserved instruction ([`NO_SEQ`]
+    /// when none was ever set): anything at or below it (and with a
+    /// destination of this class) is reserved.
+    prr_seq: u64,
+    nrr: u32,
     /// Number of reserved instructions currently in the window (`Reg`).
-    reg: usize,
+    reg: u32,
     /// Reserved instructions that have already allocated (`Used`).
-    used: usize,
+    used: u32,
 }
+
+/// Packed "no pointer" sentinel in [`NrrState`] (sequence numbers count
+/// up from zero and never reach it).
+const NO_SEQ: u64 = u64::MAX;
+
+// Layout-regression guard: both classes' NRR rows share a cache line.
+const _: () = assert!(
+    std::mem::size_of::<NrrState>() <= 24,
+    "NrrState must stay within 24 bytes (both classes on one cache line)"
+);
 
 impl NrrState {
     /// Creates the state for a class with `nrr` reserved registers.
@@ -42,8 +53,8 @@ impl NrrState {
     pub fn new(nrr: usize) -> Self {
         assert!(nrr > 0, "NRR must be at least 1");
         Self {
-            nrr,
-            prr_seq: None,
+            prr_seq: NO_SEQ,
+            nrr: u32::try_from(nrr).expect("NRR bounded by the physical file"),
             reg: 0,
             used: 0,
         }
@@ -52,19 +63,19 @@ impl NrrState {
     /// The configured NRR.
     #[inline]
     pub fn nrr(&self) -> usize {
-        self.nrr
+        self.nrr as usize
     }
 
     /// Current `Reg` counter (reserved instructions in the window).
     #[inline]
     pub fn reserved_in_window(&self) -> usize {
-        self.reg
+        self.reg as usize
     }
 
     /// Current `Used` counter (reserved instructions that allocated).
     #[inline]
     pub fn used(&self) -> usize {
-        self.used
+        self.used as usize
     }
 
     /// The PRR pointer: sequence number of the youngest reserved
@@ -73,26 +84,27 @@ impl NrrState {
     /// reserved next.
     #[inline]
     pub fn pointer(&self) -> Option<u64> {
-        (self.reg > 0).then_some(self.prr_seq).flatten()
+        (self.reg > 0 && self.prr_seq != NO_SEQ).then_some(self.prr_seq)
     }
 
     /// True when `seq` is one of the reserved oldest instructions.
     #[inline]
     pub fn is_reserved(&self, seq: u64) -> bool {
-        self.reg > 0 && self.prr_seq.is_some_and(|p| seq <= p)
+        self.reg > 0 && self.prr_seq != NO_SEQ && seq <= self.prr_seq
     }
 
     /// Decode of an instruction with a destination of this class: if fewer
     /// than `NRR` instructions are reserved, the new one becomes reserved
     /// and the pointer moves to it.
     pub fn on_decode(&mut self, seq: u64) {
+        debug_assert!(seq != NO_SEQ);
         if self.reg < self.nrr {
             self.reg += 1;
             debug_assert!(
-                self.prr_seq.is_none_or(|p| p < seq),
+                self.prr_seq == NO_SEQ || self.prr_seq < seq,
                 "decode must see monotonically increasing sequence numbers"
             );
-            self.prr_seq = Some(seq);
+            self.prr_seq = seq;
         }
     }
 
@@ -102,7 +114,7 @@ impl NrrState {
     /// `NRR − Used`.
     #[inline]
     pub fn may_allocate(&self, seq: u64, free_regs: usize) -> bool {
-        self.is_reserved(seq) || free_regs > self.nrr - self.used
+        self.is_reserved(seq) || self.may_allocate_young(free_regs)
     }
 
     /// The young-instruction half of the allocation rule: true when
@@ -113,7 +125,7 @@ impl NrrState {
     /// instead of re-deriving both per candidate.
     #[inline]
     pub fn may_allocate_young(&self, free_regs: usize) -> bool {
-        free_regs > self.nrr - self.used
+        free_regs > (self.nrr - self.used) as usize
     }
 
     /// Records an allocation by instruction `seq`.
@@ -143,17 +155,17 @@ impl NrrState {
         assert!(
             self.is_reserved(committing_seq),
             "committing instruction {committing_seq} must be reserved (PRR={:?}, Reg={})",
-            self.prr_seq,
+            self.pointer(),
             self.reg
         );
         debug_assert!(self.used >= 1, "committer had allocated, Used >= 1");
         match entrant {
             Some((entrant_seq, entrant_allocated)) => {
                 debug_assert!(
-                    self.prr_seq.is_some_and(|p| entrant_seq > p),
+                    entrant_seq != NO_SEQ && self.prr_seq != NO_SEQ && entrant_seq > self.prr_seq,
                     "entrant must be younger than the current pointer"
                 );
-                self.prr_seq = Some(entrant_seq);
+                self.prr_seq = entrant_seq;
                 if !entrant_allocated {
                     self.used -= 1;
                 }
@@ -172,10 +184,10 @@ impl NrrState {
     pub fn rebuild<I: Iterator<Item = (u64, bool)>>(&mut self, survivors: I) {
         self.reg = 0;
         self.used = 0;
-        self.prr_seq = None;
-        for (seq, allocated) in survivors.take(self.nrr) {
+        self.prr_seq = NO_SEQ;
+        for (seq, allocated) in survivors.take(self.nrr as usize) {
             self.reg += 1;
-            self.prr_seq = Some(seq);
+            self.prr_seq = seq;
             if allocated {
                 self.used += 1;
             }
@@ -184,8 +196,11 @@ impl NrrState {
 }
 
 impl vpr_snap::Snap for NrrState {
+    /// Serialised at the original `usize`/`Option<u64>` widths: the packed
+    /// in-memory counters are an implementation detail and must not leak
+    /// into the format (see `docs/snapshot-format.md`).
     fn save(&self, enc: &mut vpr_snap::Encoder) {
-        enc.put_usize(self.nrr);
+        enc.put_usize(self.nrr as usize);
         // Canonical form: with an empty reserved set the pointer is
         // semantically dead (`pointer()` guards on `reg > 0`), but the
         // incremental updates leave the last value behind. Serialising
@@ -193,16 +208,20 @@ impl vpr_snap::Snap for NrrState {
         // byte-equal — the property the cross-NRR re-target contract
         // (`retarget to the current NRR is a bit-exact no-op`) rests on.
         self.pointer().save(enc);
-        enc.put_usize(self.reg);
-        enc.put_usize(self.used);
+        enc.put_usize(self.reg as usize);
+        enc.put_usize(self.used as usize);
     }
 
     fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
+        let nrr = dec.take_usize();
+        let prr_seq = Option::<u64>::load(dec).unwrap_or(NO_SEQ);
+        let reg = dec.take_usize();
+        let used = dec.take_usize();
         Self {
-            nrr: dec.take_usize(),
-            prr_seq: Option::<u64>::load(dec),
-            reg: dec.take_usize(),
-            used: dec.take_usize(),
+            prr_seq,
+            nrr: nrr as u32,
+            reg: reg as u32,
+            used: used as u32,
         }
     }
 }

@@ -20,13 +20,54 @@ use super::{FreeList, NrrState, PhysReg, RenamedSrc, SrcState, VpReg};
 use vpr_isa::{LogicalReg, RegClass, NUM_LOGICAL_PER_CLASS};
 
 /// One general-map-table entry: the paper's (VP register, P register,
-/// V bit) triple, with `Option<PhysReg>` standing in for (P, V).
+/// V bit) triple, packed into four bytes — the (P, V) pair is a `u16`
+/// with an in-band sentinel standing in for "V bit clear", so a class's whole
+/// GMT row set (32 logical registers) spans two cache lines instead of
+/// four and every source rename touches exactly one line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GmtEntry {
+    vp: VpReg,
+    preg: u16,
+}
+
+/// Packed "V bit clear" sentinel in [`GmtEntry`] (physical register
+/// numbers are bounded far below `u16::MAX` by `SimConfig`).
+const NO_PREG: u16 = u16::MAX;
+
+// Layout-regression guard: sixteen GMT entries per cache line.
+const _: () = assert!(
+    std::mem::size_of::<GmtEntry>() == 4,
+    "GmtEntry must stay 4 bytes (sixteen entries per cache line)"
+);
+
+impl GmtEntry {
+    /// Builds an entry from the logical (tag, optional binding) view.
+    pub fn new(vp: VpReg, preg: Option<PhysReg>) -> Self {
+        debug_assert!(preg.is_none_or(|p| p.0 != NO_PREG));
+        Self {
+            vp,
+            preg: preg.map_or(NO_PREG, |p| p.0),
+        }
+    }
+
     /// Last virtual-physical tag mapped to this logical register.
-    pub vp: VpReg,
+    #[inline]
+    pub fn vp(&self) -> VpReg {
+        self.vp
+    }
+
     /// Physical register holding the value, once produced (`V` bit set).
-    pub preg: Option<PhysReg>,
+    #[inline]
+    pub fn preg(&self) -> Option<PhysReg> {
+        (self.preg != NO_PREG).then_some(PhysReg(self.preg))
+    }
+
+    /// Sets the binding (the write-back broadcast's valid-bit update).
+    #[inline]
+    fn set_preg(&mut self, preg: PhysReg) {
+        debug_assert!(preg.0 != NO_PREG);
+        self.preg = preg.0;
+    }
 }
 
 /// The virtual-physical renamer: GMT + PMT + free pools + NRR state, one
@@ -108,10 +149,7 @@ impl VpRenamer {
         );
         let gmt = || {
             (0..NUM_LOGICAL_PER_CLASS)
-                .map(|i| GmtEntry {
-                    vp: VpReg(i as u16),
-                    preg: Some(PhysReg(i as u16)),
-                })
+                .map(|i| GmtEntry::new(VpReg(i as u16), Some(PhysReg(i as u16))))
                 .collect()
         };
         let pmt = || {
@@ -180,9 +218,9 @@ impl VpRenamer {
     pub fn rename_src(&self, logical: LogicalReg) -> RenamedSrc {
         let c = logical.class();
         let e = self.gmt[c.index()][logical.index()];
-        let state = match e.preg {
+        let state = match e.preg() {
             Some(p) => SrcState::Ready(p),
-            None => SrcState::WaitVp(e.vp),
+            None => SrcState::WaitVp(e.vp()),
         };
         RenamedSrc { class: c, state }
     }
@@ -210,14 +248,8 @@ impl VpRenamer {
             self.vp_owner[c][new.0 as usize], NO_OWNER,
             "tag still owned"
         );
-        let prev = std::mem::replace(
-            &mut self.gmt[c][logical.index()],
-            GmtEntry {
-                vp: new,
-                preg: None,
-            },
-        )
-        .vp;
+        let prev =
+            std::mem::replace(&mut self.gmt[c][logical.index()], GmtEntry::new(new, None)).vp();
         debug_assert_eq!(
             self.vp_owner[c][prev.0 as usize],
             logical.index() as u16,
@@ -290,9 +322,9 @@ impl VpRenamer {
         let owner = self.vp_owner[c][vp.0 as usize];
         if owner != NO_OWNER {
             let e = &mut self.gmt[c][owner as usize];
-            debug_assert_eq!(e.vp, vp, "inverse map out of sync with the GMT");
-            debug_assert!(e.preg.is_none(), "GMT valid bit set before binding");
-            e.preg = Some(preg);
+            debug_assert_eq!(e.vp(), vp, "inverse map out of sync with the GMT");
+            debug_assert!(e.preg().is_none(), "GMT valid bit set before binding");
+            e.set_preg(preg);
         }
     }
 
@@ -335,7 +367,7 @@ impl VpRenamer {
     pub fn on_squash_dest(&mut self, logical: LogicalReg, vp: VpReg, prev_vp: VpReg, now: u64) {
         let c = logical.class().index();
         debug_assert_eq!(
-            self.gmt[c][logical.index()].vp,
+            self.gmt[c][logical.index()].vp(),
             vp,
             "squash must unwind newest-first"
         );
@@ -350,10 +382,7 @@ impl VpRenamer {
         );
         self.vp_owner[c][vp.0 as usize] = NO_OWNER;
         self.vp_owner[c][prev_vp.0 as usize] = logical.index() as u16;
-        self.gmt[c][logical.index()] = GmtEntry {
-            vp: prev_vp,
-            preg: self.pmt[c][prev_vp.0 as usize],
-        };
+        self.gmt[c][logical.index()] = GmtEntry::new(prev_vp, self.pmt[c][prev_vp.0 as usize]);
     }
 
     /// Free physical registers in `class`.
@@ -399,16 +428,18 @@ impl VpRenamer {
 }
 
 impl vpr_snap::Snap for GmtEntry {
+    /// Serialised in the original `(VpReg, Option<PhysReg>)` field order:
+    /// the packed in-memory sentinel is an implementation detail and must
+    /// not leak into the format (see `docs/snapshot-format.md`).
     fn save(&self, enc: &mut vpr_snap::Encoder) {
-        self.vp.save(enc);
-        self.preg.save(enc);
+        self.vp().save(enc);
+        self.preg().save(enc);
     }
 
     fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
-        Self {
-            vp: VpReg::load(dec),
-            preg: Option::<PhysReg>::load(dec),
-        }
+        let vp = VpReg::load(dec);
+        let preg = Option::<PhysReg>::load(dec);
+        Self::new(vp, preg)
     }
 }
 
@@ -524,8 +555,8 @@ mod tests {
         // Squash newest-first: the younger, unbound writer...
         r.on_squash_dest(f2, vp2, prev2, 4);
         let e = r.gmt_entry(f2);
-        assert_eq!(e.vp, vp1);
-        assert_eq!(e.preg, Some(p1), "restored mapping is bound: V bit set");
+        assert_eq!(e.vp(), vp1);
+        assert_eq!(e.preg(), Some(p1), "restored mapping is bound: V bit set");
         // ...then the older, bound one.
         r.on_squash_dest(f2, vp1, prev1, 4);
         assert_eq!(r.gmt_entry(f2), boot);

@@ -1,8 +1,30 @@
-//! The reorder buffer.
+//! The reorder buffer, split into a **hot struct-of-arrays kernel** and a
+//! cold per-entry store.
+//!
+//! The monolithic `RobEntry` is ~200 bytes — four cache lines — yet the
+//! per-event hot paths (event handlers, the issue loop, commit, the
+//! governor's retry sweep) only ever need a handful of its fields. The
+//! buffer therefore keeps three ring-indexed parallel arrays:
+//!
+//! * [`RobHot`] — one packed 32-byte record (two entries per cache line)
+//!   with everything the per-event paths touch: the status flags, the
+//!   execution generation, the memory phase and hoisted address/size,
+//!   `completed_at`, and the execution count;
+//! * `dests` — the renamed destination (`Option<RenamedDest>`), read at
+//!   completion/commit and written at dispatch and late allocation;
+//! * cold — the full [`DynInst`] plus the re-execution `srcs`, touched
+//!   only at dispatch, issue (the source refresh), branch resolution,
+//!   squash-for-re-execution, and diagnostics.
+//!
+//! [`RobEntry`] survives as the assembly/disassembly carrier for dispatch
+//! (`push`), squash (`pop_tail`), tests, and — crucially — serialisation:
+//! `Snap for Rob` encodes assembled entries in the **legacy field order**,
+//! so the on-disk `.vprsnap` layout is byte-identical to the monolithic
+//! representation and the format version does not bump (see
+//! `docs/snapshot-format.md`).
 
 use crate::rename::{RenamedDest, RenamedSrc};
-use std::collections::VecDeque;
-use vpr_isa::DynInst;
+use vpr_isa::{DynInst, Inst, MemAccess, OpClass};
 
 /// Progress of a load or store through the memory pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -18,11 +40,158 @@ pub enum MemPhase {
     Done,
 }
 
-/// One in-flight instruction, from dispatch to commit.
+const F_COMPLETED: u8 = 1 << 0;
+const F_ISSUED: u8 = 1 << 1;
+const F_WRONG_PATH: u8 = 1 << 2;
+const F_MISPREDICTED: u8 = 1 << 3;
+
+/// The hot per-entry record: everything the per-event paths read or
+/// write, packed into 32 bytes so two in-flight instructions share a
+/// cache line. The sequence number is implicit (ring index), and the
+/// memory address/size are hoisted out of the cold [`DynInst`] so commit
+/// of a store, the EA handler, and the governor's retry sweep never leave
+/// the hot array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RobHot {
+    /// Execution generation: a globally unique token refreshed on every
+    /// squash-for-re-execution so stale completion events can be
+    /// recognised and dropped.
+    pub gen: u64,
+    /// Cycle at which the completed flag was set (drives the optional VP
+    /// commit delay and diagnostics).
+    pub completed_at: u64,
+    /// Effective byte address — meaningful only for loads and stores.
+    addr: u64,
+    /// Times this instruction began execution (1 = no re-executions).
+    pub executions: u32,
+    /// The operation class (hoisted from the cold instruction).
+    pub op: OpClass,
+    /// Status bits: completed / issued / wrong-path / mispredicted.
+    flags: u8,
+    /// Memory-pipeline progress for loads and stores.
+    pub mem_phase: MemPhase,
+    /// Access size in bytes — meaningful only for loads and stores.
+    mem_size: u8,
+}
+
+// Layout-regression guards: a field added carelessly to the hot record
+// blows the two-entries-per-line budget and fails `cargo test` (in fact,
+// `cargo build`) here, not a future bench run.
+const _: () = assert!(
+    std::mem::size_of::<RobHot>() == 32,
+    "RobHot must stay exactly 32 bytes (two entries per cache line)"
+);
+const _: () = assert!(std::mem::align_of::<RobHot>() == 8);
+
+impl RobHot {
+    fn from_entry(e: &RobEntry) -> Self {
+        let mut flags = 0;
+        if e.completed {
+            flags |= F_COMPLETED;
+        }
+        if e.issued {
+            flags |= F_ISSUED;
+        }
+        if e.wrong_path {
+            flags |= F_WRONG_PATH;
+        }
+        if e.mispredicted {
+            flags |= F_MISPREDICTED;
+        }
+        let (addr, mem_size) = e.di.mem().map_or((0, 0), |m| (m.addr, m.size));
+        Self {
+            gen: e.gen,
+            completed_at: e.completed_at,
+            addr,
+            executions: e.executions,
+            op: e.di.op(),
+            flags,
+            mem_phase: e.mem_phase,
+            mem_size,
+        }
+    }
+
+    /// The paper's `C` flag: execution has completed.
+    #[inline]
+    pub fn completed(&self) -> bool {
+        self.flags & F_COMPLETED != 0
+    }
+
+    /// Sets or clears the `C` flag.
+    #[inline]
+    pub fn set_completed(&mut self, v: bool) {
+        if v {
+            self.flags |= F_COMPLETED;
+        } else {
+            self.flags &= !F_COMPLETED;
+        }
+    }
+
+    /// Currently out of the instruction queue (issued or executing).
+    #[inline]
+    pub fn issued(&self) -> bool {
+        self.flags & F_ISSUED != 0
+    }
+
+    /// Sets or clears the issued flag (cleared on re-execution).
+    #[inline]
+    pub fn set_issued(&mut self, v: bool) {
+        if v {
+            self.flags |= F_ISSUED;
+        } else {
+            self.flags &= !F_ISSUED;
+        }
+    }
+
+    /// True for synthesised wrong-path instructions (squashed, never
+    /// committed).
+    #[inline]
+    pub fn wrong_path(&self) -> bool {
+        self.flags & F_WRONG_PATH != 0
+    }
+
+    /// True for a conditional branch whose predicted direction was wrong.
+    #[inline]
+    pub fn mispredicted(&self) -> bool {
+        self.flags & F_MISPREDICTED != 0
+    }
+
+    /// The effective address (loads and stores only).
+    #[inline]
+    pub fn addr(&self) -> u64 {
+        debug_assert!(self.op.is_mem(), "only memory ops carry an address");
+        self.addr
+    }
+
+    /// The memory access, reassembled from the hoisted address and size.
+    #[inline]
+    pub fn mem_access(&self) -> MemAccess {
+        debug_assert!(self.op.is_mem(), "only memory ops carry an access");
+        MemAccess {
+            addr: self.addr,
+            size: self.mem_size,
+        }
+    }
+}
+
+/// The cold per-entry state: needed at dispatch, issue (source refresh),
+/// branch resolution, and squash-for-re-execution — never on the
+/// per-event fast paths.
+#[derive(Debug, Clone)]
+struct RobCold {
+    di: DynInst,
+    srcs: [Option<RenamedSrc>; 2],
+}
+
+/// One in-flight instruction, from dispatch to commit — the
+/// **assembled** view of one ring slot.
 ///
 /// Besides the dynamic instruction itself, the entry holds exactly the
 /// recovery state the paper requires (§3.2.2): the destination logical
 /// register and the previous mapping(s), plus the completion flag `C`.
+/// In memory the buffer stores these fields split across the hot/cold
+/// arrays; this carrier exists for dispatch, squash, tests and the
+/// legacy-order serialiser.
 #[derive(Debug, Clone)]
 pub struct RobEntry {
     /// Global program-order sequence number.
@@ -77,16 +246,24 @@ impl RobEntry {
     }
 }
 
-/// The reorder buffer: a bounded FIFO of [`RobEntry`] addressable by
-/// sequence number.
+/// The reorder buffer: a bounded ring of in-flight instructions
+/// addressable by sequence number, stored hot/cold split (see the module
+/// documentation).
 ///
-/// Dispatch pushes at the tail, commit pops from the head, and recovery
-/// pops from the tail — so the live sequence numbers are always
+/// Dispatch pushes at the tail, commit drops from the head, and recovery
+/// drops from the tail — so the live sequence numbers are always
 /// contiguous, and lookup is O(1) arithmetic on the head sequence.
+/// Head/tail drops advance ring indices only; cold state never moves.
 #[derive(Debug, Clone)]
 pub struct Rob {
-    entries: VecDeque<RobEntry>,
+    hot: Vec<RobHot>,
+    dests: Vec<Option<RenamedDest>>,
+    cold: Vec<RobCold>,
     capacity: usize,
+    /// Ring index of the head entry.
+    head_idx: usize,
+    /// Number of in-flight instructions.
+    len: usize,
     /// Sequence number of the entry at the head (valid when non-empty).
     head_seq: u64,
 }
@@ -99,9 +276,20 @@ impl Rob {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ROB needs at least one entry");
+        let filler = RobEntry::new(0, DynInst::new(0, Inst::new(OpClass::Nop)), false, false);
         Self {
-            entries: VecDeque::with_capacity(capacity),
+            hot: vec![RobHot::from_entry(&filler); capacity],
+            dests: vec![None; capacity],
+            cold: vec![
+                RobCold {
+                    di: filler.di,
+                    srcs: [None, None],
+                };
+                capacity
+            ],
             capacity,
+            head_idx: 0,
+            len: 0,
             head_seq: 0,
         }
     }
@@ -109,19 +297,41 @@ impl Rob {
     /// Number of in-flight instructions.
     #[inline]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// True when nothing is in flight.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// True when dispatch must stall.
     #[inline]
     pub fn is_full(&self) -> bool {
-        self.entries.len() == self.capacity
+        self.len == self.capacity
+    }
+
+    /// Wraps a ring index into `0..capacity` (the capacity is not
+    /// necessarily a power of two, so this is a conditional subtract, not
+    /// a mask; `idx < 2 * capacity` always holds for the callers).
+    #[inline]
+    fn wrap(&self, idx: usize) -> usize {
+        if idx >= self.capacity {
+            idx - self.capacity
+        } else {
+            idx
+        }
+    }
+
+    /// Ring slot of in-flight sequence number `seq`, or `None`.
+    #[inline]
+    fn slot_of(&self, seq: u64) -> Option<usize> {
+        let off = seq.wrapping_sub(self.head_seq);
+        if off >= self.len as u64 {
+            return None;
+        }
+        Some(self.wrap(self.head_idx + off as usize))
     }
 
     /// Appends an entry at the tail.
@@ -132,72 +342,193 @@ impl Rob {
     /// successor of the current tail.
     pub fn push(&mut self, entry: RobEntry) {
         assert!(!self.is_full(), "ROB overflow: dispatch must stall first");
-        if let Some(tail) = self.entries.back() {
+        if self.len == 0 {
+            self.head_seq = entry.seq;
+        } else {
             assert_eq!(
                 entry.seq,
-                tail.seq + 1,
+                self.head_seq + self.len as u64,
                 "sequence numbers must be contiguous"
             );
-        } else {
-            self.head_seq = entry.seq;
         }
-        self.entries.push_back(entry);
+        let idx = self.wrap(self.head_idx + self.len);
+        self.hot[idx] = RobHot::from_entry(&entry);
+        self.dests[idx] = entry.dest;
+        self.cold[idx] = RobCold {
+            di: entry.di,
+            srcs: entry.srcs,
+        };
+        self.len += 1;
     }
 
-    /// Looks up an in-flight instruction by sequence number.
-    pub fn get(&self, seq: u64) -> Option<&RobEntry> {
-        let idx = seq.checked_sub(self.head_seq)? as usize;
-        self.entries.get(idx)
-    }
-
-    /// Mutable lookup by sequence number.
-    pub fn get_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
-        let idx = seq.checked_sub(self.head_seq)? as usize;
-        self.entries.get_mut(idx)
-    }
-
-    /// The oldest in-flight instruction.
+    /// The hot record of in-flight instruction `seq`.
     #[inline]
-    pub fn head(&self) -> Option<&RobEntry> {
-        self.entries.front()
+    pub fn hot(&self, seq: u64) -> Option<&RobHot> {
+        self.slot_of(seq).map(|i| &self.hot[i])
     }
 
-    /// The youngest in-flight instruction.
+    /// Mutable hot record of in-flight instruction `seq`.
     #[inline]
-    pub fn tail(&self) -> Option<&RobEntry> {
-        self.entries.back()
+    pub fn hot_mut(&mut self, seq: u64) -> Option<&mut RobHot> {
+        self.slot_of(seq).map(|i| &mut self.hot[i])
     }
 
-    /// Removes and returns the oldest instruction (commit).
+    /// The hot record of the oldest in-flight instruction.
+    #[inline]
+    pub fn head_hot(&self) -> Option<&RobHot> {
+        (self.len > 0).then(|| &self.hot[self.head_idx])
+    }
+
+    /// Sequence number of the oldest in-flight instruction.
+    #[inline]
+    pub fn head_seq(&self) -> Option<u64> {
+        (self.len > 0).then_some(self.head_seq)
+    }
+
+    /// Sequence number of the youngest in-flight instruction.
+    #[inline]
+    pub fn tail_seq(&self) -> Option<u64> {
+        (self.len > 0).then(|| self.head_seq + self.len as u64 - 1)
+    }
+
+    /// The renamed destination of in-flight instruction `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not in flight — every caller indexes a
+    /// known-live window.
+    #[inline]
+    pub fn dest(&self, seq: u64) -> Option<RenamedDest> {
+        let i = self.slot_of(seq).expect("sequence not in flight");
+        self.dests[i]
+    }
+
+    /// Mutable renamed destination of in-flight instruction `seq` (late
+    /// allocation writes the granted register here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not in flight.
+    #[inline]
+    pub fn dest_mut(&mut self, seq: u64) -> &mut Option<RenamedDest> {
+        let i = self.slot_of(seq).expect("sequence not in flight");
+        &mut self.dests[i]
+    }
+
+    /// The cold dynamic instruction of in-flight instruction `seq`
+    /// (branch resolution, diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not in flight.
+    #[inline]
+    pub fn di(&self, seq: u64) -> &DynInst {
+        let i = self.slot_of(seq).expect("sequence not in flight");
+        &self.cold[i].di
+    }
+
+    /// The recovery sources of in-flight instruction `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not in flight.
+    #[inline]
+    pub fn srcs(&self, seq: u64) -> [Option<RenamedSrc>; 2] {
+        let i = self.slot_of(seq).expect("sequence not in flight");
+        self.cold[i].srcs
+    }
+
+    /// Refreshes the recovery sources at issue (their final, all-ready
+    /// state — what a squash-for-re-execution re-inserts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not in flight.
+    #[inline]
+    pub fn set_srcs(&mut self, seq: u64, srcs: [Option<RenamedSrc>; 2]) {
+        let i = self.slot_of(seq).expect("sequence not in flight");
+        self.cold[i].srcs = srcs;
+    }
+
+    /// Assembles the full entry view of one ring slot.
+    fn assemble(&self, idx: usize, seq: u64) -> RobEntry {
+        let h = &self.hot[idx];
+        let c = &self.cold[idx];
+        RobEntry {
+            seq,
+            di: c.di,
+            wrong_path: h.wrong_path(),
+            mispredicted: h.mispredicted(),
+            dest: self.dests[idx],
+            srcs: c.srcs,
+            completed: h.completed(),
+            completed_at: h.completed_at,
+            issued: h.issued(),
+            gen: h.gen,
+            mem_phase: h.mem_phase,
+            executions: h.executions,
+        }
+    }
+
+    /// Assembled view of in-flight instruction `seq` (diagnostics, tests
+    /// — the hot paths use the split accessors instead).
+    pub fn entry(&self, seq: u64) -> Option<RobEntry> {
+        self.slot_of(seq).map(|i| self.assemble(i, seq))
+    }
+
+    /// Removes and returns the oldest instruction, assembled (tests and
+    /// diagnostics; commit uses [`Rob::drop_head`]).
     pub fn pop_head(&mut self) -> Option<RobEntry> {
-        let e = self.entries.pop_front()?;
-        self.head_seq = e.seq + 1;
+        if self.len == 0 {
+            return None;
+        }
+        let e = self.assemble(self.head_idx, self.head_seq);
+        self.drop_head();
         Some(e)
     }
 
-    /// Removes the oldest instruction without returning it — commit's hot
-    /// path: the caller has already copied the few fields it needs, so
-    /// the full entry is never moved out of the buffer.
+    /// Removes the oldest instruction — commit's hot path: ring indices
+    /// advance, and neither the hot record nor the cold state moves.
     pub fn drop_head(&mut self) {
-        if self.entries.pop_front().is_some() {
-            self.head_seq += 1;
+        if self.len == 0 {
+            return;
+        }
+        self.head_idx = self.wrap(self.head_idx + 1);
+        self.len -= 1;
+        self.head_seq += 1;
+    }
+
+    /// Removes and returns the youngest instruction, assembled (squash
+    /// diagnostics and tests; the squash hot path reads the split
+    /// accessors and calls [`Rob::drop_tail`]).
+    pub fn pop_tail(&mut self) -> Option<RobEntry> {
+        let seq = self.tail_seq()?;
+        let idx = self.wrap(self.head_idx + self.len - 1);
+        let e = self.assemble(idx, seq);
+        self.len -= 1;
+        Some(e)
+    }
+
+    /// Removes the youngest instruction without assembling it — the
+    /// wrong-path squash hot path: nothing moves, the slot is simply
+    /// released for reuse.
+    pub fn drop_tail(&mut self) {
+        if self.len > 0 {
+            self.len -= 1;
         }
     }
 
-    /// Removes and returns the youngest instruction (squash).
-    pub fn pop_tail(&mut self) -> Option<RobEntry> {
-        self.entries.pop_back()
+    /// Iterates assembled entries oldest → youngest (diagnostics/tests).
+    pub fn iter(&self) -> impl Iterator<Item = RobEntry> + '_ {
+        (0..self.len)
+            .map(move |k| self.assemble(self.wrap(self.head_idx + k), self.head_seq + k as u64))
     }
 
-    /// Iterates oldest → youngest.
-    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
-        self.entries.iter()
-    }
-
-    /// Iterates over entries younger than `seq`, oldest first.
-    pub fn iter_younger_than(&self, seq: u64) -> impl Iterator<Item = &RobEntry> {
-        let start = (seq + 1).saturating_sub(self.head_seq) as usize;
-        self.entries.range(start.min(self.entries.len())..)
+    /// Iterates assembled entries younger than `seq`, oldest first.
+    pub fn iter_younger_than(&self, seq: u64) -> impl Iterator<Item = RobEntry> + '_ {
+        let start = (seq + 1).saturating_sub(self.head_seq).min(self.len as u64) as usize;
+        (start..self.len)
+            .map(move |k| self.assemble(self.wrap(self.head_idx + k), self.head_seq + k as u64))
     }
 }
 
@@ -257,18 +588,32 @@ impl vpr_snap::Snap for RobEntry {
 }
 
 impl vpr_snap::Snap for Rob {
+    /// Serialises in the **legacy monolithic layout** — a `VecDeque`-style
+    /// length prefix followed by assembled entries in age order, then the
+    /// capacity and the head sequence — so the hot/cold split is invisible
+    /// on disk and the snapshot format version does not bump.
     fn save(&self, enc: &mut vpr_snap::Encoder) {
-        self.entries.save(enc);
+        enc.put_usize(self.len);
+        for entry in self.iter() {
+            entry.save(enc);
+        }
         enc.put_usize(self.capacity);
         enc.put_u64(self.head_seq);
     }
 
     fn load(dec: &mut vpr_snap::Decoder<'_>) -> Self {
-        Self {
-            entries: VecDeque::<RobEntry>::load(dec),
-            capacity: dec.take_usize(),
-            head_seq: dec.take_u64(),
+        let n = dec.take_usize();
+        let entries: Vec<RobEntry> = (0..n).map(|_| RobEntry::load(dec)).collect();
+        let capacity = dec.take_usize();
+        let head_seq = dec.take_u64();
+        let mut rob = Rob::new(capacity);
+        for entry in entries {
+            rob.push(entry);
         }
+        // An empty buffer still carries the head sequence it drained to
+        // (push() would have restored it for a non-empty one).
+        rob.head_seq = head_seq;
+        rob
     }
 }
 
@@ -293,8 +638,8 @@ mod tests {
             rob.push(entry(s));
         }
         assert!(rob.is_full());
-        assert_eq!(rob.head().unwrap().seq, 10);
-        assert_eq!(rob.tail().unwrap().seq, 13);
+        assert_eq!(rob.head_seq(), Some(10));
+        assert_eq!(rob.tail_seq(), Some(13));
         assert_eq!(rob.pop_head().unwrap().seq, 10);
         assert_eq!(rob.pop_head().unwrap().seq, 11);
         rob.push(entry(14));
@@ -309,11 +654,11 @@ mod tests {
         }
         rob.pop_head();
         rob.pop_head();
-        assert!(rob.get(1).is_none(), "committed entries are gone");
-        assert_eq!(rob.get(3).unwrap().seq, 3);
-        rob.get_mut(4).unwrap().completed = true;
-        assert!(rob.get(4).unwrap().completed);
-        assert!(rob.get(99).is_none());
+        assert!(rob.hot(1).is_none(), "committed entries are gone");
+        assert_eq!(rob.entry(3).unwrap().seq, 3);
+        rob.hot_mut(4).unwrap().set_completed(true);
+        assert!(rob.hot(4).unwrap().completed());
+        assert!(rob.hot(99).is_none());
     }
 
     #[test]
@@ -324,7 +669,7 @@ mod tests {
         }
         assert_eq!(rob.pop_tail().unwrap().seq, 4);
         assert_eq!(rob.pop_tail().unwrap().seq, 3);
-        assert_eq!(rob.tail().unwrap().seq, 2);
+        assert_eq!(rob.tail_seq(), Some(2));
         // Refill continues the sequence.
         rob.push(entry(3));
         assert_eq!(rob.len(), 4);
@@ -366,7 +711,110 @@ mod tests {
         assert!(rob.is_empty());
         // Sequence restarts wherever dispatch continues.
         rob.push(entry(7));
-        assert_eq!(rob.head().unwrap().seq, 7);
-        assert_eq!(rob.get(7).unwrap().seq, 7);
+        assert_eq!(rob.head_seq(), Some(7));
+        assert_eq!(rob.entry(7).unwrap().seq, 7);
+    }
+
+    #[test]
+    fn ring_wraps_without_moving_state() {
+        // Capacity 3 with interleaved push/drop forces head_idx around
+        // the ring several times; lookups must stay seq-correct.
+        let mut rob = Rob::new(3);
+        let mut next = 100u64;
+        for _ in 0..3 {
+            rob.push(entry(next));
+            next += 1;
+        }
+        for lap in 0..7u64 {
+            assert!(rob.is_full());
+            assert_eq!(rob.head_seq(), Some(100 + lap));
+            rob.drop_head();
+            rob.push(entry(next));
+            next += 1;
+            for seq in rob.head_seq().unwrap()..=rob.tail_seq().unwrap() {
+                let e = rob.entry(seq).unwrap();
+                assert_eq!(e.seq, seq);
+                assert_eq!(e.di.pc(), seq * 4, "hot/cold rings agree at {seq}");
+            }
+        }
+    }
+
+    #[test]
+    fn squash_tail_after_wrap() {
+        let mut rob = Rob::new(4);
+        for s in 0..4 {
+            rob.push(entry(s));
+        }
+        // Advance the head past the physical end of the ring.
+        for _ in 0..3 {
+            rob.drop_head();
+        }
+        for s in 4..7 {
+            rob.push(entry(s));
+        }
+        // Window is seqs 3..=6, physically wrapped. Squash back to 4.
+        assert_eq!(rob.pop_tail().unwrap().seq, 6);
+        rob.drop_tail();
+        assert_eq!(rob.tail_seq(), Some(4));
+        assert_eq!(rob.entry(4).unwrap().di.pc(), 16);
+        // Refill re-uses the released slots.
+        rob.push(entry(5));
+        rob.push(entry(6));
+        assert!(rob.is_full());
+        assert_eq!(rob.entry(6).unwrap().di.pc(), 24);
+    }
+
+    #[test]
+    fn split_accessors_agree_with_assembled_entry() {
+        let mut rob = Rob::new(4);
+        let mut e = entry(5);
+        e.gen = 9;
+        e.completed = true;
+        e.completed_at = 77;
+        e.executions = 2;
+        rob.push(e);
+        let h = rob.hot(5).unwrap();
+        assert_eq!(h.gen, 9);
+        assert!(h.completed());
+        assert!(!h.issued());
+        assert_eq!(h.completed_at, 77);
+        assert_eq!(h.executions, 2);
+        assert_eq!(h.op, OpClass::IntAlu);
+        let assembled = rob.entry(5).unwrap();
+        assert_eq!(assembled.gen, 9);
+        assert!(assembled.completed);
+        assert_eq!(assembled.di.pc(), 20);
+        assert_eq!(rob.srcs(5), [None, None]);
+        assert!(rob.dest(5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in flight")]
+    fn dest_of_absent_seq_panics() {
+        let rob = Rob::new(4);
+        let _ = rob.dest(3);
+    }
+
+    #[test]
+    fn hot_record_carries_mem_access() {
+        let di = DynInst::new(
+            0x40,
+            Inst::new(OpClass::Load).with_dest(vpr_isa::LogicalReg::int(1)),
+        )
+        .with_mem(MemAccess {
+            addr: 0x9000,
+            size: 8,
+        });
+        let mut rob = Rob::new(2);
+        rob.push(RobEntry::new(3, di, false, false));
+        let h = rob.hot(3).unwrap();
+        assert_eq!(h.addr(), 0x9000);
+        assert_eq!(
+            h.mem_access(),
+            MemAccess {
+                addr: 0x9000,
+                size: 8
+            }
+        );
     }
 }

@@ -66,8 +66,8 @@ proptest! {
         // GMT/PMT agreement for every logical register.
         for l in 0..NUM_LOGICAL_PER_CLASS {
             let e = r.gmt_entry(LogicalReg::int(l));
-            prop_assert_eq!(e.preg, r.pmt_entry(class, e.vp), "logical r{}", l);
-            prop_assert!(e.preg.is_some(), "drained machine: every value produced");
+            prop_assert_eq!(e.preg(), r.pmt_entry(class, e.vp()), "logical r{}", l);
+            prop_assert!(e.preg().is_some(), "drained machine: every value produced");
         }
     }
 }

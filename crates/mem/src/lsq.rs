@@ -72,16 +72,98 @@ struct Entry {
     forwarded_from: Option<u64>,
 }
 
+/// The stores-only secondary index record: `(seq, resolved address)`
+/// packed into 24 bytes by folding the address's presence flag into the
+/// size field ([`Lsq::resolve_load`] walks many of these per load, so
+/// record density is walk bandwidth).
+#[derive(Debug, Clone, Copy)]
+struct StoreRec {
+    seq: u64,
+    /// Resolved effective address (valid only when `size != 0`).
+    addr: u64,
+    /// Access size in bytes; 0 while the address is unresolved.
+    size: u8,
+}
+
+// Layout-regression guard: the store walk streams these.
+const _: () = assert!(
+    std::mem::size_of::<StoreRec>() <= 24,
+    "StoreRec must stay within 24 bytes"
+);
+
+impl StoreRec {
+    fn unresolved(seq: u64) -> Self {
+        Self {
+            seq,
+            addr: 0,
+            size: 0,
+        }
+    }
+
+    #[inline]
+    fn access(&self) -> Option<MemAccess> {
+        (self.size != 0).then_some(MemAccess {
+            addr: self.addr,
+            size: self.size,
+        })
+    }
+
+    #[inline]
+    fn set_access(&mut self, access: MemAccess) {
+        debug_assert!(access.size != 0, "a real access has nonzero size");
+        self.addr = access.addr;
+        self.size = access.size;
+    }
+}
+
 /// The loads-only secondary index record: the fields
 /// [`Lsq::resolve_store`]'s younger-load scan needs, duplicated (and kept
 /// in sync by every load-state transition) so the walk never looks back
 /// into the age map — the mirror of the stores-only index the load path
-/// uses.
+/// uses. Packed into 32 bytes the same way as [`StoreRec`], with
+/// [`NO_FORWARD`] folding away the forwarding field's presence flag.
 #[derive(Debug, Clone, Copy)]
 struct LoadRec {
-    access: Option<MemAccess>,
+    seq: u64,
+    /// Resolved effective address (valid only when `size != 0`).
+    addr: u64,
+    /// Sequence of the store this load forwarded from ([`NO_FORWARD`]
+    /// when it did not forward).
+    forwarded_from: u64,
+    /// Access size in bytes; 0 while the address is unresolved.
+    size: u8,
+    /// Has performed (result obtained, possibly speculatively).
     performed: bool,
-    forwarded_from: Option<u64>,
+}
+
+/// Packed "did not forward" sentinel in [`LoadRec`] (sequence numbers
+/// count up from zero and never reach it).
+const NO_FORWARD: u64 = u64::MAX;
+
+// Layout-regression guard: two load records per cache line.
+const _: () = assert!(
+    std::mem::size_of::<LoadRec>() <= 32,
+    "LoadRec must stay within 32 bytes (two records per cache line)"
+);
+
+impl LoadRec {
+    fn unresolved(seq: u64) -> Self {
+        Self {
+            seq,
+            addr: 0,
+            forwarded_from: NO_FORWARD,
+            size: 0,
+            performed: false,
+        }
+    }
+
+    #[inline]
+    fn access(&self) -> Option<MemAccess> {
+        (self.size != 0).then_some(MemAccess {
+            addr: self.addr,
+            size: self.size,
+        })
+    }
 }
 
 /// The load/store queue: program-ordered memory operations in flight.
@@ -108,16 +190,16 @@ struct LoadRec {
 pub struct Lsq {
     /// `(seq, entry)` sorted ascending by `seq` (program order).
     entries: VecDeque<(u64, Entry)>,
-    /// Stores only: `(seq, resolved address)`, sorted ascending by `seq`
-    /// — the secondary index [`Lsq::resolve_load`] walks, so a load's
-    /// older-store scan skips every load entry outright. The address is
-    /// duplicated here (kept in sync by [`Lsq::resolve_store`]) so the
-    /// walk never has to look back into the age map.
-    stores: VecDeque<(u64, Option<MemAccess>)>,
-    /// Loads only: `(seq, load state)`, sorted ascending by `seq` — the
-    /// mirror index [`Lsq::resolve_store`] walks for violation victims,
-    /// so a store's younger-load scan skips every store entry outright.
-    loads: VecDeque<(u64, LoadRec)>,
+    /// Stores only, sorted ascending by `seq` — the secondary index
+    /// [`Lsq::resolve_load`] walks, so a load's older-store scan skips
+    /// every load entry outright. The address is duplicated here (kept in
+    /// sync by [`Lsq::resolve_store`]) so the walk never has to look back
+    /// into the age map.
+    stores: VecDeque<StoreRec>,
+    /// Loads only, sorted ascending by `seq` — the mirror index
+    /// [`Lsq::resolve_store`] walks for violation victims, so a store's
+    /// younger-load scan skips every store entry outright.
+    loads: VecDeque<LoadRec>,
     capacity: usize,
     stats: LsqStats,
 }
@@ -142,13 +224,13 @@ impl Lsq {
     /// Index of `seq` in the stores index, if it is a tracked store.
     #[inline]
     fn store_position(&self, seq: u64) -> Option<usize> {
-        self.stores.binary_search_by_key(&seq, |&(s, _)| s).ok()
+        self.stores.binary_search_by_key(&seq, |r| r.seq).ok()
     }
 
     /// Index of `seq` in the loads index, if it is a tracked load.
     #[inline]
     fn load_position(&self, seq: u64) -> Option<usize> {
-        self.loads.binary_search_by_key(&seq, |&(s, _)| s).ok()
+        self.loads.binary_search_by_key(&seq, |r| r.seq).ok()
     }
 
     /// Index of `seq` in the age map, if tracked.
@@ -208,26 +290,23 @@ impl Lsq {
             forwarded_from: None,
         };
         if is_store {
-            if self.stores.back().is_none_or(|&(s, _)| s < seq) {
-                self.stores.push_back((seq, None));
+            let rec = StoreRec::unresolved(seq);
+            if self.stores.back().is_none_or(|r| r.seq < seq) {
+                self.stores.push_back(rec);
             } else {
-                match self.stores.binary_search_by_key(&seq, |&(s, _)| s) {
+                match self.stores.binary_search_by_key(&seq, |r| r.seq) {
                     Ok(_) => panic!("sequence {seq} inserted twice"),
-                    Err(pos) => self.stores.insert(pos, (seq, None)),
+                    Err(pos) => self.stores.insert(pos, rec),
                 }
             }
         } else {
-            let rec = LoadRec {
-                access: None,
-                performed: false,
-                forwarded_from: None,
-            };
-            if self.loads.back().is_none_or(|&(s, _)| s < seq) {
-                self.loads.push_back((seq, rec));
+            let rec = LoadRec::unresolved(seq);
+            if self.loads.back().is_none_or(|r| r.seq < seq) {
+                self.loads.push_back(rec);
             } else {
-                match self.loads.binary_search_by_key(&seq, |&(s, _)| s) {
+                match self.loads.binary_search_by_key(&seq, |r| r.seq) {
                     Ok(_) => panic!("sequence {seq} inserted twice"),
-                    Err(pos) => self.loads.insert(pos, (seq, rec)),
+                    Err(pos) => self.loads.insert(pos, rec),
                 }
             }
         }
@@ -260,22 +339,24 @@ impl Lsq {
         }
         {
             let lpos = self.load_position(seq).expect("load is indexed");
-            self.loads[lpos].1 = LoadRec {
-                access: Some(access),
+            self.loads[lpos] = LoadRec {
+                seq,
+                addr: access.addr,
+                forwarded_from: NO_FORWARD,
+                size: access.size,
                 performed: true,
-                forwarded_from: None,
             };
         }
         // Walk older stores from youngest to oldest — on the stores-only
         // index, so intervening loads cost nothing.
         let mut speculative = false;
         let mut forward: Option<u64> = None;
-        let older = self.stores.partition_point(|&(s, _)| s < seq);
-        for &(s_seq, sa) in self.stores.range(..older).rev() {
-            match sa {
+        let older = self.stores.partition_point(|r| r.seq < seq);
+        for rec in self.stores.range(..older).rev() {
+            match rec.access() {
                 None => speculative = true,
                 Some(sa) if sa.overlaps(&access) => {
-                    forward = Some(s_seq);
+                    forward = Some(rec.seq);
                     break;
                 }
                 Some(_) => {}
@@ -289,7 +370,7 @@ impl Lsq {
                 self.stats.forwards += 1;
                 self.entries[idx].1.forwarded_from = Some(store_seq);
                 let lpos = self.load_position(seq).expect("load is indexed");
-                self.loads[lpos].1.forwarded_from = Some(store_seq);
+                self.loads[lpos].forwarded_from = store_seq;
                 LoadDisposition::Forward {
                     store_seq,
                     speculative,
@@ -317,25 +398,25 @@ impl Lsq {
             e.access = Some(access);
         }
         let spos = self.store_position(seq).expect("store is indexed");
-        self.stores[spos].1 = Some(access);
+        self.stores[spos].set_access(access);
         // Walk younger loads from oldest to youngest — on the loads-only
         // index, so intervening stores cost nothing (mirror of the
         // stores-only walk in `resolve_load`).
         let mut victims = Vec::new();
-        let younger = self.loads.partition_point(|&(s, _)| s < seq);
-        for &(l_seq, ref l) in self.loads.range(younger..) {
+        let younger = self.loads.partition_point(|r| r.seq < seq);
+        for l in self.loads.range(younger..) {
             if !l.performed {
                 continue;
             }
-            let Some(la) = l.access else { continue };
+            let Some(la) = l.access() else { continue };
             if !la.overlaps(&access) {
                 continue;
             }
             // A forward from a store younger than us is still correct.
-            if l.forwarded_from.is_some_and(|f| f > seq) {
+            if l.forwarded_from != NO_FORWARD && l.forwarded_from > seq {
                 continue;
             }
-            victims.push(l_seq);
+            victims.push(l.seq);
         }
         for &v in &victims {
             let vi = self.position(v).expect("victim exists");
@@ -343,9 +424,9 @@ impl Lsq {
             e.performed = false;
             e.forwarded_from = None;
             let li = self.load_position(v).expect("victim is indexed");
-            let (_, l) = &mut self.loads[li];
+            let l = &mut self.loads[li];
             l.performed = false;
-            l.forwarded_from = None;
+            l.forwarded_from = NO_FORWARD;
             self.stats.violations += 1;
         }
         victims
@@ -365,9 +446,9 @@ impl Lsq {
         e.performed = false;
         e.forwarded_from = None;
         let li = self.load_position(seq).expect("load is indexed");
-        let (_, l) = &mut self.loads[li];
+        let l = &mut self.loads[li];
         l.performed = false;
-        l.forwarded_from = None;
+        l.forwarded_from = NO_FORWARD;
     }
 
     /// Removes an operation at commit (or at squash during recovery).
@@ -393,10 +474,10 @@ impl Lsq {
         while self.entries.back().is_some_and(|&(s, _)| s > seq) {
             self.entries.pop_back();
         }
-        while self.stores.back().is_some_and(|&(s, _)| s > seq) {
+        while self.stores.back().is_some_and(|r| r.seq > seq) {
             self.stores.pop_back();
         }
-        while self.loads.back().is_some_and(|&(s, _)| s > seq) {
+        while self.loads.back().is_some_and(|r| r.seq > seq) {
             self.loads.pop_back();
         }
     }
@@ -457,16 +538,19 @@ impl vpr_snap::Snap for Lsq {
         lsq.stats = LsqStats::load(dec);
         for &(seq, e) in &entries {
             if e.is_store {
-                lsq.stores.push_back((seq, e.access));
+                let mut rec = StoreRec::unresolved(seq);
+                if let Some(a) = e.access {
+                    rec.set_access(a);
+                }
+                lsq.stores.push_back(rec);
             } else {
-                lsq.loads.push_back((
+                lsq.loads.push_back(LoadRec {
                     seq,
-                    LoadRec {
-                        access: e.access,
-                        performed: e.performed,
-                        forwarded_from: e.forwarded_from,
-                    },
-                ));
+                    addr: e.access.map_or(0, |a| a.addr),
+                    forwarded_from: e.forwarded_from.unwrap_or(NO_FORWARD),
+                    size: e.access.map_or(0, |a| a.size),
+                    performed: e.performed,
+                });
             }
         }
         lsq.entries = entries;

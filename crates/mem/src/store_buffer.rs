@@ -13,6 +13,12 @@ pub struct PendingStore {
     pub access: MemAccess,
 }
 
+// Layout-regression guard: the drain tick streams these.
+const _: () = assert!(
+    std::mem::size_of::<PendingStore>() <= 24,
+    "PendingStore must stay within 24 bytes"
+);
+
 /// An in-order FIFO of committed stores draining to the data cache.
 ///
 /// Stores leave the reorder buffer at commit and are written to the cache
