@@ -1,11 +1,13 @@
 //! Manages `.vprsnap` checkpoint artefacts: `create` populates a
 //! checkpoint directory from one warm serial pass per configuration,
-//! `inspect` lists what a directory holds, and `verify` re-validates every
+//! `inspect` lists what a directory holds, `verify` re-validates every
 //! artefact against its manifest (optionally continuing each restored
-//! machine and comparing bit-for-bit against a fresh uninterrupted run).
+//! machine and comparing bit-for-bit against a fresh uninterrupted run),
+//! and `repair` quarantines corrupt artefacts, drops dead manifest
+//! entries and sweeps debris left by interrupted writes.
 //!
 //! ```text
-//! cargo run --release -p vpr-bench --bin checkpoint -- <create|inspect|verify>
+//! cargo run --release -p vpr-bench --bin checkpoint -- <create|inspect|verify|repair>
 //!     [--dir DIR]                      # checkpoint directory (default: checkpoints)
 //!     [--benchmarks a,b,...]           # default: all nine
 //!     [--schemes l1,l2,...]            # scheme labels; default: conventional,vp-wb-nrr32
@@ -38,8 +40,8 @@
 use std::path::PathBuf;
 use vpr_bench::checkpoints::{
     checkpoint_key_labelled, config_hash, generate_checkpoints, generate_group_checkpoints,
-    group_scheme_label, parse_checkpoint_scheme, shares_group_pass, sim_config, CheckpointStore,
-    KIND_INTERVAL,
+    group_scheme_label, parse_checkpoint_scheme, shares_group_pass, sim_config,
+    CheckpointLoadError, CheckpointStore, KIND_INTERVAL,
 };
 use vpr_bench::sampling::SamplingPlan;
 use vpr_bench::workloads::{parse_scheme, scheme_label, TABLE2_SCHEMES};
@@ -62,7 +64,7 @@ struct Cli {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: checkpoint <create|inspect|verify> [--dir DIR] [--benchmarks a,b,...] \
+        "usage: checkpoint <create|inspect|verify|repair> [--dir DIR] [--benchmarks a,b,...] \
          [--schemes l1,l2,...] [--regs N] [--intervals] [--shared] [--run N] \
          [--cross-nrr N1,N2] \
          [--warmup N] [--measure N] [--seed N] [--miss-penalty N] [--jobs N]"
@@ -76,7 +78,7 @@ fn parse_cli() -> Cli {
         usage();
     }
     let command = args.remove(0);
-    if !matches!(command.as_str(), "create" | "inspect" | "verify") {
+    if !matches!(command.as_str(), "create" | "inspect" | "verify" | "repair") {
         eprintln!("unknown command `{command}`");
         usage();
     }
@@ -465,9 +467,16 @@ fn verify(cli: &Cli) {
             shared_checked += 1;
             let restore = || {
                 let fresh = TraceBuilder::new(benchmark).seed(exp.seed).build();
-                Processor::<TraceGen>::restore(&snapshot, fresh).expect("validated artefact")
+                Processor::<TraceGen>::restore(&snapshot, fresh)
             };
-            let mut canonical = restore();
+            let mut canonical = match restore() {
+                Ok(cpu) => cpu,
+                Err(e) => {
+                    println!("FAIL {label}: restore: {e}");
+                    failures += 1;
+                    continue;
+                }
+            };
             let canonical_nrr = canonical.config().scheme.nrr().expect("shared implies VP");
             // Re-targets are only legal downward from the canonical NRR
             // (and never to zero): report out-of-range requests as
@@ -492,7 +501,15 @@ fn verify(cli: &Cli) {
             let run = cli.run.unwrap_or(500);
             let mut ok = true;
             for nrr in [nrr_a, nrr_b] {
-                let (mut first, mut second) = (restore(), restore());
+                let (mut first, mut second) = match (restore(), restore()) {
+                    (Ok(a), Ok(b)) => (a, b),
+                    (Err(e), _) | (_, Err(e)) => {
+                        println!("FAIL {label}: restore: {e}");
+                        failures += 1;
+                        ok = false;
+                        continue;
+                    }
+                };
                 first.retarget_nrr(nrr);
                 second.retarget_nrr(nrr);
                 if first.snapshot() != second.snapshot() {
@@ -539,6 +556,100 @@ fn verify(cli: &Cli) {
     );
 }
 
+/// `repair`: brings a damaged checkpoint directory back to a state every
+/// other command accepts without simulating anything. Corrupt artefacts
+/// are quarantined to `*.corrupt` (a side effect of the validating load),
+/// manifest entries whose artefact is missing, corrupt or unparseable are
+/// dropped, and `*.tmp` debris left by interrupted atomic writes is
+/// swept. Stale-but-intact artefacts (config-hash or format mismatch
+/// against this invocation's flags) are kept — they may serve another
+/// configuration, and `create` replaces them in place.
+fn repair(cli: &Cli) {
+    use vpr_snap::manifest::ManifestError;
+    let (mut store, note) = CheckpointStore::open_resilient(&cli.dir);
+    if let Some(note) = note {
+        println!("note {note}");
+    }
+    let mut swept = 0usize;
+    if let Ok(dir) = std::fs::read_dir(&store.dir) {
+        for entry in dir.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "tmp") && std::fs::remove_file(&path).is_ok() {
+                println!("swept {}", path.display());
+                swept += 1;
+            }
+        }
+    }
+    let entries = store.manifest.entries.clone();
+    let mut keep = vec![true; entries.len()];
+    let (mut dropped, mut stale) = (0usize, 0usize);
+    for (i, entry) in entries.iter().enumerate() {
+        let label = format!(
+            "{}/{} {}@{}",
+            entry.key.benchmark, entry.key.scheme, entry.key.kind, entry.key.target
+        );
+        let loaded = entry
+            .key
+            .benchmark
+            .parse::<Benchmark>()
+            .map_err(|e| format!("{e}"))
+            .and_then(|benchmark| {
+                let exp = ExperimentConfig {
+                    warmup: entry.key.warmup,
+                    seed: entry.key.seed,
+                    miss_penalty: entry.key.miss_penalty,
+                    ..cli.exp
+                };
+                let regs = entry.key.physical_regs as usize;
+                let scheme = parse_checkpoint_scheme(&entry.key.scheme, regs, &exp)?;
+                let hash = config_hash(benchmark, &sim_config(scheme, regs, &exp), exp.seed);
+                let key = checkpoint_key_labelled(
+                    benchmark,
+                    entry.key.scheme.clone(),
+                    regs,
+                    &exp,
+                    &entry.key.kind,
+                    entry.key.target,
+                );
+                store.load(&key, hash).map_err(|e| match e {
+                    // Stale entries are intact artefacts for some other
+                    // configuration: keep them on disk and in the manifest.
+                    CheckpointLoadError::Manifest(
+                        ManifestError::StaleConfig { .. } | ManifestError::StaleFormat { .. },
+                    ) => String::new(),
+                    other => other.to_string(),
+                })
+            });
+        match loaded {
+            Ok(_) => println!("ok      {label}"),
+            Err(reason) if reason.is_empty() => {
+                stale += 1;
+                println!("stale   {label} (kept; `create` replaces it)");
+            }
+            Err(reason) => {
+                keep[i] = false;
+                dropped += 1;
+                println!("dropped {label}: {reason}");
+            }
+        }
+    }
+    let mut it = keep.iter();
+    store
+        .manifest
+        .entries
+        .retain(|_| *it.next().expect("same length"));
+    if let Err(e) = store.flush() {
+        eprintln!("cannot rewrite manifest in {}: {e}", store.dir.display());
+        std::process::exit(1);
+    }
+    println!(
+        "repaired {}: {} entr{} kept ({stale} stale), {dropped} dropped, {swept} temp file(s) swept",
+        store.dir.display(),
+        store.manifest.entries.len(),
+        if store.manifest.entries.len() == 1 { "y" } else { "ies" },
+    );
+}
+
 fn main() {
     let cli = parse_cli();
     // Scheme labels round-trip through the manifest; fail early if a
@@ -551,6 +662,7 @@ fn main() {
         "create" => create(&cli),
         "inspect" => inspect(&cli),
         "verify" => verify(&cli),
+        "repair" => repair(&cli),
         _ => unreachable!("validated in parse_cli"),
     }
 }

@@ -383,13 +383,39 @@ pub struct CheckpointStore {
     pub manifest: Manifest,
 }
 
+/// Moves a torn/corrupt artefact out of the way by renaming it to
+/// `<name>.corrupt` next to itself, so a regenerated replacement can take
+/// its place and the evidence survives for post-mortem. Returns the
+/// quarantine path, or `None` when the rename itself failed (read-only
+/// directory, file already gone) — quarantine is best-effort and never
+/// blocks recovery.
+pub fn quarantine_artefact(path: &Path) -> Option<PathBuf> {
+    let mut name = path.file_name()?.to_os_string();
+    name.push(".corrupt");
+    let dest = path.with_file_name(name);
+    std::fs::rename(path, &dest).ok()?;
+    Some(dest)
+}
+
 /// Why a checkpoint could not be loaded from a store.
 #[derive(Debug)]
 pub enum CheckpointLoadError {
     /// The manifest has no (valid) entry for the key.
     Manifest(ManifestError),
-    /// The `.vprsnap` file could not be read or fails envelope validation.
+    /// The `.vprsnap` file could not be read (the error names the path).
     Io(std::io::Error),
+    /// The `.vprsnap` file is torn, truncated, or corrupt — it failed
+    /// envelope validation or disagrees with its manifest row — and has
+    /// been quarantined (renamed to `*.corrupt`) so a regenerated artefact
+    /// can take its place.
+    Corrupt {
+        /// The artefact that failed validation.
+        path: PathBuf,
+        /// Where it was moved, when the quarantine rename succeeded.
+        quarantined_to: Option<PathBuf>,
+        /// What was wrong with it.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CheckpointLoadError {
@@ -397,6 +423,17 @@ impl std::fmt::Display for CheckpointLoadError {
         match self {
             CheckpointLoadError::Manifest(e) => write!(f, "{e}"),
             CheckpointLoadError::Io(e) => write!(f, "{e}"),
+            CheckpointLoadError::Corrupt {
+                path,
+                quarantined_to,
+                detail,
+            } => {
+                write!(f, "corrupt checkpoint {}: {detail}", path.display())?;
+                match quarantined_to {
+                    Some(q) => write!(f, " (quarantined to {})", q.display()),
+                    None => write!(f, " (quarantine failed; file left in place)"),
+                }
+            }
         }
     }
 }
@@ -414,6 +451,42 @@ impl CheckpointStore {
             dir: dir.to_path_buf(),
             manifest: Manifest::load(dir)?,
         })
+    }
+
+    /// Opens a checkpoint directory for a sweep that must survive a
+    /// damaged store: a torn/corrupt `checkpoints.json` is quarantined
+    /// (renamed to `checkpoints.json.corrupt`) and the store opens empty —
+    /// every load then misses, callers regenerate from warm passes, and
+    /// the degradation is reported through the returned note instead of
+    /// aborting the sweep. Other I/O failures (permissions, not a
+    /// directory) likewise degrade to an empty store with a note.
+    pub fn open_resilient(dir: &Path) -> (Self, Option<String>) {
+        match Self::open(dir) {
+            Ok(store) => (store, None),
+            Err(e) => {
+                let note = if e.kind() == std::io::ErrorKind::InvalidData {
+                    let manifest_path = dir.join(vpr_snap::manifest::MANIFEST_FILE);
+                    match quarantine_artefact(&manifest_path) {
+                        Some(q) => format!(
+                            "corrupt manifest quarantined to {}; regenerating checkpoints: {e}",
+                            q.display()
+                        ),
+                        None => format!(
+                            "corrupt manifest (quarantine failed); regenerating checkpoints: {e}"
+                        ),
+                    }
+                } else {
+                    format!("checkpoint dir unusable; regenerating checkpoints: {e}")
+                };
+                (
+                    Self {
+                        dir: dir.to_path_buf(),
+                        manifest: Manifest::default(),
+                    },
+                    Some(note),
+                )
+            }
+        }
     }
 
     /// Writes generated checkpoints into the directory and records them in
@@ -450,7 +523,11 @@ impl CheckpointStore {
     /// # Errors
     ///
     /// [`CheckpointLoadError::Manifest`] for missing/stale entries,
-    /// [`CheckpointLoadError::Io`] for unreadable or corrupt files.
+    /// [`CheckpointLoadError::Io`] for unreadable files, and
+    /// [`CheckpointLoadError::Corrupt`] for torn/corrupt artefacts —
+    /// which are **quarantined** (renamed to `*.corrupt`) as a side
+    /// effect, so the caller's regenerated replacement can be written
+    /// under the original name.
     pub fn load(
         &self,
         key: &CheckpointKey,
@@ -462,11 +539,39 @@ impl CheckpointStore {
                 key.benchmark, key.scheme, key.kind, key.target
             )))
         })?;
-        let snapshot =
-            Snapshot::read_from(&self.dir.join(&entry.file)).map_err(CheckpointLoadError::Io)?;
-        Manifest::validate(entry, expected_hash, snapshot.checksum())
-            .map_err(CheckpointLoadError::Manifest)?;
-        Ok((entry.clone(), snapshot))
+        let path = self.dir.join(&entry.file);
+        let snapshot = Snapshot::read_from(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::InvalidData {
+                // Torn or corrupt envelope: move it out of the way so the
+                // caller's warm-pass regeneration replaces it cleanly.
+                // The read error already names the path; Corrupt's
+                // Display re-adds it, so strip the duplicate prefix.
+                let msg = e.to_string();
+                let prefix = format!("{}: ", path.display());
+                let detail = msg.strip_prefix(&prefix).map(str::to_string).unwrap_or(msg);
+                CheckpointLoadError::Corrupt {
+                    quarantined_to: quarantine_artefact(&path),
+                    path: path.clone(),
+                    detail,
+                }
+            } else {
+                CheckpointLoadError::Io(e)
+            }
+        })?;
+        match Manifest::validate(entry, expected_hash, snapshot.checksum()) {
+            Ok(()) => Ok((entry.clone(), snapshot)),
+            // The envelope is internally consistent but does not hold the
+            // payload the manifest row promised — same quarantine-and-
+            // regenerate treatment as a torn file.
+            Err(e @ ManifestError::ChecksumMismatch { .. }) => Err(CheckpointLoadError::Corrupt {
+                quarantined_to: quarantine_artefact(&path),
+                path,
+                detail: e.to_string(),
+            }),
+            // Stale (config/format) entries are *valid* artefacts for a
+            // different experiment: refuse them but leave them on disk.
+            Err(e) => Err(CheckpointLoadError::Manifest(e)),
+        }
     }
 
     /// Loads the full set of interval checkpoints for a sampling plan, in
@@ -557,6 +662,33 @@ pub fn run_benchmark_checkpointed(
     exp: &ExperimentConfig,
     store: Option<&CheckpointStore>,
 ) -> SimStats {
+    let (stats, note) =
+        run_benchmark_checkpointed_noted(benchmark, scheme, physical_regs, exp, store);
+    if let Some(note) = note {
+        eprintln!(
+            "note: simulating warm-up for {}/{}: {note}",
+            benchmark.name(),
+            scheme_label(scheme)
+        );
+    }
+    stats
+}
+
+/// [`run_benchmark_checkpointed`], but degradation is **reported, not
+/// printed**: when the checkpoint path had to be abandoned for a reason
+/// worth surfacing (stale entry, corrupt-and-quarantined artefact, a
+/// snapshot that refused to restore), the note says why, and the stats
+/// come from the bit-identical exact fallback. An absent checkpoint is
+/// normal (the directory is merely unpopulated for this point) and
+/// produces no note.
+pub fn run_benchmark_checkpointed_noted(
+    benchmark: Benchmark,
+    scheme: RenameScheme,
+    physical_regs: usize,
+    exp: &ExperimentConfig,
+    store: Option<&CheckpointStore>,
+) -> (SimStats, Option<String>) {
+    let mut note = None;
     if let Some(store) = store {
         let config = sim_config(scheme, physical_regs, exp);
         let hash = config_hash(benchmark, &config, exp.seed);
@@ -564,23 +696,24 @@ pub fn run_benchmark_checkpointed(
         match store.load(&key, hash) {
             Ok((_, snapshot)) => {
                 let fresh = TraceBuilder::new(benchmark).seed(exp.seed).build();
-                let mut cpu: Processor<TraceGen> =
-                    Processor::restore(&snapshot, fresh).expect("validated checkpoint restores");
-                cpu.reset_window();
-                return cpu.run(exp.measure);
+                match Processor::<TraceGen>::restore(&snapshot, fresh) {
+                    Ok(mut cpu) => {
+                        cpu.reset_window();
+                        return (cpu.run(exp.measure), None);
+                    }
+                    // A snapshot that validates but refuses to restore
+                    // (shape mismatch) is as good as stale: fall back.
+                    Err(e) => note = Some(format!("restore failed: {e}")),
+                }
             }
-            // An absent checkpoint is normal (the directory is just not
-            // populated for this point); a stale or corrupt one should be
-            // visible even though the exact fallback is bit-identical.
             Err(CheckpointLoadError::Manifest(ManifestError::NotFound(_))) => {}
-            Err(e) => eprintln!(
-                "note: simulating warm-up for {}/{}: {e}",
-                benchmark.name(),
-                scheme_label(scheme)
-            ),
+            Err(e) => note = Some(e.to_string()),
         }
     }
-    crate::run_benchmark(benchmark, scheme, physical_regs, exp)
+    (
+        crate::run_benchmark(benchmark, scheme, physical_regs, exp),
+        note,
+    )
 }
 
 #[cfg(test)]
@@ -676,6 +809,82 @@ mod tests {
             reopened.load(&other, hash),
             Err(CheckpointLoadError::Manifest(ManifestError::NotFound(_)))
         ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_artefact_is_quarantined_and_run_degrades_to_exact() {
+        let exp = quick();
+        let dir = std::env::temp_dir().join("vpr-bench-ckpt-quarantine-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let generated =
+            generate_checkpoints(Benchmark::Swim, RenameScheme::Conventional, 64, &exp, None);
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        store.save_all(&generated).unwrap();
+        store.flush().unwrap();
+
+        // Flip one payload byte on disk.
+        let file = dir.join(checkpoint_file_name(&generated[0].key));
+        let mut bytes = std::fs::read(&file).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&file, &bytes).unwrap();
+
+        let reopened = CheckpointStore::open(&dir).unwrap();
+        let config = sim_config(RenameScheme::Conventional, 64, &exp);
+        let hash = config_hash(Benchmark::Swim, &config, exp.seed);
+        let err = reopened.load(&generated[0].key, hash).unwrap_err();
+        let CheckpointLoadError::Corrupt {
+            path,
+            quarantined_to,
+            ..
+        } = err
+        else {
+            panic!("expected Corrupt, got {err:?}");
+        };
+        assert_eq!(path, file);
+        let quarantined = quarantined_to.expect("rename succeeded");
+        assert!(quarantined.to_string_lossy().ends_with(".corrupt"));
+        assert!(quarantined.exists());
+        assert!(!file.exists(), "corrupt file moved aside");
+
+        // Re-plant the corrupt artefact: the sweep path must quarantine
+        // it itself, degrade to the exact run with a note, and stay
+        // bit-identical to never having had a checkpoint directory.
+        std::fs::write(&file, &bytes).unwrap();
+        let (stats, note) = run_benchmark_checkpointed_noted(
+            Benchmark::Swim,
+            RenameScheme::Conventional,
+            64,
+            &exp,
+            Some(&reopened),
+        );
+        assert!(note.expect("degradation surfaced").contains("corrupt"));
+        let reference = crate::run_benchmark(Benchmark::Swim, RenameScheme::Conventional, 64, &exp);
+        assert_eq!(stats, reference);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_opens_resilient_as_empty_with_note() {
+        let dir = std::env::temp_dir().join("vpr-bench-ckpt-resilient-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest_path = dir.join(vpr_snap::manifest::MANIFEST_FILE);
+        std::fs::write(&manifest_path, b"{ this is not json").unwrap();
+
+        assert!(CheckpointStore::open(&dir).is_err(), "strict open refuses");
+        let (store, note) = CheckpointStore::open_resilient(&dir);
+        assert!(store.manifest.entries.is_empty());
+        assert!(note.expect("note recorded").contains("quarantined"));
+        assert!(!manifest_path.exists(), "corrupt manifest moved aside");
+        assert!(dir
+            .join(format!("{}.corrupt", vpr_snap::manifest::MANIFEST_FILE))
+            .exists());
+
+        // A healthy (absent-manifest) directory opens with no note.
+        let (_, no_note) = CheckpointStore::open_resilient(&dir);
+        assert!(no_note.is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

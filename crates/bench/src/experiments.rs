@@ -4,7 +4,10 @@
 //! result, and can render it as a [`Table`] shaped like the paper's
 //! corresponding table or figure.
 
-use crate::sweep::{run_sweep_metrics, SamplingProvenance, SweepContext, SweepPoint};
+use crate::sweep::{
+    failures_json, json_num, run_sweep_metrics, SamplingProvenance, SweepContext, SweepFailure,
+    SweepPoint,
+};
 use crate::{ExperimentConfig, Table};
 use vpr_core::{harmonic_mean, RenameScheme};
 use vpr_trace::Benchmark;
@@ -48,6 +51,9 @@ pub struct Table2 {
     /// How the numbers were obtained (exact vs sampled) — recorded into
     /// the JSON artefact so the two are never confusable.
     pub sampling: SamplingProvenance,
+    /// Faults the sweep survived or degraded around (empty on a clean
+    /// run).
+    pub failures: Vec<SweepFailure>,
 }
 
 impl Table2 {
@@ -65,34 +71,36 @@ impl Table2 {
         (v / c - 1.0) * 100.0
     }
 
-    /// Renders the result as JSON (`vpr-bench-table2/v2`), mirroring the
-    /// throughput harness's hand-rolled style. v2 adds the `sampling`
-    /// provenance block.
+    /// Renders the result as JSON (`vpr-bench-table2/v3`), mirroring the
+    /// throughput harness's hand-rolled style. v2 added the `sampling`
+    /// provenance block; v3 adds `failures` and renders unmeasured
+    /// metrics as `null` instead of panicking or emitting bare NaN.
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        s.push_str("{\n  \"schema\": \"vpr-bench-table2/v2\",\n");
+        s.push_str("{\n  \"schema\": \"vpr-bench-table2/v3\",\n");
         let _ = writeln!(s, "  \"sampling\": {},", self.sampling.to_json_value());
+        let _ = writeln!(s, "  \"failures\": {},", failures_json(&self.failures));
         s.push_str("  \"rows\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
             let _ = write!(
                 s,
-                "    {{\"benchmark\": \"{}\", \"conv_ipc\": {:.4}, \"vp_ipc\": {:.4}, \"improvement_percent\": {:.2}, \"vp_executions_per_commit\": {:.4}}}",
+                "    {{\"benchmark\": \"{}\", \"conv_ipc\": {}, \"vp_ipc\": {}, \"improvement_percent\": {}, \"vp_executions_per_commit\": {}}}",
                 r.benchmark.name(),
-                r.conv_ipc,
-                r.vp_ipc,
-                r.improvement_percent(),
-                r.vp_executions_per_commit
+                json_num(r.conv_ipc, 4),
+                json_num(r.vp_ipc, 4),
+                json_num(r.improvement_percent(), 2),
+                json_num(r.vp_executions_per_commit, 4)
             );
             s.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
         }
         let (c, v) = self.harmonic_means();
         let _ = writeln!(
             s,
-            "  ],\n  \"harmonic_mean_conv_ipc\": {:.4},\n  \"harmonic_mean_vp_ipc\": {:.4},\n  \"mean_improvement_percent\": {:.2}",
-            c,
-            v,
-            self.mean_improvement_percent()
+            "  ],\n  \"harmonic_mean_conv_ipc\": {},\n  \"harmonic_mean_vp_ipc\": {},\n  \"mean_improvement_percent\": {}",
+            json_num(c, 4),
+            json_num(v, 4),
+            json_num(self.mean_improvement_percent(), 2)
         );
         s.push_str("}\n");
         s
@@ -173,6 +181,7 @@ pub fn table2_in(exp: &ExperimentConfig, ctx: &SweepContext) -> Table2 {
     Table2 {
         rows,
         sampling: metrics.provenance,
+        failures: metrics.failures,
     }
 }
 
@@ -201,6 +210,9 @@ pub struct NrrSweep {
     pub rows: Vec<NrrSweepRow>,
     /// How the numbers were obtained.
     pub sampling: SamplingProvenance,
+    /// Faults the sweep survived or degraded around (empty on a clean
+    /// run).
+    pub failures: Vec<SweepFailure>,
 }
 
 impl NrrSweep {
@@ -219,20 +231,22 @@ impl NrrSweep {
             .collect()
     }
 
-    /// Renders the result as JSON (`vpr-bench-nrr-sweep/v2`); `scheme`
-    /// distinguishes Figure 4 (write-back) from Figure 5 (issue). v2 adds
-    /// the `sampling` provenance block.
+    /// Renders the result as JSON (`vpr-bench-nrr-sweep/v3`); `scheme`
+    /// distinguishes Figure 4 (write-back) from Figure 5 (issue). v2
+    /// added the `sampling` provenance block; v3 adds `failures` and
+    /// `null` for unmeasured metrics.
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let join = |xs: &[f64]| {
             xs.iter()
-                .map(|x| format!("{x:.4}"))
+                .map(|x| json_num(*x, 4))
                 .collect::<Vec<_>>()
                 .join(", ")
         };
         let mut s = String::new();
-        s.push_str("{\n  \"schema\": \"vpr-bench-nrr-sweep/v2\",\n");
+        s.push_str("{\n  \"schema\": \"vpr-bench-nrr-sweep/v3\",\n");
         let _ = writeln!(s, "  \"sampling\": {},", self.sampling.to_json_value());
+        let _ = writeln!(s, "  \"failures\": {},", failures_json(&self.failures));
         let _ = writeln!(s, "  \"scheme\": \"{}\",", self.scheme_name);
         let nrrs = NRR_SWEEP
             .iter()
@@ -244,9 +258,9 @@ impl NrrSweep {
         for (i, r) in self.rows.iter().enumerate() {
             let _ = write!(
                 s,
-                "    {{\"benchmark\": \"{}\", \"conv_ipc\": {:.4}, \"speedups\": [{}]}}",
+                "    {{\"benchmark\": \"{}\", \"conv_ipc\": {}, \"speedups\": [{}]}}",
                 r.benchmark.name(),
-                r.conv_ipc,
+                json_num(r.conv_ipc, 4),
                 join(&r.speedups)
             );
             s.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
@@ -313,6 +327,7 @@ fn nrr_sweep(exp: &ExperimentConfig, ctx: &SweepContext, writeback: bool) -> Nrr
         scheme_name: if writeback { "write-back" } else { "issue" },
         rows,
         sampling: metrics.provenance,
+        failures: metrics.failures,
     }
 }
 
@@ -360,31 +375,36 @@ pub struct Fig6 {
     pub rows: Vec<Fig6Row>,
     /// How the numbers were obtained.
     pub sampling: SamplingProvenance,
+    /// Faults the sweep survived or degraded around (empty on a clean
+    /// run).
+    pub failures: Vec<SweepFailure>,
 }
 
 impl Fig6 {
-    /// Renders the result as JSON (`vpr-bench-fig6/v2`; v2 adds the
-    /// `sampling` provenance block).
+    /// Renders the result as JSON (`vpr-bench-fig6/v3`; v2 added the
+    /// `sampling` provenance block, v3 adds `failures` and `null` for
+    /// unmeasured metrics).
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        s.push_str("{\n  \"schema\": \"vpr-bench-fig6/v2\",\n");
+        s.push_str("{\n  \"schema\": \"vpr-bench-fig6/v3\",\n");
         let _ = writeln!(s, "  \"sampling\": {},", self.sampling.to_json_value());
+        let _ = writeln!(s, "  \"failures\": {},", failures_json(&self.failures));
         s.push_str("  \"rows\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
             let _ = write!(
                 s,
-                "    {{\"benchmark\": \"{}\", \"writeback_speedup\": {:.4}, \"issue_speedup\": {:.4}}}",
+                "    {{\"benchmark\": \"{}\", \"writeback_speedup\": {}, \"issue_speedup\": {}}}",
                 r.benchmark.name(),
-                r.writeback_speedup,
-                r.issue_speedup
+                json_num(r.writeback_speedup, 4),
+                json_num(r.issue_speedup, 4)
             );
             s.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
         }
         let _ = writeln!(
             s,
-            "  ],\n  \"writeback_win_rate\": {:.4}",
-            self.writeback_win_rate()
+            "  ],\n  \"writeback_win_rate\": {}",
+            json_num(self.writeback_win_rate(), 4)
         );
         s.push_str("}\n");
         s
@@ -449,6 +469,7 @@ pub fn fig6_in(exp: &ExperimentConfig, ctx: &SweepContext) -> Fig6 {
     Fig6 {
         rows,
         sampling: metrics.provenance,
+        failures: metrics.failures,
     }
 }
 
@@ -472,6 +493,9 @@ pub struct Fig7 {
     pub rows: Vec<Fig7Row>,
     /// How the numbers were obtained.
     pub sampling: SamplingProvenance,
+    /// Faults the sweep survived or degraded around (empty on a clean
+    /// run).
+    pub failures: Vec<SweepFailure>,
 }
 
 impl Fig7 {
@@ -498,13 +522,15 @@ impl Fig7 {
             .collect()
     }
 
-    /// Renders the result as JSON (`vpr-bench-fig7/v2`; v2 adds the
-    /// `sampling` provenance block).
+    /// Renders the result as JSON (`vpr-bench-fig7/v3`; v2 added the
+    /// `sampling` provenance block, v3 adds `failures` and `null` for
+    /// unmeasured metrics).
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        s.push_str("{\n  \"schema\": \"vpr-bench-fig7/v2\",\n");
+        s.push_str("{\n  \"schema\": \"vpr-bench-fig7/v3\",\n");
         let _ = writeln!(s, "  \"sampling\": {},", self.sampling.to_json_value());
+        let _ = writeln!(s, "  \"failures\": {},", failures_json(&self.failures));
         let sizes = REG_SWEEP
             .iter()
             .map(|(size, nrr)| format!("{{\"physical_regs\": {size}, \"nrr\": {nrr}}}"))
@@ -516,7 +542,13 @@ impl Fig7 {
             let ipcs = r
                 .ipcs
                 .iter()
-                .map(|(c, v)| format!("{{\"conv_ipc\": {c:.4}, \"vp_ipc\": {v:.4}}}"))
+                .map(|(c, v)| {
+                    format!(
+                        "{{\"conv_ipc\": {}, \"vp_ipc\": {}}}",
+                        json_num(*c, 4),
+                        json_num(*v, 4)
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join(", ");
             let _ = write!(
@@ -529,7 +561,7 @@ impl Fig7 {
         let means = self
             .mean_improvements_percent()
             .iter()
-            .map(|x| format!("{x:.2}"))
+            .map(|x| json_num(*x, 2))
             .collect::<Vec<_>>()
             .join(", ");
         let _ = writeln!(s, "  ],\n  \"mean_improvements_percent\": [{means}]");
@@ -605,6 +637,7 @@ pub fn fig7_in(exp: &ExperimentConfig, ctx: &SweepContext) -> Fig7 {
     Fig7 {
         rows,
         sampling: metrics.provenance,
+        failures: metrics.failures,
     }
 }
 
@@ -646,11 +679,40 @@ mod tests {
                 vp_executions_per_commit: 3.3,
             }],
             sampling: SamplingProvenance::Exact,
+            failures: Vec::new(),
         };
         let rendered = t2.render().to_string();
         assert!(rendered.contains("swim"));
         assert!(rendered.contains("+100"));
         let (c, v) = t2.harmonic_means();
         assert_eq!((c, v), (1.0, 2.0));
+        let json = t2.to_json();
+        assert!(json.contains("\"failures\": []"));
+        assert!(json.contains("vpr-bench-table2/v3"));
+    }
+
+    #[test]
+    fn failed_points_render_as_null_not_nan() {
+        let t2 = Table2 {
+            rows: vec![Table2Row {
+                benchmark: Benchmark::Swim,
+                conv_ipc: f64::NAN,
+                vp_ipc: f64::NAN,
+                vp_executions_per_commit: f64::NAN,
+            }],
+            sampling: SamplingProvenance::Exact,
+            failures: vec![SweepFailure {
+                point: "swim/conv@64r".into(),
+                stage: "simulate",
+                error: "injected fault: job panic (swim/conv@64r)".into(),
+                attempts: 2,
+                recovered: false,
+            }],
+        };
+        let json = t2.to_json();
+        assert!(!json.contains("NaN"), "bare NaN is invalid JSON:\n{json}");
+        assert!(json.contains("\"conv_ipc\": null"));
+        assert!(json.contains("\"stage\": \"simulate\""));
+        assert!(json.contains("\"recovered\": false"));
     }
 }

@@ -14,14 +14,17 @@
 //! host core, the default) to control the pool.
 
 use crate::checkpoints::{
-    generate_group_checkpoints, group_scheme_label, run_benchmark_checkpointed, CheckpointStore,
-    KIND_INTERVAL,
+    generate_group_checkpoints, group_scheme_label, run_benchmark_checkpointed_noted,
+    CheckpointLoadError, CheckpointStore, KIND_INTERVAL,
 };
 use crate::sampling::{sample_from_checkpoints, SamplingPlan};
+use crate::workloads::scheme_label;
 use crate::{run_benchmark, ExperimentConfig};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
-use vpr_core::{par, RenameScheme, SimStats};
+use vpr_core::par::{self, JobResult};
+use vpr_core::{RenameScheme, SimStats};
+use vpr_snap::manifest::ManifestError;
 use vpr_trace::Benchmark;
 
 /// One point of a sweep grid: a full simulator configuration.
@@ -162,6 +165,106 @@ impl PointMetrics {
             executions_per_commit: stats.executions_per_commit(),
         }
     }
+
+    /// The placeholder metrics of a point whose job failed permanently
+    /// (every retry exhausted): all-NaN, rendered as `null` in JSON. The
+    /// matching [`SweepFailure`] in the sweep's `failures` block says
+    /// why.
+    pub fn failed() -> Self {
+        Self {
+            ipc: f64::NAN,
+            miss_ratio: f64::NAN,
+            executions_per_commit: f64::NAN,
+        }
+    }
+
+    /// True for the [`PointMetrics::failed`] placeholder.
+    pub fn is_failed(&self) -> bool {
+        self.ipc.is_nan()
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal (the escapes
+/// this workspace's hand-rolled readers understand: `\"`, `\\`, `\n`,
+/// `\r`, `\t`, and `\uXXXX` for other control characters).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a float for JSON: non-finite values (a failed point's NaN
+/// placeholder) become `null` — `NaN` is not valid JSON.
+pub fn json_num(v: f64, decimals: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.decimals$}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// One fault a sweep survived (or degraded around): which point, at what
+/// stage, whether the result was still produced. Recorded into every
+/// experiment artefact's `failures` block so degradation is never
+/// silent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepFailure {
+    /// The sweep point (or group / store) the fault hit, e.g.
+    /// `"swim/vp-wb-nrr32@64r"`.
+    pub point: String,
+    /// Pipeline stage: `"store-open"`, `"checkpoint-load"`,
+    /// `"warm-pass"`, `"simulate"`, `"sample"`, or `"persist"`.
+    pub stage: &'static str,
+    /// What went wrong.
+    pub error: String,
+    /// Attempts consumed when the fault hit a retried job (1 otherwise).
+    pub attempts: u32,
+    /// `true` when the sweep still produced this point's exact result
+    /// (retry succeeded, or a degraded-but-bit-identical path ran);
+    /// `false` when the point's metrics are the failed placeholder.
+    pub recovered: bool,
+}
+
+impl SweepFailure {
+    /// Renders one failure as a JSON object.
+    pub fn to_json_value(&self) -> String {
+        format!(
+            "{{\"point\": \"{}\", \"stage\": \"{}\", \"recovered\": {}, \
+             \"attempts\": {}, \"error\": \"{}\"}}",
+            json_escape(&self.point),
+            self.stage,
+            self.recovered,
+            self.attempts,
+            json_escape(&self.error)
+        )
+    }
+}
+
+/// Renders a sweep's failures as the JSON value of a `"failures"` field
+/// (an array; empty on a fault-free run).
+pub fn failures_json(failures: &[SweepFailure]) -> String {
+    if failures.is_empty() {
+        return "[]".to_string();
+    }
+    let mut s = String::from("[\n");
+    for (i, f) in failures.iter().enumerate() {
+        let _ = write!(s, "    {}", f.to_json_value());
+        s.push_str(if i + 1 < failures.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]");
+    s
 }
 
 /// Provenance of a sweep's numbers, recorded into every JSON artefact so
@@ -212,10 +315,8 @@ impl SamplingProvenance {
                 );
                 match checkpoint_dir {
                     Some(dir) => {
-                        // The directory is user input; escape it (the only
-                        // free-form string any artefact writer emits).
-                        let escaped = dir.replace('\\', "\\\\").replace('"', "\\\"");
-                        let _ = write!(s, ", \"checkpoint_dir\": \"{escaped}\"}}");
+                        // The directory is user input; escape it.
+                        let _ = write!(s, ", \"checkpoint_dir\": \"{}\"}}", json_escape(dir));
                     }
                     None => s.push('}'),
                 }
@@ -228,48 +329,137 @@ impl SamplingProvenance {
 /// A sweep's metrics plus the provenance its artefacts must record.
 #[derive(Debug, Clone)]
 pub struct SweepMetrics {
-    /// Per-point metrics, in `points` order.
+    /// Per-point metrics, in `points` order. A permanently failed point
+    /// holds [`PointMetrics::failed`] (rendered `null` in JSON) and has a
+    /// `recovered: false` entry in `failures`.
     pub points: Vec<PointMetrics>,
     /// How they were obtained.
     pub provenance: SamplingProvenance,
+    /// Faults the sweep survived or degraded around (empty on a clean
+    /// run). Recorded into every artefact's `failures` block.
+    pub failures: Vec<SweepFailure>,
+}
+
+/// Extra panic attempts granted to each sweep job: one retry, which is
+/// exactly what a single transient fault needs and what a deterministic
+/// bug cannot abuse.
+const SWEEP_RETRIES: u32 = 1;
+
+/// The stable label of one sweep point in failure reports and fault-
+/// injection job matching.
+pub fn point_label(p: &SweepPoint) -> String {
+    format!(
+        "{}/{}@{}r",
+        p.benchmark.name(),
+        scheme_label(p.scheme),
+        p.physical_regs
+    )
+}
+
+/// Folds one job's recovered panics into the failure list.
+fn record_recovered(
+    failures: &mut Vec<SweepFailure>,
+    label: &str,
+    stage: &'static str,
+    job: &[par::JobFailure],
+) {
+    for jf in job {
+        failures.push(SweepFailure {
+            point: label.to_string(),
+            stage,
+            error: jf.message.clone(),
+            attempts: jf.attempts,
+            recovered: true,
+        });
+    }
 }
 
 /// Runs a sweep in the requested mode and returns per-point metrics in
 /// `points` order. Both modes fan the points out over the worker pool with
 /// the usual submission-order merge, so metrics are byte-identical for any
 /// `exp.jobs`.
+///
+/// The sweep is **fault-tolerant**: every job is panic-isolated with one
+/// retry, a corrupt checkpoint store degrades to warm-pass regeneration
+/// (bit-identical results), and a permanently failing point reports into
+/// [`SweepMetrics::failures`] with [`PointMetrics::failed`] metrics
+/// instead of tearing down the grid.
 pub fn run_sweep_metrics(
     points: &[SweepPoint],
     exp: &ExperimentConfig,
     ctx: &SweepContext,
 ) -> SweepMetrics {
+    let mut failures: Vec<SweepFailure> = Vec::new();
     let store = match &ctx.checkpoint_dir {
-        Some(dir) => match CheckpointStore::open(dir) {
-            Ok(store) => Some(store),
-            Err(e) => {
-                eprintln!("warning: ignoring checkpoint dir {}: {e}", dir.display());
-                None
+        Some(dir) => {
+            let (store, note) = CheckpointStore::open_resilient(dir);
+            if let Some(note) = note {
+                failures.push(SweepFailure {
+                    point: dir.display().to_string(),
+                    stage: "store-open",
+                    error: note,
+                    attempts: 1,
+                    recovered: true,
+                });
             }
-        },
+            Some(store)
+        }
         None => None,
     };
     match ctx.mode {
         SweepMode::Exact => {
             let exp_copy = *exp;
             let store_ref = store.as_ref();
-            let points_out = par::par_map(exp.effective_jobs(), points.to_vec(), |_, p| {
-                let stats = run_benchmark_checkpointed(
-                    p.benchmark,
-                    p.scheme,
-                    p.physical_regs,
-                    &exp_copy,
-                    store_ref,
-                );
-                PointMetrics::from_stats(&stats)
-            });
+            let results = par::par_try_map(
+                exp.effective_jobs(),
+                SWEEP_RETRIES,
+                points.to_vec(),
+                |_, p| {
+                    let label = point_label(p);
+                    vpr_snap::faults::maybe_panic_job(&label);
+                    let (stats, note) = run_benchmark_checkpointed_noted(
+                        p.benchmark,
+                        p.scheme,
+                        p.physical_regs,
+                        &exp_copy,
+                        store_ref,
+                    );
+                    (PointMetrics::from_stats(&stats), note)
+                },
+            );
+            let mut out = Vec::with_capacity(points.len());
+            for (p, job) in points.iter().zip(results) {
+                let label = point_label(p);
+                record_recovered(&mut failures, &label, "simulate", &job.recovered);
+                match job.result {
+                    Ok((metrics, note)) => {
+                        if let Some(note) = note {
+                            failures.push(SweepFailure {
+                                point: label,
+                                stage: "checkpoint-load",
+                                error: note,
+                                attempts: 1,
+                                recovered: true,
+                            });
+                        }
+                        out.push(metrics);
+                    }
+                    Err(jf) => {
+                        failures.push(SweepFailure {
+                            point: label,
+                            stage: "simulate",
+                            error: jf.message,
+                            attempts: jf.attempts,
+                            recovered: false,
+                        });
+                        out.push(PointMetrics::failed());
+                    }
+                }
+            }
             SweepMetrics {
-                points: points_out,
+                points: out,
                 provenance: SamplingProvenance::Exact,
+                failures,
             }
         }
         SweepMode::Sampled => {
@@ -306,50 +496,96 @@ pub fn run_sweep_metrics(
                     })
                 })
                 .collect();
-            // Stage 1: load (or generate) each group's interval set.
+            let group_label = |g: &SweepPoint| {
+                format!(
+                    "group:{}/{}@{}r",
+                    g.benchmark.name(),
+                    group_scheme_label(g.scheme, g.physical_regs, &exp_copy),
+                    g.physical_regs
+                )
+            };
+            // Stage 1: load (or generate) each group's interval set. A
+            // corrupt on-disk set has already been quarantined by the
+            // loader; the degradation note is surfaced and the group
+            // regenerates from its warm pass — bit-identical, because the
+            // on-disk artefacts were produced by the very same pass.
             type GroupSet = (
                 Vec<(u64, vpr_snap::Snapshot)>,
                 bool,
                 Vec<crate::checkpoints::GeneratedCheckpoint>,
+                Option<String>,
             );
-            let sets: Vec<GroupSet> = par::par_map(exp.effective_jobs(), groups, |_, g| {
-                let loaded = store_ref.and_then(|s| {
-                    s.load_group_interval_set(
-                        g.benchmark,
-                        g.scheme,
-                        g.physical_regs,
-                        &exp_copy,
-                        &plan,
-                    )
-                    .ok()
-                });
-                match loaded {
-                    Some(set) => (set, true, Vec::new()),
-                    None => {
-                        let generated = generate_group_checkpoints(
+            let group_points = groups.clone();
+            let sets: Vec<JobResult<GroupSet>> =
+                par::par_try_map(exp.effective_jobs(), SWEEP_RETRIES, groups, |_, g| {
+                    let label = group_label(g);
+                    vpr_snap::faults::maybe_panic_job(&label);
+                    let (loaded, note) = match store_ref {
+                        None => (None, None),
+                        Some(s) => match s.load_group_interval_set(
                             g.benchmark,
                             g.scheme,
                             g.physical_regs,
                             &exp_copy,
-                            Some(&plan),
-                        );
-                        let set = generated
-                            .iter()
-                            .filter(|g| g.key.kind == KIND_INTERVAL)
-                            .map(|g| (g.key.target, g.snapshot.clone()))
-                            .collect();
-                        (set, false, generated)
+                            &plan,
+                        ) {
+                            Ok(set) => (Some(set), None),
+                            // An unpopulated directory is the normal cold
+                            // start, not a fault.
+                            Err(CheckpointLoadError::Manifest(ManifestError::NotFound(_))) => {
+                                (None, None)
+                            }
+                            Err(e) => (None, Some(e.to_string())),
+                        },
+                    };
+                    match loaded {
+                        Some(set) => (set, true, Vec::new(), note),
+                        None => {
+                            let generated = generate_group_checkpoints(
+                                g.benchmark,
+                                g.scheme,
+                                g.physical_regs,
+                                &exp_copy,
+                                Some(&plan),
+                            );
+                            let set = generated
+                                .iter()
+                                .filter(|g| g.key.kind == KIND_INTERVAL)
+                                .map(|g| (g.key.target, g.snapshot.clone()))
+                                .collect();
+                            (set, false, generated, note)
+                        }
                     }
+                });
+            for (g, job) in group_points.iter().zip(&sets) {
+                let label = group_label(g);
+                record_recovered(&mut failures, &label, "warm-pass", &job.recovered);
+                if let Ok((_, _, _, Some(note))) = &job.result {
+                    failures.push(SweepFailure {
+                        point: label,
+                        stage: "checkpoint-load",
+                        error: note.clone(),
+                        attempts: 1,
+                        recovered: true,
+                    });
                 }
-            });
+            }
             // Stage 2: measure every point against its group's set; each
             // point's windows run serially inside it (jobs = 1) so the
-            // pool is not nested.
+            // pool is not nested. Points whose group pass failed get the
+            // failed placeholder without simulating.
             let sets_ref = &sets;
             let group_of_ref = &group_of;
-            let outcomes: Vec<PointMetrics> =
-                par::par_map(exp.effective_jobs(), points.to_vec(), move |i, p| {
-                    let (snapshots, _, _) = &sets_ref[group_of_ref[i]];
+            let outcomes = par::par_try_map(
+                exp.effective_jobs(),
+                SWEEP_RETRIES,
+                points.to_vec(),
+                move |i, p| {
+                    let label = point_label(p);
+                    vpr_snap::faults::maybe_panic_job(&label);
+                    let Ok((snapshots, _, _, _)) = &sets_ref[group_of_ref[i]].result else {
+                        return PointMetrics::failed();
+                    };
                     let report = sample_from_checkpoints(
                         p.benchmark,
                         p.scheme,
@@ -364,19 +600,59 @@ pub fn run_sweep_metrics(
                         miss_ratio: report.miss_ratio(),
                         executions_per_commit: report.executions_per_commit(),
                     }
-                });
-            let all_from_disk = sets.iter().all(|(_, from_disk, _)| *from_disk);
+                },
+            );
+            let mut out = Vec::with_capacity(points.len());
+            for (i, (p, job)) in points.iter().zip(outcomes).enumerate() {
+                let label = point_label(p);
+                record_recovered(&mut failures, &label, "sample", &job.recovered);
+                match (&sets_ref[group_of_ref[i]].result, job.result) {
+                    // The group's warm pass failed permanently: this
+                    // point never simulated.
+                    (Err(group_failure), _) => {
+                        failures.push(SweepFailure {
+                            point: label,
+                            stage: "warm-pass",
+                            error: group_failure.message.clone(),
+                            attempts: group_failure.attempts,
+                            recovered: false,
+                        });
+                        out.push(PointMetrics::failed());
+                    }
+                    (Ok(_), Ok(metrics)) => out.push(metrics),
+                    (Ok(_), Err(jf)) => {
+                        failures.push(SweepFailure {
+                            point: label,
+                            stage: "sample",
+                            error: jf.message,
+                            attempts: jf.attempts,
+                            recovered: false,
+                        });
+                        out.push(PointMetrics::failed());
+                    }
+                }
+            }
+            let all_from_disk = sets
+                .iter()
+                .all(|job| matches!(&job.result, Ok((_, true, _, _))));
             // Persist freshly generated checkpoints so the next sampled
-            // run reuses the serial passes just paid for.
+            // run reuses the serial passes just paid for. Write failures
+            // never affect results — record and continue.
             if let Some(mut store) = store {
                 let mut dirty = false;
-                for (_, _, generated) in &sets {
+                for job in &sets {
+                    let Ok((_, _, generated, _)) = &job.result else {
+                        continue;
+                    };
                     if !generated.is_empty() {
                         if let Err(e) = store.save_all(generated) {
-                            eprintln!(
-                                "warning: cannot write checkpoints to {}: {e}",
-                                store.dir.display()
-                            );
+                            failures.push(SweepFailure {
+                                point: store.dir.display().to_string(),
+                                stage: "persist",
+                                error: format!("cannot write checkpoints: {e}"),
+                                attempts: 1,
+                                recovered: true,
+                            });
                         } else {
                             dirty = true;
                         }
@@ -384,15 +660,18 @@ pub fn run_sweep_metrics(
                 }
                 if dirty {
                     if let Err(e) = store.flush() {
-                        eprintln!(
-                            "warning: cannot write manifest to {}: {e}",
-                            store.dir.display()
-                        );
+                        failures.push(SweepFailure {
+                            point: store.dir.display().to_string(),
+                            stage: "persist",
+                            error: format!("cannot write manifest: {e}"),
+                            attempts: 1,
+                            recovered: true,
+                        });
                     }
                 }
             }
             SweepMetrics {
-                points: outcomes,
+                points: out,
                 provenance: SamplingProvenance::Sampled {
                     plan,
                     estimator: "per-phase-regression",
@@ -403,6 +682,7 @@ pub fn run_sweep_metrics(
                     },
                     checkpoint_dir: ctx.checkpoint_dir.as_ref().map(|d| d.display().to_string()),
                 },
+                failures,
             }
         }
     }

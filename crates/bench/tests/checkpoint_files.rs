@@ -112,28 +112,40 @@ fn stale_and_corrupt_artefacts_are_rejected() {
         vpr_bench::checkpoints::CheckpointLoadError::Manifest(ManifestError::StaleConfig { .. })
     ));
 
-    // Flip one payload byte on disk: the envelope checksum catches it.
+    // Flip one payload byte on disk: the envelope checksum catches it,
+    // and the torn file is quarantined so a regenerated artefact can take
+    // its place.
     let entry = store.manifest.find(&key).unwrap();
     let file = dir.join(&entry.file);
     let mut bytes = std::fs::read(&file).unwrap();
     let last = bytes.len() - 1;
     bytes[last] ^= 0x20;
     std::fs::write(&file, &bytes).unwrap();
-    assert!(matches!(
-        store.load(&key, hash).unwrap_err(),
-        vpr_bench::checkpoints::CheckpointLoadError::Io(_)
-    ));
+    match store.load(&key, hash).unwrap_err() {
+        vpr_bench::checkpoints::CheckpointLoadError::Corrupt {
+            path,
+            quarantined_to,
+            ..
+        } => {
+            assert_eq!(path, file);
+            let q = quarantined_to.expect("quarantine rename succeeds in a temp dir");
+            assert!(q.exists(), "quarantined file kept for inspection");
+            assert!(!file.exists(), "corrupt file moved out of the way");
+        }
+        other => panic!("expected Corrupt, got {other}"),
+    }
 
     // Rewrite the file as a *valid but different* snapshot: the manifest's
-    // recorded payload checksum no longer matches.
+    // recorded payload checksum no longer matches — same quarantine-and-
+    // regenerate treatment as a torn envelope.
     let different = vpr_snap::Snapshot::new(vec![1, 2, 3]);
     different.write_to(&file).unwrap();
-    assert!(matches!(
-        store.load(&key, hash).unwrap_err(),
-        vpr_bench::checkpoints::CheckpointLoadError::Manifest(
-            ManifestError::ChecksumMismatch { .. }
-        )
-    ));
+    match store.load(&key, hash).unwrap_err() {
+        vpr_bench::checkpoints::CheckpointLoadError::Corrupt { detail, .. } => {
+            assert!(detail.contains("checksum"), "unexpected detail: {detail}");
+        }
+        other => panic!("expected Corrupt, got {other}"),
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -18,11 +18,23 @@
 //!
 //! Results land in a shared slot table keyed by job index, which is what
 //! makes the merge deterministic regardless of which worker ran which job
-//! and in which order. Panics in a job propagate: the scope joins all
-//! workers, and a panicked worker re-raises on join.
+//! and in which order.
+//!
+//! ### Panics and poisoning
+//!
+//! All locking is poison-proof: a panic in one job must not turn into
+//! `PoisonError` panics in sibling workers, which would mask the original
+//! panic behind a cascade of secondary ones. [`par_map`] catches each
+//! job's panic, stops the pool, and re-raises the **first** panic payload
+//! after all workers join; [`par_try_map`] goes further and converts each
+//! job's panic into a per-job [`JobFailure`] with bounded retry, so one
+//! poisoned config cannot tear down a thousand-config sweep.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// A sensible default worker count: the host's available parallelism,
 /// or 1 when it cannot be determined.
@@ -30,6 +42,50 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Locks ignoring poison: the pool's own invariants do not depend on the
+/// critical sections completing (slots are `Option`s; a poisoned write
+/// left either `None` or a complete value), and respecting poison would
+/// cascade one job's panic into every other worker.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One job's terminal failure, reported by [`par_try_map`] after its
+/// retry budget is exhausted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Submission index of the failed job.
+    pub index: usize,
+    /// Attempts made (1 initial + retries), all of which panicked.
+    pub attempts: u32,
+    /// Panic message of the **last** attempt (downcast from `&str` /
+    /// `String` payloads; other payload types render as a placeholder).
+    pub message: String,
+}
+
+impl fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "job {} failed after {} attempt{}: {}",
+            self.index,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.message
+        )
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Runs `f` over every item of `items` on up to `jobs` threads and
@@ -41,7 +97,9 @@ pub fn default_jobs() -> usize {
 ///
 /// # Panics
 ///
-/// Re-raises the first panic of any job after all workers join.
+/// Re-raises the **first** job panic (original payload preserved) after
+/// all workers join; remaining queued jobs are abandoned. Sibling workers
+/// never die on poisoned locks — the one real panic is the one observed.
 pub fn par_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -71,23 +129,36 @@ where
         .map(|w| Mutex::new((w..n).step_by(workers).collect()))
         .collect();
 
+    // First panic wins; the stop flag drains the pool without running the
+    // remaining jobs.
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let stop = AtomicBool::new(false);
+
     let run_job = |idx: usize| {
-        let item = inputs[idx]
-            .lock()
-            .expect("input lock")
-            .take()
-            .expect("job dispatched twice");
-        let out = f(idx, item);
-        *results[idx].lock().expect("result lock") = Some(out);
+        let item = lock(&inputs[idx]).take().expect("job dispatched twice");
+        match catch_unwind(AssertUnwindSafe(|| f(idx, item))) {
+            Ok(out) => *lock(&results[idx]) = Some(out),
+            Err(payload) => {
+                let mut slot = lock(&first_panic);
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                stop.store(true, Ordering::SeqCst);
+            }
+        }
     };
 
     std::thread::scope(|scope| {
         for w in 0..workers {
             let queues = &queues;
             let run_job = &run_job;
+            let stop = &stop;
             scope.spawn(move || loop {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
                 // Own work first, front-out (submission order).
-                let mine = queues[w].lock().expect("queue lock").pop_front();
+                let mine = lock(&queues[w]).pop_front();
                 if let Some(idx) = mine {
                     run_job(idx);
                     continue;
@@ -97,7 +168,7 @@ where
                 let mut stolen = None;
                 for delta in 1..workers {
                     let victim = (w + delta) % workers;
-                    if let Some(idx) = queues[victim].lock().expect("queue lock").pop_back() {
+                    if let Some(idx) = lock(&queues[victim]).pop_back() {
                         stolen = Some(idx);
                         break;
                     }
@@ -110,14 +181,76 @@ where
         }
     });
 
+    if let Some(payload) = lock(&first_panic).take() {
+        resume_unwind(payload);
+    }
+
     results
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result lock")
-                .expect("every job ran to completion")
-        })
+        .map(|slot| lock(&slot).take().expect("every job ran to completion"))
         .collect()
+}
+
+/// One job's outcome under [`par_try_map`]: the terminal result plus any
+/// earlier panics a retry recovered from (empty on a clean first attempt
+/// and on terminal failure — the terminal [`JobFailure`] already counts
+/// every attempt).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobResult<R> {
+    /// `Ok` with the job's value, or the failure that exhausted the
+    /// retry budget.
+    pub result: Result<R, JobFailure>,
+    /// Panics of earlier attempts that a later attempt recovered from —
+    /// transient faults the caller should report but not fail on.
+    pub recovered: Vec<JobFailure>,
+}
+
+/// Panic-isolated [`par_map`]: every job runs under `catch_unwind`, a
+/// panicking job is retried up to `retries` more times, and the merged
+/// output carries a per-job [`JobResult`] in submission order — a failing
+/// job never takes the pool (or its sibling jobs) down with it, and a
+/// transiently failing one reports what it recovered from.
+///
+/// Unlike [`par_map`], `f` borrows its item (`&T`) so a retry can re-run
+/// the same input.
+///
+/// Retries happen immediately, on the same worker. That is the right
+/// policy for this workspace's failure model — injected faults and
+/// transient I/O races — where a second attempt sees clean state; a
+/// deterministic logic bug simply exhausts the budget and reports.
+pub fn par_try_map<T, R, F>(jobs: usize, retries: u32, items: Vec<T>, f: F) -> Vec<JobResult<R>>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let attempt_budget = retries.saturating_add(1);
+    let run_one = |idx: usize, item: &T| -> JobResult<R> {
+        let mut failures = Vec::new();
+        for attempt in 1..=attempt_budget {
+            match catch_unwind(AssertUnwindSafe(|| f(idx, item))) {
+                Ok(out) => {
+                    return JobResult {
+                        result: Ok(out),
+                        recovered: failures,
+                    }
+                }
+                Err(payload) => {
+                    failures.push(JobFailure {
+                        index: idx,
+                        attempts: attempt,
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+            }
+        }
+        let last = failures.pop().expect("at least one attempt");
+        JobResult {
+            result: Err(last),
+            recovered: Vec::new(),
+        }
+    };
+    par_map(jobs, items, |idx, item| run_one(idx, &item))
 }
 
 #[cfg(test)]
@@ -173,13 +306,101 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "scoped thread panicked")]
-    fn job_panics_propagate() {
+    #[should_panic(expected = "job 3 failed")]
+    fn job_panics_propagate_with_original_payload() {
+        // The first job's own panic message must survive — not a poisoned-
+        // mutex cascade from a sibling worker.
         let _ = par_map(2, (0..8).collect(), |i, _x: i32| {
             if i == 3 {
                 panic!("job 3 failed");
             }
             i
         });
+    }
+
+    #[test]
+    fn panic_stops_remaining_jobs_without_poison_cascade() {
+        // With many queued jobs, a panic early in the grid must stop the
+        // pool (not run everything) and the caller must see the original
+        // message.
+        let ran = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            par_map(4, (0..1000).collect(), |i, _x: i32| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if i == 10 {
+                    panic!("the real failure");
+                }
+                std::thread::sleep(std::time::Duration::from_micros(100));
+                i
+            })
+        }));
+        let payload = caught.expect_err("must propagate");
+        assert_eq!(panic_message(payload.as_ref()), "the real failure");
+        assert!(
+            ran.load(Ordering::Relaxed) < 1000,
+            "stop flag should abandon queued jobs"
+        );
+    }
+
+    #[test]
+    fn try_map_isolates_failures_per_job() {
+        let out = par_try_map(4, 0, (0..20u64).collect(), |_, &x| {
+            if x % 7 == 3 {
+                panic!("bad item {x}");
+            }
+            x * 2
+        });
+        assert_eq!(out.len(), 20);
+        for (i, r) in out.iter().enumerate() {
+            let x = i as u64;
+            if x % 7 == 3 {
+                let err = r.result.as_ref().unwrap_err();
+                assert_eq!(err.index, i);
+                assert_eq!(err.attempts, 1);
+                assert!(err.message.contains(&format!("bad item {x}")), "{err}");
+            } else {
+                assert_eq!(*r.result.as_ref().unwrap(), x * 2);
+                assert!(r.recovered.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_retries_transient_failures_and_reports_recovery() {
+        // Fails on the first attempt only: one retry must recover it, and
+        // the recovered panic must be visible to the caller.
+        let first = AtomicUsize::new(0);
+        let out = par_try_map(2, 1, vec![10u64, 20, 30], |i, &x| {
+            if i == 1 && first.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient");
+            }
+            x + 1
+        });
+        let values: Vec<u64> = out.iter().map(|r| *r.result.as_ref().unwrap()).collect();
+        assert_eq!(values, vec![11, 21, 31]);
+        assert!(out[0].recovered.is_empty());
+        assert_eq!(out[1].recovered.len(), 1);
+        assert_eq!(out[1].recovered[0].message, "transient");
+        assert!(out[2].recovered.is_empty());
+    }
+
+    #[test]
+    fn try_map_exhausts_retry_budget_and_reports_attempts() {
+        let out = par_try_map(1, 2, vec![0u8], |_, _| -> u8 { panic!("always") });
+        let err = out[0].result.as_ref().unwrap_err();
+        assert_eq!(err.attempts, 3);
+        assert_eq!(err.message, "always");
+        assert_eq!(err.to_string(), "job 0 failed after 3 attempts: always");
+        assert!(
+            out[0].recovered.is_empty(),
+            "terminal failure recovered nothing"
+        );
+    }
+
+    #[test]
+    fn try_map_is_order_deterministic_across_jobs() {
+        let serial = par_try_map(1, 0, (0..50u64).collect(), |i, &x| x + i as u64);
+        let parallel = par_try_map(8, 0, (0..50u64).collect(), |i, &x| x + i as u64);
+        assert_eq!(serial, parallel);
     }
 }

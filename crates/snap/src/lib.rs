@@ -64,10 +64,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod manifest;
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::io;
+use std::path::Path;
 
 /// Magic bytes leading every serialised snapshot.
 pub const MAGIC: [u8; 8] = *b"VPRSNAP\0";
@@ -124,6 +127,80 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x1_0000_0000_01b3);
     }
     h
+}
+
+// ----------------------------------------------------------------------
+// Crash-safe file writes
+// ----------------------------------------------------------------------
+
+/// Replaces `path` with `bytes` crash-safely: write a `.tmp` sibling,
+/// fsync it, then atomically rename it over the destination. A crash (or
+/// an injected [`faults::FaultKind::PartialRename`]) at any point leaves
+/// either the complete old file or the complete new file at `path` —
+/// never a torn mixture. Every artefact writer in the workspace
+/// (`Snapshot::write_to`, the checkpoint manifest) routes through here.
+///
+/// The rename-based protocol is atomic on POSIX filesystems when the temp
+/// file lives in the same directory as the destination, which is why the
+/// temp name is `<name>.tmp` next to `path` rather than in a shared
+/// scratch directory.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error; the temp file is cleaned up on
+/// failure where possible (a leftover `<name>.tmp` after a real crash is
+/// harmless and is swept by `checkpoint repair`).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    use std::io::Write as _;
+
+    let mut bytes = bytes.to_vec();
+    let disposition = faults::on_write(path, &mut bytes)?;
+
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::other(format!("cannot write to {}: no file name", path.display()))
+    })?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+
+    let write_tmp = (|| -> io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        // Data must be durable before the rename publishes it, otherwise a
+        // crash can expose a renamed-but-empty file.
+        f.sync_all()
+    })();
+    if let Err(e) = write_tmp {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(io::Error::new(
+            e.kind(),
+            format!("writing {}: {e}", tmp.display()),
+        ));
+    }
+
+    if disposition == faults::WriteDisposition::CrashBeforeRename {
+        // Simulated crash between fsync and rename: the temp file stays
+        // behind, the destination is untouched.
+        return Err(io::Error::other(format!(
+            "injected crash before rename of {}",
+            path.display()
+        )));
+    }
+
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        io::Error::new(e.kind(), format!("renaming over {}: {e}", path.display()))
+    })?;
+
+    // Make the rename itself durable. Failure here is not fatal to
+    // correctness (the file content is already consistent), so ignore
+    // platforms/filesystems where directories cannot be fsynced.
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
 }
 
 // ----------------------------------------------------------------------
@@ -510,25 +587,32 @@ impl Snapshot {
         })
     }
 
-    /// Writes the envelope to a file.
+    /// Writes the envelope to a file, crash-safely (see [`atomic_write`]).
     ///
     /// # Errors
     ///
     /// Propagates the underlying I/O error.
     pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_bytes())
+        atomic_write(path, &self.to_bytes())
     }
 
     /// Reads an envelope from a file.
     ///
     /// # Errors
     ///
-    /// I/O errors are wrapped in [`std::io::Error`]; format errors come
-    /// back as [`std::io::ErrorKind::InvalidData`].
+    /// I/O errors are wrapped in [`std::io::Error`] and name the path;
+    /// format errors (torn, truncated, or corrupt envelopes) come back as
+    /// [`std::io::ErrorKind::InvalidData`].
     pub fn read_from(path: &std::path::Path) -> std::io::Result<Self> {
-        let bytes = std::fs::read(path)?;
-        Self::from_bytes(&bytes)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        let mut bytes = std::fs::read(path)
+            .map_err(|e| io::Error::new(e.kind(), format!("reading {}: {e}", path.display())))?;
+        faults::on_read(path, &mut bytes)?;
+        Self::from_bytes(&bytes).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
     }
 }
 

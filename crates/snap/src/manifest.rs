@@ -310,26 +310,48 @@ impl Manifest {
     ///
     /// # Errors
     ///
-    /// I/O errors other than `NotFound`, plus [`ManifestError`] wrapped as
-    /// `InvalidData`.
+    /// I/O errors other than `NotFound` (naming the path), plus
+    /// [`ManifestError`] wrapped as `InvalidData`.
     pub fn load(dir: &Path) -> std::io::Result<Self> {
-        match std::fs::read_to_string(dir.join(MANIFEST_FILE)) {
-            Ok(text) => Self::from_json(&text)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::default()),
-            Err(e) => Err(e),
-        }
+        let path = dir.join(MANIFEST_FILE);
+        let mut bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Self::default()),
+            Err(e) => {
+                return Err(std::io::Error::new(
+                    e.kind(),
+                    format!("reading {}: {e}", path.display()),
+                ))
+            }
+        };
+        crate::faults::on_read(&path, &mut bytes)?;
+        let text = String::from_utf8(bytes).map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "{}: {}",
+                    path.display(),
+                    ManifestError::Parse("not UTF-8".into())
+                ),
+            )
+        })?;
+        Self::from_json(&text).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
     }
 
     /// Writes `checkpoints.json` into a checkpoint directory (creating the
-    /// directory if needed).
+    /// directory if needed), crash-safely (see [`crate::atomic_write`]).
     ///
     /// # Errors
     ///
     /// Propagates the underlying I/O error.
     pub fn store(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        std::fs::write(dir.join(MANIFEST_FILE), self.to_json())
+        crate::atomic_write(&dir.join(MANIFEST_FILE), self.to_json().as_bytes())
     }
 }
 

@@ -44,4 +44,4 @@ pub use gen::TraceGen;
 pub use models::{Benchmark, ParseBenchmarkError, TraceBuilder};
 pub use paper_example::{paper_example_chain, paper_example_trace};
 pub use program::{LoopSpec, Program, StreamKind, StreamSpec, SynthOp};
-pub use trace_file::{read_trace, write_trace, TraceFile};
+pub use trace_file::{open_trace, read_trace, read_trace_file, write_trace, TraceFile};

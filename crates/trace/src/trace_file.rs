@@ -40,6 +40,7 @@
 //! ```
 
 use std::io::{self, Read, Write};
+use std::path::Path;
 use vpr_isa::{BranchInfo, DynInst, Inst, LogicalReg, MemAccess, OpClass, RegClass};
 
 const MAGIC: &[u8; 4] = b"VPRT";
@@ -145,6 +146,22 @@ pub struct TraceFile<R> {
     reader: R,
     error: Option<io::Error>,
     read: u64,
+    /// Where the bytes come from, for error messages — a file path for
+    /// [`TraceFile::open`], `"<trace>"` for anonymous readers.
+    source: String,
+}
+
+/// Opens a recorded trace file for streaming replay. Every error — open,
+/// header, or a malformed record discovered mid-stream — names the path.
+///
+/// # Errors
+///
+/// Fails if the file cannot be opened or its header is not a supported
+/// VPRT trace.
+pub fn open_trace(path: &Path) -> io::Result<TraceFile<io::BufReader<std::fs::File>>> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+    TraceFile::with_source(io::BufReader::new(file), path.display().to_string())
 }
 
 impl<R: Read> TraceFile<R> {
@@ -153,28 +170,44 @@ impl<R: Read> TraceFile<R> {
     /// # Errors
     ///
     /// Fails on a bad magic number or unsupported version.
-    pub fn new(mut reader: R) -> io::Result<Self> {
+    pub fn new(reader: R) -> io::Result<Self> {
+        Self::with_source(reader, "<trace>".to_string())
+    }
+
+    /// [`TraceFile::new`] with a source label (typically the file path)
+    /// that every subsequent error names.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad magic number or unsupported version; the error
+    /// message names `source`.
+    pub fn with_source(mut reader: R, source: String) -> io::Result<Self> {
         let mut magic = [0u8; 4];
-        reader.read_exact(&mut magic)?;
+        reader
+            .read_exact(&mut magic)
+            .map_err(|e| io::Error::new(e.kind(), format!("{source}: {e}")))?;
         if &magic != MAGIC {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                "not a VPRT trace",
+                format!("{source}: not a VPRT trace"),
             ));
         }
         let mut v = [0u8; 4];
-        reader.read_exact(&mut v)?;
+        reader
+            .read_exact(&mut v)
+            .map_err(|e| io::Error::new(e.kind(), format!("{source}: {e}")))?;
         let version = u32::from_le_bytes(v);
         if version != VERSION {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("unsupported trace version {version}"),
+                format!("{source}: unsupported trace version {version}"),
             ));
         }
         Ok(Self {
             reader,
             error: None,
             read: 0,
+            source,
         })
     }
 
@@ -250,13 +283,15 @@ impl<R: Read> vpr_snap::Resumable for TraceFile<R> {
         let target = dec.take_u64();
         assert!(
             self.read <= target,
-            "trace reader already past the snapshot position ({} > {target})",
+            "{}: trace reader already past the snapshot position ({} > {target})",
+            self.source,
             self.read
         );
         while self.read < target {
             assert!(
                 self.next().is_some(),
-                "trace file ends before the snapshot position ({} of {target})",
+                "{}: trace file ends before the snapshot position ({} of {target})",
+                self.source,
                 self.read
             );
         }
@@ -277,7 +312,13 @@ impl<R: Read> Iterator for TraceFile<R> {
             }
             Ok(None) => None,
             Err(e) => {
-                self.error = Some(e);
+                // Name the source and the record that broke, so a
+                // truncated or corrupted file is locatable from the
+                // message alone.
+                self.error = Some(io::Error::new(
+                    e.kind(),
+                    format!("{}: record {}: {e}", self.source, self.read),
+                ));
                 None
             }
         }
@@ -291,6 +332,22 @@ impl<R: Read> Iterator for TraceFile<R> {
 /// Fails on a bad header or any malformed record.
 pub fn read_trace<R: Read>(reader: R) -> io::Result<Vec<DynInst>> {
     let mut file = TraceFile::new(reader)?;
+    let insts: Vec<DynInst> = file.by_ref().collect();
+    match file.error.take() {
+        Some(e) => Err(e),
+        None => Ok(insts),
+    }
+}
+
+/// Reads an entire recorded trace file into memory. Every error names
+/// the offending path (and, for malformed records, the record index).
+///
+/// # Errors
+///
+/// Fails if the file cannot be opened, has a bad header, or holds a
+/// malformed record.
+pub fn read_trace_file(path: &Path) -> io::Result<Vec<DynInst>> {
+    let mut file = open_trace(path)?;
     let insts: Vec<DynInst> = file.by_ref().collect();
     match file.error.take() {
         Some(e) => Err(e),
@@ -368,6 +425,32 @@ mod tests {
         assert!(decoded.len() < 10);
         assert!(file.error().is_some());
         assert!(read_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn file_errors_name_the_offending_path() {
+        let dir = std::env::temp_dir().join("vpr_trace_file_err_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Missing file: the open error names the path.
+        let missing = dir.join("does_not_exist.vprt");
+        let err = read_trace_file(&missing).unwrap_err();
+        assert!(
+            err.to_string().contains("does_not_exist.vprt"),
+            "unhelpful error: {err}"
+        );
+        // Truncated record: the stream error names the path and record.
+        let original = sample(10);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, original.iter().copied()).unwrap();
+        buf.truncate(buf.len() - 3);
+        let truncated = dir.join("truncated.vprt");
+        std::fs::write(&truncated, &buf).unwrap();
+        let err = read_trace_file(&truncated).unwrap_err();
+        assert!(
+            err.to_string().contains("truncated.vprt") && err.to_string().contains("record 9"),
+            "unhelpful error: {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
