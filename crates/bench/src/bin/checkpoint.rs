@@ -40,7 +40,7 @@
 use std::path::PathBuf;
 use vpr_bench::checkpoints::{
     checkpoint_key_labelled, config_hash, generate_checkpoints, generate_group_checkpoints,
-    group_scheme_label, parse_checkpoint_scheme, shares_group_pass, sim_config,
+    group_scheme_label, load_usage, parse_checkpoint_scheme, shares_group_pass, sim_config,
     CheckpointLoadError, CheckpointStore, KIND_INTERVAL,
 };
 use vpr_bench::sampling::SamplingPlan;
@@ -230,8 +230,29 @@ fn create(cli: &Cli) {
     );
 }
 
+/// Renders a file age compactly (`41s`, `12m`, `3h`, `5d`); `-` when the
+/// filesystem does not expose an mtime.
+fn age_of(meta: &std::fs::Metadata) -> String {
+    let Ok(modified) = meta.modified() else {
+        return "-".into();
+    };
+    let secs = std::time::SystemTime::now()
+        .duration_since(modified)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    match secs {
+        0..=119 => format!("{secs}s"),
+        120..=7199 => format!("{}m", secs / 60),
+        7200..=172_799 => format!("{}h", secs / 3600),
+        _ => format!("{}d", secs / 86_400),
+    }
+}
+
 fn inspect(cli: &Cli) {
     let store = open_store(cli);
+    // Reuse counts come from the sweeps' best-effort usage ledger
+    // (`usage.tsv`); artefacts never restored simply have no entry.
+    let usage = load_usage(&store.dir);
     let mut table = Table::new(
         [
             "benchmark",
@@ -242,14 +263,24 @@ fn inspect(cli: &Cli) {
             "cycle",
             "cursor",
             "bytes",
+            "age",
+            "config-hash",
+            "reuses",
         ]
         .map(String::from)
         .to_vec(),
     );
     for e in &store.manifest.entries {
-        let size = std::fs::metadata(store.dir.join(&e.file))
-            .map(|m| m.len().to_string())
-            .unwrap_or_else(|_| "missing".into());
+        let meta = std::fs::metadata(store.dir.join(&e.file));
+        let (size, age) = match &meta {
+            Ok(m) => (m.len().to_string(), age_of(m)),
+            Err(_) => ("missing".into(), "-".into()),
+        };
+        let reuses = usage
+            .iter()
+            .find(|(file, _)| *file == e.file)
+            .map(|(_, n)| n.to_string())
+            .unwrap_or_else(|| "0".into());
         table.add_row(vec![
             e.key.benchmark.clone(),
             e.key.scheme.clone(),
@@ -259,6 +290,9 @@ fn inspect(cli: &Cli) {
             e.cycle.to_string(),
             e.trace_cursor.to_string(),
             size,
+            age,
+            format!("{:016x}", e.config_hash),
+            reuses,
         ]);
     }
     println!(

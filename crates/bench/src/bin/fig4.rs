@@ -3,7 +3,10 @@
 //! for NRR ∈ {1, 4, 8, 16, 24, 32} at 64 physical registers.
 
 use vpr_bench::sweep::SweepContext;
-use vpr_bench::{experiments, take_flag, take_flag_value, write_json_artifact, ExperimentConfig};
+use vpr_bench::{
+    experiments, take_flag, take_flag_value, write_json_artifact, write_prometheus_metrics,
+    write_run_telemetry, ExperimentConfig,
+};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -11,6 +14,7 @@ fn main() {
     let sampled = take_flag(&mut args, "--sampled");
     let checkpoint_dir: Option<std::path::PathBuf> =
         take_flag_value(&mut args, "--checkpoint-dir").map(Into::into);
+    let metrics_prom = take_flag_value(&mut args, "--metrics-prom");
     let exp = ExperimentConfig::from_args(args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
@@ -25,4 +29,8 @@ fn main() {
     print!("{}", sweep.render());
     println!("\npaper: FP best at NRR=24-32 (mean 1.3); tiny NRR can lose to conventional");
     write_json_artifact(std::path::Path::new(&json), &sweep.to_json());
+    write_run_telemetry(std::path::Path::new(&json), &sweep.telemetry);
+    if let Some(p) = metrics_prom {
+        write_prometheus_metrics(std::path::Path::new(&p), &sweep.metrics);
+    }
 }

@@ -3,7 +3,10 @@
 //! registers per file (NRR = 16, 32 and 64 respectively).
 
 use vpr_bench::sweep::SweepContext;
-use vpr_bench::{experiments, take_flag, take_flag_value, write_json_artifact, ExperimentConfig};
+use vpr_bench::{
+    experiments, take_flag, take_flag_value, write_json_artifact, write_prometheus_metrics,
+    write_run_telemetry, ExperimentConfig,
+};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -11,6 +14,7 @@ fn main() {
     let sampled = take_flag(&mut args, "--sampled");
     let checkpoint_dir: Option<std::path::PathBuf> =
         take_flag_value(&mut args, "--checkpoint-dir").map(Into::into);
+    let metrics_prom = take_flag_value(&mut args, "--metrics-prom");
     let exp = ExperimentConfig::from_args(args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
@@ -34,4 +38,8 @@ fn main() {
         ipcs[0].1, ipcs[1].0
     );
     write_json_artifact(std::path::Path::new(&json), &f7.to_json());
+    write_run_telemetry(std::path::Path::new(&json), &f7.telemetry);
+    if let Some(p) = metrics_prom {
+        write_prometheus_metrics(std::path::Path::new(&p), &f7.metrics);
+    }
 }

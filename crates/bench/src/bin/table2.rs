@@ -21,7 +21,10 @@
 //! of `PCT` — the CI `--sampled` smoke gate.
 
 use vpr_bench::sweep::SweepContext;
-use vpr_bench::{experiments, take_flag, take_flag_value, write_json_artifact, ExperimentConfig};
+use vpr_bench::{
+    experiments, take_flag, take_flag_value, write_json_artifact, write_prometheus_metrics,
+    write_run_telemetry, ExperimentConfig,
+};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +32,7 @@ fn main() {
     let sampled = take_flag(&mut args, "--sampled");
     let checkpoint_dir: Option<std::path::PathBuf> =
         take_flag_value(&mut args, "--checkpoint-dir").map(Into::into);
+    let metrics_prom = take_flag_value(&mut args, "--metrics-prom");
     let check_exact: Option<f64> = take_flag_value(&mut args, "--check-exact").map(|v| {
         v.parse().unwrap_or_else(|e| {
             eprintln!("bad value for --check-exact: {e}");
@@ -69,6 +73,10 @@ fn main() {
         "\nmean executions per committed instruction (VP write-back): {mean_reexec:.2} (paper: 3.3)"
     );
     write_json_artifact(std::path::Path::new(&json), &t2.to_json());
+    write_run_telemetry(std::path::Path::new(&json), &t2.telemetry);
+    if let Some(p) = metrics_prom {
+        write_prometheus_metrics(std::path::Path::new(&p), &t2.metrics);
+    }
 
     if let Some(bound) = check_exact {
         if !sampled {

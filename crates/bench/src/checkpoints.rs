@@ -650,6 +650,77 @@ impl CheckpointStore {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint reuse ledger
+// ----------------------------------------------------------------------
+
+/// Per-directory reuse ledger file: one `<count>\t<file>` line per
+/// artefact that has ever been restored from this store. Best-effort
+/// telemetry — sweeps update it after the measurement so `checkpoint
+/// inspect` can show which artefacts actually earn their keep, but a
+/// missing or unwritable ledger never affects results.
+pub const USAGE_FILE: &str = "usage.tsv";
+
+/// Reads the reuse ledger of `dir`: `(file name, restore count)` pairs.
+/// Malformed lines and a missing ledger read as empty — the ledger is
+/// advisory.
+pub fn load_usage(dir: &Path) -> Vec<(String, u64)> {
+    let Ok(text) = std::fs::read_to_string(dir.join(USAGE_FILE)) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if let Some((count, file)) = line.split_once('\t') {
+            if let (Ok(n), false) = (count.trim().parse::<u64>(), file.is_empty()) {
+                out.push((file.to_string(), n));
+            }
+        }
+    }
+    out
+}
+
+/// Folds one sweep's restored-artefact file names into the ledger
+/// (read-merge-rewrite through [`vpr_snap::atomic_write`], so a crash
+/// mid-update leaves the previous ledger intact). Duplicate names in
+/// `used_files` count once each.
+///
+/// # Errors
+///
+/// Propagates I/O failures; callers treat them as ignorable.
+pub fn record_usage(dir: &Path, used_files: &[String]) -> std::io::Result<()> {
+    if used_files.is_empty() {
+        return Ok(());
+    }
+    let mut counts = load_usage(dir);
+    for f in used_files {
+        match counts.iter_mut().find(|(name, _)| name == f) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((f.clone(), 1)),
+        }
+    }
+    counts.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut text = String::new();
+    for (file, n) in &counts {
+        text.push_str(&format!("{n}\t{file}\n"));
+    }
+    std::fs::create_dir_all(dir)?;
+    vpr_snap::atomic_write(&dir.join(USAGE_FILE), text.as_bytes())
+}
+
+/// How one sweep point's warm-up was satisfied — the raw material for the
+/// run-telemetry checkpoint hit/miss counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointOutcome {
+    /// A valid warm checkpoint was restored; carries the artefact's file
+    /// name for the reuse ledger ([`record_usage`]).
+    Hit(String),
+    /// A store was available but held no usable artefact for this point;
+    /// the warm-up was simulated.
+    Miss,
+    /// No checkpoint store was configured.
+    NoStore,
+}
+
 /// Runs one exact measurement for a sweep point, restoring the warm
 /// checkpoint from `store` when a valid one exists (skipping the warm-up
 /// simulation) and simulating the warm-up otherwise. Restored
@@ -688,18 +759,58 @@ pub fn run_benchmark_checkpointed_noted(
     exp: &ExperimentConfig,
     store: Option<&CheckpointStore>,
 ) -> (SimStats, Option<String>) {
+    let (stats, note, vpr_core::NoObs, _) = run_benchmark_checkpointed_obs(
+        benchmark,
+        scheme,
+        physical_regs,
+        exp,
+        store,
+        vpr_core::NoObs,
+    );
+    (stats, note)
+}
+
+/// [`run_benchmark_checkpointed_noted`] with a lifecycle observer and an
+/// explicit [`CheckpointOutcome`] — the sweep engine's workhorse. The
+/// observer is reset at the measurement-window boundary on *both* paths
+/// (restored and simulated warm-up), so its metrics cover exactly the
+/// measured window either way, and `SimStats`/metrics stay independent of
+/// whether the checkpoint was hit. `O = NoObs` monomorphises the
+/// instrumentation away entirely.
+///
+/// The observer must be `Clone` because a restore that fails after
+/// validation consumes its argument; the pre-measurement observer is
+/// cheap (typically freshly constructed) so the clone is free in
+/// practice.
+pub fn run_benchmark_checkpointed_obs<O: vpr_core::PipeObserver + Clone>(
+    benchmark: Benchmark,
+    scheme: RenameScheme,
+    physical_regs: usize,
+    exp: &ExperimentConfig,
+    store: Option<&CheckpointStore>,
+    obs: O,
+) -> (SimStats, Option<String>, O, CheckpointOutcome) {
     let mut note = None;
+    let mut outcome = CheckpointOutcome::NoStore;
     if let Some(store) = store {
+        outcome = CheckpointOutcome::Miss;
         let config = sim_config(scheme, physical_regs, exp);
         let hash = config_hash(benchmark, &config, exp.seed);
         let key = checkpoint_key(benchmark, scheme, physical_regs, exp, KIND_WARM, exp.warmup);
         match store.load(&key, hash) {
-            Ok((_, snapshot)) => {
+            Ok((entry, snapshot)) => {
                 let fresh = TraceBuilder::new(benchmark).seed(exp.seed).build();
-                match Processor::<TraceGen>::restore(&snapshot, fresh) {
+                match Processor::<TraceGen, O>::restore_with(&snapshot, fresh, obs.clone()) {
                     Ok(mut cpu) => {
                         cpu.reset_window();
-                        return (cpu.run(exp.measure), None);
+                        cpu.observer_mut().reset();
+                        let stats = cpu.run(exp.measure);
+                        return (
+                            stats,
+                            None,
+                            cpu.into_observer(),
+                            CheckpointOutcome::Hit(entry.file),
+                        );
                     }
                     // A snapshot that validates but refuses to restore
                     // (shape mismatch) is as good as stale: fall back.
@@ -710,10 +821,8 @@ pub fn run_benchmark_checkpointed_noted(
             Err(e) => note = Some(e.to_string()),
         }
     }
-    (
-        crate::run_benchmark(benchmark, scheme, physical_regs, exp),
-        note,
-    )
+    let (stats, obs) = crate::run_benchmark_observed(benchmark, scheme, physical_regs, exp, obs);
+    (stats, note, obs, outcome)
 }
 
 #[cfg(test)]

@@ -5,11 +5,12 @@
 //! corresponding table or figure.
 
 use crate::sweep::{
-    failures_json, json_num, run_sweep_metrics, SamplingProvenance, SweepContext, SweepFailure,
-    SweepPoint,
+    failures_json, json_num, run_sweep_metrics, MetricsBlock, SamplingProvenance, SweepContext,
+    SweepFailure, SweepPoint,
 };
 use crate::{ExperimentConfig, Table};
 use vpr_core::{harmonic_mean, RenameScheme};
+use vpr_obs::RunTelemetry;
 use vpr_trace::Benchmark;
 
 /// The NRR values swept in Figures 4 and 5.
@@ -54,6 +55,12 @@ pub struct Table2 {
     /// Faults the sweep survived or degraded around (empty on a clean
     /// run).
     pub failures: Vec<SweepFailure>,
+    /// Aggregated simulated-machine metrics of the sweep (the artefact's
+    /// `metrics` block; per-run series for exact sweeps).
+    pub metrics: MetricsBlock,
+    /// Sweep-engine run telemetry (written to `run.telemetry.json`, not
+    /// into the experiment artefact).
+    pub telemetry: RunTelemetry,
 }
 
 impl Table2 {
@@ -71,16 +78,18 @@ impl Table2 {
         (v / c - 1.0) * 100.0
     }
 
-    /// Renders the result as JSON (`vpr-bench-table2/v3`), mirroring the
+    /// Renders the result as JSON (`vpr-bench-table2/v4`), mirroring the
     /// throughput harness's hand-rolled style. v2 added the `sampling`
-    /// provenance block; v3 adds `failures` and renders unmeasured
-    /// metrics as `null` instead of panicking or emitting bare NaN.
+    /// provenance block; v3 added `failures` and renders unmeasured
+    /// metrics as `null` instead of panicking or emitting bare NaN; v4
+    /// adds the aggregated `metrics` block (see `docs/observability.md`).
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        s.push_str("{\n  \"schema\": \"vpr-bench-table2/v3\",\n");
+        s.push_str("{\n  \"schema\": \"vpr-bench-table2/v4\",\n");
         let _ = writeln!(s, "  \"sampling\": {},", self.sampling.to_json_value());
         let _ = writeln!(s, "  \"failures\": {},", failures_json(&self.failures));
+        let _ = writeln!(s, "  \"metrics\": {},", self.metrics.to_json_value());
         s.push_str("  \"rows\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
             let _ = write!(
@@ -167,10 +176,10 @@ pub fn table2_in(exp: &ExperimentConfig, ctx: &SweepContext) -> Table2 {
             ]
         })
         .collect();
-    let metrics = run_sweep_metrics(&points, exp, ctx);
+    let sweep = run_sweep_metrics(&points, exp, ctx);
     let rows = Benchmark::ALL
         .iter()
-        .zip(metrics.points.chunks_exact(2))
+        .zip(sweep.points.chunks_exact(2))
         .map(|(&b, pair)| Table2Row {
             benchmark: b,
             conv_ipc: pair[0].ipc,
@@ -180,8 +189,10 @@ pub fn table2_in(exp: &ExperimentConfig, ctx: &SweepContext) -> Table2 {
         .collect();
     Table2 {
         rows,
-        sampling: metrics.provenance,
-        failures: metrics.failures,
+        sampling: sweep.provenance,
+        failures: sweep.failures,
+        metrics: sweep.metrics,
+        telemetry: sweep.telemetry,
     }
 }
 
@@ -213,6 +224,12 @@ pub struct NrrSweep {
     /// Faults the sweep survived or degraded around (empty on a clean
     /// run).
     pub failures: Vec<SweepFailure>,
+    /// Aggregated simulated-machine metrics of the sweep (the artefact's
+    /// `metrics` block; per-run series for exact sweeps).
+    pub metrics: MetricsBlock,
+    /// Sweep-engine run telemetry (written to `run.telemetry.json`, not
+    /// into the experiment artefact).
+    pub telemetry: RunTelemetry,
 }
 
 impl NrrSweep {
@@ -231,10 +248,11 @@ impl NrrSweep {
             .collect()
     }
 
-    /// Renders the result as JSON (`vpr-bench-nrr-sweep/v3`); `scheme`
+    /// Renders the result as JSON (`vpr-bench-nrr-sweep/v4`); `scheme`
     /// distinguishes Figure 4 (write-back) from Figure 5 (issue). v2
-    /// added the `sampling` provenance block; v3 adds `failures` and
-    /// `null` for unmeasured metrics.
+    /// added the `sampling` provenance block; v3 added `failures` and
+    /// `null` for unmeasured metrics; v4 adds the aggregated `metrics`
+    /// block.
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let join = |xs: &[f64]| {
@@ -244,9 +262,10 @@ impl NrrSweep {
                 .join(", ")
         };
         let mut s = String::new();
-        s.push_str("{\n  \"schema\": \"vpr-bench-nrr-sweep/v3\",\n");
+        s.push_str("{\n  \"schema\": \"vpr-bench-nrr-sweep/v4\",\n");
         let _ = writeln!(s, "  \"sampling\": {},", self.sampling.to_json_value());
         let _ = writeln!(s, "  \"failures\": {},", failures_json(&self.failures));
+        let _ = writeln!(s, "  \"metrics\": {},", self.metrics.to_json_value());
         let _ = writeln!(s, "  \"scheme\": \"{}\",", self.scheme_name);
         let nrrs = NRR_SWEEP
             .iter()
@@ -310,10 +329,10 @@ fn nrr_sweep(exp: &ExperimentConfig, ctx: &SweepContext, writeback: bool) -> Nrr
             )
         })
         .collect();
-    let metrics = run_sweep_metrics(&points, exp, ctx);
+    let sweep = run_sweep_metrics(&points, exp, ctx);
     let rows = Benchmark::ALL
         .iter()
-        .zip(metrics.points.chunks_exact(1 + NRR_SWEEP.len()))
+        .zip(sweep.points.chunks_exact(1 + NRR_SWEEP.len()))
         .map(|(&b, group)| {
             let conv = group[0].ipc;
             NrrSweepRow {
@@ -326,8 +345,10 @@ fn nrr_sweep(exp: &ExperimentConfig, ctx: &SweepContext, writeback: bool) -> Nrr
     NrrSweep {
         scheme_name: if writeback { "write-back" } else { "issue" },
         rows,
-        sampling: metrics.provenance,
-        failures: metrics.failures,
+        sampling: sweep.provenance,
+        failures: sweep.failures,
+        metrics: sweep.metrics,
+        telemetry: sweep.telemetry,
     }
 }
 
@@ -378,18 +399,25 @@ pub struct Fig6 {
     /// Faults the sweep survived or degraded around (empty on a clean
     /// run).
     pub failures: Vec<SweepFailure>,
+    /// Aggregated simulated-machine metrics of the sweep (the artefact's
+    /// `metrics` block; per-run series for exact sweeps).
+    pub metrics: MetricsBlock,
+    /// Sweep-engine run telemetry (written to `run.telemetry.json`, not
+    /// into the experiment artefact).
+    pub telemetry: RunTelemetry,
 }
 
 impl Fig6 {
-    /// Renders the result as JSON (`vpr-bench-fig6/v3`; v2 added the
-    /// `sampling` provenance block, v3 adds `failures` and `null` for
-    /// unmeasured metrics).
+    /// Renders the result as JSON (`vpr-bench-fig6/v4`; v2 added the
+    /// `sampling` provenance block, v3 added `failures` and `null` for
+    /// unmeasured metrics, v4 adds the aggregated `metrics` block).
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        s.push_str("{\n  \"schema\": \"vpr-bench-fig6/v3\",\n");
+        s.push_str("{\n  \"schema\": \"vpr-bench-fig6/v4\",\n");
         let _ = writeln!(s, "  \"sampling\": {},", self.sampling.to_json_value());
         let _ = writeln!(s, "  \"failures\": {},", failures_json(&self.failures));
+        let _ = writeln!(s, "  \"metrics\": {},", self.metrics.to_json_value());
         s.push_str("  \"rows\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
             let _ = write!(
@@ -453,10 +481,10 @@ pub fn fig6_in(exp: &ExperimentConfig, ctx: &SweepContext) -> Fig6 {
             ]
         })
         .collect();
-    let metrics = run_sweep_metrics(&points, exp, ctx);
+    let sweep = run_sweep_metrics(&points, exp, ctx);
     let rows = Benchmark::ALL
         .iter()
-        .zip(metrics.points.chunks_exact(3))
+        .zip(sweep.points.chunks_exact(3))
         .map(|(&b, group)| {
             let conv = group[0].ipc;
             Fig6Row {
@@ -468,8 +496,10 @@ pub fn fig6_in(exp: &ExperimentConfig, ctx: &SweepContext) -> Fig6 {
         .collect();
     Fig6 {
         rows,
-        sampling: metrics.provenance,
-        failures: metrics.failures,
+        sampling: sweep.provenance,
+        failures: sweep.failures,
+        metrics: sweep.metrics,
+        telemetry: sweep.telemetry,
     }
 }
 
@@ -496,6 +526,12 @@ pub struct Fig7 {
     /// Faults the sweep survived or degraded around (empty on a clean
     /// run).
     pub failures: Vec<SweepFailure>,
+    /// Aggregated simulated-machine metrics of the sweep (the artefact's
+    /// `metrics` block; per-run series for exact sweeps).
+    pub metrics: MetricsBlock,
+    /// Sweep-engine run telemetry (written to `run.telemetry.json`, not
+    /// into the experiment artefact).
+    pub telemetry: RunTelemetry,
 }
 
 impl Fig7 {
@@ -522,15 +558,16 @@ impl Fig7 {
             .collect()
     }
 
-    /// Renders the result as JSON (`vpr-bench-fig7/v3`; v2 added the
-    /// `sampling` provenance block, v3 adds `failures` and `null` for
-    /// unmeasured metrics).
+    /// Renders the result as JSON (`vpr-bench-fig7/v4`; v2 added the
+    /// `sampling` provenance block, v3 added `failures` and `null` for
+    /// unmeasured metrics, v4 adds the aggregated `metrics` block).
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        s.push_str("{\n  \"schema\": \"vpr-bench-fig7/v3\",\n");
+        s.push_str("{\n  \"schema\": \"vpr-bench-fig7/v4\",\n");
         let _ = writeln!(s, "  \"sampling\": {},", self.sampling.to_json_value());
         let _ = writeln!(s, "  \"failures\": {},", failures_json(&self.failures));
+        let _ = writeln!(s, "  \"metrics\": {},", self.metrics.to_json_value());
         let sizes = REG_SWEEP
             .iter()
             .map(|(size, nrr)| format!("{{\"physical_regs\": {size}, \"nrr\": {nrr}}}"))
@@ -622,10 +659,10 @@ pub fn fig7_in(exp: &ExperimentConfig, ctx: &SweepContext) -> Fig7 {
             })
         })
         .collect();
-    let metrics = run_sweep_metrics(&points, exp, ctx);
+    let sweep = run_sweep_metrics(&points, exp, ctx);
     let rows = Benchmark::ALL
         .iter()
-        .zip(metrics.points.chunks_exact(2 * REG_SWEEP.len()))
+        .zip(sweep.points.chunks_exact(2 * REG_SWEEP.len()))
         .map(|(&b, group)| Fig7Row {
             benchmark: b,
             ipcs: group
@@ -636,8 +673,10 @@ pub fn fig7_in(exp: &ExperimentConfig, ctx: &SweepContext) -> Fig7 {
         .collect();
     Fig7 {
         rows,
-        sampling: metrics.provenance,
-        failures: metrics.failures,
+        sampling: sweep.provenance,
+        failures: sweep.failures,
+        metrics: sweep.metrics,
+        telemetry: sweep.telemetry,
     }
 }
 
@@ -680,6 +719,8 @@ mod tests {
             }],
             sampling: SamplingProvenance::Exact,
             failures: Vec::new(),
+            metrics: MetricsBlock::Exact(Default::default()),
+            telemetry: RunTelemetry::default(),
         };
         let rendered = t2.render().to_string();
         assert!(rendered.contains("swim"));
@@ -688,7 +729,8 @@ mod tests {
         assert_eq!((c, v), (1.0, 2.0));
         let json = t2.to_json();
         assert!(json.contains("\"failures\": []"));
-        assert!(json.contains("vpr-bench-table2/v3"));
+        assert!(json.contains("vpr-bench-table2/v4"));
+        assert!(json.contains("\"metrics\": {\"mode\": \"exact\""));
     }
 
     #[test]
@@ -708,6 +750,8 @@ mod tests {
                 attempts: 2,
                 recovered: false,
             }],
+            metrics: MetricsBlock::Exact(Default::default()),
+            telemetry: RunTelemetry::default(),
         };
         let json = t2.to_json();
         assert!(!json.contains("NaN"), "bare NaN is invalid JSON:\n{json}");

@@ -129,6 +129,35 @@ pub fn run_benchmark(
     cpu.run(exp.measure)
 }
 
+/// [`run_benchmark`] with a lifecycle observer attached, returning both
+/// the measurement-window statistics and the observer it fed.
+///
+/// The observer is reset at the measurement-window boundary, so its
+/// metrics cover *exactly* the measured instructions — the same window
+/// [`SimStats`] covers, and the same window a checkpoint-restored run
+/// measures. With [`vpr_core::NoObs`] this monomorphises back to
+/// [`run_benchmark`] exactly (zero-overhead contract, see
+/// `docs/observability.md`).
+pub fn run_benchmark_observed<O: vpr_core::PipeObserver>(
+    benchmark: Benchmark,
+    scheme: RenameScheme,
+    physical_regs: usize,
+    exp: &ExperimentConfig,
+    obs: O,
+) -> (SimStats, O) {
+    let config = SimConfig::builder()
+        .scheme(scheme)
+        .physical_regs(physical_regs)
+        .miss_penalty(exp.miss_penalty)
+        .build();
+    let trace = TraceBuilder::new(benchmark).seed(exp.seed).build();
+    let mut cpu = Processor::with_observer(config, trace, obs);
+    cpu.warm_up(exp.warmup);
+    cpu.observer_mut().reset();
+    let stats = cpu.run(exp.measure);
+    (stats, cpu.into_observer())
+}
+
 // ----------------------------------------------------------------------
 // Simulator throughput (sim-MIPS)
 // ----------------------------------------------------------------------

@@ -69,7 +69,7 @@ pub mod sweep;
 pub mod table;
 pub mod workloads;
 
-pub use harness::{run_benchmark, ExperimentConfig};
+pub use harness::{run_benchmark, run_benchmark_observed, ExperimentConfig};
 pub use sampling::{
     sample_benchmark, sample_from_checkpoints, CheckpointedReport, SamplingPlan, SamplingReport,
 };
@@ -115,4 +115,43 @@ pub fn write_json_artifact(path: &std::path::Path, json: &str) {
         std::process::exit(1);
     }
     println!("wrote {}", path.display());
+}
+
+/// The path an experiment's run-telemetry twin lives at: the artefact's
+/// extension replaced by `run.telemetry.json` (`table2.json` →
+/// `table2.run.telemetry.json`).
+pub fn telemetry_path(json_path: &std::path::Path) -> std::path::PathBuf {
+    json_path.with_extension("run.telemetry.json")
+}
+
+/// Writes a sweep's run-telemetry next to the experiment artefact at
+/// `json_path`. Telemetry is host wall-clock data, deliberately kept in
+/// its own file so the experiment JSON stays byte-reproducible across
+/// runs and `--jobs` values; a write failure is reported but never fatal
+/// (telemetry must not take an experiment down).
+pub fn write_run_telemetry(json_path: &std::path::Path, telemetry: &vpr_obs::RunTelemetry) {
+    let path = telemetry_path(json_path);
+    match std::fs::write(&path, telemetry.to_json()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Writes the aggregated metric series as Prometheus text exposition
+/// (the `--metrics-prom PATH` flag). Sampled sweeps carry no sound
+/// full-run series; the file is then not written and a note says why.
+pub fn write_prometheus_metrics(path: &std::path::Path, metrics: &sweep::MetricsBlock) {
+    match metrics.to_prometheus() {
+        Some(text) => {
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("wrote {}", path.display());
+        }
+        None => eprintln!(
+            "note: sampled sweeps export no metric series; {} not written",
+            path.display()
+        ),
+    }
 }

@@ -14,16 +14,18 @@
 //! host core, the default) to control the pool.
 
 use crate::checkpoints::{
-    generate_group_checkpoints, group_scheme_label, run_benchmark_checkpointed_noted,
-    CheckpointLoadError, CheckpointStore, KIND_INTERVAL,
+    generate_group_checkpoints, group_scheme_label, record_usage, run_benchmark_checkpointed_obs,
+    CheckpointLoadError, CheckpointOutcome, CheckpointStore, KIND_INTERVAL,
 };
 use crate::sampling::{sample_from_checkpoints, SamplingPlan};
 use crate::workloads::scheme_label;
 use crate::{run_benchmark, ExperimentConfig};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
-use vpr_core::par::{self, JobResult};
-use vpr_core::{RenameScheme, SimStats};
+use std::time::Instant;
+use vpr_core::par;
+use vpr_core::{RenameScheme, SimObserver, SimStats};
+use vpr_obs::{JobOutcome, JobTelemetry, Progress, RunTelemetry, SimMetrics};
 use vpr_snap::manifest::ManifestError;
 use vpr_trace::Benchmark;
 
@@ -326,6 +328,58 @@ impl SamplingProvenance {
     }
 }
 
+/// The simulated-machine metrics block of a sweep's JSON artefact.
+///
+/// Exact sweeps aggregate every point's [`SimMetrics`] (submission-order
+/// integer merge, so the block is byte-identical for any `--jobs`).
+/// Sampled sweeps measure only detailed windows — their counters would be
+/// biased samples of the full run — so the block records the mode and no
+/// series rather than publishing misleading numbers.
+#[derive(Debug, Clone)]
+pub enum MetricsBlock {
+    /// Aggregated measurement-window metrics of an exact sweep.
+    Exact(Box<SimMetrics>),
+    /// A sampled sweep: per-run metric series are deliberately withheld.
+    SampledUnavailable,
+}
+
+impl MetricsBlock {
+    /// Renders the block as the JSON value of a `"metrics"` field.
+    pub fn to_json_value(&self) -> String {
+        match self {
+            MetricsBlock::Exact(m) => format!(
+                "{{\"mode\": \"exact\", \"series\": {}}}",
+                m.export().to_json_value()
+            ),
+            MetricsBlock::SampledUnavailable => "{\"mode\": \"sampled\"}".to_string(),
+        }
+    }
+
+    /// Prometheus text exposition of the aggregated series; `None` for
+    /// sampled sweeps (nothing sound to expose).
+    pub fn to_prometheus(&self) -> Option<String> {
+        match self {
+            MetricsBlock::Exact(m) => Some(m.export().to_prometheus()),
+            MetricsBlock::SampledUnavailable => None,
+        }
+    }
+
+    /// Folds another sweep's block into this one (multi-sweep
+    /// experiments). Any sampled contribution poisons the aggregate to
+    /// [`MetricsBlock::SampledUnavailable`] — a partial series must never
+    /// masquerade as the whole experiment's.
+    pub fn merge(&mut self, other: MetricsBlock) {
+        match other {
+            MetricsBlock::Exact(o) => {
+                if let MetricsBlock::Exact(m) = self {
+                    m.merge(*o);
+                }
+            }
+            MetricsBlock::SampledUnavailable => *self = MetricsBlock::SampledUnavailable,
+        }
+    }
+}
+
 /// A sweep's metrics plus the provenance its artefacts must record.
 #[derive(Debug, Clone)]
 pub struct SweepMetrics {
@@ -338,6 +392,13 @@ pub struct SweepMetrics {
     /// Faults the sweep survived or degraded around (empty on a clean
     /// run). Recorded into every artefact's `failures` block.
     pub failures: Vec<SweepFailure>,
+    /// Aggregated simulated-machine metrics (the artefact's `metrics`
+    /// block).
+    pub metrics: MetricsBlock,
+    /// How the sweep engine spent its time (written to
+    /// `run.telemetry.json`, never into the experiment JSON — wall-clock
+    /// data is not reproducible).
+    pub telemetry: RunTelemetry,
 }
 
 /// Extra panic attempts granted to each sweep job: one retry, which is
@@ -406,6 +467,10 @@ pub fn run_sweep_metrics(
         }
         None => None,
     };
+    let sweep_start = Instant::now();
+    let progress = Progress::new(points.len(), Progress::stderr_is_tty());
+    let progress_ref = &progress;
+    let mut telemetry = RunTelemetry::new(exp.effective_jobs());
     match ctx.mode {
         SweepMode::Exact => {
             let exp_copy = *exp;
@@ -415,36 +480,68 @@ pub fn run_sweep_metrics(
                 SWEEP_RETRIES,
                 points.to_vec(),
                 |_, p| {
+                    let queue_wait_s = sweep_start.elapsed().as_secs_f64();
+                    let started = Instant::now();
                     let label = point_label(p);
                     vpr_snap::faults::maybe_panic_job(&label);
-                    let (stats, note) = run_benchmark_checkpointed_noted(
+                    let (stats, note, obs, outcome) = run_benchmark_checkpointed_obs(
                         p.benchmark,
                         p.scheme,
                         p.physical_regs,
                         &exp_copy,
                         store_ref,
+                        SimObserver::new(),
                     );
-                    (PointMetrics::from_stats(&stats), note)
+                    progress_ref.point_done();
+                    (
+                        PointMetrics::from_stats(&stats),
+                        note,
+                        Box::new(obs.metrics),
+                        outcome,
+                        queue_wait_s,
+                        started.elapsed().as_secs_f64(),
+                    )
                 },
             );
             let mut out = Vec::with_capacity(points.len());
+            let mut agg = SimMetrics::default();
+            let mut used_files: Vec<String> = Vec::new();
             for (p, job) in points.iter().zip(results) {
                 let label = point_label(p);
                 record_recovered(&mut failures, &label, "simulate", &job.recovered);
+                let recovered_n = job.recovered.len() as u64;
                 match job.result {
-                    Ok((metrics, note)) => {
+                    Ok((metrics, note, sim_metrics, outcome, queue_wait_s, wall_s)) => {
                         if let Some(note) = note {
                             failures.push(SweepFailure {
-                                point: label,
+                                point: label.clone(),
                                 stage: "checkpoint-load",
                                 error: note,
                                 attempts: 1,
                                 recovered: true,
                             });
                         }
+                        let job_outcome = match outcome {
+                            CheckpointOutcome::Hit(file) => {
+                                used_files.push(file);
+                                JobOutcome::CacheHit
+                            }
+                            CheckpointOutcome::Miss => JobOutcome::CacheMiss,
+                            CheckpointOutcome::NoStore => JobOutcome::NoStore,
+                        };
+                        telemetry.push(JobTelemetry {
+                            label,
+                            stage: "simulate",
+                            queue_wait_s,
+                            wall_s,
+                            outcome: job_outcome,
+                            recovered: recovered_n,
+                        });
+                        agg.merge(*sim_metrics);
                         out.push(metrics);
                     }
                     Err(jf) => {
+                        telemetry.fault_recoveries += recovered_n;
                         failures.push(SweepFailure {
                             point: label,
                             stage: "simulate",
@@ -456,10 +553,18 @@ pub fn run_sweep_metrics(
                     }
                 }
             }
+            // Fold this sweep's restores into the store's reuse ledger
+            // (telemetry only — failures to write never affect results).
+            if let Some(store) = &store {
+                let _ = record_usage(&store.dir, &used_files);
+            }
+            telemetry.wall_s = sweep_start.elapsed().as_secs_f64();
             SweepMetrics {
                 points: out,
                 provenance: SamplingProvenance::Exact,
                 failures,
+                metrics: MetricsBlock::Exact(Box::new(agg)),
+                telemetry,
             }
         }
         SweepMode::Sampled => {
@@ -509,15 +614,19 @@ pub fn run_sweep_metrics(
             // loader; the degradation note is surfaced and the group
             // regenerates from its warm pass — bit-identical, because the
             // on-disk artefacts were produced by the very same pass.
-            type GroupSet = (
-                Vec<(u64, vpr_snap::Snapshot)>,
-                bool,
-                Vec<crate::checkpoints::GeneratedCheckpoint>,
-                Option<String>,
-            );
+            struct GroupPass {
+                set: Vec<(u64, vpr_snap::Snapshot)>,
+                from_disk: bool,
+                generated: Vec<crate::checkpoints::GeneratedCheckpoint>,
+                note: Option<String>,
+                queue_wait_s: f64,
+                wall_s: f64,
+            }
             let group_points = groups.clone();
-            let sets: Vec<JobResult<GroupSet>> =
+            let sets: Vec<par::JobResult<GroupPass>> =
                 par::par_try_map(exp.effective_jobs(), SWEEP_RETRIES, groups, |_, g| {
+                    let queue_wait_s = sweep_start.elapsed().as_secs_f64();
+                    let started = Instant::now();
                     let label = group_label(g);
                     vpr_snap::faults::maybe_panic_job(&label);
                     let (loaded, note) = match store_ref {
@@ -538,8 +647,8 @@ pub fn run_sweep_metrics(
                             Err(e) => (None, Some(e.to_string())),
                         },
                     };
-                    match loaded {
-                        Some(set) => (set, true, Vec::new(), note),
+                    let (set, from_disk, generated) = match loaded {
+                        Some(set) => (set, true, Vec::new()),
                         None => {
                             let generated = generate_group_checkpoints(
                                 g.benchmark,
@@ -553,21 +662,49 @@ pub fn run_sweep_metrics(
                                 .filter(|g| g.key.kind == KIND_INTERVAL)
                                 .map(|g| (g.key.target, g.snapshot.clone()))
                                 .collect();
-                            (set, false, generated, note)
+                            (set, false, generated)
                         }
+                    };
+                    GroupPass {
+                        set,
+                        from_disk,
+                        generated,
+                        note,
+                        queue_wait_s,
+                        wall_s: started.elapsed().as_secs_f64(),
                     }
                 });
             for (g, job) in group_points.iter().zip(&sets) {
                 let label = group_label(g);
                 record_recovered(&mut failures, &label, "warm-pass", &job.recovered);
-                if let Ok((_, _, _, Some(note))) = &job.result {
-                    failures.push(SweepFailure {
-                        point: label,
-                        stage: "checkpoint-load",
-                        error: note.clone(),
-                        attempts: 1,
-                        recovered: true,
-                    });
+                let recovered_n = job.recovered.len() as u64;
+                match &job.result {
+                    Ok(pass) => {
+                        if let Some(note) = &pass.note {
+                            failures.push(SweepFailure {
+                                point: label.clone(),
+                                stage: "checkpoint-load",
+                                error: note.clone(),
+                                attempts: 1,
+                                recovered: true,
+                            });
+                        }
+                        telemetry.push(JobTelemetry {
+                            label,
+                            stage: "warm-pass",
+                            queue_wait_s: pass.queue_wait_s,
+                            wall_s: pass.wall_s,
+                            outcome: if store_ref.is_none() {
+                                JobOutcome::NoStore
+                            } else if pass.from_disk {
+                                JobOutcome::CacheHit
+                            } else {
+                                JobOutcome::CacheMiss
+                            },
+                            recovered: recovered_n,
+                        });
+                    }
+                    Err(_) => telemetry.fault_recoveries += recovered_n,
                 }
             }
             // Stage 2: measure every point against its group's set; each
@@ -581,10 +718,16 @@ pub fn run_sweep_metrics(
                 SWEEP_RETRIES,
                 points.to_vec(),
                 move |i, p| {
+                    let queue_wait_s = sweep_start.elapsed().as_secs_f64();
+                    let started = Instant::now();
                     let label = point_label(p);
                     vpr_snap::faults::maybe_panic_job(&label);
-                    let Ok((snapshots, _, _, _)) = &sets_ref[group_of_ref[i]].result else {
-                        return PointMetrics::failed();
+                    let Ok(pass) = &sets_ref[group_of_ref[i]].result else {
+                        return (
+                            PointMetrics::failed(),
+                            queue_wait_s,
+                            started.elapsed().as_secs_f64(),
+                        );
                     };
                     let report = sample_from_checkpoints(
                         p.benchmark,
@@ -592,24 +735,37 @@ pub fn run_sweep_metrics(
                         p.physical_regs,
                         &exp_copy,
                         &plan,
-                        snapshots,
+                        &pass.set,
                         1,
                     );
-                    PointMetrics {
-                        ipc: report.ipc(),
-                        miss_ratio: report.miss_ratio(),
-                        executions_per_commit: report.executions_per_commit(),
-                    }
+                    progress_ref.point_done();
+                    (
+                        PointMetrics {
+                            ipc: report.ipc(),
+                            miss_ratio: report.miss_ratio(),
+                            executions_per_commit: report.executions_per_commit(),
+                        },
+                        queue_wait_s,
+                        started.elapsed().as_secs_f64(),
+                    )
                 },
             );
             let mut out = Vec::with_capacity(points.len());
+            let mut group_seen = vec![false; group_points.len()];
             for (i, (p, job)) in points.iter().zip(outcomes).enumerate() {
                 let label = point_label(p);
                 record_recovered(&mut failures, &label, "sample", &job.recovered);
+                let recovered_n = job.recovered.len() as u64;
+                // The first point of each group "owns" the stage-1 pass
+                // (already counted there); every further point reuses the
+                // shared artefact — the cross-NRR reuse the telemetry
+                // counts.
+                let shared = std::mem::replace(&mut group_seen[group_of_ref[i]], true);
                 match (&sets_ref[group_of_ref[i]].result, job.result) {
                     // The group's warm pass failed permanently: this
                     // point never simulated.
                     (Err(group_failure), _) => {
+                        telemetry.fault_recoveries += recovered_n;
                         failures.push(SweepFailure {
                             point: label,
                             stage: "warm-pass",
@@ -619,8 +775,23 @@ pub fn run_sweep_metrics(
                         });
                         out.push(PointMetrics::failed());
                     }
-                    (Ok(_), Ok(metrics)) => out.push(metrics),
+                    (Ok(_), Ok((metrics, queue_wait_s, wall_s))) => {
+                        telemetry.push(JobTelemetry {
+                            label,
+                            stage: "sample",
+                            queue_wait_s,
+                            wall_s,
+                            outcome: if shared {
+                                JobOutcome::SharedReuse
+                            } else {
+                                JobOutcome::NoStore
+                            },
+                            recovered: recovered_n,
+                        });
+                        out.push(metrics);
+                    }
                     (Ok(_), Err(jf)) => {
+                        telemetry.fault_recoveries += recovered_n;
                         failures.push(SweepFailure {
                             point: label,
                             stage: "sample",
@@ -634,18 +805,18 @@ pub fn run_sweep_metrics(
             }
             let all_from_disk = sets
                 .iter()
-                .all(|job| matches!(&job.result, Ok((_, true, _, _))));
+                .all(|job| matches!(&job.result, Ok(pass) if pass.from_disk));
             // Persist freshly generated checkpoints so the next sampled
             // run reuses the serial passes just paid for. Write failures
             // never affect results — record and continue.
             if let Some(mut store) = store {
                 let mut dirty = false;
                 for job in &sets {
-                    let Ok((_, _, generated, _)) = &job.result else {
+                    let Ok(pass) = &job.result else {
                         continue;
                     };
-                    if !generated.is_empty() {
-                        if let Err(e) = store.save_all(generated) {
+                    if !pass.generated.is_empty() {
+                        if let Err(e) = store.save_all(&pass.generated) {
                             failures.push(SweepFailure {
                                 point: store.dir.display().to_string(),
                                 stage: "persist",
@@ -670,6 +841,7 @@ pub fn run_sweep_metrics(
                     }
                 }
             }
+            telemetry.wall_s = sweep_start.elapsed().as_secs_f64();
             SweepMetrics {
                 points: out,
                 provenance: SamplingProvenance::Sampled {
@@ -683,6 +855,8 @@ pub fn run_sweep_metrics(
                     checkpoint_dir: ctx.checkpoint_dir.as_ref().map(|d| d.display().to_string()),
                 },
                 failures,
+                metrics: MetricsBlock::SampledUnavailable,
+                telemetry,
             }
         }
     }

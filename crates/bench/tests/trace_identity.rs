@@ -1,0 +1,86 @@
+//! The observability layer's zero-perturbation contract: attaching the
+//! full observer — metrics registry *and* pipeline-trace ring — must not
+//! change a single architectural counter. `SimStats` from a traced run
+//! is compared bit-for-bit against the plain (`NoObs`, statically
+//! compiled-out) run for all four renaming schemes.
+
+use vpr_bench::{run_benchmark, run_benchmark_observed, ExperimentConfig};
+use vpr_core::{RenameScheme, SimObserver};
+use vpr_isa::OpClass;
+use vpr_obs::PipelineTrace;
+use vpr_trace::Benchmark;
+
+const SCHEMES: [RenameScheme; 4] = [
+    RenameScheme::Conventional,
+    RenameScheme::ConventionalEarlyRelease,
+    RenameScheme::VirtualPhysicalIssue { nrr: 16 },
+    RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
+];
+
+fn op_names() -> Vec<String> {
+    OpClass::ALL.iter().map(|o| o.to_string()).collect()
+}
+
+#[test]
+fn traced_stats_are_bit_identical_for_all_schemes() {
+    let exp = ExperimentConfig {
+        warmup: 300,
+        measure: 3_000,
+        ..ExperimentConfig::default()
+    };
+    for scheme in SCHEMES {
+        for benchmark in [Benchmark::Go, Benchmark::Swim] {
+            let plain = run_benchmark(benchmark, scheme, 64, &exp);
+            let obs = SimObserver::with_trace(PipelineTrace::new(4096, op_names()));
+            let (traced, obs) = run_benchmark_observed(benchmark, scheme, 64, &exp, obs);
+            assert_eq!(
+                format!("{plain:#?}"),
+                format!("{traced:#?}"),
+                "tracing perturbed SimStats for {benchmark:?}/{scheme:?}"
+            );
+            // The observer must actually have observed the run it rode on
+            // — an accidentally disconnected hook would also "not perturb".
+            assert_eq!(
+                obs.metrics.committed, traced.committed,
+                "metrics registry missed commits for {benchmark:?}/{scheme:?}"
+            );
+            let trace = obs.trace.expect("observer was built with a trace");
+            assert!(
+                !trace.is_empty(),
+                "trace ring empty for {benchmark:?}/{scheme:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn vp_schemes_record_vp_events() {
+    // The VP-specific lifecycle events (alloc/bind) must appear for the
+    // virtual-physical schemes and never for the conventional ones.
+    let exp = ExperimentConfig {
+        warmup: 300,
+        measure: 3_000,
+        ..ExperimentConfig::default()
+    };
+    for scheme in SCHEMES {
+        let obs = SimObserver::with_trace(PipelineTrace::new(1 << 16, op_names()));
+        let (_, obs) = run_benchmark_observed(Benchmark::Swim, scheme, 64, &exp, obs);
+        let trace = obs.trace.unwrap();
+        let mut out = Vec::new();
+        trace.emit_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let has_vp = text.contains("\"k\": \"vp-bind\"");
+        let is_vp = matches!(
+            scheme,
+            RenameScheme::VirtualPhysicalIssue { .. }
+                | RenameScheme::VirtualPhysicalWriteback { .. }
+        );
+        assert_eq!(
+            has_vp, is_vp,
+            "vp-bind presence mismatch for {scheme:?} (expected {is_vp})"
+        );
+        for line in text.lines() {
+            vpr_obs::trace::validate_jsonl_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        }
+    }
+}

@@ -66,6 +66,9 @@ pub use fu::FuPool;
 pub use iq::{Iq, IqEntry, ReadyRec};
 pub use pipeline::Processor;
 pub use profile::{Stage, StageProfile, StageRec};
+// Observer plumbing, re-exported so `Processor::with_observer` callers
+// need not name `vpr-obs` separately.
 pub use rename::{ConventionalRenamer, NrrState, VpRenamer};
 pub use rob::{MemPhase, Rob, RobEntry, RobHot};
 pub use stats::{harmonic_mean, ClassStats, SimStats};
+pub use vpr_obs::{NoObs, PipeObserver, SimObserver};

@@ -67,6 +67,7 @@ use vpr_isa::{InstStream, OpClass, RegClass};
 use vpr_mem::{
     AccessKind, AccessOutcome, DataCache, LoadDisposition, Lsq, PendingStore, StoreBuffer,
 };
+use vpr_obs::{NoObs, PipeObserver};
 
 /// Ring size of the calendar event queue, in cycles. Must exceed the
 /// longest deterministically-scheduled delay: the unpipelined integer
@@ -185,8 +186,20 @@ enum IdleTick {
 /// let stats = cpu.run_to_completion();
 /// assert_eq!(stats.committed, 2);
 /// ```
+///
+/// ## Observation
+///
+/// The second type parameter is a [`PipeObserver`] receiving lifecycle
+/// hooks (fetch, rename, issue, complete, commit, squash, VP allocation
+/// events, occupancy samples). It defaults to [`NoObs`]; every hook site
+/// is guarded by the observer's `ENABLED` associated constant, so the
+/// default monomorphises to exactly the unobserved pipeline. Observers
+/// receive copies of primitive values and cannot influence simulation —
+/// `SimStats` are bit-identical with any observer attached. The observer
+/// is **not** part of the snapshot format ([`Processor::snapshot`]
+/// ignores it; restoring starts a fresh observer).
 #[derive(Debug)]
-pub struct Processor<S> {
+pub struct Processor<S, O = NoObs> {
     config: SimConfig,
     trace: S,
     fetch: FetchUnit,
@@ -230,15 +243,28 @@ pub struct Processor<S> {
     last_commit_cycle: u64,
     raw: SimStats,
     base: SimStats,
+    /// Lifecycle observer (never serialised; [`NoObs`] costs nothing).
+    obs: O,
 }
 
 impl<S: InstStream> Processor<S> {
-    /// Builds a processor over `trace`.
+    /// Builds an unobserved processor over `trace`.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid ([`SimConfig::validate`]).
     pub fn new(config: SimConfig, trace: S) -> Self {
+        Self::with_observer(config, trace, NoObs)
+    }
+}
+
+impl<S: InstStream, O: PipeObserver> Processor<S, O> {
+    /// Builds a processor over `trace` with lifecycle observer `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid ([`SimConfig::validate`]).
+    pub fn with_observer(config: SimConfig, trace: S, obs: O) -> Self {
         config.validate().expect("invalid simulator configuration");
         let renamer = match config.scheme {
             RenameScheme::Conventional => {
@@ -282,7 +308,24 @@ impl<S: InstStream> Processor<S> {
             renamer,
             config,
             trace,
+            obs,
         }
+    }
+
+    /// The attached lifecycle observer.
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// Mutable access to the observer (e.g. to reset its window).
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.obs
+    }
+
+    /// Consumes the processor, returning the observer and its
+    /// accumulated observations.
+    pub fn into_observer(self) -> O {
+        self.obs
     }
 
     /// The configuration in force.
@@ -543,12 +586,35 @@ impl<S: InstStream> Processor<S> {
         // Committed stores drain right after commit so they claim cache
         // ports ahead of demand loads: the commit path must always make
         // progress, or re-executing loads could starve it (livelock).
+        let drained_before = if O::ENABLED {
+            self.store_buffer.drained()
+        } else {
+            0
+        };
         self.store_buffer.tick(now, &mut self.cache);
+        if O::ENABLED {
+            self.obs.on_store_drain(
+                self.store_buffer.drained() - drained_before,
+                self.store_buffer.len(),
+            );
+        }
         self.mem_retry_phase(now);
         self.event_phase(now);
         self.issue_phase(now);
         self.rename_phase(now);
         self.fetch_phase(now);
+        if O::ENABLED {
+            // Change-driven occupancy sampling: every *active* cycle is
+            // sampled; the governor reports skipped quiescent stretches
+            // through `on_idle_skip` instead of replaying samples.
+            self.obs.on_occupancy(
+                self.rob.len(),
+                self.iq.len(),
+                self.events.len(),
+                self.store_buffer.len(),
+                self.cache.inflight_fills(),
+            );
+        }
         self.cycle = now + 1;
         assert!(
             self.rob.is_empty() || now - self.last_commit_cycle < 100_000,
@@ -594,6 +660,12 @@ impl<S: InstStream> Processor<S> {
         let t = Instant::now();
         let drained_before = self.store_buffer.drained();
         self.store_buffer.tick(now, &mut self.cache);
+        if O::ENABLED {
+            self.obs.on_store_drain(
+                self.store_buffer.drained() - drained_before,
+                self.store_buffer.len(),
+            );
+        }
         prof.record(
             Stage::StoreDrain,
             t.elapsed(),
@@ -636,6 +708,15 @@ impl<S: InstStream> Processor<S> {
             (self.fetch_buffer.len().saturating_sub(fetched_before)) as u64,
         );
 
+        if O::ENABLED {
+            self.obs.on_occupancy(
+                self.rob.len(),
+                self.iq.len(),
+                self.events.len(),
+                self.store_buffer.len(),
+                self.cache.inflight_fills(),
+            );
+        }
         self.cycle = now + 1;
         prof.steps += 1;
         assert!(
@@ -725,7 +806,9 @@ impl<S: InstStream> Processor<S> {
         // changes, which only events (completions) or commits do — and
         // commits are blocked, completions scheduled.
         let mut issue_bound: Option<u64> = None;
-        let mut denied_ready: u64 = 0;
+        // Denied-ready candidates, split by register class so the
+        // observer's per-class NRR-denial counters replay exactly.
+        let mut denied_class: [u64; 2] = [0, 0];
         if self.iq.ready_len() != 0 {
             // §3.3 rule snapshots, built lazily on the first candidate
             // that needs a register grant: only the issue-allocation
@@ -750,7 +833,7 @@ impl<S: InstStream> Processor<S> {
                     });
                     if !gates[class.index()].allows(e.seq) {
                         // Ticks issue_allocation_stalls every idle cycle.
-                        denied_ready += 1;
+                        denied_class[class.index()] += 1;
                         continue;
                     }
                 }
@@ -868,11 +951,19 @@ impl<S: InstStream> Processor<S> {
         // blocked store-buffer head tick their counters every skipped
         // cycle, exactly as the issue loop, the retry sweep and the store
         // drain would have.
-        self.raw.issue_allocation_stalls += denied_ready * skipped;
+        self.raw.issue_allocation_stalls += (denied_class[0] + denied_class[1]) * skipped;
         let blocked_probes = blocked_retries + blocked_stores;
         if blocked_probes > 0 {
             self.cache
                 .note_skipped_mshr_retries(blocked_probes * skipped);
+        }
+        if O::ENABLED {
+            self.obs.on_idle_skip(skipped);
+            for (c, &denied) in denied_class.iter().enumerate() {
+                if denied > 0 {
+                    self.obs.on_nrr_denial(c as u8, denied * skipped);
+                }
+            }
         }
         self.cycle = target;
     }
@@ -977,6 +1068,9 @@ impl<S: InstStream> Processor<S> {
             let dest = self.rob.dest(seq);
             self.rob.drop_head();
             self.commit_entry(seq, op, dest, now);
+            if O::ENABLED {
+                self.obs.on_commit(now, seq, op.index() as u8);
+            }
             self.last_commit_cycle = now;
         }
     }
@@ -1151,12 +1245,18 @@ impl<S: InstStream> Processor<S> {
             let victims = self.lsq.resolve_store(seq, access);
             for victim in victims {
                 self.raw.memory_reexecutions += 1;
+                if O::ENABLED {
+                    self.obs.on_reexecute(now, victim, false);
+                }
                 self.reexecute(victim, now);
             }
             let e = self.rob.hot_mut(seq).expect("checked above");
             e.mem_phase = MemPhase::Done;
             e.set_completed(true);
             e.completed_at = now;
+            if O::ENABLED {
+                self.obs.on_complete(now, seq);
+            }
             return;
         }
         // Load: decide between forwarding and a cache access.
@@ -1203,6 +1303,10 @@ impl<S: InstStream> Processor<S> {
                 match vp.try_allocate(d.class(), seq, now) {
                     Some(preg) => {
                         self.raw.class_mut(d.class()).allocations += 1;
+                        if O::ENABLED {
+                            self.obs
+                                .on_vp_alloc(now, seq, d.class().index() as u8, false);
+                        }
                         // Recorded immediately: the grant must stick even
                         // if a write-port stall defers the broadcast.
                         let slot = self.rob.dest_mut(seq).as_mut().expect("dest checked above");
@@ -1212,6 +1316,9 @@ impl<S: InstStream> Processor<S> {
                     None => {
                         // Out of registers: squash and re-execute (§3.3).
                         self.raw.register_reexecutions += 1;
+                        if O::ENABLED {
+                            self.obs.on_reexecute(now, seq, true);
+                        }
                         self.reexecute(seq, now);
                         return;
                     }
@@ -1225,6 +1332,9 @@ impl<S: InstStream> Processor<S> {
             let c = d.class().index();
             if self.wb_ports_used[c] >= self.config.regfile_write_ports {
                 self.raw.writeback_port_stalls += 1;
+                if O::ENABLED {
+                    self.obs.on_wb_port_stall(now, seq);
+                }
                 self.schedule(now + 1, Event::Complete { seq, gen });
                 return;
             }
@@ -1247,6 +1357,9 @@ impl<S: InstStream> Processor<S> {
                     if vp.pmt_entry(d.class(), tag).is_none() {
                         vp.bind(d.class(), tag, preg);
                         self.iq.wakeup_vp(d.class(), tag, preg);
+                        if O::ENABLED {
+                            self.obs.on_vp_bind(now, seq, d.class().index() as u8);
+                        }
                     }
                 }
             }
@@ -1257,6 +1370,9 @@ impl<S: InstStream> Processor<S> {
         entry.completed_at = now;
         if op.is_mem() {
             entry.mem_phase = MemPhase::Done;
+        }
+        if O::ENABLED {
+            self.obs.on_complete(now, seq);
         }
 
         if op.is_branch() && !wrong_path {
@@ -1383,6 +1499,9 @@ impl<S: InstStream> Processor<S> {
                 });
                 if !gates[class.index()].allows(e.seq) {
                     self.raw.issue_allocation_stalls += 1;
+                    if O::ENABLED {
+                        self.obs.on_nrr_denial(class.index() as u8, 1);
+                    }
                     continue;
                 }
             }
@@ -1405,6 +1524,9 @@ impl<S: InstStream> Processor<S> {
                 gates.as_mut().expect("built when this candidate was gated")[class.index()] =
                     vp.alloc_gate(class);
                 self.raw.class_mut(class).allocations += 1;
+                if O::ENABLED {
+                    self.obs.on_vp_alloc(now, e.seq, class.index() as u8, true);
+                }
                 // The destination is recorded after the loop (needs &mut).
                 self.pending_issue_allocs.push((e.seq, preg));
             }
@@ -1427,6 +1549,9 @@ impl<S: InstStream> Processor<S> {
             // Final (all-ready) source state, kept for re-execution.
             self.rob.set_srcs(seq, iq_entry.srcs);
             self.raw.executions += 1;
+            if O::ENABLED {
+                self.obs.on_issue(now, seq, op.index() as u8);
+            }
             let finish = now + self.config.latencies.of(op);
             if op.is_mem() {
                 self.schedule(finish, Event::EaDone { seq, gen });
@@ -1567,6 +1692,10 @@ impl<S: InstStream> Processor<S> {
                     alloc_class,
                 });
             }
+            if O::ENABLED {
+                self.obs
+                    .on_rename(now, seq, fi.di.pc(), op.index() as u8, fi.wrong_path);
+            }
         }
     }
 
@@ -1585,12 +1714,18 @@ impl<S: InstStream> Processor<S> {
     fn fetch_phase(&mut self, now: u64) {
         if self.fetch_buffer.is_empty() && !self.fetch.is_done() {
             let buffer = &mut self.fetch_buffer;
+            let obs = &mut self.obs;
             self.fetch.fetch_block_into(
                 now,
                 &mut self.trace,
                 &self.bht,
                 self.config.fetch_width,
-                &mut |fi| buffer.push_back(fi),
+                &mut |fi| {
+                    if O::ENABLED {
+                        obs.on_fetch(now, fi.di.pc(), fi.wrong_path);
+                    }
+                    buffer.push_back(fi);
+                },
             );
         }
     }
@@ -1614,6 +1749,9 @@ impl<S: InstStream> Processor<S> {
                 "only wrong-path work follows a diverted fetch"
             );
             self.raw.wrong_path_squashed += 1;
+            if O::ENABLED {
+                self.obs.on_squash(now, seq);
+            }
             self.iq.remove(seq);
             self.retry_remove(seq);
             if hot.op.is_mem() {
@@ -1700,12 +1838,15 @@ impl vpr_snap::Snap for Renamer {
     }
 }
 
-impl<S: InstStream + vpr_snap::Resumable> Processor<S> {
+impl<S: InstStream + vpr_snap::Resumable, O: PipeObserver> Processor<S, O> {
     /// Captures the complete microarchitectural state — pipeline, reorder
     /// buffer, instruction queue, functional units, renamer (map tables,
     /// free lists, NRR counters), cache/MSHRs/LSQ/store buffer, branch
     /// state, scheduled events, statistics, and the trace generator's
-    /// position — into a versioned [`vpr_snap::Snapshot`].
+    /// position — into a versioned [`vpr_snap::Snapshot`]. The observer
+    /// is **not** captured: the snapshot payload is identical whether or
+    /// not a run is observed, and a restored machine starts with a fresh
+    /// observer.
     ///
     /// A processor restored from the snapshot ([`Processor::restore`])
     /// continues **bit-identically** to this one: every subsequent
@@ -1778,7 +1919,9 @@ impl<S: InstStream + vpr_snap::Resumable> Processor<S> {
     }
 
     /// Rebuilds a processor from a snapshot taken by
-    /// [`Processor::snapshot`].
+    /// [`Processor::snapshot`], attaching lifecycle observer `obs` (which
+    /// starts empty — observers are never serialised). The unobserved
+    /// form is [`Processor::restore`].
     ///
     /// `trace` must be a freshly built generator of the **same workload**
     /// the snapshotted processor ran (same program, same seed); its
@@ -1796,11 +1939,15 @@ impl<S: InstStream + vpr_snap::Resumable> Processor<S> {
     ///
     /// Panics if the payload is malformed at the field level — the
     /// envelope's checksum makes that a logic error, not an input error.
-    pub fn restore(snapshot: &vpr_snap::Snapshot, trace: S) -> Result<Self, vpr_snap::SnapError> {
+    pub fn restore_with(
+        snapshot: &vpr_snap::Snapshot,
+        trace: S,
+        obs: O,
+    ) -> Result<Self, vpr_snap::SnapError> {
         use vpr_snap::Snap as _;
         let dec = &mut vpr_snap::Decoder::new(snapshot.payload());
         let config = SimConfig::load(dec);
-        let mut cpu = Processor::new(config, trace);
+        let mut cpu = Processor::with_observer(config, trace, obs);
         cpu.cycle = dec.take_u64();
         cpu.next_seq = dec.take_u64();
         cpu.gen_counter = dec.take_u64();
@@ -1858,6 +2005,26 @@ impl<S: InstStream + vpr_snap::Resumable> Processor<S> {
             )));
         }
         Ok(cpu)
+    }
+}
+
+impl<S: InstStream + vpr_snap::Resumable> Processor<S> {
+    /// Rebuilds an unobserved processor from a snapshot taken by
+    /// [`Processor::snapshot`] — [`Processor::restore_with`] with
+    /// [`NoObs`].
+    ///
+    /// # Errors
+    ///
+    /// [`vpr_snap::SnapError::Mismatch`] when the payload is inconsistent
+    /// (e.g. a renamer that disagrees with the serialised configuration,
+    /// or trailing bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is malformed at the field level — the
+    /// envelope's checksum makes that a logic error, not an input error.
+    pub fn restore(snapshot: &vpr_snap::Snapshot, trace: S) -> Result<Self, vpr_snap::SnapError> {
+        Self::restore_with(snapshot, trace, NoObs)
     }
 }
 
@@ -2212,6 +2379,46 @@ mod tests {
             vp.fp.hold_cycles,
             conv.fp.hold_cycles
         );
+    }
+
+    #[test]
+    fn observer_never_perturbs_stats() {
+        // A mixed trace (ALU chains, loads, stores, branches) must produce
+        // bit-identical SimStats with and without a live observer attached —
+        // the observer only copies primitives out of the pipeline.
+        use vpr_obs::SimObserver;
+        let mut trace = Vec::new();
+        for i in 0..120u64 {
+            trace.push(alu(i * 32, (i % 8 + 1) as usize, (i % 4) as usize));
+            trace.push(load(i * 32 + 4, 9, 0x1000 + (i % 16) * 8));
+            trace.push(store(i * 32 + 8, 9, 0x8000 + (i % 8) * 64));
+            trace.push(
+                DynInst::new(
+                    i * 32 + 12,
+                    Inst::new(OpClass::BranchCond).with_src1(LogicalReg::int(9)),
+                )
+                .with_branch(BranchInfo {
+                    taken: i % 3 == 0,
+                    next_pc: (i + 1) * 32,
+                }),
+            );
+        }
+        for scheme in all_schemes() {
+            let plain = Processor::new(cfg(scheme), trace.clone().into_iter()).run_to_completion();
+            let mut observed = Processor::with_observer(
+                cfg(scheme),
+                trace.clone().into_iter(),
+                SimObserver::with_trace(vpr_obs::PipelineTrace::new(
+                    256,
+                    OpClass::ALL.iter().map(|o| o.to_string()).collect(),
+                )),
+            );
+            let traced = observed.run_to_completion();
+            assert_eq!(plain, traced, "{scheme:?}: observer must be invisible");
+            let obs = observed.into_observer();
+            assert_eq!(obs.metrics.committed, traced.committed, "{scheme:?}");
+            assert!(!obs.trace.as_ref().unwrap().is_empty(), "{scheme:?}");
+        }
     }
 }
 

@@ -54,6 +54,15 @@ impl OpClass {
         OpClass::Nop,
     ];
 
+    /// Dense index of the class, matching its position in [`OpClass::ALL`]
+    /// (the enum is declared in `ALL` order). Used wherever a class keys a
+    /// table without dragging the type along — snapshot tags, observer
+    /// hook arguments, display-name lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// The functional-unit kind that executes this operation, or `None` for
     /// a [`OpClass::Nop`], which occupies no unit.
     ///
@@ -215,6 +224,13 @@ impl fmt::Display for FuKind {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn op_index_matches_position_in_all() {
+        for (i, op) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i, "{op} index must match ALL order");
+        }
+    }
 
     #[test]
     fn every_non_nop_op_has_a_unit() {

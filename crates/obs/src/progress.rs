@@ -1,0 +1,118 @@
+//! Rate-limited stderr progress reporting for long sweeps.
+//!
+//! A [`Progress`] is shared by reference across sweep worker threads;
+//! each job calls [`Progress::point_done`] once. Updates are throttled
+//! (at most one line per 200 ms, except the final one) and the reporter
+//! is inert unless explicitly enabled — the bench harness enables it
+//! only when stderr is a terminal, so CI logs and redirected runs stay
+//! clean and test output stays byte-stable.
+
+use std::io::{IsTerminal, Write};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Minimum milliseconds between progress lines.
+const THROTTLE_MS: u64 = 200;
+
+/// Shared, thread-safe sweep progress reporter.
+#[derive(Debug)]
+pub struct Progress {
+    enabled: bool,
+    total: usize,
+    done: AtomicUsize,
+    start: Instant,
+    /// Milliseconds since `start` of the last emitted line.
+    last_ms: AtomicU64,
+}
+
+impl Progress {
+    /// A reporter for `total` points. When `enabled` is false every call
+    /// is a cheap no-op (one atomic increment).
+    pub fn new(total: usize, enabled: bool) -> Self {
+        Progress {
+            enabled,
+            total,
+            done: AtomicUsize::new(0),
+            start: Instant::now(),
+            last_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// True when stderr is attached to a terminal — the condition under
+    /// which the harness enables progress output.
+    pub fn stderr_is_tty() -> bool {
+        std::io::stderr().is_terminal()
+    }
+
+    /// Points completed so far.
+    pub fn done(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Marks one point complete, printing a rate-limited progress line
+    /// (`[done/total] elapsed …s ETA …s`) to stderr when enabled. The
+    /// final point always prints.
+    pub fn point_done(&self) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.enabled {
+            return;
+        }
+        let now_ms = self.start.elapsed().as_millis() as u64;
+        let finished = done >= self.total;
+        if !finished {
+            let last = self.last_ms.load(Ordering::Relaxed);
+            if now_ms.saturating_sub(last) < THROTTLE_MS
+                || self
+                    .last_ms
+                    .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_err()
+            {
+                return; // throttled, or another thread just printed
+            }
+        }
+        let elapsed = now_ms as f64 / 1000.0;
+        let eta = if done > 0 && !finished {
+            elapsed / done as f64 * (self.total - done) as f64
+        } else {
+            0.0
+        };
+        let mut err = std::io::stderr().lock();
+        let _ = if finished {
+            writeln!(err, "[{done}/{}] sweep done in {elapsed:.1}s", self.total)
+        } else {
+            writeln!(
+                err,
+                "[{done}/{}] elapsed {elapsed:.1}s, ETA {eta:.1}s",
+                self.total
+            )
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_reporter_still_counts() {
+        let p = Progress::new(3, false);
+        p.point_done();
+        p.point_done();
+        assert_eq!(p.done(), 2);
+    }
+
+    #[test]
+    fn counting_is_thread_safe() {
+        let p = Progress::new(64, false);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..16 {
+                        p.point_done();
+                    }
+                });
+            }
+        });
+        assert_eq!(p.done(), 64);
+    }
+}
