@@ -1,0 +1,30 @@
+# fib: naively recursive fib(14) = 377, result in s0. Call/return
+# dominated with deep stack traffic — the worst case for return-address
+# live ranges.
+
+    .text
+    li   a0, 14
+    call fib
+    mv   s0, a0
+    halt
+
+# fib(a0) -> a0
+fib:
+    li   t0, 2
+    blt  a0, t0, fib_base  # fib(0) = 0, fib(1) = 1
+    addi sp, sp, -24
+    sd   ra, 0(sp)
+    sd   a0, 8(sp)
+    addi a0, a0, -1
+    call fib
+    sd   a0, 16(sp)        # fib(n-1)
+    ld   a0, 8(sp)
+    addi a0, a0, -2
+    call fib
+    ld   t1, 16(sp)
+    add  a0, a0, t1
+    ld   ra, 0(sp)
+    addi sp, sp, 24
+    ret
+fib_base:
+    ret

@@ -1,0 +1,81 @@
+# matmul: 12x12 dense double-precision matrix multiply.
+# A[i][j] = i+j, B[i][j] = i-j (built with fcvt.d.l), C = A*B, then the
+# checksum of C is accumulated into f0. FP-heavy with long FP live ranges
+# across the inner accumulation loop.
+
+    .data
+A:  .space 1152            # 12*12 doubles
+B:  .space 1152
+C:  .space 1152
+
+    .text
+    la   s0, A
+    la   s1, B
+    la   s2, C
+    li   s3, 12            # N
+
+# Fill A and B.
+    li   t0, 0             # i
+fill_i:
+    li   t1, 0             # j
+fill_j:
+    mul  t2, t0, s3
+    add  t2, t2, t1        # i*N + j
+    slli t2, t2, 3
+    add  t3, t0, t1        # i + j
+    fcvt.d.l f1, t3
+    add  t4, s0, t2
+    fsd  f1, 0(t4)
+    sub  t3, t0, t1        # i - j
+    fcvt.d.l f1, t3
+    add  t4, s1, t2
+    fsd  f1, 0(t4)
+    addi t1, t1, 1
+    blt  t1, s3, fill_j
+    addi t0, t0, 1
+    blt  t0, s3, fill_i
+
+# C = A * B.
+    li   t0, 0             # i
+mm_i:
+    li   t1, 0             # j
+mm_j:
+    fcvt.d.l f2, zero      # acc = 0.0
+    li   t2, 0             # k
+mm_k:
+    mul  t3, t0, s3
+    add  t3, t3, t2        # i*N + k
+    slli t3, t3, 3
+    add  t3, t3, s0
+    fld  f3, 0(t3)
+    mul  t4, t2, s3
+    add  t4, t4, t1        # k*N + j
+    slli t4, t4, 3
+    add  t4, t4, s1
+    fld  f4, 0(t4)
+    fmul.d f5, f3, f4
+    fadd.d f2, f2, f5
+    addi t2, t2, 1
+    blt  t2, s3, mm_k
+    mul  t3, t0, s3
+    add  t3, t3, t1
+    slli t3, t3, 3
+    add  t3, t3, s2
+    fsd  f2, 0(t3)
+    addi t1, t1, 1
+    blt  t1, s3, mm_j
+    addi t0, t0, 1
+    blt  t0, s3, mm_i
+
+# Checksum C into f0.
+    fcvt.d.l f0, zero
+    li   t0, 0
+    li   t5, 144           # N*N
+ck:
+    slli t1, t0, 3
+    add  t1, t1, s2
+    fld  f1, 0(t1)
+    fadd.d f0, f0, f1
+    addi t0, t0, 1
+    blt  t0, t5, ck
+    halt

@@ -1,0 +1,53 @@
+# memcpy_stride: fill a 4 KiB source buffer, copy it forward 8 bytes at a
+# time, then make 16 stride-64 byte-gather passes over the destination,
+# accumulating a checksum in s4. Load/store dominated with two distinct
+# access patterns (unit-stride dwords, strided bytes).
+
+    .data
+src: .space 4096
+dst: .space 4096
+
+    .text
+    la   s0, src
+    la   s1, dst
+    li   s2, 512           # dwords per buffer
+
+# Fill src[i] = (i+1) * 0x9e3779b9.
+    li   t0, 0
+    li   t1, 0x9e3779b9
+fill:
+    addi t2, t0, 1
+    mul  t2, t2, t1
+    slli t3, t0, 3
+    add  t3, t3, s0
+    sd   t2, 0(t3)
+    addi t0, t0, 1
+    blt  t0, s2, fill
+
+# Forward copy, 8 bytes at a time.
+    li   t0, 0
+copy:
+    slli t1, t0, 3
+    add  t2, t1, s0
+    ld   t3, 0(t2)
+    add  t4, t1, s1
+    sd   t3, 0(t4)
+    addi t0, t0, 1
+    blt  t0, s2, copy
+
+# 16 stride-64 gather passes, each starting one byte later.
+    li   s3, 0             # pass
+    li   s4, 0             # checksum
+    li   t5, 4096
+    li   t6, 16
+gather_pass:
+    mv   t0, s3
+gather:
+    add  t1, s1, t0
+    lbu  t2, 0(t1)
+    add  s4, s4, t2
+    addi t0, t0, 64
+    blt  t0, t5, gather
+    addi s3, s3, 1
+    blt  s3, t6, gather_pass
+    halt

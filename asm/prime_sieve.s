@@ -1,0 +1,40 @@
+# prime_sieve: sieve of Eratosthenes over byte flags up to 2000, then a
+# counting pass leaving the number of primes (303) in s2. Byte stores and
+# highly-biased inner branches.
+
+    .data
+flags: .space 2001
+
+    .text
+    la   s0, flags
+    li   s1, 2000          # N (inclusive)
+
+    li   t0, 2             # candidate i
+outer:
+    add  t1, s0, t0
+    lbu  t2, 0(t1)
+    bnez t2, next          # already marked composite
+    mul  t3, t0, t0        # first multiple to mark: i*i
+    li   t5, 1
+mark:
+    blt  s1, t3, next      # past N — done marking
+    add  t4, s0, t3
+    sb   t5, 0(t4)
+    add  t3, t3, t0
+    j    mark
+next:
+    addi t0, t0, 1
+    bge  s1, t0, outer     # while i <= N
+
+# Count primes into s2.
+    li   s2, 0
+    li   t0, 2
+cnt:
+    add  t1, s0, t0
+    lbu  t2, 0(t1)
+    bnez t2, cnt_next
+    addi s2, s2, 1
+cnt_next:
+    addi t0, t0, 1
+    bge  s1, t0, cnt
+    halt

@@ -1,0 +1,98 @@
+# quicksort: recursive Lomuto quicksort over 64 xorshift64-generated
+# u64 values, followed by an inversion count (s2, expected 0) verifying
+# sortedness. Data-dependent branches and a real call stack.
+
+    .data
+arr: .space 512            # 64 dwords
+
+    .text
+    la   s0, arr
+    li   s1, 64            # N
+
+# Fill with xorshift64.
+    li   t0, 0
+    li   t1, 88172645463325252
+fill:
+    slli t2, t1, 13
+    xor  t1, t1, t2
+    srli t2, t1, 7
+    xor  t1, t1, t2
+    slli t2, t1, 17
+    xor  t1, t1, t2
+    slli t2, t0, 3
+    add  t2, t2, s0
+    sd   t1, 0(t2)
+    addi t0, t0, 1
+    blt  t0, s1, fill
+
+# Sort the whole array.
+    li   a0, 0
+    li   a1, 63
+    call qsort
+
+# Count inversions into s2 (0 iff sorted).
+    li   s2, 0
+    li   t0, 1
+chk:
+    slli t1, t0, 3
+    add  t1, t1, s0
+    ld   t2, 0(t1)
+    ld   t3, -8(t1)
+    bgeu t2, t3, chk_ok
+    addi s2, s2, 1
+chk_ok:
+    addi t0, t0, 1
+    blt  t0, s1, chk
+    halt
+
+# qsort(a0 = lo, a1 = hi), indices inclusive; clobbers t*, a2.
+qsort:
+    bge  a0, a1, qs_done
+    addi sp, sp, -32
+    sd   ra, 0(sp)
+    sd   a0, 8(sp)
+    sd   a1, 16(sp)
+    # Lomuto partition with pivot = arr[hi].
+    slli t0, a1, 3
+    add  t0, t0, s0
+    ld   t1, 0(t0)         # pivot
+    addi t2, a0, -1        # i
+    mv   t3, a0            # j
+part:
+    bge  t3, a1, part_done
+    slli t4, t3, 3
+    add  t4, t4, s0
+    ld   t5, 0(t4)
+    bgeu t5, t1, part_next # keep elements < pivot on the left
+    addi t2, t2, 1
+    slli t6, t2, 3
+    add  t6, t6, s0
+    ld   a2, 0(t6)
+    sd   t5, 0(t6)
+    sd   a2, 0(t4)
+part_next:
+    addi t3, t3, 1
+    j    part
+part_done:
+    addi t2, t2, 1         # pivot's final slot
+    slli t4, t2, 3
+    add  t4, t4, s0
+    ld   t5, 0(t4)
+    ld   a2, 0(t0)
+    sd   a2, 0(t4)
+    sd   t5, 0(t0)
+    sd   t2, 24(sp)        # save pivot index
+    # Left half.
+    ld   a0, 8(sp)
+    addi a1, t2, -1
+    call qsort
+    # Right half.
+    ld   t2, 24(sp)
+    addi a0, t2, 1
+    ld   a1, 16(sp)
+    call qsort
+    ld   ra, 0(sp)
+    addi sp, sp, 32
+    ret
+qs_done:
+    ret

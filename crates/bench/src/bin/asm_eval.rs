@@ -1,0 +1,57 @@
+//! Evaluates the rename schemes on **real programs**: every assembled
+//! workload (`asm/*.s` via `vpr-exec`) plus two synthetic references runs
+//! under all four schemes at 64 physical registers, and the table reports
+//! per-scheme IPC and the virtual-physical write-back speedup, with
+//! harmonic means split by workload group (assembled vs synthetic).
+//!
+//! ```text
+//! cargo run --release -p vpr-bench --bin asm_eval -- [--measure N] [--warmup N]
+//!     [--seed N] [--miss-penalty N] [--jobs N] [--json PATH]
+//!     [--sampled] [--checkpoint-dir DIR] [--workload NAME[,NAME..]]
+//! ```
+//!
+//! `--workload` replaces the default set (all assembled programs + swim +
+//! go) with an explicit list; `--sampled` estimates each configuration
+//! from checkpoint-seeded detailed windows exactly as the figure binaries
+//! do. The JSON artefact (`asm_eval.json`, schema `vpr-bench-asm-eval/v1`)
+//! records per-row IPCs and the per-group harmonic-mean speedups.
+
+use vpr_bench::sweep::SweepContext;
+use vpr_bench::{
+    experiments, take_flag, take_flag_value, take_workloads, write_json_artifact,
+    write_prometheus_metrics, write_run_telemetry, ExperimentConfig,
+};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = take_flag_value(&mut args, "--json").unwrap_or_else(|| "asm_eval.json".into());
+    let sampled = take_flag(&mut args, "--sampled");
+    let checkpoint_dir: Option<std::path::PathBuf> =
+        take_flag_value(&mut args, "--checkpoint-dir").map(Into::into);
+    let metrics_prom = take_flag_value(&mut args, "--metrics-prom");
+    let workloads = take_workloads(&mut args).unwrap_or_else(experiments::asm_eval_workloads);
+    let exp = ExperimentConfig::from_args(args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    println!("Assembled-program evaluation — all rename schemes, 64 regs/file\n");
+    let ctx = SweepContext::new(sampled, checkpoint_dir.as_deref());
+    if let Err(e) = ctx.try_validate(&exp) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+    let eval = experiments::asm_eval_for(&workloads, &exp, &ctx);
+    print!("{}", eval.render());
+    let (asm, synth) = eval.group_speedups();
+    if let (Some(asm), Some(synth)) = (asm, synth) {
+        println!(
+            "\nVP write-back harmonic-mean speedup: {asm:.3}x on assembled programs \
+             vs {synth:.3}x on synthetic traces"
+        );
+    }
+    write_json_artifact(std::path::Path::new(&json), &eval.to_json());
+    write_run_telemetry(std::path::Path::new(&json), &eval.telemetry);
+    if let Some(p) = metrics_prom {
+        write_prometheus_metrics(std::path::Path::new(&p), &eval.metrics);
+    }
+}

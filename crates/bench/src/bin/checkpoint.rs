@@ -9,7 +9,9 @@
 //! ```text
 //! cargo run --release -p vpr-bench --bin checkpoint -- <create|inspect|verify|repair>
 //!     [--dir DIR]                      # checkpoint directory (default: checkpoints)
-//!     [--benchmarks a,b,...]           # default: all nine
+//!     [--workload a,b,...]             # workload names (synthetic or asm:NAME);
+//!                                      #   default: all nine synthetic benchmarks
+//!                                      #   (--benchmarks is an accepted alias)
 //!     [--schemes l1,l2,...]            # scheme labels; default: conventional,vp-wb-nrr32
 //!     [--regs N]                       # physical registers per class (default 64)
 //!     [--intervals]                    # create: also write per-interval checkpoints
@@ -45,14 +47,13 @@ use vpr_bench::checkpoints::{
 };
 use vpr_bench::sampling::SamplingPlan;
 use vpr_bench::workloads::{parse_scheme, scheme_label, TABLE2_SCHEMES};
-use vpr_bench::{take_flag, take_flag_value, ExperimentConfig, Table};
+use vpr_bench::{take_flag, take_flag_value, ExperimentConfig, Table, Workload, WorkloadStream};
 use vpr_core::{par, Processor, RenameScheme};
-use vpr_trace::{Benchmark, TraceBuilder, TraceGen};
 
 struct Cli {
     command: String,
     dir: PathBuf,
-    benchmarks: Vec<Benchmark>,
+    workloads: Vec<Workload>,
     schemes: Vec<RenameScheme>,
     regs: usize,
     intervals: bool,
@@ -64,7 +65,7 @@ struct Cli {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: checkpoint <create|inspect|verify|repair> [--dir DIR] [--benchmarks a,b,...] \
+        "usage: checkpoint <create|inspect|verify|repair> [--dir DIR] [--workload a,b,...] \
          [--schemes l1,l2,...] [--regs N] [--intervals] [--shared] [--run N] \
          [--cross-nrr N1,N2] \
          [--warmup N] [--measure N] [--seed N] [--miss-penalty N] [--jobs N]"
@@ -85,12 +86,16 @@ fn parse_cli() -> Cli {
     let dir: PathBuf = take_flag_value(&mut args, "--dir")
         .map(Into::into)
         .unwrap_or_else(|| "checkpoints".into());
-    let benchmarks = match take_flag_value(&mut args, "--benchmarks") {
-        None => Benchmark::ALL.to_vec(),
+    // `--workload` is the canonical spelling; `--benchmarks` stays as an
+    // alias from before assembled programs joined the workload set.
+    let workload_csv = take_flag_value(&mut args, "--workload")
+        .or_else(|| take_flag_value(&mut args, "--benchmarks"));
+    let workloads = match workload_csv {
+        None => Workload::synthetic(),
         Some(csv) => csv
             .split(',')
             .map(|name| {
-                name.parse().unwrap_or_else(|e| {
+                Workload::parse(name.trim()).unwrap_or_else(|e| {
                     eprintln!("{e}");
                     std::process::exit(2);
                 })
@@ -152,7 +157,7 @@ fn parse_cli() -> Cli {
     Cli {
         command,
         dir,
-        benchmarks,
+        workloads,
         schemes,
         regs,
         intervals,
@@ -198,13 +203,13 @@ fn create(cli: &Cli) {
     } else {
         cli.schemes.clone()
     };
-    let grid = vpr_bench::workloads::grid(&cli.benchmarks, &schemes);
+    let grid = vpr_bench::workloads::grid(&cli.workloads, &schemes);
     let shared = cli.shared;
-    let generated = par::par_map(exp.effective_jobs(), grid, move |_, (benchmark, scheme)| {
+    let generated = par::par_map(exp.effective_jobs(), grid, move |_, (workload, scheme)| {
         if shared {
-            generate_group_checkpoints(benchmark, scheme, regs, &exp, plan.as_ref())
+            generate_group_checkpoints(workload, scheme, regs, &exp, plan.as_ref())
         } else {
-            generate_checkpoints(benchmark, scheme, regs, &exp, plan.as_ref())
+            generate_checkpoints(workload, scheme, regs, &exp, plan.as_ref())
         }
     });
     let mut files = 0usize;
@@ -322,7 +327,7 @@ struct Continuation {
 /// experiment coordinates plus the snapshot, loaded through the
 /// validating path (config hash, format version, payload checksum).
 struct ResolvedEntry {
-    benchmark: Benchmark,
+    workload: Workload,
     exp: ExperimentConfig,
     regs: usize,
     snapshot: vpr_snap::Snapshot,
@@ -336,7 +341,7 @@ fn resolve_and_load(
     store: &CheckpointStore,
     entry: &vpr_snap::manifest::ManifestEntry,
 ) -> Result<ResolvedEntry, String> {
-    let benchmark: Benchmark = entry.key.benchmark.parse().map_err(|e| format!("{e}"))?;
+    let workload = Workload::parse(&entry.key.benchmark)?;
     let exp = ExperimentConfig {
         warmup: entry.key.warmup,
         seed: entry.key.seed,
@@ -348,9 +353,9 @@ fn resolve_and_load(
     // configuration their warm pass ran under.
     let scheme = parse_checkpoint_scheme(&entry.key.scheme, regs, &exp)?;
     let config = sim_config(scheme, regs, &exp);
-    let hash = config_hash(benchmark, &config, exp.seed);
+    let hash = config_hash(workload, &config, exp.seed);
     let key = checkpoint_key_labelled(
-        benchmark,
+        workload,
         entry.key.scheme.clone(),
         regs,
         &exp,
@@ -359,7 +364,7 @@ fn resolve_and_load(
     );
     let (_, snapshot) = store.load(&key, hash).map_err(|e| e.to_string())?;
     Ok(ResolvedEntry {
-        benchmark,
+        workload,
         exp,
         regs,
         snapshot,
@@ -391,14 +396,14 @@ fn verify(cli: &Cli) {
                 continue;
             }
         };
-        let (benchmark, exp, regs, snapshot) = (
-            resolved.benchmark,
+        let (workload, exp, regs, snapshot) = (
+            resolved.workload,
             resolved.exp,
             resolved.regs,
             resolved.snapshot,
         );
-        let fresh = TraceBuilder::new(benchmark).seed(exp.seed).build();
-        let mut restored: Processor<TraceGen> = match Processor::restore(&snapshot, fresh) {
+        let fresh = workload.stream(exp.seed);
+        let mut restored: Processor<WorkloadStream> = match Processor::restore(&snapshot, fresh) {
             Ok(cpu) => cpu,
             Err(e) => {
                 println!("FAIL {label}: restore: {e}");
@@ -446,15 +451,15 @@ fn verify(cli: &Cli) {
     }
     // The shared reference passes, one per configuration, stopping at each
     // continuation's achieved end position in stream order.
-    for ((benchmark, scheme_label_, regs, seed, miss_penalty), mut group) in continuations {
-        let benchmark: Benchmark = benchmark.parse().expect("validated above");
+    for ((workload_name, scheme_label_, regs, seed, miss_penalty), mut group) in continuations {
+        let workload = Workload::parse(&workload_name).expect("validated above");
         let exp = ExperimentConfig {
             seed,
             miss_penalty,
             ..cli.exp
         };
         let scheme = parse_checkpoint_scheme(&scheme_label_, regs, &exp).expect("validated above");
-        let trace = TraceBuilder::new(benchmark).seed(seed).build();
+        let trace = workload.stream(seed);
         let mut reference = Processor::new(sim_config(scheme, regs, &exp), trace);
         group.sort_by_key(|c| c.end_committed);
         for c in group {
@@ -497,11 +502,11 @@ fn verify(cli: &Cli) {
                     continue;
                 }
             };
-            let (benchmark, exp, snapshot) = (resolved.benchmark, resolved.exp, resolved.snapshot);
+            let (workload, exp, snapshot) = (resolved.workload, resolved.exp, resolved.snapshot);
             shared_checked += 1;
             let restore = || {
-                let fresh = TraceBuilder::new(benchmark).seed(exp.seed).build();
-                Processor::<TraceGen>::restore(&snapshot, fresh)
+                let fresh = workload.stream(exp.seed);
+                Processor::<WorkloadStream>::restore(&snapshot, fresh)
             };
             let mut canonical = match restore() {
                 Ok(cpu) => cpu,
@@ -622,38 +627,33 @@ fn repair(cli: &Cli) {
             "{}/{} {}@{}",
             entry.key.benchmark, entry.key.scheme, entry.key.kind, entry.key.target
         );
-        let loaded = entry
-            .key
-            .benchmark
-            .parse::<Benchmark>()
-            .map_err(|e| format!("{e}"))
-            .and_then(|benchmark| {
-                let exp = ExperimentConfig {
-                    warmup: entry.key.warmup,
-                    seed: entry.key.seed,
-                    miss_penalty: entry.key.miss_penalty,
-                    ..cli.exp
-                };
-                let regs = entry.key.physical_regs as usize;
-                let scheme = parse_checkpoint_scheme(&entry.key.scheme, regs, &exp)?;
-                let hash = config_hash(benchmark, &sim_config(scheme, regs, &exp), exp.seed);
-                let key = checkpoint_key_labelled(
-                    benchmark,
-                    entry.key.scheme.clone(),
-                    regs,
-                    &exp,
-                    &entry.key.kind,
-                    entry.key.target,
-                );
-                store.load(&key, hash).map_err(|e| match e {
-                    // Stale entries are intact artefacts for some other
-                    // configuration: keep them on disk and in the manifest.
-                    CheckpointLoadError::Manifest(
-                        ManifestError::StaleConfig { .. } | ManifestError::StaleFormat { .. },
-                    ) => String::new(),
-                    other => other.to_string(),
-                })
-            });
+        let loaded = Workload::parse(&entry.key.benchmark).and_then(|workload| {
+            let exp = ExperimentConfig {
+                warmup: entry.key.warmup,
+                seed: entry.key.seed,
+                miss_penalty: entry.key.miss_penalty,
+                ..cli.exp
+            };
+            let regs = entry.key.physical_regs as usize;
+            let scheme = parse_checkpoint_scheme(&entry.key.scheme, regs, &exp)?;
+            let hash = config_hash(workload, &sim_config(scheme, regs, &exp), exp.seed);
+            let key = checkpoint_key_labelled(
+                workload,
+                entry.key.scheme.clone(),
+                regs,
+                &exp,
+                &entry.key.kind,
+                entry.key.target,
+            );
+            store.load(&key, hash).map_err(|e| match e {
+                // Stale entries are intact artefacts for some other
+                // configuration: keep them on disk and in the manifest.
+                CheckpointLoadError::Manifest(
+                    ManifestError::StaleConfig { .. } | ManifestError::StaleFormat { .. },
+                ) => String::new(),
+                other => other.to_string(),
+            })
+        });
         match loaded {
             Ok(_) => println!("ok      {label}"),
             Err(reason) if reason.is_empty() => {

@@ -4,8 +4,8 @@
 
 use vpr_bench::sweep::SweepContext;
 use vpr_bench::{
-    experiments, take_flag, take_flag_value, write_json_artifact, write_prometheus_metrics,
-    write_run_telemetry, ExperimentConfig,
+    experiments, take_flag, take_flag_value, take_workloads, write_json_artifact,
+    write_prometheus_metrics, write_run_telemetry, ExperimentConfig, Workload,
 };
 
 fn main() {
@@ -15,6 +15,7 @@ fn main() {
     let checkpoint_dir: Option<std::path::PathBuf> =
         take_flag_value(&mut args, "--checkpoint-dir").map(Into::into);
     let metrics_prom = take_flag_value(&mut args, "--metrics-prom");
+    let workloads = take_workloads(&mut args).unwrap_or_else(Workload::synthetic);
     let exp = ExperimentConfig::from_args(args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
@@ -25,7 +26,7 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     }
-    let f7 = experiments::fig7_in(&exp, &ctx);
+    let f7 = experiments::fig7_for(&workloads, &exp, &ctx);
     print!("{}", f7.render());
     let imp = f7.mean_improvements_percent();
     println!(

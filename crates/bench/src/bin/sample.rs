@@ -1,11 +1,13 @@
 //! Sampled-simulation accuracy report: estimates the quick table2
 //! workload (all nine benchmarks under conventional and VP write-back
-//! renaming) from detailed intervals and compares against the
-//! uninterrupted full-run reference.
+//! renaming, or an explicit `--workload` list that may include assembled
+//! programs like `asm:matmul`) from detailed intervals and compares
+//! against the uninterrupted full-run reference.
 //!
 //! ```text
 //! cargo run --release -p vpr-bench --bin sample -- \
 //!     [--json PATH] [--max-error PCT] [--checkpointed] [--checkpoint-dir DIR] \
+//!     [--workload NAME[,NAME..]] \
 //!     [--intervals N] [--interval-warmup N] [--interval-measure N] \
 //!     [--warmup N] [--measure N] [--seed N] [--miss-penalty N] [--jobs N]
 //! ```
@@ -30,9 +32,10 @@ use vpr_bench::sampling::{
     SamplingPlan,
 };
 use vpr_bench::sweep::{run_sweep_metrics, SweepContext, SweepPoint};
-use vpr_bench::workloads::TABLE2_SCHEMES;
-use vpr_bench::{take_flag, take_flag_value, write_json_artifact, ExperimentConfig, Table};
-use vpr_trace::Benchmark;
+use vpr_bench::workloads::{Workload, TABLE2_SCHEMES};
+use vpr_bench::{
+    take_flag, take_flag_value, take_workloads, write_json_artifact, ExperimentConfig, Table,
+};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +49,7 @@ fn main() {
         })
     });
     let checkpointed = take_flag(&mut args, "--checkpointed");
+    let workloads = take_workloads(&mut args).unwrap_or_else(Workload::synthetic);
     let checkpoint_dir: Option<std::path::PathBuf> =
         take_flag_value(&mut args, "--checkpoint-dir").map(Into::into);
     let parse_num = |name: &str, v: Option<String>| -> Option<u64> {
@@ -93,9 +97,9 @@ fn main() {
     }
 
     let rows = if checkpointed {
-        evaluate_checkpointed(&exp, &plan, checkpoint_dir.as_deref())
+        evaluate_checkpointed(&workloads, &exp, &plan, checkpoint_dir.as_deref())
     } else {
-        evaluate_functional(&exp, &plan)
+        evaluate_functional(&workloads, &exp, &plan)
     };
 
     let mut table = Table::new(
@@ -105,7 +109,7 @@ fn main() {
     );
     for r in &rows {
         table.add_row(vec![
-            r.benchmark.name().into(),
+            r.workload.name(),
             vpr_bench::workloads::scheme_label(r.scheme),
             format!("{:.3}", r.full_ipc),
             format!("{:.3}", r.sampled_ipc),
@@ -144,14 +148,18 @@ fn main() {
 
 /// The functionally-seeded estimator, evaluated per configuration against
 /// its full-run reference.
-fn evaluate_functional(exp: &ExperimentConfig, plan: &SamplingPlan) -> Vec<SamplingAccuracy> {
+fn evaluate_functional(
+    workloads: &[Workload],
+    exp: &ExperimentConfig,
+    plan: &SamplingPlan,
+) -> Vec<SamplingAccuracy> {
     let mut rows = Vec::new();
-    for benchmark in Benchmark::ALL {
+    for &workload in workloads {
         // The functional region profile is scheme-independent: one pass
-        // per benchmark, shared across the scheme sweep.
+        // per workload, shared across the scheme sweep.
         let profile_config = vpr_bench::checkpoints::sim_config(TABLE2_SCHEMES[0], 64, exp);
         let profile = profile_region(
-            benchmark,
+            workload,
             exp.seed,
             plan.offset,
             plan.region,
@@ -159,7 +167,7 @@ fn evaluate_functional(exp: &ExperimentConfig, plan: &SamplingPlan) -> Vec<Sampl
         );
         for scheme in TABLE2_SCHEMES {
             rows.push(evaluate_sampling_with_profile(
-                benchmark, scheme, 64, exp, plan, &profile,
+                workload, scheme, 64, exp, plan, &profile,
             ));
         }
     }
@@ -170,13 +178,14 @@ fn evaluate_functional(exp: &ExperimentConfig, plan: &SamplingPlan) -> Vec<Sampl
 /// side by side (the sampled sweep loads/persists `.vprsnap` interval
 /// checkpoints when a directory is given).
 fn evaluate_checkpointed(
+    workloads: &[Workload],
     exp: &ExperimentConfig,
     plan: &SamplingPlan,
     dir: Option<&std::path::Path>,
 ) -> Vec<SamplingAccuracy> {
-    let points: Vec<SweepPoint> = vpr_bench::workloads::table2_grid()
-        .into_iter()
-        .map(|(b, s)| SweepPoint::at64(b, s))
+    let points: Vec<SweepPoint> = workloads
+        .iter()
+        .flat_map(|&w| TABLE2_SCHEMES.iter().map(move |&s| SweepPoint::at64(w, s)))
         .collect();
     let exact = run_sweep_metrics(&points, exp, &SweepContext::exact());
     let mut ctx = SweepContext::new(true, dir);
@@ -186,7 +195,7 @@ fn evaluate_checkpointed(
         .iter()
         .zip(exact.points.iter().zip(&sampled.points))
         .map(|(p, (e, s))| SamplingAccuracy {
-            benchmark: p.benchmark,
+            workload: p.workload,
             scheme: p.scheme,
             full_ipc: e.ipc,
             sampled_ipc: s.ipc,

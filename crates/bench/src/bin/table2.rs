@@ -6,7 +6,13 @@
 //! cargo run --release -p vpr-bench --bin table2 -- [--measure N] [--warmup N]
 //!     [--seed N] [--miss-penalty N] [--jobs N] [--json PATH]
 //!     [--sampled] [--checkpoint-dir DIR] [--check-exact PCT]
+//!     [--workload NAME[,NAME..]]
 //! ```
+//!
+//! `--workload` replaces the default nine-benchmark synthetic suite with
+//! an explicit list; assembled programs (`asm:matmul`) mix freely with
+//! synthetic names (`swim`). Paper-reference columns show `—` for
+//! workloads the paper did not measure.
 //!
 //! `--sampled` estimates every configuration from checkpoint-seeded
 //! detailed windows instead of simulating it full-length; with
@@ -22,8 +28,8 @@
 
 use vpr_bench::sweep::SweepContext;
 use vpr_bench::{
-    experiments, take_flag, take_flag_value, write_json_artifact, write_prometheus_metrics,
-    write_run_telemetry, ExperimentConfig,
+    experiments, take_flag, take_flag_value, take_workloads, write_json_artifact,
+    write_prometheus_metrics, write_run_telemetry, ExperimentConfig, Workload,
 };
 
 fn main() {
@@ -33,6 +39,7 @@ fn main() {
     let checkpoint_dir: Option<std::path::PathBuf> =
         take_flag_value(&mut args, "--checkpoint-dir").map(Into::into);
     let metrics_prom = take_flag_value(&mut args, "--metrics-prom");
+    let workloads = take_workloads(&mut args).unwrap_or_else(Workload::synthetic);
     let check_exact: Option<f64> = take_flag_value(&mut args, "--check-exact").map(|v| {
         v.parse().unwrap_or_else(|e| {
             eprintln!("bad value for --check-exact: {e}");
@@ -61,7 +68,7 @@ fn main() {
             ""
         }
     );
-    let t2 = experiments::table2_in(&exp, &ctx);
+    let t2 = experiments::table2_for(&workloads, &exp, &ctx);
     print!("{}", t2.render());
     let mean_reexec: f64 = t2
         .rows
@@ -86,8 +93,11 @@ fn main() {
         // The exact reference restores warm checkpoints when the directory
         // holds them (bit-identical to simulating the warm-up, and the
         // sampled sweep above just deposited them).
-        let exact =
-            experiments::table2_in(&exp, &SweepContext::new(false, checkpoint_dir.as_deref()));
+        let exact = experiments::table2_for(
+            &workloads,
+            &exp,
+            &SweepContext::new(false, checkpoint_dir.as_deref()),
+        );
         let mut worst = 0.0f64;
         for (s, e) in t2.rows.iter().zip(&exact.rows) {
             for (sv, ev) in [(s.conv_ipc, e.conv_ipc), (s.vp_ipc, e.vp_ipc)] {

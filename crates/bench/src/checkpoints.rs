@@ -24,12 +24,12 @@
 
 use crate::sampling::SamplingPlan;
 use crate::workloads::scheme_label;
+use crate::workloads::{Workload, WorkloadStream};
 use crate::ExperimentConfig;
 use std::path::{Path, PathBuf};
 use vpr_core::{Processor, RenameScheme, SimConfig, SimStats};
 use vpr_snap::manifest::{CheckpointKey, Manifest, ManifestEntry, ManifestError};
 use vpr_snap::{Snap as _, Snapshot};
-use vpr_trace::{Benchmark, TraceBuilder, TraceGen};
 
 /// Checkpoint kind label: taken at the end of warm-up.
 pub const KIND_WARM: &str = "warm";
@@ -174,18 +174,18 @@ pub fn sim_config(scheme: RenameScheme, physical_regs: usize, exp: &ExperimentCo
 /// register files, cache geometry, latencies, …), the workload identity,
 /// and the trace seed. Any change to any of those produces a different
 /// hash, and the manifest's staleness gate refuses the artefact.
-pub fn config_hash(benchmark: Benchmark, config: &SimConfig, seed: u64) -> u64 {
+pub fn config_hash(workload: impl Into<Workload>, config: &SimConfig, seed: u64) -> u64 {
     let mut enc = vpr_snap::Encoder::new();
     config.save(&mut enc);
     enc.put_u64(seed);
     let mut bytes = enc.into_bytes();
-    bytes.extend_from_slice(benchmark.name().as_bytes());
+    bytes.extend_from_slice(workload.into().name().as_bytes());
     vpr_snap::fnv1a(&bytes)
 }
 
 /// The manifest key of one checkpoint.
 pub fn checkpoint_key(
-    benchmark: Benchmark,
+    workload: impl Into<Workload>,
     scheme: RenameScheme,
     physical_regs: usize,
     exp: &ExperimentConfig,
@@ -193,7 +193,7 @@ pub fn checkpoint_key(
     target: u64,
 ) -> CheckpointKey {
     checkpoint_key_labelled(
-        benchmark,
+        workload,
         scheme_label(scheme),
         physical_regs,
         exp,
@@ -205,7 +205,7 @@ pub fn checkpoint_key(
 /// [`checkpoint_key`] with an explicit scheme label (the group keys use
 /// family labels that do not name a single scheme).
 pub fn checkpoint_key_labelled(
-    benchmark: Benchmark,
+    workload: impl Into<Workload>,
     scheme: String,
     physical_regs: usize,
     exp: &ExperimentConfig,
@@ -213,7 +213,7 @@ pub fn checkpoint_key_labelled(
     target: u64,
 ) -> CheckpointKey {
     CheckpointKey {
-        benchmark: benchmark.name().to_string(),
+        benchmark: workload.into().name(),
         scheme,
         physical_regs: physical_regs as u64,
         seed: exp.seed,
@@ -224,11 +224,13 @@ pub fn checkpoint_key_labelled(
     }
 }
 
-/// File name a checkpoint is stored under (unique per key).
+/// File name a checkpoint is stored under (unique per key). Workload
+/// names can contain `:` (`asm:matmul`), which is not portable in file
+/// names — it becomes `-` on disk; the manifest key keeps the real name.
 pub fn checkpoint_file_name(key: &CheckpointKey) -> String {
     format!(
         "{}_{}_{}r_s{}_mp{}_w{}_{}{}.vprsnap",
-        key.benchmark,
+        key.benchmark.replace(':', "-"),
         key.scheme,
         key.physical_regs,
         key.seed,
@@ -273,7 +275,7 @@ impl GeneratedCheckpoint {
     }
 }
 
-/// Runs **one warm serial pass** for `(benchmark, scheme)` and checkpoints
+/// Runs **one warm serial pass** for `(workload, scheme)` and checkpoints
 /// it at every requested position: always at the end of warm-up
 /// (`exp.warmup`, kind [`KIND_WARM`]) and — when a sampling plan is given —
 /// at each of the plan's interval starts (kind [`KIND_INTERVAL`]).
@@ -283,7 +285,7 @@ impl GeneratedCheckpoint {
 /// therefore bit-identical to never having paused (the contract
 /// `tests/snapshot_roundtrip.rs` pins).
 pub fn generate_checkpoints(
-    benchmark: Benchmark,
+    workload: impl Into<Workload>,
     scheme: RenameScheme,
     physical_regs: usize,
     exp: &ExperimentConfig,
@@ -291,7 +293,7 @@ pub fn generate_checkpoints(
 ) -> Vec<GeneratedCheckpoint> {
     let config = sim_config(scheme, physical_regs, exp);
     generate_checkpoints_for(
-        benchmark,
+        workload.into(),
         config,
         scheme_label(scheme),
         physical_regs,
@@ -306,7 +308,7 @@ pub fn generate_checkpoints(
 /// (re-targeted via `Processor::retarget_nrr`). Identical to
 /// [`generate_checkpoints`] for schemes with nothing to share.
 pub fn generate_group_checkpoints(
-    benchmark: Benchmark,
+    workload: impl Into<Workload>,
     scheme: RenameScheme,
     physical_regs: usize,
     exp: &ExperimentConfig,
@@ -314,7 +316,7 @@ pub fn generate_group_checkpoints(
 ) -> Vec<GeneratedCheckpoint> {
     let config = group_config(scheme, physical_regs, exp);
     generate_checkpoints_for(
-        benchmark,
+        workload.into(),
         config,
         group_scheme_label(scheme, physical_regs, exp),
         physical_regs,
@@ -324,14 +326,14 @@ pub fn generate_group_checkpoints(
 }
 
 fn generate_checkpoints_for(
-    benchmark: Benchmark,
+    workload: Workload,
     config: SimConfig,
     label: String,
     physical_regs: usize,
     exp: &ExperimentConfig,
     plan: Option<&SamplingPlan>,
 ) -> Vec<GeneratedCheckpoint> {
-    let hash = config_hash(benchmark, &config, exp.seed);
+    let hash = config_hash(workload, &config, exp.seed);
     // Sorted unique targets, each mapping to the kinds checkpointed there.
     let mut targets: Vec<(u64, Vec<&str>)> = vec![(exp.warmup, vec![KIND_WARM])];
     if let Some(plan) = plan {
@@ -345,8 +347,7 @@ fn generate_checkpoints_for(
     targets.sort_by_key(|(t, _)| *t);
     let positions: Vec<u64> = targets.iter().map(|(t, _)| *t).collect();
 
-    let trace = TraceBuilder::new(benchmark).seed(exp.seed).build();
-    let mut cpu = Processor::new(config, trace);
+    let mut cpu = Processor::new(config, workload.stream(exp.seed));
     let mut out = Vec::new();
     let mut at = 0usize;
     cpu.checkpoint_at_commits(&positions, |cpu, target| {
@@ -354,7 +355,7 @@ fn generate_checkpoints_for(
         for kind in &targets[at].1 {
             out.push(GeneratedCheckpoint {
                 key: checkpoint_key_labelled(
-                    benchmark,
+                    workload,
                     label.clone(),
                     physical_regs,
                     exp,
@@ -579,7 +580,7 @@ impl CheckpointStore {
     /// stale — callers then fall back to generating the serial pass.
     pub fn load_interval_set(
         &self,
-        benchmark: Benchmark,
+        workload: impl Into<Workload>,
         scheme: RenameScheme,
         physical_regs: usize,
         exp: &ExperimentConfig,
@@ -587,7 +588,7 @@ impl CheckpointStore {
     ) -> Result<Vec<(u64, Snapshot)>, CheckpointLoadError> {
         let config = sim_config(scheme, physical_regs, exp);
         self.load_interval_set_for(
-            benchmark,
+            workload.into(),
             &config,
             scheme_label(scheme),
             physical_regs,
@@ -606,7 +607,7 @@ impl CheckpointStore {
     /// See [`CheckpointStore::load_interval_set`].
     pub fn load_group_interval_set(
         &self,
-        benchmark: Benchmark,
+        workload: impl Into<Workload>,
         scheme: RenameScheme,
         physical_regs: usize,
         exp: &ExperimentConfig,
@@ -614,7 +615,7 @@ impl CheckpointStore {
     ) -> Result<Vec<(u64, Snapshot)>, CheckpointLoadError> {
         let config = group_config(scheme, physical_regs, exp);
         self.load_interval_set_for(
-            benchmark,
+            workload.into(),
             &config,
             group_scheme_label(scheme, physical_regs, exp),
             physical_regs,
@@ -625,18 +626,18 @@ impl CheckpointStore {
 
     fn load_interval_set_for(
         &self,
-        benchmark: Benchmark,
+        workload: Workload,
         config: &SimConfig,
         label: String,
         physical_regs: usize,
         exp: &ExperimentConfig,
         plan: &SamplingPlan,
     ) -> Result<Vec<(u64, Snapshot)>, CheckpointLoadError> {
-        let hash = config_hash(benchmark, config, exp.seed);
+        let hash = config_hash(workload, config, exp.seed);
         let mut out = Vec::with_capacity(plan.intervals);
         for start in plan.starts() {
             let key = checkpoint_key_labelled(
-                benchmark,
+                workload,
                 label.clone(),
                 physical_regs,
                 exp,
@@ -727,18 +728,19 @@ pub enum CheckpointOutcome {
 /// continuations are bit-identical to uninterrupted runs, so the result
 /// does not depend on which path was taken.
 pub fn run_benchmark_checkpointed(
-    benchmark: Benchmark,
+    workload: impl Into<Workload>,
     scheme: RenameScheme,
     physical_regs: usize,
     exp: &ExperimentConfig,
     store: Option<&CheckpointStore>,
 ) -> SimStats {
+    let workload = workload.into();
     let (stats, note) =
-        run_benchmark_checkpointed_noted(benchmark, scheme, physical_regs, exp, store);
+        run_benchmark_checkpointed_noted(workload, scheme, physical_regs, exp, store);
     if let Some(note) = note {
         eprintln!(
             "note: simulating warm-up for {}/{}: {note}",
-            benchmark.name(),
+            workload.name(),
             scheme_label(scheme)
         );
     }
@@ -753,14 +755,14 @@ pub fn run_benchmark_checkpointed(
 /// normal (the directory is merely unpopulated for this point) and
 /// produces no note.
 pub fn run_benchmark_checkpointed_noted(
-    benchmark: Benchmark,
+    workload: impl Into<Workload>,
     scheme: RenameScheme,
     physical_regs: usize,
     exp: &ExperimentConfig,
     store: Option<&CheckpointStore>,
 ) -> (SimStats, Option<String>) {
     let (stats, note, vpr_core::NoObs, _) = run_benchmark_checkpointed_obs(
-        benchmark,
+        workload,
         scheme,
         physical_regs,
         exp,
@@ -783,24 +785,25 @@ pub fn run_benchmark_checkpointed_noted(
 /// cheap (typically freshly constructed) so the clone is free in
 /// practice.
 pub fn run_benchmark_checkpointed_obs<O: vpr_core::PipeObserver + Clone>(
-    benchmark: Benchmark,
+    workload: impl Into<Workload>,
     scheme: RenameScheme,
     physical_regs: usize,
     exp: &ExperimentConfig,
     store: Option<&CheckpointStore>,
     obs: O,
 ) -> (SimStats, Option<String>, O, CheckpointOutcome) {
+    let workload = workload.into();
     let mut note = None;
     let mut outcome = CheckpointOutcome::NoStore;
     if let Some(store) = store {
         outcome = CheckpointOutcome::Miss;
         let config = sim_config(scheme, physical_regs, exp);
-        let hash = config_hash(benchmark, &config, exp.seed);
-        let key = checkpoint_key(benchmark, scheme, physical_regs, exp, KIND_WARM, exp.warmup);
+        let hash = config_hash(workload, &config, exp.seed);
+        let key = checkpoint_key(workload, scheme, physical_regs, exp, KIND_WARM, exp.warmup);
         match store.load(&key, hash) {
             Ok((entry, snapshot)) => {
-                let fresh = TraceBuilder::new(benchmark).seed(exp.seed).build();
-                match Processor::<TraceGen, O>::restore_with(&snapshot, fresh, obs.clone()) {
+                let fresh = workload.stream(exp.seed);
+                match Processor::<WorkloadStream, O>::restore_with(&snapshot, fresh, obs.clone()) {
                     Ok(mut cpu) => {
                         cpu.reset_window();
                         cpu.observer_mut().reset();
@@ -821,13 +824,14 @@ pub fn run_benchmark_checkpointed_obs<O: vpr_core::PipeObserver + Clone>(
             Err(e) => note = Some(e.to_string()),
         }
     }
-    let (stats, obs) = crate::run_benchmark_observed(benchmark, scheme, physical_regs, exp, obs);
+    let (stats, obs) = crate::run_benchmark_observed(workload, scheme, physical_regs, exp, obs);
     (stats, note, obs, outcome)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vpr_trace::{Benchmark, TraceBuilder, TraceGen};
 
     fn quick() -> ExperimentConfig {
         ExperimentConfig {

@@ -8,10 +8,10 @@ use crate::sweep::{
     failures_json, json_num, run_sweep_metrics, MetricsBlock, SamplingProvenance, SweepContext,
     SweepFailure, SweepPoint,
 };
+use crate::workloads::Workload;
 use crate::{ExperimentConfig, Table};
 use vpr_core::{harmonic_mean, RenameScheme};
 use vpr_obs::RunTelemetry;
-use vpr_trace::Benchmark;
 
 /// The NRR values swept in Figures 4 and 5.
 pub const NRR_SWEEP: [usize; 6] = [1, 4, 8, 16, 24, 32];
@@ -26,8 +26,8 @@ pub const REG_SWEEP: [(usize, usize); 3] = [(48, 16), (64, 32), (96, 64)];
 /// One benchmark row of Table 2.
 #[derive(Debug, Clone, Copy)]
 pub struct Table2Row {
-    /// The benchmark.
-    pub benchmark: Benchmark,
+    /// The workload (benchmark or assembled program).
+    pub workload: Workload,
     /// IPC under conventional renaming.
     pub conv_ipc: f64,
     /// IPC under virtual-physical write-back allocation (NRR = 32).
@@ -95,7 +95,7 @@ impl Table2 {
             let _ = write!(
                 s,
                 "    {{\"benchmark\": \"{}\", \"conv_ipc\": {}, \"vp_ipc\": {}, \"improvement_percent\": {}, \"vp_executions_per_commit\": {}}}",
-                r.benchmark.name(),
+                r.workload.name(),
                 json_num(r.conv_ipc, 4),
                 json_num(r.vp_ipc, 4),
                 json_num(r.improvement_percent(), 2),
@@ -131,15 +131,18 @@ impl Table2 {
             .map(String::from)
             .to_vec(),
         );
+        let opt = |v: Option<f64>, fmt: fn(f64) -> String| v.map_or_else(|| "\u{2014}".into(), fmt);
         for r in &self.rows {
             t.add_row(vec![
-                r.benchmark.name().into(),
+                r.workload.name(),
                 format!("{:.2}", r.conv_ipc),
                 format!("{:.2}", r.vp_ipc),
                 format!("{:+.0}", r.improvement_percent()),
-                format!("{:.2}", r.benchmark.paper_conventional_ipc()),
-                format!("{:.2}", r.benchmark.paper_vp_writeback_ipc()),
-                format!("{:+.0}", r.benchmark.paper_improvement_percent()),
+                opt(r.workload.paper_conventional_ipc(), |v| format!("{v:.2}")),
+                opt(r.workload.paper_vp_writeback_ipc(), |v| format!("{v:.2}")),
+                opt(r.workload.paper_improvement_percent(), |v| {
+                    format!("{v:+.0}")
+                }),
             ]);
         }
         let (c, v) = self.harmonic_means();
@@ -167,21 +170,28 @@ pub fn table2(exp: &ExperimentConfig) -> Table2 {
 /// [`table2`] in an explicit [`SweepContext`]: exact (optionally restoring
 /// warm checkpoints) or sampled (checkpoint-seeded estimation).
 pub fn table2_in(exp: &ExperimentConfig, ctx: &SweepContext) -> Table2 {
-    let points: Vec<SweepPoint> = Benchmark::ALL
+    table2_for(&Workload::synthetic(), exp, ctx)
+}
+
+/// [`table2_in`] over an explicit workload list (`--workload` on the
+/// binary): same two-scheme comparison, any mix of synthetic benchmarks
+/// and assembled programs.
+pub fn table2_for(workloads: &[Workload], exp: &ExperimentConfig, ctx: &SweepContext) -> Table2 {
+    let points: Vec<SweepPoint> = workloads
         .iter()
-        .flat_map(|&b| {
+        .flat_map(|&w| {
             [
-                SweepPoint::at64(b, RenameScheme::Conventional),
-                SweepPoint::at64(b, RenameScheme::VirtualPhysicalWriteback { nrr: 32 }),
+                SweepPoint::at64(w, RenameScheme::Conventional),
+                SweepPoint::at64(w, RenameScheme::VirtualPhysicalWriteback { nrr: 32 }),
             ]
         })
         .collect();
     let sweep = run_sweep_metrics(&points, exp, ctx);
-    let rows = Benchmark::ALL
+    let rows = workloads
         .iter()
         .zip(sweep.points.chunks_exact(2))
-        .map(|(&b, pair)| Table2Row {
-            benchmark: b,
+        .map(|(&w, pair)| Table2Row {
+            workload: w,
             conv_ipc: pair[0].ipc,
             vp_ipc: pair[1].ipc,
             vp_executions_per_commit: pair[1].executions_per_commit,
@@ -203,8 +213,8 @@ pub fn table2_in(exp: &ExperimentConfig, ctx: &SweepContext) -> Table2 {
 /// Speedups of one benchmark across the NRR sweep.
 #[derive(Debug, Clone)]
 pub struct NrrSweepRow {
-    /// The benchmark.
-    pub benchmark: Benchmark,
+    /// The workload.
+    pub workload: Workload,
     /// IPC of the conventional baseline.
     pub conv_ipc: f64,
     /// `IPC_vp / IPC_conv` for each NRR in [`NRR_SWEEP`].
@@ -278,7 +288,7 @@ impl NrrSweep {
             let _ = write!(
                 s,
                 "    {{\"benchmark\": \"{}\", \"conv_ipc\": {}, \"speedups\": [{}]}}",
-                r.benchmark.name(),
+                r.workload.name(),
                 json_num(r.conv_ipc, 4),
                 join(&r.speedups)
             );
@@ -300,7 +310,7 @@ impl NrrSweep {
         headers.extend(NRR_SWEEP.iter().map(|n| format!("NRR={n}")));
         let mut t = Table::new(headers);
         for r in &self.rows {
-            let mut row = vec![r.benchmark.name().to_string()];
+            let mut row = vec![r.workload.name()];
             row.extend(r.speedups.iter().map(|s| format!("{s:.2}")));
             t.add_row(row);
         }
@@ -311,7 +321,12 @@ impl NrrSweep {
     }
 }
 
-fn nrr_sweep(exp: &ExperimentConfig, ctx: &SweepContext, writeback: bool) -> NrrSweep {
+fn nrr_sweep(
+    workloads: &[Workload],
+    exp: &ExperimentConfig,
+    ctx: &SweepContext,
+    writeback: bool,
+) -> NrrSweep {
     let vp = |nrr| {
         if writeback {
             RenameScheme::VirtualPhysicalWriteback { nrr }
@@ -319,24 +334,24 @@ fn nrr_sweep(exp: &ExperimentConfig, ctx: &SweepContext, writeback: bool) -> Nrr
             RenameScheme::VirtualPhysicalIssue { nrr }
         }
     };
-    let points: Vec<SweepPoint> = Benchmark::ALL
+    let points: Vec<SweepPoint> = workloads
         .iter()
-        .flat_map(|&b| {
-            std::iter::once(SweepPoint::at64(b, RenameScheme::Conventional)).chain(
+        .flat_map(|&w| {
+            std::iter::once(SweepPoint::at64(w, RenameScheme::Conventional)).chain(
                 NRR_SWEEP
                     .iter()
-                    .map(move |&nrr| SweepPoint::at64(b, vp(nrr))),
+                    .map(move |&nrr| SweepPoint::at64(w, vp(nrr))),
             )
         })
         .collect();
     let sweep = run_sweep_metrics(&points, exp, ctx);
-    let rows = Benchmark::ALL
+    let rows = workloads
         .iter()
         .zip(sweep.points.chunks_exact(1 + NRR_SWEEP.len()))
-        .map(|(&b, group)| {
+        .map(|(&w, group)| {
             let conv = group[0].ipc;
             NrrSweepRow {
-                benchmark: b,
+                workload: w,
                 conv_ipc: conv,
                 speedups: group[1..].iter().map(|m| m.ipc / conv).collect(),
             }
@@ -360,7 +375,12 @@ pub fn fig4(exp: &ExperimentConfig) -> NrrSweep {
 
 /// [`fig4`] in an explicit [`SweepContext`].
 pub fn fig4_in(exp: &ExperimentConfig, ctx: &SweepContext) -> NrrSweep {
-    nrr_sweep(exp, ctx, true)
+    nrr_sweep(&Workload::synthetic(), exp, ctx, true)
+}
+
+/// [`fig4_in`] over an explicit workload list.
+pub fn fig4_for(workloads: &[Workload], exp: &ExperimentConfig, ctx: &SweepContext) -> NrrSweep {
+    nrr_sweep(workloads, exp, ctx, true)
 }
 
 /// Regenerates Figure 5: VP issue-allocation speedup over conventional
@@ -371,7 +391,12 @@ pub fn fig5(exp: &ExperimentConfig) -> NrrSweep {
 
 /// [`fig5`] in an explicit [`SweepContext`].
 pub fn fig5_in(exp: &ExperimentConfig, ctx: &SweepContext) -> NrrSweep {
-    nrr_sweep(exp, ctx, false)
+    nrr_sweep(&Workload::synthetic(), exp, ctx, false)
+}
+
+/// [`fig5_in`] over an explicit workload list.
+pub fn fig5_for(workloads: &[Workload], exp: &ExperimentConfig, ctx: &SweepContext) -> NrrSweep {
+    nrr_sweep(workloads, exp, ctx, false)
 }
 
 // ----------------------------------------------------------------------
@@ -381,8 +406,8 @@ pub fn fig5_in(exp: &ExperimentConfig, ctx: &SweepContext) -> NrrSweep {
 /// One benchmark's head-to-head comparison at the optimal NRR (32).
 #[derive(Debug, Clone, Copy)]
 pub struct Fig6Row {
-    /// The benchmark.
-    pub benchmark: Benchmark,
+    /// The workload.
+    pub workload: Workload,
     /// Speedup of write-back allocation over conventional.
     pub writeback_speedup: f64,
     /// Speedup of issue allocation over conventional.
@@ -423,7 +448,7 @@ impl Fig6 {
             let _ = write!(
                 s,
                 "    {{\"benchmark\": \"{}\", \"writeback_speedup\": {}, \"issue_speedup\": {}}}",
-                r.benchmark.name(),
+                r.workload.name(),
                 json_num(r.writeback_speedup, 4),
                 json_num(r.issue_speedup, 4)
             );
@@ -443,7 +468,7 @@ impl Fig6 {
         let mut t = Table::new(["bench", "write-back", "issue"].map(String::from).to_vec());
         for r in &self.rows {
             t.add_row(vec![
-                r.benchmark.name().into(),
+                r.workload.name(),
                 format!("{:.2}", r.writeback_speedup),
                 format!("{:.2}", r.issue_speedup),
             ]);
@@ -471,24 +496,29 @@ pub fn fig6(exp: &ExperimentConfig) -> Fig6 {
 
 /// [`fig6`] in an explicit [`SweepContext`].
 pub fn fig6_in(exp: &ExperimentConfig, ctx: &SweepContext) -> Fig6 {
-    let points: Vec<SweepPoint> = Benchmark::ALL
+    fig6_for(&Workload::synthetic(), exp, ctx)
+}
+
+/// [`fig6_in`] over an explicit workload list.
+pub fn fig6_for(workloads: &[Workload], exp: &ExperimentConfig, ctx: &SweepContext) -> Fig6 {
+    let points: Vec<SweepPoint> = workloads
         .iter()
-        .flat_map(|&b| {
+        .flat_map(|&w| {
             [
-                SweepPoint::at64(b, RenameScheme::Conventional),
-                SweepPoint::at64(b, RenameScheme::VirtualPhysicalWriteback { nrr: 32 }),
-                SweepPoint::at64(b, RenameScheme::VirtualPhysicalIssue { nrr: 32 }),
+                SweepPoint::at64(w, RenameScheme::Conventional),
+                SweepPoint::at64(w, RenameScheme::VirtualPhysicalWriteback { nrr: 32 }),
+                SweepPoint::at64(w, RenameScheme::VirtualPhysicalIssue { nrr: 32 }),
             ]
         })
         .collect();
     let sweep = run_sweep_metrics(&points, exp, ctx);
-    let rows = Benchmark::ALL
+    let rows = workloads
         .iter()
         .zip(sweep.points.chunks_exact(3))
-        .map(|(&b, group)| {
+        .map(|(&w, group)| {
             let conv = group[0].ipc;
             Fig6Row {
-                benchmark: b,
+                workload: w,
                 writeback_speedup: group[1].ipc / conv,
                 issue_speedup: group[2].ipc / conv,
             }
@@ -510,8 +540,8 @@ pub fn fig6_in(exp: &ExperimentConfig, ctx: &SweepContext) -> Fig6 {
 /// One benchmark's IPCs across register-file sizes.
 #[derive(Debug, Clone)]
 pub struct Fig7Row {
-    /// The benchmark.
-    pub benchmark: Benchmark,
+    /// The workload.
+    pub workload: Workload,
     /// `(conv_ipc, vp_ipc)` for each size in [`REG_SWEEP`].
     pub ipcs: Vec<(f64, f64)>,
 }
@@ -591,7 +621,7 @@ impl Fig7 {
             let _ = write!(
                 s,
                 "    {{\"benchmark\": \"{}\", \"ipcs\": [{ipcs}]}}",
-                r.benchmark.name()
+                r.workload.name()
             );
             s.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
         }
@@ -615,7 +645,7 @@ impl Fig7 {
         }
         let mut t = Table::new(headers);
         for r in &self.rows {
-            let mut row = vec![r.benchmark.name().to_string()];
+            let mut row = vec![r.workload.name()];
             for (c, v) in &r.ipcs {
                 row.push(format!("{c:.2}"));
                 row.push(format!("{v:.2}"));
@@ -640,18 +670,23 @@ pub fn fig7(exp: &ExperimentConfig) -> Fig7 {
 
 /// [`fig7`] in an explicit [`SweepContext`].
 pub fn fig7_in(exp: &ExperimentConfig, ctx: &SweepContext) -> Fig7 {
-    let points: Vec<SweepPoint> = Benchmark::ALL
+    fig7_for(&Workload::synthetic(), exp, ctx)
+}
+
+/// [`fig7_in`] over an explicit workload list.
+pub fn fig7_for(workloads: &[Workload], exp: &ExperimentConfig, ctx: &SweepContext) -> Fig7 {
+    let points: Vec<SweepPoint> = workloads
         .iter()
-        .flat_map(|&b| {
+        .flat_map(|&w| {
             REG_SWEEP.iter().flat_map(move |&(size, nrr)| {
                 [
                     SweepPoint {
-                        benchmark: b,
+                        workload: w,
                         scheme: RenameScheme::Conventional,
                         physical_regs: size,
                     },
                     SweepPoint {
-                        benchmark: b,
+                        workload: w,
                         scheme: RenameScheme::VirtualPhysicalWriteback { nrr },
                         physical_regs: size,
                     },
@@ -660,11 +695,11 @@ pub fn fig7_in(exp: &ExperimentConfig, ctx: &SweepContext) -> Fig7 {
         })
         .collect();
     let sweep = run_sweep_metrics(&points, exp, ctx);
-    let rows = Benchmark::ALL
+    let rows = workloads
         .iter()
         .zip(sweep.points.chunks_exact(2 * REG_SWEEP.len()))
-        .map(|(&b, group)| Fig7Row {
-            benchmark: b,
+        .map(|(&w, group)| Fig7Row {
+            workload: w,
             ipcs: group
                 .chunks_exact(2)
                 .map(|p| (p[0].ipc, p[1].ipc))
@@ -680,10 +715,209 @@ pub fn fig7_in(exp: &ExperimentConfig, ctx: &SweepContext) -> Fig7 {
     }
 }
 
+// ----------------------------------------------------------------------
+// asm_eval — rename schemes on real (assembled) programs vs synthetic
+// ----------------------------------------------------------------------
+
+/// One workload row of the [`asm_eval`] figure: IPC of all four rename
+/// schemes at 64 physical registers per class.
+#[derive(Debug, Clone, Copy)]
+pub struct AsmEvalRow {
+    /// The workload.
+    pub workload: Workload,
+    /// IPC under conventional renaming.
+    pub conv_ipc: f64,
+    /// IPC under conventional renaming with early release.
+    pub early_ipc: f64,
+    /// IPC under virtual-physical issue allocation (NRR = 32).
+    pub vp_issue_ipc: f64,
+    /// IPC under virtual-physical write-back allocation (NRR = 32).
+    pub vp_wb_ipc: f64,
+}
+
+impl AsmEvalRow {
+    /// Speedup of the headline VP write-back scheme over conventional.
+    pub fn vp_wb_speedup(&self) -> f64 {
+        self.vp_wb_ipc / self.conv_ipc
+    }
+}
+
+/// The `asm_eval` result: every rename scheme over a mixed workload list
+/// — assembled programs through the `vpr-exec` emulator next to the
+/// synthetic benchmark models — so the paper's claims can be checked on
+/// instruction streams that were *executed*, not generated.
+#[derive(Debug, Clone)]
+pub struct AsmEval {
+    /// Per-workload rows, in the order the workloads were given.
+    pub rows: Vec<AsmEvalRow>,
+    /// How the numbers were obtained.
+    pub sampling: SamplingProvenance,
+    /// Faults the sweep survived or degraded around (empty on a clean
+    /// run).
+    pub failures: Vec<SweepFailure>,
+    /// Aggregated simulated-machine metrics of the sweep.
+    pub metrics: MetricsBlock,
+    /// Sweep-engine run telemetry (written to `run.telemetry.json`, not
+    /// into the experiment artefact).
+    pub telemetry: RunTelemetry,
+}
+
+impl AsmEval {
+    /// Harmonic-mean VP write-back speedup over the assembled-program
+    /// rows, and over the synthetic rows, in that order (`None` for an
+    /// absent group). The headline comparison: does the improvement the
+    /// paper measures on synthetic streams survive on real programs?
+    pub fn group_speedups(&self) -> (Option<f64>, Option<f64>) {
+        let group = |asm: bool| {
+            let rows: Vec<&AsmEvalRow> = self
+                .rows
+                .iter()
+                .filter(|r| matches!(r.workload, Workload::Asm(_)) == asm)
+                .collect();
+            if rows.is_empty() {
+                return None;
+            }
+            let conv: Vec<f64> = rows.iter().map(|r| r.conv_ipc).collect();
+            let vp: Vec<f64> = rows.iter().map(|r| r.vp_wb_ipc).collect();
+            Some(harmonic_mean(&vp) / harmonic_mean(&conv))
+        };
+        (group(true), group(false))
+    }
+
+    /// Renders the result as JSON (`vpr-bench-asm-eval/v1`), in the
+    /// hand-rolled style of the other artefacts.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"vpr-bench-asm-eval/v1\",\n");
+        let _ = writeln!(s, "  \"sampling\": {},", self.sampling.to_json_value());
+        let _ = writeln!(s, "  \"failures\": {},", failures_json(&self.failures));
+        let _ = writeln!(s, "  \"metrics\": {},", self.metrics.to_json_value());
+        s.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"workload\": \"{}\", \"is_asm\": {}, \"conv_ipc\": {}, \
+                 \"early_ipc\": {}, \"vp_issue_ipc\": {}, \"vp_wb_ipc\": {}, \
+                 \"vp_wb_speedup\": {}}}",
+                r.workload.name(),
+                matches!(r.workload, Workload::Asm(_)),
+                json_num(r.conv_ipc, 4),
+                json_num(r.early_ipc, 4),
+                json_num(r.vp_issue_ipc, 4),
+                json_num(r.vp_wb_ipc, 4),
+                json_num(r.vp_wb_speedup(), 4)
+            );
+            s.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        let (asm, synthetic) = self.group_speedups();
+        let opt = |v: Option<f64>| v.map_or("null".to_string(), |x| json_num(x, 4));
+        let _ = writeln!(
+            s,
+            "  ],\n  \"asm_harmonic_vp_wb_speedup\": {},\n  \
+             \"synthetic_harmonic_vp_wb_speedup\": {}",
+            opt(asm),
+            opt(synthetic)
+        );
+        s.push_str("}\n");
+        s
+    }
+
+    /// Renders the figure as a table: one row per workload, one IPC
+    /// column per scheme, plus the VP write-back speedup.
+    pub fn render(&self) -> Table {
+        let mut t = Table::new(
+            [
+                "workload",
+                "conv",
+                "early",
+                "vp-issue",
+                "vp-wb",
+                "wb-speedup",
+            ]
+            .map(String::from)
+            .to_vec(),
+        );
+        for r in &self.rows {
+            t.add_row(vec![
+                r.workload.name(),
+                format!("{:.2}", r.conv_ipc),
+                format!("{:.2}", r.early_ipc),
+                format!("{:.2}", r.vp_issue_ipc),
+                format!("{:.2}", r.vp_wb_ipc),
+                format!("{:.2}", r.vp_wb_speedup()),
+            ]);
+        }
+        let (asm, synthetic) = self.group_speedups();
+        for (label, v) in [("harm.mean asm", asm), ("harm.mean synth", synthetic)] {
+            if let Some(v) = v {
+                t.add_row(vec![
+                    label.into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("{v:.2}"),
+                ]);
+            }
+        }
+        t
+    }
+}
+
+/// The default `asm_eval` workload list: every bundled assembled program
+/// plus two synthetic reference points (one FP-heavy, one branchy
+/// integer).
+pub fn asm_eval_workloads() -> Vec<Workload> {
+    let mut ws = Workload::asm();
+    ws.push(vpr_trace::Benchmark::Swim.into());
+    ws.push(vpr_trace::Benchmark::Go.into());
+    ws
+}
+
+/// Regenerates the `asm_eval` figure over the default workload list.
+pub fn asm_eval(exp: &ExperimentConfig) -> AsmEval {
+    asm_eval_in(exp, &SweepContext::exact())
+}
+
+/// [`asm_eval`] in an explicit [`SweepContext`].
+pub fn asm_eval_in(exp: &ExperimentConfig, ctx: &SweepContext) -> AsmEval {
+    asm_eval_for(&asm_eval_workloads(), exp, ctx)
+}
+
+/// [`asm_eval_in`] over an explicit workload list.
+pub fn asm_eval_for(workloads: &[Workload], exp: &ExperimentConfig, ctx: &SweepContext) -> AsmEval {
+    let schemes = crate::workloads::THROUGHPUT_SCHEMES;
+    let points: Vec<SweepPoint> = workloads
+        .iter()
+        .flat_map(|&w| schemes.iter().map(move |&s| SweepPoint::at64(w, s)))
+        .collect();
+    let sweep = run_sweep_metrics(&points, exp, ctx);
+    let rows = workloads
+        .iter()
+        .zip(sweep.points.chunks_exact(schemes.len()))
+        .map(|(&w, group)| AsmEvalRow {
+            workload: w,
+            conv_ipc: group[0].ipc,
+            early_ipc: group[1].ipc,
+            vp_issue_ipc: group[2].ipc,
+            vp_wb_ipc: group[3].ipc,
+        })
+        .collect();
+    AsmEval {
+        rows,
+        sampling: sweep.provenance,
+        failures: sweep.failures,
+        metrics: sweep.metrics,
+        telemetry: sweep.telemetry,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::run_benchmark;
+    use vpr_trace::Benchmark;
 
     #[test]
     fn table2_shapes_up_quickly() {
@@ -712,7 +946,7 @@ mod tests {
     fn render_shapes() {
         let t2 = Table2 {
             rows: vec![Table2Row {
-                benchmark: Benchmark::Swim,
+                workload: Benchmark::Swim.into(),
                 conv_ipc: 1.0,
                 vp_ipc: 2.0,
                 vp_executions_per_commit: 3.3,
@@ -737,7 +971,7 @@ mod tests {
     fn failed_points_render_as_null_not_nan() {
         let t2 = Table2 {
             rows: vec![Table2Row {
-                benchmark: Benchmark::Swim,
+                workload: Benchmark::Swim.into(),
                 conv_ipc: f64::NAN,
                 vp_ipc: f64::NAN,
                 vp_executions_per_commit: f64::NAN,

@@ -9,12 +9,13 @@
 //! `BENCH_throughput.json` so every PR leaves a perf trajectory.
 
 use crate::sweep::{run_sweep, SweepPoint};
+use crate::workloads::Workload;
 use std::fmt::Write as _;
 use std::time::Instant;
 use vpr_core::{
     harmonic_mean, par, Processor, RenameScheme, SimConfig, SimStats, Stage, StageProfile,
 };
-use vpr_trace::{Benchmark, TraceBuilder};
+use vpr_trace::TraceBuilder;
 
 /// How much to simulate and with which trace seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,21 +111,23 @@ impl ExperimentConfig {
     }
 }
 
-/// Runs one benchmark under one scheme and register-file size, returning
-/// the measurement-window statistics.
+/// Runs one workload (synthetic benchmark or assembled program) under one
+/// scheme and register-file size, returning the measurement-window
+/// statistics. Accepts anything convertible into a [`Workload`], so
+/// `run_benchmark(Benchmark::Swim, ..)` call sites read unchanged.
 pub fn run_benchmark(
-    benchmark: Benchmark,
+    workload: impl Into<Workload>,
     scheme: RenameScheme,
     physical_regs: usize,
     exp: &ExperimentConfig,
 ) -> SimStats {
+    let workload = workload.into();
     let config = SimConfig::builder()
         .scheme(scheme)
         .physical_regs(physical_regs)
         .miss_penalty(exp.miss_penalty)
         .build();
-    let trace = TraceBuilder::new(benchmark).seed(exp.seed).build();
-    let mut cpu = Processor::new(config, trace);
+    let mut cpu = Processor::new(config, workload.stream(exp.seed));
     cpu.warm_up(exp.warmup);
     cpu.run(exp.measure)
 }
@@ -139,19 +142,19 @@ pub fn run_benchmark(
 /// [`run_benchmark`] exactly (zero-overhead contract, see
 /// `docs/observability.md`).
 pub fn run_benchmark_observed<O: vpr_core::PipeObserver>(
-    benchmark: Benchmark,
+    workload: impl Into<Workload>,
     scheme: RenameScheme,
     physical_regs: usize,
     exp: &ExperimentConfig,
     obs: O,
 ) -> (SimStats, O) {
+    let workload = workload.into();
     let config = SimConfig::builder()
         .scheme(scheme)
         .physical_regs(physical_regs)
         .miss_penalty(exp.miss_penalty)
         .build();
-    let trace = TraceBuilder::new(benchmark).seed(exp.seed).build();
-    let mut cpu = Processor::with_observer(config, trace, obs);
+    let mut cpu = Processor::with_observer(config, workload.stream(exp.seed), obs);
     cpu.warm_up(exp.warmup);
     cpu.observer_mut().reset();
     let stats = cpu.run(exp.measure);
@@ -424,11 +427,12 @@ impl ThroughputReport {
 /// and the fastest wall-clock is reported — the simulated outcome is
 /// deterministic, so repetition only sheds host scheduler noise.
 pub fn time_one_best(
-    benchmark: Benchmark,
+    workload: impl Into<Workload>,
     scheme: RenameScheme,
     exp: &ExperimentConfig,
     repeats: usize,
 ) -> ThroughputRun {
+    let workload = workload.into();
     let mut best: Option<ThroughputRun> = None;
     for _ in 0..repeats.max(1) {
         let start = Instant::now();
@@ -437,14 +441,13 @@ pub fn time_one_best(
             .physical_regs(64)
             .miss_penalty(exp.miss_penalty)
             .build();
-        let trace = TraceBuilder::new(benchmark).seed(exp.seed).build();
-        let mut cpu = Processor::new(config, trace);
+        let mut cpu = Processor::new(config, workload.stream(exp.seed));
         cpu.warm_up(exp.warmup);
         let stats = cpu.run(exp.measure);
         let host_seconds = start.elapsed().as_secs_f64().max(1e-9);
         let committed = exp.warmup + stats.committed;
         let run = ThroughputRun {
-            label: format!("{}/{}", benchmark.name(), scheme_label(scheme)),
+            label: format!("{}/{}", workload.name(), scheme_label(scheme)),
             committed,
             cycles: cpu.cycle(),
             host_seconds,
@@ -464,11 +467,11 @@ pub fn time_one_best(
 /// Times one `(benchmark, scheme)` simulation end to end and converts it
 /// to sim-MIPS.
 pub fn time_one(
-    benchmark: Benchmark,
+    workload: impl Into<Workload>,
     scheme: RenameScheme,
     exp: &ExperimentConfig,
 ) -> ThroughputRun {
-    time_one_best(benchmark, scheme, exp, 1)
+    time_one_best(workload, scheme, exp, 1)
 }
 
 /// The throughput grid: [`THROUGHPUT_BENCHMARKS`] × [`THROUGHPUT_SCHEMES`]
@@ -554,6 +557,7 @@ pub fn write_throughput_json(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vpr_trace::Benchmark;
 
     #[test]
     fn arg_parsing_round_trip() {

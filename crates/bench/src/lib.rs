@@ -75,6 +75,7 @@ pub use sampling::{
 };
 pub use sweep::{run_sweep, run_sweep_metrics, SweepContext, SweepPoint};
 pub use table::Table;
+pub use workloads::{Workload, WorkloadStream};
 
 /// Extracts `flag VALUE` from `args` (mutating it), for flags the shared
 /// [`ExperimentConfig::from_args`] parser does not know (e.g. `--json`).
@@ -92,6 +93,29 @@ pub fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let value = args.remove(pos + 1);
     args.remove(pos);
     Some(value)
+}
+
+/// Extracts `--workload NAME[,NAME..]` from `args` (mutating it) and
+/// parses each comma-separated entry with [`Workload::parse`] — synthetic
+/// benchmark names (`swim`) and assembled programs (`asm:matmul`) mix
+/// freely. `None` when the flag is absent, leaving the binary's default
+/// workload set in force.
+///
+/// # Panics
+///
+/// Exits the process with status 2 on an unknown workload name (binary
+/// CLI convention, matching [`take_flag_value`]).
+pub fn take_workloads(args: &mut Vec<String>) -> Option<Vec<Workload>> {
+    take_flag_value(args, "--workload").map(|list| {
+        list.split(',')
+            .map(|name| {
+                Workload::parse(name.trim()).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    })
 }
 
 /// Extracts a boolean `flag` from `args` (mutating it); `true` when the

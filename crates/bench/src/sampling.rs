@@ -10,9 +10,10 @@
 //! |--skip--|warm|==measure==|--skip--|warm|==measure==|--skip--| ...
 //! ```
 //!
-//! * **Fast-forward** uses [`TraceGen::fast_forward`]: positioning a synthetic
-//!   generator costs nanoseconds per instruction and touches no simulator
-//!   state, so skipped spans cost (almost) nothing.
+//! * **Fast-forward** uses [`WorkloadStream::fast_forward`]: positioning
+//!   the stream costs nanoseconds per instruction (synthetic generation,
+//!   or emulator-only execution for assembled programs) and touches no
+//!   simulator state, so skipped spans cost little.
 //! * **Detailed warm-up** re-warms microarchitectural state (cache,
 //!   predictor, window) from cold at each interval start; its counters are
 //!   discarded ([`Processor::warm_up`]).
@@ -66,9 +67,9 @@
 //! grid samples to within ≈ 0.5 % per configuration).
 
 use crate::harness::ExperimentConfig;
+use crate::workloads::{Workload, WorkloadStream};
 use std::fmt::Write as _;
 use vpr_core::{par, Processor, RenameScheme, SimConfig, SimStats};
-use vpr_trace::{Benchmark, TraceBuilder, TraceGen};
 
 /// Shape of one sampled estimate: where the estimated region lies in the
 /// instruction stream and how much of it is simulated in detail.
@@ -256,7 +257,8 @@ pub struct IntervalSample {
     /// Committed-instruction offset at which the interval began.
     pub start: u64,
     /// Phase label at the interval start: the generator's active loop
-    /// index (see [`TraceGen::current_loop`]).
+    /// index (see [`WorkloadStream::current_loop`]; always 0 for
+    /// assembled programs).
     pub phase: usize,
     /// Functional cache misses per instruction over the measured span
     /// (from the no-timing model — the regression estimator's first
@@ -742,12 +744,12 @@ impl GapPredictor {
 /// stream: exact per-phase composition and functional miss/misprediction
 /// rates per span.
 fn profile_spans(
-    benchmark: Benchmark,
+    workload: Workload,
     seed: u64,
     spans: &[(u64, u64)],
     config: &SimConfig,
 ) -> Vec<SpanProfile> {
-    let mut trace = TraceBuilder::new(benchmark).seed(seed).build();
+    let mut trace = workload.stream(seed);
     let mut model = FunctionalModel::new(config);
     let phases = trace.loop_count();
     let mut pos = 0u64;
@@ -800,7 +802,7 @@ fn profile_spans(
 /// count, or if a snapshot fails to restore (a validated checkpoint that
 /// does not restore is a bug, not an input error).
 pub fn sample_from_checkpoints(
-    benchmark: Benchmark,
+    workload: impl Into<Workload>,
     scheme: RenameScheme,
     physical_regs: usize,
     exp: &ExperimentConfig,
@@ -808,6 +810,7 @@ pub fn sample_from_checkpoints(
     checkpoints: &[(u64, vpr_snap::Snapshot)],
     jobs: usize,
 ) -> CheckpointedReport {
+    let workload = workload.into();
     plan.validate();
     assert_eq!(
         checkpoints.len(),
@@ -820,8 +823,8 @@ pub fn sample_from_checkpoints(
         jobs.max(1),
         checkpoints.to_vec(),
         move |_, (_, snapshot)| {
-            let fresh = TraceBuilder::new(benchmark).seed(exp.seed).build();
-            let mut cpu: Processor<TraceGen> =
+            let fresh = workload.stream(exp.seed);
+            let mut cpu: Processor<WorkloadStream> =
                 Processor::restore(&snapshot, fresh).expect("interval checkpoint restores");
             // Shared (canonical-NRR) checkpoints serve every NRR value of
             // their scheme family: re-price the NRR-dependent state for
@@ -885,7 +888,7 @@ pub fn sample_from_checkpoints(
         .collect();
     labelled.sort_unstable();
     let spans: Vec<(u64, u64)> = labelled.iter().map(|&(b, e, _)| (b, e)).collect();
-    let profiles = profile_spans(benchmark, exp.seed, &spans, &config);
+    let profiles = profile_spans(workload, exp.seed, &spans, &config);
     let mut window_profiles = Vec::with_capacity(windows.len());
     let mut gap_profiles = Vec::with_capacity(gap_spans.len());
     for (profile, &(_, _, is_gap)) in profiles.into_iter().zip(&labelled) {
@@ -961,13 +964,13 @@ pub struct RegionProfile {
 /// pass, no simulation. The model is warmed over the `offset` prefix so
 /// region rates carry no cold-start artefacts.
 pub fn profile_region(
-    benchmark: Benchmark,
+    workload: impl Into<Workload>,
     seed: u64,
     offset: u64,
     region: u64,
     config: &SimConfig,
 ) -> RegionProfile {
-    let mut trace = TraceBuilder::new(benchmark).seed(seed).build();
+    let mut trace = workload.into().stream(seed);
     let mut model = FunctionalModel::new(config);
     for _ in 0..offset {
         let di = trace.next().expect("synthetic traces are infinite");
@@ -1014,16 +1017,16 @@ struct FunctionalSeed {
 /// its whole prefix (the model is deterministic and the walk is the same),
 /// at O(region) rather than O(intervals × region) functional work.
 fn functional_seeds(
-    benchmark: Benchmark,
+    workload: Workload,
     seed: u64,
     plan: &SamplingPlan,
     config: &SimConfig,
 ) -> Vec<FunctionalSeed> {
     use vpr_snap::Resumable as _;
-    let mut trace = TraceBuilder::new(benchmark).seed(seed).build();
+    let mut trace = workload.stream(seed);
     let mut model = FunctionalModel::new(config);
     let mut pos = 0u64;
-    let step = |trace: &mut TraceGen, model: &mut FunctionalModel| {
+    let step = |trace: &mut WorkloadStream, model: &mut FunctionalModel| {
         let di = trace.next().expect("synthetic traces are infinite");
         model.step(&di)
     };
@@ -1069,7 +1072,7 @@ fn functional_seeds(
 /// functional state to preheat the processor with, the phase label, and
 /// the window's functional covariates.
 struct PreparedInterval {
-    trace: TraceGen,
+    trace: WorkloadStream,
     model: FunctionalModel,
     phase: usize,
     func_miss_rate: f64,
@@ -1080,13 +1083,13 @@ struct PreparedInterval {
 /// over the leading span, and extracts the measured window's functional
 /// miss/misprediction rates from a throw-away clone.
 fn prepare_interval(
-    benchmark: Benchmark,
+    workload: Workload,
     seed: u64,
     start: u64,
     plan: &SamplingPlan,
     config: &SimConfig,
 ) -> PreparedInterval {
-    let mut trace = TraceBuilder::new(benchmark).seed(seed).build();
+    let mut trace = workload.stream(seed);
     let warm_span = plan.functional_window.map_or(start, |w| w.min(start));
     trace.fast_forward(start - warm_span);
     let mut model = FunctionalModel::new(config);
@@ -1124,21 +1127,22 @@ fn prepare_interval(
 /// simulations fanned out over the worker pool (submission-order merge —
 /// the report is byte-identical for every `exp.jobs`).
 pub fn sample_benchmark(
-    benchmark: Benchmark,
+    workload: impl Into<Workload>,
     scheme: RenameScheme,
     physical_regs: usize,
     exp: &ExperimentConfig,
     plan: &SamplingPlan,
 ) -> SamplingReport {
+    let workload = workload.into();
     let profile_config = crate::checkpoints::sim_config(scheme, physical_regs, exp);
     let profile = profile_region(
-        benchmark,
+        workload,
         exp.seed,
         plan.offset,
         plan.region,
         &profile_config,
     );
-    sample_benchmark_with_profile(benchmark, scheme, physical_regs, exp, plan, &profile)
+    sample_benchmark_with_profile(workload, scheme, physical_regs, exp, plan, &profile)
 }
 
 /// [`sample_benchmark`] with a precomputed [`RegionProfile`]: the profile
@@ -1146,13 +1150,14 @@ pub fn sample_benchmark(
 /// cache/predictor geometry — not on the renaming scheme — so callers
 /// sweeping several schemes over one benchmark profile once and reuse it.
 pub fn sample_benchmark_with_profile(
-    benchmark: Benchmark,
+    workload: impl Into<Workload>,
     scheme: RenameScheme,
     physical_regs: usize,
     exp: &ExperimentConfig,
     plan: &SamplingPlan,
     profile: &RegionProfile,
 ) -> SamplingReport {
+    let workload = workload.into();
     plan.validate();
     let starts = plan.starts();
     let exp = *exp;
@@ -1161,10 +1166,10 @@ pub fn sample_benchmark_with_profile(
     let outcomes = if plan.functional_window.is_none() {
         // One warm serial functional pass seeds every interval; only the
         // detailed windows fan out over the pool.
-        let seeds = functional_seeds(benchmark, exp.seed, &plan, &build_config());
+        let seeds = functional_seeds(workload, exp.seed, &plan, &build_config());
         par::par_map(exp.effective_jobs(), seeds, move |_, seed| {
             use vpr_snap::Resumable as _;
-            let mut trace = TraceBuilder::new(benchmark).seed(exp.seed).build();
+            let mut trace = workload.stream(exp.seed);
             trace.restore_state(&mut vpr_snap::Decoder::new(&seed.trace_state));
             let mut cpu = Processor::new(build_config(), trace);
             cpu.preheat(seed.bht, seed.cache);
@@ -1183,7 +1188,7 @@ pub fn sample_benchmark_with_profile(
         // single pass covers them).
         par::par_map(exp.effective_jobs(), starts.clone(), move |_, start| {
             let config = build_config();
-            let prepared = prepare_interval(benchmark, exp.seed, start, &plan, &config);
+            let prepared = prepare_interval(workload, exp.seed, start, &plan, &config);
             let mut cpu = Processor::new(config, prepared.trace);
             cpu.preheat(prepared.model.bht, prepared.model.cache);
             cpu.warm_up(plan.detailed_warmup);
@@ -1221,7 +1226,7 @@ pub fn sample_benchmark_with_profile(
 #[derive(Debug, Clone)]
 pub struct SamplingAccuracy {
     /// The workload.
-    pub benchmark: Benchmark,
+    pub workload: Workload,
     /// The renaming scheme.
     pub scheme: RenameScheme,
     /// IPC of the uninterrupted full run's measurement window.
@@ -1250,32 +1255,34 @@ impl SamplingAccuracy {
 
 /// Runs the full simulation and the sampled estimate side by side.
 pub fn evaluate_sampling(
-    benchmark: Benchmark,
+    workload: impl Into<Workload>,
     scheme: RenameScheme,
     physical_regs: usize,
     exp: &ExperimentConfig,
     plan: &SamplingPlan,
 ) -> SamplingAccuracy {
+    let workload = workload.into();
     let config = crate::checkpoints::sim_config(scheme, physical_regs, exp);
-    let profile = profile_region(benchmark, exp.seed, plan.offset, plan.region, &config);
-    evaluate_sampling_with_profile(benchmark, scheme, physical_regs, exp, plan, &profile)
+    let profile = profile_region(workload, exp.seed, plan.offset, plan.region, &config);
+    evaluate_sampling_with_profile(workload, scheme, physical_regs, exp, plan, &profile)
 }
 
 /// [`evaluate_sampling`] with a precomputed, scheme-independent
 /// [`RegionProfile`] (see [`sample_benchmark_with_profile`]).
 pub fn evaluate_sampling_with_profile(
-    benchmark: Benchmark,
+    workload: impl Into<Workload>,
     scheme: RenameScheme,
     physical_regs: usize,
     exp: &ExperimentConfig,
     plan: &SamplingPlan,
     profile: &RegionProfile,
 ) -> SamplingAccuracy {
-    let full = crate::run_benchmark(benchmark, scheme, physical_regs, exp);
+    let workload = workload.into();
+    let full = crate::run_benchmark(workload, scheme, physical_regs, exp);
     let sampled =
-        sample_benchmark_with_profile(benchmark, scheme, physical_regs, exp, plan, profile);
+        sample_benchmark_with_profile(workload, scheme, physical_regs, exp, plan, profile);
     SamplingAccuracy {
-        benchmark,
+        workload,
         scheme,
         full_ipc: full.ipc(),
         sampled_ipc: sampled.ipc(),
@@ -1308,7 +1315,7 @@ pub fn accuracy_to_json(rows: &[SamplingAccuracy], plan: &SamplingPlan) -> Strin
             "    {{\"benchmark\": \"{}\", \"scheme\": \"{}\", \"full_ipc\": {:.4}, \
              \"sampled_ipc\": {:.4}, \"ipc_error_percent\": {:.3}, \
              \"full_miss_ratio\": {:.4}, \"sampled_miss_ratio\": {:.4}}}",
-            r.benchmark.name(),
+            r.workload.name(),
             crate::harness::scheme_label(r.scheme),
             r.full_ipc,
             r.sampled_ipc,
@@ -1330,6 +1337,7 @@ pub fn accuracy_to_json(rows: &[SamplingAccuracy], plan: &SamplingPlan) -> Strin
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vpr_trace::Benchmark;
 
     #[test]
     fn plan_geometry() {

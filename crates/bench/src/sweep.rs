@@ -27,13 +27,14 @@ use vpr_core::par;
 use vpr_core::{RenameScheme, SimObserver, SimStats};
 use vpr_obs::{JobOutcome, JobTelemetry, Progress, RunTelemetry, SimMetrics};
 use vpr_snap::manifest::ManifestError;
-use vpr_trace::Benchmark;
+
+use crate::workloads::Workload;
 
 /// One point of a sweep grid: a full simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepPoint {
-    /// The workload.
-    pub benchmark: Benchmark,
+    /// The workload (synthetic benchmark or assembled program).
+    pub workload: Workload,
     /// The renaming scheme under test.
     pub scheme: RenameScheme,
     /// Physical registers per class.
@@ -42,9 +43,9 @@ pub struct SweepPoint {
 
 impl SweepPoint {
     /// Shorthand for the common 64-registers-per-class configuration.
-    pub fn at64(benchmark: Benchmark, scheme: RenameScheme) -> Self {
+    pub fn at64(workload: impl Into<Workload>, scheme: RenameScheme) -> Self {
         Self {
-            benchmark,
+            workload: workload.into(),
             scheme,
             physical_regs: 64,
         }
@@ -57,7 +58,7 @@ impl SweepPoint {
 pub fn run_sweep(points: &[SweepPoint], exp: &ExperimentConfig) -> Vec<SimStats> {
     let exp = *exp;
     par::par_map(exp.effective_jobs(), points.to_vec(), move |_, p| {
-        run_benchmark(p.benchmark, p.scheme, p.physical_regs, &exp)
+        run_benchmark(p.workload, p.scheme, p.physical_regs, &exp)
     })
 }
 
@@ -411,7 +412,7 @@ const SWEEP_RETRIES: u32 = 1;
 pub fn point_label(p: &SweepPoint) -> String {
     format!(
         "{}/{}@{}r",
-        p.benchmark.name(),
+        p.workload.name(),
         scheme_label(p.scheme),
         p.physical_regs
     )
@@ -485,7 +486,7 @@ pub fn run_sweep_metrics(
                     let label = point_label(p);
                     vpr_snap::faults::maybe_panic_job(&label);
                     let (stats, note, obs, outcome) = run_benchmark_checkpointed_obs(
-                        p.benchmark,
+                        p.workload,
                         p.scheme,
                         p.physical_regs,
                         &exp_copy,
@@ -571,7 +572,7 @@ pub fn run_sweep_metrics(
             let plan = ctx.effective_plan(exp).expect("sampled mode has a plan");
             let exp_copy = *exp;
             let store_ref = store.as_ref();
-            // One warm serial pass per *sharing group* — (benchmark,
+            // One warm serial pass per *sharing group* — (workload,
             // scheme family, register-file size) — not per point: every
             // NRR value of a virtual-physical family restores the same
             // canonical interval checkpoints and re-prices only the
@@ -584,13 +585,13 @@ pub fn run_sweep_metrics(
                 .iter()
                 .map(|p| {
                     let key = (
-                        p.benchmark,
+                        p.workload,
                         group_scheme_label(p.scheme, p.physical_regs, &exp_copy),
                         p.physical_regs,
                     );
                     let found = groups.iter().position(|g| {
                         (
-                            g.benchmark,
+                            g.workload,
                             group_scheme_label(g.scheme, g.physical_regs, &exp_copy),
                             g.physical_regs,
                         ) == key
@@ -604,7 +605,7 @@ pub fn run_sweep_metrics(
             let group_label = |g: &SweepPoint| {
                 format!(
                     "group:{}/{}@{}r",
-                    g.benchmark.name(),
+                    g.workload.name(),
                     group_scheme_label(g.scheme, g.physical_regs, &exp_copy),
                     g.physical_regs
                 )
@@ -632,7 +633,7 @@ pub fn run_sweep_metrics(
                     let (loaded, note) = match store_ref {
                         None => (None, None),
                         Some(s) => match s.load_group_interval_set(
-                            g.benchmark,
+                            g.workload,
                             g.scheme,
                             g.physical_regs,
                             &exp_copy,
@@ -651,7 +652,7 @@ pub fn run_sweep_metrics(
                         Some(set) => (set, true, Vec::new()),
                         None => {
                             let generated = generate_group_checkpoints(
-                                g.benchmark,
+                                g.workload,
                                 g.scheme,
                                 g.physical_regs,
                                 &exp_copy,
@@ -730,7 +731,7 @@ pub fn run_sweep_metrics(
                         );
                     };
                     let report = sample_from_checkpoints(
-                        p.benchmark,
+                        p.workload,
                         p.scheme,
                         p.physical_regs,
                         &exp_copy,
@@ -865,6 +866,7 @@ pub fn run_sweep_metrics(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vpr_trace::Benchmark;
 
     #[test]
     fn sweep_matches_serial_run_order() {
@@ -881,7 +883,7 @@ mod tests {
                 RenameScheme::VirtualPhysicalWriteback { nrr: 32 },
             ),
             SweepPoint {
-                benchmark: Benchmark::Swim,
+                workload: Benchmark::Swim.into(),
                 scheme: RenameScheme::VirtualPhysicalIssue { nrr: 16 },
                 physical_regs: 48,
             },
@@ -889,7 +891,7 @@ mod tests {
         let parallel = run_sweep(&points, &exp);
         let serial: Vec<_> = points
             .iter()
-            .map(|p| run_benchmark(p.benchmark, p.scheme, p.physical_regs, &exp))
+            .map(|p| run_benchmark(p.workload, p.scheme, p.physical_regs, &exp))
             .collect();
         assert_eq!(parallel, serial, "pool output must merge in point order");
     }

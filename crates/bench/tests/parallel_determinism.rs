@@ -97,7 +97,7 @@ proptest! {
                     _ => RenameScheme::VirtualPhysicalWriteback { nrr: 16 },
                 };
                 SweepPoint {
-                    benchmark: THROUGHPUT_BENCHMARKS[b],
+                    workload: THROUGHPUT_BENCHMARKS[b].into(),
                     scheme,
                     physical_regs,
                 }
@@ -111,7 +111,7 @@ proptest! {
         };
         let pooled = run_sweep(&points, &exp);
         for (point, got) in points.iter().zip(&pooled) {
-            let want = run_benchmark(point.benchmark, point.scheme, point.physical_regs, &exp);
+            let want = run_benchmark(point.workload, point.scheme, point.physical_regs, &exp);
             prop_assert_eq!(got, &want, "jobs={} point={:?}", jobs, point);
         }
     }

@@ -129,7 +129,7 @@ fn quick_table2_checkpoint_sampled_ipc_within_tight_bounds() {
         assert!(
             err.abs() <= 2.0,
             "{}/{}: checkpoint-sampled IPC off by {err:+.2}% (>2%)",
-            p.benchmark,
+            p.workload.name(),
             vpr_bench::workloads::scheme_label(p.scheme)
         );
         let slot = per_scheme

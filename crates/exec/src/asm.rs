@@ -1,0 +1,1018 @@
+//! Two-pass assembler for the `vpr` RISC-V-style ISA.
+//!
+//! Pass 1 walks the source once to place labels (text instructions occupy
+//! 4 bytes each, `call` expands to 8; data directives advance the data
+//! cursor); pass 2 encodes every instruction with all labels known, so
+//! forward references cost nothing. All failures are **typed errors
+//! carrying the source line number** ([`AsmError`]) — the assembler never
+//! panics on malformed input (pinned by the corrupt-source corpus in
+//! `tests/assembler_errors.rs`).
+//!
+//! Syntax summary (full table in `docs/isa.md`):
+//!
+//! ```text
+//! # comment
+//! label:                 # labels may share a line with code
+//!     .data
+//! vec: .dword 1, 2, -3   # also .word, .byte, .double, .space N, .align N
+//!     .text
+//!     la   t0, vec
+//!     ld   t1, 8(t0)
+//!     addi t1, t1, 42
+//!     beqz t1, done
+//!     call helper
+//! done:
+//!     halt
+//! ```
+
+use crate::program::{AsmInst, Opcode, Program, DATA_BASE, TEXT_BASE};
+use std::collections::HashMap;
+use std::fmt;
+use vpr_isa::{Inst, LogicalReg, OpClass};
+
+/// Upper bound on the assembled data image, to keep corrupt or
+/// adversarial `.space` directives from ballooning memory.
+pub const MAX_DATA_BYTES: u64 = 1 << 20;
+
+/// An assembly failure: what went wrong and on which source line
+/// (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line the error was detected on.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+/// The failure classes the assembler reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// The mnemonic is not part of the ISA.
+    UnknownMnemonic(String),
+    /// The directive is not recognised.
+    UnknownDirective(String),
+    /// A directive appeared in the wrong section (e.g. `.dword` in
+    /// `.text`) or an instruction appeared in `.data`.
+    MisplacedItem(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// A referenced label was never defined.
+    UndefinedLabel(String),
+    /// A label name is not `[A-Za-z_.][A-Za-z0-9_.]*`.
+    BadLabelName(String),
+    /// An immediate lies outside the mnemonic's encodable range.
+    ImmediateOutOfRange {
+        /// The mnemonic whose range was violated.
+        mnemonic: String,
+        /// The offending value.
+        value: i64,
+        /// Smallest accepted value.
+        min: i64,
+        /// Largest accepted value.
+        max: i64,
+    },
+    /// A register operand is not a valid register name.
+    BadRegister(String),
+    /// An operand could not be parsed (bad number, malformed `imm(reg)`
+    /// form, …).
+    BadOperand(String),
+    /// The mnemonic got the wrong number of operands.
+    WrongOperandCount {
+        /// The mnemonic.
+        mnemonic: String,
+        /// Operands the mnemonic requires.
+        expected: usize,
+        /// Operands found on the line.
+        found: usize,
+    },
+    /// The program has no instructions.
+    EmptyProgram,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.kind)
+    }
+}
+
+impl fmt::Display for AsmErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::UnknownDirective(d) => write!(f, "unknown directive `{d}`"),
+            AsmErrorKind::MisplacedItem(what) => write!(f, "{what}"),
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmErrorKind::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmErrorKind::BadLabelName(l) => write!(f, "bad label name `{l}`"),
+            AsmErrorKind::ImmediateOutOfRange {
+                mnemonic,
+                value,
+                min,
+                max,
+            } => write!(
+                f,
+                "immediate {value} out of range for `{mnemonic}` (allowed {min}..={max})"
+            ),
+            AsmErrorKind::BadRegister(r) => write!(f, "bad register `{r}`"),
+            AsmErrorKind::BadOperand(o) => write!(f, "bad operand `{o}`"),
+            AsmErrorKind::WrongOperandCount {
+                mnemonic,
+                expected,
+                found,
+            } => write!(f, "`{mnemonic}` takes {expected} operand(s), found {found}"),
+            AsmErrorKind::EmptyProgram => write!(f, "program has no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+// ----------------------------------------------------------------------
+// Lexing helpers
+// ----------------------------------------------------------------------
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn is_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+/// Splits leading `label:` definitions off a line, returning the labels
+/// and the remaining statement.
+fn split_labels(mut rest: &str) -> (Vec<&str>, &str) {
+    let mut labels = Vec::new();
+    loop {
+        rest = rest.trim_start();
+        let Some(colon) = rest.find(':') else { break };
+        let candidate = rest[..colon].trim();
+        // Only take it as a label when the prefix looks like a name (a
+        // colon inside an operand list never does: operands contain
+        // commas or parentheses before any colon).
+        if candidate.is_empty()
+            || candidate.contains(char::is_whitespace)
+            || candidate.contains(',')
+            || candidate.contains('(')
+        {
+            break;
+        }
+        labels.push(candidate);
+        rest = &rest[colon + 1..];
+    }
+    (labels, rest.trim())
+}
+
+fn parse_int(tok: &str) -> Option<i64> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { v.wrapping_neg() } else { v })
+}
+
+fn int_reg(tok: &str) -> Option<u8> {
+    let named = |n: u8| Some(n);
+    match tok {
+        "zero" => named(0),
+        "ra" => named(1),
+        "sp" => named(2),
+        "gp" => named(3),
+        "tp" => named(4),
+        "fp" => named(8),
+        _ => {
+            let (prefix, digits) = tok.split_at(tok.len().min(1));
+            let n: u8 = digits.parse().ok()?;
+            match prefix {
+                "x" if n <= 31 => Some(n),
+                "t" if n <= 2 => Some(5 + n),
+                "t" if (3..=6).contains(&n) => Some(28 + n - 3),
+                "s" if n <= 1 => Some(8 + n),
+                "s" if (2..=11).contains(&n) => Some(18 + n - 2),
+                "a" if n <= 7 => Some(10 + n),
+                _ => None,
+            }
+        }
+    }
+}
+
+fn fp_reg(tok: &str) -> Option<u8> {
+    let digits = tok.strip_prefix('f')?;
+    let n: u8 = digits.parse().ok()?;
+    (n <= 31).then_some(n)
+}
+
+// ----------------------------------------------------------------------
+// The assembler
+// ----------------------------------------------------------------------
+
+/// How many 4-byte instruction slots a mnemonic expands to.
+fn slots(mnemonic: &str) -> u64 {
+    if mnemonic == "call" {
+        2
+    } else {
+        1
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Section {
+    Text,
+    Data,
+}
+
+struct Assembler<'a> {
+    labels: HashMap<&'a str, u64>,
+}
+
+/// Assembles `src` into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, with its 1-based source
+/// line. The assembler never panics on malformed input.
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    let mut asm = Assembler {
+        labels: HashMap::new(),
+    };
+    asm.place_labels(src)?;
+    asm.encode(src)
+}
+
+impl<'a> Assembler<'a> {
+    /// Pass 1: record every label's address.
+    fn place_labels(&mut self, src: &'a str) -> Result<(), AsmError> {
+        let mut section = Section::Text;
+        let mut text_pc = TEXT_BASE;
+        let mut data_addr = DATA_BASE;
+        for (idx, raw) in src.lines().enumerate() {
+            let line = idx + 1;
+            let err = |kind| AsmError { line, kind };
+            let (labels, stmt) = split_labels(strip_comment(raw));
+            for label in labels {
+                if !is_label_name(label) {
+                    return Err(err(AsmErrorKind::BadLabelName(label.to_string())));
+                }
+                let addr = match section {
+                    Section::Text => text_pc,
+                    Section::Data => data_addr,
+                };
+                if self.labels.insert(label, addr).is_some() {
+                    return Err(err(AsmErrorKind::DuplicateLabel(label.to_string())));
+                }
+            }
+            if stmt.is_empty() {
+                continue;
+            }
+            let (head, tail) = head_tail(stmt);
+            if let Some(directive) = head.strip_prefix('.') {
+                match directive {
+                    "text" => section = Section::Text,
+                    "data" => section = Section::Data,
+                    _ => {
+                        if section != Section::Data {
+                            return Err(err(AsmErrorKind::MisplacedItem(format!(
+                                "directive `{head}` is only allowed in .data"
+                            ))));
+                        }
+                        data_addr += data_size(directive, tail, data_addr)
+                            .map_err(|kind| AsmError { line, kind })?;
+                        if data_addr - DATA_BASE > MAX_DATA_BYTES {
+                            return Err(err(AsmErrorKind::ImmediateOutOfRange {
+                                mnemonic: format!(".{directive}"),
+                                value: (data_addr - DATA_BASE) as i64,
+                                min: 0,
+                                max: MAX_DATA_BYTES as i64,
+                            }));
+                        }
+                    }
+                }
+            } else {
+                if section != Section::Text {
+                    return Err(err(AsmErrorKind::MisplacedItem(format!(
+                        "instruction `{head}` is only allowed in .text"
+                    ))));
+                }
+                // Unknown mnemonics are sized as one slot here and
+                // reported (with the right line) by pass 2.
+                text_pc += 4 * slots(head);
+            }
+        }
+        Ok(())
+    }
+
+    /// Pass 2: encode instructions and the data image. Section placement
+    /// was already validated by pass 1, so only content errors remain.
+    fn encode(&self, src: &'a str) -> Result<Program, AsmError> {
+        let mut insts: Vec<AsmInst> = Vec::new();
+        let mut image: Vec<u8> = Vec::new();
+        for (idx, raw) in src.lines().enumerate() {
+            let line = idx + 1;
+            let (_, stmt) = split_labels(strip_comment(raw));
+            if stmt.is_empty() {
+                continue;
+            }
+            let (head, tail) = head_tail(stmt);
+            if let Some(directive) = head.strip_prefix('.') {
+                match directive {
+                    "text" | "data" => {}
+                    _ => self
+                        .encode_data(directive, tail, &mut image)
+                        .map_err(|kind| AsmError { line, kind })?,
+                }
+            } else {
+                let pc = TEXT_BASE + 4 * insts.len() as u64;
+                let expanded = self
+                    .encode_inst(head, tail, pc)
+                    .map_err(|kind| AsmError { line, kind })?;
+                insts.extend(expanded);
+            }
+        }
+        if insts.is_empty() {
+            return Err(AsmError {
+                line: src.lines().count().max(1),
+                kind: AsmErrorKind::EmptyProgram,
+            });
+        }
+        let data = if image.is_empty() {
+            Vec::new()
+        } else {
+            vec![(DATA_BASE, image)]
+        };
+        Ok(Program {
+            insts,
+            data,
+            entry: TEXT_BASE,
+            fingerprint: vpr_snap::fnv1a(src.as_bytes()),
+        })
+    }
+
+    fn lookup(&self, label: &str) -> Result<u64, AsmErrorKind> {
+        self.labels
+            .get(label)
+            .copied()
+            .ok_or_else(|| AsmErrorKind::UndefinedLabel(label.to_string()))
+    }
+
+    /// An immediate operand: a literal or a label reference.
+    fn imm_or_label(&self, tok: &str) -> Result<i64, AsmErrorKind> {
+        if let Some(v) = parse_int(tok) {
+            return Ok(v);
+        }
+        if is_label_name(tok) {
+            return Ok(self.lookup(tok)? as i64);
+        }
+        Err(AsmErrorKind::BadOperand(tok.to_string()))
+    }
+
+    fn encode_data(
+        &self,
+        directive: &str,
+        tail: &str,
+        image: &mut Vec<u8>,
+    ) -> Result<(), AsmErrorKind> {
+        let values = || -> Result<Vec<&str>, AsmErrorKind> {
+            let vs: Vec<&str> = tail.split(',').map(str::trim).collect();
+            if vs.iter().any(|v| v.is_empty()) {
+                return Err(AsmErrorKind::BadOperand(tail.to_string()));
+            }
+            Ok(vs)
+        };
+        match directive {
+            "dword" => {
+                for v in values()? {
+                    let x = self.imm_or_label(v)?;
+                    image.extend_from_slice(&(x as u64).to_le_bytes());
+                }
+            }
+            "word" => {
+                for v in values()? {
+                    let x = self.imm_or_label(v)?;
+                    check_range("word", x, i32::MIN as i64, u32::MAX as i64)?;
+                    image.extend_from_slice(&(x as u32).to_le_bytes());
+                }
+            }
+            "byte" => {
+                for v in values()? {
+                    let x = self.imm_or_label(v)?;
+                    check_range("byte", x, i8::MIN as i64, u8::MAX as i64)?;
+                    image.push(x as u8);
+                }
+            }
+            "double" => {
+                for v in values()? {
+                    let x: f64 = v
+                        .parse()
+                        .map_err(|_| AsmErrorKind::BadOperand(v.to_string()))?;
+                    image.extend_from_slice(&x.to_bits().to_le_bytes());
+                }
+            }
+            "space" => {
+                let n =
+                    parse_int(tail).ok_or_else(|| AsmErrorKind::BadOperand(tail.to_string()))?;
+                check_range("space", n, 0, MAX_DATA_BYTES as i64)?;
+                image.resize(image.len() + n as usize, 0);
+            }
+            "align" => {
+                let n =
+                    parse_int(tail).ok_or_else(|| AsmErrorKind::BadOperand(tail.to_string()))?;
+                check_range("align", n, 1, 4096)?;
+                let n = n as usize;
+                let pad = (n - image.len() % n) % n;
+                image.resize(image.len() + pad, 0);
+            }
+            _ => return Err(AsmErrorKind::UnknownDirective(format!(".{directive}"))),
+        }
+        Ok(())
+    }
+
+    fn encode_inst(
+        &self,
+        mnemonic: &str,
+        tail: &str,
+        pc: u64,
+    ) -> Result<Vec<AsmInst>, AsmErrorKind> {
+        let ops: Vec<&str> = if tail.is_empty() {
+            Vec::new()
+        } else {
+            tail.split(',').map(str::trim).collect()
+        };
+        let expect = |n: usize| -> Result<(), AsmErrorKind> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(AsmErrorKind::WrongOperandCount {
+                    mnemonic: mnemonic.to_string(),
+                    expected: n,
+                    found: ops.len(),
+                })
+            }
+        };
+        let ireg = |tok: &str| -> Result<u8, AsmErrorKind> {
+            int_reg(tok).ok_or_else(|| AsmErrorKind::BadRegister(tok.to_string()))
+        };
+        let freg = |tok: &str| -> Result<u8, AsmErrorKind> {
+            fp_reg(tok).ok_or_else(|| AsmErrorKind::BadRegister(tok.to_string()))
+        };
+        // `imm(reg)` memory operand.
+        let mem_operand = |tok: &str| -> Result<(i64, u8), AsmErrorKind> {
+            let open = tok
+                .find('(')
+                .ok_or_else(|| AsmErrorKind::BadOperand(tok.to_string()))?;
+            let close = tok
+                .strip_suffix(')')
+                .ok_or_else(|| AsmErrorKind::BadOperand(tok.to_string()))?;
+            let off_str = tok[..open].trim();
+            let off = if off_str.is_empty() {
+                0
+            } else {
+                parse_int(off_str).ok_or_else(|| AsmErrorKind::BadOperand(tok.to_string()))?
+            };
+            check_range(mnemonic, off, -2048, 2047)?;
+            let base = ireg(close[open + 1..].trim())?;
+            Ok((off, base))
+        };
+
+        let int3 = |op: Opcode, class: OpClass| -> Result<Vec<AsmInst>, AsmErrorKind> {
+            expect(3)?;
+            let (rd, rs1, rs2) = (ireg(ops[0])?, ireg(ops[1])?, ireg(ops[2])?);
+            Ok(vec![AsmInst {
+                op,
+                rd,
+                rs1,
+                rs2,
+                imm: 0,
+                tinst: Inst::new(class)
+                    .with_dest(LogicalReg::int(rd as usize))
+                    .with_src1(LogicalReg::int(rs1 as usize))
+                    .with_src2(LogicalReg::int(rs2 as usize)),
+            }])
+        };
+        let int_imm = |op: Opcode, min: i64, max: i64| -> Result<Vec<AsmInst>, AsmErrorKind> {
+            expect(3)?;
+            let (rd, rs1) = (ireg(ops[0])?, ireg(ops[1])?);
+            let imm =
+                parse_int(ops[2]).ok_or_else(|| AsmErrorKind::BadOperand(ops[2].to_string()))?;
+            check_range(mnemonic, imm, min, max)?;
+            Ok(vec![AsmInst {
+                op,
+                rd,
+                rs1,
+                rs2: 0,
+                imm,
+                tinst: Inst::new(OpClass::IntAlu)
+                    .with_dest(LogicalReg::int(rd as usize))
+                    .with_src1(LogicalReg::int(rs1 as usize)),
+            }])
+        };
+        let load = |op: Opcode, fp_dest: bool| -> Result<Vec<AsmInst>, AsmErrorKind> {
+            expect(2)?;
+            let rd = if fp_dest {
+                freg(ops[0])?
+            } else {
+                ireg(ops[0])?
+            };
+            let (imm, rs1) = mem_operand(ops[1])?;
+            let dest = if fp_dest {
+                LogicalReg::fp(rd as usize)
+            } else {
+                LogicalReg::int(rd as usize)
+            };
+            Ok(vec![AsmInst {
+                op,
+                rd,
+                rs1,
+                rs2: 0,
+                imm,
+                tinst: Inst::new(OpClass::Load)
+                    .with_dest(dest)
+                    .with_src1(LogicalReg::int(rs1 as usize)),
+            }])
+        };
+        let store = |op: Opcode, fp_src: bool| -> Result<Vec<AsmInst>, AsmErrorKind> {
+            expect(2)?;
+            let rv = if fp_src { freg(ops[0])? } else { ireg(ops[0])? };
+            let (imm, rb) = mem_operand(ops[1])?;
+            let data = if fp_src {
+                LogicalReg::fp(rv as usize)
+            } else {
+                LogicalReg::int(rv as usize)
+            };
+            Ok(vec![AsmInst {
+                op,
+                rd: 0,
+                rs1: rb,
+                rs2: rv,
+                imm,
+                tinst: Inst::new(OpClass::Store)
+                    .with_src1(data)
+                    .with_src2(LogicalReg::int(rb as usize)),
+            }])
+        };
+        let branch = |op: Opcode, zero_form: bool| -> Result<Vec<AsmInst>, AsmErrorKind> {
+            let (rs1, rs2, target) = if zero_form {
+                expect(2)?;
+                (ireg(ops[0])?, 0, ops[1])
+            } else {
+                expect(3)?;
+                (ireg(ops[0])?, ireg(ops[1])?, ops[2])
+            };
+            let imm = self.imm_or_label(target)?;
+            Ok(vec![AsmInst {
+                op,
+                rd: 0,
+                rs1,
+                rs2,
+                imm,
+                tinst: Inst::new(OpClass::BranchCond)
+                    .with_src1(LogicalReg::int(rs1 as usize))
+                    .with_src2(LogicalReg::int(rs2 as usize)),
+            }])
+        };
+        let fp3 = |op: Opcode, class: OpClass| -> Result<Vec<AsmInst>, AsmErrorKind> {
+            expect(3)?;
+            let (rd, rs1, rs2) = (freg(ops[0])?, freg(ops[1])?, freg(ops[2])?);
+            Ok(vec![AsmInst {
+                op,
+                rd,
+                rs1,
+                rs2,
+                imm: 0,
+                tinst: Inst::new(class)
+                    .with_dest(LogicalReg::fp(rd as usize))
+                    .with_src1(LogicalReg::fp(rs1 as usize))
+                    .with_src2(LogicalReg::fp(rs2 as usize)),
+            }])
+        };
+        let fcmp = |op: Opcode| -> Result<Vec<AsmInst>, AsmErrorKind> {
+            expect(3)?;
+            let (rd, rs1, rs2) = (ireg(ops[0])?, freg(ops[1])?, freg(ops[2])?);
+            Ok(vec![AsmInst {
+                op,
+                rd,
+                rs1,
+                rs2,
+                imm: 0,
+                tinst: Inst::new(OpClass::FpAdd)
+                    .with_dest(LogicalReg::int(rd as usize))
+                    .with_src1(LogicalReg::fp(rs1 as usize))
+                    .with_src2(LogicalReg::fp(rs2 as usize)),
+            }])
+        };
+
+        match mnemonic {
+            "add" => int3(Opcode::Add, OpClass::IntAlu),
+            "sub" => int3(Opcode::Sub, OpClass::IntAlu),
+            "mul" => int3(Opcode::Mul, OpClass::IntMul),
+            "div" => int3(Opcode::Div, OpClass::IntDiv),
+            "rem" => int3(Opcode::Rem, OpClass::IntDiv),
+            "and" => int3(Opcode::And, OpClass::IntAlu),
+            "or" => int3(Opcode::Or, OpClass::IntAlu),
+            "xor" => int3(Opcode::Xor, OpClass::IntAlu),
+            "sll" => int3(Opcode::Sll, OpClass::IntAlu),
+            "srl" => int3(Opcode::Srl, OpClass::IntAlu),
+            "sra" => int3(Opcode::Sra, OpClass::IntAlu),
+            "slt" => int3(Opcode::Slt, OpClass::IntAlu),
+            "sltu" => int3(Opcode::Sltu, OpClass::IntAlu),
+            "addi" => int_imm(Opcode::Addi, -2048, 2047),
+            "andi" => int_imm(Opcode::Andi, -2048, 2047),
+            "ori" => int_imm(Opcode::Ori, -2048, 2047),
+            "xori" => int_imm(Opcode::Xori, -2048, 2047),
+            "slti" => int_imm(Opcode::Slti, -2048, 2047),
+            "slli" => int_imm(Opcode::Slli, 0, 63),
+            "srli" => int_imm(Opcode::Srli, 0, 63),
+            "srai" => int_imm(Opcode::Srai, 0, 63),
+            "li" | "la" => {
+                expect(2)?;
+                let rd = ireg(ops[0])?;
+                let imm = if mnemonic == "la" {
+                    self.lookup(ops[1])? as i64
+                } else {
+                    self.imm_or_label(ops[1])?
+                };
+                Ok(vec![li_inst(rd, imm)])
+            }
+            "mv" => {
+                expect(2)?;
+                let (rd, rs1) = (ireg(ops[0])?, ireg(ops[1])?);
+                Ok(vec![AsmInst {
+                    op: Opcode::Addi,
+                    rd,
+                    rs1,
+                    rs2: 0,
+                    imm: 0,
+                    tinst: Inst::new(OpClass::IntAlu)
+                        .with_dest(LogicalReg::int(rd as usize))
+                        .with_src1(LogicalReg::int(rs1 as usize)),
+                }])
+            }
+            "ld" => load(Opcode::Ld, false),
+            "lw" => load(Opcode::Lw, false),
+            "lb" => load(Opcode::Lb, false),
+            "lbu" => load(Opcode::Lbu, false),
+            "fld" => load(Opcode::Fld, true),
+            "sd" => store(Opcode::Sd, false),
+            "sw" => store(Opcode::Sw, false),
+            "sb" => store(Opcode::Sb, false),
+            "fsd" => store(Opcode::Fsd, true),
+            "beq" => branch(Opcode::Beq, false),
+            "bne" => branch(Opcode::Bne, false),
+            "blt" => branch(Opcode::Blt, false),
+            "bge" => branch(Opcode::Bge, false),
+            "bltu" => branch(Opcode::Bltu, false),
+            "bgeu" => branch(Opcode::Bgeu, false),
+            "beqz" => branch(Opcode::Beq, true),
+            "bnez" => branch(Opcode::Bne, true),
+            "bltz" => branch(Opcode::Blt, true),
+            "bgez" => branch(Opcode::Bge, true),
+            "j" => {
+                expect(1)?;
+                let imm = self.imm_or_label(ops[0])?;
+                Ok(vec![jump_inst(imm)])
+            }
+            "jr" => {
+                expect(1)?;
+                let rs1 = ireg(ops[0])?;
+                Ok(vec![jr_inst(rs1)])
+            }
+            "ret" => {
+                expect(0)?;
+                Ok(vec![jr_inst(1)])
+            }
+            "call" => {
+                // `call f` expands to two architectural instructions so the
+                // return address is a real register write the renamer sees:
+                //   li ra, <pc+8>   (the address after the jump)
+                //   j  f
+                // (`j` is a BranchUncond and cannot carry a destination
+                // register in this timing model, hence the explicit `li`.)
+                expect(1)?;
+                let target = self.imm_or_label(ops[0])?;
+                Ok(vec![li_inst(1, (pc + 8) as i64), jump_inst(target)])
+            }
+            "fadd.d" => fp3(Opcode::FaddD, OpClass::FpAdd),
+            "fsub.d" => fp3(Opcode::FsubD, OpClass::FpAdd),
+            "fmul.d" => fp3(Opcode::FmulD, OpClass::FpMul),
+            "fdiv.d" => fp3(Opcode::FdivD, OpClass::FpDiv),
+            "fsqrt.d" | "fmv.d" => {
+                expect(2)?;
+                let (rd, rs1) = (freg(ops[0])?, freg(ops[1])?);
+                let (op, class) = if mnemonic == "fsqrt.d" {
+                    (Opcode::FsqrtD, OpClass::FpSqrt)
+                } else {
+                    (Opcode::FmvD, OpClass::FpAdd)
+                };
+                Ok(vec![AsmInst {
+                    op,
+                    rd,
+                    rs1,
+                    rs2: 0,
+                    imm: 0,
+                    tinst: Inst::new(class)
+                        .with_dest(LogicalReg::fp(rd as usize))
+                        .with_src1(LogicalReg::fp(rs1 as usize)),
+                }])
+            }
+            "fcvt.d.l" => {
+                expect(2)?;
+                let (rd, rs1) = (freg(ops[0])?, ireg(ops[1])?);
+                Ok(vec![AsmInst {
+                    op: Opcode::FcvtDL,
+                    rd,
+                    rs1,
+                    rs2: 0,
+                    imm: 0,
+                    tinst: Inst::new(OpClass::FpAdd)
+                        .with_dest(LogicalReg::fp(rd as usize))
+                        .with_src1(LogicalReg::int(rs1 as usize)),
+                }])
+            }
+            "fcvt.l.d" => {
+                expect(2)?;
+                let (rd, rs1) = (ireg(ops[0])?, freg(ops[1])?);
+                Ok(vec![AsmInst {
+                    op: Opcode::FcvtLD,
+                    rd,
+                    rs1,
+                    rs2: 0,
+                    imm: 0,
+                    tinst: Inst::new(OpClass::FpAdd)
+                        .with_dest(LogicalReg::int(rd as usize))
+                        .with_src1(LogicalReg::fp(rs1 as usize)),
+                }])
+            }
+            "flt.d" => fcmp(Opcode::FltD),
+            "fle.d" => fcmp(Opcode::FleD),
+            "feq.d" => fcmp(Opcode::FeqD),
+            "nop" => {
+                expect(0)?;
+                Ok(vec![AsmInst {
+                    op: Opcode::Nop,
+                    rd: 0,
+                    rs1: 0,
+                    rs2: 0,
+                    imm: 0,
+                    tinst: Inst::new(OpClass::Nop),
+                }])
+            }
+            "halt" => {
+                expect(0)?;
+                Ok(vec![AsmInst {
+                    op: Opcode::Halt,
+                    rd: 0,
+                    rs1: 0,
+                    rs2: 0,
+                    imm: 0,
+                    tinst: Inst::new(OpClass::Nop),
+                }])
+            }
+            _ => Err(AsmErrorKind::UnknownMnemonic(mnemonic.to_string())),
+        }
+    }
+}
+
+fn li_inst(rd: u8, imm: i64) -> AsmInst {
+    AsmInst {
+        op: Opcode::Li,
+        rd,
+        rs1: 0,
+        rs2: 0,
+        imm,
+        tinst: Inst::new(OpClass::IntAlu).with_dest(LogicalReg::int(rd as usize)),
+    }
+}
+
+fn jump_inst(target: i64) -> AsmInst {
+    AsmInst {
+        op: Opcode::J,
+        rd: 0,
+        rs1: 0,
+        rs2: 0,
+        imm: target,
+        tinst: Inst::new(OpClass::BranchUncond),
+    }
+}
+
+fn jr_inst(rs1: u8) -> AsmInst {
+    AsmInst {
+        op: Opcode::Jr,
+        rd: 0,
+        rs1,
+        rs2: 0,
+        imm: 0,
+        tinst: Inst::new(OpClass::BranchUncond).with_src1(LogicalReg::int(rs1 as usize)),
+    }
+}
+
+/// Pass-1 size of a data directive, in bytes. Must agree exactly with
+/// the bytes `encode_data` emits in pass 2, or labels would drift.
+fn data_size(directive: &str, tail: &str, data_addr: u64) -> Result<u64, AsmErrorKind> {
+    let count = || -> Result<u64, AsmErrorKind> {
+        let vs: Vec<&str> = tail.split(',').map(str::trim).collect();
+        if vs.iter().any(|v| v.is_empty()) {
+            return Err(AsmErrorKind::BadOperand(tail.to_string()));
+        }
+        Ok(vs.len() as u64)
+    };
+    match directive {
+        "dword" | "double" => Ok(8 * count()?),
+        "word" => Ok(4 * count()?),
+        "byte" => count(),
+        "space" => {
+            let n = parse_int(tail).ok_or_else(|| AsmErrorKind::BadOperand(tail.to_string()))?;
+            check_range("space", n, 0, MAX_DATA_BYTES as i64)?;
+            Ok(n as u64)
+        }
+        "align" => {
+            let n = parse_int(tail).ok_or_else(|| AsmErrorKind::BadOperand(tail.to_string()))?;
+            check_range("align", n, 1, 4096)?;
+            let n = n as u64;
+            let offset = data_addr - DATA_BASE;
+            Ok((n - offset % n) % n)
+        }
+        _ => Err(AsmErrorKind::UnknownDirective(format!(".{directive}"))),
+    }
+}
+
+fn check_range(mnemonic: &str, value: i64, min: i64, max: i64) -> Result<(), AsmErrorKind> {
+    if (min..=max).contains(&value) {
+        Ok(())
+    } else {
+        Err(AsmErrorKind::ImmediateOutOfRange {
+            mnemonic: mnemonic.to_string(),
+            value,
+            min,
+            max,
+        })
+    }
+}
+
+fn head_tail(stmt: &str) -> (&str, &str) {
+    match stmt.split_once(char::is_whitespace) {
+        Some((h, t)) => (h, t.trim()),
+        None => (stmt, ""),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{DATA_BASE, TEXT_BASE};
+
+    fn kind_of(src: &str) -> (usize, AsmErrorKind) {
+        let e = assemble(src).expect_err("should not assemble");
+        (e.line, e.kind)
+    }
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let p = assemble(
+            "start:\n    addi t0, zero, 1\n    beqz t0, done\n    j start\ndone:\n    halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.insts.len(), 4);
+        // `beqz t0, done` → forward target = TEXT_BASE + 12.
+        assert_eq!(p.insts[1].imm, (TEXT_BASE + 12) as i64);
+        // `j start` → backward target = TEXT_BASE.
+        assert_eq!(p.insts[2].imm, TEXT_BASE as i64);
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error_with_line() {
+        let (line, kind) = kind_of("a:\n    nop\na:\n    halt\n");
+        assert_eq!(line, 3);
+        assert_eq!(kind, AsmErrorKind::DuplicateLabel("a".into()));
+    }
+
+    #[test]
+    fn undefined_label_is_an_error_with_line() {
+        let (line, kind) = kind_of("    nop\n    j nowhere\n");
+        assert_eq!(line, 2);
+        assert_eq!(kind, AsmErrorKind::UndefinedLabel("nowhere".into()));
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_an_error_with_line() {
+        let (line, kind) = kind_of("    nop\n    frobnicate t0, t1\n");
+        assert_eq!(line, 2);
+        assert_eq!(kind, AsmErrorKind::UnknownMnemonic("frobnicate".into()));
+    }
+
+    #[test]
+    fn addi_immediate_range_is_enforced() {
+        assert!(assemble("    addi t0, t0, 2047\n").is_ok());
+        assert!(assemble("    addi t0, t0, -2048\n").is_ok());
+        let (line, kind) = kind_of("    addi t0, t0, 2048\n");
+        assert_eq!(line, 1);
+        assert!(matches!(
+            kind,
+            AsmErrorKind::ImmediateOutOfRange { value: 2048, .. }
+        ));
+        let (_, kind) = kind_of("    slli t0, t0, 64\n");
+        assert!(matches!(
+            kind,
+            AsmErrorKind::ImmediateOutOfRange { value: 64, .. }
+        ));
+    }
+
+    #[test]
+    fn bad_register_and_operand_count() {
+        let (_, kind) = kind_of("    add t0, t9, t1\n");
+        assert_eq!(kind, AsmErrorKind::BadRegister("t9".into()));
+        let (_, kind) = kind_of("    add t0, t1\n");
+        assert_eq!(
+            kind,
+            AsmErrorKind::WrongOperandCount {
+                mnemonic: "add".into(),
+                expected: 3,
+                found: 2
+            }
+        );
+    }
+
+    #[test]
+    fn call_expands_to_li_ra_plus_jump() {
+        let p = assemble("    nop\n    call f\n    halt\nf:\n    ret\n").unwrap();
+        assert_eq!(p.insts.len(), 5);
+        // call sits at TEXT_BASE+4; its li ra carries the return address
+        // TEXT_BASE+12 (the halt), and its jump targets f = TEXT_BASE+16.
+        assert_eq!(p.insts[1].op, Opcode::Li);
+        assert_eq!(p.insts[1].rd, 1);
+        assert_eq!(p.insts[1].imm, (TEXT_BASE + 12) as i64);
+        assert_eq!(p.insts[2].op, Opcode::J);
+        assert_eq!(p.insts[2].imm, (TEXT_BASE + 16) as i64);
+        // ret = jr ra.
+        assert_eq!(p.insts[4].op, Opcode::Jr);
+        assert_eq!(p.insts[4].rs1, 1);
+    }
+
+    #[test]
+    fn data_directives_lay_out_and_labels_point_into_data() {
+        let p = assemble(
+            "    .data\nv: .dword 1, 2, 3\nb: .byte 7\n    .align 8\nw: .space 16\n    .text\n    la t0, v\n    la t1, w\n    halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.insts[0].imm, DATA_BASE as i64);
+        assert_eq!(p.insts[1].imm, (DATA_BASE + 32) as i64);
+        let (base, image) = &p.data[0];
+        assert_eq!(*base, DATA_BASE);
+        assert_eq!(image.len(), 48);
+        assert_eq!(u64::from_le_bytes(image[8..16].try_into().unwrap()), 2);
+        assert_eq!(image[24], 7);
+    }
+
+    #[test]
+    fn misplaced_items_are_rejected() {
+        let (_, kind) = kind_of("    .dword 1\n");
+        assert!(matches!(kind, AsmErrorKind::MisplacedItem(_)));
+        let (_, kind) = kind_of("    .data\n    addi t0, t0, 1\n");
+        assert!(matches!(kind, AsmErrorKind::MisplacedItem(_)));
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        let (_, kind) = kind_of("# nothing\n    .data\nx: .dword 1\n");
+        assert_eq!(kind, AsmErrorKind::EmptyProgram);
+    }
+
+    #[test]
+    fn abi_register_names_map_correctly() {
+        assert_eq!(int_reg("zero"), Some(0));
+        assert_eq!(int_reg("ra"), Some(1));
+        assert_eq!(int_reg("sp"), Some(2));
+        assert_eq!(int_reg("t0"), Some(5));
+        assert_eq!(int_reg("t3"), Some(28));
+        assert_eq!(int_reg("s0"), Some(8));
+        assert_eq!(int_reg("fp"), Some(8));
+        assert_eq!(int_reg("s2"), Some(18));
+        assert_eq!(int_reg("a0"), Some(10));
+        assert_eq!(int_reg("a7"), Some(17));
+        assert_eq!(int_reg("x31"), Some(31));
+        assert_eq!(int_reg("x32"), None);
+        assert_eq!(fp_reg("f31"), Some(31));
+        assert_eq!(fp_reg("fp"), None);
+        assert_eq!(fp_reg("f32"), None);
+    }
+
+    #[test]
+    fn errors_render_with_line_numbers() {
+        let e = assemble("    j nowhere\n").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+        assert!(msg.contains("nowhere"), "{msg}");
+    }
+}

@@ -1,0 +1,198 @@
+//! Assembled programs: the static instruction list plus the initial data
+//! image, ready for the [`Machine`](crate::Machine) to execute.
+
+use vpr_isa::Inst;
+
+/// First text address: instructions live at `TEXT_BASE + 4*i`.
+pub const TEXT_BASE: u64 = 0x1000;
+
+/// First data address: `.data` labels resolve from here.
+pub const DATA_BASE: u64 = 0x1_0000;
+
+/// Initial stack pointer (`sp`/`x2`); the stack grows downwards from here.
+pub const STACK_TOP: u64 = 0x8_0000;
+
+/// Base of the scratch segment the differential-test program generator
+/// targets with its loads and stores. Nothing in the emulator privileges
+/// this range — memory is sparse and fully writable — but sharing one
+/// constant keeps generated programs and their assertions aligned.
+pub const SCRATCH_BASE: u64 = 0x2_0000;
+
+/// Concrete operation of one assembled instruction.
+///
+/// This is the *functional* opcode the emulator executes; the timing
+/// model never sees it — it observes only the pre-computed
+/// [`AsmInst::tinst`] classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opcode {
+    // Integer register-register.
+    /// `add rd, rs1, rs2`
+    Add,
+    /// `sub rd, rs1, rs2`
+    Sub,
+    /// `mul rd, rs1, rs2`
+    Mul,
+    /// `div rd, rs1, rs2` (signed; division by zero yields -1)
+    Div,
+    /// `rem rd, rs1, rs2` (signed; remainder by zero yields rs1)
+    Rem,
+    /// `and rd, rs1, rs2`
+    And,
+    /// `or rd, rs1, rs2`
+    Or,
+    /// `xor rd, rs1, rs2`
+    Xor,
+    /// `sll rd, rs1, rs2` (shift amount = rs2 & 63)
+    Sll,
+    /// `srl rd, rs1, rs2`
+    Srl,
+    /// `sra rd, rs1, rs2`
+    Sra,
+    /// `slt rd, rs1, rs2` (signed compare)
+    Slt,
+    /// `sltu rd, rs1, rs2` (unsigned compare)
+    Sltu,
+    // Integer register-immediate.
+    /// `addi rd, rs1, imm`
+    Addi,
+    /// `andi rd, rs1, imm`
+    Andi,
+    /// `ori rd, rs1, imm`
+    Ori,
+    /// `xori rd, rs1, imm`
+    Xori,
+    /// `slli rd, rs1, shamt`
+    Slli,
+    /// `srli rd, rs1, shamt`
+    Srli,
+    /// `srai rd, rs1, shamt`
+    Srai,
+    /// `slti rd, rs1, imm` (signed compare)
+    Slti,
+    /// `li rd, imm` — also what `la rd, label` and the first half of
+    /// `call` assemble to (a single IntAlu in the timing model; immediate
+    /// width is irrelevant to timing).
+    Li,
+    // Memory.
+    /// `ld rd, imm(rs1)` — 8-byte load
+    Ld,
+    /// `lw rd, imm(rs1)` — 4-byte load, sign-extended
+    Lw,
+    /// `lb rd, imm(rs1)` — 1-byte load, sign-extended
+    Lb,
+    /// `lbu rd, imm(rs1)` — 1-byte load, zero-extended
+    Lbu,
+    /// `sd rs2, imm(rs1)` — 8-byte store
+    Sd,
+    /// `sw rs2, imm(rs1)` — 4-byte store
+    Sw,
+    /// `sb rs2, imm(rs1)` — 1-byte store
+    Sb,
+    /// `fld fd, imm(rs1)` — 8-byte FP load
+    Fld,
+    /// `fsd fs2, imm(rs1)` — 8-byte FP store
+    Fsd,
+    // Branches (imm = absolute target address).
+    /// `beq rs1, rs2, label`
+    Beq,
+    /// `bne rs1, rs2, label`
+    Bne,
+    /// `blt rs1, rs2, label` (signed)
+    Blt,
+    /// `bge rs1, rs2, label` (signed)
+    Bge,
+    /// `bltu rs1, rs2, label` (unsigned)
+    Bltu,
+    /// `bgeu rs1, rs2, label` (unsigned)
+    Bgeu,
+    // Jumps.
+    /// `j label` (imm = absolute target)
+    J,
+    /// `jr rs1` — indirect jump (also `ret` = `jr ra`)
+    Jr,
+    // Floating point (double precision).
+    /// `fadd.d fd, fs1, fs2`
+    FaddD,
+    /// `fsub.d fd, fs1, fs2`
+    FsubD,
+    /// `fmul.d fd, fs1, fs2`
+    FmulD,
+    /// `fdiv.d fd, fs1, fs2`
+    FdivD,
+    /// `fsqrt.d fd, fs1`
+    FsqrtD,
+    /// `fmv.d fd, fs1`
+    FmvD,
+    /// `fcvt.d.l fd, rs1` — signed integer to double
+    FcvtDL,
+    /// `fcvt.l.d rd, fs1` — double to signed integer (saturating)
+    FcvtLD,
+    /// `flt.d rd, fs1, fs2` — 1 if fs1 < fs2 else 0
+    FltD,
+    /// `fle.d rd, fs1, fs2`
+    FleD,
+    /// `feq.d rd, fs1, fs2`
+    FeqD,
+    // Misc.
+    /// `nop`
+    Nop,
+    /// `halt` — ends the run (the stream either terminates or wraps to
+    /// the entry point, see [`Mode`](crate::Mode))
+    Halt,
+}
+
+/// One assembled instruction: functional opcode, register indices, the
+/// resolved immediate, and the pre-computed timing-model classification.
+///
+/// Register fields index the integer or FP file depending on the opcode;
+/// unused fields are zero. Branch and jump targets are resolved to
+/// absolute addresses in `imm` by the assembler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsmInst {
+    /// The functional operation.
+    pub op: Opcode,
+    /// Destination register index, where applicable.
+    pub rd: u8,
+    /// First source register index.
+    pub rs1: u8,
+    /// Second source register index.
+    pub rs2: u8,
+    /// Immediate / offset / resolved absolute target.
+    pub imm: i64,
+    /// What the timing pipeline sees for this instruction: its
+    /// [`OpClass`](vpr_isa::OpClass) and logical register operands.
+    pub tinst: Inst,
+}
+
+/// An assembled program: text, initial data image, and entry point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Instructions, laid out at [`TEXT_BASE`]` + 4*i`.
+    pub insts: Vec<AsmInst>,
+    /// Initial data chunks `(address, bytes)`, applied at machine reset.
+    pub data: Vec<(u64, Vec<u8>)>,
+    /// Address of the first executed instruction (= [`TEXT_BASE`]).
+    pub entry: u64,
+    /// FNV-1a hash of the source text — the shape check
+    /// [`ExecStream`](crate::ExecStream)'s `Resumable` impl uses to
+    /// reject snapshots taken over a different program.
+    pub fingerprint: u64,
+}
+
+impl Program {
+    /// Address one past the last instruction; execution reaching it is an
+    /// implicit halt (falling off the end of the text).
+    pub fn text_end(&self) -> u64 {
+        TEXT_BASE + 4 * self.insts.len() as u64
+    }
+
+    /// The instruction index for `pc`, or `None` when `pc` lies outside
+    /// the text segment (including the implicit-halt address).
+    pub fn inst_index(&self, pc: u64) -> Option<usize> {
+        if pc < TEXT_BASE || !pc.is_multiple_of(4) {
+            return None;
+        }
+        let idx = ((pc - TEXT_BASE) / 4) as usize;
+        (idx < self.insts.len()).then_some(idx)
+    }
+}

@@ -1,0 +1,81 @@
+//! Corrupt-source corpus: the assembler must return a typed error with a
+//! line number for every malformed input — never panic, never accept.
+
+use vpr_exec::{assemble, AsmErrorKind};
+
+/// Each entry: (source, expected line, a predicate name for the message).
+const CORPUS: &[(&str, usize)] = &[
+    // Garbage mnemonics and operands.
+    ("    garbage\n", 1),
+    ("    add t0 t1 t2\n", 1),        // missing commas
+    ("    addi t0, t1\n", 1),         // missing operand
+    ("    addi t0, t1, t2, t3\n", 1), // extra operand
+    ("    add t0, q7, t1\n", 1),      // bad register
+    ("    fadd.d f1, t0, f2\n", 1),   // int reg in fp slot
+    ("    ld t0, (\n", 1),            // mangled mem operand
+    ("    ld t0, 8(t1\n", 1),         // unclosed paren
+    ("    ld t0, 4096(t1)\n", 1),     // offset out of range
+    ("    sd t0, -2049(t1)\n", 1),    // offset out of range
+    ("    addi t0, t0, 99999\n", 1),  // imm out of range
+    ("    srai t0, t0, -1\n", 1),     // shamt out of range
+    ("    li t0, 0xgg\n", 1),         // bad hex
+    ("    j\n", 1),                   // jump with no target
+    ("    j 12q\n", 1),               // malformed target
+    ("    beq t0, t1\n", 1),          // branch missing target
+    // Label problems.
+    ("x:\nx:\n    nop\n", 2),
+    ("    nop\n    bnez t0, missing\n", 2),
+    ("9bad: nop\n", 1), // label starts with a digit
+    ("    call nowhere\n", 1),
+    // Directive problems.
+    ("    .data\n    .quad 1\n", 2),
+    ("    .data\nv: .dword\n", 2),      // no values
+    ("    .data\nv: .dword 1,,2\n", 2), // empty value
+    ("    .data\nv: .byte 300\n", 2),   // byte out of range
+    ("    .data\nv: .space -4\n", 2),
+    ("    .data\nv: .space 99999999\n", 2), // larger than MAX_DATA_BYTES
+    ("    .data\nv: .align 0\n", 2),
+    ("    .data\nv: .double abc\n", 2),
+    ("    .dword 1\n", 1),       // data directive in .text
+    ("    .data\n    nop\n", 2), // instruction in .data
+    // Structurally empty.
+    ("", 1),
+    ("# only a comment\n", 1),
+    ("    .data\nv: .dword 1\n", 2), // data but no text
+];
+
+#[test]
+fn corrupt_sources_yield_typed_errors_with_lines() {
+    for (src, line) in CORPUS {
+        let err = assemble(src).expect_err(&format!("accepted corrupt source: {src:?}"));
+        assert_eq!(
+            err.line, *line,
+            "wrong line for {src:?}: got {} ({})",
+            err.line, err.kind
+        );
+        // Every error renders with its line number.
+        assert!(err.to_string().starts_with(&format!("line {}", err.line)));
+    }
+}
+
+#[test]
+fn error_kinds_are_inspectable() {
+    let err = assemble("    addi t0, t0, 5000\n").unwrap_err();
+    match err.kind {
+        AsmErrorKind::ImmediateOutOfRange {
+            value, min, max, ..
+        } => {
+            assert_eq!(value, 5000);
+            assert_eq!((min, max), (-2048, 2047));
+        }
+        other => panic!("expected ImmediateOutOfRange, got {other:?}"),
+    }
+}
+
+#[test]
+fn whitespace_comments_and_shared_label_lines_assemble() {
+    // The flip side of the corpus: hairy-but-legal syntax is accepted.
+    let src = "\n\n# leading comment\n  start:   li t0, 1   # trailing comment\nmid: end: addi t0, t0, 1\n    halt\n";
+    let program = assemble(src).expect("legal source rejected");
+    assert_eq!(program.insts.len(), 3);
+}

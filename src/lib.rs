@@ -12,6 +12,9 @@
 //!
 //! * [`isa`] — instruction-set model (ops, registers, dynamic instructions)
 //! * [`trace`] — synthetic SPEC95-like workload generators
+//! * [`exec`] — RISC-V-style assembler and functional emulator: assembled
+//!   programs (`asm/*.s`) drive the pipeline as real committed-path
+//!   instruction streams
 //! * [`frontend`] — fetch engine and 2-bit branch-history-table predictor
 //! * [`mem`] — lockup-free data cache, bus and memory disambiguation
 //! * [`core`] — the out-of-order core and the renaming schemes
@@ -67,6 +70,7 @@
 #![forbid(unsafe_code)]
 
 pub use vpr_core as core;
+pub use vpr_exec as exec;
 pub use vpr_frontend as frontend;
 pub use vpr_isa as isa;
 pub use vpr_mem as mem;
