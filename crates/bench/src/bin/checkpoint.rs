@@ -19,6 +19,8 @@
 //!     [--run N]                        # verify: continue each restore by N commits
 //!                                      #         and compare against an exact rerun
 //!     [--cross-nrr N1,N2]              # verify: shared-artefact re-target contract
+//!     [--max-age SECS]                 # repair: also reclaim *.corrupt quarantine
+//!                                      #         files at least SECS old (kept otherwise)
 //!     [--warmup N] [--measure N] [--seed N] [--miss-penalty N] [--jobs N]
 //! ```
 //!
@@ -60,6 +62,7 @@ struct Cli {
     shared: bool,
     run: Option<u64>,
     cross_nrr: Option<(usize, usize)>,
+    max_age: Option<u64>,
     exp: ExperimentConfig,
 }
 
@@ -67,7 +70,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: checkpoint <create|inspect|verify|repair> [--dir DIR] [--workload a,b,...] \
          [--schemes l1,l2,...] [--regs N] [--intervals] [--shared] [--run N] \
-         [--cross-nrr N1,N2] \
+         [--cross-nrr N1,N2] [--max-age SECS] \
          [--warmup N] [--measure N] [--seed N] [--miss-penalty N] [--jobs N]"
     );
     std::process::exit(2);
@@ -130,6 +133,12 @@ fn parse_cli() -> Cli {
             std::process::exit(2);
         })
     });
+    let max_age = take_flag_value(&mut args, "--max-age").map(|v| {
+        v.parse().unwrap_or_else(|e| {
+            eprintln!("bad value for --max-age: {e}");
+            std::process::exit(2);
+        })
+    });
     let cross_nrr = take_flag_value(&mut args, "--cross-nrr").map(|v| {
         let parts: Vec<usize> = v
             .split(',')
@@ -164,6 +173,7 @@ fn parse_cli() -> Cli {
         shared,
         run,
         cross_nrr,
+        max_age,
         exp,
     }
 }
@@ -603,6 +613,10 @@ fn verify(cli: &Cli) {
 /// swept. Stale-but-intact artefacts (config-hash or format mismatch
 /// against this invocation's flags) are kept — they may serve another
 /// configuration, and `create` replaces them in place.
+///
+/// Quarantined `*.corrupt` files are evidence and are kept by default;
+/// `--max-age SECS` reclaims the ones at least SECS old and reports the
+/// bytes freed (`--max-age 0` reclaims them all).
 fn repair(cli: &Cli) {
     use vpr_snap::manifest::ManifestError;
     let (mut store, note) = CheckpointStore::open_resilient(&cli.dir);
@@ -610,12 +624,32 @@ fn repair(cli: &Cli) {
         println!("note {note}");
     }
     let mut swept = 0usize;
+    let mut reclaimed_files = 0usize;
+    let mut reclaimed_bytes = 0u64;
     if let Ok(dir) = std::fs::read_dir(&store.dir) {
         for entry in dir.flatten() {
             let path = entry.path();
             if path.extension().is_some_and(|e| e == "tmp") && std::fs::remove_file(&path).is_ok() {
                 println!("swept {}", path.display());
                 swept += 1;
+                continue;
+            }
+            // Orphaned quarantine files: evidence from past corruption,
+            // reclaimed only when the operator sets a retention age.
+            let Some(max_age) = cli.max_age else { continue };
+            if path.extension().is_none_or(|e| e != "corrupt") {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else { continue };
+            let age_secs = meta
+                .modified()
+                .ok()
+                .and_then(|m| std::time::SystemTime::now().duration_since(m).ok())
+                .map(|d| d.as_secs());
+            if age_secs.is_some_and(|age| age >= max_age) && std::fs::remove_file(&path).is_ok() {
+                println!("reclaimed {} ({} bytes)", path.display(), meta.len());
+                reclaimed_files += 1;
+                reclaimed_bytes += meta.len();
             }
         }
     }
@@ -677,10 +711,16 @@ fn repair(cli: &Cli) {
         std::process::exit(1);
     }
     println!(
-        "repaired {}: {} entr{} kept ({stale} stale), {dropped} dropped, {swept} temp file(s) swept",
+        "repaired {}: {} entr{} kept ({stale} stale), {dropped} dropped, {swept} temp file(s) swept{}",
         store.dir.display(),
         store.manifest.entries.len(),
         if store.manifest.entries.len() == 1 { "y" } else { "ies" },
+        match cli.max_age {
+            Some(_) => format!(
+                ", {reclaimed_files} quarantine file(s) reclaimed ({reclaimed_bytes} bytes)"
+            ),
+            None => String::new(),
+        },
     );
 }
 

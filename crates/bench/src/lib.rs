@@ -64,12 +64,14 @@
 pub mod checkpoints;
 pub mod experiments;
 pub mod harness;
+pub mod jobs;
 pub mod sampling;
 pub mod sweep;
 pub mod table;
 pub mod workloads;
 
 pub use harness::{run_benchmark, run_benchmark_observed, ExperimentConfig};
+pub use jobs::{execute_job, JobOutput, JobSpec};
 pub use sampling::{
     sample_benchmark, sample_from_checkpoints, CheckpointedReport, SamplingPlan, SamplingReport,
 };

@@ -150,7 +150,7 @@ impl SweepContext {
 
 /// The per-point result a figure/table needs, independent of whether it
 /// was measured exactly or estimated from samples.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PointMetrics {
     /// Committed IPC (exact, or the sampled estimate).
     pub ipc: f64,
@@ -402,10 +402,11 @@ pub struct SweepMetrics {
     pub telemetry: RunTelemetry,
 }
 
-/// Extra panic attempts granted to each sweep job: one retry, which is
+/// Retry discipline for each sweep job: one immediate retry, which is
 /// exactly what a single transient fault needs and what a deterministic
-/// bug cannot abuse.
-const SWEEP_RETRIES: u32 = 1;
+/// bug cannot abuse. The long-running service layers a backoff policy on
+/// top of the same [`vpr_core::par::RetryPolicy`] machinery.
+const SWEEP_RETRIES: vpr_core::par::RetryPolicy = vpr_core::par::RetryPolicy::immediate(1);
 
 /// The stable label of one sweep point in failure reports and fault-
 /// injection job matching.

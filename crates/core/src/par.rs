@@ -52,6 +52,81 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Retry discipline for [`par_try_map`] and the sweep service: a bounded
+/// retry budget plus capped exponential backoff between attempts.
+///
+/// The historical `par_try_map` behaviour — at most one immediate retry —
+/// is `RetryPolicy::immediate(1)`. A long-running daemon wants a larger
+/// budget with growing delays so a struggling resource (a contended
+/// checkpoint store, a worker that keeps being preempted) is not hammered
+/// at full rate: `RetryPolicy::backoff(budget, base_ms, cap_ms)` delays
+/// the n-th retry by `min(cap_ms, base_ms << (n-1))` milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first attempt (total attempts = budget+1).
+    pub budget: u32,
+    /// Delay before the first retry, in milliseconds. 0 = retry at once.
+    pub base_ms: u64,
+    /// Ceiling on any single inter-attempt delay, in milliseconds.
+    pub cap_ms: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: every job gets exactly one attempt.
+    pub const fn none() -> Self {
+        Self::immediate(0)
+    }
+
+    /// `budget` retries with no delay between attempts (the policy batch
+    /// sweeps use: injected faults are single-shot, so an immediate second
+    /// attempt sees clean state).
+    pub const fn immediate(budget: u32) -> Self {
+        Self {
+            budget,
+            base_ms: 0,
+            cap_ms: 0,
+        }
+    }
+
+    /// `budget` retries with capped exponential backoff.
+    pub const fn backoff(budget: u32, base_ms: u64, cap_ms: u64) -> Self {
+        Self {
+            budget,
+            base_ms,
+            cap_ms,
+        }
+    }
+
+    /// Total attempts this policy allows (1 initial + budget retries).
+    pub const fn attempts(&self) -> u32 {
+        self.budget.saturating_add(1)
+    }
+
+    /// Delay in milliseconds before retry number `retry` (1-based: the
+    /// first retry is `retry == 1`). Doubles per retry, saturating at
+    /// [`RetryPolicy::cap_ms`]; shift overflow also lands on the cap.
+    pub fn delay_ms(&self, retry: u32) -> u64 {
+        if self.base_ms == 0 || retry == 0 {
+            return 0;
+        }
+        let doublings = retry - 1;
+        let raw = if doublings >= 63 {
+            u64::MAX
+        } else {
+            self.base_ms.saturating_mul(1u64 << doublings)
+        };
+        raw.min(self.cap_ms.max(self.base_ms))
+    }
+}
+
+/// `retries: u32` call sites keep working: a bare count means immediate
+/// retries, exactly the pre-`RetryPolicy` semantics.
+impl From<u32> for RetryPolicy {
+    fn from(budget: u32) -> Self {
+        RetryPolicy::immediate(budget)
+    }
+}
+
 /// One job's terminal failure, reported by [`par_try_map`] after its
 /// retry budget is exhausted.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -206,7 +281,7 @@ pub struct JobResult<R> {
 }
 
 /// Panic-isolated [`par_map`]: every job runs under `catch_unwind`, a
-/// panicking job is retried up to `retries` more times, and the merged
+/// panicking job is retried per the [`RetryPolicy`], and the merged
 /// output carries a per-job [`JobResult`] in submission order — a failing
 /// job never takes the pool (or its sibling jobs) down with it, and a
 /// transiently failing one reports what it recovered from.
@@ -214,20 +289,32 @@ pub struct JobResult<R> {
 /// Unlike [`par_map`], `f` borrows its item (`&T`) so a retry can re-run
 /// the same input.
 ///
-/// Retries happen immediately, on the same worker. That is the right
-/// policy for this workspace's failure model — injected faults and
-/// transient I/O races — where a second attempt sees clean state; a
-/// deterministic logic bug simply exhausts the budget and reports.
-pub fn par_try_map<T, R, F>(jobs: usize, retries: u32, items: Vec<T>, f: F) -> Vec<JobResult<R>>
+/// Retries happen on the same worker, after the policy's backoff delay
+/// (batch sweeps pass an immediate policy: injected faults and transient
+/// I/O races clear by the second attempt; a deterministic logic bug
+/// simply exhausts the budget and reports). A bare `u32` still converts
+/// into an immediate policy, preserving the historical call shape.
+pub fn par_try_map<T, R, F>(
+    jobs: usize,
+    policy: impl Into<RetryPolicy>,
+    items: Vec<T>,
+    f: F,
+) -> Vec<JobResult<R>>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let attempt_budget = retries.saturating_add(1);
+    let policy = policy.into();
     let run_one = |idx: usize, item: &T| -> JobResult<R> {
         let mut failures = Vec::new();
-        for attempt in 1..=attempt_budget {
+        for attempt in 1..=policy.attempts() {
+            if attempt > 1 {
+                let delay = policy.delay_ms(attempt - 1);
+                if delay > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(delay));
+                }
+            }
             match catch_unwind(AssertUnwindSafe(|| f(idx, item))) {
                 Ok(out) => {
                     return JobResult {
@@ -402,5 +489,52 @@ mod tests {
         let serial = par_try_map(1, 0, (0..50u64).collect(), |i, &x| x + i as u64);
         let parallel = par_try_map(8, 0, (0..50u64).collect(), |i, &x| x + i as u64);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles_and_caps() {
+        let p = RetryPolicy::backoff(10, 5, 40);
+        let delays: Vec<u64> = (1..=7).map(|n| p.delay_ms(n)).collect();
+        assert_eq!(delays, vec![5, 10, 20, 40, 40, 40, 40]);
+        // Huge retry numbers must saturate at the cap, not overflow.
+        assert_eq!(p.delay_ms(200), 40);
+        // A cap below the base never shrinks the first delay to zero.
+        assert_eq!(RetryPolicy::backoff(3, 8, 2).delay_ms(1), 8);
+    }
+
+    #[test]
+    fn retry_policy_immediate_has_no_delay() {
+        let p = RetryPolicy::immediate(3);
+        assert_eq!(p.attempts(), 4);
+        for n in 0..6 {
+            assert_eq!(p.delay_ms(n), 0);
+        }
+        assert_eq!(RetryPolicy::none().attempts(), 1);
+        assert_eq!(RetryPolicy::from(2), RetryPolicy::immediate(2));
+    }
+
+    #[test]
+    fn try_map_honours_retry_policy_budget() {
+        // budget=2 → exactly 3 attempts, with backoff engaged (tiny delays
+        // so the test stays fast) — exhaustion reports every attempt.
+        let tries = AtomicUsize::new(0);
+        let out = par_try_map(1, RetryPolicy::backoff(2, 1, 2), vec![0u8], |_, _| -> u8 {
+            tries.fetch_add(1, Ordering::SeqCst);
+            panic!("always")
+        });
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+        let err = out[0].result.as_ref().unwrap_err();
+        assert_eq!(err.attempts, 3);
+
+        // A transient failure under the same policy recovers and reports.
+        let first = AtomicUsize::new(0);
+        let out = par_try_map(1, RetryPolicy::backoff(2, 1, 2), vec![9u64], |_, &x| {
+            if first.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient");
+            }
+            x
+        });
+        assert_eq!(*out[0].result.as_ref().unwrap(), 9);
+        assert_eq!(out[0].recovered.len(), 1);
     }
 }

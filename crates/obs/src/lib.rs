@@ -37,11 +37,13 @@
 
 pub mod metrics;
 pub mod progress;
+pub mod service;
 pub mod telemetry;
 pub mod trace;
 
 pub use metrics::{Histogram, MetricValue, Registry, SimMetrics};
 pub use progress::Progress;
+pub use service::ServeMetrics;
 pub use telemetry::{JobOutcome, JobTelemetry, RunTelemetry};
 pub use trace::{PipelineTrace, TraceKind, TraceRec};
 

@@ -1,0 +1,392 @@
+//! The `vpr-serve` binary: daemon, client, and drill tooling in one.
+//!
+//! ```text
+//! vpr-serve serve    --socket S --dir D [--workers N] [--lease-ms M]
+//!                    [--retries N] [--backoff-base-ms B] [--backoff-cap-ms C]
+//!                    [--shard] [--abort-after-appends N]
+//!                    [--arm-service-fault SEED[:TARGET]]
+//! vpr-serve submit   --socket S [--json OUT] [--workloads a,b] [--schemes x,y]
+//!                    [--regs N] [--warmup N] [--measure N] [--seed N]
+//!                    [--miss-penalty N] [--timeout-s T]
+//! vpr-serve metrics  --socket S
+//! vpr-serve check    --results R.json --golden table2.json
+//! vpr-serve exec-job --spec JSON --dir STORE_DIR
+//! ```
+//!
+//! `--abort-after-appends` and `--arm-service-fault` are drill hooks: the
+//! first aborts the process (SIGKILL-equivalent) after N journalled job
+//! records, the second arms one seeded service fault
+//! ([`vpr_snap::faults::FaultPlan::from_seed_service`]) at startup. CI
+//! uses them to rehearse the kill-and-restart contract.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use vpr_bench::jobs::{execute_job, JobSpec};
+use vpr_bench::sweep::{json_escape, json_num};
+use vpr_bench::workloads::{parse_scheme, Workload};
+use vpr_bench::{take_flag, take_flag_value, write_json_artifact, ExperimentConfig};
+use vpr_core::par::RetryPolicy;
+use vpr_serve::{Client, ServeConfig, Server};
+use vpr_snap::manifest::{parse_json, JsonValue};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let command = args.remove(0);
+    match command.as_str() {
+        "serve" => cmd_serve(args),
+        "submit" => cmd_submit(args),
+        "metrics" => cmd_metrics(args),
+        "check" => cmd_check(args),
+        "exec-job" => cmd_exec_job(args),
+        other => {
+            eprintln!("unknown command: {other}");
+            usage();
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vpr-serve <serve|submit|metrics|check|exec-job> [flags]\n\
+         see docs/service.md for the full protocol and operator playbook"
+    );
+    std::process::exit(2);
+}
+
+fn required(args: &mut Vec<String>, flag: &str) -> String {
+    take_flag_value(args, flag).unwrap_or_else(|| {
+        eprintln!("missing required flag {flag}");
+        std::process::exit(2);
+    })
+}
+
+fn numeric<T: std::str::FromStr>(value: String, flag: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} needs a numeric value, got {value:?}");
+        std::process::exit(2);
+    })
+}
+
+fn reject_leftovers(args: &[String]) {
+    if let Some(extra) = args.first() {
+        eprintln!("unrecognised argument: {extra}");
+        std::process::exit(2);
+    }
+}
+
+fn cmd_serve(mut args: Vec<String>) {
+    let socket = PathBuf::from(required(&mut args, "--socket"));
+    let dir = PathBuf::from(required(&mut args, "--dir"));
+    let mut cfg = ServeConfig::new(socket, dir);
+    if let Some(v) = take_flag_value(&mut args, "--workers") {
+        cfg.workers = numeric(v, "--workers");
+    }
+    if let Some(v) = take_flag_value(&mut args, "--lease-ms") {
+        cfg.lease_ms = numeric(v, "--lease-ms");
+    }
+    let budget = take_flag_value(&mut args, "--retries")
+        .map(|v| numeric(v, "--retries"))
+        .unwrap_or(cfg.retry.budget);
+    let base = take_flag_value(&mut args, "--backoff-base-ms")
+        .map(|v| numeric(v, "--backoff-base-ms"))
+        .unwrap_or(cfg.retry.base_ms);
+    let cap = take_flag_value(&mut args, "--backoff-cap-ms")
+        .map(|v| numeric(v, "--backoff-cap-ms"))
+        .unwrap_or(cfg.retry.cap_ms);
+    cfg.retry = RetryPolicy::backoff(budget, base, cap);
+    cfg.shard = take_flag(&mut args, "--shard");
+    if let Some(v) = take_flag_value(&mut args, "--abort-after-appends") {
+        cfg.abort_after_appends = Some(numeric(v, "--abort-after-appends"));
+    }
+    let fault = take_flag_value(&mut args, "--arm-service-fault");
+    reject_leftovers(&args);
+
+    if let Some(spec) = fault {
+        let (seed, target) = match spec.split_once(':') {
+            Some((s, t)) => (s.to_string(), t.to_string()),
+            None => (spec, String::new()),
+        };
+        let seed: u64 = numeric(seed, "--arm-service-fault");
+        let plan = vpr_snap::faults::FaultPlan::from_seed_service(seed, target);
+        eprintln!(
+            "vpr-serve: arming service fault {}/{} nth={} (seed {seed})",
+            plan.kind.label(),
+            plan.op.label(),
+            plan.nth
+        );
+        vpr_snap::faults::arm(plan);
+    }
+
+    let server = Server::start(cfg).unwrap_or_else(|e| {
+        eprintln!("vpr-serve: start failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("vpr-serve: listening");
+    while !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    server.stop();
+}
+
+fn experiment_from(args: &mut Vec<String>) -> ExperimentConfig {
+    let mut exp = ExperimentConfig::quick();
+    if let Some(v) = take_flag_value(args, "--warmup") {
+        exp.warmup = numeric(v, "--warmup");
+    }
+    if let Some(v) = take_flag_value(args, "--measure") {
+        exp.measure = numeric(v, "--measure");
+    }
+    if let Some(v) = take_flag_value(args, "--seed") {
+        exp.seed = numeric(v, "--seed");
+    }
+    if let Some(v) = take_flag_value(args, "--miss-penalty") {
+        exp.miss_penalty = numeric(v, "--miss-penalty");
+    }
+    exp
+}
+
+fn cmd_submit(mut args: Vec<String>) {
+    let socket = required(&mut args, "--socket");
+    let out = take_flag_value(&mut args, "--json");
+    let workloads: Vec<Workload> = match take_flag_value(&mut args, "--workloads") {
+        Some(csv) => csv
+            .split(',')
+            .map(|w| {
+                Workload::parse(w.trim()).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+        None => Workload::synthetic(),
+    };
+    let schemes: Vec<_> = take_flag_value(&mut args, "--schemes")
+        .unwrap_or_else(|| "conventional,vp-wb-nrr32".into())
+        .split(',')
+        .map(|s| {
+            parse_scheme(s.trim()).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let regs: usize = take_flag_value(&mut args, "--regs")
+        .map(|v| numeric(v, "--regs"))
+        .unwrap_or(64);
+    let exp = experiment_from(&mut args);
+    let timeout_s: u64 = take_flag_value(&mut args, "--timeout-s")
+        .map(|v| numeric(v, "--timeout-s"))
+        .unwrap_or(600);
+    reject_leftovers(&args);
+
+    let specs: Vec<JobSpec> = workloads
+        .iter()
+        .flat_map(|&workload| {
+            schemes.iter().map(move |&scheme| JobSpec {
+                workload,
+                scheme,
+                physical_regs: regs,
+                exp,
+            })
+        })
+        .collect();
+
+    let client = Client::new(&socket);
+    let ids = client.submit(&specs).unwrap_or_else(|e| {
+        eprintln!("vpr-serve submit: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("vpr-serve submit: {} jobs accepted", ids.len());
+    let results = client
+        .wait(&ids, Duration::from_secs(timeout_s))
+        .unwrap_or_else(|e| {
+            eprintln!("vpr-serve submit: {e}");
+            std::process::exit(1);
+        });
+
+    let mut rows = Vec::with_capacity(results.len());
+    let mut failed = 0usize;
+    for (spec, r) in specs.iter().zip(&results) {
+        if r.state == "failed" {
+            failed += 1;
+        }
+        let mut row = format!(
+            "    {{\"id\": {}, \"workload\": \"{}\", \"scheme\": \"{}\", \"regs\": {}, \
+             \"state\": \"{}\", \"attempts\": {}",
+            r.id,
+            json_escape(&spec.workload.name()),
+            json_escape(&vpr_bench::workloads::scheme_label(spec.scheme)),
+            spec.physical_regs,
+            r.state,
+            r.attempts
+        );
+        if let Some(output) = &r.output {
+            row.push_str(&format!(", \"output\": {}", output.to_json()));
+        }
+        if let Some(error) = &r.error {
+            row.push_str(&format!(", \"error\": \"{}\"", json_escape(error)));
+        }
+        row.push('}');
+        rows.push(row);
+    }
+    let doc = format!(
+        "{{\n  \"schema\": \"vpr-serve-results/v1\",\n  \"regs\": {regs},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    match out {
+        Some(path) => write_json_artifact(std::path::Path::new(&path), &doc),
+        None => print!("{doc}"),
+    }
+    if failed > 0 {
+        eprintln!("vpr-serve submit: {failed} job(s) degraded to structured failures");
+        std::process::exit(3);
+    }
+}
+
+fn cmd_metrics(mut args: Vec<String>) {
+    let socket = required(&mut args, "--socket");
+    reject_leftovers(&args);
+    let client = Client::new(&socket);
+    match client.metrics() {
+        Ok((_, prometheus)) => print!("{prometheus}"),
+        Err(e) => {
+            eprintln!("vpr-serve metrics: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Compares a `submit --json` results file against the batch
+/// `table2.json` golden: per workload, the conventional IPC, the VP-WB
+/// IPC, and the VP executions-per-commit must agree at the golden's own
+/// 4-decimal rendering. Byte-identical f64s always pass; anything that
+/// diverges enough to move the printed table fails loudly.
+fn cmd_check(mut args: Vec<String>) {
+    let results_path = required(&mut args, "--results");
+    let golden_path = required(&mut args, "--golden");
+    reject_leftovers(&args);
+
+    let read = |p: &str| -> JsonValue {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("vpr-serve check: {p}: {e}");
+            std::process::exit(1);
+        });
+        parse_json(&text).unwrap_or_else(|e| {
+            eprintln!("vpr-serve check: {p}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let results = read(&results_path);
+    let golden = read(&golden_path);
+
+    // Index the service results: (workload, scheme) -> (ipc, epc).
+    let mut measured: Vec<(String, String, f64, f64)> = Vec::new();
+    for r in results
+        .as_object()
+        .and_then(|o| o.get("results"))
+        .and_then(JsonValue::as_array)
+        .unwrap_or_else(|| {
+            eprintln!("vpr-serve check: results file has no `results` array");
+            std::process::exit(1);
+        })
+    {
+        let Some(obj) = r.as_object() else { continue };
+        let workload = obj
+            .get("workload")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("");
+        let scheme = obj.get("scheme").and_then(JsonValue::as_str).unwrap_or("");
+        let output = obj.get("output").and_then(JsonValue::as_object);
+        let num = |k: &str| -> f64 {
+            output
+                .as_ref()
+                .and_then(|o| o.get(k))
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(f64::NAN)
+        };
+        measured.push((
+            workload.to_string(),
+            scheme.to_string(),
+            num("ipc"),
+            num("executions_per_commit"),
+        ));
+    }
+    let find = |workload: &str, scheme: &str| -> Option<(f64, f64)> {
+        measured
+            .iter()
+            .find(|(w, s, ..)| w == workload && s == scheme)
+            .map(|&(_, _, ipc, epc)| (ipc, epc))
+    };
+
+    let rows = golden
+        .as_object()
+        .and_then(|o| o.get("rows"))
+        .and_then(JsonValue::as_array)
+        .unwrap_or_else(|| {
+            eprintln!("vpr-serve check: golden file has no `rows` array");
+            std::process::exit(1);
+        });
+    let mut mismatches = 0usize;
+    let mut compared = 0usize;
+    for row in rows {
+        let Some(obj) = row.as_object() else { continue };
+        let bench = obj
+            .get("benchmark")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("");
+        let golden_num = |k: &str| obj.get(k).and_then(JsonValue::as_f64).unwrap_or(f64::NAN);
+        let mut check = |what: &str, got: Option<f64>, want: f64| {
+            compared += 1;
+            let got_s = got
+                .map(|v| json_num(v, 4))
+                .unwrap_or_else(|| "absent".into());
+            let want_s = json_num(want, 4);
+            if got_s != want_s {
+                eprintln!("MISMATCH {bench} {what}: service {got_s} vs golden {want_s}");
+                mismatches += 1;
+            }
+        };
+        let conv = find(bench, "conventional");
+        let vp = find(bench, "vp-wb-nrr32");
+        check("conv_ipc", conv.map(|(ipc, _)| ipc), golden_num("conv_ipc"));
+        check("vp_ipc", vp.map(|(ipc, _)| ipc), golden_num("vp_ipc"));
+        check(
+            "vp_executions_per_commit",
+            vp.map(|(_, epc)| epc),
+            golden_num("vp_executions_per_commit"),
+        );
+    }
+    if mismatches > 0 {
+        eprintln!("vpr-serve check: {mismatches}/{compared} cells mismatched");
+        std::process::exit(1);
+    }
+    println!("vpr-serve check: {compared} cells match the golden");
+}
+
+fn cmd_exec_job(mut args: Vec<String>) {
+    let spec_json = required(&mut args, "--spec");
+    let dir = take_flag_value(&mut args, "--dir");
+    reject_leftovers(&args);
+    let spec = parse_json(&spec_json)
+        .map_err(|e| e.to_string())
+        .and_then(|v| JobSpec::from_json(&v))
+        .unwrap_or_else(|e| {
+            eprintln!("vpr-serve exec-job: bad --spec: {e}");
+            std::process::exit(2);
+        });
+    let output = match dir {
+        Some(dir) => {
+            let store =
+                vpr_bench::checkpoints::CheckpointStore::open_resilient(std::path::Path::new(&dir))
+                    .0;
+            let store = std::sync::Mutex::new(store);
+            execute_job(&spec, Some(&store))
+        }
+        None => execute_job(&spec, None),
+    };
+    println!("{}", output.to_json());
+}

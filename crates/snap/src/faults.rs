@@ -49,6 +49,17 @@ pub enum FaultKind {
     /// The job with a matching label panics at its start
     /// ([`maybe_panic_job`]).
     JobPanic,
+    /// A worker lease is treated as expired the next time the service's
+    /// lease scanner inspects it ([`lease_expires_early`]), forcing a
+    /// reclaim-and-retry even though the worker is still healthy.
+    LeaseExpire,
+    /// The service drops a client connection mid-exchange
+    /// ([`client_disconnects`]); the client must reconnect and re-poll.
+    ClientDisconnect,
+    /// A service worker dies (panics) at the start of a leased job
+    /// ([`maybe_kill_worker`]); the lease machinery must reclaim and
+    /// retry the job.
+    WorkerKill,
 }
 
 impl FaultKind {
@@ -60,6 +71,9 @@ impl FaultKind {
             FaultKind::BitFlip => "bit-flip",
             FaultKind::PartialRename => "partial-rename",
             FaultKind::JobPanic => "job-panic",
+            FaultKind::LeaseExpire => "lease-expire",
+            FaultKind::ClientDisconnect => "client-disconnect",
+            FaultKind::WorkerKill => "worker-kill",
         }
     }
 }
@@ -73,6 +87,14 @@ pub enum FaultOp {
     Write,
     /// Sweep jobs ([`maybe_panic_job`]).
     Job,
+    /// Service journal appends ([`on_journal_append`]).
+    JournalAppend,
+    /// Service lease-scanner inspections ([`lease_expires_early`]).
+    Lease,
+    /// Service client-connection exchanges ([`client_disconnects`]).
+    Client,
+    /// Service worker job starts ([`maybe_kill_worker`]).
+    Worker,
 }
 
 impl FaultOp {
@@ -82,6 +104,10 @@ impl FaultOp {
             FaultOp::Read => "read",
             FaultOp::Write => "write",
             FaultOp::Job => "job",
+            FaultOp::JournalAppend => "journal-append",
+            FaultOp::Lease => "lease",
+            FaultOp::Client => "client",
+            FaultOp::Worker => "worker",
         }
     }
 }
@@ -141,6 +167,33 @@ impl FaultPlan {
             op,
             target: target.into(),
             nth: ((z >> 8) % 3) as u32,
+            seed: z,
+        }
+    }
+
+    /// Derives one fault of the **service** matrix from a seed — the four
+    /// daemon hook points ([`on_journal_append`], [`lease_expires_early`],
+    /// [`client_disconnects`], [`maybe_kill_worker`]) with every effect
+    /// each supports. Kept separate from [`FaultPlan::from_seed`] so the
+    /// storage-layer matrix (and the tests pinning it) stay unchanged.
+    pub fn from_seed_service(seed: u64, target: impl Into<String>) -> Self {
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let (kind, op) = match z % 6 {
+            0 => (FaultKind::IoError, FaultOp::JournalAppend),
+            1 => (FaultKind::Truncate, FaultOp::JournalAppend),
+            2 => (FaultKind::BitFlip, FaultOp::JournalAppend),
+            3 => (FaultKind::LeaseExpire, FaultOp::Lease),
+            4 => (FaultKind::ClientDisconnect, FaultOp::Client),
+            _ => (FaultKind::WorkerKill, FaultOp::Worker),
+        };
+        Self {
+            kind,
+            op,
+            target: target.into(),
+            nth: ((z >> 8) % 2) as u32,
             seed: z,
         }
     }
@@ -324,6 +377,68 @@ pub fn maybe_panic_job(label: &str) {
     }
 }
 
+/// Journal-append hook: may corrupt the record bytes about to be written
+/// (the appender's read-back verification then sees a torn record) or
+/// fail the append outright. The service's journal must either durably
+/// store the exact bytes or report failure — never acknowledge a lie.
+///
+/// # Errors
+///
+/// The injected [`FaultKind::IoError`].
+pub fn on_journal_append(path: &Path, bytes: &mut Vec<u8>) -> io::Result<()> {
+    let Some(plan) = fire(FaultOp::JournalAppend, &path.display().to_string()) else {
+        return Ok(());
+    };
+    match plan.kind {
+        FaultKind::IoError => Err(io::Error::other(format!(
+            "injected journal-append fault at {}",
+            path.display()
+        ))),
+        kind => {
+            corrupt(kind, plan.seed, bytes);
+            Ok(())
+        }
+    }
+}
+
+/// Lease hook: returns `true` when the armed plan demands that the lease
+/// with a matching label be treated as already expired — the service must
+/// reclaim and retry the job as if the real deadline had passed.
+pub fn lease_expires_early(label: &str) -> bool {
+    matches!(
+        fire(FaultOp::Lease, label),
+        Some(FaultPlan {
+            kind: FaultKind::LeaseExpire,
+            ..
+        })
+    )
+}
+
+/// Client-connection hook: returns `true` when the service should drop
+/// the connection with a matching label before responding — the client
+/// must survive by reconnecting and re-polling (results are keyed by job
+/// id, so nothing is lost).
+pub fn client_disconnects(label: &str) -> bool {
+    matches!(
+        fire(FaultOp::Client, label),
+        Some(FaultPlan {
+            kind: FaultKind::ClientDisconnect,
+            ..
+        })
+    )
+}
+
+/// Worker hook: panics when the armed plan kills the worker starting the
+/// job with a matching label. The service catches the unwind, treats the
+/// worker as dead, and lets the lease machinery retry the job.
+pub fn maybe_kill_worker(label: &str) {
+    if let Some(plan) = fire(FaultOp::Worker, label) {
+        if plan.kind == FaultKind::WorkerKill {
+            panic!("injected fault: worker kill ({label})");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -409,5 +524,91 @@ mod tests {
             kinds.insert(FaultPlan::from_seed(seed, "t").kind.label());
         }
         assert_eq!(kinds.len(), 5, "all five fault kinds reachable: {kinds:?}");
+    }
+
+    #[test]
+    fn service_seeded_plans_cover_the_service_matrix() {
+        let mut combos = std::collections::BTreeSet::new();
+        for seed in 0..64 {
+            let p = FaultPlan::from_seed_service(seed, "t");
+            combos.insert((p.kind.label(), p.op.label()));
+            assert!(p.nth < 2, "service plans keep nth small");
+        }
+        let expected: std::collections::BTreeSet<_> = [
+            ("io-error", "journal-append"),
+            ("truncate", "journal-append"),
+            ("bit-flip", "journal-append"),
+            ("lease-expire", "lease"),
+            ("client-disconnect", "client"),
+            ("worker-kill", "worker"),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(combos, expected, "all six service combos reachable");
+    }
+
+    #[test]
+    fn journal_append_hook_corrupts_or_fails_once() {
+        let _x = exclusive();
+        // IoError: append must fail, bytes untouched.
+        arm(FaultPlan::new(
+            FaultKind::IoError,
+            FaultOp::JournalAppend,
+            "jobs.wal",
+        ));
+        let mut bytes = vec![1u8, 2, 3, 4];
+        let err = on_journal_append(&PathBuf::from("/tmp/d/jobs.wal"), &mut bytes).unwrap_err();
+        assert!(err.to_string().contains("injected journal-append fault"));
+        assert_eq!(bytes, vec![1, 2, 3, 4]);
+        // Single-shot: the next append is clean.
+        on_journal_append(&PathBuf::from("/tmp/d/jobs.wal"), &mut bytes).unwrap();
+        assert_eq!(disarm().expect("fired").op, FaultOp::JournalAppend);
+
+        // BitFlip: bytes corrupted deterministically, append "succeeds".
+        arm(FaultPlan {
+            kind: FaultKind::BitFlip,
+            op: FaultOp::JournalAppend,
+            target: "jobs.wal".into(),
+            nth: 0,
+            seed: 11,
+        });
+        let mut corrupted = vec![0u8; 16];
+        on_journal_append(&PathBuf::from("/tmp/d/jobs.wal"), &mut corrupted).unwrap();
+        assert_ne!(corrupted, vec![0u8; 16]);
+        disarm().expect("fired");
+    }
+
+    #[test]
+    fn lease_client_and_worker_hooks_fire_once() {
+        let _x = exclusive();
+        arm(FaultPlan::new(
+            FaultKind::LeaseExpire,
+            FaultOp::Lease,
+            "job-3",
+        ));
+        assert!(!lease_expires_early("job-1"));
+        assert!(lease_expires_early("job-3"));
+        assert!(!lease_expires_early("job-3"), "single-shot");
+        assert_eq!(disarm().expect("fired").kind, FaultKind::LeaseExpire);
+
+        arm(FaultPlan::new(
+            FaultKind::ClientDisconnect,
+            FaultOp::Client,
+            "conn",
+        ));
+        assert!(client_disconnects("conn-7"));
+        assert!(!client_disconnects("conn-7"));
+        assert_eq!(disarm().expect("fired").kind, FaultKind::ClientDisconnect);
+
+        arm(FaultPlan::new(
+            FaultKind::WorkerKill,
+            FaultOp::Worker,
+            "swim",
+        ));
+        maybe_kill_worker("hydro2d/conventional@64r");
+        let caught = std::panic::catch_unwind(|| maybe_kill_worker("swim/conventional@64r"));
+        assert!(caught.is_err());
+        maybe_kill_worker("swim/conventional@64r"); // single-shot: inert now
+        assert_eq!(disarm().expect("fired").kind, FaultKind::WorkerKill);
     }
 }
